@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared helpers for the table-reproduction harnesses.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sbmp/core/pipeline.h"
+#include "sbmp/perfect/suite.h"
+
+namespace sbmp::bench {
+
+/// The paper's four machine cases, in Table 2 column order.
+struct MachineCase {
+  int issue_width;
+  int fus;
+  const char* label;
+};
+
+inline constexpr std::array<MachineCase, 4> kPaperCases{{
+    {2, 1, "2-issue(#FU=1)"},
+    {2, 2, "2-issue(#FU=2)"},
+    {4, 1, "4-issue(#FU=1)"},
+    {4, 2, "4-issue(#FU=2)"},
+}};
+
+/// T_a (list) and T_b (sync-aware) totals of one benchmark for one
+/// machine case: the sum of the parallel execution times of its
+/// DOACROSS loops over 100 iterations, the paper's Table 2 metric.
+struct CasePair {
+  std::int64_t ta = 0;
+  std::int64_t tb = 0;
+
+  [[nodiscard]] double improvement() const {
+    return ta > 0 ? static_cast<double>(ta - tb) / static_cast<double>(ta)
+                  : 0.0;
+  }
+};
+
+inline CasePair run_case(const PerfectBenchmark& bench,
+                         const MachineCase& machine) {
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(machine.issue_width, machine.fus);
+  options.iterations = 100;
+  CasePair totals;
+  for (const auto& loop : bench.program().loops) {
+    if (analyze_dependences(loop).is_doall()) continue;
+    const SchedulerComparison cmp = compare_schedulers(loop, options);
+    totals.ta += cmp.baseline.parallel_time();
+    totals.tb += cmp.improved.parallel_time();
+  }
+  return totals;
+}
+
+/// All benchmarks x all cases; result[b][c].
+inline std::vector<std::array<CasePair, 4>> run_all_cases() {
+  std::vector<std::array<CasePair, 4>> out;
+  for (const auto& bench : perfect_suite()) {
+    std::array<CasePair, 4> row{};
+    for (std::size_t c = 0; c < kPaperCases.size(); ++c)
+      row[c] = run_case(bench, kPaperCases[c]);
+    out.push_back(row);
+  }
+  return out;
+}
+
+}  // namespace sbmp::bench

@@ -1,0 +1,69 @@
+// Reproduces the paper's Fig 4: the running example of Fig 1 scheduled
+// with list scheduling (a) and the new technique (b) on a 4-issue
+// machine with one unit per class, with the parallel-time expressions
+// the paper derives ((12N)+13 vs (N/2)*7+13 for its 27-instruction
+// listing; ours is the unfused 28-instruction body, same shape).
+#include <cstdio>
+
+#include "sbmp/core/pipeline.h"
+
+int main() {
+  using namespace sbmp;
+
+  const char* source = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+  const Loop loop = parse_single_loop_or_throw(source);
+
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(4, 1);
+  options.iterations = 100;
+  const SchedulerComparison cmp = compare_schedulers(loop, options);
+
+  const auto describe = [&](const char* title, const LoopReport& r) {
+    std::printf("%s (%d groups):\n%s\n", title, r.schedule.length(),
+                r.schedule.to_string(r.tac, options.machine.issue_width)
+                    .c_str());
+    // Derive the paper's closed-form expression from the worst pair.
+    std::int64_t worst_term = 0;
+    std::int64_t worst_span = 0;
+    std::int64_t worst_d = 1;
+    for (const auto& pair : r.dfg->pairs()) {
+      const int span = r.schedule.slot(pair.send_instr) -
+                       r.schedule.slot(pair.wait_instr) + 1;
+      const std::int64_t term =
+          span > 0 ? (99 / pair.distance) * span : 0;
+      if (term > worst_term) {
+        worst_term = term;
+        worst_span = span;
+        worst_d = pair.distance;
+      }
+    }
+    if (worst_term > 0) {
+      std::printf("  worst pair: span %lld, distance %lld ->"
+                  " T = (N/%lld)*%lld + %lld\n",
+                  static_cast<long long>(worst_span),
+                  static_cast<long long>(worst_d),
+                  static_cast<long long>(worst_d),
+                  static_cast<long long>(worst_span),
+                  static_cast<long long>(r.sim.iteration_time));
+    } else {
+      std::printf("  all pairs LFD -> T = %lld\n",
+                  static_cast<long long>(r.sim.iteration_time));
+    }
+    std::printf("  simulated parallel time, N=100: %lld cycles\n\n",
+                static_cast<long long>(r.parallel_time()));
+  };
+
+  std::printf("Fig 4: Scheduling results for the Fig 1 example, %s\n\n",
+              options.machine.label().c_str());
+  describe("(a) list scheduling", cmp.baseline);
+  describe("(b) new instruction scheduling", cmp.improved);
+  std::printf("improvement: %.2f%%  (paper example: 1213 -> 363 cycles)\n",
+              cmp.improvement() * 100.0);
+  return 0;
+}

@@ -1,0 +1,109 @@
+// google-benchmark microbenchmarks of the pipeline stages: parsing,
+// dependence analysis, code generation, DFG construction, the two
+// schedulers and the simulator. These measure the *tooling* throughput
+// (the paper's tables are reproduced by the bench_table* harnesses).
+#include <benchmark/benchmark.h>
+
+#include "sbmp/codegen/codegen.h"
+#include "sbmp/core/pipeline.h"
+#include "sbmp/perfect/generator.h"
+#include "sbmp/perfect/suite.h"
+
+namespace {
+
+using namespace sbmp;
+
+Loop test_loop(int stmts) {
+  LoopGenConfig config;
+  config.min_stmts = stmts;
+  config.max_stmts = stmts;
+  SplitMix64 rng(2026);
+  return generate_random_loop(rng, config);
+}
+
+void BM_ParseSuite(benchmark::State& state) {
+  const auto& bench = perfect_suite()[static_cast<std::size_t>(
+      state.range(0))];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.program());
+  }
+}
+BENCHMARK(BM_ParseSuite)->DenseRange(0, 4);
+
+void BM_DependenceAnalysis(benchmark::State& state) {
+  const Loop loop = test_loop(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze_dependences(loop));
+  }
+}
+BENCHMARK(BM_DependenceAnalysis)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Codegen(benchmark::State& state) {
+  const Loop loop = test_loop(static_cast<int>(state.range(0)));
+  const SyncedLoop synced = insert_synchronization(loop);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generate_tac(synced));
+  }
+}
+BENCHMARK(BM_Codegen)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DfgBuild(benchmark::State& state) {
+  const Loop loop = test_loop(static_cast<int>(state.range(0)));
+  const TacFunction tac = generate_tac(insert_synchronization(loop));
+  const MachineConfig config = MachineConfig::paper(4, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Dfg(tac, config));
+  }
+}
+BENCHMARK(BM_DfgBuild)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ListScheduler(benchmark::State& state) {
+  const Loop loop = test_loop(static_cast<int>(state.range(0)));
+  const TacFunction tac = generate_tac(insert_synchronization(loop));
+  const MachineConfig config = MachineConfig::paper(4, 1);
+  const Dfg dfg(tac, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_list(tac, dfg, config));
+  }
+}
+BENCHMARK(BM_ListScheduler)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_SyncAwareScheduler(benchmark::State& state) {
+  const Loop loop = test_loop(static_cast<int>(state.range(0)));
+  const TacFunction tac = generate_tac(insert_synchronization(loop));
+  const MachineConfig config = MachineConfig::paper(4, 1);
+  const Dfg dfg(tac, config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(schedule_sync_aware(tac, dfg, config, 100));
+  }
+}
+BENCHMARK(BM_SyncAwareScheduler)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_Simulator(benchmark::State& state) {
+  const Loop loop = test_loop(4);
+  const TacFunction tac = generate_tac(insert_synchronization(loop));
+  const MachineConfig config = MachineConfig::paper(4, 1);
+  const Dfg dfg(tac, config);
+  const Schedule schedule = schedule_sync_aware(tac, dfg, config, 100);
+  SimOptions options;
+  options.iterations = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate(tac, dfg, schedule, config, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Simulator)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const Loop loop = test_loop(static_cast<int>(state.range(0)));
+  PipelineOptions options;
+  options.iterations = 100;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_pipeline(loop, options));
+  }
+}
+BENCHMARK(BM_FullPipeline)->Arg(2)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,155 @@
+// Parameter sweeps beyond the paper's four cases:
+//   1. processors P = 1..100 for a stencil DOACROSS loop (speedup curve
+//      and its knee under both schedulers);
+//   2. issue width 1..8 at fixed #FU=1 for the suite total, showing the
+//      paper's observation that the new scheduling is insensitive to
+//      width while list scheduling is not;
+//   3. dependence distance d = 1..8 for a recurrence, showing the n/d
+//      factor of the LBD loop theorem.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sbmp/restructure/unroll.h"
+#include "sbmp/support/strings.h"
+#include "sbmp/support/table.h"
+
+namespace {
+
+constexpr const char* kStencil = R"(
+doacross I = 1, 100
+  U[I] = (U[I-1] + V[I]) * w1 + V[I+1] * w2
+  R[I] = V[I-2] * w3 + V[I+2]
+  Q[I] = R[I] + V[I] / w4
+end
+)";
+
+}  // namespace
+
+int main() {
+  using namespace sbmp;
+  using namespace sbmp::bench;
+
+  // --- Sweep 1: processors ------------------------------------------
+  {
+    const Loop loop = parse_single_loop_or_throw(kStencil);
+    TextTable table;
+    table.set_header({"P", "list", "sync-aware", "speedup(sync-aware)"});
+    std::int64_t serial = 0;
+    for (const int procs : {1, 2, 4, 8, 16, 32, 64, 100}) {
+      PipelineOptions options;
+      options.machine = MachineConfig::paper(4, 1);
+      options.iterations = 100;
+      options.processors = procs;
+      const SchedulerComparison cmp = compare_schedulers(loop, options);
+      if (procs == 1) serial = cmp.improved.parallel_time();
+      const double speedup = static_cast<double>(serial) /
+                             static_cast<double>(cmp.improved.parallel_time());
+      table.add_row({std::to_string(procs),
+                     std::to_string(cmp.baseline.parallel_time()),
+                     std::to_string(cmp.improved.parallel_time()),
+                     format_fixed(speedup, 2)});
+    }
+    std::printf("Sweep 1: stencil loop, processors 1..100 (4-issue)\n\n%s\n",
+                table.render().c_str());
+  }
+
+  // --- Sweep 2: issue width -----------------------------------------
+  {
+    TextTable table;
+    table.set_header({"width", "Ta (list)", "Tb (sync-aware)", "Tb/Ta"});
+    for (const int width : {1, 2, 3, 4, 6, 8}) {
+      PipelineOptions options;
+      options.machine = MachineConfig::paper(width, 1);
+      options.iterations = 100;
+      std::int64_t ta = 0;
+      std::int64_t tb = 0;
+      for (const auto& bench : perfect_suite()) {
+        for (const auto& loop : bench.program().loops) {
+          if (analyze_dependences(loop).is_doall()) continue;
+          const SchedulerComparison cmp = compare_schedulers(loop, options);
+          ta += cmp.baseline.parallel_time();
+          tb += cmp.improved.parallel_time();
+        }
+      }
+      table.add_row({std::to_string(width), std::to_string(ta),
+                     std::to_string(tb),
+                     format_fixed(static_cast<double>(tb) /
+                                      static_cast<double>(ta),
+                                  3)});
+    }
+    std::printf("Sweep 2: suite total vs issue width (#FU=1)\n\n%s\n",
+                table.render().c_str());
+  }
+
+  // --- Sweep 3: dependence distance ---------------------------------
+  {
+    TextTable table;
+    table.set_header({"d", "list", "sync-aware", "analytic n/d shape"});
+    for (const int d : {1, 2, 3, 4, 6, 8}) {
+      const std::string src = "doacross I = 1, 100\n  A[I] = A[I-" +
+                              std::to_string(d) +
+                              "] * w1 + B[I]\n  C[I] = B[I-1] + B[I+2] * "
+                              "w2\nend\n";
+      const Loop loop = parse_single_loop_or_throw(src);
+      PipelineOptions options;
+      options.machine = MachineConfig::paper(4, 1);
+      options.iterations = 100;
+      const SchedulerComparison cmp = compare_schedulers(loop, options);
+      table.add_row({std::to_string(d),
+                     std::to_string(cmp.baseline.parallel_time()),
+                     std::to_string(cmp.improved.parallel_time()),
+                     std::to_string(99 / d)});
+    }
+    std::printf(
+        "Sweep 3: recurrence distance (LBD loop theorem's n/d factor)\n\n"
+        "%s\n",
+        table.render().c_str());
+  }
+
+  // --- Sweep 4: signal latency --------------------------------------
+  {
+    TextTable table;
+    table.set_header({"signal latency", "list", "sync-aware"});
+    const Loop loop = parse_single_loop_or_throw(kStencil);
+    for (const int net : {1, 2, 4, 8, 16}) {
+      PipelineOptions options;
+      options.machine = MachineConfig::paper(4, 1);
+      options.machine.signal_latency = net;
+      options.iterations = 100;
+      const SchedulerComparison cmp = compare_schedulers(loop, options);
+      table.add_row({std::to_string(net),
+                     std::to_string(cmp.baseline.parallel_time()),
+                     std::to_string(cmp.improved.parallel_time())});
+    }
+    std::printf(
+        "Sweep 4: synchronization network latency (stencil loop; every\n"
+        "chain link pays the extra delay; LFD pairs stall once the\n"
+        "signal outruns their slack)\n\n%s\n",
+        table.render().c_str());
+  }
+
+  // --- Sweep 5: unroll factor ---------------------------------------
+  {
+    TextTable table;
+    table.set_header({"factor", "iterations", "list", "sync-aware"});
+    const Loop loop = parse_single_loop_or_throw(kStencil);
+    for (const int factor : {1, 2, 4, 5, 10}) {
+      const Loop unrolled = unroll_or_throw(loop, factor);
+      PipelineOptions options;
+      options.machine = MachineConfig::paper(4, 1);
+      options.iterations = 0;  // the unrolled trip count
+      const SchedulerComparison cmp = compare_schedulers(unrolled, options);
+      table.add_row({std::to_string(factor),
+                     std::to_string(unrolled.trip_count()),
+                     std::to_string(cmp.baseline.parallel_time()),
+                     std::to_string(cmp.improved.parallel_time())});
+    }
+    std::printf(
+        "Sweep 5: unrolling the stencil DOACROSS loop (distance-1\n"
+        "recurrence: each unrolled link covers `factor` elements, so the\n"
+        "chain-bound time barely moves — unrolling amortizes sync\n"
+        "instructions, not true dependences)\n\n%s\n",
+        table.render().c_str());
+  }
+  return 0;
+}

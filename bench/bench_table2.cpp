@@ -1,0 +1,46 @@
+// Reproduces the paper's Table 2: parallel execution times T{a,b}-{2,4}-
+// {1,2} of the five Perfect benchmarks under list scheduling (a) and the
+// new instruction scheduling (b), for the four machine cases, 100
+// iterations per loop.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sbmp/support/table.h"
+
+int main() {
+  using namespace sbmp;
+  using namespace sbmp::bench;
+
+  const auto results = run_all_cases();
+
+  TextTable table;
+  table.set_header({"Benchmarks", "Ta-2-1", "Tb-2-1", "Ta-2-2", "Tb-2-2",
+                    "Ta-4-1", "Tb-4-1", "Ta-4-2", "Tb-4-2"});
+  std::array<CasePair, 4> totals{};
+  const auto& suite = perfect_suite();
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    std::vector<std::string> row{suite[b].name};
+    for (std::size_t c = 0; c < kPaperCases.size(); ++c) {
+      row.push_back(std::to_string(results[b][c].ta));
+      row.push_back(std::to_string(results[b][c].tb));
+      totals[c].ta += results[b][c].ta;
+      totals[c].tb += results[b][c].tb;
+    }
+    table.add_row(std::move(row));
+  }
+  table.add_separator();
+  std::vector<std::string> total_row{"Total"};
+  for (std::size_t c = 0; c < kPaperCases.size(); ++c) {
+    total_row.push_back(std::to_string(totals[c].ta));
+    total_row.push_back(std::to_string(totals[c].tb));
+  }
+  table.add_row(std::move(total_row));
+
+  std::printf(
+      "Table 2: Statistic results (parallel execution time, cycles;\n"
+      "a = list scheduling, b = new instruction scheduling; x-y-z =\n"
+      "scheduler, issue width, FUs per class; 100 iterations per loop)\n\n"
+      "%s\n",
+      table.render().c_str());
+  return 0;
+}

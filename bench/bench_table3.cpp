@@ -1,0 +1,54 @@
+// Reproduces the paper's Table 3: improvement percentage of the new
+// instruction scheduling over list scheduling per benchmark and machine
+// case, plus the paper's 2-issue / 4-issue summary percentages
+// (paper: ~83.37% and ~85.1%).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "sbmp/support/strings.h"
+#include "sbmp/support/table.h"
+
+int main() {
+  using namespace sbmp;
+  using namespace sbmp::bench;
+
+  const auto results = run_all_cases();
+
+  TextTable table;
+  table.set_header({"Benchmarks", "2-issue(#FU=1)", "2-issue(#FU=2)",
+                    "4-issue(#FU=1)", "4-issue(#FU=2)"});
+  const auto& suite = perfect_suite();
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    std::vector<std::string> row{suite[b].name};
+    for (std::size_t c = 0; c < kPaperCases.size(); ++c)
+      row.push_back(format_percent(results[b][c].improvement()));
+    table.add_row(std::move(row));
+  }
+
+  // Summary: improvement of the summed totals, grouped by issue width.
+  std::int64_t ta2 = 0;
+  std::int64_t tb2 = 0;
+  std::int64_t ta4 = 0;
+  std::int64_t tb4 = 0;
+  for (std::size_t b = 0; b < suite.size(); ++b) {
+    for (std::size_t c = 0; c < kPaperCases.size(); ++c) {
+      if (kPaperCases[c].issue_width == 2) {
+        ta2 += results[b][c].ta;
+        tb2 += results[b][c].tb;
+      } else {
+        ta4 += results[b][c].ta;
+        tb4 += results[b][c].tb;
+      }
+    }
+  }
+  const double imp2 = static_cast<double>(ta2 - tb2) / static_cast<double>(ta2);
+  const double imp4 = static_cast<double>(ta4 - tb4) / static_cast<double>(ta4);
+
+  std::printf("Table 3: Improved percentage for the statistics\n\n%s\n",
+              table.render().c_str());
+  std::printf("Overall improvement, 2-issue: %s   (paper: 83.37%%)\n",
+              format_percent(imp2).c_str());
+  std::printf("Overall improvement, 4-issue: %s   (paper: 85.1%%)\n",
+              format_percent(imp4).c_str());
+  return 0;
+}

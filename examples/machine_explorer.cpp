@@ -1,0 +1,75 @@
+// Machine-design explorer: reads a LoopLang file (or uses a built-in
+// reduction loop) and sweeps issue width and function-unit counts,
+// reporting the parallel time under both schedulers — the kind of
+// design-space table an architect would derive from the paper's model.
+//
+// Usage: machine_explorer [loop-file.loop]
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sbmp/core/pipeline.h"
+
+namespace {
+
+constexpr const char* kDefaultLoop = R"(
+# Reduction-style loop after reduction replacement (partial sums in
+# PS[], combined later), plus gather work.
+doacross I = 1, 100
+  PS[I] = PS[I-1] + X[I] * X[I]
+  W1[I] = X[I-1] * c1 + Y[I+1]
+  W2[I] = W1[I] - Y[I] / c2
+  W3[I] = W2[I] * c3 + Y[I-2]
+  Z[I]  = W3[I] + X[I+2] * c4
+end
+)";
+
+std::string read_file(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(1);
+  }
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sbmp;
+
+  const std::string source = argc > 1 ? read_file(argv[1]) : kDefaultLoop;
+  const Program program = parse_program_or_throw(source);
+
+  std::printf("%-8s %-6s  %10s  %10s  %9s\n", "width", "#FU", "list",
+              "sync-aware", "improve");
+  for (const int width : {1, 2, 4, 8}) {
+    for (const int fus : {1, 2, 4}) {
+      if (fus > width) continue;
+      PipelineOptions options;
+      options.machine = MachineConfig::paper(width, fus);
+      options.iterations = 100;
+      std::int64_t ta = 0;
+      std::int64_t tb = 0;
+      for (const auto& loop : program.loops) {
+        if (analyze_dependences(loop).is_doall()) continue;
+        const SchedulerComparison cmp = compare_schedulers(loop, options);
+        ta += cmp.baseline.parallel_time();
+        tb += cmp.improved.parallel_time();
+      }
+      std::printf("%-8d %-6d  %10lld  %10lld  %8.2f%%\n", width, fus,
+                  static_cast<long long>(ta), static_cast<long long>(tb),
+                  ta > 0 ? 100.0 * static_cast<double>(ta - tb) /
+                               static_cast<double>(ta)
+                         : 0.0);
+    }
+  }
+  std::printf(
+      "\nTakeaway: the sync-aware time is set by the synchronization\n"
+      "path, so wider issue buys little; list scheduling can even get\n"
+      "slower with width as waits float further forward.\n");
+  return 0;
+}

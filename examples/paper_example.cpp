@@ -1,0 +1,74 @@
+// Walks the paper's running example through every stage, printing the
+// artifacts of Figures 1, 2, 3 and 4: the synchronized loop, the
+// three-address code, the DFG component partition with the
+// synchronization path, and both schedules with their parallel times.
+#include <cstdio>
+
+#include "sbmp/core/pipeline.h"
+
+int main() {
+  using namespace sbmp;
+
+  const char* source = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+  const Loop loop = parse_single_loop_or_throw(source);
+
+  // --- Fig 1: dependences and synchronization insertion --------------
+  const DepAnalysis deps = analyze_dependences(loop);
+  std::printf("=== Fig 1: dependences ===\n");
+  for (const auto& dep : deps.deps)
+    std::printf("  %s\n", dep.to_string().c_str());
+  const SyncedLoop synced = insert_synchronization(loop, deps);
+  std::printf("\n=== Fig 1(b): synchronized loop ===\n%s\n",
+              synced.to_string().c_str());
+
+  // --- Fig 2: three-address code --------------------------------------
+  const TacFunction tac = generate_tac(synced);
+  std::printf("=== Fig 2: DLX-like three-address code ===\n%s\n",
+              tac.to_string().c_str());
+
+  // --- Fig 3: DFG partition and synchronization paths -----------------
+  const MachineConfig machine = MachineConfig::paper(4, 1);
+  const Dfg dfg(tac, machine);
+  std::printf("=== Fig 3: DFG components ===\n");
+  for (int c = 0; c < dfg.num_components(); ++c) {
+    std::printf("  component %d (%s):", c,
+                component_kind_name(dfg.component_kind(c)));
+    for (const int id : dfg.component_members(c)) std::printf(" %d", id);
+    std::printf("\n");
+  }
+  for (const auto& pair : dfg.pairs()) {
+    const auto path = dfg.sync_path(pair);
+    std::printf("  pair d=%lld wait=%d send=%d: ",
+                static_cast<long long>(pair.distance), pair.wait_instr,
+                pair.send_instr);
+    if (path.empty()) {
+      std::printf("no directed path (convertible to LFD)\n");
+    } else {
+      std::printf("SP =");
+      for (const int id : path) std::printf(" %d", id);
+      std::printf("\n");
+    }
+  }
+
+  // --- Fig 4: schedules and parallel times -----------------------------
+  PipelineOptions options;
+  options.machine = machine;
+  options.iterations = 100;
+  const SchedulerComparison cmp = compare_schedulers(loop, options);
+  std::printf("\n=== Fig 4(a): list scheduling ===\n%s",
+              cmp.baseline.schedule.to_string(cmp.baseline.tac, 4).c_str());
+  std::printf("  T_a = %lld cycles\n",
+              static_cast<long long>(cmp.baseline.parallel_time()));
+  std::printf("\n=== Fig 4(b): new instruction scheduling ===\n%s",
+              cmp.improved.schedule.to_string(cmp.improved.tac, 4).c_str());
+  std::printf("  T_b = %lld cycles\n",
+              static_cast<long long>(cmp.improved.parallel_time()));
+  std::printf("\nimprovement: %.2f%%\n", cmp.improvement() * 100.0);
+  return 0;
+}

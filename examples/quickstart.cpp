@@ -1,0 +1,55 @@
+// Quickstart: compile a DOACROSS loop, schedule it with list scheduling
+// and with the paper's sync-aware technique, and compare the simulated
+// parallel execution times on a 4-issue superscalar multiprocessor.
+#include <cstdio>
+
+#include "sbmp/core/pipeline.h"
+
+int main() {
+  using namespace sbmp;
+
+  // The paper's Fig 1(a) running example.
+  const char* source = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+
+  const Loop loop = parse_single_loop_or_throw(source);
+
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(/*issue_width=*/4,
+                                         /*fus_per_class=*/1);
+  options.iterations = 100;
+
+  const SchedulerComparison cmp = compare_schedulers(loop, options);
+
+  std::printf("DOACROSS loop, %lld iterations, %s\n\n",
+              static_cast<long long>(options.iterations),
+              options.machine.label().c_str());
+  std::printf("Synchronized loop:\n%s\n",
+              cmp.improved.synced.to_string().c_str());
+  std::printf("Three-address code (%d instructions):\n%s\n",
+              cmp.improved.tac.size(),
+              cmp.improved.tac.to_string().c_str());
+
+  std::printf("List schedule (%d groups):\n%s\n",
+              cmp.baseline.schedule.length(),
+              cmp.baseline.schedule
+                  .to_string(cmp.baseline.tac, options.machine.issue_width)
+                  .c_str());
+  std::printf("Sync-aware schedule (%d groups):\n%s\n",
+              cmp.improved.schedule.length(),
+              cmp.improved.schedule
+                  .to_string(cmp.improved.tac, options.machine.issue_width)
+                  .c_str());
+
+  std::printf("Parallel time, list scheduling      : %lld cycles\n",
+              static_cast<long long>(cmp.baseline.parallel_time()));
+  std::printf("Parallel time, sync-aware scheduling: %lld cycles\n",
+              static_cast<long long>(cmp.improved.parallel_time()));
+  std::printf("Improvement: %.2f%%\n", cmp.improvement() * 100.0);
+  return 0;
+}

@@ -1,0 +1,28 @@
+#pragma once
+
+#include "sbmp/codegen/tac.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+
+/// Lowers a synchronized DOACROSS loop body to DLX-like three-address
+/// code, reproducing the shape of the paper's Fig 2:
+///
+///  * per statement: waits, LHS address computation, RHS lowering in
+///    post-order (operand addresses and loads as encountered, then the
+///    operation tree), the store, then sends;
+///  * array addresses are `4 * (c*I + k)`: an integer add for the offset
+///    (skipped when the subscript is plain `I`), a scaling shift on the
+///    shifter unit, then the load/store — exactly the paper's
+///    `t2 = I - 2; t3 = 4*t2; t4 = A[t3]` sequence;
+///  * address computations are value-numbered across statements (the
+///    paper reuses `t1 = 4*I` for `B[I]`, `A[I]` and the `B[I]` reload),
+///    but loads are never reused: a statement always re-loads from
+///    memory, which is what makes dependence sinks genuine loads.
+///
+/// Waits record the load/store instructions of their dependence sink and
+/// sends record the access instructions of their dependence source, so
+/// the DFG builder can insert the synchronization-condition arcs.
+[[nodiscard]] TacFunction generate_tac(const SyncedLoop& synced);
+
+}  // namespace sbmp

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sbmp/ir/expr.h"
+#include "sbmp/machine/machine.h"
+
+namespace sbmp {
+
+/// An instruction operand: a virtual register, an immediate, or absent.
+struct Operand {
+  enum class Kind { kNone, kReg, kImm };
+  Kind kind = Kind::kNone;
+  int reg = 0;
+  std::int64_t imm = 0;
+
+  [[nodiscard]] static Operand none() { return {}; }
+  [[nodiscard]] static Operand r(int reg) {
+    return {Kind::kReg, reg, 0};
+  }
+  [[nodiscard]] static Operand i(std::int64_t imm) {
+    return {Kind::kImm, 0, imm};
+  }
+  [[nodiscard]] bool is_reg() const { return kind == Kind::kReg; }
+};
+
+/// One three-address instruction of the DLX-like loop body. Virtual
+/// registers are single-assignment: every temporary is defined exactly
+/// once per iteration, so register dependences are pure flow.
+struct TacInstr {
+  int id = 0;  ///< 1-based position, matching the paper's Fig 2 numbering.
+  Opcode op = Opcode::kAdd;
+  bool is_float = false;
+  int dst = 0;  ///< Defined register; 0 when the opcode defines none.
+  Operand a;
+  Operand b;
+  /// Memory ops: accessed array and its affine subscript (used for exact
+  /// same-iteration alias tests when building the DFG).
+  std::string array;
+  AffineIndex mem_index;
+  int stmt_id = 0;  ///< Source statement; 0 for none.
+  // Synchronization payload (kWait / kSend only):
+  int signal_stmt = 0;
+  std::int64_t sync_distance = 0;  ///< kWait only.
+  /// kWait: the dependence-sink access instructions this wait guards
+  /// (they must not be scheduled before it). kSend: the dependence-source
+  /// access instructions (the send must not be scheduled before them).
+  std::vector<int> guarded_instrs;
+
+  [[nodiscard]] bool is_sync() const {
+    return op == Opcode::kWait || op == Opcode::kSend;
+  }
+  [[nodiscard]] bool is_mem() const {
+    return op == Opcode::kLoad || op == Opcode::kStore;
+  }
+  [[nodiscard]] FuClass fu() const { return fu_class_of(op, is_float); }
+};
+
+/// The lowered body of one DOACROSS iteration.
+struct TacFunction {
+  std::vector<TacInstr> instrs;  ///< instrs[k].id == k+1.
+  /// Register names: index by register id (1-based; names_[0] unused).
+  std::vector<std::string> reg_names;
+  int iter_reg = 0;  ///< Live-in register holding the iteration number.
+  std::map<std::string, int> scalar_regs;  ///< Live-in loop parameters.
+  std::string iter_var;
+
+  [[nodiscard]] int size() const { return static_cast<int>(instrs.size()); }
+  [[nodiscard]] const TacInstr& by_id(int id) const {
+    return instrs[static_cast<std::size_t>(id - 1)];
+  }
+  [[nodiscard]] bool is_live_in(int reg) const;
+  [[nodiscard]] std::string reg_name(int reg) const;
+  /// Fig 2-style listing, one numbered instruction per line.
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string instr_to_string(const TacInstr& instr) const;
+};
+
+}  // namespace sbmp

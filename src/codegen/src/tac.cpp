@@ -1,0 +1,94 @@
+#include "sbmp/codegen/tac.h"
+
+namespace sbmp {
+
+bool TacFunction::is_live_in(int reg) const {
+  if (reg == iter_reg) return true;
+  for (const auto& [name, r] : scalar_regs)
+    if (r == reg) return true;
+  return false;
+}
+
+std::string TacFunction::reg_name(int reg) const {
+  if (reg <= 0 || reg >= static_cast<int>(reg_names.size())) return "?";
+  return reg_names[static_cast<std::size_t>(reg)];
+}
+
+namespace {
+std::string operand_str(const TacFunction& fn, const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::kReg:
+      return fn.reg_name(op.reg);
+    case Operand::Kind::kImm:
+      return std::to_string(op.imm);
+    case Operand::Kind::kNone:
+      return "";
+  }
+  return "";
+}
+
+std::string binary_str(const TacFunction& fn, const TacInstr& i,
+                       const char* symbol) {
+  std::string rhs = operand_str(fn, i.a);
+  const std::string b = operand_str(fn, i.b);
+  // Render "x + -2" as "x - 2" to match the paper's listing style.
+  if (i.b.kind == Operand::Kind::kImm && i.b.imm < 0 &&
+      std::string(symbol) == "+") {
+    return rhs + " - " + std::to_string(-i.b.imm);
+  }
+  return rhs + " " + symbol + " " + b;
+}
+}  // namespace
+
+std::string TacFunction::instr_to_string(const TacInstr& i) const {
+  switch (i.op) {
+    case Opcode::kWait: {
+      std::string dist = iter_var;
+      dist += i.sync_distance >= 0 ? "-" : "+";
+      dist += std::to_string(i.sync_distance >= 0 ? i.sync_distance
+                                                  : -i.sync_distance);
+      return "Wait_Signal(S" + std::to_string(i.signal_stmt) + ", " + dist +
+             ")";
+    }
+    case Opcode::kSend:
+      return "Send_Signal(S" + std::to_string(i.signal_stmt) + ")";
+    case Opcode::kLoad:
+      return reg_name(i.dst) + " = " + i.array + "[" + operand_str(*this, i.a) +
+             "]";
+    case Opcode::kStore:
+      return i.array + "[" + operand_str(*this, i.a) +
+             "] = " + operand_str(*this, i.b);
+    case Opcode::kAddI:
+      return reg_name(i.dst) + " = " + binary_str(*this, i, "+");
+    case Opcode::kMulI:
+      return reg_name(i.dst) + " = " + std::to_string(i.b.imm) + " * " +
+             operand_str(*this, i.a);
+    case Opcode::kShl:
+      // Scaling shifts render multiplicatively like the paper ("4 * t2").
+      if (i.b.kind == Operand::Kind::kImm) {
+        return reg_name(i.dst) + " = " +
+               std::to_string(std::int64_t{1} << i.b.imm) + " * " +
+               operand_str(*this, i.a);
+      }
+      return reg_name(i.dst) + " = " + binary_str(*this, i, "<<");
+    case Opcode::kAdd:
+      return reg_name(i.dst) + " = " + binary_str(*this, i, "+");
+    case Opcode::kSub:
+      return reg_name(i.dst) + " = " + binary_str(*this, i, "-");
+    case Opcode::kMul:
+      return reg_name(i.dst) + " = " + binary_str(*this, i, "*");
+    case Opcode::kDiv:
+      return reg_name(i.dst) + " = " + binary_str(*this, i, "/");
+  }
+  return "?";
+}
+
+std::string TacFunction::to_string() const {
+  std::string out;
+  for (const auto& i : instrs) {
+    out += std::to_string(i.id) + ": " + instr_to_string(i) + "\n";
+  }
+  return out;
+}
+
+}  // namespace sbmp

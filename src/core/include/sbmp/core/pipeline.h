@@ -1,0 +1,124 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sbmp/codegen/codegen.h"
+#include "sbmp/dep/dependence.h"
+#include "sbmp/dfg/dfg.h"
+#include "sbmp/frontend/parser.h"
+#include "sbmp/machine/machine.h"
+#include "sbmp/restructure/restructure.h"
+#include "sbmp/sched/schedulers.h"
+#include "sbmp/sim/analytic.h"
+#include "sbmp/sim/simulator.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+
+/// Options for the full compile-schedule-simulate pipeline. This mirrors
+/// the paper's Fig 5 statistical model: source -> DOACROSS extraction ->
+/// synchronization insertion -> DLX code -> scheduler -> simulator.
+struct PipelineOptions {
+  MachineConfig machine = MachineConfig::paper(4, 1);
+  SchedulerKind scheduler = SchedulerKind::kSyncAware;
+  SyncAwareOptions sync_aware;
+  SyncOptions sync;
+  /// Iterations to simulate; 0 uses the loop's own trip count. The
+  /// paper's tables use 100.
+  std::int64_t iterations = 100;
+  /// Processor count; 0 means one per iteration.
+  int processors = 0;
+  /// Run the staleness check on every loop-carried dependence.
+  bool check_ordering = false;
+  /// Drop waits whose ordering is already implied at the access level
+  /// (the scheduling-safe analysis in sbmp/dfg/redundancy.h). Note this
+  /// is distinct from SyncOptions::eliminate_redundant, whose
+  /// statement-level covering is only sound without instruction
+  /// scheduling.
+  bool eliminate_redundant_waits = false;
+  /// Enforce the paper's "never degrades" guarantee for the sync-aware
+  /// scheduler: when the heuristic placement simulates slower than plain
+  /// list scheduling (possible when everything sits on the critical
+  /// path and packing noise dominates), fall back to the list schedule.
+  bool never_degrade = true;
+};
+
+/// Everything produced for one loop.
+struct LoopReport {
+  std::string name;
+  Loop loop;
+  DepAnalysis deps;
+  SyncedLoop synced;
+  TacFunction tac;
+  std::optional<Dfg> dfg;
+  Schedule schedule;
+  SimResult sim;
+  bool doall = false;
+  /// Transformations the restructuring pre-pass applied (only when the
+  /// pipeline ran on a pre-form loop).
+  std::vector<RestructureNote> restructure_notes;
+  /// Waits dropped by the access-level redundancy pass (when enabled).
+  int waits_eliminated = 0;
+  /// True when the never-degrade guard replaced the sync-aware schedule
+  /// with the list schedule.
+  bool used_list_fallback = false;
+  std::vector<std::string> schedule_violations;
+  std::vector<std::string> ordering_violations;
+
+  [[nodiscard]] std::int64_t parallel_time() const {
+    return sim.parallel_time;
+  }
+  [[nodiscard]] bool valid() const {
+    return schedule_violations.empty() && ordering_violations.empty();
+  }
+};
+
+/// Aggregate over a program (a benchmark).
+struct ProgramReport {
+  std::vector<LoopReport> loops;
+  /// Sum of the parallel times of the DOACROSS loops (the paper's total
+  /// execution time metric; Doall loops need no synchronization and are
+  /// excluded, matching the statistical model).
+  std::int64_t total_parallel_time = 0;
+  int doacross_loops = 0;
+  int doall_loops = 0;
+};
+
+/// Runs the full pipeline on one loop.
+[[nodiscard]] LoopReport run_pipeline(const Loop& loop,
+                                      const PipelineOptions& options);
+
+/// Restructures a pre-form loop (scalar expansion, reduction
+/// replacement, induction-variable substitution — the paper's Fig 5
+/// front half) and runs the pipeline on the result. Throws SbmpError if
+/// restructuring fails.
+[[nodiscard]] LoopReport run_pipeline(const PreLoop& pre,
+                                      const PipelineOptions& options);
+
+/// Runs the pipeline on each loop of `program` and aggregates.
+[[nodiscard]] ProgramReport run_pipeline(const Program& program,
+                                         const PipelineOptions& options);
+
+/// Parses `source` and runs the pipeline on every loop in it. Throws
+/// SbmpError on parse failure.
+[[nodiscard]] ProgramReport run_pipeline_source(std::string_view source,
+                                                const PipelineOptions& options);
+
+/// Side-by-side result of two schedulers on the same loop, the paper's
+/// core comparison.
+struct SchedulerComparison {
+  LoopReport baseline;  ///< list scheduling (T_a)
+  LoopReport improved;  ///< sync-aware scheduling (T_b)
+
+  /// (T_a - T_b) / T_a; the paper's "improved percentage".
+  [[nodiscard]] double improvement() const;
+};
+
+[[nodiscard]] SchedulerComparison compare_schedulers(
+    const Loop& loop, const PipelineOptions& base_options);
+
+}  // namespace sbmp

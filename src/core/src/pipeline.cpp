@@ -1,0 +1,113 @@
+#include "sbmp/core/pipeline.h"
+
+#include "sbmp/dfg/redundancy.h"
+
+namespace sbmp {
+
+LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
+  LoopReport report;
+  report.name = loop.name;
+  report.loop = loop;
+  report.deps = analyze_dependences(loop);
+  report.doall = report.deps.is_doall();
+  report.synced = insert_synchronization(loop, report.deps, options.sync);
+  report.tac = generate_tac(report.synced);
+  if (options.eliminate_redundant_waits) {
+    report.tac = eliminate_redundant_waits(report.tac, options.machine,
+                                           &report.waits_eliminated);
+  }
+  report.dfg.emplace(report.tac, options.machine);
+
+  const std::int64_t iterations =
+      options.iterations > 0 ? options.iterations : loop.trip_count();
+  report.schedule =
+      options.scheduler == SchedulerKind::kSyncAware
+          ? schedule_sync_aware(report.tac, *report.dfg, options.machine,
+                                iterations, options.sync_aware)
+          : run_scheduler(options.scheduler, report.tac, *report.dfg,
+                          options.machine, iterations);
+  report.schedule_violations = verify_schedule(
+      report.tac, *report.dfg, options.machine, report.schedule);
+
+  SimOptions sim_options;
+  sim_options.iterations = iterations;
+  sim_options.processors = options.processors;
+  report.sim = simulate(report.tac, *report.dfg, report.schedule,
+                        options.machine, sim_options);
+
+  if (options.scheduler == SchedulerKind::kSyncAware &&
+      options.never_degrade) {
+    // The paper's technique never degrades versus list scheduling; when
+    // the phased placement loses to it (dense critical paths where
+    // packing noise dominates), keep the list schedule instead.
+    Schedule list = schedule_list(report.tac, *report.dfg, options.machine);
+    const SimResult list_sim = simulate(report.tac, *report.dfg, list,
+                                        options.machine, sim_options);
+    if (list_sim.parallel_time < report.sim.parallel_time) {
+      report.schedule = std::move(list);
+      report.sim = list_sim;
+      report.used_list_fallback = true;
+      report.schedule_violations = verify_schedule(
+          report.tac, *report.dfg, options.machine, report.schedule);
+    }
+  }
+  if (options.check_ordering) {
+    std::vector<Dependence> carried;
+    for (const auto& dep : report.deps.deps)
+      if (dep.loop_carried()) carried.push_back(dep);
+    report.ordering_violations = check_cross_iteration_ordering(
+        report.tac, *report.dfg, report.schedule, options.machine,
+        sim_options, carried);
+  }
+  return report;
+}
+
+LoopReport run_pipeline(const PreLoop& pre, const PipelineOptions& options) {
+  const RestructureResult restructured = restructure_or_throw(pre);
+  if (!restructured.ok)
+    throw SbmpError("restructuring failed for loop '" + pre.name + "'");
+  LoopReport report = run_pipeline(restructured.loop, options);
+  report.restructure_notes = restructured.notes;
+  return report;
+}
+
+ProgramReport run_pipeline(const Program& program,
+                           const PipelineOptions& options) {
+  ProgramReport out;
+  for (const auto& loop : program.loops) {
+    LoopReport report = run_pipeline(loop, options);
+    if (report.doall) {
+      ++out.doall_loops;
+    } else {
+      ++out.doacross_loops;
+      out.total_parallel_time += report.parallel_time();
+    }
+    out.loops.push_back(std::move(report));
+  }
+  return out;
+}
+
+ProgramReport run_pipeline_source(std::string_view source,
+                                  const PipelineOptions& options) {
+  return run_pipeline(parse_program_or_throw(source), options);
+}
+
+double SchedulerComparison::improvement() const {
+  const auto ta = static_cast<double>(baseline.parallel_time());
+  const auto tb = static_cast<double>(improved.parallel_time());
+  if (ta <= 0.0) return 0.0;
+  return (ta - tb) / ta;
+}
+
+SchedulerComparison compare_schedulers(const Loop& loop,
+                                       const PipelineOptions& base_options) {
+  SchedulerComparison out;
+  PipelineOptions options = base_options;
+  options.scheduler = SchedulerKind::kList;
+  out.baseline = run_pipeline(loop, options);
+  options.scheduler = SchedulerKind::kSyncAware;
+  out.improved = run_pipeline(loop, options);
+  return out;
+}
+
+}  // namespace sbmp

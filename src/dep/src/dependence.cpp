@@ -1,0 +1,320 @@
+#include "sbmp/dep/dependence.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <tuple>
+
+namespace sbmp {
+
+const char* dep_kind_name(DepKind k) {
+  switch (k) {
+    case DepKind::kFlow:
+      return "flow";
+    case DepKind::kAnti:
+      return "anti";
+    case DepKind::kOutput:
+      return "output";
+  }
+  return "?";
+}
+
+std::string Dependence::to_string() const {
+  std::string out = std::string(dep_kind_name(kind)) + " S" +
+                    std::to_string(src_stmt) + " -> S" +
+                    std::to_string(snk_stmt) + " on " + array() + " d=" +
+                    std::to_string(distance);
+  if (!constant_distance) out += " (irregular)";
+  if (loop_carried()) out += lexically_forward ? " LFD" : " LBD";
+  return out;
+}
+
+bool DepAnalysis::is_doall() const {
+  return std::none_of(deps.begin(), deps.end(),
+                      [](const Dependence& d) { return d.loop_carried(); });
+}
+
+bool DepAnalysis::is_synchronizable() const {
+  return std::all_of(deps.begin(), deps.end(), [](const Dependence& d) {
+    return !d.loop_carried() || d.constant_distance;
+  });
+}
+
+int DepAnalysis::count_carried() const {
+  return static_cast<int>(
+      std::count_if(deps.begin(), deps.end(),
+                    [](const Dependence& d) { return d.loop_carried(); }));
+}
+
+int DepAnalysis::count_lfd() const {
+  return static_cast<int>(std::count_if(
+      deps.begin(), deps.end(), [](const Dependence& d) {
+        return d.loop_carried() && d.lexically_forward;
+      }));
+}
+
+int DepAnalysis::count_lbd() const {
+  return static_cast<int>(std::count_if(
+      deps.begin(), deps.end(), [](const Dependence& d) {
+        return d.loop_carried() && !d.lexically_forward;
+      }));
+}
+
+int DepAnalysis::count_carried_of(DepKind kind) const {
+  return static_cast<int>(std::count_if(
+      deps.begin(), deps.end(), [kind](const Dependence& d) {
+        return d.loop_carried() && d.kind == kind;
+      }));
+}
+
+namespace {
+
+/// One static memory access of the loop body.
+struct Access {
+  int stmt = 0;      ///< 1-based statement id.
+  bool is_write = false;
+  int phase = 0;     ///< 0 = RHS read, 1 = LHS write (within a statement).
+  ArrayRef ref;
+};
+
+/// Execution order of two accesses within the same iteration.
+bool executes_before(const Access& a, const Access& b) {
+  if (a.stmt != b.stmt) return a.stmt < b.stmt;
+  return a.phase < b.phase;
+}
+
+std::vector<Access> collect_accesses(const Loop& loop) {
+  std::vector<Access> out;
+  for (const auto& stmt : loop.body) {
+    std::vector<ArrayRef> reads;
+    collect_array_refs(stmt.rhs, reads);
+    // Dedup repeated reads of the same element within one statement: they
+    // produce identical dependences.
+    std::set<std::pair<std::string, std::pair<std::int64_t, std::int64_t>>>
+        seen;
+    for (const auto& r : reads) {
+      if (seen.insert({r.array, {r.index.coef, r.index.offset}}).second)
+        out.push_back({stmt.id, false, 0, r});
+    }
+    out.push_back({stmt.id, true, 1, stmt.lhs});
+  }
+  return out;
+}
+
+DepKind kind_of(const Access& src, const Access& snk) {
+  if (src.is_write && !snk.is_write) return DepKind::kFlow;
+  if (!src.is_write && snk.is_write) return DepKind::kAnti;
+  return DepKind::kOutput;
+}
+
+/// Accumulates the conflict distances observed for one ordered access
+/// pair, then collapses them into at most two Dependence records: one
+/// loop-independent (distance 0) and one loop-carried (minimum positive
+/// distance; `constant` iff every observed positive distance is a
+/// multiple of the minimum, which makes uniform Wait(S, i-d) sync sound).
+struct PairConflicts {
+  bool has_zero = false;
+  std::set<std::int64_t> positive;
+
+  void add(std::int64_t d) {
+    if (d == 0)
+      has_zero = true;
+    else
+      positive.insert(d);
+  }
+
+  void emit(const Access& src, const Access& snk, bool capped,
+            std::vector<Dependence>& out) const {
+    const bool forward = src.stmt < snk.stmt;
+    if (has_zero) {
+      out.push_back({kind_of(src, snk), src.stmt, snk.stmt, src.ref, snk.ref,
+                     0, true, forward});
+    }
+    if (!positive.empty()) {
+      const std::int64_t dmin = *positive.begin();
+      bool constant = !capped;
+      for (const auto d : positive) {
+        if (d % dmin != 0) {
+          constant = false;
+          break;
+        }
+      }
+      out.push_back({kind_of(src, snk), src.stmt, snk.stmt, src.ref, snk.ref,
+                     dmin, constant, forward});
+    }
+  }
+};
+
+/// Enumeration cap: above this trip count, unequal-coefficient pairs are
+/// handled conservatively instead of exactly.
+constexpr std::int64_t kExactTripCap = 1 << 16;
+
+/// Computes the conflicts of accesses `a` (iteration i1) and `b`
+/// (iteration i2): all (i1, i2) in [L,U]^2 with equal addresses. Results
+/// are fed into `fwd` (i1 < i2, distance i2-i1), `bwd` (i2 < i1) and the
+/// distance-0 bucket of whichever pair executes first.
+void conflicts(const Access& a, const Access& b, std::int64_t lo,
+               std::int64_t hi, PairConflicts& fwd, PairConflicts& bwd,
+               bool& capped) {
+  const auto& ia = a.ref.index;
+  const auto& ib = b.ref.index;
+  const std::int64_t trip = hi - lo + 1;
+  if (trip <= 0) return;
+
+  const auto add_pair = [&](std::int64_t i1, std::int64_t i2) {
+    if (i1 < i2)
+      fwd.add(i2 - i1);
+    else if (i2 < i1)
+      bwd.add(i1 - i2);
+    else if (executes_before(a, b))
+      fwd.add(0);
+    else if (executes_before(b, a))
+      bwd.add(0);
+    // Same access instance conflicting with itself is not a dependence.
+  };
+
+  if (ia.coef == ib.coef) {
+    if (ia.coef == 0) {
+      // Constant subscripts: either never conflict or conflict in every
+      // iteration pair. The conflict relation is the complete graph,
+      // whose ordering is exactly enforced by the distance-1 chain.
+      if (ia.offset != ib.offset) return;
+      if (&a != &b) add_pair(lo, lo);  // same-iteration order
+      if (trip >= 2) {
+        fwd.add(1);
+        bwd.add(1);
+      }
+      return;
+    }
+    // c*i1 + b1 == c*i2 + b2  =>  i2 - i1 = (b1 - b2) / c.
+    const std::int64_t diff = ia.offset - ib.offset;
+    if (diff % ia.coef != 0) return;
+    const std::int64_t delta = diff / ia.coef;  // i2 = i1 + delta
+    const std::int64_t mag = delta >= 0 ? delta : -delta;
+    if (mag >= trip) return;
+    if (delta == 0 && &a == &b) return;
+    if (delta >= 0)
+      add_pair(lo, lo + delta);
+    else
+      add_pair(lo - delta, lo);
+    return;
+  }
+
+  if (trip > kExactTripCap) {
+    // Conservative fallback for irregular subscript pairs on huge loops:
+    // assume both directions may conflict at any distance.
+    capped = true;
+    if (&a != &b || a.is_write) {
+      fwd.add(1);
+      bwd.add(1);
+      if (executes_before(a, b)) fwd.add(0);
+      if (executes_before(b, a)) bwd.add(0);
+    }
+    return;
+  }
+
+  // Exact enumeration: for each i2, solve for i1 (or enumerate when the
+  // `a` subscript is constant).
+  for (std::int64_t i2 = lo; i2 <= hi; ++i2) {
+    const std::int64_t addr = ib.eval(i2);
+    if (ia.coef == 0) {
+      if (ia.offset != addr) continue;
+      for (std::int64_t i1 = lo; i1 <= hi; ++i1) {
+        if (&a == &b && i1 == i2) continue;
+        add_pair(i1, i2);
+      }
+      continue;
+    }
+    const std::int64_t num = addr - ia.offset;
+    if (num % ia.coef != 0) continue;
+    const std::int64_t i1 = num / ia.coef;
+    if (i1 < lo || i1 > hi) continue;
+    if (&a == &b && i1 == i2) continue;
+    add_pair(i1, i2);
+  }
+}
+
+void dedup_and_sort(std::vector<Dependence>& deps) {
+  const auto key = [](const Dependence& d) {
+    return std::tuple(d.src_stmt, d.snk_stmt, static_cast<int>(d.kind),
+                      d.src_ref.array, d.src_ref.index.coef,
+                      d.src_ref.index.offset, d.snk_ref.index.coef,
+                      d.snk_ref.index.offset, d.distance);
+  };
+  std::sort(deps.begin(), deps.end(),
+            [&](const Dependence& a, const Dependence& b) {
+              return key(a) < key(b);
+            });
+  deps.erase(std::unique(deps.begin(), deps.end(),
+                         [&](const Dependence& a, const Dependence& b) {
+                           return key(a) == key(b);
+                         }),
+             deps.end());
+}
+
+}  // namespace
+
+DepAnalysis analyze_dependences(const Loop& loop) {
+  DepAnalysis result;
+  const auto accesses = collect_accesses(loop);
+  const std::int64_t lo = loop.lower;
+  const std::int64_t hi = loop.upper;
+
+  for (std::size_t x = 0; x < accesses.size(); ++x) {
+    for (std::size_t y = x; y < accesses.size(); ++y) {
+      const Access& a = accesses[x];
+      const Access& b = accesses[y];
+      if (a.ref.array != b.ref.array) continue;
+      if (!a.is_write && !b.is_write) continue;
+      if (x == y && !a.is_write) continue;
+      PairConflicts fwd;  // a is source
+      PairConflicts bwd;  // b is source
+      bool capped = false;
+      conflicts(a, b, lo, hi, fwd, bwd, capped);
+      fwd.emit(a, b, capped, result.deps);
+      bwd.emit(b, a, capped, result.deps);
+    }
+  }
+  dedup_and_sort(result.deps);
+  return result;
+}
+
+DepAnalysis analyze_dependences_bruteforce(const Loop& loop) {
+  DepAnalysis result;
+  const auto accesses = collect_accesses(loop);
+  const std::int64_t lo = loop.lower;
+  const std::int64_t hi = loop.upper;
+
+  for (std::size_t x = 0; x < accesses.size(); ++x) {
+    for (std::size_t y = x; y < accesses.size(); ++y) {
+      const Access& a = accesses[x];
+      const Access& b = accesses[y];
+      if (a.ref.array != b.ref.array) continue;
+      if (!a.is_write && !b.is_write) continue;
+      if (x == y && !a.is_write) continue;
+      PairConflicts fwd;
+      PairConflicts bwd;
+      for (std::int64_t i1 = lo; i1 <= hi; ++i1) {
+        for (std::int64_t i2 = lo; i2 <= hi; ++i2) {
+          if (x == y && i1 == i2) continue;
+          if (a.ref.index.eval(i1) != b.ref.index.eval(i2)) continue;
+          if (i1 < i2)
+            fwd.add(i2 - i1);
+          else if (i2 < i1)
+            bwd.add(i1 - i2);
+          else if (executes_before(a, b))
+            fwd.add(0);
+          else if (executes_before(b, a))
+            bwd.add(0);
+        }
+      }
+      fwd.emit(a, b, /*capped=*/false, result.deps);
+      bwd.emit(b, a, /*capped=*/false, result.deps);
+    }
+  }
+  dedup_and_sort(result.deps);
+  return result;
+}
+
+}  // namespace sbmp

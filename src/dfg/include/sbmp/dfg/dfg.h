@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sbmp/codegen/tac.h"
+#include "sbmp/machine/machine.h"
+
+namespace sbmp {
+
+/// Classification of a weakly-connected DFG component, following the
+/// paper's definitions: a Sig graph contains Send_Signal instructions
+/// only, a Wat graph Wait_Signals only, a Sigwat graph both, and a plain
+/// component neither.
+enum class ComponentKind { kPlain, kSig, kWat, kSigwat };
+
+[[nodiscard]] const char* component_kind_name(ComponentKind k);
+
+/// Why a DFG edge exists.
+enum class EdgeKind {
+  kData,  ///< register flow (def -> use)
+  kMem,   ///< same-iteration memory ordering on one array
+  kSync,  ///< synchronization condition: Wat -> Snk or Src -> Sig
+};
+
+struct DfgEdge {
+  int from = 0;  ///< instruction id
+  int to = 0;    ///< instruction id
+  int latency = 1;
+  EdgeKind kind = EdgeKind::kData;
+};
+
+/// An instruction-level synchronization pair: one Wait_Signal and the
+/// Send_Signal it consumes (they share `signal_stmt`).
+struct SyncPair {
+  int wait_instr = 0;
+  int send_instr = 0;
+  int signal_stmt = 0;
+  std::int64_t distance = 1;
+};
+
+/// The data-flow graph of one lowered iteration, with the paper's extra
+/// synchronization-condition arcs, partitioned into weakly-connected
+/// components.
+class Dfg {
+ public:
+  /// Builds the DFG for `tac` with edge latencies from `config`:
+  ///  * register flow edges def -> use (latency = producer latency);
+  ///  * same-iteration memory-ordering edges between accesses of one
+  ///    array when at least one is a store and the subscripts may refer
+  ///    to the same element (exact test for equal coefficients);
+  ///  * synchronization-condition arcs Wait -> sink access and source
+  ///    access -> Send, so no schedule can read stale data.
+  Dfg(const TacFunction& tac, const MachineConfig& config);
+
+  [[nodiscard]] int size() const { return n_; }
+  [[nodiscard]] const std::vector<DfgEdge>& succs(int id) const {
+    return succs_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<DfgEdge>& preds(int id) const {
+    return preds_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] const std::vector<SyncPair>& pairs() const { return pairs_; }
+
+  /// Component index of an instruction, or -1 for "free" nodes: pure
+  /// functions of live-in registers (shared address arithmetic), which
+  /// belong to no component and are placed on demand by the schedulers.
+  [[nodiscard]] int component_of(int id) const {
+    return component_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] bool is_free(int id) const {
+    return free_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int num_components() const {
+    return static_cast<int>(component_kinds_.size());
+  }
+  [[nodiscard]] ComponentKind component_kind(int comp) const {
+    return component_kinds_[static_cast<std::size_t>(comp)];
+  }
+  /// Instruction ids of one component, in program order.
+  [[nodiscard]] const std::vector<int>& component_members(int comp) const {
+    return component_members_[static_cast<std::size_t>(comp)];
+  }
+
+  /// Shortest directed path (by node count) from `pair.wait_instr` to
+  /// `pair.send_instr`; empty when the send is not reachable from the
+  /// wait (the pair is then convertible to LFD by placement). This is
+  /// the paper's synchronization path SP(Wat, Sig).
+  [[nodiscard]] std::vector<int> sync_path(const SyncPair& pair) const;
+
+  /// Critical-path height of each instruction (max latency-weighted path
+  /// length to any leaf), the classic list-scheduling priority.
+  [[nodiscard]] std::vector<int> heights() const;
+
+  /// All transitive predecessors of `id` (excluding `id`).
+  [[nodiscard]] std::vector<int> ancestors(int id) const;
+
+ private:
+  void add_edge(int from, int to, int latency, EdgeKind kind);
+  void partition_components(const TacFunction& tac);
+
+  int n_ = 0;  ///< number of instructions; ids are 1..n_.
+  std::vector<bool> free_;
+  std::vector<std::vector<DfgEdge>> succs_;
+  std::vector<std::vector<DfgEdge>> preds_;
+  std::vector<SyncPair> pairs_;
+  std::vector<int> component_;
+  std::vector<ComponentKind> component_kinds_;
+  std::vector<std::vector<int>> component_members_;
+};
+
+}  // namespace sbmp

@@ -1,0 +1,16 @@
+#pragma once
+
+#include <string>
+
+#include "sbmp/codegen/tac.h"
+#include "sbmp/dfg/dfg.h"
+
+namespace sbmp {
+
+/// Renders the DFG as a Graphviz digraph: one node per instruction
+/// (labelled with its Fig 2 text), clusters per Sig/Wat/Sigwat/plain
+/// component, solid edges for data flow, dashed for memory ordering,
+/// bold red for synchronization-condition arcs. Feed to `dot -Tsvg`.
+[[nodiscard]] std::string dfg_to_dot(const TacFunction& tac, const Dfg& dfg);
+
+}  // namespace sbmp

@@ -1,0 +1,241 @@
+#include "sbmp/dfg/dfg.h"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace sbmp {
+
+const char* component_kind_name(ComponentKind k) {
+  switch (k) {
+    case ComponentKind::kPlain:
+      return "plain";
+    case ComponentKind::kSig:
+      return "Sig";
+    case ComponentKind::kWat:
+      return "Wat";
+    case ComponentKind::kSigwat:
+      return "Sigwat";
+  }
+  return "?";
+}
+
+namespace {
+/// Exact same-iteration alias test for two affine subscripts: with equal
+/// coefficients the offsets decide; with different coefficients the
+/// subscripts may coincide for some iteration, so assume aliasing.
+bool may_alias_same_iteration(const AffineIndex& a, const AffineIndex& b) {
+  if (a.coef == b.coef) return a.offset == b.offset;
+  return true;
+}
+}  // namespace
+
+Dfg::Dfg(const TacFunction& tac, const MachineConfig& config) {
+  n_ = tac.size();
+  succs_.resize(static_cast<std::size_t>(n_) + 1);
+  preds_.resize(static_cast<std::size_t>(n_) + 1);
+
+  // Register flow edges: virtual registers are single-assignment, so a
+  // def site is unique; map reg -> defining instruction.
+  std::vector<int> def_site(tac.reg_names.size(), 0);
+  for (const auto& instr : tac.instrs) {
+    const auto use = [&](const Operand& op) {
+      if (!op.is_reg()) return;
+      const int def = def_site[static_cast<std::size_t>(op.reg)];
+      if (def != 0)
+        add_edge(def, instr.id, config.latency(tac.by_id(def).op),
+                 EdgeKind::kData);
+    };
+    use(instr.a);
+    use(instr.b);
+    if (instr.dst != 0) def_site[static_cast<std::size_t>(instr.dst)] = instr.id;
+  }
+
+  // Same-iteration memory ordering.
+  for (int i = 1; i <= n_; ++i) {
+    const auto& a = tac.by_id(i);
+    if (!a.is_mem()) continue;
+    for (int j = i + 1; j <= n_; ++j) {
+      const auto& b = tac.by_id(j);
+      if (!b.is_mem() || a.array != b.array) continue;
+      if (a.op == Opcode::kLoad && b.op == Opcode::kLoad) continue;
+      if (may_alias_same_iteration(a.mem_index, b.mem_index))
+        add_edge(i, j, 1, EdgeKind::kMem);
+    }
+  }
+
+  // Synchronization-condition arcs.
+  for (const auto& instr : tac.instrs) {
+    if (instr.op == Opcode::kWait) {
+      for (const int guarded : instr.guarded_instrs)
+        add_edge(instr.id, guarded, 1, EdgeKind::kSync);
+    } else if (instr.op == Opcode::kSend) {
+      for (const int guarded : instr.guarded_instrs)
+        add_edge(guarded, instr.id, 1, EdgeKind::kSync);
+    }
+  }
+
+  // Instruction-level synchronization pairs.
+  for (const auto& wait : tac.instrs) {
+    if (wait.op != Opcode::kWait) continue;
+    for (const auto& send : tac.instrs) {
+      if (send.op == Opcode::kSend && send.signal_stmt == wait.signal_stmt) {
+        pairs_.push_back(
+            {wait.id, send.id, wait.signal_stmt, wait.sync_distance});
+      }
+    }
+  }
+
+  partition_components(tac);
+}
+
+void Dfg::add_edge(int from, int to, int latency, EdgeKind kind) {
+  // Skip duplicate edges with identical endpoints; keep the max latency.
+  for (auto& e : succs_[static_cast<std::size_t>(from)]) {
+    if (e.to == to) {
+      if (latency > e.latency) {
+        e.latency = latency;
+        for (auto& p : preds_[static_cast<std::size_t>(to)])
+          if (p.from == from) p.latency = latency;
+      }
+      return;
+    }
+  }
+  succs_[static_cast<std::size_t>(from)].push_back({from, to, latency, kind});
+  preds_[static_cast<std::size_t>(to)].push_back({from, to, latency, kind});
+}
+
+void Dfg::partition_components(const TacFunction& tac) {
+  // "Free" nodes compute pure functions of live-in registers (address
+  // arithmetic over the iteration number and loop parameters). They are
+  // schedulable anywhere, and the codegen's address value-numbering makes
+  // them common ancestors of many statements (the paper's shared
+  // `t1 = 4*I`), so routing weak connectivity through them would merge
+  // genuinely independent Sig/Wat/Sigwat graphs. They are excluded from
+  // the partition (component -1) and placed on demand by the schedulers.
+  free_.assign(static_cast<std::size_t>(n_) + 1, false);
+  for (const auto& instr : tac.instrs) {
+    if (instr.is_mem() || instr.is_sync()) continue;
+    bool free = true;
+    const auto check = [&](const Operand& op) {
+      if (!op.is_reg()) return;
+      if (tac.is_live_in(op.reg)) return;
+      // Non-live-in operand: free only if its producer is free.
+      for (const auto& e : preds_[static_cast<std::size_t>(instr.id)]) {
+        if (tac.by_id(e.from).dst == op.reg &&
+            !free_[static_cast<std::size_t>(e.from)])
+          free = false;
+      }
+    };
+    check(instr.a);
+    check(instr.b);
+    free_[static_cast<std::size_t>(instr.id)] = free;
+  }
+
+  component_.assign(static_cast<std::size_t>(n_) + 1, -1);
+  int next = 0;
+  for (int start = 1; start <= n_; ++start) {
+    if (free_[static_cast<std::size_t>(start)]) continue;
+    if (component_[static_cast<std::size_t>(start)] != -1) continue;
+    const int comp = next++;
+    std::queue<int> queue;
+    queue.push(start);
+    component_[static_cast<std::size_t>(start)] = comp;
+    while (!queue.empty()) {
+      const int id = queue.front();
+      queue.pop();
+      const auto visit = [&](int other) {
+        if (free_[static_cast<std::size_t>(other)]) return;
+        if (component_[static_cast<std::size_t>(other)] == -1) {
+          component_[static_cast<std::size_t>(other)] = comp;
+          queue.push(other);
+        }
+      };
+      for (const auto& e : succs_[static_cast<std::size_t>(id)]) visit(e.to);
+      for (const auto& e : preds_[static_cast<std::size_t>(id)]) visit(e.from);
+    }
+  }
+  component_kinds_.assign(static_cast<std::size_t>(next), ComponentKind::kPlain);
+  component_members_.assign(static_cast<std::size_t>(next), {});
+  std::vector<bool> has_sig(static_cast<std::size_t>(next), false);
+  std::vector<bool> has_wat(static_cast<std::size_t>(next), false);
+  for (const auto& instr : tac.instrs) {
+    if (free_[static_cast<std::size_t>(instr.id)]) continue;
+    const auto comp = static_cast<std::size_t>(component_of(instr.id));
+    component_members_[comp].push_back(instr.id);
+    if (instr.op == Opcode::kSend) has_sig[comp] = true;
+    if (instr.op == Opcode::kWait) has_wat[comp] = true;
+  }
+  for (std::size_t c = 0; c < component_kinds_.size(); ++c) {
+    if (has_sig[c] && has_wat[c])
+      component_kinds_[c] = ComponentKind::kSigwat;
+    else if (has_sig[c])
+      component_kinds_[c] = ComponentKind::kSig;
+    else if (has_wat[c])
+      component_kinds_[c] = ComponentKind::kWat;
+  }
+}
+
+std::vector<int> Dfg::sync_path(const SyncPair& pair) const {
+  // BFS for the node-count-shortest directed path wait -> send.
+  std::vector<int> parent(static_cast<std::size_t>(n_) + 1, 0);
+  std::vector<bool> visited(static_cast<std::size_t>(n_) + 1, false);
+  std::queue<int> queue;
+  queue.push(pair.wait_instr);
+  visited[static_cast<std::size_t>(pair.wait_instr)] = true;
+  while (!queue.empty()) {
+    const int id = queue.front();
+    queue.pop();
+    if (id == pair.send_instr) {
+      std::vector<int> path;
+      for (int at = id; at != 0; at = parent[static_cast<std::size_t>(at)])
+        path.push_back(at);
+      std::reverse(path.begin(), path.end());
+      return path;
+    }
+    for (const auto& e : succs_[static_cast<std::size_t>(id)]) {
+      if (!visited[static_cast<std::size_t>(e.to)]) {
+        visited[static_cast<std::size_t>(e.to)] = true;
+        parent[static_cast<std::size_t>(e.to)] = id;
+        queue.push(e.to);
+      }
+    }
+  }
+  return {};
+}
+
+std::vector<int> Dfg::heights() const {
+  std::vector<int> height(static_cast<std::size_t>(n_) + 1, 0);
+  // Instructions are emitted in a topological order (defs precede uses,
+  // memory/sync arcs point forward), so one reverse sweep suffices.
+  for (int id = n_; id >= 1; --id) {
+    int h = 0;
+    for (const auto& e : succs_[static_cast<std::size_t>(id)])
+      h = std::max(h, e.latency + height[static_cast<std::size_t>(e.to)]);
+    height[static_cast<std::size_t>(id)] = h;
+  }
+  return height;
+}
+
+std::vector<int> Dfg::ancestors(int id) const {
+  std::vector<bool> seen(static_cast<std::size_t>(n_) + 1, false);
+  std::vector<int> out;
+  std::queue<int> queue;
+  queue.push(id);
+  seen[static_cast<std::size_t>(id)] = true;
+  while (!queue.empty()) {
+    const int at = queue.front();
+    queue.pop();
+    for (const auto& e : preds_[static_cast<std::size_t>(at)]) {
+      if (!seen[static_cast<std::size_t>(e.from)]) {
+        seen[static_cast<std::size_t>(e.from)] = true;
+        out.push_back(e.from);
+        queue.push(e.from);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sbmp

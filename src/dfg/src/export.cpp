@@ -1,0 +1,88 @@
+#include "sbmp/dfg/export.h"
+
+namespace sbmp {
+
+namespace {
+
+/// Escapes a label for DOT double-quoted strings.
+std::string escape(const std::string& text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+const char* component_color(ComponentKind kind) {
+  switch (kind) {
+    case ComponentKind::kSigwat:
+      return "lightgoldenrod1";
+    case ComponentKind::kSig:
+      return "lightskyblue";
+    case ComponentKind::kWat:
+      return "palegreen";
+    case ComponentKind::kPlain:
+      return "gray92";
+  }
+  return "white";
+}
+
+}  // namespace
+
+std::string dfg_to_dot(const TacFunction& tac, const Dfg& dfg) {
+  std::string out = "digraph dfg {\n  rankdir=TB;\n  node [shape=box, "
+                    "fontname=\"monospace\", fontsize=10];\n";
+
+  // Component clusters.
+  for (int c = 0; c < dfg.num_components(); ++c) {
+    const ComponentKind kind = dfg.component_kind(c);
+    out += "  subgraph cluster_" + std::to_string(c) + " {\n";
+    out += std::string("    label=\"") + component_kind_name(kind) +
+           " graph\";\n";
+    out += std::string("    style=filled; color=") +
+           component_color(kind) + ";\n";
+    for (const int id : dfg.component_members(c)) {
+      out += "    n" + std::to_string(id) + ";\n";
+    }
+    out += "  }\n";
+  }
+
+  // Nodes (free address nodes sit outside every cluster).
+  for (const auto& instr : tac.instrs) {
+    out += "  n" + std::to_string(instr.id) + " [label=\"" +
+           std::to_string(instr.id) + ": " +
+           escape(tac.instr_to_string(instr)) + "\"";
+    if (instr.op == Opcode::kWait)
+      out += ", shape=invtriangle, style=filled, fillcolor=tomato";
+    if (instr.op == Opcode::kSend)
+      out += ", shape=triangle, style=filled, fillcolor=tomato";
+    if (dfg.is_free(instr.id)) out += ", style=dotted";
+    out += "];\n";
+  }
+
+  // Edges.
+  for (int id = 1; id <= dfg.size(); ++id) {
+    for (const auto& e : dfg.succs(id)) {
+      out += "  n" + std::to_string(e.from) + " -> n" +
+             std::to_string(e.to);
+      switch (e.kind) {
+        case EdgeKind::kData:
+          if (e.latency > 1)
+            out += " [label=\"" + std::to_string(e.latency) + "\"]";
+          break;
+        case EdgeKind::kMem:
+          out += " [style=dashed]";
+          break;
+        case EdgeKind::kSync:
+          out += " [color=red, penwidth=2]";
+          break;
+      }
+      out += ";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace sbmp

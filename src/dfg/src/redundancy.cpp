@@ -1,0 +1,163 @@
+#include "sbmp/dfg/redundancy.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+
+namespace sbmp {
+
+namespace {
+
+/// BFS over the unrolled graph: nodes (offset, instr) with offsets in
+/// [-depth, 0]. Same-offset edges are the DFG arcs (minus the candidate
+/// wait's); cross edges go from a send instruction at offset k-d' to an
+/// active wait on that signal at offset k. Checks whether `from` at
+/// offset -depth reaches `to` at offset 0.
+bool reaches(const TacFunction& tac, const Dfg& dfg,
+             const std::vector<int>& active_waits, int candidate,
+             std::int64_t depth, int from, int to) {
+  const int n = tac.size();
+  // send instr id per signal stmt (for cross edges).
+  std::map<int, int> send_of;
+  for (const auto& instr : tac.instrs) {
+    if (instr.op == Opcode::kSend) send_of[instr.signal_stmt] = instr.id;
+  }
+  // Waits keyed by the send they consume.
+  std::multimap<int, int> waits_by_send;
+  for (const int w : active_waits) {
+    if (w == candidate) continue;
+    const auto it = send_of.find(tac.by_id(w).signal_stmt);
+    if (it != send_of.end()) waits_by_send.emplace(it->second, w);
+  }
+
+  const auto node = [&](std::int64_t off, int id) {
+    return static_cast<std::size_t>((off + depth) * (n + 1) + id);
+  };
+  std::vector<bool> visited(static_cast<std::size_t>(depth + 1) *
+                                (n + 1),
+                            false);
+  std::queue<std::pair<std::int64_t, int>> queue;
+  queue.push({-depth, from});
+  visited[node(-depth, from)] = true;
+  while (!queue.empty()) {
+    const auto [off, id] = queue.front();
+    queue.pop();
+    if (off == 0 && id == to) return true;
+    const auto visit = [&](std::int64_t o, int v) {
+      if (o < -depth || o > 0) return;
+      if (!visited[node(o, v)]) {
+        visited[node(o, v)] = true;
+        queue.push({o, v});
+      }
+    };
+    if (id != candidate) {
+      for (const auto& e : dfg.succs(id)) visit(off, e.to);
+    }
+    if (tac.by_id(id).op == Opcode::kSend) {
+      const auto range = waits_by_send.equal_range(id);
+      for (auto it = range.first; it != range.second; ++it) {
+        visit(off + tac.by_id(it->second).sync_distance, it->second);
+      }
+    }
+  }
+  return false;
+}
+
+bool wait_is_covered(const TacFunction& tac, const Dfg& dfg,
+                     const std::vector<int>& active_waits, int candidate) {
+  const auto& wait = tac.by_id(candidate);
+  // Source accesses: the guarded instructions of this signal's send.
+  const TacInstr* send = nullptr;
+  for (const auto& instr : tac.instrs) {
+    if (instr.op == Opcode::kSend &&
+        instr.signal_stmt == wait.signal_stmt) {
+      send = &instr;
+    }
+  }
+  if (send == nullptr || wait.guarded_instrs.empty()) return false;
+  for (const int src : send->guarded_instrs) {
+    for (const int snk : wait.guarded_instrs) {
+      if (!reaches(tac, dfg, active_waits, candidate, wait.sync_distance,
+                   src, snk))
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<int> find_redundant_wait_instrs(const TacFunction& tac,
+                                            const Dfg& dfg) {
+  std::vector<int> waits;
+  for (const auto& instr : tac.instrs) {
+    if (instr.op == Opcode::kWait) waits.push_back(instr.id);
+  }
+  // Longest distance first: long waits are the likeliest to be covered
+  // by chains of shorter ones, and mutual covers must not both drop.
+  std::vector<int> order = waits;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return tac.by_id(a).sync_distance > tac.by_id(b).sync_distance;
+  });
+
+  std::vector<int> active = waits;
+  std::vector<int> removed;
+  for (const int w : order) {
+    if (wait_is_covered(tac, dfg, active, w)) {
+      active.erase(std::find(active.begin(), active.end(), w));
+      removed.push_back(w);
+    }
+  }
+  std::sort(removed.begin(), removed.end());
+  return removed;
+}
+
+TacFunction remove_waits(const TacFunction& tac,
+                         const std::vector<int>& wait_ids) {
+  // Signals still consumed after removal.
+  std::vector<bool> drop(static_cast<std::size_t>(tac.size()) + 1, false);
+  for (const int id : wait_ids) drop[static_cast<std::size_t>(id)] = true;
+  std::map<int, bool> live;
+  for (const auto& instr : tac.instrs) {
+    if (instr.op == Opcode::kWait && !drop[static_cast<std::size_t>(instr.id)])
+      live[instr.signal_stmt] = true;
+  }
+  for (const auto& instr : tac.instrs) {
+    if (instr.op == Opcode::kSend && !live.count(instr.signal_stmt))
+      drop[static_cast<std::size_t>(instr.id)] = true;
+  }
+
+  TacFunction out;
+  out.reg_names = tac.reg_names;
+  out.iter_reg = tac.iter_reg;
+  out.scalar_regs = tac.scalar_regs;
+  out.iter_var = tac.iter_var;
+  std::vector<int> remap(static_cast<std::size_t>(tac.size()) + 1, 0);
+  for (const auto& instr : tac.instrs) {
+    if (drop[static_cast<std::size_t>(instr.id)]) continue;
+    TacInstr copy = instr;
+    copy.id = static_cast<int>(out.instrs.size()) + 1;
+    remap[static_cast<std::size_t>(instr.id)] = copy.id;
+    out.instrs.push_back(std::move(copy));
+  }
+  for (auto& instr : out.instrs) {
+    for (auto& g : instr.guarded_instrs)
+      g = remap[static_cast<std::size_t>(g)];
+    std::erase(instr.guarded_instrs, 0);
+  }
+  return out;
+}
+
+TacFunction eliminate_redundant_waits(const TacFunction& tac,
+                                      const MachineConfig& config,
+                                      int* removed_count) {
+  const Dfg dfg(tac, config);
+  const auto redundant = find_redundant_wait_instrs(tac, dfg);
+  if (removed_count != nullptr)
+    *removed_count = static_cast<int>(redundant.size());
+  if (redundant.empty()) return tac;
+  return remove_waits(tac, redundant);
+}
+
+}  // namespace sbmp

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sbmp/support/diagnostics.h"
+#include "sbmp/support/source_location.h"
+
+namespace sbmp {
+
+/// Token kinds of LoopLang.
+enum class TokKind {
+  kIdent,
+  kInt,
+  kAssign,    // =
+  kComma,     // ,
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLParen,    // (
+  kRParen,    // )
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kShl,      // <<
+  kNewline,  // statement separator (also ';')
+  kEof,
+};
+
+[[nodiscard]] const char* tok_kind_name(TokKind k);
+
+/// One lexed token. `text` views into the source buffer for identifiers;
+/// `value` holds the parsed integer for kInt.
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string_view text;
+  std::int64_t value = 0;
+  SourceLoc loc;
+};
+
+/// Tokenizes LoopLang source. Comments run from '#' or '!' to end of
+/// line. Consecutive newlines are collapsed into one kNewline token.
+/// Lexical errors are reported to `diags`; the offending characters are
+/// skipped so parsing can continue.
+[[nodiscard]] std::vector<Token> lex(std::string_view source,
+                                     DiagEngine& diags);
+
+}  // namespace sbmp

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "sbmp/ir/loop.h"
+#include "sbmp/ir/preloop.h"
+#include "sbmp/support/diagnostics.h"
+
+namespace sbmp {
+
+/// Parses a LoopLang compilation unit.
+///
+/// Grammar (newline or ';' separates statements; '#'/'!' start comments):
+///
+///   program  := loop*
+///   loop     := ["loop" IDENT] ("do" | "doacross") IDENT "=" INT "," INT NL
+///               (decl NL | init NL | stmt NL)* "end"
+///   decl     := ("int" | "real") IDENT ("," IDENT)*
+///   init     := "init" IDENT "=" ["-"] INT
+///   stmt     := IDENT "[" expr "]" "=" expr
+///             | IDENT "=" expr                      (pre-loop form only)
+///   expr     := addexpr ("<<" addexpr)*
+///   addexpr  := term (("+" | "-") term)*
+///   term     := unary (("*" | "/") unary)*
+///   unary    := "-" unary | primary
+///   primary  := IDENT "[" expr "]" | IDENT | INT | "(" expr ")"
+///
+/// Subscript expressions must reduce to the affine form `c*iv + k`;
+/// anything else is a parse error (the dependence analysis is exact only
+/// on affine subscripts, matching the paper's benchmark classes).
+///
+/// All problems are reported to `diags`; the returned Program contains
+/// every loop that parsed cleanly.
+[[nodiscard]] Program parse_program(std::string_view source,
+                                    DiagEngine& diags);
+
+/// Like `parse_program` but throws SbmpError carrying the rendered
+/// diagnostics if any error was reported.
+[[nodiscard]] Program parse_program_or_throw(std::string_view source);
+
+/// Parses a source expected to contain exactly one loop; throws SbmpError
+/// on errors or if the unit does not hold exactly one loop.
+[[nodiscard]] Loop parse_single_loop_or_throw(std::string_view source);
+
+/// Parses the *pre-restructuring* form, in which statements may assign
+/// scalars (`sum = sum + A[I]`) and `init` declarations record scalar
+/// entry values. The restructuring passes (sbmp/restructure) turn a
+/// PreProgram into a plain Program; `parse_program` is equivalent to
+/// parsing the pre form and rejecting any loop that still holds scalar
+/// statements.
+[[nodiscard]] PreProgram parse_pre_program(std::string_view source,
+                                           DiagEngine& diags);
+
+/// Like `parse_pre_program` but throws SbmpError on any diagnostic.
+[[nodiscard]] PreProgram parse_pre_program_or_throw(std::string_view source);
+
+/// Parses a source expected to contain exactly one pre-form loop.
+[[nodiscard]] PreLoop parse_single_pre_loop_or_throw(std::string_view source);
+
+/// Attempts to view `e` as an affine function `coef*iv + offset` of the
+/// induction variable. Returns nullopt for non-affine shapes. Exposed for
+/// tests and for the random-loop generator's round-trip checks.
+[[nodiscard]] std::optional<AffineIndex> extract_affine(
+    const Expr& e, const std::string& iter_var);
+
+}  // namespace sbmp

@@ -1,0 +1,161 @@
+#include "sbmp/frontend/lexer.h"
+
+#include <cctype>
+
+namespace sbmp {
+
+const char* tok_kind_name(TokKind k) {
+  switch (k) {
+    case TokKind::kIdent:
+      return "identifier";
+    case TokKind::kInt:
+      return "integer";
+    case TokKind::kAssign:
+      return "'='";
+    case TokKind::kComma:
+      return "','";
+    case TokKind::kLBracket:
+      return "'['";
+    case TokKind::kRBracket:
+      return "']'";
+    case TokKind::kLParen:
+      return "'('";
+    case TokKind::kRParen:
+      return "')'";
+    case TokKind::kPlus:
+      return "'+'";
+    case TokKind::kMinus:
+      return "'-'";
+    case TokKind::kStar:
+      return "'*'";
+    case TokKind::kSlash:
+      return "'/'";
+    case TokKind::kShl:
+      return "'<<'";
+    case TokKind::kNewline:
+      return "end of statement";
+    case TokKind::kEof:
+      return "end of input";
+  }
+  return "?";
+}
+
+std::vector<Token> lex(std::string_view source, DiagEngine& diags) {
+  std::vector<Token> out;
+  std::uint32_t line = 1;
+  std::uint32_t col = 1;
+  std::size_t pos = 0;
+
+  const auto here = [&] { return SourceLoc{line, col}; };
+  const auto push = [&](TokKind k, std::string_view text, SourceLoc loc,
+                        std::int64_t value = 0) {
+    out.push_back({k, text, value, loc});
+  };
+  const auto push_newline = [&](SourceLoc loc) {
+    if (!out.empty() && out.back().kind != TokKind::kNewline)
+      push(TokKind::kNewline, "", loc);
+  };
+
+  while (pos < source.size()) {
+    const char c = source[pos];
+    const SourceLoc loc = here();
+    if (c == '\n') {
+      push_newline(loc);
+      ++pos;
+      ++line;
+      col = 1;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++pos;
+      ++col;
+      continue;
+    }
+    if (c == '#' || c == '!') {
+      while (pos < source.size() && source[pos] != '\n') {
+        ++pos;
+        ++col;
+      }
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t end = pos;
+      std::int64_t value = 0;
+      while (end < source.size() &&
+             std::isdigit(static_cast<unsigned char>(source[end]))) {
+        value = value * 10 + (source[end] - '0');
+        ++end;
+      }
+      push(TokKind::kInt, source.substr(pos, end - pos), loc, value);
+      col += static_cast<std::uint32_t>(end - pos);
+      pos = end;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = pos;
+      while (end < source.size() &&
+             (std::isalnum(static_cast<unsigned char>(source[end])) ||
+              source[end] == '_')) {
+        ++end;
+      }
+      push(TokKind::kIdent, source.substr(pos, end - pos), loc);
+      col += static_cast<std::uint32_t>(end - pos);
+      pos = end;
+      continue;
+    }
+    switch (c) {
+      case '=':
+        push(TokKind::kAssign, source.substr(pos, 1), loc);
+        break;
+      case ',':
+        push(TokKind::kComma, source.substr(pos, 1), loc);
+        break;
+      case '[':
+        push(TokKind::kLBracket, source.substr(pos, 1), loc);
+        break;
+      case ']':
+        push(TokKind::kRBracket, source.substr(pos, 1), loc);
+        break;
+      case '(':
+        push(TokKind::kLParen, source.substr(pos, 1), loc);
+        break;
+      case ')':
+        push(TokKind::kRParen, source.substr(pos, 1), loc);
+        break;
+      case '+':
+        push(TokKind::kPlus, source.substr(pos, 1), loc);
+        break;
+      case '-':
+        push(TokKind::kMinus, source.substr(pos, 1), loc);
+        break;
+      case '*':
+        push(TokKind::kStar, source.substr(pos, 1), loc);
+        break;
+      case '/':
+        push(TokKind::kSlash, source.substr(pos, 1), loc);
+        break;
+      case ';':
+        push_newline(loc);
+        break;
+      case '<':
+        if (pos + 1 < source.size() && source[pos + 1] == '<') {
+          push(TokKind::kShl, source.substr(pos, 2), loc);
+          ++pos;
+          ++col;
+        } else {
+          diags.error(loc, "unexpected character '<'");
+        }
+        break;
+      default:
+        diags.error(loc, std::string("unexpected character '") + c + "'");
+        break;
+    }
+    ++pos;
+    ++col;
+  }
+  push_newline(here());
+  push(TokKind::kEof, "", here());
+  return out;
+}
+
+}  // namespace sbmp

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sbmp {
+
+/// Binary operators available in LoopLang statement bodies. Each operator
+/// maps to one function-unit class of the machine model (add/sub on the
+/// integer or floating-point adder, mul on the multiplier, div on the
+/// divider, shl on the shifter).
+enum class BinOp { kAdd, kSub, kMul, kDiv, kShl };
+
+[[nodiscard]] const char* binop_symbol(BinOp op);
+
+/// Element type of an array; decides whether its arithmetic executes on
+/// the integer unit or the floating-point unit.
+enum class ElemType { kReal, kInt };
+
+/// A one-dimensional affine subscript `coef * i + offset` in the loop
+/// induction variable `i`. LoopLang restricts subscripts to this form,
+/// which is exactly the class the paper's benchmarks exercise (types 3-6
+/// of the DOACROSS taxonomy reduce to it after restructuring) and for
+/// which dependence testing is exact.
+struct AffineIndex {
+  std::int64_t coef = 1;
+  std::int64_t offset = 0;
+
+  /// Subscript value for iteration `i`.
+  [[nodiscard]] std::int64_t eval(std::int64_t i) const {
+    return coef * i + offset;
+  }
+
+  /// Renders like "I", "I-2", "2*I+1".
+  [[nodiscard]] std::string to_string(const std::string& iter_var) const;
+
+  friend bool operator==(const AffineIndex&, const AffineIndex&) = default;
+};
+
+/// A reference to one array element, e.g. `A[I-2]`.
+struct ArrayRef {
+  std::string array;
+  AffineIndex index;
+
+  friend bool operator==(const ArrayRef&, const ArrayRef&) = default;
+};
+
+/// A loop-invariant scalar operand (a parameter of the loop).
+struct ScalarRef {
+  std::string name;
+
+  friend bool operator==(const ScalarRef&, const ScalarRef&) = default;
+};
+
+/// The loop induction variable used as a value.
+struct IterVar {
+  friend bool operator==(const IterVar&, const IterVar&) = default;
+};
+
+/// An integer literal.
+struct IntConst {
+  std::int64_t value = 0;
+
+  friend bool operator==(const IntConst&, const IntConst&) = default;
+};
+
+struct BinaryExpr;
+
+/// Expression tree node. Value-semantic: copying an Expr deep-copies the
+/// whole tree, so loops can be freely duplicated by the benchmark suite.
+using Expr = std::variant<ArrayRef, ScalarRef, IterVar, IntConst, BinaryExpr>;
+
+/// A binary operation over two sub-expressions.
+struct BinaryExpr {
+  BinOp op = BinOp::kAdd;
+  std::unique_ptr<Expr> lhs;
+  std::unique_ptr<Expr> rhs;
+
+  BinaryExpr() = default;
+  BinaryExpr(BinOp o, Expr l, Expr r);
+  BinaryExpr(const BinaryExpr& other);
+  BinaryExpr& operator=(const BinaryExpr& other);
+  BinaryExpr(BinaryExpr&&) noexcept = default;
+  BinaryExpr& operator=(BinaryExpr&&) noexcept = default;
+
+  friend bool operator==(const BinaryExpr& a, const BinaryExpr& b);
+};
+
+/// Convenience constructors for building expressions in C++ (used by the
+/// synthetic benchmark suite and tests).
+[[nodiscard]] Expr make_ref(std::string array, std::int64_t coef,
+                            std::int64_t offset);
+[[nodiscard]] Expr make_ref(std::string array, std::int64_t offset);
+[[nodiscard]] Expr make_scalar(std::string name);
+[[nodiscard]] Expr make_const(std::int64_t value);
+[[nodiscard]] Expr make_bin(BinOp op, Expr lhs, Expr rhs);
+
+/// Collects every ArrayRef appearing in `e`, left-to-right.
+void collect_array_refs(const Expr& e, std::vector<ArrayRef>& out);
+
+/// Collects every ScalarRef appearing in `e`, left-to-right.
+void collect_scalar_refs(const Expr& e, std::vector<ScalarRef>& out);
+
+/// Renders the expression in LoopLang syntax with `iter_var` as the
+/// induction variable name.
+[[nodiscard]] std::string expr_to_string(const Expr& e,
+                                         const std::string& iter_var);
+
+}  // namespace sbmp

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sbmp/ir/expr.h"
+#include "sbmp/support/source_location.h"
+
+namespace sbmp {
+
+/// One array assignment statement `LHS[aff(i)] = expr`. LoopLang bodies
+/// are straight-line sequences of these; scalar accumulators do not occur
+/// because, following the paper's methodology, reductions and induction
+/// variables are assumed to have been rewritten into array form by the
+/// restructuring pre-passes (scalar expansion, reduction replacement,
+/// induction-variable substitution).
+struct Statement {
+  int id = 0;  ///< 1-based position in the loop body; `label()` is "S<id>".
+  ArrayRef lhs;
+  Expr rhs;
+  SourceLoc loc;
+
+  [[nodiscard]] std::string label() const { return "S" + std::to_string(id); }
+};
+
+/// A single normalized loop (step 1). `declared_doacross` records whether
+/// the source spelled `doacross`; the dependence analyzer decides whether
+/// the loop actually is Doall or Doacross regardless.
+struct Loop {
+  std::string name;      ///< Optional; used by benchmark reports.
+  std::string iter_var;  ///< Induction variable name, e.g. "I".
+  std::int64_t lower = 1;
+  std::int64_t upper = 1;
+  bool declared_doacross = false;
+  std::vector<Statement> body;
+  /// Element type per array; arrays not listed default to kReal.
+  std::map<std::string, ElemType> array_types;
+
+  [[nodiscard]] std::int64_t trip_count() const {
+    return upper >= lower ? upper - lower + 1 : 0;
+  }
+
+  [[nodiscard]] ElemType array_type(const std::string& array) const {
+    const auto it = array_types.find(array);
+    return it == array_types.end() ? ElemType::kReal : it->second;
+  }
+
+  /// Renders the loop back to LoopLang source (round-trips through the
+  /// parser; used by tests and by the suite dumper).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// A parsed LoopLang compilation unit: a list of loops.
+struct Program {
+  std::vector<Loop> loops;
+};
+
+/// Renders a statement like "S3: A[I] = (B[I]+C[I+3])".
+[[nodiscard]] std::string statement_to_string(const Statement& s,
+                                              const std::string& iter_var);
+
+}  // namespace sbmp

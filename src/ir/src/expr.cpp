@@ -1,0 +1,119 @@
+#include "sbmp/ir/expr.h"
+
+namespace sbmp {
+
+const char* binop_symbol(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd:
+      return "+";
+    case BinOp::kSub:
+      return "-";
+    case BinOp::kMul:
+      return "*";
+    case BinOp::kDiv:
+      return "/";
+    case BinOp::kShl:
+      return "<<";
+  }
+  return "?";
+}
+
+std::string AffineIndex::to_string(const std::string& iter_var) const {
+  std::string out;
+  if (coef == 0) return std::to_string(offset);
+  if (coef != 1) out += std::to_string(coef) + "*";
+  out += iter_var;
+  if (offset > 0) out += "+" + std::to_string(offset);
+  if (offset < 0) out += std::to_string(offset);
+  return out;
+}
+
+BinaryExpr::BinaryExpr(BinOp o, Expr l, Expr r)
+    : op(o),
+      lhs(std::make_unique<Expr>(std::move(l))),
+      rhs(std::make_unique<Expr>(std::move(r))) {}
+
+BinaryExpr::BinaryExpr(const BinaryExpr& other)
+    : op(other.op),
+      lhs(other.lhs ? std::make_unique<Expr>(*other.lhs) : nullptr),
+      rhs(other.rhs ? std::make_unique<Expr>(*other.rhs) : nullptr) {}
+
+BinaryExpr& BinaryExpr::operator=(const BinaryExpr& other) {
+  if (this == &other) return *this;
+  op = other.op;
+  lhs = other.lhs ? std::make_unique<Expr>(*other.lhs) : nullptr;
+  rhs = other.rhs ? std::make_unique<Expr>(*other.rhs) : nullptr;
+  return *this;
+}
+
+bool operator==(const BinaryExpr& a, const BinaryExpr& b) {
+  if (a.op != b.op) return false;
+  if (static_cast<bool>(a.lhs) != static_cast<bool>(b.lhs)) return false;
+  if (static_cast<bool>(a.rhs) != static_cast<bool>(b.rhs)) return false;
+  if (a.lhs && !(*a.lhs == *b.lhs)) return false;
+  if (a.rhs && !(*a.rhs == *b.rhs)) return false;
+  return true;
+}
+
+Expr make_ref(std::string array, std::int64_t coef, std::int64_t offset) {
+  return ArrayRef{std::move(array), {coef, offset}};
+}
+
+Expr make_ref(std::string array, std::int64_t offset) {
+  return ArrayRef{std::move(array), {1, offset}};
+}
+
+Expr make_scalar(std::string name) { return ScalarRef{std::move(name)}; }
+
+Expr make_const(std::int64_t value) { return IntConst{value}; }
+
+Expr make_bin(BinOp op, Expr lhs, Expr rhs) {
+  return BinaryExpr(op, std::move(lhs), std::move(rhs));
+}
+
+void collect_array_refs(const Expr& e, std::vector<ArrayRef>& out) {
+  if (const auto* ref = std::get_if<ArrayRef>(&e)) {
+    out.push_back(*ref);
+  } else if (const auto* bin = std::get_if<BinaryExpr>(&e)) {
+    if (bin->lhs) collect_array_refs(*bin->lhs, out);
+    if (bin->rhs) collect_array_refs(*bin->rhs, out);
+  }
+}
+
+void collect_scalar_refs(const Expr& e, std::vector<ScalarRef>& out) {
+  if (const auto* ref = std::get_if<ScalarRef>(&e)) {
+    out.push_back(*ref);
+  } else if (const auto* bin = std::get_if<BinaryExpr>(&e)) {
+    if (bin->lhs) collect_scalar_refs(*bin->lhs, out);
+    if (bin->rhs) collect_scalar_refs(*bin->rhs, out);
+  }
+}
+
+std::string expr_to_string(const Expr& e, const std::string& iter_var) {
+  struct Visitor {
+    const std::string& iv;
+    std::string operator()(const ArrayRef& r) const {
+      return r.array + "[" + r.index.to_string(iv) + "]";
+    }
+    std::string operator()(const ScalarRef& r) const { return r.name; }
+    std::string operator()(const IterVar&) const { return iv; }
+    std::string operator()(const IntConst& c) const {
+      return std::to_string(c.value);
+    }
+    std::string operator()(const BinaryExpr& b) const {
+      const std::string l = b.lhs ? std::visit(*this, *b.lhs) : "?";
+      // Render "x + (-k)" as "x-k" for readability.
+      if (b.op == BinOp::kAdd && b.rhs) {
+        if (const auto* c = std::get_if<IntConst>(&*b.rhs);
+            c != nullptr && c->value < 0) {
+          return "(" + l + "-" + std::to_string(-c->value) + ")";
+        }
+      }
+      const std::string r = b.rhs ? std::visit(*this, *b.rhs) : "?";
+      return "(" + l + binop_symbol(b.op) + r + ")";
+    }
+  };
+  return std::visit(Visitor{iter_var}, e);
+}
+
+}  // namespace sbmp

@@ -1,0 +1,31 @@
+#include "sbmp/ir/loop.h"
+
+namespace sbmp {
+
+std::string statement_to_string(const Statement& s,
+                                const std::string& iter_var) {
+  std::string out = s.label() + ": ";
+  out += s.lhs.array + "[" + s.lhs.index.to_string(iter_var) + "]";
+  out += " = ";
+  out += expr_to_string(s.rhs, iter_var);
+  return out;
+}
+
+std::string Loop::to_string() const {
+  std::string out;
+  if (!name.empty()) out += "loop " + name + "\n";
+  out += declared_doacross ? "doacross " : "do ";
+  out += iter_var + " = " + std::to_string(lower) + ", " +
+         std::to_string(upper) + "\n";
+  for (const auto& [array, type] : array_types) {
+    if (type == ElemType::kInt) out += "  int " + array + "\n";
+  }
+  for (const auto& s : body) {
+    out += "  " + s.lhs.array + "[" + s.lhs.index.to_string(iter_var) + "] = " +
+           expr_to_string(s.rhs, iter_var) + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+}  // namespace sbmp

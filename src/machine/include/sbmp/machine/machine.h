@@ -1,0 +1,95 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace sbmp {
+
+/// Function-unit classes of the modeled superscalar processor, following
+/// the paper's unit list: load/store unit, integer unit, floating-point
+/// unit, multiplier, divider, shifter. Synchronization operations use no
+/// function unit (kNone) but still consume an issue slot.
+enum class FuClass : int {
+  kLoadStore = 0,
+  kInteger = 1,
+  kFloat = 2,
+  kMult = 3,
+  kDiv = 4,
+  kShift = 5,
+  kNone = 6,
+};
+
+inline constexpr int kNumFuClasses = 6;  // excludes kNone
+
+[[nodiscard]] const char* fu_class_name(FuClass c);
+
+/// Opcodes of the DLX-like three-address code the codegen emits.
+enum class Opcode {
+  kAddI,   // dst <- src1 + imm            (integer unit)
+  kMulI,   // dst <- src1 * imm            (multiplier)
+  kShl,    // dst <- src1 << imm/src2      (shifter)
+  kLoad,   // dst <- array[src1]           (load/store unit)
+  kStore,  // array[src1] <- src2          (load/store unit)
+  kAdd,    // dst <- src1 + src2           (integer or float unit)
+  kSub,    // dst <- src1 - src2           (integer or float unit)
+  kMul,    // dst <- src1 * src2           (multiplier)
+  kDiv,    // dst <- src1 / src2           (divider)
+  kWait,   // Wait_Signal(S, i-d)          (no FU)
+  kSend,   // Send_Signal(S)               (no FU)
+};
+
+[[nodiscard]] const char* opcode_name(Opcode op);
+
+/// The function unit an instruction executes on. `is_float` selects the
+/// floating-point adder for kAdd/kSub; multiply, divide and shift use
+/// their dedicated units regardless of element type, matching the
+/// paper's unit list.
+[[nodiscard]] FuClass fu_class_of(Opcode op, bool is_float);
+
+/// Configuration of one superscalar processor and of the multiprocessor
+/// experiments built on it.
+struct MachineConfig {
+  /// Instructions issued per cycle (paper evaluates 2 and 4).
+  int issue_width = 4;
+  /// Number of units per FU class (paper evaluates 1 and 2 for all).
+  std::array<int, kNumFuClasses> fu_counts{1, 1, 1, 1, 1, 1};
+  /// Result latencies in cycles. All units are fully pipelined.
+  int latency_mult = 3;
+  int latency_div = 6;
+  int latency_default = 1;
+  /// Whether Wait/Send consume an issue slot (they never need an FU).
+  bool sync_consumes_slot = true;
+  /// Cycles for a signal to travel from a Send to the waiting
+  /// processor: a wait may issue at send_cycle + signal_latency. The
+  /// paper's model uses 1 (the next cycle); larger values model a
+  /// synchronization network or a shared-memory flag round trip.
+  int signal_latency = 1;
+
+  [[nodiscard]] int fu_count(FuClass c) const {
+    return c == FuClass::kNone ? issue_width
+                               : fu_counts[static_cast<int>(c)];
+  }
+
+  [[nodiscard]] int latency(Opcode op) const {
+    switch (op) {
+      case Opcode::kMul:
+      case Opcode::kMulI:
+        return latency_mult;
+      case Opcode::kDiv:
+        return latency_div;
+      default:
+        return latency_default;
+    }
+  }
+
+  /// The paper's four experimental cases: issue width in {2,4} and
+  /// `fus_per_class` in {1,2}.
+  [[nodiscard]] static MachineConfig paper(int issue_width,
+                                           int fus_per_class);
+
+  /// Short label like "2-issue(#FU=1)" used in the report tables.
+  [[nodiscard]] std::string label() const;
+};
+
+}  // namespace sbmp

@@ -1,0 +1,90 @@
+#include "sbmp/machine/machine.h"
+
+namespace sbmp {
+
+const char* fu_class_name(FuClass c) {
+  switch (c) {
+    case FuClass::kLoadStore:
+      return "load/store";
+    case FuClass::kInteger:
+      return "integer";
+    case FuClass::kFloat:
+      return "float";
+    case FuClass::kMult:
+      return "mult";
+    case FuClass::kDiv:
+      return "div";
+    case FuClass::kShift:
+      return "shift";
+    case FuClass::kNone:
+      return "none";
+  }
+  return "?";
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kAddI:
+      return "addi";
+    case Opcode::kMulI:
+      return "muli";
+    case Opcode::kShl:
+      return "shl";
+    case Opcode::kLoad:
+      return "load";
+    case Opcode::kStore:
+      return "store";
+    case Opcode::kAdd:
+      return "add";
+    case Opcode::kSub:
+      return "sub";
+    case Opcode::kMul:
+      return "mul";
+    case Opcode::kDiv:
+      return "div";
+    case Opcode::kWait:
+      return "wait";
+    case Opcode::kSend:
+      return "send";
+  }
+  return "?";
+}
+
+FuClass fu_class_of(Opcode op, bool is_float) {
+  switch (op) {
+    case Opcode::kAddI:
+      return FuClass::kInteger;
+    case Opcode::kMulI:
+    case Opcode::kMul:
+      return FuClass::kMult;
+    case Opcode::kShl:
+      return FuClass::kShift;
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      return FuClass::kLoadStore;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+      return is_float ? FuClass::kFloat : FuClass::kInteger;
+    case Opcode::kDiv:
+      return FuClass::kDiv;
+    case Opcode::kWait:
+    case Opcode::kSend:
+      return FuClass::kNone;
+  }
+  return FuClass::kNone;
+}
+
+MachineConfig MachineConfig::paper(int issue_width, int fus_per_class) {
+  MachineConfig config;
+  config.issue_width = issue_width;
+  config.fu_counts.fill(fus_per_class);
+  return config;
+}
+
+std::string MachineConfig::label() const {
+  // All paper configs use a uniform FU count; report the first class.
+  return std::to_string(issue_width) + "-issue(#FU=" +
+         std::to_string(fu_counts[0]) + ")";
+}
+
+}  // namespace sbmp

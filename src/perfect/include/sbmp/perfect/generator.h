@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sbmp/ir/loop.h"
+#include "sbmp/support/rng.h"
+
+namespace sbmp {
+
+/// Parameters of the random DOACROSS loop generator used by the property
+/// tests and the scaling benches.
+struct LoopGenConfig {
+  int min_stmts = 2;
+  int max_stmts = 8;
+  /// Max |offset| of a subscript relative to the induction variable.
+  int max_offset = 3;
+  /// Max dependence distance produced (clamped to trip-1).
+  int max_distance = 3;
+  /// Percent chance that an RHS leaf reads an array written by another
+  /// statement of the loop at an earlier iteration (creating a carried
+  /// flow dependence).
+  int carried_read_percent = 35;
+  /// Of those, percent chance the read targets this or a later statement
+  /// (making the dependence lexically backward).
+  int lbd_percent = 70;
+  /// Percent chance of a carried anti dependence leaf (reads an element
+  /// a later iteration overwrites).
+  int anti_percent = 10;
+  /// RHS expression leaves (2..N).
+  int max_leaves = 4;
+  std::int64_t trip = 100;
+  /// Guarantee at least one loop-carried dependence (a DOACROSS loop).
+  bool ensure_doacross = true;
+};
+
+/// Generates a random single loop. Every statement writes its own array
+/// at subscript [i], so dependence distances are exactly the subscript
+/// offsets of the reads, and the generator can steer LFD/LBD mix and
+/// distances precisely. Deterministic in `rng`.
+[[nodiscard]] Loop generate_random_loop(SplitMix64& rng,
+                                        const LoopGenConfig& config);
+
+}  // namespace sbmp

@@ -1,0 +1,112 @@
+#include "sbmp/perfect/generator.h"
+
+#include <algorithm>
+
+namespace sbmp {
+
+namespace {
+
+/// Output array name of statement `k` (1-based).
+std::string out_array(int k) { return "A" + std::to_string(k); }
+
+/// Independent input array name.
+std::string in_array(int r) { return "X" + std::to_string(r); }
+
+Expr random_leaf(SplitMix64& rng, const LoopGenConfig& config, int stmt,
+                 int num_stmts, bool& made_carried) {
+  const std::int64_t max_d = std::min<std::int64_t>(
+      config.max_distance, std::max<std::int64_t>(config.trip - 1, 1));
+
+  if (rng.chance(config.carried_read_percent)) {
+    // Carried flow dependence: read out_array(j)[i - d].
+    const std::int64_t d = rng.range(1, max_d);
+    int j;
+    if (rng.chance(config.lbd_percent)) {
+      j = static_cast<int>(rng.range(stmt, num_stmts));  // self/later: LBD
+    } else if (stmt > 1) {
+      j = static_cast<int>(rng.range(1, stmt - 1));  // earlier: LFD
+    } else {
+      j = stmt;  // no earlier statement exists; fall back to LBD
+    }
+    made_carried = true;
+    return make_ref(out_array(j), -d);
+  }
+  if (rng.chance(config.anti_percent)) {
+    // Carried anti dependence: read an element overwritten d iterations
+    // later by statement j.
+    const std::int64_t d = rng.range(1, max_d);
+    const int j = static_cast<int>(rng.range(1, num_stmts));
+    made_carried = true;
+    return make_ref(out_array(j), d);
+  }
+  switch (rng.range(0, 3)) {
+    case 0:
+      return make_ref(in_array(static_cast<int>(rng.range(1, 4))),
+                      rng.range(-config.max_offset, config.max_offset));
+    case 1:
+      return make_scalar("c" + std::to_string(rng.range(1, 4)));
+    case 2:
+      return make_const(rng.range(1, 9));
+    default:
+      return make_ref(in_array(static_cast<int>(rng.range(1, 4))),
+                      rng.range(-config.max_offset, config.max_offset));
+  }
+}
+
+BinOp random_op(SplitMix64& rng) {
+  // Weighted toward add/sub with occasional long-latency mul/div, like
+  // compiled numeric code.
+  const auto roll = rng.range(1, 100);
+  if (roll <= 45) return BinOp::kAdd;
+  if (roll <= 75) return BinOp::kSub;
+  if (roll <= 92) return BinOp::kMul;
+  return BinOp::kDiv;
+}
+
+Expr random_expr(SplitMix64& rng, const LoopGenConfig& config, int stmt,
+                 int num_stmts, bool& made_carried) {
+  const int leaves =
+      static_cast<int>(rng.range(2, std::max(2, config.max_leaves)));
+  Expr expr = random_leaf(rng, config, stmt, num_stmts, made_carried);
+  for (int i = 1; i < leaves; ++i) {
+    expr = make_bin(random_op(rng),
+                    std::move(expr),
+                    random_leaf(rng, config, stmt, num_stmts, made_carried));
+  }
+  return expr;
+}
+
+}  // namespace
+
+Loop generate_random_loop(SplitMix64& rng, const LoopGenConfig& config) {
+  Loop loop;
+  loop.iter_var = "I";
+  loop.lower = 1;
+  loop.upper = config.trip;
+  loop.declared_doacross = true;
+
+  const int num_stmts =
+      static_cast<int>(rng.range(config.min_stmts, config.max_stmts));
+  bool made_carried = false;
+  for (int k = 1; k <= num_stmts; ++k) {
+    Statement stmt;
+    stmt.id = k;
+    stmt.lhs = ArrayRef{out_array(k), {1, 0}};
+    stmt.rhs = random_expr(rng, config, k, num_stmts, made_carried);
+    loop.body.push_back(std::move(stmt));
+  }
+
+  if (config.ensure_doacross && !made_carried) {
+    // Force a self-recurrence on a random statement.
+    const int k = static_cast<int>(rng.range(1, num_stmts));
+    const std::int64_t d = rng.range(
+        1, std::min<std::int64_t>(config.max_distance,
+                                  std::max<std::int64_t>(config.trip - 1, 1)));
+    auto& stmt = loop.body[static_cast<std::size_t>(k - 1)];
+    stmt.rhs = make_bin(BinOp::kAdd, std::move(stmt.rhs),
+                        make_ref(out_array(k), -d));
+  }
+  return loop;
+}
+
+}  // namespace sbmp

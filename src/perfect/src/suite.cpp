@@ -1,0 +1,434 @@
+#include "sbmp/perfect/suite.h"
+
+#include <algorithm>
+
+#include "sbmp/codegen/codegen.h"
+#include "sbmp/dep/dependence.h"
+#include "sbmp/frontend/parser.h"
+#include "sbmp/support/diagnostics.h"
+#include "sbmp/support/strings.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+
+Program PerfectBenchmark::program() const {
+  return parse_program_or_throw(source);
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// FLQ52 — transonic-flow solver stand-in. All loop-carried dependences
+// are lexically backward (the paper reports FLQ52 as all-LBD): every
+// DOACROSS loop feeds early consumer statements from arrays written at
+// the end of the body. Most backward pairs sit in separate Wat graphs,
+// so the technique converts them to LFD — the large improvement bucket.
+// ---------------------------------------------------------------------
+const char* kFlq52 = R"(
+# FLQ52: transonic flow, relaxation sweeps over the pressure field.
+# Each sweep feeds gate statements (Wat graphs, convertible to LFD) from
+# a field array written at the end of a serial spine; some sweeps carry
+# an independent short recurrence whose Sigwat path survives as the only
+# LBD after scheduling.
+loop flq52_relax_p
+doacross I = 1, 100
+  G1[I] = P[I-1] * w1 + F1[I+1]
+  G2[I] = P[I-2] / w2 - F2[I-1]
+  PP[I] = PP[I-3] * a7 + F9[I]
+  T1[I] = F3[I] * a1 + F4[I+1]
+  T2[I] = T1[I] * a2 - F5[I-2]
+  T3[I] = T2[I] / a3 + F6[I+2]
+  T4[I] = T3[I] * a4 + F7[I-1]
+  P[I]  = T4[I] * a5 + F8[I]
+end
+
+loop flq52_relax_q
+doacross I = 1, 100
+  H1[I] = Q[I-1] + E1[I] * b1
+  H2[I] = Q[I-3] * b2 + E2[I+1]
+  H3[I] = Q[I-2] - E3[I-1] / b3
+  QQ[I] = QQ[I-4] + E9[I] * b8
+  U1[I] = E4[I] * b4 + E5[I+2]
+  U2[I] = U1[I] - E6[I] * b5
+  U3[I] = U2[I] * b6 + E7[I-2]
+  Q[I]  = U3[I] + E8[I+1] * b7
+end
+
+loop flq52_flux
+doacross I = 1, 100
+  R1[I] = S[I-1] * c1 - D1[I]
+  V1[I] = D2[I] + D3[I+1] * c2
+  V2[I] = V1[I] * c3 + D4[I-1]
+  V3[I] = V2[I] - D5[I+2] / c4
+  V4[I] = V3[I] * c5 + D6[I]
+  V5[I] = V4[I] + D7[I-2] * c6
+  S[I]  = V5[I] * c7 - D8[I+1]
+end
+
+loop flq52_correct
+doacross I = 1, 100
+  K1[I] = W[I-2] + M1[I] * d1
+  K2[I] = W[I-1] * d2 - M2[I+1]
+  WW[I] = WW[I-3] + M7[I] * d7
+  L1[I] = M3[I] * d3 + M4[I-1]
+  L2[I] = L1[I] / d4 + M5[I+2]
+  L3[I] = L2[I] * d5 - M6[I]
+  W[I]  = L3[I] + M8[I] * d6
+end
+
+loop flq52_residual
+doacross I = 1, 100
+  RA[I] = RS[I-1] + N8[I] * e5
+  RB[I] = RS[I-3] * e6 - N9[I+1]
+  Y1[I] = N8[I+2] * e7 + N9[I]
+  Y2[I] = Y1[I] - N8[I-2] / e8
+  Y3[I] = Y2[I] * e9 + N9[I+3]
+  RS[I] = Y3[I] + N9[I-1] * e0
+end
+
+loop flq52_farfield
+doacross I = 1, 100
+  FA[I] = FF[I-2] * f1 + O1[I]
+  FB[I] = FF[I-1] - O2[I+1] * f2
+  X1[I] = O3[I] / f3 + O4[I-2]
+  X2[I] = X1[I] * f4 - O5[I+1]
+  X3[I] = X2[I] + O6[I] * f5
+  X4[I] = X3[I] * f6 + O7[I-1]
+  FF[I] = X4[I] - O8[I+2] / f7
+end
+
+# Smoothing passes with no loop-carried dependence (Doall).
+loop flq52_smooth
+do I = 1, 100
+  Z1[I] = N1[I] * e1 + N2[I+1]
+  Z2[I] = N3[I-1] - N4[I] / e2
+end
+
+loop flq52_scale
+do I = 1, 100
+  Z3[I] = N5[I] * e3
+  Z4[I] = N6[I] + N7[I] * e4
+end
+)";
+
+// ---------------------------------------------------------------------
+// QCD — lattice gauge stand-in. The paper reports QCD as all-LBD but
+// with far smaller improvements than the other codes: its loops are
+// dominated by serial recurrence chains, so the synchronization path
+// spans nearly the whole body and the technique has little slack to
+// exploit.
+// ---------------------------------------------------------------------
+const char* kQcd = R"(
+# QCD: lattice link update, strongly serial recurrences; two gather
+# loops with convertible backward pairs keep the average improvement in
+# the paper's low-but-nonzero band.
+loop qcd_link_update
+doacross I = 1, 100
+  A[I] = (A[I-1] * g1 + U1[I]) / g2
+end
+
+loop qcd_plaquette
+doacross I = 1, 100
+  P[I] = P[I-1] + V1[I] * h1
+  Q[I] = Q[I-1] + P[I] * h2
+end
+
+loop qcd_staple
+doacross I = 1, 100
+  S[I] = S[I-1] + W1[I] - W2[I+1]
+  T[I] = T[I-1] + S[I] * k3
+end
+
+loop qcd_gather
+doacross I = 1, 100
+  G1[I] = F[I-1] * m1 + Y1[I+1]
+  G2[I] = Y2[I] * m2 + Y3[I-1]
+  G3[I] = G2[I] - Y4[I+2] / m3
+  F[I]  = G3[I] + Y5[I] * m4
+end
+)";
+
+// ---------------------------------------------------------------------
+// MDG — molecular dynamics stand-in. Mixed LFD/LBD; wide force-update
+// bodies with short backward recurrences, so spans compress well.
+// ---------------------------------------------------------------------
+const char* kMdg = R"(
+# MDG: water-molecule dynamics, force accumulation and integration.
+loop mdg_forces
+doacross I = 1, 100
+  FX[I] = RX[I-1] * q1 + D1[I+1]
+  FY[I] = RX[I-2] - D2[I] * q2
+  W1[I] = D3[I] * q3 + D4[I+1]
+  W2[I] = W1[I] - D5[I-1] / q4
+  W3[I] = W2[I] * q5 + D6[I+2]
+  W4[I] = W3[I] + D7[I] * q6
+  W5[I] = W4[I] * q7 - D8[I-2]
+  W6[I] = W5[I] / q9 + D5[I+3]
+  W7[I] = W6[I] * q10 - D3[I-3]
+  RX[I] = W7[I] + D9[I+1] * q8
+end
+
+loop mdg_integrate
+doacross I = 1, 100
+  V1[I] = X1[I] * r1 + X2[I+1]
+  V2[I] = V1[I] - X3[I] * r2
+  PX[I] = V2[I] + PX[I-4] * r3
+  V3[I] = X4[I-1] * r4 + X5[I]
+  V4[I] = V3[I] / r5 - X6[I+2]
+  PY[I] = V4[I] + PX[I-1] * r6
+end
+
+# Forward pipeline: producers precede consumers (LFD pairs).
+loop mdg_neighbors
+doacross I = 1, 100
+  NA[I] = Y1[I] * s1 + Y2[I-1]
+  NB[I] = NA[I-2] + Y3[I] * s2
+  NC[I] = NA[I-3] - NB[I-1] / s3
+  ND[I] = Y4[I] * s4 + Y5[I+1]
+end
+
+loop mdg_bonds
+doacross I = 1, 100
+  BA[I] = BO[I-1] * p1 + G1[I]
+  BB[I] = BO[I-3] - G2[I+1] * p2
+  H1[I] = G3[I] * p3 + G4[I-2]
+  H2[I] = H1[I] / p4 + G5[I+1]
+  H3[I] = H2[I] * p5 - G6[I]
+  H4[I] = H3[I] + G7[I-1] * p6
+  BO[I] = H4[I] * p7 + G8[I+2]
+end
+
+loop mdg_kinetic
+do I = 1, 100
+  KE[I] = Z1[I] * Z1[I] + Z2[I] * Z2[I]
+  TE[I] = KE[I] * t1 + Z3[I]
+end
+
+loop mdg_shift
+do I = 1, 100
+  SA[I] = Z4[I] + t2
+  SB[I] = Z5[I] * t3 - Z6[I]
+end
+)";
+
+// ---------------------------------------------------------------------
+// TRACK — missile-tracking stand-in. All-LBD; filter loops whose
+// backward dependences feed early gate computations from late state
+// updates, mostly convertible Wat-graph pairs.
+// ---------------------------------------------------------------------
+const char* kTrack = R"(
+# TRACK: target state estimation, gating and smoothing filters.
+loop track_gate
+doacross I = 1, 100
+  GA[I] = ST[I-1] * u1 + O1[I]
+  GB[I] = ST[I-2] - O2[I+1] * u2
+  GC[I] = GC[I-3] * u8 + O9[I]
+  M1[I] = O3[I] * u3 + O4[I-1]
+  M2[I] = M1[I] - O5[I] / u4
+  M3[I] = M2[I] * u5 + O6[I+2]
+  M4[I] = M3[I] + O7[I-2] * u6
+  ST[I] = M4[I] * u7 + O8[I]
+end
+
+loop track_smooth
+doacross I = 1, 100
+  SA[I] = SM[I-1] + P1[I] * v1
+  SB[I] = SB[I-4] + P8[I] * v7
+  B1[I] = P2[I] * v2 - P3[I+1]
+  B2[I] = B1[I] + P4[I-1] / v3
+  B3[I] = B2[I] * v4 + P5[I]
+  B4[I] = B3[I] - P6[I+2] * v5
+  SM[I] = B4[I] + P7[I-1] * v6
+end
+
+loop track_predict
+doacross I = 1, 100
+  PA[I] = PR[I-3] * w1 + R1[I]
+  PB[I] = PR[I-1] / w2 - R2[I+1]
+  C1[I] = R3[I] * w3 + R4[I-2]
+  C2[I] = C1[I] + R5[I] * w4
+  C3[I] = C2[I] - R6[I+1] / w5
+  PR[I] = C3[I] * w6 + R7[I]
+end
+
+loop track_correlate
+doacross I = 1, 100
+  CA[I] = CR[I-2] + S1[I] * x3
+  CB[I] = CR[I-1] * x4 - S2[I+1]
+  D1[I] = S3[I] * x5 + S4[I-1]
+  D2[I] = D1[I] / x6 - S5[I+2]
+  D3[I] = D2[I] * x7 + S6[I]
+  CR[I] = D3[I] + S7[I-2] * x8
+end
+
+loop track_update
+doacross I = 1, 100
+  UA[I] = UP[I-1] * y1 + T1[I]
+  UB[I] = UB[I-2] + T2[I] * y2
+  E1[I] = T3[I] * y3 - T4[I+1]
+  E2[I] = E1[I] + T5[I-1] / y4
+  E3[I] = E2[I] * y5 + T6[I+2]
+  UP[I] = E3[I] - T7[I] * y6
+end
+
+loop track_window
+do I = 1, 100
+  WA[I] = Q1[I] * x1 + Q2[I+1]
+  WB[I] = Q3[I-1] - Q4[I] * x2
+end
+)";
+
+// ---------------------------------------------------------------------
+// ADM — air-quality model stand-in; the largest code. Mixed LFD/LBD
+// across many loops, including serial vertical diffusion (small gains)
+// and wide horizontal transport (large gains), netting out slightly
+// below the other big-improvement codes.
+// ---------------------------------------------------------------------
+const char* kAdm = R"(
+# ADM: pollutant transport, horizontal advection sweeps.
+loop adm_advect_x
+doacross I = 1, 100
+  AX[I] = CN[I-1] * a1 + E1[I+1]
+  AY[I] = CN[I-2] / a2 + E2[I-1]
+  D1[I] = E3[I] * a3 - E4[I+2]
+  D2[I] = D1[I] + E5[I] * a4
+  D3[I] = D2[I] - E6[I-1] / a5
+  D4[I] = D3[I] * a6 + E7[I+1]
+  D5[I] = D4[I] + E8[I-2] * a7
+  CN[I] = D5[I] * a8 + E9[I]
+end
+
+loop adm_advect_y
+doacross I = 1, 100
+  BX[I] = CM[I-1] + F1[I] * b1
+  G1[I] = F2[I] * b2 + F3[I+1]
+  G2[I] = G1[I] - F4[I-1] * b3
+  G3[I] = G2[I] / b4 + F5[I+2]
+  G4[I] = G3[I] * b5 - F6[I]
+  CM[I] = G4[I] + F7[I-1] * b6
+end
+
+# Vertical diffusion: tridiagonal-style serial recurrence.
+loop adm_diffuse_v
+doacross I = 1, 100
+  VD[I] = (VD[I-1] * c1 + H1[I]) / c2
+end
+
+loop adm_chem
+doacross I = 1, 100
+  R1[I] = K1[I] * d1 + K2[I+1]
+  R2[I] = R1[I] - K3[I] / d2
+  CC[I] = R2[I] + CC[I-6] * d3
+  R3[I] = K4[I-1] * d4 + K5[I]
+  CD[I] = R3[I] + CC[I-2] * d5
+end
+
+# Forward source pipeline (LFD pairs).
+loop adm_sources
+doacross I = 1, 100
+  SA[I] = L1[I] * e1 + L2[I-1]
+  SB[I] = SA[I-2] + L3[I] * e2
+  SC[I] = SB[I-1] - L4[I+1] / e3
+  SD[I] = SA[I-4] + SC[I] * e4
+end
+
+loop adm_deposit
+doacross I = 1, 100
+  DA[I] = DP[I-1] * f1 + N1[I]
+  T1[I] = N2[I] * f2 - N3[I+1]
+  T2[I] = T1[I] + N4[I-1] * f3
+  T3[I] = T2[I] / f4 + N5[I+2]
+  T4[I] = T3[I] * f5 - N6[I]
+  DP[I] = T4[I] + N7[I+1] * f6
+end
+
+loop adm_advect_z
+doacross I = 1, 100
+  CX[I] = CZ[I-1] * i1 + J1[I]
+  CY[I] = CZ[I-2] + J2[I+1] / i2
+  CW[I] = CW[I-4] * i3 + J9[I]
+  K1[I] = J3[I] * i4 - J4[I+2]
+  K2[I] = K1[I] + J5[I] * i5
+  K3[I] = K2[I] / i6 - J6[I-1]
+  K4[I] = K3[I] * i7 + J7[I+1]
+  CZ[I] = K4[I] + J8[I-2] * i8
+end
+
+loop adm_winds
+doacross I = 1, 100
+  WX[I] = WF[I-1] + V1[I] * k1
+  WY[I] = WF[I-3] * k2 - V2[I+1]
+  L1[I] = V3[I] * k3 + V4[I-2]
+  L2[I] = L1[I] - V5[I] / k4
+  L3[I] = L2[I] * k5 + V6[I+1]
+  L4[I] = L3[I] + V7[I-1] * k6
+  WF[I] = L4[I] * k7 - V8[I+2]
+end
+
+loop adm_photolysis
+doacross I = 1, 100
+  PH[I] = Q1[I] * l1 + Q2[I-1]
+  PJ[I] = PH[I-2] + Q3[I] * l2
+  PK[I] = PJ[I-1] - Q4[I+1] / l3
+  PL[I] = PH[I-3] + PK[I] * l4
+end
+
+loop adm_emission
+do I = 1, 100
+  EA[I] = M1[I] * g1 + M2[I+1]
+  EB[I] = M3[I-1] + M4[I] * g2
+  EC[I] = M5[I] - M6[I+2] / g3
+end
+
+loop adm_average
+do I = 1, 100
+  MA[I] = W1[I] + W2[I] * h1
+  MB[I] = W3[I] * h2 - W4[I]
+end
+)";
+
+std::vector<PerfectBenchmark> build_suite() {
+  return {
+      {"FLQ52", "transonic flow analysis (all-LBD relaxation sweeps)",
+       kFlq52},
+      {"QCD", "lattice gauge theory (serial recurrences, all-LBD)", kQcd},
+      {"MDG", "molecular dynamics of water (mixed LFD/LBD)", kMdg},
+      {"TRACK", "missile tracking filters (all-LBD)", kTrack},
+      {"ADM", "air quality model (largest, mixed LFD/LBD)", kAdm},
+  };
+}
+
+}  // namespace
+
+const std::vector<PerfectBenchmark>& perfect_suite() {
+  static const std::vector<PerfectBenchmark> suite = build_suite();
+  return suite;
+}
+
+const PerfectBenchmark& find_benchmark(const std::string& name) {
+  for (const auto& bench : perfect_suite()) {
+    if (bench.name == name) return bench;
+  }
+  throw SbmpError("unknown benchmark: " + name);
+}
+
+BenchmarkStats compute_stats(const PerfectBenchmark& bench) {
+  BenchmarkStats stats;
+  stats.name = bench.name;
+  for (const auto line : split(bench.source, '\n')) {
+    if (!trim(line).empty()) ++stats.source_lines;
+  }
+  const Program program = bench.program();
+  stats.total_loops = static_cast<int>(program.loops.size());
+  for (const auto& loop : program.loops) {
+    const DepAnalysis deps = analyze_dependences(loop);
+    if (deps.is_doall()) ++stats.doall_loops;
+    stats.lfd += deps.count_lfd();
+    stats.lbd += deps.count_lbd();
+    const SyncedLoop synced = insert_synchronization(loop, deps);
+    stats.tac_lines += generate_tac(synced).size();
+  }
+  return stats;
+}
+
+}  // namespace sbmp

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sbmp/codegen/tac.h"
+#include "sbmp/sched/schedule.h"
+
+namespace sbmp {
+
+/// The live range of one virtual register over the issue groups of a
+/// schedule. Iterations run on distinct processors, so ranges never
+/// cross iterations: they live inside [0, schedule length).
+struct LiveRange {
+  int vreg = 0;
+  int start = 0;     ///< group index of the definition (0 for live-ins)
+  int end = 0;       ///< group index of the last use
+  bool live_in = false;  ///< iteration number / loop parameter
+  int uses = 0;
+
+  [[nodiscard]] bool overlaps(const LiveRange& other) const {
+    return start <= other.end && other.start <= end;
+  }
+};
+
+/// Result of assigning physical registers to one scheduled iteration.
+struct RegAllocResult {
+  int physical_regs = 0;
+  std::vector<LiveRange> ranges;        ///< sorted by start
+  std::map<int, int> assignment;        ///< vreg -> physical (spilled absent)
+  std::vector<int> spilled;             ///< vregs without a register
+  int max_pressure = 0;                 ///< peak simultaneously-live vregs
+  /// Dynamic cost estimate of the spills: one reload per use and one
+  /// store per definition of every spilled range.
+  int spill_cost = 0;
+
+  [[nodiscard]] bool fits() const { return spilled.empty(); }
+  [[nodiscard]] std::string to_string(const TacFunction& tac) const;
+};
+
+/// Computes the live ranges of `tac` under `schedule` order. Live-in
+/// registers (the iteration number and loop parameters) start at group 0.
+[[nodiscard]] std::vector<LiveRange> compute_live_ranges(
+    const TacFunction& tac, const Schedule& schedule);
+
+/// Linear-scan register allocation (Poletto/Sarkar): ranges sorted by
+/// start, the active range with the furthest end spills when the file is
+/// exhausted. Live-ins participate like any other range.
+[[nodiscard]] RegAllocResult allocate_registers(const TacFunction& tac,
+                                                const Schedule& schedule,
+                                                int physical_regs);
+
+/// Checks that no two ranges sharing a physical register overlap;
+/// returns human-readable violations (empty = valid). Exposed for tests
+/// and as a sanity harness for alternative allocators.
+[[nodiscard]] std::vector<std::string> verify_allocation(
+    const RegAllocResult& result);
+
+}  // namespace sbmp

@@ -1,0 +1,174 @@
+#include "sbmp/regalloc/regalloc.h"
+
+#include <algorithm>
+#include <set>
+
+namespace sbmp {
+
+std::string RegAllocResult::to_string(const TacFunction& tac) const {
+  std::string out = std::to_string(ranges.size()) + " ranges, peak pressure " +
+                    std::to_string(max_pressure) + ", " +
+                    std::to_string(physical_regs) + " registers";
+  if (spilled.empty()) {
+    out += ", no spills";
+  } else {
+    out += ", " + std::to_string(spilled.size()) +
+           " spills (cost " + std::to_string(spill_cost) + "):";
+    for (const int vreg : spilled) out += " " + tac.reg_name(vreg);
+  }
+  return out;
+}
+
+std::vector<LiveRange> compute_live_ranges(const TacFunction& tac,
+                                           const Schedule& schedule) {
+  std::map<int, LiveRange> by_vreg;
+
+  const auto def = [&](int vreg, int slot) {
+    auto [it, inserted] = by_vreg.try_emplace(vreg);
+    if (inserted) {
+      it->second.vreg = vreg;
+      it->second.start = slot;
+      it->second.end = slot;
+    }
+  };
+  const auto use = [&](const Operand& op, int slot) {
+    if (!op.is_reg()) return;
+    auto [it, inserted] = by_vreg.try_emplace(op.reg);
+    LiveRange& range = it->second;
+    if (inserted) {
+      // First sighting is a use: a live-in register.
+      range.vreg = op.reg;
+      range.start = 0;
+      range.end = slot;
+      range.live_in = true;
+    }
+    range.end = std::max(range.end, slot);
+    ++range.uses;
+  };
+
+  // Virtual registers are single-assignment and defs precede uses in
+  // any verified schedule. Record definitions first so that the use
+  // pass can tell live-ins (first sighting is a use) from defined
+  // registers.
+  for (const auto& instr : tac.instrs) {
+    if (instr.dst != 0) def(instr.dst, schedule.slot(instr.id));
+  }
+  for (std::size_t g = 0; g < schedule.groups.size(); ++g) {
+    for (const int id : schedule.groups[g]) {
+      const auto& instr = tac.by_id(id);
+      use(instr.a, static_cast<int>(g));
+      use(instr.b, static_cast<int>(g));
+    }
+  }
+
+  std::vector<LiveRange> ranges;
+  for (auto& [vreg, range] : by_vreg) {
+    if (tac.is_live_in(vreg)) {
+      range.live_in = true;
+      range.start = 0;
+    }
+    ranges.push_back(range);
+  }
+  std::sort(ranges.begin(), ranges.end(),
+            [](const LiveRange& a, const LiveRange& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.vreg < b.vreg;
+            });
+  return ranges;
+}
+
+RegAllocResult allocate_registers(const TacFunction& tac,
+                                  const Schedule& schedule,
+                                  int physical_regs) {
+  RegAllocResult result;
+  result.physical_regs = physical_regs;
+  result.ranges = compute_live_ranges(tac, schedule);
+
+  // Peak pressure: sweep over group boundaries.
+  std::vector<int> delta(static_cast<std::size_t>(schedule.length()) + 2, 0);
+  for (const auto& range : result.ranges) {
+    ++delta[static_cast<std::size_t>(range.start)];
+    --delta[static_cast<std::size_t>(range.end) + 1];
+  }
+  int live = 0;
+  for (const int d : delta) {
+    live += d;
+    result.max_pressure = std::max(result.max_pressure, live);
+  }
+
+  // Linear scan with furthest-end spilling.
+  std::set<int> free_regs;
+  for (int r = 0; r < physical_regs; ++r) free_regs.insert(r);
+  // Active ranges ordered by (end, vreg).
+  std::set<std::pair<int, const LiveRange*>> active;
+
+  for (const auto& range : result.ranges) {
+    // Expire ranges ending strictly before this start.
+    while (!active.empty() && active.begin()->first < range.start) {
+      free_regs.insert(result.assignment.at(active.begin()->second->vreg));
+      active.erase(active.begin());
+    }
+    if (!free_regs.empty()) {
+      const int reg = *free_regs.begin();
+      free_regs.erase(free_regs.begin());
+      result.assignment[range.vreg] = reg;
+      active.insert({range.end, &range});
+      continue;
+    }
+    // Spill whichever live range ends last.
+    if (!active.empty() && active.rbegin()->first > range.end) {
+      const LiveRange* victim = active.rbegin()->second;
+      const int reg = result.assignment.at(victim->vreg);
+      active.erase(std::prev(active.end()));
+      result.assignment.erase(victim->vreg);
+      result.spilled.push_back(victim->vreg);
+      result.spill_cost += victim->uses + (victim->live_in ? 0 : 1);
+      result.assignment[range.vreg] = reg;
+      active.insert({range.end, &range});
+    } else {
+      result.spilled.push_back(range.vreg);
+      result.spill_cost += range.uses + (range.live_in ? 0 : 1);
+    }
+  }
+  std::sort(result.spilled.begin(), result.spilled.end());
+  return result;
+}
+
+std::vector<std::string> verify_allocation(const RegAllocResult& result) {
+  std::vector<std::string> violations;
+  for (std::size_t i = 0; i < result.ranges.size(); ++i) {
+    const auto ai = result.assignment.find(result.ranges[i].vreg);
+    if (ai == result.assignment.end()) continue;
+    if (ai->second < 0 || ai->second >= result.physical_regs) {
+      violations.push_back("vreg " + std::to_string(result.ranges[i].vreg) +
+                           " assigned out-of-file register " +
+                           std::to_string(ai->second));
+    }
+    for (std::size_t j = i + 1; j < result.ranges.size(); ++j) {
+      const auto aj = result.assignment.find(result.ranges[j].vreg);
+      if (aj == result.assignment.end()) continue;
+      if (ai->second == aj->second &&
+          result.ranges[i].overlaps(result.ranges[j])) {
+        violations.push_back(
+            "vregs " + std::to_string(result.ranges[i].vreg) + " and " +
+            std::to_string(result.ranges[j].vreg) +
+            " share register " + std::to_string(ai->second) +
+            " but their live ranges overlap");
+      }
+    }
+  }
+  // Every virtual register is either assigned or spilled.
+  for (const auto& range : result.ranges) {
+    const bool assigned = result.assignment.count(range.vreg) != 0;
+    const bool spilled =
+        std::binary_search(result.spilled.begin(), result.spilled.end(),
+                           range.vreg);
+    if (assigned == spilled) {
+      violations.push_back("vreg " + std::to_string(range.vreg) +
+                           " must be exactly one of assigned/spilled");
+    }
+  }
+  return violations;
+}
+
+}  // namespace sbmp

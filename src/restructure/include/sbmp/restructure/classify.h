@@ -1,0 +1,36 @@
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "sbmp/dep/dependence.h"
+#include "sbmp/restructure/restructure.h"
+
+namespace sbmp {
+
+/// The DOACROSS-loop taxonomy the paper cites (from Eigenmann et al.'s
+/// Perfect-benchmark study): why a loop fails to be Doall. A loop can
+/// belong to several categories. kControl (type 1) cannot occur in the
+/// LoopLang subset (no control flow inside bodies); kOther covers
+/// carried dependences with non-unit or irregular subscripts.
+enum class DoacrossType {
+  kControl,          // type 1: control dependence
+  kAntiOutput,       // type 2: anti/output dependence
+  kInduction,        // type 3: induction variable
+  kReduction,        // type 4: reduction operation
+  kSimpleSubscript,  // type 5: simple (unit-coefficient) flow subscript
+  kOther,            // type 6: everything else
+};
+
+[[nodiscard]] const char* doacross_type_name(DoacrossType t);
+
+/// Classifies a loop given the transformations that were applied to it
+/// and its (post-restructuring) dependence analysis.
+[[nodiscard]] std::set<DoacrossType> classify_doacross(
+    const RestructureResult& restructured, const DepAnalysis& deps);
+
+/// Renders like "induction+reduction" / "simple-subscript".
+[[nodiscard]] std::string doacross_types_to_string(
+    const std::set<DoacrossType>& types);
+
+}  // namespace sbmp

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sbmp/ir/preloop.h"
+#include "sbmp/support/diagnostics.h"
+
+namespace sbmp {
+
+/// One restructuring transformation applied to a loop. These are the
+/// three transformations the paper (following Chen & Yew's measurement)
+/// uses to convert DO loops into synchronizable DOACROSS form:
+/// induction-variable substitution, reduction replacement and scalar
+/// expansion.
+struct RestructureNote {
+  enum class Kind {
+    kInductionSubstitution,
+    kReductionReplacement,
+    kScalarExpansion,
+  };
+  Kind kind = Kind::kScalarExpansion;
+  std::string scalar;  ///< the eliminated scalar
+  std::string detail;  ///< human-readable description
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Result of restructuring one pre-form loop.
+struct RestructureResult {
+  /// The scalar-free loop; empty body when restructuring failed (see
+  /// the diagnostics).
+  Loop loop;
+  bool ok = false;
+  std::vector<RestructureNote> notes;
+
+  [[nodiscard]] bool applied(RestructureNote::Kind kind) const;
+};
+
+/// Eliminates every scalar definition from `pre`:
+///
+///  * **Induction-variable substitution** — a scalar with the single
+///    definition `k = k ± c` is replaced at each use by its closed form
+///    `k0 ± c*(i - lower [+1 after the definition])`. With `init k = v`
+///    the closed form is constant-based; without it the entry value
+///    stays symbolic (fine in value positions).
+///  * **Reduction replacement** — `s = s ⊕ e` (⊕ in {+, *, -}), with s
+///    unused elsewhere, becomes the partial-result recurrence
+///    `s_x[i] = s_x[i-1] ⊕ e`; the final combination happens after the
+///    loop (recorded in the note).
+///  * **Scalar expansion** — any other defined scalar s becomes an
+///    array s_x: the definition writes `s_x[i]`, uses after it read
+///    `s_x[i]`, uses before it (which see the previous iteration's
+///    value) read `s_x[i-1]`; `s_x[lower-1]` carries the entry value.
+///
+/// Errors (reported to `diags`): none currently — every straight-line
+/// scalar pattern in the subset is convertible; the function still
+/// returns ok=false if a future pattern cannot be handled.
+[[nodiscard]] RestructureResult restructure_loop(const PreLoop& pre,
+                                                 DiagEngine& diags);
+
+/// Convenience: restructure, throwing SbmpError on any diagnostic.
+[[nodiscard]] RestructureResult restructure_or_throw(const PreLoop& pre);
+
+}  // namespace sbmp

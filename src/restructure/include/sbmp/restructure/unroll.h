@@ -1,0 +1,27 @@
+#pragma once
+
+#include "sbmp/ir/loop.h"
+#include "sbmp/support/diagnostics.h"
+
+namespace sbmp {
+
+/// Unrolls a normalized loop by `factor`, the classic follow-on
+/// transformation for DOACROSS synchronization cost: one unrolled
+/// iteration executes `factor` consecutive original iterations, so
+/// per-element synchronization traffic drops and short dependence
+/// distances d collapse to max(1, d/factor)-ish distances between
+/// unrolled iterations (the dependence analyzer recomputes them exactly
+/// — subscripts stay affine: (c, k) of instance r becomes
+/// (c*factor, k + c*(lower - factor + r))).
+///
+/// Requires `factor >= 1` dividing the trip count (reported to `diags`
+/// otherwise; the loop is returned unchanged). Statements are cloned in
+/// instance order (all statements of original iteration r before those
+/// of r+1), preserving per-iteration program order.
+[[nodiscard]] Loop unroll_loop(const Loop& loop, int factor,
+                               DiagEngine& diags);
+
+/// Convenience: throws SbmpError on any diagnostic.
+[[nodiscard]] Loop unroll_or_throw(const Loop& loop, int factor);
+
+}  // namespace sbmp

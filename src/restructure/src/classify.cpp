@@ -1,0 +1,54 @@
+#include "sbmp/restructure/classify.h"
+
+namespace sbmp {
+
+const char* doacross_type_name(DoacrossType t) {
+  switch (t) {
+    case DoacrossType::kControl:
+      return "control";
+    case DoacrossType::kAntiOutput:
+      return "anti-output";
+    case DoacrossType::kInduction:
+      return "induction";
+    case DoacrossType::kReduction:
+      return "reduction";
+    case DoacrossType::kSimpleSubscript:
+      return "simple-subscript";
+    case DoacrossType::kOther:
+      return "other";
+  }
+  return "?";
+}
+
+std::set<DoacrossType> classify_doacross(const RestructureResult& restructured,
+                                         const DepAnalysis& deps) {
+  std::set<DoacrossType> types;
+  if (restructured.applied(RestructureNote::Kind::kInductionSubstitution))
+    types.insert(DoacrossType::kInduction);
+  if (restructured.applied(RestructureNote::Kind::kReductionReplacement))
+    types.insert(DoacrossType::kReduction);
+  for (const auto& dep : deps.deps) {
+    if (!dep.loop_carried()) continue;
+    if (dep.kind != DepKind::kFlow) {
+      types.insert(DoacrossType::kAntiOutput);
+    } else if (dep.constant_distance && dep.src_ref.index.coef == 1 &&
+               dep.snk_ref.index.coef == 1) {
+      types.insert(DoacrossType::kSimpleSubscript);
+    } else {
+      types.insert(DoacrossType::kOther);
+    }
+  }
+  return types;
+}
+
+std::string doacross_types_to_string(const std::set<DoacrossType>& types) {
+  if (types.empty()) return "doall";
+  std::string out;
+  for (const auto t : types) {
+    if (!out.empty()) out += "+";
+    out += doacross_type_name(t);
+  }
+  return out;
+}
+
+}  // namespace sbmp

@@ -1,0 +1,89 @@
+#include "sbmp/restructure/unroll.h"
+
+namespace sbmp {
+
+namespace {
+
+/// Rewrites every subscript of `e` for unrolled instance `r`:
+/// original i = factor*i' + (lower - factor + r).
+void shift_subscripts(Expr& e, int factor, std::int64_t shift) {
+  if (auto* ref = std::get_if<ArrayRef>(&e)) {
+    ref->index.offset += ref->index.coef * shift;
+    ref->index.coef *= factor;
+    return;
+  }
+  if (auto* bin = std::get_if<BinaryExpr>(&e)) {
+    if (bin->lhs) shift_subscripts(*bin->lhs, factor, shift);
+    if (bin->rhs) shift_subscripts(*bin->rhs, factor, shift);
+  }
+  // The induction variable used as a *value* would need an explicit
+  // factor*i'+shift expression; LoopLang bodies that use it as a value
+  // are handled below at the statement level.
+}
+
+/// Replaces value uses of the induction variable by factor*i' + shift.
+void rewrite_iter_values(Expr& e, int factor, std::int64_t shift) {
+  if (std::holds_alternative<IterVar>(e)) {
+    e = make_bin(BinOp::kAdd,
+                 make_bin(BinOp::kMul, make_const(factor), Expr{IterVar{}}),
+                 make_const(shift));
+    return;
+  }
+  if (auto* bin = std::get_if<BinaryExpr>(&e)) {
+    if (bin->lhs) rewrite_iter_values(*bin->lhs, factor, shift);
+    if (bin->rhs) rewrite_iter_values(*bin->rhs, factor, shift);
+  }
+}
+
+}  // namespace
+
+Loop unroll_loop(const Loop& loop, int factor, DiagEngine& diags) {
+  if (factor < 1) {
+    diags.error({}, "unroll factor must be >= 1");
+    return loop;
+  }
+  if (factor == 1) return loop;
+  const std::int64_t trip = loop.trip_count();
+  if (trip % factor != 0) {
+    diags.error({}, "unroll factor " + std::to_string(factor) +
+                        " does not divide the trip count " +
+                        std::to_string(trip) +
+                        " (remainder loops are out of scope)");
+    return loop;
+  }
+
+  Loop out;
+  out.name = loop.name.empty() ? "" : loop.name + "_u" +
+                                          std::to_string(factor);
+  out.iter_var = loop.iter_var;
+  out.lower = 1;
+  out.upper = trip / factor;
+  out.declared_doacross = loop.declared_doacross;
+  out.array_types = loop.array_types;
+
+  for (int r = 0; r < factor; ++r) {
+    const std::int64_t shift = loop.lower - factor + r;
+    for (const auto& stmt : loop.body) {
+      Statement clone;
+      clone.id = static_cast<int>(out.body.size()) + 1;
+      clone.lhs = stmt.lhs;
+      clone.lhs.index.offset += clone.lhs.index.coef * shift;
+      clone.lhs.index.coef *= factor;
+      clone.rhs = stmt.rhs;
+      rewrite_iter_values(clone.rhs, factor, shift);
+      shift_subscripts(clone.rhs, factor, shift);
+      clone.loc = stmt.loc;
+      out.body.push_back(std::move(clone));
+    }
+  }
+  return out;
+}
+
+Loop unroll_or_throw(const Loop& loop, int factor) {
+  DiagEngine diags;
+  Loop out = unroll_loop(loop, factor, diags);
+  if (!diags.ok()) throw SbmpError("unroll failed:\n" + diags.render());
+  return out;
+}
+
+}  // namespace sbmp

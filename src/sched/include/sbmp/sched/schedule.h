@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sbmp/codegen/tac.h"
+
+namespace sbmp {
+
+/// A static schedule of one loop iteration: a sequence of issue groups.
+/// Group `g` issues in cycle order after group `g-1`; the simulator may
+/// stall a group for operand latencies or signal waits, but never
+/// reorders instructions across groups.
+struct Schedule {
+  /// Instruction ids per issue group, in lane order.
+  std::vector<std::vector<int>> groups;
+  /// Instruction id -> group index (0-based). Index 0 is unused.
+  std::vector<int> slot_of;
+
+  [[nodiscard]] int length() const { return static_cast<int>(groups.size()); }
+  [[nodiscard]] int slot(int id) const {
+    return slot_of[static_cast<std::size_t>(id)];
+  }
+
+  /// Renders the schedule in the style of the paper's Fig 4: one issue
+  /// group per line, lanes padded with '-', synchronization operations
+  /// annotated on the right.
+  [[nodiscard]] std::string to_string(const TacFunction& tac,
+                                      int issue_width) const;
+};
+
+}  // namespace sbmp

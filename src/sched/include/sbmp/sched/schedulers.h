@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sbmp/dfg/dfg.h"
+#include "sbmp/machine/machine.h"
+#include "sbmp/sched/schedule.h"
+
+namespace sbmp {
+
+/// Available instruction schedulers.
+enum class SchedulerKind {
+  /// Program order packed onto the issue slots (a non-reordering
+  /// superscalar); the weakest baseline.
+  kInOrder,
+  /// Classic list scheduling with critical-path priority — the paper's
+  /// baseline ("T_a"). It respects the synchronization-condition arcs
+  /// but optimizes only ILP, so waits float early and sends sink late,
+  /// stretching LBD synchronization spans.
+  kList,
+  /// The synchronization-marker approach of the author's earlier
+  /// ISPAN'94 work (the paper's reference [18]): every Wait/Send acts
+  /// as a scheduling barrier, so instructions reorder freely *between*
+  /// markers but never across them. Correct by construction, but it
+  /// neither converts LBDs nor compacts paths.
+  kSyncBarrier,
+  /// The paper's synchronization-aware technique ("T_b").
+  kSyncAware,
+};
+
+[[nodiscard]] const char* scheduler_name(SchedulerKind k);
+
+/// In-order baseline: place each instruction at the earliest slot not
+/// before its predecessor in program order.
+[[nodiscard]] Schedule schedule_inorder(const TacFunction& tac,
+                                        const Dfg& dfg,
+                                        const MachineConfig& config);
+
+/// Classic cycle-driven list scheduling, priority = latency-weighted
+/// critical-path height.
+[[nodiscard]] Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
+                                     const MachineConfig& config);
+
+/// Synchronization-marker scheduling (reference [18]): list-schedules
+/// each span of instructions between consecutive sync operations, with
+/// every Wait/Send placed after everything before it and before
+/// everything after it in program order.
+[[nodiscard]] Schedule schedule_sync_barrier(const TacFunction& tac,
+                                             const Dfg& dfg,
+                                             const MachineConfig& config);
+
+/// Ablation switches for the sync-aware scheduler (all on reproduces the
+/// paper's technique).
+struct SyncAwareOptions {
+  /// Schedule the nodes of each synchronization path in consecutive
+  /// issue groups (Section 3.2's scheduling rule). Off: Sigwat
+  /// components fall back to ASAP order.
+  bool contiguous_paths = true;
+  /// Convert Sig-graph and Wat-graph pairs into LFD by placing sends
+  /// before / waits after their counterpart (Section 3.2). Off: those
+  /// components are scheduled like plain ones.
+  bool convert_lfd = true;
+};
+
+/// The paper's synchronization-aware scheduler:
+///  1. Sigwat components first, in descending (n/d)*|SP| priority; inside
+///     each, synchronization paths are placed in consecutive groups
+///     (overlapping paths merged and scheduled together), ancestors
+///     filled ASAP into spare lanes, then the remaining component nodes;
+///  2. Sig components ASAP, putting each Send_Signal before its paired
+///     Wait_Signal;
+///  3. Wat components with each Wait_Signal constrained after its paired
+///     Send_Signal;
+///  4. remaining plain components ASAP into the holes.
+/// `n_iterations` enters the priority (n/d)*|SP| of step 1.
+[[nodiscard]] Schedule schedule_sync_aware(const TacFunction& tac,
+                                           const Dfg& dfg,
+                                           const MachineConfig& config,
+                                           std::int64_t n_iterations,
+                                           const SyncAwareOptions& options = {});
+
+/// Dispatch by kind (sync-aware uses default options).
+[[nodiscard]] Schedule run_scheduler(SchedulerKind kind,
+                                     const TacFunction& tac, const Dfg& dfg,
+                                     const MachineConfig& config,
+                                     std::int64_t n_iterations);
+
+/// Validates a schedule: every instruction placed exactly once, issue
+/// width and function-unit capacities respected, and every DFG edge
+/// satisfied with its full latency (slot(to) >= slot(from) + latency).
+/// Returns human-readable violations; empty means valid.
+[[nodiscard]] std::vector<std::string> verify_schedule(
+    const TacFunction& tac, const Dfg& dfg, const MachineConfig& config,
+    const Schedule& schedule);
+
+}  // namespace sbmp

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <array>
+
+#include "sbmp/dfg/dfg.h"
+#include "sbmp/machine/machine.h"
+#include "sbmp/sched/schedule.h"
+
+namespace sbmp {
+
+/// Incrementally builds a Schedule while tracking per-group issue and
+/// function-unit capacity. Shared by all schedulers.
+class SlotFiller {
+ public:
+  SlotFiller(const TacFunction& tac, const Dfg& dfg,
+             const MachineConfig& config);
+
+  [[nodiscard]] bool placed(int id) const {
+    return sched_.slot_of[static_cast<std::size_t>(id)] >= 0;
+  }
+  [[nodiscard]] int slot(int id) const {
+    return sched_.slot_of[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] int num_placed() const { return num_placed_; }
+  [[nodiscard]] int length() const { return sched_.length(); }
+
+  /// Earliest cycle at which `id` may issue given its placed
+  /// predecessors; -1 if some predecessor is still unplaced.
+  [[nodiscard]] int ready_slot(int id) const;
+
+  /// Like ready_slot, but pretends predecessor `ignored_pred` does not
+  /// exist (used to pre-compute a sink's slot before its wait is
+  /// placed). Still -1 if another predecessor is unplaced.
+  [[nodiscard]] int ready_slot_ignoring(int id, int ignored_pred) const;
+
+  /// Latest slot in [0, limit) with capacity for `id`, or -1 when every
+  /// slot below `limit` is full.
+  [[nodiscard]] int latest_free_slot_before(int id, int limit) const;
+
+  /// True if group `slot` has a free lane and a free function unit of the
+  /// right class for `id` (slots beyond the current length are empty).
+  [[nodiscard]] bool capacity_ok(int slot, int id) const;
+
+  /// Places `id` at the earliest feasible slot >= max(min_slot,
+  /// ready_slot(id)), appending groups as needed. All predecessors must
+  /// already be placed. Returns the chosen slot.
+  int place_earliest(int id, int min_slot);
+
+  /// Places `id` at exactly `slot`; the caller must have checked
+  /// readiness and capacity.
+  void place_at(int id, int slot);
+
+  /// Recursively places all unplaced transitive predecessors of `id` at
+  /// their earliest feasible slots (ASAP with hole filling). Does not
+  /// place `id` itself.
+  void place_ancestors_asap(int id);
+
+  /// Finalizes: asserts every instruction is placed and returns the
+  /// schedule.
+  [[nodiscard]] Schedule take();
+
+ private:
+  void ensure_slot(int slot);
+  [[nodiscard]] bool counts_for_issue(int id) const;
+
+  const TacFunction& tac_;
+  const Dfg& dfg_;
+  const MachineConfig& config_;
+  Schedule sched_;
+  std::vector<int> issue_used_;
+  std::vector<std::array<int, kNumFuClasses>> fu_used_;
+  int num_placed_ = 0;
+};
+
+}  // namespace sbmp

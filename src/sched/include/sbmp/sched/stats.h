@@ -1,0 +1,35 @@
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "sbmp/dfg/dfg.h"
+#include "sbmp/machine/machine.h"
+#include "sbmp/sched/schedule.h"
+
+namespace sbmp {
+
+/// Static occupancy statistics of one schedule on one machine shape.
+struct ScheduleStats {
+  int groups = 0;
+  int instructions = 0;
+  int empty_groups = 0;  ///< pure latency-padding groups
+  /// Fraction of issue lanes filled: instructions / (groups * width).
+  double issue_utilization = 0.0;
+  /// Per-class busy fraction: issues on the class / (groups * #FU).
+  std::array<double, kNumFuClasses> fu_utilization{};
+  /// The quantity the paper's technique minimizes: the worst
+  /// (send slot - wait slot + 1) over synchronization pairs; <= 0 when
+  /// every pair is LFD.
+  int worst_sync_span = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Computes occupancy statistics for `schedule`.
+[[nodiscard]] ScheduleStats compute_schedule_stats(const TacFunction& tac,
+                                                   const Dfg& dfg,
+                                                   const Schedule& schedule,
+                                                   const MachineConfig& config);
+
+}  // namespace sbmp

@@ -1,0 +1,110 @@
+#include <algorithm>
+
+#include "sbmp/sched/schedulers.h"
+#include "sbmp/sched/slot_filler.h"
+
+namespace sbmp {
+
+const char* scheduler_name(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kInOrder:
+      return "in-order";
+    case SchedulerKind::kList:
+      return "list";
+    case SchedulerKind::kSyncBarrier:
+      return "sync-marker";
+    case SchedulerKind::kSyncAware:
+      return "sync-aware";
+  }
+  return "?";
+}
+
+Schedule schedule_inorder(const TacFunction& tac, const Dfg& dfg,
+                          const MachineConfig& config) {
+  SlotFiller filler(tac, dfg, config);
+  int min_slot = 0;
+  for (const auto& instr : tac.instrs) {
+    // A non-reordering superscalar never issues an instruction in a
+    // cycle before one that precedes it in program order.
+    min_slot = filler.place_earliest(instr.id, min_slot);
+  }
+  return filler.take();
+}
+
+Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
+                       const MachineConfig& config) {
+  SlotFiller filler(tac, dfg, config);
+  const std::vector<int> height = dfg.heights();
+
+  // Cycle-driven list scheduling: at each cycle, issue the ready
+  // instructions in descending critical-path priority until capacity
+  // runs out.
+  std::vector<int> order(static_cast<std::size_t>(tac.size()));
+  for (int i = 0; i < tac.size(); ++i) order[static_cast<std::size_t>(i)] =
+      i + 1;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return height[static_cast<std::size_t>(a)] >
+           height[static_cast<std::size_t>(b)];
+  });
+
+  int cycle = 0;
+  while (filler.num_placed() < tac.size()) {
+    for (const int id : order) {
+      if (filler.placed(id)) continue;
+      const int ready = filler.ready_slot(id);
+      if (ready < 0 || ready > cycle) continue;
+      if (!filler.capacity_ok(cycle, id)) continue;
+      filler.place_at(id, cycle);
+    }
+    ++cycle;
+  }
+  return filler.take();
+}
+
+Schedule schedule_sync_barrier(const TacFunction& tac, const Dfg& dfg,
+                               const MachineConfig& config) {
+  SlotFiller filler(tac, dfg, config);
+  // Instructions between consecutive sync markers reorder freely (ASAP
+  // with hole filling above the current floor); each marker is placed
+  // after every earlier instruction and raises the floor for the rest.
+  int floor = 0;
+  int max_used = -1;
+  std::vector<int> segment;
+  const auto flush_segment = [&] {
+    for (const int id : segment) {
+      const int slot = filler.place_earliest(id, floor);
+      if (slot > max_used) max_used = slot;
+    }
+    segment.clear();
+  };
+  for (const auto& instr : tac.instrs) {
+    if (!instr.is_sync()) {
+      segment.push_back(instr.id);
+      continue;
+    }
+    flush_segment();
+    const int slot = filler.place_earliest(instr.id, max_used + 1);
+    if (slot > max_used) max_used = slot;
+    floor = slot + 1;
+  }
+  flush_segment();
+  return filler.take();
+}
+
+Schedule run_scheduler(SchedulerKind kind, const TacFunction& tac,
+                       const Dfg& dfg, const MachineConfig& config,
+                       std::int64_t n_iterations) {
+  switch (kind) {
+    case SchedulerKind::kInOrder:
+      return schedule_inorder(tac, dfg, config);
+    case SchedulerKind::kList:
+      return schedule_list(tac, dfg, config);
+    case SchedulerKind::kSyncBarrier:
+      return schedule_sync_barrier(tac, dfg, config);
+    case SchedulerKind::kSyncAware:
+      return schedule_sync_aware(tac, dfg, config, n_iterations);
+  }
+  return schedule_list(tac, dfg, config);
+}
+
+}  // namespace sbmp

@@ -1,0 +1,32 @@
+#include "sbmp/sched/schedule.h"
+
+namespace sbmp {
+
+std::string Schedule::to_string(const TacFunction& tac,
+                                int issue_width) const {
+  std::string out;
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    std::string row = "(";
+    std::string annot;
+    for (int lane = 0; lane < issue_width; ++lane) {
+      if (lane > 0) row += ", ";
+      if (lane < static_cast<int>(groups[g].size())) {
+        const int id = groups[g][static_cast<std::size_t>(lane)];
+        row += std::to_string(id);
+        const auto& instr = tac.by_id(id);
+        if (instr.is_sync()) {
+          if (!annot.empty()) annot += ", ";
+          annot += tac.instr_to_string(instr);
+        }
+      } else {
+        row += "-";
+      }
+    }
+    row += ")";
+    if (!annot.empty()) row += "   " + annot;
+    out += row + "\n";
+  }
+  return out;
+}
+
+}  // namespace sbmp

@@ -1,0 +1,99 @@
+#include "sbmp/sched/slot_filler.h"
+
+#include <cassert>
+
+#include "sbmp/support/diagnostics.h"
+
+namespace sbmp {
+
+SlotFiller::SlotFiller(const TacFunction& tac, const Dfg& dfg,
+                       const MachineConfig& config)
+    : tac_(tac), dfg_(dfg), config_(config) {
+  sched_.slot_of.assign(static_cast<std::size_t>(tac.size()) + 1, -1);
+}
+
+bool SlotFiller::counts_for_issue(int id) const {
+  return config_.sync_consumes_slot || !tac_.by_id(id).is_sync();
+}
+
+int SlotFiller::ready_slot(int id) const {
+  return ready_slot_ignoring(id, 0);
+}
+
+int SlotFiller::ready_slot_ignoring(int id, int ignored_pred) const {
+  int ready = 0;
+  for (const auto& e : dfg_.preds(id)) {
+    if (e.from == ignored_pred) continue;
+    const int from_slot = slot(e.from);
+    if (from_slot < 0) return -1;
+    if (from_slot + e.latency > ready) ready = from_slot + e.latency;
+  }
+  return ready;
+}
+
+int SlotFiller::latest_free_slot_before(int id, int limit) const {
+  for (int s = limit - 1; s >= 0; --s) {
+    if (capacity_ok(s, id)) return s;
+  }
+  return -1;
+}
+
+bool SlotFiller::capacity_ok(int slot, int id) const {
+  if (slot >= sched_.length()) return true;
+  const auto s = static_cast<std::size_t>(slot);
+  if (counts_for_issue(id) && issue_used_[s] >= config_.issue_width)
+    return false;
+  const FuClass fu = tac_.by_id(id).fu();
+  if (fu != FuClass::kNone &&
+      fu_used_[s][static_cast<std::size_t>(fu)] >= config_.fu_count(fu))
+    return false;
+  return true;
+}
+
+void SlotFiller::ensure_slot(int slot) {
+  while (sched_.length() <= slot) {
+    sched_.groups.emplace_back();
+    issue_used_.push_back(0);
+    fu_used_.push_back({});
+  }
+}
+
+int SlotFiller::place_earliest(int id, int min_slot) {
+  const int ready = ready_slot(id);
+  assert(ready >= 0 && "predecessors must be placed first");
+  int s = ready > min_slot ? ready : min_slot;
+  while (!capacity_ok(s, id)) ++s;
+  place_at(id, s);
+  return s;
+}
+
+void SlotFiller::place_at(int id, int slot) {
+  assert(!placed(id));
+  ensure_slot(slot);
+  const auto s = static_cast<std::size_t>(slot);
+  sched_.groups[s].push_back(id);
+  sched_.slot_of[static_cast<std::size_t>(id)] = slot;
+  if (counts_for_issue(id)) ++issue_used_[s];
+  const FuClass fu = tac_.by_id(id).fu();
+  if (fu != FuClass::kNone) ++fu_used_[s][static_cast<std::size_t>(fu)];
+  ++num_placed_;
+}
+
+void SlotFiller::place_ancestors_asap(int id) {
+  for (const auto& e : dfg_.preds(id)) {
+    if (!placed(e.from)) {
+      place_ancestors_asap(e.from);
+      place_earliest(e.from, 0);
+    }
+  }
+}
+
+Schedule SlotFiller::take() {
+  if (num_placed_ != tac_.size())
+    throw SbmpError("scheduler left instructions unplaced: " +
+                    std::to_string(num_placed_) + " of " +
+                    std::to_string(tac_.size()));
+  return std::move(sched_);
+}
+
+}  // namespace sbmp

@@ -1,0 +1,58 @@
+#include "sbmp/sched/stats.h"
+
+#include <algorithm>
+
+#include "sbmp/support/strings.h"
+
+namespace sbmp {
+
+std::string ScheduleStats::to_string() const {
+  std::string out = std::to_string(groups) + " groups, " +
+                    std::to_string(instructions) + " instructions, " +
+                    std::to_string(empty_groups) + " padding groups, " +
+                    "issue " + format_percent(issue_utilization) + ", FU";
+  for (int f = 0; f < kNumFuClasses; ++f) {
+    out += " ";
+    out += fu_class_name(static_cast<FuClass>(f));
+    out += "=" + format_percent(fu_utilization[static_cast<std::size_t>(f)]);
+  }
+  out += ", worst sync span " + std::to_string(worst_sync_span);
+  return out;
+}
+
+ScheduleStats compute_schedule_stats(const TacFunction& tac, const Dfg& dfg,
+                                     const Schedule& schedule,
+                                     const MachineConfig& config) {
+  ScheduleStats stats;
+  stats.groups = schedule.length();
+  stats.instructions = tac.size();
+
+  std::array<int, kNumFuClasses> fu_busy{};
+  for (const auto& group : schedule.groups) {
+    if (group.empty()) ++stats.empty_groups;
+    for (const int id : group) {
+      const FuClass fu = tac.by_id(id).fu();
+      if (fu != FuClass::kNone) ++fu_busy[static_cast<std::size_t>(fu)];
+    }
+  }
+  if (stats.groups > 0) {
+    stats.issue_utilization =
+        static_cast<double>(stats.instructions) /
+        (static_cast<double>(stats.groups) * config.issue_width);
+    for (int f = 0; f < kNumFuClasses; ++f) {
+      const int units = config.fu_count(static_cast<FuClass>(f));
+      stats.fu_utilization[static_cast<std::size_t>(f)] =
+          static_cast<double>(fu_busy[static_cast<std::size_t>(f)]) /
+          (static_cast<double>(stats.groups) * units);
+    }
+  }
+  for (const auto& pair : dfg.pairs()) {
+    stats.worst_sync_span =
+        std::max(stats.worst_sync_span, schedule.slot(pair.send_instr) -
+                                            schedule.slot(pair.wait_instr) +
+                                            1);
+  }
+  return stats;
+}
+
+}  // namespace sbmp

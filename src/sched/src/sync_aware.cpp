@@ -1,0 +1,170 @@
+#include <algorithm>
+#include <map>
+
+#include "sbmp/sched/schedulers.h"
+#include "sbmp/sched/slot_filler.h"
+
+namespace sbmp {
+
+namespace {
+
+struct PairInfo {
+  SyncPair pair;
+  std::vector<int> path;  ///< SP(Wat, Sig); empty when convertible.
+  double priority = 0.0;  ///< (n/d) * |SP|
+};
+
+/// ASAP hole-filling placement of every still-unplaced member of a
+/// component, in instruction-id order (which is topological: codegen
+/// emits defs before uses and all DFG arcs point forward).
+void place_component_asap(SlotFiller& filler, const Dfg& dfg, int comp) {
+  for (const int id : dfg.component_members(comp)) {
+    if (!filler.placed(id)) {
+      filler.place_ancestors_asap(id);  // shared free address nodes
+      filler.place_earliest(id, 0);
+    }
+  }
+}
+
+}  // namespace
+
+Schedule schedule_sync_aware(const TacFunction& tac, const Dfg& dfg,
+                             const MachineConfig& config,
+                             std::int64_t n_iterations,
+                             const SyncAwareOptions& options) {
+  SlotFiller filler(tac, dfg, config);
+  if (n_iterations < 1) n_iterations = 1;
+
+  // Synchronization paths and their (n/d)*|SP| priorities.
+  std::vector<PairInfo> pairs;
+  for (const auto& pair : dfg.pairs()) {
+    PairInfo info;
+    info.pair = pair;
+    info.path = dfg.sync_path(pair);
+    const double n_over_d =
+        static_cast<double>(n_iterations) /
+        static_cast<double>(pair.distance > 0 ? pair.distance : 1);
+    info.priority = n_over_d * static_cast<double>(info.path.size());
+    pairs.push_back(std::move(info));
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const PairInfo& a, const PairInfo& b) {
+                     return a.priority > b.priority;
+                   });
+
+  // Order Sigwat components by their best internal path priority.
+  std::map<int, double> sigwat_priority;
+  for (const auto& info : pairs) {
+    if (info.path.empty()) continue;
+    const int comp = dfg.component_of(info.pair.wait_instr);
+    auto [it, inserted] = sigwat_priority.try_emplace(comp, info.priority);
+    if (!inserted && info.priority > it->second) it->second = info.priority;
+  }
+  std::vector<int> sigwat_order;
+  for (int c = 0; c < dfg.num_components(); ++c) {
+    if (dfg.component_kind(c) == ComponentKind::kSigwat)
+      sigwat_order.push_back(c);
+  }
+  std::stable_sort(sigwat_order.begin(), sigwat_order.end(),
+                   [&](int a, int b) {
+                     const auto pa = sigwat_priority.count(a)
+                                         ? sigwat_priority.at(a)
+                                         : 0.0;
+                     const auto pb = sigwat_priority.count(b)
+                                         ? sigwat_priority.at(b)
+                                         : 0.0;
+                     return pa > pb;
+                   });
+
+  // Phase 1: Sigwat components. Inside each, walk every synchronization
+  // path in priority order, placing its nodes in consecutive groups
+  // (ancestors drop into spare lanes of earlier groups). Paths sharing
+  // nodes chain through the already-placed shared prefix, realizing the
+  // paper's "schedule overlapping paths simultaneously" rule.
+  for (const int comp : sigwat_order) {
+    if (options.contiguous_paths) {
+      for (const auto& info : pairs) {
+        if (info.path.empty()) continue;
+        if (dfg.component_of(info.pair.wait_instr) != comp) continue;
+        int prev_slot = -1;
+        for (std::size_t pi = 0; pi < info.path.size(); ++pi) {
+          const int node = info.path[pi];
+          if (filler.placed(node)) {
+            prev_slot = filler.slot(node);
+            continue;
+          }
+          if (tac.by_id(node).op == Opcode::kWait &&
+              pi + 1 < info.path.size()) {
+            // The span the LBD theorem charges runs from the wait to the
+            // send, so the wait goes as LATE as possible: immediately
+            // before its sink access becomes ready. Pre-place the sink's
+            // other ancestors, compute its earliest slot, and tuck the
+            // wait into the latest free slot below it.
+            const int sink = info.path[pi + 1];
+            for (const auto& e : dfg.preds(sink)) {
+              if (e.from == node || filler.placed(e.from)) continue;
+              filler.place_ancestors_asap(e.from);
+              filler.place_earliest(e.from, 0);
+            }
+            const int sink_ready = filler.ready_slot_ignoring(sink, node);
+            int wait_slot =
+                filler.latest_free_slot_before(node, sink_ready);
+            if (wait_slot <= prev_slot)
+              wait_slot = -1;  // keep path order for chained pairs
+            prev_slot = wait_slot >= 0
+                            ? (filler.place_at(node, wait_slot), wait_slot)
+                            : filler.place_earliest(node, prev_slot + 1);
+            continue;
+          }
+          filler.place_ancestors_asap(node);
+          prev_slot = filler.place_earliest(node, prev_slot + 1);
+        }
+      }
+    }
+    place_component_asap(filler, dfg, comp);
+  }
+
+  // Phase 2: Sig components ASAP, so every send lands before the (later,
+  // deeper) wait it pairs with — the LBD -> LFD conversion.
+  for (int c = 0; c < dfg.num_components(); ++c) {
+    if (dfg.component_kind(c) != ComponentKind::kSig) continue;
+    if (!options.convert_lfd) continue;
+    place_component_asap(filler, dfg, c);
+  }
+
+  // Phase 3: Wat components; each wait is pinned after its paired send.
+  for (int c = 0; c < dfg.num_components(); ++c) {
+    if (dfg.component_kind(c) != ComponentKind::kWat) continue;
+    for (const int id : dfg.component_members(c)) {
+      if (filler.placed(id)) continue;
+      int min_slot = 0;
+      if (options.convert_lfd && tac.by_id(id).op == Opcode::kWait) {
+        for (const auto& info : pairs) {
+          if (info.pair.wait_instr != id) continue;
+          if (filler.placed(info.pair.send_instr)) {
+            min_slot = std::max(min_slot,
+                                filler.slot(info.pair.send_instr) + 1);
+          }
+        }
+      }
+      filler.place_ancestors_asap(id);
+      filler.place_earliest(id, min_slot);
+    }
+  }
+
+  // Phase 4: everything else (plain components, Sig components when LFD
+  // conversion is disabled, and any free node not yet pulled in as an
+  // ancestor).
+  for (int c = 0; c < dfg.num_components(); ++c)
+    place_component_asap(filler, dfg, c);
+  for (int id = 1; id <= tac.size(); ++id) {
+    if (!filler.placed(id)) {
+      filler.place_ancestors_asap(id);
+      filler.place_earliest(id, 0);
+    }
+  }
+
+  return filler.take();
+}
+
+}  // namespace sbmp

@@ -1,0 +1,73 @@
+#include "sbmp/sched/schedulers.h"
+
+namespace sbmp {
+
+std::vector<std::string> verify_schedule(const TacFunction& tac,
+                                         const Dfg& dfg,
+                                         const MachineConfig& config,
+                                         const Schedule& schedule) {
+  std::vector<std::string> violations;
+  const auto complain = [&](std::string msg) {
+    violations.push_back(std::move(msg));
+  };
+
+  // Placement: every instruction exactly once, consistent maps.
+  std::vector<int> seen(static_cast<std::size_t>(tac.size()) + 1, 0);
+  for (std::size_t g = 0; g < schedule.groups.size(); ++g) {
+    for (const int id : schedule.groups[g]) {
+      if (id < 1 || id > tac.size()) {
+        complain("group " + std::to_string(g) + " holds invalid id " +
+                 std::to_string(id));
+        continue;
+      }
+      ++seen[static_cast<std::size_t>(id)];
+      if (schedule.slot(id) != static_cast<int>(g))
+        complain("slot_of[" + std::to_string(id) + "] disagrees with group " +
+                 std::to_string(g));
+    }
+  }
+  for (int id = 1; id <= tac.size(); ++id) {
+    if (seen[static_cast<std::size_t>(id)] != 1)
+      complain("instruction " + std::to_string(id) + " placed " +
+               std::to_string(seen[static_cast<std::size_t>(id)]) +
+               " times");
+  }
+  if (!violations.empty()) return violations;  // structure is broken
+
+  // Capacity: issue width and per-class function units.
+  for (std::size_t g = 0; g < schedule.groups.size(); ++g) {
+    int issued = 0;
+    std::array<int, kNumFuClasses> fu_used{};
+    for (const int id : schedule.groups[g]) {
+      const auto& instr = tac.by_id(id);
+      if (config.sync_consumes_slot || !instr.is_sync()) ++issued;
+      const FuClass fu = instr.fu();
+      if (fu != FuClass::kNone) ++fu_used[static_cast<std::size_t>(fu)];
+    }
+    if (issued > config.issue_width)
+      complain("group " + std::to_string(g) + " issues " +
+               std::to_string(issued) + " > width " +
+               std::to_string(config.issue_width));
+    for (int f = 0; f < kNumFuClasses; ++f) {
+      if (fu_used[static_cast<std::size_t>(f)] >
+          config.fu_count(static_cast<FuClass>(f)))
+        complain("group " + std::to_string(g) + " oversubscribes " +
+                 fu_class_name(static_cast<FuClass>(f)) + " units");
+    }
+  }
+
+  // Dependences: full static latency satisfaction.
+  for (int id = 1; id <= tac.size(); ++id) {
+    for (const auto& e : dfg.succs(id)) {
+      if (schedule.slot(e.to) < schedule.slot(e.from) + e.latency)
+        complain("edge " + std::to_string(e.from) + " -> " +
+                 std::to_string(e.to) + " violated: slots " +
+                 std::to_string(schedule.slot(e.from)) + " -> " +
+                 std::to_string(schedule.slot(e.to)) + ", latency " +
+                 std::to_string(e.latency));
+    }
+  }
+  return violations;
+}
+
+}  // namespace sbmp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sbmp/dfg/dfg.h"
+#include "sbmp/sched/schedule.h"
+
+namespace sbmp {
+
+/// The LBD loop theorem (exact form): parallel execution time of a loop
+/// whose only cross-iteration constraint is one synchronization pair
+/// with distance `d`, send at 0-based slot `i`, wait at slot `j`, and an
+/// isolated-iteration time of `iteration_time` cycles, executing `n`
+/// iterations on `n` processors under unit latencies.
+///
+///   LFD (i + net - 1 < j): T = iteration_time
+///   LBD otherwise:         T = floor((n-1)/d) * (i - j + net) +
+///                              iteration_time
+///
+/// where `net` is the machine's signal latency (the paper's model: 1).
+/// The paper states the looser (n/d)*(i-j+1) + l; floor((n-1)/d) is the
+/// exact longest chain length, which the simulator reproduces cycle for
+/// cycle (property-tested).
+[[nodiscard]] std::int64_t lbd_parallel_time(std::int64_t n, std::int64_t d,
+                                             int send_slot, int wait_slot,
+                                             std::int64_t iteration_time,
+                                             int signal_latency = 1);
+
+/// Lower bound on the parallel time of `schedule` with `n` iterations:
+/// the worst single-pair LBD term over all synchronization pairs plus
+/// the isolated iteration time. Exact for single-pair unit-latency
+/// loops; a valid lower bound otherwise.
+[[nodiscard]] std::int64_t analytic_lower_bound(const Dfg& dfg,
+                                                const Schedule& schedule,
+                                                std::int64_t n,
+                                                std::int64_t iteration_time);
+
+/// The longest synchronization span of a schedule: max over pairs of
+/// (send slot - wait slot + 1), or 0 when every pair is LFD. This is the
+/// quantity the paper's technique minimizes.
+[[nodiscard]] int worst_sync_span(const Dfg& dfg, const Schedule& schedule);
+
+}  // namespace sbmp

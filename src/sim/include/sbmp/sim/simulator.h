@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sbmp/dep/dependence.h"
+#include "sbmp/dfg/dfg.h"
+#include "sbmp/machine/machine.h"
+#include "sbmp/sched/schedule.h"
+
+namespace sbmp {
+
+/// Parameters of one multiprocessor run.
+struct SimOptions {
+  /// Loop iterations to execute (the paper uses 100 per loop).
+  std::int64_t iterations = 100;
+  /// Processor count; 0 means one processor per iteration (the paper's
+  /// assumption). With P < n, iteration k runs on processor k mod P
+  /// after iteration k-P has drained there.
+  int processors = 0;
+};
+
+/// Result of simulating one DOACROSS loop.
+struct SimResult {
+  /// Parallel execution time: the cycle by which every iteration has
+  /// completed (issue of its last group plus result drain).
+  std::int64_t parallel_time = 0;
+  /// Cycles one iteration takes in isolation (no signal stalls).
+  std::int64_t iteration_time = 0;
+  /// Total cycles any group spent stalled beyond in-order issue.
+  std::int64_t stall_cycles = 0;
+  int schedule_length = 0;
+};
+
+/// Cycle-accurate execution of `schedule` across iterations.
+///
+/// Timing model (see DESIGN.md §6): group g of iteration k issues at
+/// cycle C(k,g) = max(C(k,g-1)+1, operand readiness, signal readiness),
+/// groups are atomic, FUs fully pipelined, an instruction issued at c
+/// with latency L feeds consumers issuing at >= c+L, and a Send_Signal
+/// issued at c satisfies distance-d waits of iteration k+d at >= c+1.
+[[nodiscard]] SimResult simulate(const TacFunction& tac, const Dfg& dfg,
+                                 const Schedule& schedule,
+                                 const MachineConfig& config,
+                                 const SimOptions& options);
+
+/// Group issue cycles of the first `count` iterations under the same
+/// timing model as `simulate` (row k holds iteration k's issue cycle per
+/// group). Powers the trace renderer and timing tests.
+[[nodiscard]] std::vector<std::vector<std::int64_t>> simulate_issue_times(
+    const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
+    const MachineConfig& config, const SimOptions& options, int count);
+
+/// End-to-end staleness check: verifies that for every loop-carried
+/// dependence in `carried`, each source access instance is issued
+/// strictly before its sink access instance under the simulated timing —
+/// i.e. no iteration ever reads stale data or overwrites live data.
+/// Returns human-readable violations; empty means the schedule plus
+/// synchronization are correct.
+[[nodiscard]] std::vector<std::string> check_cross_iteration_ordering(
+    const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
+    const MachineConfig& config, const SimOptions& options,
+    const std::vector<Dependence>& carried);
+
+}  // namespace sbmp

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sbmp/dfg/dfg.h"
+#include "sbmp/machine/machine.h"
+#include "sbmp/sched/schedule.h"
+#include "sbmp/sim/simulator.h"
+
+namespace sbmp {
+
+/// Renders a text Gantt chart of the first `iterations_shown` iterations:
+/// one row per iteration (== processor when P >= n), one column per
+/// cycle, with `#` at group-issue cycles, `.` while stalled inside the
+/// body and spaces outside it. Waits and sends are marked `w` and `s`.
+/// Truncated to `max_cycles` columns.
+///
+///   iter 0 |ws##############
+///   iter 1 |..w#############s
+///
+/// The visual makes the LBD staircase (each iteration's wait sliding
+/// right by the synchronization span) immediately visible.
+[[nodiscard]] std::string trace_to_string(const TacFunction& tac,
+                                          const Dfg& dfg,
+                                          const Schedule& schedule,
+                                          const MachineConfig& config,
+                                          const SimOptions& options,
+                                          int iterations_shown = 8,
+                                          int max_cycles = 100);
+
+}  // namespace sbmp

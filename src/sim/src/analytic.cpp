@@ -1,0 +1,41 @@
+#include "sbmp/sim/analytic.h"
+
+#include <algorithm>
+
+namespace sbmp {
+
+std::int64_t lbd_parallel_time(std::int64_t n, std::int64_t d, int send_slot,
+                               int wait_slot, std::int64_t iteration_time,
+                               int signal_latency) {
+  if (n <= 0) return 0;
+  const std::int64_t shift = send_slot + signal_latency - wait_slot;
+  if (shift <= 0) return iteration_time;  // LFD: signal arrives in time
+  const std::int64_t links = (n - 1) / d;
+  return links * shift + iteration_time;
+}
+
+std::int64_t analytic_lower_bound(const Dfg& dfg, const Schedule& schedule,
+                                  std::int64_t n,
+                                  std::int64_t iteration_time) {
+  std::int64_t worst = iteration_time;
+  for (const auto& pair : dfg.pairs()) {
+    worst = std::max(
+        worst, lbd_parallel_time(n, pair.distance,
+                                 schedule.slot(pair.send_instr),
+                                 schedule.slot(pair.wait_instr),
+                                 iteration_time));
+  }
+  return worst;
+}
+
+int worst_sync_span(const Dfg& dfg, const Schedule& schedule) {
+  int worst = 0;
+  for (const auto& pair : dfg.pairs()) {
+    const int span = schedule.slot(pair.send_instr) -
+                     schedule.slot(pair.wait_instr) + 1;
+    worst = std::max(worst, span);
+  }
+  return worst;
+}
+
+}  // namespace sbmp

@@ -1,0 +1,225 @@
+#include "sbmp/sim/simulator.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace sbmp {
+
+namespace {
+
+/// Issue times of one iteration.
+struct IterTimes {
+  std::vector<std::int64_t> group_issue;
+  std::int64_t finish = 0;      ///< cycle the last result is available
+  std::int64_t last_issue = 0;  ///< issue cycle of the final group
+  std::int64_t start = 0;
+};
+
+struct SimCore {
+  const TacFunction& tac;
+  const Dfg& dfg;
+  const Schedule& schedule;
+  const MachineConfig& config;
+  const SimOptions& options;
+
+  std::int64_t n = 0;
+  int window = 1;                      ///< ring size over iterations
+  std::vector<IterTimes> ring;
+  std::map<int, int> send_slot;        ///< signal stmt -> group index
+  /// Send issue cycles per iteration (ring-indexed) per signal stmt.
+  std::vector<std::map<int, std::int64_t>> send_times;
+  std::int64_t max_wait_distance = 0;
+
+  explicit SimCore(const TacFunction& t, const Dfg& d, const Schedule& s,
+                   const MachineConfig& c, const SimOptions& o)
+      : tac(t), dfg(d), schedule(s), config(c), options(o) {
+    n = options.iterations;
+    for (const auto& instr : tac.instrs) {
+      if (instr.op == Opcode::kSend)
+        send_slot[instr.signal_stmt] = schedule.slot(instr.id);
+      if (instr.op == Opcode::kWait)
+        max_wait_distance = std::max(max_wait_distance, instr.sync_distance);
+    }
+    const int procs = options.processors;
+    window = static_cast<int>(std::max<std::int64_t>(
+        {max_wait_distance + 1, procs + 1, 2}));
+    if (window > n + 1) window = static_cast<int>(n) + 1;
+    ring.assign(static_cast<std::size_t>(window), {});
+    send_times.assign(static_cast<std::size_t>(window), {});
+  }
+
+  [[nodiscard]] IterTimes& row(std::int64_t k) {
+    return ring[static_cast<std::size_t>(k % window)];
+  }
+
+  /// Runs all iterations; `hook(k)` fires after iteration k's times are
+  /// final (rows of iterations in (k-window, k] are still available).
+  SimResult run(const std::function<void(std::int64_t)>& hook) {
+    SimResult result;
+    result.schedule_length = schedule.length();
+    const int procs = options.processors;
+
+    for (std::int64_t k = 0; k < n; ++k) {
+      IterTimes& times = row(k);
+      times.group_issue.assign(
+          static_cast<std::size_t>(schedule.length()), 0);
+      std::int64_t start = 0;
+      // A processor's issue stage frees the cycle after it issues the
+      // previous iteration's last group (results drain in the pipelined
+      // function units while the next iteration starts).
+      if (procs > 0 && k >= procs) start = row(k - procs).last_issue + 1;
+      times.start = start;
+
+      std::int64_t prev = start - 1;
+      std::int64_t finish = start;
+      std::int64_t stalls = 0;
+      auto& sends = send_times[static_cast<std::size_t>(k % window)];
+      sends.clear();
+      for (int g = 0; g < schedule.length(); ++g) {
+        std::int64_t t = prev + 1;
+        for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
+          // Operand readiness (same-iteration DFG predecessors).
+          for (const auto& e : dfg.preds(id)) {
+            const std::int64_t ready =
+                times.group_issue[static_cast<std::size_t>(
+                    schedule.slot(e.from))] +
+                e.latency;
+            if (ready > t) t = ready;
+          }
+          // Signal readiness for waits.
+          const auto& instr = tac.by_id(id);
+          if (instr.op == Opcode::kWait) {
+            const std::int64_t src_iter = k - instr.sync_distance;
+            if (src_iter >= 0 && send_slot.count(instr.signal_stmt)) {
+              const auto& src_sends =
+                  send_times[static_cast<std::size_t>(src_iter % window)];
+              const auto it = src_sends.find(instr.signal_stmt);
+              if (it != src_sends.end() &&
+                  it->second + config.signal_latency > t)
+                t = it->second + config.signal_latency;
+            }
+          }
+        }
+        times.group_issue[static_cast<std::size_t>(g)] = t;
+        stalls += t - (prev + 1);
+        prev = t;
+        // Track result drain and record sends.
+        for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
+          const auto& instr = tac.by_id(id);
+          const std::int64_t done = t + config.latency(instr.op);
+          if (done > finish) finish = done;
+          if (instr.op == Opcode::kSend) sends[instr.signal_stmt] = t;
+        }
+      }
+      times.finish = finish;
+      times.last_issue = prev;
+      result.stall_cycles += stalls;
+      if (finish > result.parallel_time) result.parallel_time = finish;
+      if (k == 0) result.iteration_time = finish - start;
+      if (hook) hook(k);
+    }
+    if (n == 0) result.parallel_time = 0;
+    return result;
+  }
+};
+
+}  // namespace
+
+SimResult simulate(const TacFunction& tac, const Dfg& dfg,
+                   const Schedule& schedule, const MachineConfig& config,
+                   const SimOptions& options) {
+  SimCore core(tac, dfg, schedule, config, options);
+  return core.run(nullptr);
+}
+
+std::vector<std::vector<std::int64_t>> simulate_issue_times(
+    const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
+    const MachineConfig& config, const SimOptions& options, int count) {
+  std::vector<std::vector<std::int64_t>> rows;
+  SimCore core(tac, dfg, schedule, config, options);
+  const auto hook = [&](std::int64_t k) {
+    if (k < count) rows.push_back(core.row(k).group_issue);
+  };
+  (void)core.run(hook);
+  return rows;
+}
+
+std::vector<std::string> check_cross_iteration_ordering(
+    const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
+    const MachineConfig& config, const SimOptions& options,
+    const std::vector<Dependence>& carried) {
+  std::vector<std::string> violations;
+
+  // Resolve each dependence's source and sink access instructions.
+  struct DepInstrs {
+    const Dependence* dep;
+    std::vector<int> src_instrs;
+    std::vector<int> snk_instrs;
+  };
+  const auto find_accesses = [&](int stmt, const ArrayRef& ref,
+                                 bool is_write) {
+    std::vector<int> out;
+    for (const auto& instr : tac.instrs) {
+      if (instr.stmt_id != stmt || !instr.is_mem()) continue;
+      const bool write = instr.op == Opcode::kStore;
+      if (write != is_write) continue;
+      if (instr.array == ref.array && instr.mem_index == ref.index)
+        out.push_back(instr.id);
+    }
+    return out;
+  };
+  std::vector<DepInstrs> resolved;
+  std::int64_t max_distance = 1;
+  for (const auto& dep : carried) {
+    if (!dep.loop_carried()) continue;
+    DepInstrs di;
+    di.dep = &dep;
+    di.src_instrs = find_accesses(dep.src_stmt, dep.src_ref,
+                                  dep.kind != DepKind::kAnti);
+    di.snk_instrs = find_accesses(dep.snk_stmt, dep.snk_ref,
+                                  dep.kind != DepKind::kFlow);
+    max_distance = std::max(max_distance, dep.distance);
+    resolved.push_back(std::move(di));
+  }
+
+  SimOptions widened = options;
+  SimCore core(tac, dfg, schedule, config, widened);
+  // Widen the ring so source iterations stay visible.
+  core.window = static_cast<int>(std::max<std::int64_t>(
+      core.window, max_distance + 1));
+  if (core.window > core.n + 1) core.window = static_cast<int>(core.n) + 1;
+  core.ring.assign(static_cast<std::size_t>(core.window), {});
+  core.send_times.assign(static_cast<std::size_t>(core.window), {});
+
+  const auto hook = [&](std::int64_t k) {
+    for (const auto& di : resolved) {
+      const std::int64_t src_iter = k - di.dep->distance;
+      if (src_iter < 0) continue;
+      for (const int src : di.src_instrs) {
+        const std::int64_t src_time =
+            core.row(src_iter).group_issue[static_cast<std::size_t>(
+                schedule.slot(src))];
+        for (const int snk : di.snk_instrs) {
+          const std::int64_t snk_time =
+              core.row(k).group_issue[static_cast<std::size_t>(
+                  schedule.slot(snk))];
+          if (!(src_time < snk_time)) {
+            violations.push_back(
+                di.dep->to_string() + ": source instr " +
+                std::to_string(src) + " of iteration " +
+                std::to_string(src_iter) + " issues at " +
+                std::to_string(src_time) +
+                ", not before sink instr " + std::to_string(snk) +
+                " of iteration " + std::to_string(k) + " at " +
+                std::to_string(snk_time));
+          }
+        }
+      }
+    }
+  };
+  (void)core.run(hook);
+  return violations;
+}
+
+}  // namespace sbmp

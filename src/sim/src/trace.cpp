@@ -1,0 +1,46 @@
+#include "sbmp/sim/trace.h"
+
+#include <algorithm>
+
+namespace sbmp {
+
+std::string trace_to_string(const TacFunction& tac, const Dfg& dfg,
+                            const Schedule& schedule,
+                            const MachineConfig& config,
+                            const SimOptions& options, int iterations_shown,
+                            int max_cycles) {
+  const auto rows = simulate_issue_times(
+      tac, dfg, schedule, config, options, iterations_shown);
+
+  // Per-group marker: 'w' for a group holding a wait, 's' for a send,
+  // '#' otherwise (a send-and-wait group shows 'w', the stall site).
+  std::vector<char> marker(static_cast<std::size_t>(schedule.length()), '#');
+  for (const auto& instr : tac.instrs) {
+    auto& m = marker[static_cast<std::size_t>(schedule.slot(instr.id))];
+    if (instr.op == Opcode::kSend && m == '#') m = 's';
+    if (instr.op == Opcode::kWait) m = 'w';
+  }
+
+  std::string out;
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    const auto& issue = rows[k];
+    std::string line(static_cast<std::size_t>(max_cycles), ' ');
+    if (!issue.empty()) {
+      const std::int64_t start = issue.front();
+      const std::int64_t stop = issue.back();
+      for (std::int64_t c = start; c <= stop && c < max_cycles; ++c)
+        line[static_cast<std::size_t>(c)] = '.';
+      for (std::size_t g = 0; g < issue.size(); ++g) {
+        if (issue[g] < max_cycles)
+          line[static_cast<std::size_t>(issue[g])] = marker[g];
+      }
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    out += "iter " + std::to_string(k) + (k < 10 ? " " : "") + " |" + line;
+    if (!issue.empty() && issue.back() >= max_cycles) out += "...";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace sbmp

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sbmp/support/source_location.h"
+
+namespace sbmp {
+
+/// Severity of a diagnostic message.
+enum class DiagSeverity { kError, kWarning, kNote };
+
+/// One diagnostic message with an optional source location.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Collects diagnostics produced by the frontend and analysis passes.
+///
+/// Passes report through a DiagEngine instead of throwing so that callers
+/// can surface every problem in a source file at once. `ok()` is the
+/// single success predicate: true iff no error-severity diagnostic was
+/// reported.
+class DiagEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  [[nodiscard]] bool ok() const { return error_count_ == 0; }
+  [[nodiscard]] int error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& diagnostics() const {
+    return diags_;
+  }
+
+  /// All diagnostics rendered one per line; empty string when none.
+  [[nodiscard]] std::string render() const;
+
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  int error_count_ = 0;
+};
+
+/// Thrown by convenience entry points (`parse_or_throw` etc.) that convert
+/// collected diagnostics into an exception for callers who do not want to
+/// manage a DiagEngine themselves.
+class SbmpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace sbmp

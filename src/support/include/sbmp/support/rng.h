@@ -1,0 +1,35 @@
+#pragma once
+
+#include <cstdint>
+
+namespace sbmp {
+
+/// Deterministic 64-bit PRNG (SplitMix64). Used by the random DOACROSS
+/// loop generator so that test sweeps and benches are exactly
+/// reproducible across platforms; <random> distributions are not
+/// implementation-stable, so we avoid them.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Bernoulli draw with probability `percent`/100.
+  constexpr bool chance(int percent) { return range(1, 100) <= percent; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sbmp

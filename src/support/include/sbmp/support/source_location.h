@@ -1,0 +1,23 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sbmp {
+
+/// A position in a LoopLang source buffer. Lines and columns are 1-based;
+/// the default-constructed value (0,0) means "unknown location".
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] bool known() const { return line != 0; }
+  [[nodiscard]] std::string to_string() const {
+    if (!known()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+
+  friend bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+}  // namespace sbmp

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sbmp {
+
+/// Returns `s` with leading and trailing ASCII whitespace removed.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+/// Splits `s` on `sep`, keeping empty fields.
+[[nodiscard]] std::vector<std::string_view> split(std::string_view s,
+                                                  char sep);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Formats `value` with `decimals` digits after the point (locale-free).
+[[nodiscard]] std::string format_fixed(double value, int decimals);
+
+/// Formats `value` as a percentage string like "83.37%".
+[[nodiscard]] std::string format_percent(double fraction, int decimals = 2);
+
+}  // namespace sbmp

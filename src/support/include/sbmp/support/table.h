@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sbmp {
+
+/// Renders an aligned plain-text table, used by the benchmark harnesses to
+/// print the paper's tables. Column widths auto-fit the widest cell.
+class TextTable {
+ public:
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; short rows are padded with empty cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Appends a horizontal separator line at the current position.
+  void add_separator();
+
+  /// Renders the table. The first column is left-aligned, the rest are
+  /// right-aligned (numeric convention).
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace sbmp

@@ -1,0 +1,58 @@
+#include "sbmp/support/diagnostics.h"
+
+namespace sbmp {
+
+namespace {
+const char* severity_name(DiagSeverity s) {
+  switch (s) {
+    case DiagSeverity::kError:
+      return "error";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kNote:
+      return "note";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::string out;
+  if (loc.known()) {
+    out += loc.to_string();
+    out += ": ";
+  }
+  out += severity_name(severity);
+  out += ": ";
+  out += message;
+  return out;
+}
+
+void DiagEngine::error(SourceLoc loc, std::string message) {
+  diags_.push_back({DiagSeverity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagEngine::warning(SourceLoc loc, std::string message) {
+  diags_.push_back({DiagSeverity::kWarning, loc, std::move(message)});
+}
+
+void DiagEngine::note(SourceLoc loc, std::string message) {
+  diags_.push_back({DiagSeverity::kNote, loc, std::move(message)});
+}
+
+std::string DiagEngine::render() const {
+  std::string out;
+  for (const auto& d : diags_) {
+    out += d.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+void DiagEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace sbmp

@@ -1,0 +1,45 @@
+#include "sbmp/support/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sbmp {
+
+std::string_view trim(std::string_view s) {
+  const char* ws = " \t\r\n";
+  const auto first = s.find_first_not_of(ws);
+  if (first == std::string_view::npos) return {};
+  const auto last = s.find_last_not_of(ws);
+  return s.substr(first, last - first + 1);
+}
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const auto pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+std::string format_fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace sbmp

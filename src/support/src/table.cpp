@@ -1,0 +1,67 @@
+#include "sbmp/support/table.h"
+
+#include <algorithm>
+
+namespace sbmp {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back({std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back({{}, true}); }
+
+std::string TextTable::render() const {
+  std::size_t ncols = header_.size();
+  for (const auto& r : rows_) ncols = std::max(ncols, r.cells.size());
+
+  std::vector<std::size_t> widths(ncols, 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      widths[c] = std::max(widths[c], cells[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_)
+    if (!r.separator) widen(r.cells);
+
+  auto emit_row = [&](std::string& out, const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string cell = c < cells.size() ? cells[c] : "";
+      if (c == 0) {
+        out += cell;
+        out.append(widths[c] - cell.size(), ' ');
+      } else {
+        out += "  ";
+        out.append(widths[c] - cell.size(), ' ');
+        out += cell;
+      }
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  std::size_t total = 0;
+  for (auto w : widths) total += w;
+  total += 2 * (ncols - 1);
+
+  std::string out;
+  if (!header_.empty()) {
+    emit_row(out, header_);
+    out.append(total, '-');
+    out += '\n';
+  }
+  for (const auto& r : rows_) {
+    if (r.separator) {
+      out.append(total, '-');
+      out += '\n';
+    } else {
+      emit_row(out, r.cells);
+    }
+  }
+  return out;
+}
+
+}  // namespace sbmp

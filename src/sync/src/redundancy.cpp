@@ -1,0 +1,120 @@
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+
+namespace {
+
+/// Event positions of one iteration, in execution order:
+/// waits-before-S1, S1, send-after-S1, waits-before-S2, ...
+struct EventLayout {
+  std::vector<int> wait_pos;          // per index into synced.waits
+  std::map<int, int> stmt_pos;        // statement id -> position
+  std::map<int, int> send_pos;        // signal stmt id -> position
+  int count = 0;
+};
+
+EventLayout layout_events(const SyncedLoop& synced) {
+  EventLayout layout;
+  layout.wait_pos.resize(synced.waits.size(), -1);
+  int pos = 0;
+  for (const auto& stmt : synced.loop.body) {
+    for (std::size_t w = 0; w < synced.waits.size(); ++w) {
+      if (synced.waits[w].sink_stmt == stmt.id) layout.wait_pos[w] = pos++;
+    }
+    layout.stmt_pos[stmt.id] = pos++;
+    if (synced.has_send(stmt.id)) layout.send_pos[stmt.id] = pos++;
+  }
+  layout.count = pos;
+  return layout;
+}
+
+/// Tests whether, using program order plus the waits in `active` (bitmask
+/// over synced.waits, with `candidate` cleared), execution of the source
+/// statement in iteration -d is still forced before the sink statement in
+/// iteration 0. The precedence graph is unrolled over iteration offsets
+/// [-d, 0]: program order keeps the offset, a wait edge of distance d'
+/// goes from (k-d', send position) to (k, wait position). Offsets only
+/// increase along edges, so the window [-d, 0] is exact.
+bool covered_without(const SyncedLoop& synced, const EventLayout& layout,
+                     const std::vector<bool>& active, std::size_t candidate) {
+  const WaitOp& probe = synced.waits[candidate];
+  const std::int64_t depth = probe.distance;
+  const int events = layout.count;
+  const auto node = [&](std::int64_t offset, int pos) {
+    return static_cast<std::size_t>((offset + depth) * events + pos);
+  };
+  std::vector<bool> visited(static_cast<std::size_t>(depth + 1) * events,
+                            false);
+
+  const int start_pos = layout.stmt_pos.at(probe.signal_stmt);
+  const int goal_pos = layout.stmt_pos.at(probe.sink_stmt);
+
+  std::queue<std::pair<std::int64_t, int>> queue;
+  queue.push({-depth, start_pos});
+  visited[node(-depth, start_pos)] = true;
+  while (!queue.empty()) {
+    const auto [offset, pos] = queue.front();
+    queue.pop();
+    if (offset == 0 && pos == goal_pos) return true;
+    const auto visit = [&](std::int64_t o, int p) {
+      if (o < -depth || o > 0) return;
+      if (!visited[node(o, p)]) {
+        visited[node(o, p)] = true;
+        queue.push({o, p});
+      }
+    };
+    // Program order within the iteration.
+    if (pos + 1 < events) visit(offset, pos + 1);
+    // Wait edges: the send event of signal S in iteration `offset`
+    // precedes, for every active wait on S with distance d', the wait
+    // event in iteration offset+d'. Only the send event itself roots the
+    // edge: reaching a later position of this iteration does not imply
+    // the send was preceded.
+    for (std::size_t w = 0; w < synced.waits.size(); ++w) {
+      if (w == candidate || !active[w]) continue;
+      const WaitOp& other = synced.waits[w];
+      const auto send_it = layout.send_pos.find(other.signal_stmt);
+      if (send_it == layout.send_pos.end()) continue;
+      if (pos == send_it->second)
+        visit(offset + other.distance, layout.wait_pos[w]);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<std::size_t> find_redundant_waits(const SyncedLoop& synced) {
+  const EventLayout layout = layout_events(synced);
+  std::vector<bool> active(synced.waits.size(), true);
+
+  // Greedy elimination, longest distance first: long-distance waits are
+  // the most likely to be covered by chains of shorter ones, and two
+  // mutually-covering waits must not both be dropped.
+  std::vector<std::size_t> order(synced.waits.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (synced.waits[a].distance != synced.waits[b].distance)
+      return synced.waits[a].distance > synced.waits[b].distance;
+    return a < b;
+  });
+
+  std::vector<std::size_t> removed;
+  for (const auto w : order) {
+    if (covered_without(synced, layout, active, w)) {
+      active[w] = false;
+      removed.push_back(w);
+    }
+  }
+  std::sort(removed.begin(), removed.end());
+  return removed;
+}
+
+}  // namespace sbmp

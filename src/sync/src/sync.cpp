@@ -1,0 +1,124 @@
+#include "sbmp/sync/sync.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace sbmp {
+
+std::string WaitOp::to_string(const std::string& iter_var) const {
+  std::string dist = iter_var;
+  dist += distance >= 0 ? "-" : "+";
+  dist += std::to_string(distance >= 0 ? distance : -distance);
+  return "Wait_Signal(S" + std::to_string(signal_stmt) + ", " + dist + ")";
+}
+
+std::string SendOp::to_string() const {
+  return "Send_Signal(S" + std::to_string(signal_stmt) + ")";
+}
+
+const std::vector<WaitOp> SyncedLoop::waits_before(int stmt_id) const {
+  std::vector<WaitOp> out;
+  for (const auto& w : waits)
+    if (w.sink_stmt == stmt_id) out.push_back(w);
+  return out;
+}
+
+bool SyncedLoop::has_send(int stmt_id) const {
+  return std::any_of(sends.begin(), sends.end(), [stmt_id](const SendOp& s) {
+    return s.signal_stmt == stmt_id;
+  });
+}
+
+std::string SyncedLoop::to_string() const {
+  std::string out = "DOACROSS " + loop.iter_var + " = " +
+                    std::to_string(loop.lower) + ", " +
+                    std::to_string(loop.upper) + "\n";
+  for (const auto& stmt : loop.body) {
+    for (const auto& w : waits_before(stmt.id))
+      out += "  " + w.to_string(loop.iter_var) + ";\n";
+    out += "  " + statement_to_string(stmt, loop.iter_var) + ";\n";
+    for (const auto& s : sends) {
+      if (s.signal_stmt == stmt.id) out += "  " + s.to_string() + ";\n";
+    }
+  }
+  out += "END_DOACROSS\n";
+  return out;
+}
+
+SyncedLoop insert_synchronization(const Loop& loop,
+                                  const DepAnalysis& analysis,
+                                  const SyncOptions& options) {
+  SyncedLoop out;
+  out.loop = loop;
+
+  // Collect the synchronizable loop-carried dependences.
+  for (const auto& dep : analysis.deps) {
+    if (!dep.loop_carried()) continue;
+    if (!dep.constant_distance) {
+      out.unsynchronizable.push_back(dep);
+      continue;
+    }
+    out.synced.push_back(dep);
+  }
+
+  // One wait per distinct (source stmt, sink stmt, distance); keep the
+  // guarded access of the first dependence that produced it.
+  std::set<std::tuple<int, int, std::int64_t>> wait_keys;
+  for (const auto& dep : out.synced) {
+    if (wait_keys.insert({dep.src_stmt, dep.snk_stmt, dep.distance}).second) {
+      WaitOp wait;
+      wait.signal_stmt = dep.src_stmt;
+      wait.distance = dep.distance;
+      wait.sink_stmt = dep.snk_stmt;
+      wait.sink_ref = dep.snk_ref;
+      wait.sink_is_write = dep.kind != DepKind::kFlow;
+      out.waits.push_back(wait);
+    }
+  }
+  std::sort(out.waits.begin(), out.waits.end(),
+            [](const WaitOp& a, const WaitOp& b) {
+              if (a.sink_stmt != b.sink_stmt) return a.sink_stmt < b.sink_stmt;
+              if (a.distance != b.distance) return a.distance > b.distance;
+              return a.signal_stmt < b.signal_stmt;
+            });
+
+  // One send per source statement.
+  std::map<int, SendOp> sends;
+  for (const auto& dep : out.synced) {
+    auto [it, inserted] = sends.try_emplace(dep.src_stmt);
+    if (inserted) {
+      it->second.signal_stmt = dep.src_stmt;
+      it->second.src_ref = dep.src_ref;
+      it->second.src_is_write = dep.kind != DepKind::kAnti;
+    } else if (dep.kind != DepKind::kAnti && !it->second.src_is_write) {
+      // Prefer guarding the write when both read- and write-sourced
+      // dependences share the statement: the write executes last, so a
+      // send after it covers both.
+      it->second.src_ref = dep.src_ref;
+      it->second.src_is_write = true;
+    }
+  }
+  for (auto& [stmt, send] : sends) out.sends.push_back(std::move(send));
+
+  if (options.eliminate_redundant) {
+    const auto redundant = find_redundant_waits(out);
+    // Erase from the back so indices stay valid.
+    for (auto it = redundant.rbegin(); it != redundant.rend(); ++it)
+      out.waits.erase(out.waits.begin() + static_cast<std::ptrdiff_t>(*it));
+    // Sends whose signal no wait consumes are dead.
+    std::set<int> used;
+    for (const auto& w : out.waits) used.insert(w.signal_stmt);
+    std::erase_if(out.sends, [&](const SendOp& s) {
+      return used.count(s.signal_stmt) == 0;
+    });
+  }
+  return out;
+}
+
+SyncedLoop insert_synchronization(const Loop& loop,
+                                  const SyncOptions& options) {
+  return insert_synchronization(loop, analyze_dependences(loop), options);
+}
+
+}  // namespace sbmp

@@ -1,0 +1,267 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sbmp/dep/dependence.h"
+#include "sbmp/frontend/parser.h"
+
+namespace sbmp {
+namespace {
+
+Loop parse(const char* src) { return parse_single_loop_or_throw(src); }
+
+const Dependence* find_dep(const DepAnalysis& analysis, DepKind kind,
+                           int src, int snk, std::int64_t distance) {
+  for (const auto& dep : analysis.deps) {
+    if (dep.kind == kind && dep.src_stmt == src && dep.snk_stmt == snk &&
+        dep.distance == distance)
+      return &dep;
+  }
+  return nullptr;
+}
+
+TEST(Dependence, Fig1Example) {
+  const auto loop = parse(R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  ASSERT_EQ(analysis.deps.size(), 3u);
+
+  // S3 -> S1 on A, distance 2, backward.
+  const auto* d1 = find_dep(analysis, DepKind::kFlow, 3, 1, 2);
+  ASSERT_NE(d1, nullptr);
+  EXPECT_FALSE(d1->lexically_forward);
+  EXPECT_TRUE(d1->constant_distance);
+
+  // S3 -> S2 on A, distance 1, backward.
+  const auto* d2 = find_dep(analysis, DepKind::kFlow, 3, 2, 1);
+  ASSERT_NE(d2, nullptr);
+  EXPECT_FALSE(d2->lexically_forward);
+
+  // S1 -> S3 on B, loop independent, forward.
+  const auto* d3 = find_dep(analysis, DepKind::kFlow, 1, 3, 0);
+  ASSERT_NE(d3, nullptr);
+  EXPECT_TRUE(d3->lexically_forward);
+  EXPECT_FALSE(d3->loop_carried());
+
+  EXPECT_FALSE(analysis.is_doall());
+  EXPECT_TRUE(analysis.is_synchronizable());
+  EXPECT_EQ(analysis.count_carried(), 2);
+  EXPECT_EQ(analysis.count_lfd(), 0);
+  EXPECT_EQ(analysis.count_lbd(), 2);
+}
+
+TEST(Dependence, DoallLoop) {
+  const auto loop = parse(R"(
+do I = 1, 50
+  A[I] = B[I] * 2 + C[I+1]
+  D[I] = B[I-1] - C[I]
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  EXPECT_TRUE(analysis.is_doall());
+  EXPECT_EQ(analysis.count_carried(), 0);
+}
+
+TEST(Dependence, SelfRecurrenceIsBackward) {
+  const auto loop = parse(R"(
+doacross I = 1, 20
+  A[I] = A[I-3] + 1
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  const auto* dep = find_dep(analysis, DepKind::kFlow, 1, 1, 3);
+  ASSERT_NE(dep, nullptr);
+  EXPECT_FALSE(dep->lexically_forward) << "same-statement carried "
+                                          "dependences are LBD";
+}
+
+TEST(Dependence, ForwardCarriedIsLFD) {
+  const auto loop = parse(R"(
+doacross I = 1, 20
+  A[I] = B[I] + 1
+  C[I] = A[I-2] * 2
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  const auto* dep = find_dep(analysis, DepKind::kFlow, 1, 2, 2);
+  ASSERT_NE(dep, nullptr);
+  EXPECT_TRUE(dep->lexically_forward);
+  EXPECT_EQ(analysis.count_lfd(), 1);
+  EXPECT_EQ(analysis.count_lbd(), 0);
+}
+
+TEST(Dependence, AntiDependence) {
+  // S1 reads A[I+1], which S2 of the *next* iteration overwrites:
+  // anti dependence S1 -> S2, distance 1, forward.
+  const auto loop = parse(R"(
+doacross I = 1, 20
+  B[I] = A[I+1] * 2
+  A[I] = B[I-1] + 1
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  const auto* anti = find_dep(analysis, DepKind::kAnti, 1, 2, 1);
+  ASSERT_NE(anti, nullptr);
+  EXPECT_TRUE(anti->lexically_forward);
+  // Plus the carried flow B: S1 -> S2 distance 1.
+  EXPECT_NE(find_dep(analysis, DepKind::kFlow, 1, 2, 1), nullptr);
+}
+
+TEST(Dependence, OutputDependence) {
+  const auto loop = parse(R"(
+doacross I = 1, 20
+  A[I] = B[I] + 1
+  A[I-1] = C[I] * 2
+end
+)");
+  // S1 writes A[i]; S2 of iteration i+1 writes A[i] again: output dep
+  // S1 -> S2 distance 1. And S2 writes A[i-1] which S1 wrote in
+  // iteration i-1: within iteration i, S1 writes A[i], S2 writes A[i-1]:
+  // no same-iteration conflict.
+  const DepAnalysis analysis = analyze_dependences(loop);
+  const auto* out = find_dep(analysis, DepKind::kOutput, 1, 2, 1);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->lexically_forward);
+}
+
+TEST(Dependence, DistanceExceedingTripIgnored) {
+  const auto loop = parse(R"(
+doacross I = 1, 4
+  A[I] = A[I-10] + 1
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  EXPECT_TRUE(analysis.is_doall()) << "distance 10 cannot occur in 4 "
+                                      "iterations";
+}
+
+TEST(Dependence, NonDivisibleOffsetNoDependence) {
+  const auto loop = parse(R"(
+do I = 1, 30
+  A[2*I] = A[2*I-3] + 1
+end
+)");
+  // 2i1 = 2i2 - 3 has no integer solution.
+  const DepAnalysis analysis = analyze_dependences(loop);
+  EXPECT_TRUE(analysis.is_doall());
+}
+
+TEST(Dependence, ScaledSubscriptsDivisible) {
+  const auto loop = parse(R"(
+doacross I = 1, 30
+  A[2*I] = A[2*I-4] + 1
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  const auto* dep = find_dep(analysis, DepKind::kFlow, 1, 1, 2);
+  ASSERT_NE(dep, nullptr);
+  EXPECT_TRUE(dep->constant_distance);
+}
+
+TEST(Dependence, CoefficientMismatchCoveredByUnitChain) {
+  const auto loop = parse(R"(
+doacross I = 1, 30
+  A[2*I] = A[I] + 1
+end
+)");
+  // A[2i1] == A[i2] for i2 = 2i1: distances i2/2 = {1,2,...,15}. Every
+  // distance is a multiple of the minimum (1), so the uniform
+  // Wait(S, i-1) chain serializes all conflicting pairs: the dependence
+  // reports constant_distance with d = 1.
+  const DepAnalysis analysis = analyze_dependences(loop);
+  const auto* dep = find_dep(analysis, DepKind::kFlow, 1, 1, 1);
+  ASSERT_NE(dep, nullptr);
+  EXPECT_TRUE(dep->constant_distance);
+  EXPECT_TRUE(analysis.is_synchronizable());
+}
+
+TEST(Dependence, IrregularDistancesNotChainCovered) {
+  const auto loop = parse(R"(
+doacross I = 1, 30
+  A[2*I] = A[5*I+1] + 1
+end
+)");
+  // 2i1 == 5i2+1 at (i2,i1) = (1,3), (3,8), (5,13), ...: the read of
+  // iteration i2 is overwritten i1-i2 = {2,5,8,...} iterations later. 5
+  // is not a multiple of 2, so no uniform Wait(S, i-d) covers the anti
+  // dependence: it is irregular and the loop must serialize.
+  const DepAnalysis analysis = analyze_dependences(loop);
+  bool found_irregular = false;
+  for (const auto& dep : analysis.deps) {
+    if (dep.loop_carried() && !dep.constant_distance) {
+      found_irregular = true;
+      EXPECT_EQ(dep.kind, DepKind::kAnti);
+      EXPECT_EQ(dep.distance, 2);
+    }
+  }
+  EXPECT_TRUE(found_irregular);
+  EXPECT_FALSE(analysis.is_synchronizable());
+}
+
+TEST(Dependence, ConstantSubscriptSerializes) {
+  const auto loop = parse(R"(
+doacross I = 1, 30
+  A[5] = B[I] + A[5]
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  // Output dep on A[5] at distance 1 (covers all longer distances) plus
+  // flow/anti between the read and the write.
+  const auto* out = find_dep(analysis, DepKind::kOutput, 1, 1, 1);
+  ASSERT_NE(out, nullptr);
+  EXPECT_TRUE(out->constant_distance)
+      << "the distance-1 chain exactly serializes a constant subscript";
+  EXPECT_NE(find_dep(analysis, DepKind::kFlow, 1, 1, 1), nullptr);
+}
+
+TEST(Dependence, DuplicateReadsCollapse) {
+  const auto loop = parse(R"(
+doacross I = 1, 10
+  A[I] = A[I-1] + A[I-1]
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  int count = 0;
+  for (const auto& dep : analysis.deps) {
+    if (dep.kind == DepKind::kFlow && dep.distance == 1) ++count;
+  }
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Dependence, ToStringMentionsKindAndClass) {
+  const auto loop = parse(R"(
+doacross I = 1, 10
+  A[I] = A[I-1] + 1
+end
+)");
+  const DepAnalysis analysis = analyze_dependences(loop);
+  ASSERT_EQ(analysis.deps.size(), 1u);
+  const std::string text = analysis.deps[0].to_string();
+  EXPECT_NE(text.find("flow"), std::string::npos);
+  EXPECT_NE(text.find("LBD"), std::string::npos);
+  EXPECT_NE(text.find("d=1"), std::string::npos);
+}
+
+TEST(Dependence, BruteForceAgreesOnFig1) {
+  const auto loop = parse(R"(
+doacross I = 1, 8
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)");
+  const DepAnalysis fast = analyze_dependences(loop);
+  const DepAnalysis slow = analyze_dependences_bruteforce(loop);
+  ASSERT_EQ(fast.deps.size(), slow.deps.size());
+  for (std::size_t i = 0; i < fast.deps.size(); ++i) {
+    EXPECT_EQ(fast.deps[i].to_string(), slow.deps[i].to_string());
+  }
+}
+
+}  // namespace
+}  // namespace sbmp

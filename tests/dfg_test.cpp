@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sbmp/codegen/codegen.h"
+#include "sbmp/dfg/dfg.h"
+#include "sbmp/frontend/parser.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+namespace {
+
+constexpr const char* kFig1 = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+
+struct Built {
+  TacFunction tac;
+  Dfg dfg;
+};
+
+Built build(const char* src, MachineConfig config = MachineConfig::paper(4, 1)) {
+  TacFunction tac = generate_tac(
+      insert_synchronization(parse_single_loop_or_throw(src)));
+  Dfg dfg(tac, config);
+  return {std::move(tac), std::move(dfg)};
+}
+
+bool has_edge(const Dfg& dfg, int from, int to, EdgeKind kind) {
+  for (const auto& e : dfg.succs(from)) {
+    if (e.to == to && e.kind == kind) return true;
+  }
+  return false;
+}
+
+TEST(Dfg, Fig3SyncArcs) {
+  const auto b = build(kFig1);
+  // Wait(S3,I-2) -> load A[I-2]; Wait(S3,I-1) -> load A[I-1];
+  // store A[I] -> Send(S3).
+  EXPECT_TRUE(has_edge(b.dfg, 1, 5, EdgeKind::kSync));
+  EXPECT_TRUE(has_edge(b.dfg, 11, 16, EdgeKind::kSync));
+  EXPECT_TRUE(has_edge(b.dfg, 27, 28, EdgeKind::kSync));
+}
+
+TEST(Dfg, RegisterFlowEdges) {
+  const auto b = build(kFig1);
+  EXPECT_TRUE(has_edge(b.dfg, 3, 4, EdgeKind::kData));   // t2 -> t3
+  EXPECT_TRUE(has_edge(b.dfg, 4, 5, EdgeKind::kData));   // t3 -> load
+  EXPECT_TRUE(has_edge(b.dfg, 5, 9, EdgeKind::kData));   // t4 -> add
+  EXPECT_TRUE(has_edge(b.dfg, 9, 10, EdgeKind::kData));  // t8 -> store
+  EXPECT_TRUE(has_edge(b.dfg, 2, 27, EdgeKind::kData));  // t1 -> store A
+}
+
+TEST(Dfg, MemoryEdgeOnlyForAliasingAccesses) {
+  const auto b = build(kFig1);
+  // Store B[I] (10) -> load B[I] (22): same subscript, edge.
+  EXPECT_TRUE(has_edge(b.dfg, 10, 22, EdgeKind::kMem));
+  // Store A[I] (27) vs load A[I-2] (5): provably distinct this iteration.
+  EXPECT_FALSE(has_edge(b.dfg, 5, 27, EdgeKind::kMem));
+  EXPECT_FALSE(has_edge(b.dfg, 16, 27, EdgeKind::kMem));
+}
+
+TEST(Dfg, Fig3ComponentPartition) {
+  const auto b = build(kFig1);
+  // Sigwat graph: S1 + S3 chain with Wait1 and the Send.
+  const std::set<int> sigwat{1, 5, 8, 9, 10, 22, 25, 26, 27, 28};
+  // Wat graph: S2 with Wait2.
+  const std::set<int> wat{11, 16, 19, 20, 21};
+
+  const int comp_sigwat = b.dfg.component_of(1);
+  const int comp_wat = b.dfg.component_of(11);
+  ASSERT_NE(comp_sigwat, comp_wat);
+  EXPECT_EQ(b.dfg.component_kind(comp_sigwat), ComponentKind::kSigwat);
+  EXPECT_EQ(b.dfg.component_kind(comp_wat), ComponentKind::kWat);
+
+  for (const int id : sigwat) EXPECT_EQ(b.dfg.component_of(id), comp_sigwat);
+  for (const int id : wat) EXPECT_EQ(b.dfg.component_of(id), comp_wat);
+}
+
+TEST(Dfg, AddressArithmeticIsFree) {
+  const auto b = build(kFig1);
+  for (const int id : {2, 3, 4, 6, 7, 12, 13, 14, 15, 17, 18, 23, 24}) {
+    EXPECT_TRUE(b.dfg.is_free(id)) << "instr " << id;
+    EXPECT_EQ(b.dfg.component_of(id), -1);
+  }
+  for (const int id : {1, 5, 10, 11, 16, 21, 28}) {
+    EXPECT_FALSE(b.dfg.is_free(id)) << "instr " << id;
+  }
+}
+
+TEST(Dfg, SharedAddressNodesDoNotMergeComponents) {
+  // Both statements use subscript [I] (shared scaled address t=4*I) but
+  // are otherwise independent; they must stay separate components.
+  const auto b = build(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] + 1
+  B[I] = X[I] * 2
+end
+)");
+  int stores = 0;
+  std::set<int> comps;
+  for (const auto& instr : b.tac.instrs) {
+    if (instr.op == Opcode::kStore) {
+      ++stores;
+      comps.insert(b.dfg.component_of(instr.id));
+    }
+  }
+  EXPECT_EQ(stores, 2);
+  EXPECT_EQ(comps.size(), 2u);
+}
+
+TEST(Dfg, Fig3SynchronizationPath) {
+  const auto b = build(kFig1);
+  ASSERT_EQ(b.dfg.pairs().size(), 2u);
+  // Pair with distance 2: Wait1 (1) to Send (28) through the S1/S3 chain
+  // — the paper's path {1,5,9,10,22,26,27} plus the unfused add.
+  const SyncPair* p2 = nullptr;
+  const SyncPair* p1 = nullptr;
+  for (const auto& pair : b.dfg.pairs()) {
+    if (pair.distance == 2) p2 = &pair;
+    if (pair.distance == 1) p1 = &pair;
+  }
+  ASSERT_NE(p2, nullptr);
+  ASSERT_NE(p1, nullptr);
+  const auto path = b.dfg.sync_path(*p2);
+  EXPECT_EQ(path, (std::vector<int>{1, 5, 9, 10, 22, 26, 27, 28}));
+  // Pair with distance 1 has no directed wait -> send path (Wat graph):
+  // it is convertible to LFD.
+  EXPECT_TRUE(b.dfg.sync_path(*p1).empty());
+}
+
+TEST(Dfg, LatenciesFollowMachineConfig) {
+  MachineConfig config = MachineConfig::paper(4, 1);
+  config.latency_mult = 3;
+  const auto b = build(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] * B[I]
+end
+)", config);
+  // Find the mul and its store consumer edge.
+  for (const auto& instr : b.tac.instrs) {
+    if (instr.op != Opcode::kMul) continue;
+    for (const auto& e : b.dfg.succs(instr.id)) {
+      if (b.tac.by_id(e.to).op == Opcode::kStore) {
+        EXPECT_EQ(e.latency, 3);
+      }
+    }
+  }
+}
+
+TEST(Dfg, HeightsAreCriticalPathLengths) {
+  const auto b = build(kFig1);
+  const auto heights = b.dfg.heights();
+  // The send is a sink: height 0. Its guarded store is one above.
+  EXPECT_EQ(heights[28], 0);
+  EXPECT_EQ(heights[27], 1);
+  // Wait1 heads the longest chain: 1->5->9->10->22->26->27->28.
+  EXPECT_GE(heights[1], 7);
+}
+
+TEST(Dfg, AncestorsTransitive) {
+  const auto b = build(kFig1);
+  const auto anc = b.dfg.ancestors(9);  // t8 = t4 + t7
+  const std::set<int> expect{1, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(std::set<int>(anc.begin(), anc.end()), expect);
+}
+
+TEST(Dfg, EdgesAlwaysPointForward) {
+  const auto b = build(kFig1);
+  for (int id = 1; id <= b.dfg.size(); ++id) {
+    for (const auto& e : b.dfg.succs(id)) EXPECT_LT(e.from, e.to);
+  }
+}
+
+TEST(Dfg, PairsCarryDistances) {
+  const auto b = build(kFig1);
+  for (const auto& pair : b.dfg.pairs()) {
+    EXPECT_EQ(pair.signal_stmt, 3);
+    EXPECT_EQ(b.tac.by_id(pair.wait_instr).op, Opcode::kWait);
+    EXPECT_EQ(b.tac.by_id(pair.send_instr).op, Opcode::kSend);
+  }
+}
+
+}  // namespace
+}  // namespace sbmp

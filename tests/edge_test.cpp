@@ -1,0 +1,173 @@
+// Edge-case sweeps across modules that the mainline suites touch only
+// incidentally.
+#include <gtest/gtest.h>
+
+#include "sbmp/core/pipeline.h"
+#include "sbmp/perfect/generator.h"
+
+namespace sbmp {
+namespace {
+
+TEST(GeneratorShapes, LfdBiasProducesForwardDeps) {
+  LoopGenConfig config;
+  config.lbd_percent = 0;  // carried reads target earlier statements
+  config.carried_read_percent = 80;
+  config.min_stmts = 4;
+  config.max_stmts = 6;
+  int lfd = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    SplitMix64 rng(seed);
+    const Loop loop = generate_random_loop(rng, config);
+    lfd += analyze_dependences(loop).count_lfd();
+  }
+  EXPECT_GT(lfd, 10);
+}
+
+TEST(GeneratorShapes, AntiDepsWhenRequested) {
+  LoopGenConfig config;
+  config.anti_percent = 60;
+  config.carried_read_percent = 0;
+  int anti = 0;
+  for (std::uint64_t seed = 1; seed <= 30; ++seed) {
+    SplitMix64 rng(seed);
+    const Loop loop = generate_random_loop(rng, config);
+    anti += analyze_dependences(loop).count_carried_of(DepKind::kAnti);
+  }
+  EXPECT_GT(anti, 10);
+}
+
+TEST(GeneratorShapes, TinyTripClampsDistances) {
+  LoopGenConfig config;
+  config.trip = 2;
+  config.max_distance = 5;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    SplitMix64 rng(seed);
+    const Loop loop = generate_random_loop(rng, config);
+    for (const auto& dep : analyze_dependences(loop).deps) {
+      if (dep.loop_carried()) {
+        EXPECT_EQ(dep.distance, 1);
+      }
+    }
+  }
+}
+
+TEST(DepEdge, SingleIterationLoopHasNoCarriedDeps) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 5, 5
+  A[I] = A[I-1] + 1
+end
+)");
+  EXPECT_TRUE(analyze_dependences(loop).is_doall());
+}
+
+TEST(DepEdge, NegativeBoundsLoopAnalyzed) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = -10, 10
+  A[I] = A[I-3] + B[I]
+end
+)");
+  const DepAnalysis deps = analyze_dependences(loop);
+  EXPECT_EQ(deps.count_carried(), 1);
+  EXPECT_EQ(deps.deps[0].distance, 3);
+}
+
+TEST(DepEdge, ReadOnlyArraysNeverConflict) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+do I = 1, 10
+  A[I] = B[I] + B[I-1] + B[I+1] + B[2*I]
+end
+)");
+  const DepAnalysis deps = analyze_dependences(loop);
+  for (const auto& dep : deps.deps) EXPECT_NE(dep.array(), "B");
+}
+
+TEST(PipelineEdge, SingleStatementSingleIteration) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 1
+  A[I] = B[I] * 2
+end
+)");
+  PipelineOptions options;
+  options.iterations = 0;
+  options.check_ordering = true;
+  const LoopReport report = run_pipeline(loop, options);
+  EXPECT_TRUE(report.valid());
+  EXPECT_TRUE(report.doall);
+  EXPECT_EQ(report.parallel_time(), report.sim.iteration_time);
+}
+
+TEST(PipelineEdge, LargeDistanceEqualsTrip) {
+  // d == n-1: only one dependent pair (iteration n-1 on iteration 0).
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  A[I] = A[I-99] + B[I]
+end
+)");
+  PipelineOptions options;
+  options.check_ordering = true;
+  const LoopReport report = run_pipeline(loop, options);
+  EXPECT_TRUE(report.valid());
+  ASSERT_TRUE(report.dfg.has_value());
+  ASSERT_EQ(report.dfg->pairs().size(), 1u);
+  // One link at most: T <= span + l, way below a d=1 chain.
+  EXPECT_LT(report.parallel_time(), 3 * report.sim.iteration_time);
+}
+
+TEST(PipelineEdge, WideMachineDegenerate) {
+  // Width 8 with 4 units each: everything fits immediately; results
+  // must stay valid and at least as fast as the 2-issue machine.
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)");
+  PipelineOptions wide;
+  wide.machine = MachineConfig::paper(8, 4);
+  wide.check_ordering = true;
+  const LoopReport w = run_pipeline(loop, wide);
+  PipelineOptions narrow;
+  narrow.machine = MachineConfig::paper(2, 1);
+  const LoopReport n = run_pipeline(loop, narrow);
+  EXPECT_TRUE(w.valid());
+  EXPECT_LE(w.parallel_time(), n.parallel_time());
+}
+
+TEST(AnalyticEdge, LowerBoundOfDoallIsIterationTime) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+do I = 1, 50
+  A[I] = B[I] + 1
+end
+)");
+  PipelineOptions options;
+  options.iterations = 50;
+  const LoopReport report = run_pipeline(loop, options);
+  EXPECT_EQ(analytic_lower_bound(*report.dfg, report.schedule, 50,
+                                 report.sim.iteration_time),
+            report.sim.iteration_time);
+}
+
+TEST(SyncEdge, ManyDistinctSignalsOneLoop) {
+  // Five independent recurrences: five sends, five waits, five pairs.
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  A1[I] = A1[I-1] + X[I]
+  A2[I] = A2[I-2] + X[I]
+  A3[I] = A3[I-3] + X[I]
+  A4[I] = A4[I-4] + X[I]
+  A5[I] = A5[I-5] + X[I]
+end
+)");
+  const SyncedLoop synced = insert_synchronization(loop);
+  EXPECT_EQ(synced.waits.size(), 5u);
+  EXPECT_EQ(synced.sends.size(), 5u);
+  PipelineOptions options;
+  options.check_ordering = true;
+  const LoopReport report = run_pipeline(loop, options);
+  EXPECT_TRUE(report.valid());
+  EXPECT_EQ(report.dfg->pairs().size(), 5u);
+}
+
+}  // namespace
+}  // namespace sbmp

@@ -1,0 +1,103 @@
+// Robustness sweeps: the front end must never crash, hang or corrupt
+// state on malformed input — it reports diagnostics and moves on.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "sbmp/frontend/lexer.h"
+#include "sbmp/frontend/parser.h"
+#include "sbmp/support/rng.h"
+
+namespace sbmp {
+namespace {
+
+class FuzzSeed : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSeed, RandomBytesNeverCrashLexerOrParser) {
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  std::string input;
+  const auto len = rng.range(0, 400);
+  for (std::int64_t i = 0; i < len; ++i) {
+    // Printable ASCII plus whitespace, biased toward structure chars.
+    const char* pool = "abIk019 []()=+-*/<,\n\t;#!_";
+    input += pool[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(std::strlen(pool)) - 1))];
+  }
+  DiagEngine diags;
+  EXPECT_NO_THROW({ (void)parse_pre_program(input, diags); });
+}
+
+TEST_P(FuzzSeed, RandomTokenSoupNeverCrashes) {
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  const char* words[] = {"do",  "doacross", "end",  "loop", "init", "int",
+                         "I",   "A[I]",     "A[I-1]", "=",  "+",    "*",
+                         "1",   "100",      ",",     "(",   ")",    "\n",
+                         "real", "<<",      "B[2*I+1]", "c1"};
+  std::string input;
+  const auto len = rng.range(0, 120);
+  for (std::int64_t i = 0; i < len; ++i) {
+    input += words[static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(std::size(words)) - 1))];
+    input += ' ';
+  }
+  DiagEngine diags;
+  EXPECT_NO_THROW({ (void)parse_pre_program(input, diags); });
+}
+
+TEST_P(FuzzSeed, MutatedValidProgramNeverCrashes) {
+  const std::string base = R"(
+loop demo
+doacross I = 1, 100
+  init k = 2
+  k = k + 1
+  B[I] = A[I-2] + E[I+1] * k
+  A[I] = B[I] + C[I+3]
+end
+)";
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  std::string input = base;
+  for (int m = 0; m < 6; ++m) {
+    const auto pos = static_cast<std::size_t>(
+        rng.range(0, static_cast<std::int64_t>(input.size()) - 1));
+    switch (rng.range(0, 2)) {
+      case 0:
+        input[pos] = static_cast<char>('!' + rng.range(0, 80));
+        break;
+      case 1:
+        input.erase(pos, 1);
+        break;
+      default:
+        input.insert(pos, 1, static_cast<char>('!' + rng.range(0, 80)));
+        break;
+    }
+  }
+  DiagEngine diags;
+  EXPECT_NO_THROW({ (void)parse_pre_program(input, diags); });
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(1, 26));
+
+TEST(FuzzRegression, DeepNesting) {
+  std::string expr(200, '(');
+  expr += "1";
+  expr += std::string(200, ')');
+  DiagEngine diags;
+  EXPECT_NO_THROW({
+    (void)parse_pre_program("do I = 1, 2\n A[I] = " + expr + "\nend\n",
+                            diags);
+  });
+}
+
+TEST(FuzzRegression, UnterminatedConstructs) {
+  for (const char* src : {"do", "do I", "do I =", "do I = 1,", "loop",
+                          "doacross I = 1, 5\n A[I", "do I = 1, 5\n A[I] =",
+                          "do I = 1, 5\n init", "do I = 1, 5\n init k ="}) {
+    DiagEngine diags;
+    EXPECT_NO_THROW({ (void)parse_pre_program(src, diags); }) << src;
+    EXPECT_FALSE(diags.ok()) << src;
+  }
+}
+
+}  // namespace
+}  // namespace sbmp

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "sbmp/ir/expr.h"
+#include "sbmp/ir/loop.h"
+
+namespace sbmp {
+namespace {
+
+TEST(AffineIndex, Eval) {
+  const AffineIndex ix{2, -3};
+  EXPECT_EQ(ix.eval(0), -3);
+  EXPECT_EQ(ix.eval(5), 7);
+}
+
+TEST(AffineIndex, ToString) {
+  EXPECT_EQ((AffineIndex{1, 0}).to_string("I"), "I");
+  EXPECT_EQ((AffineIndex{1, -2}).to_string("I"), "I-2");
+  EXPECT_EQ((AffineIndex{1, 3}).to_string("I"), "I+3");
+  EXPECT_EQ((AffineIndex{2, 1}).to_string("I"), "2*I+1");
+  EXPECT_EQ((AffineIndex{0, 7}).to_string("I"), "7");
+}
+
+TEST(Expr, BuildersAndPrinting) {
+  const Expr e = make_bin(
+      BinOp::kAdd, make_ref("A", -2),
+      make_bin(BinOp::kMul, make_scalar("c"), make_const(4)));
+  EXPECT_EQ(expr_to_string(e, "I"), "(A[I-2]+(c*4))");
+}
+
+TEST(Expr, DeepCopyOnCopyConstruction) {
+  Expr original = make_bin(BinOp::kSub, make_ref("A", 0), make_const(1));
+  Expr copy = original;
+  // Mutate the copy's left subtree; the original must be unaffected.
+  auto& bin = std::get<BinaryExpr>(copy);
+  *bin.lhs = make_ref("B", 5);
+  EXPECT_EQ(expr_to_string(original, "I"), "(A[I]-1)");
+  EXPECT_EQ(expr_to_string(copy, "I"), "(B[I+5]-1)");
+}
+
+TEST(Expr, EqualityIsStructural) {
+  const Expr a = make_bin(BinOp::kAdd, make_ref("A", 1), make_const(2));
+  const Expr b = make_bin(BinOp::kAdd, make_ref("A", 1), make_const(2));
+  const Expr c = make_bin(BinOp::kAdd, make_ref("A", 1), make_const(3));
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Expr, CollectArrayRefsLeftToRight) {
+  const Expr e = make_bin(BinOp::kAdd, make_ref("A", -1),
+                          make_bin(BinOp::kMul, make_ref("B", 2),
+                                   make_ref("A", 0)));
+  std::vector<ArrayRef> refs;
+  collect_array_refs(e, refs);
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0].array, "A");
+  EXPECT_EQ(refs[0].index.offset, -1);
+  EXPECT_EQ(refs[1].array, "B");
+  EXPECT_EQ(refs[2].index.offset, 0);
+}
+
+TEST(Expr, CollectScalarRefs) {
+  const Expr e = make_bin(BinOp::kDiv, make_scalar("x"), make_scalar("y"));
+  std::vector<ScalarRef> refs;
+  collect_scalar_refs(e, refs);
+  ASSERT_EQ(refs.size(), 2u);
+  EXPECT_EQ(refs[0].name, "x");
+  EXPECT_EQ(refs[1].name, "y");
+}
+
+TEST(Expr, BinopSymbols) {
+  EXPECT_STREQ(binop_symbol(BinOp::kAdd), "+");
+  EXPECT_STREQ(binop_symbol(BinOp::kSub), "-");
+  EXPECT_STREQ(binop_symbol(BinOp::kMul), "*");
+  EXPECT_STREQ(binop_symbol(BinOp::kDiv), "/");
+  EXPECT_STREQ(binop_symbol(BinOp::kShl), "<<");
+}
+
+TEST(Loop, TripCount) {
+  Loop loop;
+  loop.lower = 1;
+  loop.upper = 100;
+  EXPECT_EQ(loop.trip_count(), 100);
+  loop.upper = 0;
+  EXPECT_EQ(loop.trip_count(), 0);
+}
+
+TEST(Loop, ArrayTypeDefaultsToReal) {
+  Loop loop;
+  loop.array_types["K"] = ElemType::kInt;
+  EXPECT_EQ(loop.array_type("K"), ElemType::kInt);
+  EXPECT_EQ(loop.array_type("A"), ElemType::kReal);
+}
+
+TEST(Loop, StatementLabel) {
+  Statement s;
+  s.id = 3;
+  EXPECT_EQ(s.label(), "S3");
+}
+
+TEST(Loop, ToStringEmitsDeclarationsAndBody) {
+  Loop loop;
+  loop.iter_var = "I";
+  loop.lower = 1;
+  loop.upper = 10;
+  loop.declared_doacross = true;
+  loop.array_types["K"] = ElemType::kInt;
+  Statement s;
+  s.id = 1;
+  s.lhs = ArrayRef{"K", {1, 0}};
+  s.rhs = make_bin(BinOp::kAdd, make_ref("K", -1), make_const(1));
+  loop.body.push_back(std::move(s));
+  const std::string text = loop.to_string();
+  EXPECT_NE(text.find("doacross I = 1, 10"), std::string::npos);
+  EXPECT_NE(text.find("int K"), std::string::npos);
+  EXPECT_NE(text.find("K[I] = (K[I-1]+1)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbmp

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "sbmp/machine/machine.h"
+
+namespace sbmp {
+namespace {
+
+TEST(MachineConfig, PaperCases) {
+  const MachineConfig c21 = MachineConfig::paper(2, 1);
+  EXPECT_EQ(c21.issue_width, 2);
+  for (int f = 0; f < kNumFuClasses; ++f)
+    EXPECT_EQ(c21.fu_count(static_cast<FuClass>(f)), 1);
+  EXPECT_EQ(c21.label(), "2-issue(#FU=1)");
+
+  const MachineConfig c42 = MachineConfig::paper(4, 2);
+  EXPECT_EQ(c42.fu_count(FuClass::kMult), 2);
+  EXPECT_EQ(c42.label(), "4-issue(#FU=2)");
+}
+
+TEST(MachineConfig, PaperLatencies) {
+  const MachineConfig config = MachineConfig::paper(4, 1);
+  EXPECT_EQ(config.latency(Opcode::kMul), 3);
+  EXPECT_EQ(config.latency(Opcode::kMulI), 3);
+  EXPECT_EQ(config.latency(Opcode::kDiv), 6);
+  EXPECT_EQ(config.latency(Opcode::kAdd), 1);
+  EXPECT_EQ(config.latency(Opcode::kLoad), 1);
+  EXPECT_EQ(config.latency(Opcode::kWait), 1);
+}
+
+TEST(MachineConfig, SyncUsesIssueSlotNotFu) {
+  const MachineConfig config = MachineConfig::paper(4, 1);
+  EXPECT_EQ(fu_class_of(Opcode::kWait, false), FuClass::kNone);
+  EXPECT_EQ(fu_class_of(Opcode::kSend, false), FuClass::kNone);
+  // kNone "units" are bounded only by the issue width.
+  EXPECT_EQ(config.fu_count(FuClass::kNone), config.issue_width);
+}
+
+TEST(MachineConfig, FloatSelectsFpAdder) {
+  EXPECT_EQ(fu_class_of(Opcode::kAdd, true), FuClass::kFloat);
+  EXPECT_EQ(fu_class_of(Opcode::kAdd, false), FuClass::kInteger);
+  EXPECT_EQ(fu_class_of(Opcode::kSub, true), FuClass::kFloat);
+  // Mul/div/shift have dedicated units regardless of type.
+  EXPECT_EQ(fu_class_of(Opcode::kMul, true), FuClass::kMult);
+  EXPECT_EQ(fu_class_of(Opcode::kMul, false), FuClass::kMult);
+  EXPECT_EQ(fu_class_of(Opcode::kShl, true), FuClass::kShift);
+  EXPECT_EQ(fu_class_of(Opcode::kDiv, true), FuClass::kDiv);
+}
+
+TEST(MachineConfig, MemoryOpsOnLoadStoreUnit) {
+  EXPECT_EQ(fu_class_of(Opcode::kLoad, true), FuClass::kLoadStore);
+  EXPECT_EQ(fu_class_of(Opcode::kStore, false), FuClass::kLoadStore);
+}
+
+TEST(MachineConfig, NamesAreStable) {
+  EXPECT_STREQ(fu_class_name(FuClass::kLoadStore), "load/store");
+  EXPECT_STREQ(fu_class_name(FuClass::kInteger), "integer");
+  EXPECT_STREQ(fu_class_name(FuClass::kFloat), "float");
+  EXPECT_STREQ(fu_class_name(FuClass::kMult), "mult");
+  EXPECT_STREQ(fu_class_name(FuClass::kDiv), "div");
+  EXPECT_STREQ(fu_class_name(FuClass::kShift), "shift");
+  EXPECT_STREQ(opcode_name(Opcode::kWait), "wait");
+  EXPECT_STREQ(opcode_name(Opcode::kStore), "store");
+}
+
+}  // namespace
+}  // namespace sbmp

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "sbmp/core/pipeline.h"
+#include "sbmp/perfect/suite.h"
+
+namespace sbmp {
+namespace {
+
+TEST(Suite, HasTheFivePaperBenchmarks) {
+  const auto& suite = perfect_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "FLQ52");
+  EXPECT_EQ(suite[1].name, "QCD");
+  EXPECT_EQ(suite[2].name, "MDG");
+  EXPECT_EQ(suite[3].name, "TRACK");
+  EXPECT_EQ(suite[4].name, "ADM");
+}
+
+TEST(Suite, AllSourcesParse) {
+  for (const auto& bench : perfect_suite()) {
+    EXPECT_NO_THROW({
+      const Program program = bench.program();
+      EXPECT_FALSE(program.loops.empty()) << bench.name;
+    }) << bench.name;
+  }
+}
+
+TEST(Suite, FindBenchmark) {
+  EXPECT_EQ(find_benchmark("QCD").name, "QCD");
+  EXPECT_THROW((void)find_benchmark("NOPE"), SbmpError);
+}
+
+TEST(Suite, AllLbdBenchmarksMatchTable1) {
+  // The paper's Table 1: FLQ52, QCD and TRACK contain only LBDs.
+  for (const char* name : {"FLQ52", "QCD", "TRACK"}) {
+    const BenchmarkStats stats = compute_stats(find_benchmark(name));
+    EXPECT_EQ(stats.lfd, 0) << name;
+    EXPECT_GT(stats.lbd, 0) << name;
+  }
+}
+
+TEST(Suite, MixedBenchmarksHaveBothKinds) {
+  for (const char* name : {"MDG", "ADM"}) {
+    const BenchmarkStats stats = compute_stats(find_benchmark(name));
+    EXPECT_GT(stats.lfd, 0) << name;
+    EXPECT_GT(stats.lbd, 0) << name;
+  }
+}
+
+TEST(Suite, AdmIsTheLargest) {
+  int adm_lines = 0;
+  int max_other = 0;
+  for (const auto& bench : perfect_suite()) {
+    const BenchmarkStats stats = compute_stats(bench);
+    if (bench.name == "ADM") {
+      adm_lines = stats.tac_lines;
+    } else {
+      max_other = std::max(max_other, stats.tac_lines);
+    }
+  }
+  EXPECT_GT(adm_lines, max_other);
+}
+
+TEST(Suite, EveryLoopSynchronizable) {
+  for (const auto& bench : perfect_suite()) {
+    for (const auto& loop : bench.program().loops) {
+      EXPECT_TRUE(analyze_dependences(loop).is_synchronizable())
+          << bench.name << "/" << loop.name;
+    }
+  }
+}
+
+TEST(Suite, DoallLoopsPresent) {
+  for (const char* name : {"FLQ52", "MDG", "TRACK", "ADM"}) {
+    EXPECT_GT(compute_stats(find_benchmark(name)).doall_loops, 0) << name;
+  }
+}
+
+TEST(Suite, StatsAreConsistent) {
+  for (const auto& bench : perfect_suite()) {
+    const BenchmarkStats stats = compute_stats(bench);
+    EXPECT_GT(stats.source_lines, 0);
+    EXPECT_GT(stats.total_loops, 0);
+    EXPECT_LE(stats.doall_loops, stats.total_loops);
+    EXPECT_GT(stats.tac_lines, 0);
+  }
+}
+
+TEST(Suite, LoopsHaveUniqueNames) {
+  for (const auto& bench : perfect_suite()) {
+    std::set<std::string> names;
+    for (const auto& loop : bench.program().loops) {
+      EXPECT_FALSE(loop.name.empty()) << bench.name;
+      EXPECT_TRUE(names.insert(loop.name).second)
+          << bench.name << "/" << loop.name;
+    }
+  }
+}
+
+TEST(Suite, Deterministic) {
+  const BenchmarkStats a = compute_stats(find_benchmark("ADM"));
+  const BenchmarkStats b = compute_stats(find_benchmark("ADM"));
+  EXPECT_EQ(a.tac_lines, b.tac_lines);
+  EXPECT_EQ(a.lfd, b.lfd);
+  EXPECT_EQ(a.lbd, b.lbd);
+}
+
+TEST(Suite, CarriedDepsAreAlmostAllFlow) {
+  // The paper: "almost all LBDs are flow dependences".
+  int flow = 0;
+  int other = 0;
+  for (const auto& bench : perfect_suite()) {
+    for (const auto& loop : bench.program().loops) {
+      const DepAnalysis deps = analyze_dependences(loop);
+      flow += deps.count_carried_of(DepKind::kFlow);
+      other += deps.count_carried_of(DepKind::kAnti) +
+               deps.count_carried_of(DepKind::kOutput);
+    }
+  }
+  EXPECT_GT(flow, 10 * other);
+}
+
+TEST(Suite, PipelineValidOnEveryLoopAllConfigs) {
+  for (const auto& bench : perfect_suite()) {
+    for (const auto& loop : bench.program().loops) {
+      for (const int width : {2, 4}) {
+        for (const int fus : {1, 2}) {
+          for (const auto kind :
+               {SchedulerKind::kList, SchedulerKind::kSyncAware}) {
+            PipelineOptions options;
+            options.machine = MachineConfig::paper(width, fus);
+            options.scheduler = kind;
+            options.iterations = 100;
+            options.check_ordering = true;
+            const LoopReport report = run_pipeline(loop, options);
+            EXPECT_TRUE(report.valid())
+                << bench.name << "/" << loop.name << " "
+                << options.machine.label() << " " << scheduler_name(kind);
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Suite, SyncAwareImprovesEveryBenchmark) {
+  // Aggregate improvement must be positive for every benchmark at the
+  // paper's 4-issue single-FU configuration.
+  for (const auto& bench : perfect_suite()) {
+    PipelineOptions options;
+    options.machine = MachineConfig::paper(4, 1);
+    options.iterations = 100;
+    std::int64_t list_total = 0;
+    std::int64_t ours_total = 0;
+    for (const auto& loop : bench.program().loops) {
+      const DepAnalysis deps = analyze_dependences(loop);
+      if (deps.is_doall()) continue;
+      const SchedulerComparison cmp = compare_schedulers(loop, options);
+      list_total += cmp.baseline.parallel_time();
+      ours_total += cmp.improved.parallel_time();
+    }
+    EXPECT_LT(ours_total, list_total) << bench.name;
+  }
+}
+
+}  // namespace
+}  // namespace sbmp

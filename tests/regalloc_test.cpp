@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "sbmp/codegen/codegen.h"
+#include "sbmp/frontend/parser.h"
+#include "sbmp/regalloc/regalloc.h"
+#include "sbmp/sched/schedulers.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+namespace {
+
+constexpr const char* kFig1 = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+
+struct Built {
+  TacFunction tac;
+  Dfg dfg;
+  MachineConfig config;
+  Schedule schedule;
+};
+
+Built build(const char* src, SchedulerKind kind = SchedulerKind::kList) {
+  const MachineConfig config = MachineConfig::paper(4, 1);
+  TacFunction tac = generate_tac(
+      insert_synchronization(parse_single_loop_or_throw(src)));
+  Dfg dfg(tac, config);
+  Schedule schedule = run_scheduler(kind, tac, dfg, config, 100);
+  return {std::move(tac), std::move(dfg), config, std::move(schedule)};
+}
+
+TEST(LiveRanges, DefsAndLiveIns) {
+  const Built b = build(kFig1);
+  const auto ranges = compute_live_ranges(b.tac, b.schedule);
+  // One range per register that appears: 22 temps + I.
+  EXPECT_EQ(ranges.size(), 23u);
+  int live_ins = 0;
+  for (const auto& range : ranges) {
+    EXPECT_LE(range.start, range.end);
+    EXPECT_GE(range.start, 0);
+    EXPECT_LT(range.end, b.schedule.length());
+    if (range.live_in) {
+      ++live_ins;
+      EXPECT_EQ(range.start, 0);
+    }
+  }
+  EXPECT_EQ(live_ins, 1);  // only I; Fig 1 has no scalar parameters
+}
+
+TEST(LiveRanges, StartAtDefinitionSlot) {
+  const Built b = build(kFig1);
+  const auto ranges = compute_live_ranges(b.tac, b.schedule);
+  for (const auto& range : ranges) {
+    if (range.live_in) continue;
+    // Find the defining instruction and compare slots.
+    for (const auto& instr : b.tac.instrs) {
+      if (instr.dst == range.vreg) {
+        EXPECT_EQ(range.start, b.schedule.slot(instr.id));
+      }
+    }
+  }
+}
+
+TEST(LiveRanges, SortedByStart) {
+  const Built b = build(kFig1);
+  const auto ranges = compute_live_ranges(b.tac, b.schedule);
+  for (std::size_t i = 1; i < ranges.size(); ++i)
+    EXPECT_LE(ranges[i - 1].start, ranges[i].start);
+}
+
+TEST(Regalloc, EnoughRegistersMeansNoSpills) {
+  const Built b = build(kFig1);
+  const RegAllocResult r = allocate_registers(b.tac, b.schedule, 32);
+  EXPECT_TRUE(r.fits());
+  EXPECT_TRUE(verify_allocation(r).empty());
+}
+
+TEST(Regalloc, PressureManyRegistersExactlyFit) {
+  const Built b = build(kFig1);
+  const RegAllocResult probe = allocate_registers(b.tac, b.schedule, 64);
+  const RegAllocResult exact =
+      allocate_registers(b.tac, b.schedule, probe.max_pressure);
+  EXPECT_TRUE(exact.fits())
+      << "linear scan over single-block ranges is optimal: peak pressure "
+         "registers suffice";
+  EXPECT_TRUE(verify_allocation(exact).empty());
+}
+
+TEST(Regalloc, BelowPressureSpills) {
+  const Built b = build(kFig1);
+  const RegAllocResult probe = allocate_registers(b.tac, b.schedule, 64);
+  ASSERT_GT(probe.max_pressure, 2);
+  const RegAllocResult tight =
+      allocate_registers(b.tac, b.schedule, probe.max_pressure - 1);
+  EXPECT_FALSE(tight.fits());
+  EXPECT_GT(tight.spill_cost, 0);
+  EXPECT_TRUE(verify_allocation(tight).empty());
+}
+
+TEST(Regalloc, AssignmentsNeverOverlapAcrossPressures) {
+  const Built b = build(kFig1);
+  for (const int k : {2, 4, 6, 8, 12, 16}) {
+    const RegAllocResult r = allocate_registers(b.tac, b.schedule, k);
+    const auto violations = verify_allocation(r);
+    EXPECT_TRUE(violations.empty())
+        << "k=" << k << ": " << violations.front();
+    for (const auto& [vreg, phys] : r.assignment) {
+      EXPECT_GE(phys, 0);
+      EXPECT_LT(phys, k);
+    }
+  }
+}
+
+TEST(Regalloc, SpilledPlusAssignedCoversAllRanges) {
+  const Built b = build(kFig1);
+  const RegAllocResult r = allocate_registers(b.tac, b.schedule, 4);
+  EXPECT_EQ(r.assignment.size() + r.spilled.size(), r.ranges.size());
+}
+
+TEST(Regalloc, SchedulerChangesPressure) {
+  // Compacting the synchronization path changes register lifetimes; the
+  // allocator must report a (possibly different) consistent pressure for
+  // every scheduler.
+  for (const auto kind : {SchedulerKind::kInOrder, SchedulerKind::kList,
+                          SchedulerKind::kSyncBarrier,
+                          SchedulerKind::kSyncAware}) {
+    const Built b = build(kFig1, kind);
+    const RegAllocResult r = allocate_registers(b.tac, b.schedule, 16);
+    EXPECT_GT(r.max_pressure, 0) << scheduler_name(kind);
+    EXPECT_TRUE(verify_allocation(r).empty()) << scheduler_name(kind);
+  }
+}
+
+TEST(Regalloc, ToStringMentionsSpills) {
+  const Built b = build(kFig1);
+  const RegAllocResult r = allocate_registers(b.tac, b.schedule, 3);
+  const std::string text = r.to_string(b.tac);
+  EXPECT_NE(text.find("spills"), std::string::npos);
+  EXPECT_NE(text.find("peak pressure"), std::string::npos);
+}
+
+TEST(Regalloc, ScalarParametersAreLiveIn) {
+  const Built b = build(R"(
+doacross I = 1, 10
+  A[I] = A[I-1] * w + u
+end
+)");
+  const auto ranges = compute_live_ranges(b.tac, b.schedule);
+  int live_ins = 0;
+  for (const auto& range : ranges) live_ins += range.live_in ? 1 : 0;
+  EXPECT_EQ(live_ins, 3);  // I, w, u
+}
+
+}  // namespace
+}  // namespace sbmp

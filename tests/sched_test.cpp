@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include "sbmp/codegen/codegen.h"
+#include "sbmp/dfg/dfg.h"
+#include "sbmp/frontend/parser.h"
+#include "sbmp/sched/schedulers.h"
+#include "sbmp/sim/analytic.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+namespace {
+
+constexpr const char* kFig1 = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+
+struct Built {
+  TacFunction tac;
+  Dfg dfg;
+  MachineConfig config;
+};
+
+Built build(const char* src, MachineConfig config) {
+  TacFunction tac = generate_tac(
+      insert_synchronization(parse_single_loop_or_throw(src)));
+  Dfg dfg(tac, config);
+  return {std::move(tac), std::move(dfg), config};
+}
+
+class AllSchedulersTest
+    : public ::testing::TestWithParam<std::tuple<SchedulerKind, int, int>> {};
+
+TEST_P(AllSchedulersTest, Fig1SchedulesAreValid) {
+  const auto [kind, width, fus] = GetParam();
+  const Built b = build(kFig1, MachineConfig::paper(width, fus));
+  const Schedule s = run_scheduler(kind, b.tac, b.dfg, b.config, 100);
+  const auto violations = verify_schedule(b.tac, b.dfg, b.config, s);
+  EXPECT_TRUE(violations.empty())
+      << scheduler_name(kind) << ": " << violations.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperConfigs, AllSchedulersTest,
+    ::testing::Combine(::testing::Values(SchedulerKind::kInOrder,
+                                         SchedulerKind::kList,
+                                         SchedulerKind::kSyncBarrier,
+                                         SchedulerKind::kSyncAware),
+                       ::testing::Values(2, 4),
+                       ::testing::Values(1, 2)),
+    [](const auto& info) {
+      std::string name = scheduler_name(std::get<0>(info.param));
+      name.erase(std::remove(name.begin(), name.end(), '-'), name.end());
+      return name + "_w" + std::to_string(std::get<1>(info.param)) + "_fu" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(ListScheduler, WaitsFloatEarly) {
+  // The paper's observation: list scheduling pulls Wait_Signals to the
+  // front (they have no predecessors and head long chains), stretching
+  // the synchronization span.
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Schedule s = schedule_list(b.tac, b.dfg, b.config);
+  EXPECT_EQ(s.slot(1), 0);   // Wait(S3, I-2)
+  EXPECT_EQ(s.slot(11), 0);  // Wait(S3, I-1)
+  // The send trails at the very end.
+  EXPECT_EQ(s.slot(28), s.length() - 1);
+}
+
+TEST(SyncAware, ConvertsWatGraphPairToLFD) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Schedule s = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
+  // Wait2 (11, distance 1) pairs with the send (28) across components:
+  // the technique schedules it after the send, making the pair LFD.
+  EXPECT_GT(s.slot(11), s.slot(28));
+}
+
+TEST(SyncAware, ShrinksWorstSpanVersusList) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Schedule list = schedule_list(b.tac, b.dfg, b.config);
+  const Schedule ours = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
+  EXPECT_LT(worst_sync_span(b.dfg, ours), worst_sync_span(b.dfg, list));
+}
+
+TEST(SyncAware, PathNodesNearlyContiguous) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Schedule s = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
+  // The distance-2 path 1->5->9->10->22->26->27->28 must be packed into
+  // a span close to its own length (ancestor latencies allow small
+  // gaps, but nothing like the list scheduler's full-body span).
+  const int span = s.slot(28) - s.slot(1) + 1;
+  EXPECT_LE(span, 11);
+}
+
+TEST(SyncAware, NeverWorseThanListOnFig1) {
+  for (const int width : {2, 4}) {
+    for (const int fus : {1, 2}) {
+      const Built b = build(kFig1, MachineConfig::paper(width, fus));
+      const Schedule list = schedule_list(b.tac, b.dfg, b.config);
+      const Schedule ours = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
+      const std::int64_t l_list = list.length();
+      const std::int64_t l_ours = ours.length();
+      EXPECT_LE(analytic_lower_bound(b.dfg, ours, 100, l_ours),
+                analytic_lower_bound(b.dfg, list, 100, l_list));
+    }
+  }
+}
+
+TEST(SyncAware, AblationContiguityOff) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  SyncAwareOptions options;
+  options.contiguous_paths = false;
+  const Schedule s =
+      schedule_sync_aware(b.tac, b.dfg, b.config, 100, options);
+  EXPECT_TRUE(verify_schedule(b.tac, b.dfg, b.config, s).empty());
+}
+
+TEST(SyncAware, AblationConversionOff) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  SyncAwareOptions options;
+  options.convert_lfd = false;
+  const Schedule s =
+      schedule_sync_aware(b.tac, b.dfg, b.config, 100, options);
+  EXPECT_TRUE(verify_schedule(b.tac, b.dfg, b.config, s).empty());
+}
+
+TEST(SyncBarrier, MarkersPinProgramOrder) {
+  // Every instruction stays on its side of the surrounding sync markers.
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Schedule s = schedule_sync_barrier(b.tac, b.dfg, b.config);
+  EXPECT_TRUE(verify_schedule(b.tac, b.dfg, b.config, s).empty());
+  for (const auto& marker : b.tac.instrs) {
+    if (!marker.is_sync()) continue;
+    for (const auto& other : b.tac.instrs) {
+      if (other.id == marker.id) continue;
+      if (other.id < marker.id) {
+        EXPECT_LT(s.slot(other.id), s.slot(marker.id))
+            << other.id << " vs marker " << marker.id;
+      } else {
+        EXPECT_GT(s.slot(other.id), s.slot(marker.id))
+            << other.id << " vs marker " << marker.id;
+      }
+    }
+  }
+}
+
+TEST(SyncBarrier, BetweenListAndSyncAwareOnFig1) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Schedule list = schedule_list(b.tac, b.dfg, b.config);
+  const Schedule barrier = schedule_sync_barrier(b.tac, b.dfg, b.config);
+  const Schedule ours = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
+  // The markers keep the waits mid-body, so on this loop the estimated
+  // parallel time beats plain list scheduling — but the barriers also
+  // serialize the segments, so the active technique still wins.
+  const auto bound = [&](const Schedule& s) {
+    return analytic_lower_bound(b.dfg, s, 100, s.length());
+  };
+  EXPECT_LE(bound(barrier), bound(list));
+  EXPECT_GE(bound(barrier), bound(ours));
+}
+
+TEST(InOrder, PreservesProgramOrderAcrossGroups) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Schedule s = schedule_inorder(b.tac, b.dfg, b.config);
+  for (int id = 2; id <= b.tac.size(); ++id) {
+    EXPECT_LE(s.slot(id - 1), s.slot(id));
+  }
+}
+
+TEST(InOrder, NeverShorterThanList) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Schedule inorder = schedule_inorder(b.tac, b.dfg, b.config);
+  const Schedule list = schedule_list(b.tac, b.dfg, b.config);
+  EXPECT_GE(inorder.length(), list.length());
+}
+
+TEST(Verify, DetectsDoublePlacement) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  Schedule s = schedule_list(b.tac, b.dfg, b.config);
+  s.groups[1].push_back(s.groups[0][0]);
+  EXPECT_FALSE(verify_schedule(b.tac, b.dfg, b.config, s).empty());
+}
+
+TEST(Verify, DetectsCapacityOverflow) {
+  const Built b = build(kFig1, MachineConfig::paper(2, 1));
+  Schedule s = schedule_list(b.tac, b.dfg, b.config);
+  // Move everything into group 0.
+  Schedule broken;
+  broken.slot_of.assign(s.slot_of.size(), 0);
+  broken.groups.emplace_back();
+  for (int id = 1; id <= b.tac.size(); ++id)
+    broken.groups[0].push_back(id);
+  EXPECT_FALSE(verify_schedule(b.tac, b.dfg, b.config, broken).empty());
+}
+
+TEST(Verify, DetectsLatencyViolation) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  Schedule s = schedule_list(b.tac, b.dfg, b.config);
+  // Swap the slots of a producer/consumer pair (3 -> 4).
+  const int s3 = s.slot(3);
+  const int s4 = s.slot(4);
+  auto& g3 = s.groups[static_cast<std::size_t>(s3)];
+  auto& g4 = s.groups[static_cast<std::size_t>(s4)];
+  g3.erase(std::find(g3.begin(), g3.end(), 3));
+  g4.erase(std::find(g4.begin(), g4.end(), 4));
+  g3.push_back(4);
+  g4.push_back(3);
+  s.slot_of[3] = s4;
+  s.slot_of[4] = s3;
+  EXPECT_FALSE(verify_schedule(b.tac, b.dfg, b.config, s).empty());
+}
+
+TEST(Schedule, ToStringMatchesFig4Style) {
+  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Schedule s = schedule_list(b.tac, b.dfg, b.config);
+  const std::string text = s.to_string(b.tac, 4);
+  EXPECT_NE(text.find("Wait_Signal(S3, I-2)"), std::string::npos);
+  EXPECT_NE(text.find("Send_Signal(S3)"), std::string::npos);
+  EXPECT_NE(text.find("("), std::string::npos);
+  EXPECT_NE(text.find("-)"), std::string::npos) << "short lanes padded";
+}
+
+TEST(Schedule, MultiCycleLatenciesSpaceGroups) {
+  MachineConfig config = MachineConfig::paper(4, 1);
+  const Built b = build(R"(
+doacross I = 1, 10
+  A[I] = A[I-1] / B[I]
+end
+)", config);
+  const Schedule s = schedule_list(b.tac, b.dfg, b.config);
+  // Find div -> store spacing: at least the divider latency (6).
+  for (const auto& instr : b.tac.instrs) {
+    if (instr.op != Opcode::kDiv) continue;
+    for (const auto& e : b.dfg.succs(instr.id)) {
+      EXPECT_GE(s.slot(e.to) - s.slot(instr.id), 6);
+    }
+  }
+}
+
+TEST(Scheduler, NamesAreStable) {
+  EXPECT_STREQ(scheduler_name(SchedulerKind::kInOrder), "in-order");
+  EXPECT_STREQ(scheduler_name(SchedulerKind::kList), "list");
+  EXPECT_STREQ(scheduler_name(SchedulerKind::kSyncAware), "sync-aware");
+}
+
+}  // namespace
+}  // namespace sbmp

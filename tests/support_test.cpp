@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "sbmp/support/diagnostics.h"
+#include "sbmp/support/rng.h"
+#include "sbmp/support/strings.h"
+#include "sbmp/support/table.h"
+
+namespace sbmp {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleField) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("doacross", "do"));
+  EXPECT_FALSE(starts_with("do", "doacross"));
+}
+
+TEST(Strings, FormatFixed) {
+  EXPECT_EQ(format_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(format_fixed(-1.0, 0), "-1");
+}
+
+TEST(Strings, FormatPercent) {
+  EXPECT_EQ(format_percent(0.8337), "83.37%");
+  EXPECT_EQ(format_percent(0.851, 1), "85.1%");
+}
+
+TEST(Diagnostics, OkUntilFirstError) {
+  DiagEngine diags;
+  EXPECT_TRUE(diags.ok());
+  diags.warning({1, 2}, "meh");
+  EXPECT_TRUE(diags.ok());
+  diags.error({3, 4}, "boom");
+  EXPECT_FALSE(diags.ok());
+  EXPECT_EQ(diags.error_count(), 1);
+}
+
+TEST(Diagnostics, RenderIncludesLocationAndSeverity) {
+  DiagEngine diags;
+  diags.error({7, 3}, "bad token");
+  EXPECT_EQ(diags.render(), "7:3: error: bad token\n");
+}
+
+TEST(Diagnostics, UnknownLocationOmitted) {
+  Diagnostic d{DiagSeverity::kNote, {}, "hi"};
+  EXPECT_EQ(d.to_string(), "note: hi");
+}
+
+TEST(Diagnostics, ClearResets) {
+  DiagEngine diags;
+  diags.error({1, 1}, "x");
+  diags.clear();
+  EXPECT_TRUE(diags.ok());
+  EXPECT_TRUE(diags.diagnostics().empty());
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeInclusive) {
+  SplitMix64 rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ChanceBounds) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0));
+    EXPECT_TRUE(rng.chance(100));
+  }
+}
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable table;
+  table.set_header({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"bb", "22"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  // Right-aligned numeric column: " 1" under "22".
+  EXPECT_NE(out.find("   1"), std::string::npos);
+}
+
+TEST(Table, SeparatorLine) {
+  TextTable table;
+  table.set_header({"x"});
+  table.add_row({"1"});
+  table.add_separator();
+  table.add_row({"2"});
+  const std::string out = table.render();
+  // Header rule + explicit separator.
+  int dashes = 0;
+  for (const auto line : split(out, '\n')) {
+    if (!line.empty() && line.find_first_not_of('-') == std::string::npos)
+      ++dashes;
+  }
+  EXPECT_EQ(dashes, 2);
+}
+
+TEST(Table, PadsShortRows) {
+  TextTable table;
+  table.set_header({"a", "b", "c"});
+  table.add_row({"1"});
+  EXPECT_NO_THROW({ const auto out = table.render(); });
+}
+
+}  // namespace
+}  // namespace sbmp

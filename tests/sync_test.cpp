@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "sbmp/frontend/parser.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+namespace {
+
+constexpr const char* kFig1 = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+
+TEST(SyncInsertion, Fig1Placement) {
+  const Loop loop = parse_single_loop_or_throw(kFig1);
+  const SyncedLoop synced = insert_synchronization(loop);
+
+  ASSERT_EQ(synced.waits.size(), 2u);
+  ASSERT_EQ(synced.sends.size(), 1u);
+  EXPECT_TRUE(synced.synchronizable());
+
+  // Wait(S3, I-2) before S1, Wait(S3, I-1) before S2, Send(S3) after S3.
+  const auto w1 = synced.waits_before(1);
+  ASSERT_EQ(w1.size(), 1u);
+  EXPECT_EQ(w1[0].signal_stmt, 3);
+  EXPECT_EQ(w1[0].distance, 2);
+  const auto w2 = synced.waits_before(2);
+  ASSERT_EQ(w2.size(), 1u);
+  EXPECT_EQ(w2[0].distance, 1);
+  EXPECT_TRUE(synced.has_send(3));
+  EXPECT_FALSE(synced.has_send(1));
+}
+
+TEST(SyncInsertion, Fig1Rendering) {
+  const Loop loop = parse_single_loop_or_throw(kFig1);
+  const SyncedLoop synced = insert_synchronization(loop);
+  const std::string expected =
+      "DOACROSS I = 1, 100\n"
+      "  Wait_Signal(S3, I-2);\n"
+      "  S1: B[I] = (A[I-2]+E[I+1]);\n"
+      "  Wait_Signal(S3, I-1);\n"
+      "  S2: G[I-3] = (A[I-1]*E[I+2]);\n"
+      "  S3: A[I] = (B[I]+C[I+3]);\n"
+      "  Send_Signal(S3);\n"
+      "END_DOACROSS\n";
+  EXPECT_EQ(synced.to_string(), expected);
+}
+
+TEST(SyncInsertion, OneSendServesManyDeps) {
+  const Loop loop = parse_single_loop_or_throw(kFig1);
+  const SyncedLoop synced = insert_synchronization(loop);
+  EXPECT_EQ(synced.synced.size(), 2u);
+  EXPECT_EQ(synced.sends.size(), 1u) << "both deps share source S3";
+}
+
+TEST(SyncInsertion, DoallLoopGetsNoSync) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+do I = 1, 10
+  A[I] = B[I] + 1
+end
+)");
+  const SyncedLoop synced = insert_synchronization(loop);
+  EXPECT_TRUE(synced.waits.empty());
+  EXPECT_TRUE(synced.sends.empty());
+}
+
+TEST(SyncInsertion, LoopIndependentDepsNeedNoSync) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+do I = 1, 10
+  A[I] = B[I] + 1
+  C[I] = A[I] * 2
+end
+)");
+  const SyncedLoop synced = insert_synchronization(loop);
+  EXPECT_TRUE(synced.waits.empty());
+}
+
+TEST(SyncInsertion, IrregularDepsReported) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 30
+  A[2*I] = A[5*I+1] + 1
+end
+)");
+  const SyncedLoop synced = insert_synchronization(loop);
+  EXPECT_FALSE(synced.synchronizable());
+  EXPECT_FALSE(synced.unsynchronizable.empty());
+}
+
+TEST(SyncInsertion, WaitsSortLongestDistanceFirst) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] + A[I-3]
+end
+)");
+  const SyncedLoop synced = insert_synchronization(loop);
+  ASSERT_EQ(synced.waits.size(), 2u);
+  EXPECT_EQ(synced.waits[0].distance, 3);
+  EXPECT_EQ(synced.waits[1].distance, 1);
+}
+
+TEST(SyncInsertion, AntiDependenceGuardsTheWrite) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  B[I] = A[I+2] * 2
+  A[I] = C[I] + 1
+end
+)");
+  const SyncedLoop synced = insert_synchronization(loop);
+  // Anti dep S1 -> S2 distance 2: wait before S2 guards its write; send
+  // after S1 guards the read.
+  ASSERT_EQ(synced.waits.size(), 1u);
+  EXPECT_EQ(synced.waits[0].sink_stmt, 2);
+  EXPECT_TRUE(synced.waits[0].sink_is_write);
+  ASSERT_EQ(synced.sends.size(), 1u);
+  EXPECT_EQ(synced.sends[0].signal_stmt, 1);
+  EXPECT_FALSE(synced.sends[0].src_is_write);
+}
+
+TEST(SyncRedundancy, ChainedSelfRecurrenceCoversLongerDistance) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] + A[I-2]
+end
+)");
+  const SyncedLoop synced = insert_synchronization(loop);
+  ASSERT_EQ(synced.waits.size(), 2u);
+  const auto redundant = find_redundant_waits(synced);
+  // The d=2 wait is covered by chaining the d=1 wait twice.
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(synced.waits[redundant[0]].distance, 2);
+}
+
+TEST(SyncRedundancy, Fig1WaitsAreBothNeeded) {
+  const Loop loop = parse_single_loop_or_throw(kFig1);
+  const SyncedLoop synced = insert_synchronization(loop);
+  EXPECT_TRUE(find_redundant_waits(synced).empty())
+      << "Wait(S3, I-2) precedes S1, which the I-1 wait (after S1) "
+         "cannot cover";
+}
+
+TEST(SyncRedundancy, EliminationOptionDropsWaitAndKeepsSend) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] + A[I-2]
+end
+)");
+  SyncOptions options;
+  options.eliminate_redundant = true;
+  const SyncedLoop synced = insert_synchronization(loop, options);
+  ASSERT_EQ(synced.waits.size(), 1u);
+  EXPECT_EQ(synced.waits[0].distance, 1);
+  EXPECT_EQ(synced.sends.size(), 1u);
+}
+
+TEST(SyncRedundancy, CoverageByMultipleChainSteps) {
+  // Distances 2 and 4: the d=4 wait is covered by chaining the d=2 wait
+  // twice, and the send stays because the d=2 wait still consumes it.
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  A[I] = A[I-2] + A[I-4]
+end
+)");
+  SyncOptions options;
+  options.eliminate_redundant = true;
+  const SyncedLoop synced = insert_synchronization(loop, options);
+  ASSERT_EQ(synced.waits.size(), 1u);
+  EXPECT_EQ(synced.waits[0].distance, 2);
+  EXPECT_EQ(synced.sends.size(), 1u) << "send still consumed by d=2 wait";
+}
+
+TEST(SyncRedundancy, BackwardChainCoverage) {
+  // S2 -> S1 backward deps at distances 1 and 2. The d=2 wait is
+  // covered by chaining the d=1 wait: X(i-2) bef send(i-2) bef
+  // wait_d1(i-1) bef S2(i-1) bef send(i-1) bef wait_d1(i) bef S1(i).
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  C[I] = X[I-1] + X[I-2]
+  X[I] = B[I] + 1
+end
+)");
+  const SyncedLoop synced = insert_synchronization(loop);
+  ASSERT_EQ(synced.waits.size(), 2u);
+  const auto redundant = find_redundant_waits(synced);
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(synced.waits[redundant[0]].distance, 2);
+}
+
+TEST(SyncRedundancy, ForwardChainNotCovered) {
+  // Forward deps S1 -> S2 at distances 1 and 2: the d=1 wait sits
+  // *after* the send in program order, so chaining never reaches back to
+  // S1 of two iterations ago; both waits are needed.
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  X[I] = B[I] + 1
+  C[I] = X[I-1] + X[I-2]
+end
+)");
+  const SyncedLoop synced = insert_synchronization(loop);
+  ASSERT_EQ(synced.waits.size(), 2u);
+  EXPECT_TRUE(find_redundant_waits(synced).empty());
+}
+
+}  // namespace
+}  // namespace sbmp

@@ -1,0 +1,137 @@
+// Tests for the reporting/tooling layers: DOT export, schedule
+// statistics and the Fig 4-style schedule rendering.
+#include <gtest/gtest.h>
+
+#include "sbmp/codegen/codegen.h"
+#include "sbmp/dfg/export.h"
+#include "sbmp/frontend/parser.h"
+#include "sbmp/sched/schedulers.h"
+#include "sbmp/sched/stats.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+namespace {
+
+constexpr const char* kFig1 = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+
+struct Built {
+  TacFunction tac;
+  Dfg dfg;
+  MachineConfig config;
+};
+
+Built build(const char* src, MachineConfig config = MachineConfig::paper(4, 1)) {
+  TacFunction tac = generate_tac(
+      insert_synchronization(parse_single_loop_or_throw(src)));
+  Dfg dfg(tac, config);
+  return {std::move(tac), std::move(dfg), config};
+}
+
+TEST(DotExport, ContainsAllNodesAndClusters) {
+  const Built b = build(kFig1);
+  const std::string dot = dfg_to_dot(b.tac, b.dfg);
+  EXPECT_NE(dot.find("digraph dfg"), std::string::npos);
+  for (int id = 1; id <= b.tac.size(); ++id) {
+    EXPECT_NE(dot.find("n" + std::to_string(id) + " [label="),
+              std::string::npos)
+        << id;
+  }
+  EXPECT_NE(dot.find("Sigwat graph"), std::string::npos);
+  EXPECT_NE(dot.find("Wat graph"), std::string::npos);
+}
+
+TEST(DotExport, EdgeStylesByKind) {
+  const Built b = build(kFig1);
+  const std::string dot = dfg_to_dot(b.tac, b.dfg);
+  // Sync arcs bold red; memory edges dashed.
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);
+  // The wait/send triangle markers of the paper's Fig 3.
+  EXPECT_NE(dot.find("shape=invtriangle"), std::string::npos);
+  EXPECT_NE(dot.find("shape=triangle"), std::string::npos);
+}
+
+TEST(DotExport, MultiCycleLatencyLabelled) {
+  const Built b = build(R"(
+doacross I = 1, 10
+  A[I] = A[I-1] * B[I]
+end
+)");
+  const std::string dot = dfg_to_dot(b.tac, b.dfg);
+  EXPECT_NE(dot.find("[label=\"3\"]"), std::string::npos)
+      << "multiplier latency edge";
+}
+
+TEST(DotExport, BalancedBracesAndQuotes) {
+  const Built b = build(kFig1);
+  const std::string dot = dfg_to_dot(b.tac, b.dfg);
+  int braces = 0;
+  int quotes = 0;
+  for (const char c : dot) {
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '"') ++quotes;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(quotes % 2, 0);
+}
+
+TEST(ScheduleStats, CountsAndUtilization) {
+  const Built b = build(kFig1);
+  const Schedule s = schedule_list(b.tac, b.dfg, b.config);
+  const ScheduleStats stats =
+      compute_schedule_stats(b.tac, b.dfg, s, b.config);
+  EXPECT_EQ(stats.instructions, 28);
+  EXPECT_EQ(stats.groups, s.length());
+  EXPECT_GT(stats.issue_utilization, 0.0);
+  EXPECT_LE(stats.issue_utilization, 1.0);
+  for (const double u : stats.fu_utilization) {
+    EXPECT_GE(u, 0.0);
+    EXPECT_LE(u, 1.0);
+  }
+}
+
+TEST(ScheduleStats, WorstSpanMatchesAnalytic) {
+  const Built b = build(kFig1);
+  const Schedule list = schedule_list(b.tac, b.dfg, b.config);
+  const Schedule ours = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
+  const ScheduleStats sl = compute_schedule_stats(b.tac, b.dfg, list,
+                                                  b.config);
+  const ScheduleStats so = compute_schedule_stats(b.tac, b.dfg, ours,
+                                                  b.config);
+  EXPECT_GT(sl.worst_sync_span, so.worst_sync_span);
+}
+
+TEST(ScheduleStats, PaddingGroupsCounted) {
+  // A divider chain forces latency-padding groups.
+  const Built b = build(R"(
+doacross I = 1, 10
+  A[I] = A[I-1] / B[I]
+end
+)");
+  const Schedule s = schedule_sync_aware(b.tac, b.dfg, b.config, 10);
+  const ScheduleStats stats =
+      compute_schedule_stats(b.tac, b.dfg, s, b.config);
+  EXPECT_GT(stats.empty_groups, 0);
+}
+
+TEST(ScheduleStats, ToStringMentionsEveryFuClass) {
+  const Built b = build(kFig1);
+  const Schedule s = schedule_list(b.tac, b.dfg, b.config);
+  const std::string text =
+      compute_schedule_stats(b.tac, b.dfg, s, b.config).to_string();
+  for (int f = 0; f < kNumFuClasses; ++f) {
+    EXPECT_NE(text.find(fu_class_name(static_cast<FuClass>(f))),
+              std::string::npos);
+  }
+  EXPECT_NE(text.find("worst sync span"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sbmp

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include "sbmp/codegen/codegen.h"
+#include "sbmp/frontend/parser.h"
+#include "sbmp/sched/schedulers.h"
+#include "sbmp/sim/trace.h"
+#include "sbmp/sync/sync.h"
+#include "sbmp/support/strings.h"
+
+namespace sbmp {
+namespace {
+
+struct Built {
+  TacFunction tac;
+  Dfg dfg;
+  MachineConfig config;
+  Schedule schedule;
+};
+
+Built build(const char* src, SchedulerKind kind) {
+  const MachineConfig config = MachineConfig::paper(4, 1);
+  TacFunction tac = generate_tac(
+      insert_synchronization(parse_single_loop_or_throw(src)));
+  Dfg dfg(tac, config);
+  Schedule schedule = run_scheduler(kind, tac, dfg, config, 100);
+  return {std::move(tac), std::move(dfg), config, std::move(schedule)};
+}
+
+SimOptions options(std::int64_t n, int procs = 0) {
+  SimOptions o;
+  o.iterations = n;
+  o.processors = procs;
+  return o;
+}
+
+TEST(Trace, RowsForRequestedIterations) {
+  const Built b = build("doacross I = 1, 100\n A[I] = A[I-1] + B[I]\nend\n",
+                        SchedulerKind::kList);
+  const std::string text = trace_to_string(b.tac, b.dfg, b.schedule,
+                                           b.config, options(100), 5, 200);
+  EXPECT_EQ(split(text, '\n').size(), 6u);  // 5 rows + trailing newline
+  EXPECT_NE(text.find("iter 0"), std::string::npos);
+  EXPECT_NE(text.find("iter 4"), std::string::npos);
+}
+
+TEST(Trace, MarksWaitsAndSends) {
+  const Built b = build("doacross I = 1, 100\n A[I] = A[I-1] + B[I]\nend\n",
+                        SchedulerKind::kList);
+  const std::string text = trace_to_string(b.tac, b.dfg, b.schedule,
+                                           b.config, options(100), 3, 200);
+  EXPECT_NE(text.find('w'), std::string::npos);
+  EXPECT_NE(text.find('s'), std::string::npos);
+  EXPECT_NE(text.find('#'), std::string::npos);
+}
+
+TEST(Trace, LbdStaircaseVisible) {
+  // Under list scheduling the d=1 recurrence serializes: each row's
+  // first mark starts strictly later than the previous row's.
+  const Built b = build("doacross I = 1, 100\n A[I] = A[I-1] + B[I]\nend\n",
+                        SchedulerKind::kList);
+  const std::string text = trace_to_string(b.tac, b.dfg, b.schedule,
+                                           b.config, options(100), 4, 400);
+  std::vector<std::size_t> starts;
+  for (const auto line : split(text, '\n')) {
+    const auto bar = line.find('|');
+    if (bar == std::string_view::npos) continue;
+    const auto first = line.find_first_not_of(' ', bar + 1);
+    if (first != std::string_view::npos) starts.push_back(first);
+  }
+  ASSERT_GE(starts.size(), 3u);
+  for (std::size_t i = 1; i < starts.size(); ++i)
+    EXPECT_GT(starts[i], starts[i - 1]);
+}
+
+TEST(Trace, DoallRowsAligned) {
+  const Built b = build("do I = 1, 50\n A[I] = B[I] * 2\nend\n",
+                        SchedulerKind::kList);
+  const std::string text = trace_to_string(b.tac, b.dfg, b.schedule,
+                                           b.config, options(50), 3, 100);
+  std::vector<std::string> rows;
+  for (const auto line : split(text, '\n'))
+    if (!line.empty()) rows.emplace_back(line.substr(line.find('|')));
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], rows[1]);
+  EXPECT_EQ(rows[1], rows[2]);
+}
+
+TEST(Trace, TruncationMarked) {
+  const Built b = build("doacross I = 1, 100\n A[I] = A[I-1] / B[I]\nend\n",
+                        SchedulerKind::kList);
+  const std::string text = trace_to_string(b.tac, b.dfg, b.schedule,
+                                           b.config, options(100), 8, 30);
+  EXPECT_NE(text.find("..."), std::string::npos);
+}
+
+TEST(IssueTimes, MatchSimulatorSemantics) {
+  const Built b = build("doacross I = 1, 100\n A[I] = A[I-1] + B[I]\nend\n",
+                        SchedulerKind::kSyncAware);
+  const auto rows = simulate_issue_times(b.tac, b.dfg, b.schedule, b.config,
+                                         options(100), 10);
+  ASSERT_EQ(rows.size(), 10u);
+  // In-order issue within an iteration.
+  for (const auto& row : rows) {
+    for (std::size_t g = 1; g < row.size(); ++g)
+      EXPECT_GT(row[g], row[g - 1]);
+  }
+  // The wait group of iteration k issues after iteration k-1's send.
+  int send_slot = 0;
+  int wait_slot = 0;
+  for (const auto& instr : b.tac.instrs) {
+    if (instr.op == Opcode::kSend) send_slot = b.schedule.slot(instr.id);
+    if (instr.op == Opcode::kWait) wait_slot = b.schedule.slot(instr.id);
+  }
+  for (std::size_t k = 1; k < rows.size(); ++k) {
+    EXPECT_GT(rows[k][static_cast<std::size_t>(wait_slot)],
+              rows[k - 1][static_cast<std::size_t>(send_slot)]);
+  }
+}
+
+TEST(IssueTimes, FewerProcessorsDelayLaterIterations) {
+  const Built b = build("do I = 1, 50\n A[I] = B[I] * 2\nend\n",
+                        SchedulerKind::kList);
+  const auto all = simulate_issue_times(b.tac, b.dfg, b.schedule, b.config,
+                                        options(50, 0), 4);
+  const auto two = simulate_issue_times(b.tac, b.dfg, b.schedule, b.config,
+                                        options(50, 2), 4);
+  // With unlimited processors every iteration starts at 0; with 2, the
+  // third iteration waits for a processor.
+  EXPECT_EQ(all[2][0], 0);
+  EXPECT_GT(two[2][0], 0);
+  EXPECT_EQ(two[0][0], 0);
+  EXPECT_EQ(two[1][0], 0);
+}
+
+}  // namespace
+}  // namespace sbmp

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "sbmp/core/pipeline.h"
+#include "sbmp/restructure/unroll.h"
+
+namespace sbmp {
+namespace {
+
+constexpr const char* kFig1 = R"(
+loop fig1
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+
+TEST(Unroll, FactorOneIsIdentity) {
+  const Loop loop = parse_single_loop_or_throw(kFig1);
+  const Loop same = unroll_or_throw(loop, 1);
+  EXPECT_EQ(same.to_string(), loop.to_string());
+}
+
+TEST(Unroll, BodyReplicatedAndTripDivided) {
+  const Loop loop = parse_single_loop_or_throw(kFig1);
+  const Loop u2 = unroll_or_throw(loop, 2);
+  EXPECT_EQ(u2.trip_count(), 50);
+  EXPECT_EQ(u2.body.size(), 6u);
+  EXPECT_EQ(u2.name, "fig1_u2");
+  // Instance 0 writes the odd elements, instance 1 the even ones.
+  EXPECT_EQ(u2.body[2].lhs.index, (AffineIndex{2, -1}));  // A[2I-1]
+  EXPECT_EQ(u2.body[5].lhs.index, (AffineIndex{2, 0}));   // A[2I]
+}
+
+TEST(Unroll, NonDivisibleFactorRejected) {
+  const Loop loop = parse_single_loop_or_throw(kFig1);
+  EXPECT_THROW((void)unroll_or_throw(loop, 3), SbmpError);
+  DiagEngine diags;
+  const Loop unchanged = unroll_loop(loop, 3, diags);
+  EXPECT_FALSE(diags.ok());
+  EXPECT_EQ(unchanged.body.size(), loop.body.size());
+}
+
+TEST(Unroll, DistancesCollapse) {
+  // d=2 at factor 2 becomes d=1 within each instance; the d=1 pair
+  // becomes a cross-instance loop-independent dep plus a d=1 carried.
+  const Loop loop = parse_single_loop_or_throw(kFig1);
+  const DepAnalysis original = analyze_dependences(loop);
+  EXPECT_EQ(original.count_carried(), 2);
+  const Loop u2 = unroll_or_throw(loop, 2);
+  const DepAnalysis unrolled = analyze_dependences(u2);
+  for (const auto& dep : unrolled.deps) {
+    if (dep.loop_carried()) {
+      EXPECT_EQ(dep.distance, 1) << dep.to_string();
+    }
+  }
+  // Part of the original d=1 dependence became same-iteration flow.
+  int intra = 0;
+  for (const auto& dep : unrolled.deps) {
+    if (!dep.loop_carried() && dep.kind == DepKind::kFlow &&
+        dep.src_ref.array == "A")
+      ++intra;
+  }
+  EXPECT_GE(intra, 1);
+}
+
+TEST(Unroll, DistanceEqualToFactorGivesIndependentChains) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  A[I] = A[I-4] + B[I]
+end
+)");
+  const Loop u4 = unroll_or_throw(loop, 4);
+  const DepAnalysis deps = analyze_dependences(u4);
+  // Four self-recurrences, one per instance, each at distance 1.
+  EXPECT_EQ(deps.count_carried(), 4);
+  for (const auto& dep : deps.deps) {
+    if (dep.loop_carried()) {
+      EXPECT_EQ(dep.distance, 1);
+      EXPECT_EQ(dep.src_stmt, dep.snk_stmt);
+    }
+  }
+}
+
+TEST(Unroll, IterationValueUsesRewritten) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+do I = 1, 10
+  A[I] = B[I] * I
+end
+)");
+  const Loop u2 = unroll_or_throw(loop, 2);
+  // Instance 0 multiplies by 2I-1, instance 1 by 2I.
+  EXPECT_EQ(expr_to_string(u2.body[0].rhs, "I"), "(B[2*I-1]*((2*I)-1))");
+  EXPECT_EQ(expr_to_string(u2.body[1].rhs, "I"), "(B[2*I]*((2*I)+0))");
+}
+
+TEST(Unroll, PipelineCorrectAfterUnrolling) {
+  const Loop loop = parse_single_loop_or_throw(kFig1);
+  for (const int factor : {2, 4, 5}) {
+    const Loop unrolled = unroll_or_throw(loop, factor);
+    PipelineOptions options;
+    options.iterations = 0;  // the unrolled trip count
+    options.check_ordering = true;
+    for (const auto kind : {SchedulerKind::kList, SchedulerKind::kSyncAware}) {
+      options.scheduler = kind;
+      const LoopReport report = run_pipeline(unrolled, options);
+      EXPECT_TRUE(report.valid())
+          << "factor " << factor << ", " << scheduler_name(kind);
+    }
+  }
+}
+
+TEST(Unroll, AmortizesSynchronizationOfConvertiblePairs) {
+  // A loop dominated by per-iteration synchronization overhead: after
+  // unrolling, sends/waits per original element drop.
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  G[I] = F[I-1] + X[I]
+  F[I] = Y[I] * c1 + X[I+1]
+end
+)");
+  PipelineOptions options;
+  options.iterations = 0;
+  const std::int64_t t1 = run_pipeline(loop, options).parallel_time();
+  const std::int64_t t4 =
+      run_pipeline(unroll_or_throw(loop, 4), options).parallel_time();
+  // Not asserting a specific win — only that the transformed loop is
+  // correct and in the same performance regime (LFD-converted loops run
+  // in one iteration time either way; the unrolled iteration is longer).
+  EXPECT_GT(t4, 0);
+  EXPECT_LT(t4, 8 * t1);
+}
+
+}  // namespace
+}  // namespace sbmp

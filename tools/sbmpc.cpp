@@ -1,0 +1,254 @@
+// sbmpc — command-line driver for the sync-aware scheduling pipeline.
+//
+// Reads LoopLang files (pre-restructuring form allowed), restructures,
+// analyzes, schedules and simulates every loop, and prints whatever
+// stage artifacts are requested.
+//
+//   sbmpc [options] file.loop...
+//   sbmpc --list-benchmarks            # run the built-in Perfect suite
+//
+// Options:
+//   --width N          issue width (default 4)
+//   --fus N            function units per class (default 1)
+//   --scheduler S      inorder | list | sync-marker | sync-aware
+//                      (default sync-aware)
+//   --iterations N     simulated iterations (default 100; 0 = trip count)
+//   --processors P     processors (default 0 = one per iteration)
+//   --compare          report list vs sync-aware side by side
+//   --check            run the cross-iteration staleness check
+//   --eliminate        access-level redundant-wait elimination
+//   --dump WHAT        sync | tac | dfg | dot | schedule | stats |
+//                      trace | all
+//                      (repeatable; dot prints a Graphviz digraph)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sbmp/core/pipeline.h"
+#include "sbmp/dfg/export.h"
+#include "sbmp/perfect/suite.h"
+#include "sbmp/restructure/classify.h"
+#include "sbmp/sched/stats.h"
+#include "sbmp/sim/trace.h"
+
+namespace {
+
+using namespace sbmp;
+
+struct CliOptions {
+  PipelineOptions pipeline;
+  bool compare = false;
+  std::set<std::string> dumps;
+  std::vector<std::string> files;
+  bool run_suite = false;
+
+  [[nodiscard]] bool dump(const char* what) const {
+    return dumps.count(what) != 0 || dumps.count("all") != 0;
+  }
+};
+
+[[noreturn]] void usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "sbmpc: %s\n", message);
+  std::fprintf(stderr,
+               "usage: sbmpc [--width N] [--fus N] [--scheduler S]\n"
+               "             [--iterations N] [--processors P] [--compare]\n"
+               "             [--check] [--eliminate] [--dump WHAT]\n"
+               "             file.loop... | --list-benchmarks\n");
+  std::exit(2);
+}
+
+const char* next_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage("missing option value");
+  return argv[++i];
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions cli;
+  int width = 4;
+  int fus = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--width") == 0) {
+      width = std::atoi(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--fus") == 0) {
+      fus = std::atoi(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--scheduler") == 0) {
+      const std::string s = next_arg(argc, argv, i);
+      if (s == "inorder") {
+        cli.pipeline.scheduler = SchedulerKind::kInOrder;
+      } else if (s == "list") {
+        cli.pipeline.scheduler = SchedulerKind::kList;
+      } else if (s == "sync-marker") {
+        cli.pipeline.scheduler = SchedulerKind::kSyncBarrier;
+      } else if (s == "sync-aware") {
+        cli.pipeline.scheduler = SchedulerKind::kSyncAware;
+      } else {
+        usage("unknown scheduler");
+      }
+    } else if (std::strcmp(arg, "--iterations") == 0) {
+      cli.pipeline.iterations = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--processors") == 0) {
+      cli.pipeline.processors = std::atoi(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--compare") == 0) {
+      cli.compare = true;
+    } else if (std::strcmp(arg, "--check") == 0) {
+      cli.pipeline.check_ordering = true;
+    } else if (std::strcmp(arg, "--eliminate") == 0) {
+      cli.pipeline.eliminate_redundant_waits = true;
+    } else if (std::strcmp(arg, "--dump") == 0) {
+      cli.dumps.insert(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--list-benchmarks") == 0) {
+      cli.run_suite = true;
+    } else if (std::strcmp(arg, "--help") == 0) {
+      usage(nullptr);
+    } else if (arg[0] == '-') {
+      usage((std::string("unknown option ") + arg).c_str());
+    } else {
+      cli.files.emplace_back(arg);
+    }
+  }
+  if (width < 1 || fus < 1) usage("width and fus must be positive");
+  cli.pipeline.machine = MachineConfig::paper(width, fus);
+  if (cli.files.empty() && !cli.run_suite) usage("no input files");
+  return cli;
+}
+
+void report_loop(const PreLoop& pre, const CliOptions& cli) {
+  const RestructureResult restructured = restructure_or_throw(pre);
+  const Loop& loop = restructured.loop;
+  const DepAnalysis deps = analyze_dependences(loop);
+
+  std::printf("loop %s: %s",
+              loop.name.empty() ? "<unnamed>" : loop.name.c_str(),
+              doacross_types_to_string(classify_doacross(restructured, deps))
+                  .c_str());
+  for (const auto& note : restructured.notes)
+    std::printf("\n  %s", note.to_string().c_str());
+  std::printf("\n");
+
+  if (deps.is_doall()) {
+    std::printf("  Doall: no synchronization needed\n\n");
+    return;
+  }
+  if (!deps.is_synchronizable()) {
+    std::printf("  irregular carried dependences: loop must serialize\n\n");
+    return;
+  }
+
+  const LoopReport report = run_pipeline(loop, cli.pipeline);
+  if (cli.dump("sync"))
+    std::printf("%s", report.synced.to_string().c_str());
+  if (cli.dump("tac"))
+    std::printf("%s", report.tac.to_string().c_str());
+  if (cli.dump("dfg")) {
+    for (int c = 0; c < report.dfg->num_components(); ++c) {
+      std::printf("  component %d (%s):", c,
+                  component_kind_name(report.dfg->component_kind(c)));
+      for (const int id : report.dfg->component_members(c))
+        std::printf(" %d", id);
+      std::printf("\n");
+    }
+  }
+  if (cli.dump("dot"))
+    std::printf("%s", dfg_to_dot(report.tac, *report.dfg).c_str());
+  if (cli.dump("schedule"))
+    std::printf("%s", report.schedule
+                          .to_string(report.tac,
+                                     cli.pipeline.machine.issue_width)
+                          .c_str());
+  if (cli.dump("trace")) {
+    SimOptions sim_options;
+    sim_options.iterations = cli.pipeline.iterations > 0
+                                 ? cli.pipeline.iterations
+                                 : loop.trip_count();
+    sim_options.processors = cli.pipeline.processors;
+    std::printf("%s", trace_to_string(report.tac, *report.dfg,
+                                      report.schedule, cli.pipeline.machine,
+                                      sim_options)
+                          .c_str());
+  }
+  if (cli.dump("stats")) {
+    std::printf("  %s\n",
+                compute_schedule_stats(report.tac, *report.dfg,
+                                       report.schedule, cli.pipeline.machine)
+                    .to_string()
+                    .c_str());
+  }
+
+  if (cli.compare) {
+    const SchedulerComparison cmp = compare_schedulers(loop, cli.pipeline);
+    std::printf("  list %lld cycles, sync-aware %lld cycles (%.2f%%)\n",
+                static_cast<long long>(cmp.baseline.parallel_time()),
+                static_cast<long long>(cmp.improved.parallel_time()),
+                cmp.improvement() * 100.0);
+  } else {
+    std::printf("  %s, %s: %lld cycles (%d groups, %lld stall cycles)\n",
+                scheduler_name(cli.pipeline.scheduler),
+                cli.pipeline.machine.label().c_str(),
+                static_cast<long long>(report.parallel_time()),
+                report.schedule.length(),
+                static_cast<long long>(report.sim.stall_cycles));
+  }
+  if (report.waits_eliminated > 0)
+    std::printf("  redundant waits eliminated: %d\n",
+                report.waits_eliminated);
+  if (!report.valid()) {
+    std::printf("  INVALID:\n");
+    for (const auto& v : report.schedule_violations)
+      std::printf("    schedule: %s\n", v.c_str());
+    for (const auto& v : report.ordering_violations)
+      std::printf("    ordering: %s\n", v.c_str());
+  }
+  std::printf("\n");
+}
+
+int run(const CliOptions& cli) {
+  int failures = 0;
+  const auto run_source = [&](const std::string& label,
+                              const std::string& source) {
+    DiagEngine diags;
+    const PreProgram program = parse_pre_program(source, diags);
+    if (!diags.ok()) {
+      std::fprintf(stderr, "%s:\n%s", label.c_str(),
+                   diags.render().c_str());
+      ++failures;
+      return;
+    }
+    for (const auto& pre : program.loops) report_loop(pre, cli);
+  };
+
+  for (const auto& file : cli.files) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "sbmpc: cannot open %s\n", file.c_str());
+      ++failures;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    run_source(file, buffer.str());
+  }
+  if (cli.run_suite) {
+    for (const auto& bench : perfect_suite()) {
+      std::printf("==== %s (%s) ====\n", bench.name.c_str(),
+                  bench.description.c_str());
+      run_source(bench.name, bench.source);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(parse_cli(argc, argv));
+  } catch (const SbmpError& e) {
+    std::fprintf(stderr, "sbmpc: %s\n", e.what());
+    return 1;
+  }
+}
