@@ -4,11 +4,15 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
 #include "sbmp/perfect/suite.h"
+#include "sbmp/support/thread_pool.h"
 
 namespace sbmp::bench {
 
@@ -39,29 +43,82 @@ struct CasePair {
   }
 };
 
-inline CasePair run_case(const PerfectBenchmark& bench,
-                         const MachineCase& machine) {
+/// Parses `--jobs N` from a harness command line (other arguments are
+/// left for the harness itself). 0 = one worker per hardware thread;
+/// 1 = the serial engine, bit-identical to the pre-parallel harnesses.
+inline int parse_jobs(int argc, char** argv) {
+  int jobs = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc)
+      jobs = std::atoi(argv[i + 1]);
+  }
+  return jobs;
+}
+
+inline PipelineOptions case_options(const MachineCase& machine) {
   PipelineOptions options;
   options.machine = MachineConfig::paper(machine.issue_width, machine.fus);
   options.iterations = 100;
+  return options;
+}
+
+inline CasePair run_case(const PerfectBenchmark& bench,
+                         const MachineCase& machine,
+                         ResultCache* cache = nullptr) {
+  const PipelineOptions options = case_options(machine);
   CasePair totals;
   for (const auto& loop : bench.program().loops) {
     if (analyze_dependences(loop).is_doall()) continue;
-    const SchedulerComparison cmp = compare_schedulers(loop, options);
+    const SchedulerComparison cmp =
+        compare_schedulers_cached(loop, options, cache);
     totals.ta += cmp.baseline.parallel_time();
     totals.tb += cmp.improved.parallel_time();
   }
   return totals;
 }
 
-/// All benchmarks x all cases; result[b][c].
-inline std::vector<std::array<CasePair, 4>> run_all_cases() {
-  std::vector<std::array<CasePair, 4>> out;
-  for (const auto& bench : perfect_suite()) {
-    std::array<CasePair, 4> row{};
+/// All benchmarks x all cases; result[b][c]. The grid is embarrassingly
+/// parallel — every (benchmark, case, loop) cell is an independent
+/// compile-schedule-simulate pipeline — so cells fan out over `jobs`
+/// workers and land in a preallocated slot, then reduce in the exact
+/// order the serial loop used: totals are bit-identical for any `jobs`.
+/// A shared ResultCache deduplicates repeated (loop, options) pipelines
+/// across the grid.
+inline std::vector<std::array<CasePair, 4>> run_all_cases(int jobs = 1) {
+  const auto& suite = perfect_suite();
+  std::vector<Program> programs;
+  programs.reserve(suite.size());
+  for (const auto& bench : suite) programs.push_back(bench.program());
+
+  struct Cell {
+    std::size_t b;
+    std::size_t c;
+    std::size_t l;
+  };
+  std::vector<Cell> cells;
+  for (std::size_t b = 0; b < programs.size(); ++b)
     for (std::size_t c = 0; c < kPaperCases.size(); ++c)
-      row[c] = run_case(bench, kPaperCases[c]);
-    out.push_back(row);
+      for (std::size_t l = 0; l < programs[b].loops.size(); ++l)
+        cells.push_back({b, c, l});
+
+  ResultCache cache;
+  std::vector<CasePair> partial(cells.size());
+  parallel_for(jobs, 0, static_cast<std::int64_t>(cells.size()),
+               [&](std::int64_t i) {
+                 const Cell& cell = cells[static_cast<std::size_t>(i)];
+                 const Loop& loop = programs[cell.b].loops[cell.l];
+                 if (analyze_dependences(loop).is_doall()) return;
+                 const SchedulerComparison cmp = compare_schedulers_cached(
+                     loop, case_options(kPaperCases[cell.c]), &cache);
+                 partial[static_cast<std::size_t>(i)] = {
+                     cmp.baseline.parallel_time(),
+                     cmp.improved.parallel_time()};
+               });
+
+  std::vector<std::array<CasePair, 4>> out(programs.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out[cells[i].b][cells[i].c].ta += partial[i].ta;
+    out[cells[i].b][cells[i].c].tb += partial[i].tb;
   }
   return out;
 }

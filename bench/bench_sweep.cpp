@@ -6,11 +6,17 @@
 //      width while list scheduling is not;
 //   3. dependence distance d = 1..8 for a recurrence, showing the n/d
 //      factor of the LBD loop theorem.
+// Every sweep point is an independent pipeline, so the points fan out
+// over `--jobs N` workers (0/default = hardware threads, 1 = serial)
+// and are printed in sweep order; a shared ResultCache deduplicates
+// repeated (loop, options) pipelines across sweeps.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.h"
 #include "sbmp/restructure/unroll.h"
 #include "sbmp/support/strings.h"
+#include "sbmp/support/thread_pool.h"
 #include "sbmp/support/table.h"
 
 namespace {
@@ -25,28 +31,37 @@ end
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sbmp;
   using namespace sbmp::bench;
+
+  const int jobs = parse_jobs(argc, argv);
+  ResultCache cache;
 
   // --- Sweep 1: processors ------------------------------------------
   {
     const Loop loop = parse_single_loop_or_throw(kStencil);
+    const std::vector<int> procs{1, 2, 4, 8, 16, 32, 64, 100};
+    std::vector<SchedulerComparison> cmps(procs.size());
+    parallel_for(jobs, 0, static_cast<std::int64_t>(procs.size()),
+                 [&](std::int64_t i) {
+                   PipelineOptions options;
+                   options.machine = MachineConfig::paper(4, 1);
+                   options.iterations = 100;
+                   options.processors = procs[static_cast<std::size_t>(i)];
+                   cmps[static_cast<std::size_t>(i)] =
+                       compare_schedulers_cached(loop, options, &cache);
+                 });
     TextTable table;
     table.set_header({"P", "list", "sync-aware", "speedup(sync-aware)"});
-    std::int64_t serial = 0;
-    for (const int procs : {1, 2, 4, 8, 16, 32, 64, 100}) {
-      PipelineOptions options;
-      options.machine = MachineConfig::paper(4, 1);
-      options.iterations = 100;
-      options.processors = procs;
-      const SchedulerComparison cmp = compare_schedulers(loop, options);
-      if (procs == 1) serial = cmp.improved.parallel_time();
-      const double speedup = static_cast<double>(serial) /
-                             static_cast<double>(cmp.improved.parallel_time());
-      table.add_row({std::to_string(procs),
-                     std::to_string(cmp.baseline.parallel_time()),
-                     std::to_string(cmp.improved.parallel_time()),
+    const std::int64_t serial = cmps[0].improved.parallel_time();
+    for (std::size_t i = 0; i < procs.size(); ++i) {
+      const double speedup =
+          static_cast<double>(serial) /
+          static_cast<double>(cmps[i].improved.parallel_time());
+      table.add_row({std::to_string(procs[i]),
+                     std::to_string(cmps[i].baseline.parallel_time()),
+                     std::to_string(cmps[i].improved.parallel_time()),
                      format_fixed(speedup, 2)});
     }
     std::printf("Sweep 1: stencil loop, processors 1..100 (4-issue)\n\n%s\n",
@@ -55,26 +70,50 @@ int main() {
 
   // --- Sweep 2: issue width -----------------------------------------
   {
+    const std::vector<int> widths{1, 2, 3, 4, 6, 8};
+    // Flatten (width, benchmark, loop) into independent cells.
+    std::vector<Program> programs;
+    for (const auto& bench : perfect_suite())
+      programs.push_back(bench.program());
+    struct Cell {
+      std::size_t w;
+      std::size_t b;
+      std::size_t l;
+    };
+    std::vector<Cell> cells;
+    for (std::size_t w = 0; w < widths.size(); ++w)
+      for (std::size_t b = 0; b < programs.size(); ++b)
+        for (std::size_t l = 0; l < programs[b].loops.size(); ++l)
+          cells.push_back({w, b, l});
+    std::vector<CasePair> partial(cells.size());
+    parallel_for(jobs, 0, static_cast<std::int64_t>(cells.size()),
+                 [&](std::int64_t i) {
+                   const Cell& cell = cells[static_cast<std::size_t>(i)];
+                   const Loop& loop = programs[cell.b].loops[cell.l];
+                   if (analyze_dependences(loop).is_doall()) return;
+                   PipelineOptions options;
+                   options.machine =
+                       MachineConfig::paper(widths[cell.w], 1);
+                   options.iterations = 100;
+                   const SchedulerComparison cmp =
+                       compare_schedulers_cached(loop, options, &cache);
+                   partial[static_cast<std::size_t>(i)] = {
+                       cmp.baseline.parallel_time(),
+                       cmp.improved.parallel_time()};
+                 });
+    std::vector<CasePair> totals(widths.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      totals[cells[i].w].ta += partial[i].ta;
+      totals[cells[i].w].tb += partial[i].tb;
+    }
     TextTable table;
     table.set_header({"width", "Ta (list)", "Tb (sync-aware)", "Tb/Ta"});
-    for (const int width : {1, 2, 3, 4, 6, 8}) {
-      PipelineOptions options;
-      options.machine = MachineConfig::paper(width, 1);
-      options.iterations = 100;
-      std::int64_t ta = 0;
-      std::int64_t tb = 0;
-      for (const auto& bench : perfect_suite()) {
-        for (const auto& loop : bench.program().loops) {
-          if (analyze_dependences(loop).is_doall()) continue;
-          const SchedulerComparison cmp = compare_schedulers(loop, options);
-          ta += cmp.baseline.parallel_time();
-          tb += cmp.improved.parallel_time();
-        }
-      }
-      table.add_row({std::to_string(width), std::to_string(ta),
-                     std::to_string(tb),
-                     format_fixed(static_cast<double>(tb) /
-                                      static_cast<double>(ta),
+    for (std::size_t w = 0; w < widths.size(); ++w) {
+      table.add_row({std::to_string(widths[w]),
+                     std::to_string(totals[w].ta),
+                     std::to_string(totals[w].tb),
+                     format_fixed(static_cast<double>(totals[w].tb) /
+                                      static_cast<double>(totals[w].ta),
                                   3)});
     }
     std::printf("Sweep 2: suite total vs issue width (#FU=1)\n\n%s\n",
@@ -83,22 +122,30 @@ int main() {
 
   // --- Sweep 3: dependence distance ---------------------------------
   {
+    const std::vector<int> distances{1, 2, 3, 4, 6, 8};
+    std::vector<SchedulerComparison> cmps(distances.size());
+    parallel_for(jobs, 0, static_cast<std::int64_t>(distances.size()),
+                 [&](std::int64_t i) {
+                   const int d = distances[static_cast<std::size_t>(i)];
+                   const std::string src =
+                       "doacross I = 1, 100\n  A[I] = A[I-" +
+                       std::to_string(d) +
+                       "] * w1 + B[I]\n  C[I] = B[I-1] + B[I+2] * "
+                       "w2\nend\n";
+                   const Loop loop = parse_single_loop_or_throw(src);
+                   PipelineOptions options;
+                   options.machine = MachineConfig::paper(4, 1);
+                   options.iterations = 100;
+                   cmps[static_cast<std::size_t>(i)] =
+                       compare_schedulers_cached(loop, options, &cache);
+                 });
     TextTable table;
     table.set_header({"d", "list", "sync-aware", "analytic n/d shape"});
-    for (const int d : {1, 2, 3, 4, 6, 8}) {
-      const std::string src = "doacross I = 1, 100\n  A[I] = A[I-" +
-                              std::to_string(d) +
-                              "] * w1 + B[I]\n  C[I] = B[I-1] + B[I+2] * "
-                              "w2\nend\n";
-      const Loop loop = parse_single_loop_or_throw(src);
-      PipelineOptions options;
-      options.machine = MachineConfig::paper(4, 1);
-      options.iterations = 100;
-      const SchedulerComparison cmp = compare_schedulers(loop, options);
-      table.add_row({std::to_string(d),
-                     std::to_string(cmp.baseline.parallel_time()),
-                     std::to_string(cmp.improved.parallel_time()),
-                     std::to_string(99 / d)});
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+      table.add_row({std::to_string(distances[i]),
+                     std::to_string(cmps[i].baseline.parallel_time()),
+                     std::to_string(cmps[i].improved.parallel_time()),
+                     std::to_string(99 / distances[i])});
     }
     std::printf(
         "Sweep 3: recurrence distance (LBD loop theorem's n/d factor)\n\n"
@@ -108,18 +155,25 @@ int main() {
 
   // --- Sweep 4: signal latency --------------------------------------
   {
+    const Loop loop = parse_single_loop_or_throw(kStencil);
+    const std::vector<int> nets{1, 2, 4, 8, 16};
+    std::vector<SchedulerComparison> cmps(nets.size());
+    parallel_for(jobs, 0, static_cast<std::int64_t>(nets.size()),
+                 [&](std::int64_t i) {
+                   PipelineOptions options;
+                   options.machine = MachineConfig::paper(4, 1);
+                   options.machine.signal_latency =
+                       nets[static_cast<std::size_t>(i)];
+                   options.iterations = 100;
+                   cmps[static_cast<std::size_t>(i)] =
+                       compare_schedulers_cached(loop, options, &cache);
+                 });
     TextTable table;
     table.set_header({"signal latency", "list", "sync-aware"});
-    const Loop loop = parse_single_loop_or_throw(kStencil);
-    for (const int net : {1, 2, 4, 8, 16}) {
-      PipelineOptions options;
-      options.machine = MachineConfig::paper(4, 1);
-      options.machine.signal_latency = net;
-      options.iterations = 100;
-      const SchedulerComparison cmp = compare_schedulers(loop, options);
-      table.add_row({std::to_string(net),
-                     std::to_string(cmp.baseline.parallel_time()),
-                     std::to_string(cmp.improved.parallel_time())});
+    for (std::size_t i = 0; i < nets.size(); ++i) {
+      table.add_row({std::to_string(nets[i]),
+                     std::to_string(cmps[i].baseline.parallel_time()),
+                     std::to_string(cmps[i].improved.parallel_time())});
     }
     std::printf(
         "Sweep 4: synchronization network latency (stencil loop; every\n"
@@ -130,19 +184,27 @@ int main() {
 
   // --- Sweep 5: unroll factor ---------------------------------------
   {
+    const Loop loop = parse_single_loop_or_throw(kStencil);
+    const std::vector<int> factors{1, 2, 4, 5, 10};
+    std::vector<Loop> unrolled(factors.size());
+    std::vector<SchedulerComparison> cmps(factors.size());
+    parallel_for(jobs, 0, static_cast<std::int64_t>(factors.size()),
+                 [&](std::int64_t i) {
+                   const auto idx = static_cast<std::size_t>(i);
+                   unrolled[idx] = unroll_or_throw(loop, factors[idx]);
+                   PipelineOptions options;
+                   options.machine = MachineConfig::paper(4, 1);
+                   options.iterations = 0;  // the unrolled trip count
+                   cmps[idx] = compare_schedulers_cached(unrolled[idx],
+                                                         options, &cache);
+                 });
     TextTable table;
     table.set_header({"factor", "iterations", "list", "sync-aware"});
-    const Loop loop = parse_single_loop_or_throw(kStencil);
-    for (const int factor : {1, 2, 4, 5, 10}) {
-      const Loop unrolled = unroll_or_throw(loop, factor);
-      PipelineOptions options;
-      options.machine = MachineConfig::paper(4, 1);
-      options.iterations = 0;  // the unrolled trip count
-      const SchedulerComparison cmp = compare_schedulers(unrolled, options);
-      table.add_row({std::to_string(factor),
-                     std::to_string(unrolled.trip_count()),
-                     std::to_string(cmp.baseline.parallel_time()),
-                     std::to_string(cmp.improved.parallel_time())});
+    for (std::size_t i = 0; i < factors.size(); ++i) {
+      table.add_row({std::to_string(factors[i]),
+                     std::to_string(unrolled[i].trip_count()),
+                     std::to_string(cmps[i].baseline.parallel_time()),
+                     std::to_string(cmps[i].improved.parallel_time())});
     }
     std::printf(
         "Sweep 5: unrolling the stencil DOACROSS loop (distance-1\n"

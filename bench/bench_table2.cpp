@@ -1,17 +1,18 @@
 // Reproduces the paper's Table 2: parallel execution times T{a,b}-{2,4}-
 // {1,2} of the five Perfect benchmarks under list scheduling (a) and the
 // new instruction scheduling (b), for the four machine cases, 100
-// iterations per loop.
+// iterations per loop. `--jobs N` fans the grid out over N workers
+// (0/default = hardware threads, 1 = serial engine, identical output).
 #include <cstdio>
 
 #include "bench_common.h"
 #include "sbmp/support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sbmp;
   using namespace sbmp::bench;
 
-  const auto results = run_all_cases();
+  const auto results = run_all_cases(parse_jobs(argc, argv));
 
   TextTable table;
   table.set_header({"Benchmarks", "Ta-2-1", "Tb-2-1", "Ta-2-2", "Tb-2-2",

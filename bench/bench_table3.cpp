@@ -1,18 +1,19 @@
 // Reproduces the paper's Table 3: improvement percentage of the new
 // instruction scheduling over list scheduling per benchmark and machine
 // case, plus the paper's 2-issue / 4-issue summary percentages
-// (paper: ~83.37% and ~85.1%).
+// (paper: ~83.37% and ~85.1%). `--jobs N` fans the grid out over N
+// workers (0/default = hardware threads, 1 = serial engine).
 #include <cstdio>
 
 #include "bench_common.h"
 #include "sbmp/support/strings.h"
 #include "sbmp/support/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sbmp;
   using namespace sbmp::bench;
 
-  const auto results = run_all_cases();
+  const auto results = run_all_cases(parse_jobs(argc, argv));
 
   TextTable table;
   table.set_header({"Benchmarks", "2-issue(#FU=1)", "2-issue(#FU=2)",

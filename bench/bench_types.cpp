@@ -3,14 +3,19 @@
 // reduction, simple subscript, other). Classifies every suite loop plus
 // a set of pre-form loops that exercise the restructuring passes, and
 // reports how the synchronized-DOACROSS types the paper evaluates
-// (3, 4, 5 and part of 6) respond to the new scheduling.
+// (3, 4, 5 and part of 6) respond to the new scheduling. Loops are
+// measured in parallel (`--jobs N`; 0/default = hardware threads) and
+// merged in deterministic loop order.
 #include <cstdio>
 #include <map>
+#include <vector>
 
+#include "bench_common.h"
 #include "sbmp/core/pipeline.h"
 #include "sbmp/perfect/suite.h"
 #include "sbmp/restructure/classify.h"
 #include "sbmp/support/strings.h"
+#include "sbmp/support/thread_pool.h"
 #include "sbmp/support/table.h"
 
 namespace {
@@ -43,42 +48,69 @@ end
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sbmp;
+  using namespace sbmp::bench;
 
-  std::map<DoacrossType, int> counts;
-  std::map<DoacrossType, std::pair<long long, long long>> times;  // Ta, Tb
-  int doall = 0;
-
-  const auto classify_and_measure = [&](const RestructureResult& r) {
-    const DepAnalysis deps = analyze_dependences(r.loop);
-    const auto types = classify_doacross(r, deps);
-    if (types.empty()) {
-      ++doall;
-      return;
-    }
-    PipelineOptions options;
-    options.machine = MachineConfig::paper(4, 1);
-    options.iterations = 100;
-    const SchedulerComparison cmp = compare_schedulers(r.loop, options);
-    for (const auto t : types) {
-      ++counts[t];
-      times[t].first += cmp.baseline.parallel_time();
-      times[t].second += cmp.improved.parallel_time();
-    }
-  };
-
+  // Gather every loop to classify (suite loops pass through restructuring
+  // untouched; the pre-form samples actually exercise it).
+  std::vector<RestructureResult> items;
   for (const auto& bench : perfect_suite()) {
     for (const auto& loop : bench.program().loops) {
       RestructureResult r;
       r.loop = loop;
       r.ok = true;
-      classify_and_measure(r);
+      items.push_back(std::move(r));
     }
   }
   DiagEngine diags;
   for (const auto& pre : parse_pre_program(kPreSamples, diags).loops)
-    classify_and_measure(restructure_or_throw(pre));
+    items.push_back(restructure_or_throw(pre));
+
+  struct Measured {
+    std::set<DoacrossType> types;
+    long long ta = 0;
+    long long tb = 0;
+    bool doall = false;
+  };
+  std::vector<Measured> measured(items.size());
+  ResultCache cache;
+  parallel_for(parse_jobs(argc, argv), 0,
+               static_cast<std::int64_t>(items.size()),
+               [&](std::int64_t i) {
+                 const auto idx = static_cast<std::size_t>(i);
+                 const RestructureResult& r = items[idx];
+                 const DepAnalysis deps = analyze_dependences(r.loop);
+                 Measured& m = measured[idx];
+                 m.types = classify_doacross(r, deps);
+                 if (m.types.empty()) {
+                   m.doall = true;
+                   return;
+                 }
+                 PipelineOptions options;
+                 options.machine = MachineConfig::paper(4, 1);
+                 options.iterations = 100;
+                 const SchedulerComparison cmp =
+                     compare_schedulers_cached(r.loop, options, &cache);
+                 m.ta = cmp.baseline.parallel_time();
+                 m.tb = cmp.improved.parallel_time();
+               });
+
+  // Deterministic merge in loop order.
+  std::map<DoacrossType, int> counts;
+  std::map<DoacrossType, std::pair<long long, long long>> times;  // Ta, Tb
+  int doall = 0;
+  for (const auto& m : measured) {
+    if (m.doall) {
+      ++doall;
+      continue;
+    }
+    for (const auto t : m.types) {
+      ++counts[t];
+      times[t].first += m.ta;
+      times[t].second += m.tb;
+    }
+  }
 
   TextTable table;
   table.set_header({"DOACROSS type", "loops", "Ta (list)", "Tb (new)",

@@ -1,0 +1,89 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "sbmp/core/pipeline.h"
+
+namespace sbmp {
+
+/// Options for the parallel pipeline engine.
+struct ParallelOptions {
+  /// Worker threads. 0 = one per hardware thread; 1 runs every loop
+  /// inline on the calling thread in program order — bit-identical to
+  /// the serial `run_pipeline(Program)` engine.
+  int jobs = 0;
+  /// Memoize per-loop results (see ResultCache). Identical (loop,
+  /// options) pairs — common in benchmark grids that sweep machine
+  /// cases and schedulers over one suite — compile and schedule once.
+  bool use_cache = true;
+};
+
+/// Thread-safe memo table for pipeline runs.
+///
+/// The key is the exact input of `run_pipeline(Loop, PipelineOptions)`:
+/// the loop fingerprint (its round-trippable LoopLang rendering, which
+/// pins name, bounds, body, and element types) plus every option that
+/// can change the report — machine configuration, scheduler kind,
+/// sync-aware and sync-insertion switches, iteration and processor
+/// counts, and the verification/elimination flags. Two calls with equal
+/// keys are the same pure computation, so a hit returns a shared
+/// immutable report with no locking beyond the map probe.
+class ResultCache {
+ public:
+  /// Builds the canonical cache key for (loop, options).
+  [[nodiscard]] static std::string key(const Loop& loop,
+                                       const PipelineOptions& options);
+
+  /// Returns the cached report for `key`, or nullptr.
+  [[nodiscard]] std::shared_ptr<const LoopReport> lookup(
+      const std::string& key) const;
+
+  /// Inserts `report` under `key`; if another thread raced the same key
+  /// in first, the existing entry wins (both are the same computation)
+  /// and is returned.
+  std::shared_ptr<const LoopReport> insert(const std::string& key,
+                                           LoopReport report);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::int64_t hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t misses() const {
+    return misses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<const LoopReport>> map_;
+  mutable std::atomic<std::int64_t> hits_{0};
+  mutable std::atomic<std::int64_t> misses_{0};
+};
+
+/// `run_pipeline(loop, options)` through `cache` (nullptr = uncached).
+[[nodiscard]] LoopReport run_pipeline_cached(const Loop& loop,
+                                             const PipelineOptions& options,
+                                             ResultCache* cache);
+
+/// `compare_schedulers` with both runs routed through `cache`.
+[[nodiscard]] SchedulerComparison compare_schedulers_cached(
+    const Loop& loop, const PipelineOptions& base_options,
+    ResultCache* cache);
+
+/// Parallel pipeline engine: compiles, schedules and simulates each loop
+/// of `program` on its own worker (LoopReports are independent value
+/// types) and aggregates into a ProgramReport deterministically — loops
+/// appear in program order and every total is accumulated in that order,
+/// so the result is identical for any job count, and `jobs = 1` executes
+/// the exact serial engine. `cache` (optional) memoizes across calls;
+/// with `parallel.use_cache` and no external cache, a per-call cache
+/// still deduplicates repeated loops within `program`.
+[[nodiscard]] ProgramReport run_pipeline_parallel(
+    const Program& program, const PipelineOptions& options,
+    const ParallelOptions& parallel = {}, ResultCache* cache = nullptr);
+
+}  // namespace sbmp

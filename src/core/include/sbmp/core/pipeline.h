@@ -45,6 +45,15 @@ struct PipelineOptions {
   /// list scheduling (possible when everything sits on the critical
   /// path and packing noise dominates), fall back to the list schedule.
   bool never_degrade = true;
+
+  /// The one place the "`iterations` 0 uses the loop's own trip count"
+  /// rule lives. Every consumer of an iteration count (scheduler
+  /// priority, simulator, trace dumps) must resolve through here so the
+  /// semantics cannot drift; `simulate` itself treats its already-
+  /// resolved count literally (see SimOptions).
+  [[nodiscard]] std::int64_t resolved_iterations(const Loop& loop) const {
+    return iterations > 0 ? iterations : loop.trip_count();
+  }
 };
 
 /// Everything produced for one loop.
@@ -114,7 +123,16 @@ struct SchedulerComparison {
   LoopReport baseline;  ///< list scheduling (T_a)
   LoopReport improved;  ///< sync-aware scheduling (T_b)
 
-  /// (T_a - T_b) / T_a; the paper's "improved percentage".
+  /// (T_a - T_b) / T_a, the paper's "improved percentage", or nullopt
+  /// when the baseline parallel time is zero or negative. A non-positive
+  /// T_a means an upstream failure (empty loop, zero-trip simulation) —
+  /// not "no improvement" — so it must not be folded into 0.0.
+  [[nodiscard]] std::optional<double> improvement_opt() const;
+
+  /// Like improvement_opt(), but for callers that want a plain double:
+  /// asserts on a non-positive baseline in debug builds and returns
+  /// quiet NaN in release builds, so a failed baseline poisons every
+  /// derived statistic instead of silently reading as 0%.
   [[nodiscard]] double improvement() const;
 };
 

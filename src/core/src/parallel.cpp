@@ -1,0 +1,127 @@
+#include "sbmp/core/parallel.h"
+
+#include <utility>
+#include <vector>
+
+#include "sbmp/support/overflow.h"
+#include "sbmp/support/thread_pool.h"
+
+namespace sbmp {
+
+namespace {
+
+void append_int(std::string& out, std::int64_t value) {
+  out += std::to_string(value);
+  out += '|';
+}
+
+}  // namespace
+
+std::string ResultCache::key(const Loop& loop,
+                             const PipelineOptions& options) {
+  std::string out;
+  out.reserve(256);
+  // Loop fingerprint: the LoopLang rendering round-trips through the
+  // parser, so it pins everything the pipeline reads from the loop.
+  out += loop.to_string();
+  out += '\x1f';
+  const MachineConfig& m = options.machine;
+  append_int(out, m.issue_width);
+  for (const int count : m.fu_counts) append_int(out, count);
+  append_int(out, m.latency_mult);
+  append_int(out, m.latency_div);
+  append_int(out, m.latency_default);
+  append_int(out, m.sync_consumes_slot ? 1 : 0);
+  append_int(out, m.signal_latency);
+  append_int(out, static_cast<int>(options.scheduler));
+  append_int(out, options.sync_aware.contiguous_paths ? 1 : 0);
+  append_int(out, options.sync_aware.convert_lfd ? 1 : 0);
+  append_int(out, options.sync.eliminate_redundant ? 1 : 0);
+  append_int(out, options.iterations);
+  append_int(out, options.processors);
+  append_int(out, options.check_ordering ? 1 : 0);
+  append_int(out, options.eliminate_redundant_waits ? 1 : 0);
+  append_int(out, options.never_degrade ? 1 : 0);
+  return out;
+}
+
+std::shared_ptr<const LoopReport> ResultCache::lookup(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::shared_ptr<const LoopReport> ResultCache::insert(const std::string& key,
+                                                      LoopReport report) {
+  auto entry = std::make_shared<const LoopReport>(std::move(report));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = map_.emplace(key, std::move(entry));
+  return it->second;
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+LoopReport run_pipeline_cached(const Loop& loop,
+                               const PipelineOptions& options,
+                               ResultCache* cache) {
+  if (cache == nullptr) return run_pipeline(loop, options);
+  const std::string key = ResultCache::key(loop, options);
+  if (const auto hit = cache->lookup(key)) return *hit;
+  return *cache->insert(key, run_pipeline(loop, options));
+}
+
+SchedulerComparison compare_schedulers_cached(
+    const Loop& loop, const PipelineOptions& base_options,
+    ResultCache* cache) {
+  SchedulerComparison out;
+  PipelineOptions options = base_options;
+  options.scheduler = SchedulerKind::kList;
+  out.baseline = run_pipeline_cached(loop, options, cache);
+  options.scheduler = SchedulerKind::kSyncAware;
+  out.improved = run_pipeline_cached(loop, options, cache);
+  return out;
+}
+
+ProgramReport run_pipeline_parallel(const Program& program,
+                                    const PipelineOptions& options,
+                                    const ParallelOptions& parallel,
+                                    ResultCache* cache) {
+  ResultCache local;
+  ResultCache* effective =
+      parallel.use_cache ? (cache != nullptr ? cache : &local) : nullptr;
+
+  std::vector<LoopReport> reports(program.loops.size());
+  parallel_for(parallel.jobs, 0,
+               static_cast<std::int64_t>(program.loops.size()),
+               [&](std::int64_t i) {
+                 reports[static_cast<std::size_t>(i)] = run_pipeline_cached(
+                     program.loops[static_cast<std::size_t>(i)], options,
+                     effective);
+               });
+
+  // Order-stable aggregation: identical to the serial engine's loop.
+  ProgramReport out;
+  out.loops.reserve(reports.size());
+  for (auto& report : reports) {
+    if (report.doall) {
+      ++out.doall_loops;
+    } else {
+      ++out.doacross_loops;
+      out.total_parallel_time =
+          sat_add(out.total_parallel_time, report.parallel_time());
+    }
+    out.loops.push_back(std::move(report));
+  }
+  return out;
+}
+
+}  // namespace sbmp

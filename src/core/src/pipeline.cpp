@@ -1,6 +1,11 @@
 #include "sbmp/core/pipeline.h"
 
+#include <cassert>
+#include <cmath>
+#include <limits>
+
 #include "sbmp/dfg/redundancy.h"
+#include "sbmp/support/overflow.h"
 
 namespace sbmp {
 
@@ -18,8 +23,7 @@ LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
   }
   report.dfg.emplace(report.tac, options.machine);
 
-  const std::int64_t iterations =
-      options.iterations > 0 ? options.iterations : loop.trip_count();
+  const std::int64_t iterations = options.resolved_iterations(loop);
   report.schedule =
       options.scheduler == SchedulerKind::kSyncAware
           ? schedule_sync_aware(report.tac, *report.dfg, options.machine,
@@ -80,7 +84,8 @@ ProgramReport run_pipeline(const Program& program,
       ++out.doall_loops;
     } else {
       ++out.doacross_loops;
-      out.total_parallel_time += report.parallel_time();
+      out.total_parallel_time =
+          sat_add(out.total_parallel_time, report.parallel_time());
     }
     out.loops.push_back(std::move(report));
   }
@@ -92,11 +97,18 @@ ProgramReport run_pipeline_source(std::string_view source,
   return run_pipeline(parse_program_or_throw(source), options);
 }
 
-double SchedulerComparison::improvement() const {
+std::optional<double> SchedulerComparison::improvement_opt() const {
   const auto ta = static_cast<double>(baseline.parallel_time());
   const auto tb = static_cast<double>(improved.parallel_time());
-  if (ta <= 0.0) return 0.0;
+  if (ta <= 0.0) return std::nullopt;
   return (ta - tb) / ta;
+}
+
+double SchedulerComparison::improvement() const {
+  const std::optional<double> value = improvement_opt();
+  assert(value.has_value() &&
+         "non-positive baseline parallel time: upstream pipeline failure");
+  return value.value_or(std::numeric_limits<double>::quiet_NaN());
 }
 
 SchedulerComparison compare_schedulers(const Loop& loop,

@@ -13,11 +13,18 @@ namespace sbmp {
 
 /// Parameters of one multiprocessor run.
 struct SimOptions {
-  /// Loop iterations to execute (the paper uses 100 per loop).
+  /// Loop iterations to execute (the paper uses 100 per loop). This is
+  /// an already-resolved literal count: the "0 uses the loop's own trip
+  /// count" convention lives in PipelineOptions::resolved_iterations
+  /// (the simulator never sees a Loop). A count <= 0 here is a defined
+  /// zero-trip run: parallel_time and stall_cycles are 0, while
+  /// iteration_time still reports the isolated single-iteration length
+  /// (it is a property of the schedule, not of the trip count).
   std::int64_t iterations = 100;
   /// Processor count; 0 means one processor per iteration (the paper's
-  /// assumption). With P < n, iteration k runs on processor k mod P
-  /// after iteration k-P has drained there.
+  /// assumption), and negative values are treated as 0. With P < n,
+  /// iteration k runs on processor k mod P after iteration k-P has
+  /// drained there; P >= n behaves exactly like one per iteration.
   int processors = 0;
 };
 

@@ -2,16 +2,24 @@
 
 #include <algorithm>
 
+#include "sbmp/support/overflow.h"
+
 namespace sbmp {
 
 std::int64_t lbd_parallel_time(std::int64_t n, std::int64_t d, int send_slot,
                                int wait_slot, std::int64_t iteration_time,
                                int signal_latency) {
   if (n <= 0) return 0;
-  const std::int64_t shift = send_slot + signal_latency - wait_slot;
+  // Widen before combining: send_slot + signal_latency can itself wrap
+  // int for extreme slot numbers.
+  const std::int64_t shift = static_cast<std::int64_t>(send_slot) +
+                             signal_latency - wait_slot;
   if (shift <= 0) return iteration_time;  // LFD: signal arrives in time
   const std::int64_t links = (n - 1) / d;
-  return links * shift + iteration_time;
+  // links x shift is the paper's n x (i - j + 1) product; at n = 2^40 it
+  // can exceed int64, so saturate instead of wrapping into a bogus small
+  // (or negative) "time". A saturated value is still a valid bound.
+  return sat_add(sat_mul(links, shift), iteration_time);
 }
 
 std::int64_t analytic_lower_bound(const Dfg& dfg, const Schedule& schedule,

@@ -4,6 +4,8 @@
 #include <functional>
 #include <map>
 
+#include "sbmp/support/overflow.h"
+
 namespace sbmp {
 
 namespace {
@@ -34,17 +36,22 @@ struct SimCore {
   explicit SimCore(const TacFunction& t, const Dfg& d, const Schedule& s,
                    const MachineConfig& c, const SimOptions& o)
       : tac(t), dfg(d), schedule(s), config(c), options(o) {
-    n = options.iterations;
+    // Degenerate inputs are pinned here: negative iteration/processor
+    // counts clamp to the zero-trip / one-per-iteration cases, and the
+    // ring never exceeds the n + 1 rows a run can actually touch (so
+    // `processors > iterations` cannot size it past the trip count).
+    n = std::max<std::int64_t>(options.iterations, 0);
     for (const auto& instr : tac.instrs) {
       if (instr.op == Opcode::kSend)
         send_slot[instr.signal_stmt] = schedule.slot(instr.id);
       if (instr.op == Opcode::kWait)
         max_wait_distance = std::max(max_wait_distance, instr.sync_distance);
     }
-    const int procs = options.processors;
-    window = static_cast<int>(std::max<std::int64_t>(
-        {max_wait_distance + 1, procs + 1, 2}));
-    if (window > n + 1) window = static_cast<int>(n) + 1;
+    const std::int64_t procs = std::max(options.processors, 0);
+    std::int64_t rows = std::max<std::int64_t>(
+        {sat_add(max_wait_distance, 1), procs + 1, 2});
+    rows = std::min(rows, sat_add(n, 1));
+    window = static_cast<int>(std::max<std::int64_t>(rows, 1));
     ring.assign(static_cast<std::size_t>(window), {});
     send_times.assign(static_cast<std::size_t>(window), {});
   }
@@ -68,7 +75,8 @@ struct SimCore {
       // A processor's issue stage frees the cycle after it issues the
       // previous iteration's last group (results drain in the pipelined
       // function units while the next iteration starts).
-      if (procs > 0 && k >= procs) start = row(k - procs).last_issue + 1;
+      if (procs > 0 && k >= procs)
+        start = sat_add(row(k - procs).last_issue, 1);
       times.start = start;
 
       std::int64_t prev = start - 1;
@@ -107,19 +115,18 @@ struct SimCore {
         // Track result drain and record sends.
         for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
           const auto& instr = tac.by_id(id);
-          const std::int64_t done = t + config.latency(instr.op);
+          const std::int64_t done = sat_add(t, config.latency(instr.op));
           if (done > finish) finish = done;
           if (instr.op == Opcode::kSend) sends[instr.signal_stmt] = t;
         }
       }
       times.finish = finish;
       times.last_issue = prev;
-      result.stall_cycles += stalls;
+      result.stall_cycles = sat_add(result.stall_cycles, stalls);
       if (finish > result.parallel_time) result.parallel_time = finish;
       if (k == 0) result.iteration_time = finish - start;
       if (hook) hook(k);
     }
-    if (n == 0) result.parallel_time = 0;
     return result;
   }
 };
@@ -130,7 +137,20 @@ SimResult simulate(const TacFunction& tac, const Dfg& dfg,
                    const Schedule& schedule, const MachineConfig& config,
                    const SimOptions& options) {
   SimCore core(tac, dfg, schedule, config, options);
-  return core.run(nullptr);
+  SimResult result = core.run(nullptr);
+  if (options.iterations <= 0) {
+    // Zero-trip run: nothing executes (parallel_time and stall_cycles
+    // stay 0), but iteration_time is a property of the schedule — one
+    // iteration in isolation — so report it instead of a bogus 0.
+    // Iteration 0 never waits on a signal, so a one-iteration probe is
+    // exactly that isolated time.
+    SimOptions probe_options = options;
+    probe_options.iterations = 1;
+    probe_options.processors = 0;
+    SimCore probe(tac, dfg, schedule, config, probe_options);
+    result.iteration_time = probe.run(nullptr).iteration_time;
+  }
+  return result;
 }
 
 std::vector<std::vector<std::int64_t>> simulate_issue_times(

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace sbmp {
+
+/// Saturating 64-bit arithmetic for cycle math. The analytic LBD model
+/// multiplies chain length by span shift — at iteration counts like
+/// n = 2^40 the product n x (i - j + 1) can exceed int64, and plain
+/// arithmetic would wrap (undefined behaviour) into a small or negative
+/// "time". Saturating to the int64 extremes keeps every derived quantity
+/// a valid bound: a saturated parallel time still dominates every real
+/// schedule, so comparisons and maxima stay meaningful.
+
+[[nodiscard]] inline std::int64_t sat_add(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_add_overflow(a, b, &out))
+    return b > 0 ? std::numeric_limits<std::int64_t>::max()
+                 : std::numeric_limits<std::int64_t>::min();
+  return out;
+}
+
+[[nodiscard]] inline std::int64_t sat_mul(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  if (__builtin_mul_overflow(a, b, &out))
+    return (a < 0) == (b < 0) ? std::numeric_limits<std::int64_t>::max()
+                              : std::numeric_limits<std::int64_t>::min();
+  return out;
+}
+
+/// True when `a + b` would overflow int64.
+[[nodiscard]] inline bool add_overflows(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  return __builtin_add_overflow(a, b, &out);
+}
+
+/// True when `a * b` would overflow int64.
+[[nodiscard]] inline bool mul_overflows(std::int64_t a, std::int64_t b) {
+  std::int64_t out = 0;
+  return __builtin_mul_overflow(a, b, &out);
+}
+
+}  // namespace sbmp

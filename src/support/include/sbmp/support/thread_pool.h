@@ -1,0 +1,84 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sbmp {
+
+/// Fixed-size work-stealing thread pool.
+///
+/// Each worker owns a deque: it pushes and pops its own work at the back
+/// (LIFO, cache-warm) and steals from other workers at the front (FIFO,
+/// oldest task first), so large tasks submitted early migrate to idle
+/// workers instead of serializing behind their submitter. External
+/// `submit` calls distribute round-robin across the worker deques.
+///
+/// The pool is a pure execution substrate: it imposes no ordering, and
+/// callers that need deterministic results must aggregate by task index
+/// (see `parallel_for`, which the parallel pipeline engine builds on).
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 uses default_thread_count().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task` for execution on some worker. Tasks must not throw;
+  /// wrap throwing work (parallel_for does this for its bodies).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  [[nodiscard]] static int default_thread_count();
+
+ private:
+  struct WorkQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::function<void()>& out);
+  bool try_steal(std::size_t self, std::function<void()>& out);
+  bool have_queued_work();
+
+  std::vector<std::unique_ptr<WorkQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;  ///< guards the condition variables below
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::atomic<std::int64_t> pending_{0};  ///< submitted, not yet finished
+  std::atomic<bool> stop_{false};
+  std::atomic<std::size_t> next_queue_{0};  ///< round-robin submit target
+};
+
+/// Runs `body(i)` for every i in [begin, end) on `pool`, blocking until
+/// all complete. Bodies run concurrently in unspecified order; the first
+/// exception a body throws is rethrown here after the loop drains (the
+/// remaining bodies still run). Safe to call from multiple threads
+/// sharing one pool: completion is tracked per call, not pool-wide.
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body);
+
+/// Convenience form owning a transient pool. `jobs` <= 1 runs the loop
+/// inline on the calling thread in index order — the exact serial
+/// execution, bit-identical to a plain for loop — so callers can expose
+/// a `--jobs 1` escape hatch that bypasses threading entirely. `jobs` 0
+/// uses ThreadPool::default_thread_count().
+void parallel_for(int jobs, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body);
+
+}  // namespace sbmp

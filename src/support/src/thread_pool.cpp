@@ -1,0 +1,160 @@
+#include "sbmp/support/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <system_error>
+#include <utility>
+
+namespace sbmp {
+
+int ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  const int count = threads > 0 ? threads : default_thread_count();
+  queues_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    queues_.push_back(std::make_unique<WorkQueue>());
+  workers_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    try {
+      workers_.emplace_back(
+          [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+    } catch (const std::system_error&) {
+      // Out of thread resources: run with however many workers exist.
+      // Extra queues are harmless — workers steal from all of them.
+      if (workers_.empty()) throw;
+      break;
+    }
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_.store(true);
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // Pairing the notify with mu_ closes the race against a worker that
+    // found every queue empty and is about to sleep.
+    std::lock_guard<std::mutex> lock(mu_);
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock,
+                [this] { return pending_.load(std::memory_order_acquire) == 0; });
+}
+
+bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
+  WorkQueue& q = *queues_[self];
+  std::lock_guard<std::mutex> lock(q.mu);
+  if (q.tasks.empty()) return false;
+  out = std::move(q.tasks.back());
+  q.tasks.pop_back();
+  return true;
+}
+
+bool ThreadPool::try_steal(std::size_t self, std::function<void()>& out) {
+  const std::size_t count = queues_.size();
+  for (std::size_t k = 1; k < count; ++k) {
+    WorkQueue& q = *queues_[(self + k) % count];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (q.tasks.empty()) continue;
+    out = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    return true;
+  }
+  return false;
+}
+
+bool ThreadPool::have_queued_work() {
+  for (auto& q : queues_) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    if (!q->tasks.empty()) return true;
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_pop(self, task) || try_steal(self, task)) {
+      task();
+      if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(mu_);
+        idle_cv_.notify_all();
+      }
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_.load()) return;
+    work_cv_.wait(lock, [this] { return stop_.load() || have_queued_work(); });
+    if (stop_.load() && !have_queued_work()) return;
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body) {
+  if (end <= begin) return;
+  struct LoopState {
+    std::atomic<std::int64_t> remaining;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+  };
+  LoopState state;
+  state.remaining.store(end - begin, std::memory_order_relaxed);
+  for (std::int64_t i = begin; i < end; ++i) {
+    pool.submit([&state, &body, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.error) state.error = std::current_exception();
+      }
+      if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.done_cv.notify_all();
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done_cv.wait(lock, [&state] {
+    return state.remaining.load(std::memory_order_acquire) == 0;
+  });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+void parallel_for(int jobs, std::int64_t begin, std::int64_t end,
+                  const std::function<void(std::int64_t)>& body) {
+  const int resolved = jobs > 0 ? jobs : ThreadPool::default_thread_count();
+  if (resolved <= 1 || end - begin <= 1) {
+    for (std::int64_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  // More workers than indices would just be idle threads (and an absurd
+  // --jobs could exhaust thread resources); clamp to the range size.
+  ThreadPool pool(static_cast<int>(
+      std::min<std::int64_t>(resolved, end - begin)));
+  parallel_for(pool, begin, end, body);
+}
+
+}  // namespace sbmp

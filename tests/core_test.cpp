@@ -2,6 +2,8 @@
 // guarantee, program aggregation and error paths.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "sbmp/core/pipeline.h"
 
 namespace sbmp {
@@ -97,9 +99,41 @@ TEST(Pipeline, SourceErrorsThrow) {
                SbmpError);
 }
 
-TEST(Pipeline, ImprovementZeroWhenBaselineZeroIterations) {
+TEST(Pipeline, ImprovementSurfacesFailedBaseline) {
+  // A zero/negative baseline parallel time means an upstream failure
+  // (nothing simulated), not "no improvement": it must never read as
+  // 0.0. The optional form is empty and the double form is NaN, so the
+  // failure poisons any statistic derived from it.
   SchedulerComparison cmp;
-  EXPECT_EQ(cmp.improvement(), 0.0);
+  EXPECT_FALSE(cmp.improvement_opt().has_value());
+#ifdef NDEBUG
+  EXPECT_TRUE(std::isnan(cmp.improvement()));
+#endif
+}
+
+TEST(Pipeline, ImprovementDefinedForRealBaseline) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] + B[I]
+end
+)");
+  const SchedulerComparison cmp = compare_schedulers(loop, PipelineOptions{});
+  ASSERT_TRUE(cmp.improvement_opt().has_value());
+  EXPECT_EQ(*cmp.improvement_opt(), cmp.improvement());
+  EXPECT_FALSE(std::isnan(cmp.improvement()));
+}
+
+TEST(Pipeline, ResolvedIterationsPinsZeroMeansTripCount) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+do I = 1, 20
+  A[I] = B[I]
+end
+)");
+  PipelineOptions options;
+  options.iterations = 0;
+  EXPECT_EQ(options.resolved_iterations(loop), 20);
+  options.iterations = 7;
+  EXPECT_EQ(options.resolved_iterations(loop), 7);
 }
 
 TEST(Pipeline, ReportCarriesAllStageArtifacts) {

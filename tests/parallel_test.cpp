@@ -1,0 +1,166 @@
+// Parallel pipeline engine: byte-identical agreement with the serial
+// engine across job counts, cache correctness, and determinism of the
+// aggregated ProgramReport. Labeled `parallel` in CTest so sanitizer
+// builds (-DSBMP_SANITIZE=thread) can target exactly these tests.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sbmp/core/parallel.h"
+#include "sbmp/perfect/suite.h"
+
+namespace sbmp {
+namespace {
+
+/// Renders every field of a report that the paper's tables consume —
+/// loop order, times, schedules, violation lists — so two reports are
+/// equal iff their renderings are byte-identical.
+std::string render(const ProgramReport& report) {
+  std::string out;
+  out += "total=" + std::to_string(report.total_parallel_time);
+  out += " doacross=" + std::to_string(report.doacross_loops);
+  out += " doall=" + std::to_string(report.doall_loops);
+  out += "\n";
+  for (const auto& loop : report.loops) {
+    out += loop.name + ":";
+    out += " doall=" + std::to_string(loop.doall ? 1 : 0);
+    out += " parallel=" + std::to_string(loop.parallel_time());
+    out += " iter=" + std::to_string(loop.sim.iteration_time);
+    out += " stalls=" + std::to_string(loop.sim.stall_cycles);
+    out += " fallback=" + std::to_string(loop.used_list_fallback ? 1 : 0);
+    out += " waits_elim=" + std::to_string(loop.waits_eliminated);
+    out += " groups=[";
+    for (const auto& group : loop.schedule.groups) {
+      for (const int id : group) out += std::to_string(id) + ",";
+      out += ";";
+    }
+    out += "]";
+    for (const auto& v : loop.schedule_violations) out += " SV:" + v;
+    for (const auto& v : loop.ordering_violations) out += " OV:" + v;
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(ParallelEngine, MatchesSerialEngineByteForByte) {
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(4, 1);
+  options.iterations = 100;
+  for (const auto& bench : perfect_suite()) {
+    const Program program = bench.program();
+    const std::string serial = render(run_pipeline(program, options));
+    for (const int jobs : {1, 2, 8}) {
+      ParallelOptions parallel;
+      parallel.jobs = jobs;
+      const std::string par =
+          render(run_pipeline_parallel(program, options, parallel));
+      EXPECT_EQ(serial, par)
+          << bench.name << " diverged at --jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelEngine, MatchesSerialUnderListSchedulerAndChecks) {
+  // A second option set: list scheduling with the ordering check on,
+  // so violation lists (usually empty) and a different scheduler path
+  // go through the comparison too.
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(2, 1);
+  options.scheduler = SchedulerKind::kList;
+  options.check_ordering = true;
+  options.iterations = 50;
+  const Program program = perfect_suite().front().program();
+  const std::string serial = render(run_pipeline(program, options));
+  for (const int jobs : {2, 8}) {
+    ParallelOptions parallel;
+    parallel.jobs = jobs;
+    EXPECT_EQ(serial, render(run_pipeline_parallel(program, options,
+                                                   parallel)));
+  }
+}
+
+TEST(ParallelEngine, CacheDeduplicatesRepeatedRuns) {
+  const Program program = perfect_suite().front().program();
+  PipelineOptions options;
+  ResultCache cache;
+  ParallelOptions parallel;
+  parallel.jobs = 2;
+  const ProgramReport first =
+      run_pipeline_parallel(program, options, parallel, &cache);
+  const std::int64_t misses_after_first = cache.misses();
+  EXPECT_GT(misses_after_first, 0);
+  const ProgramReport second =
+      run_pipeline_parallel(program, options, parallel, &cache);
+  // The second pass is served entirely from the cache...
+  EXPECT_EQ(cache.misses(), misses_after_first);
+  EXPECT_GT(cache.hits(), 0);
+  // ...and is indistinguishable from a fresh computation.
+  EXPECT_EQ(render(first), render(second));
+}
+
+TEST(ParallelEngine, CacheKeyCoversOptionsThatChangeResults) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] + B[I]
+end
+)");
+  PipelineOptions options;
+  const std::string base = ResultCache::key(loop, options);
+  PipelineOptions other = options;
+  other.scheduler = SchedulerKind::kList;
+  EXPECT_NE(base, ResultCache::key(loop, other));
+  other = options;
+  other.machine = MachineConfig::paper(2, 2);
+  EXPECT_NE(base, ResultCache::key(loop, other));
+  other = options;
+  other.iterations = 7;
+  EXPECT_NE(base, ResultCache::key(loop, other));
+  other = options;
+  other.processors = 3;
+  EXPECT_NE(base, ResultCache::key(loop, other));
+  other = options;
+  other.eliminate_redundant_waits = true;
+  EXPECT_NE(base, ResultCache::key(loop, other));
+  other = options;
+  other.sync_aware.contiguous_paths = false;
+  EXPECT_NE(base, ResultCache::key(loop, other));
+}
+
+TEST(ParallelEngine, CachedCompareMatchesUncached) {
+  const Loop loop = parse_single_loop_or_throw(R"(
+doacross I = 1, 100
+  U[I] = (U[I-1] + V[I]) * w1
+  R[I] = V[I-2] * w3 + V[I+2]
+end
+)");
+  PipelineOptions options;
+  ResultCache cache;
+  const SchedulerComparison plain = compare_schedulers(loop, options);
+  const SchedulerComparison cached =
+      compare_schedulers_cached(loop, options, &cache);
+  EXPECT_EQ(plain.baseline.parallel_time(), cached.baseline.parallel_time());
+  EXPECT_EQ(plain.improved.parallel_time(), cached.improved.parallel_time());
+  // A repeat comparison is a pure cache hit with identical results.
+  const std::int64_t misses = cache.misses();
+  const SchedulerComparison again =
+      compare_schedulers_cached(loop, options, &cache);
+  EXPECT_EQ(cache.misses(), misses);
+  EXPECT_EQ(again.improved.schedule.groups, cached.improved.schedule.groups);
+}
+
+TEST(ParallelEngine, JobsOneBypassesThreading) {
+  // jobs = 1 must run inline on the calling thread (the documented
+  // serial escape hatch); verify by observing thread identity.
+  const Program program = perfect_suite().front().program();
+  PipelineOptions options;
+  ParallelOptions parallel;
+  parallel.jobs = 1;
+  parallel.use_cache = false;
+  const ProgramReport serial = run_pipeline(program, options);
+  const ProgramReport report =
+      run_pipeline_parallel(program, options, parallel);
+  EXPECT_EQ(render(serial), render(report));
+}
+
+}  // namespace
+}  // namespace sbmp

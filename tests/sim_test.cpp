@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 #include "sbmp/codegen/codegen.h"
 #include "sbmp/dfg/dfg.h"
 #include "sbmp/frontend/parser.h"
@@ -348,6 +351,79 @@ doacross I = 1, 100
 end
 )");
   EXPECT_LE(worst_sync_span(b.dfg, b.schedule), 0);
+}
+
+TEST(Analytic, HugeIterationCountSaturatesInsteadOfWrapping) {
+  // Regression: the links x shift product for n = 2^40 iterations with a
+  // 2^30-slot span exceeds int64 and used to wrap into a small positive
+  // "time" (the exact wrapped value: 2^70 mod 2^64 == 0, leaving only
+  // the low-order terms). Overflow-checked math saturates, keeping the
+  // result a valid upper-dominating bound.
+  const std::int64_t n = std::int64_t{1} << 40;
+  const std::int64_t huge =
+      lbd_parallel_time(n, 1, 1 << 30, 0, 10);
+  EXPECT_EQ(huge, std::numeric_limits<std::int64_t>::max());
+  // Sane large inputs stay exact: links = (2^40 - 1), shift = 3.
+  EXPECT_EQ(lbd_parallel_time(n, 1, 2, 0, 5), (n - 1) * 3 + 5);
+  // The result never drops below the iteration time, even at the edge.
+  EXPECT_GE(lbd_parallel_time(n, 1, 1 << 30, 0, 10), 10);
+}
+
+TEST(Simulator, ZeroTripRunHasDefinedResult) {
+  const Built b = build(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] + B[I]
+end
+)");
+  const SimResult one = run(b, 1);
+  for (const int procs : {0, 1, 8}) {
+    const SimResult r = run(b, 0, procs);
+    EXPECT_EQ(r.parallel_time, 0);
+    EXPECT_EQ(r.stall_cycles, 0);
+    EXPECT_EQ(r.schedule_length, b.schedule.length());
+    // Regression: iteration_time is a property of the schedule (one
+    // iteration in isolation) and used to read as an uninitialized-
+    // looking 0 on zero-trip runs.
+    EXPECT_EQ(r.iteration_time, one.iteration_time);
+    EXPECT_GT(r.iteration_time, 0);
+  }
+  // Negative iteration counts clamp to the same defined zero-trip run.
+  const SimResult negative = run(b, -5);
+  EXPECT_EQ(negative.parallel_time, 0);
+  EXPECT_EQ(negative.iteration_time, one.iteration_time);
+}
+
+TEST(Simulator, SingleIterationIdenticalForAnyProcessorCount) {
+  const Built b = build(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] * 2 + B[I]
+end
+)");
+  const SimResult base = run(b, 1, 0);
+  EXPECT_EQ(base.parallel_time, base.iteration_time);
+  for (const int procs : {1, 8}) {  // P == n and P == n + 7
+    const SimResult r = run(b, 1, procs);
+    EXPECT_EQ(r.parallel_time, base.parallel_time);
+    EXPECT_EQ(r.iteration_time, base.iteration_time);
+    EXPECT_EQ(r.stall_cycles, base.stall_cycles);
+  }
+}
+
+TEST(Simulator, ProcessorsBeyondIterationsMatchOnePerIteration) {
+  const Built b = build(R"(
+doacross I = 1, 100
+  A[I] = A[I-2] + B[I] * c1
+  D[I] = B[I-1] + B[I+3]
+end
+)");
+  const std::int64_t n = 10;
+  const SimResult one_per_iter = run(b, n, 0);
+  for (const int procs : {static_cast<int>(n), static_cast<int>(n) + 7}) {
+    const SimResult r = run(b, n, procs);
+    EXPECT_EQ(r.parallel_time, one_per_iter.parallel_time);
+    EXPECT_EQ(r.iteration_time, one_per_iter.iteration_time);
+    EXPECT_EQ(r.stall_cycles, one_per_iter.stall_cycles);
+  }
 }
 
 }  // namespace

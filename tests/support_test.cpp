@@ -1,9 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
 #include "sbmp/support/diagnostics.h"
+#include "sbmp/support/overflow.h"
 #include "sbmp/support/rng.h"
 #include "sbmp/support/strings.h"
 #include "sbmp/support/table.h"
+#include "sbmp/support/thread_pool.h"
 
 namespace sbmp {
 namespace {
@@ -135,6 +144,87 @@ TEST(Table, PadsShortRows) {
   table.set_header({"a", "b", "c"});
   table.add_row({"1"});
   EXPECT_NO_THROW({ const auto out = table.render(); });
+}
+
+TEST(Overflow, SaturatingArithmetic) {
+  constexpr std::int64_t kMax = std::numeric_limits<std::int64_t>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  EXPECT_EQ(sat_add(2, 3), 5);
+  EXPECT_EQ(sat_add(kMax, 1), kMax);
+  EXPECT_EQ(sat_add(kMin, -1), kMin);
+  EXPECT_EQ(sat_mul(4, 5), 20);
+  EXPECT_EQ(sat_mul(kMax / 2, 3), kMax);
+  EXPECT_EQ(sat_mul(kMin / 2, 3), kMin);
+  EXPECT_EQ(sat_mul(kMax, -2), kMin);
+  EXPECT_TRUE(add_overflows(kMax, 1));
+  EXPECT_FALSE(add_overflows(kMax, 0));
+  EXPECT_TRUE(mul_overflows(std::int64_t{1} << 40, std::int64_t{1} << 40));
+  EXPECT_FALSE(mul_overflows(std::int64_t{1} << 40, 2));
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(4);
+    for (int i = 0; i < 200; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(count.load(), 200);
+  }
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  for (const int jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> seen(1000);
+    parallel_for(jobs, 0, 1000,
+                 [&seen](std::int64_t i) { seen[i].fetch_add(1); });
+    for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ParallelForIsOrderStableWhenAggregatedByIndex) {
+  std::vector<std::int64_t> out(500);
+  parallel_for(8, 0, 500, [&out](std::int64_t i) { out[i] = i * i; });
+  for (std::int64_t i = 0; i < 500; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ParallelForRethrowsBodyException) {
+  EXPECT_THROW(
+      parallel_for(4, 0, 100,
+                   [](std::int64_t i) {
+                     if (i == 37) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SharedPoolSupportsConcurrentParallelFors) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> total{0};
+  parallel_for(pool, 0, 8, [&pool, &total](std::int64_t) {
+    // Nested fan-out onto the same pool from a worker-adjacent caller
+    // must complete (completion is tracked per call, not pool-wide).
+    std::atomic<std::int64_t> inner{0};
+    for (int j = 0; j < 10; ++j) inner.fetch_add(j);
+    total.fetch_add(inner.load());
+  });
+  pool.wait_idle();
+  EXPECT_EQ(total.load(), 8 * 45);
+}
+
+TEST(ThreadPool, AbsurdJobCountIsClampedToRangeSize) {
+  // --jobs 100000 on a short range must not try to spawn 100000
+  // threads (which exhausts thread resources and aborts).
+  std::vector<std::atomic<int>> seen(8);
+  parallel_for(100000, 0, 8,
+               [&seen](std::int64_t i) { seen[i].fetch_add(1); });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, EmptyRangeIsANoOp) {
+  std::atomic<int> count{0};
+  parallel_for(4, 5, 5, [&count](std::int64_t) { count.fetch_add(1); });
+  parallel_for(4, 5, 2, [&count](std::int64_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 0);
 }
 
 }  // namespace

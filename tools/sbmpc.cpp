@@ -17,23 +17,30 @@
 //   --compare          report list vs sync-aware side by side
 //   --check            run the cross-iteration staleness check
 //   --eliminate        access-level redundant-wait elimination
+//   --jobs N           process loops on N workers (0 = hardware
+//                      threads, 1 = serial; output order is identical)
 //   --dump WHAT        sync | tac | dfg | dot | schedule | stats |
 //                      trace | all
 //                      (repeatable; dot prints a Graphviz digraph)
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
 #include "sbmp/dfg/export.h"
 #include "sbmp/perfect/suite.h"
 #include "sbmp/restructure/classify.h"
 #include "sbmp/sched/stats.h"
 #include "sbmp/sim/trace.h"
+#include "sbmp/support/strings.h"
+#include "sbmp/support/thread_pool.h"
 
 namespace {
 
@@ -45,11 +52,32 @@ struct CliOptions {
   std::set<std::string> dumps;
   std::vector<std::string> files;
   bool run_suite = false;
+  int jobs = 0;  ///< 0 = hardware threads, 1 = serial
 
   [[nodiscard]] bool dump(const char* what) const {
     return dumps.count(what) != 0 || dumps.count("all") != 0;
   }
 };
+
+/// printf-appends to `out` (loop reports are rendered off-thread into
+/// strings and printed in order, so output is identical for any --jobs).
+__attribute__((format(printf, 2, 3))) void appendf(std::string& out,
+                                                   const char* fmt, ...) {
+  char buffer[1024];
+  va_list args;
+  va_start(args, fmt);
+  const int needed = std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  if (needed < static_cast<int>(sizeof buffer)) {
+    out.append(buffer, static_cast<std::size_t>(needed > 0 ? needed : 0));
+    return;
+  }
+  std::vector<char> big(static_cast<std::size_t>(needed) + 1);
+  va_start(args, fmt);
+  std::vsnprintf(big.data(), big.size(), fmt, args);
+  va_end(args);
+  out.append(big.data(), static_cast<std::size_t>(needed));
+}
 
 [[noreturn]] void usage(const char* message) {
   if (message != nullptr) std::fprintf(stderr, "sbmpc: %s\n", message);
@@ -57,7 +85,7 @@ struct CliOptions {
                "usage: sbmpc [--width N] [--fus N] [--scheduler S]\n"
                "             [--iterations N] [--processors P] [--compare]\n"
                "             [--check] [--eliminate] [--dump WHAT]\n"
-               "             file.loop... | --list-benchmarks\n");
+               "             [--jobs N] file.loop... | --list-benchmarks\n");
   std::exit(2);
 }
 
@@ -99,6 +127,8 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.pipeline.check_ordering = true;
     } else if (std::strcmp(arg, "--eliminate") == 0) {
       cli.pipeline.eliminate_redundant_waits = true;
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      cli.jobs = std::atoi(next_arg(argc, argv, i));
     } else if (std::strcmp(arg, "--dump") == 0) {
       cli.dumps.insert(next_arg(argc, argv, i));
     } else if (std::strcmp(arg, "--list-benchmarks") == 0) {
@@ -117,108 +147,128 @@ CliOptions parse_cli(int argc, char** argv) {
   return cli;
 }
 
-void report_loop(const PreLoop& pre, const CliOptions& cli) {
+std::string render_loop(const PreLoop& pre, const CliOptions& cli,
+                        ResultCache* cache) {
+  std::string out;
   const RestructureResult restructured = restructure_or_throw(pre);
   const Loop& loop = restructured.loop;
   const DepAnalysis deps = analyze_dependences(loop);
 
-  std::printf("loop %s: %s",
-              loop.name.empty() ? "<unnamed>" : loop.name.c_str(),
-              doacross_types_to_string(classify_doacross(restructured, deps))
-                  .c_str());
+  appendf(out, "loop %s: %s",
+          loop.name.empty() ? "<unnamed>" : loop.name.c_str(),
+          doacross_types_to_string(classify_doacross(restructured, deps))
+              .c_str());
   for (const auto& note : restructured.notes)
-    std::printf("\n  %s", note.to_string().c_str());
-  std::printf("\n");
+    appendf(out, "\n  %s", note.to_string().c_str());
+  appendf(out, "\n");
 
   if (deps.is_doall()) {
-    std::printf("  Doall: no synchronization needed\n\n");
-    return;
+    appendf(out, "  Doall: no synchronization needed\n\n");
+    return out;
   }
   if (!deps.is_synchronizable()) {
-    std::printf("  irregular carried dependences: loop must serialize\n\n");
-    return;
+    appendf(out, "  irregular carried dependences: loop must serialize\n\n");
+    return out;
   }
 
-  const LoopReport report = run_pipeline(loop, cli.pipeline);
+  const LoopReport report = run_pipeline_cached(loop, cli.pipeline, cache);
   if (cli.dump("sync"))
-    std::printf("%s", report.synced.to_string().c_str());
+    appendf(out, "%s", report.synced.to_string().c_str());
   if (cli.dump("tac"))
-    std::printf("%s", report.tac.to_string().c_str());
+    appendf(out, "%s", report.tac.to_string().c_str());
   if (cli.dump("dfg")) {
     for (int c = 0; c < report.dfg->num_components(); ++c) {
-      std::printf("  component %d (%s):", c,
-                  component_kind_name(report.dfg->component_kind(c)));
+      appendf(out, "  component %d (%s):", c,
+              component_kind_name(report.dfg->component_kind(c)));
       for (const int id : report.dfg->component_members(c))
-        std::printf(" %d", id);
-      std::printf("\n");
+        appendf(out, " %d", id);
+      appendf(out, "\n");
     }
   }
   if (cli.dump("dot"))
-    std::printf("%s", dfg_to_dot(report.tac, *report.dfg).c_str());
+    appendf(out, "%s", dfg_to_dot(report.tac, *report.dfg).c_str());
   if (cli.dump("schedule"))
-    std::printf("%s", report.schedule
-                          .to_string(report.tac,
-                                     cli.pipeline.machine.issue_width)
-                          .c_str());
+    appendf(out, "%s", report.schedule
+                           .to_string(report.tac,
+                                      cli.pipeline.machine.issue_width)
+                           .c_str());
   if (cli.dump("trace")) {
     SimOptions sim_options;
-    sim_options.iterations = cli.pipeline.iterations > 0
-                                 ? cli.pipeline.iterations
-                                 : loop.trip_count();
+    sim_options.iterations = cli.pipeline.resolved_iterations(loop);
     sim_options.processors = cli.pipeline.processors;
-    std::printf("%s", trace_to_string(report.tac, *report.dfg,
-                                      report.schedule, cli.pipeline.machine,
-                                      sim_options)
-                          .c_str());
+    appendf(out, "%s", trace_to_string(report.tac, *report.dfg,
+                                       report.schedule, cli.pipeline.machine,
+                                       sim_options)
+                           .c_str());
   }
   if (cli.dump("stats")) {
-    std::printf("  %s\n",
-                compute_schedule_stats(report.tac, *report.dfg,
-                                       report.schedule, cli.pipeline.machine)
-                    .to_string()
-                    .c_str());
+    appendf(out, "  %s\n",
+            compute_schedule_stats(report.tac, *report.dfg, report.schedule,
+                                   cli.pipeline.machine)
+                .to_string()
+                .c_str());
   }
 
   if (cli.compare) {
-    const SchedulerComparison cmp = compare_schedulers(loop, cli.pipeline);
-    std::printf("  list %lld cycles, sync-aware %lld cycles (%.2f%%)\n",
-                static_cast<long long>(cmp.baseline.parallel_time()),
-                static_cast<long long>(cmp.improved.parallel_time()),
-                cmp.improvement() * 100.0);
+    const SchedulerComparison cmp =
+        compare_schedulers_cached(loop, cli.pipeline, cache);
+    const std::optional<double> imp = cmp.improvement_opt();
+    appendf(out, "  list %lld cycles, sync-aware %lld cycles (%s)\n",
+            static_cast<long long>(cmp.baseline.parallel_time()),
+            static_cast<long long>(cmp.improved.parallel_time()),
+            imp.has_value() ? (format_fixed(*imp * 100.0, 2) + "%").c_str()
+                            : "baseline failed");
   } else {
-    std::printf("  %s, %s: %lld cycles (%d groups, %lld stall cycles)\n",
-                scheduler_name(cli.pipeline.scheduler),
-                cli.pipeline.machine.label().c_str(),
-                static_cast<long long>(report.parallel_time()),
-                report.schedule.length(),
-                static_cast<long long>(report.sim.stall_cycles));
+    appendf(out, "  %s, %s: %lld cycles (%d groups, %lld stall cycles)\n",
+            scheduler_name(cli.pipeline.scheduler),
+            cli.pipeline.machine.label().c_str(),
+            static_cast<long long>(report.parallel_time()),
+            report.schedule.length(),
+            static_cast<long long>(report.sim.stall_cycles));
   }
   if (report.waits_eliminated > 0)
-    std::printf("  redundant waits eliminated: %d\n",
-                report.waits_eliminated);
+    appendf(out, "  redundant waits eliminated: %d\n",
+            report.waits_eliminated);
   if (!report.valid()) {
-    std::printf("  INVALID:\n");
+    appendf(out, "  INVALID:\n");
     for (const auto& v : report.schedule_violations)
-      std::printf("    schedule: %s\n", v.c_str());
+      appendf(out, "    schedule: %s\n", v.c_str());
     for (const auto& v : report.ordering_violations)
-      std::printf("    ordering: %s\n", v.c_str());
+      appendf(out, "    ordering: %s\n", v.c_str());
   }
-  std::printf("\n");
+  appendf(out, "\n");
+  return out;
 }
 
 int run(const CliOptions& cli) {
   int failures = 0;
-  const auto run_source = [&](const std::string& label,
-                              const std::string& source) {
+
+  // Phase 1 (serial): parse every source and flatten the work list.
+  // `banner` text precedes the loop's own output (suite headers).
+  struct Item {
+    std::string banner;
+    std::optional<PreLoop> loop;
+    std::string rendered;
+    std::string error;
+  };
+  std::vector<Item> items;
+  const auto gather_source = [&](const std::string& label,
+                                 const std::string& source,
+                                 std::string banner) {
     DiagEngine diags;
     const PreProgram program = parse_pre_program(source, diags);
     if (!diags.ok()) {
-      std::fprintf(stderr, "%s:\n%s", label.c_str(),
-                   diags.render().c_str());
+      std::fprintf(stderr, "%s:\n%s", label.c_str(), diags.render().c_str());
       ++failures;
       return;
     }
-    for (const auto& pre : program.loops) report_loop(pre, cli);
+    for (const auto& pre : program.loops) {
+      Item item;
+      item.banner = std::move(banner);
+      banner.clear();  // only before the source's first loop
+      item.loop = pre;
+      items.push_back(std::move(item));
+    }
   };
 
   for (const auto& file : cli.files) {
@@ -230,14 +280,37 @@ int run(const CliOptions& cli) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    run_source(file, buffer.str());
+    gather_source(file, buffer.str(), "");
   }
   if (cli.run_suite) {
     for (const auto& bench : perfect_suite()) {
-      std::printf("==== %s (%s) ====\n", bench.name.c_str(),
-                  bench.description.c_str());
-      run_source(bench.name, bench.source);
+      std::string banner = "==== " + bench.name + " (" + bench.description +
+                           ") ====\n";
+      gather_source(bench.name, bench.source, std::move(banner));
     }
+  }
+
+  // Phase 2: render every loop report, fanned out over --jobs workers.
+  // Each worker writes only its own item, so output assembly is
+  // race-free and the printed order below never depends on job count.
+  ResultCache cache;
+  parallel_for(cli.jobs, 0, static_cast<std::int64_t>(items.size()),
+               [&](std::int64_t i) {
+                 Item& item = items[static_cast<std::size_t>(i)];
+                 try {
+                   item.rendered = render_loop(*item.loop, cli, &cache);
+                 } catch (const SbmpError& e) {
+                   item.error = e.what();
+                 }
+               });
+
+  // Phase 3 (serial): print in input order; the first pipeline error
+  // aborts exactly like the serial engine did (after the loops before
+  // it have been reported).
+  for (const auto& item : items) {
+    if (!item.banner.empty()) std::printf("%s", item.banner.c_str());
+    if (!item.error.empty()) throw SbmpError(item.error);
+    std::printf("%s", item.rendered.c_str());
   }
   return failures == 0 ? 0 : 1;
 }
