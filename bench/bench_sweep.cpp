@@ -10,11 +10,25 @@
 // over `--jobs N` workers (0/default = hardware threads, 1 = serial)
 // and are printed in sweep order; a shared ResultCache deduplicates
 // repeated (loop, options) pipelines across sweeps.
+//
+// `--faults [N]` switches the harness into fault-campaign mode instead
+// of the sweeps: it distributes at least N (default 500) seeded
+// adversarial perturbation trials over the paper example, the stencil,
+// and every DOACROSS loop of the Perfect suite, requiring zero
+// staleness violations on the validator-clean schedules, then breaks
+// the paper example with each ScheduleMutation and requires the
+// validator or the fault campaign to detect every one. Exits 1 on any
+// missed requirement, so the mode doubles as a CI robustness gate (see
+// docs/robustness.md).
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "sbmp/restructure/unroll.h"
+#include "sbmp/sim/fault.h"
+#include "sbmp/support/status.h"
 #include "sbmp/support/strings.h"
 #include "sbmp/support/thread_pool.h"
 #include "sbmp/support/table.h"
@@ -29,6 +43,193 @@ doacross I = 1, 100
 end
 )";
 
+// The running example of the paper (Fig. 1): three statements with
+// carried flow dependences of distance 1 and 2.
+constexpr const char* kPaperExample = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+
+/// Parses `--faults [N]`: 0 when the flag is absent (sweep mode),
+/// otherwise the requested total trial count (500 when no explicit
+/// count follows the flag).
+int parse_faults(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--faults") != 0) continue;
+    if (i + 1 < argc && std::atoi(argv[i + 1]) > 0)
+      return std::atoi(argv[i + 1]);
+    return 500;
+  }
+  return 0;
+}
+
+struct FaultTarget {
+  std::string label;
+  sbmp::Loop loop;
+};
+
+struct CampaignRow {
+  std::string label;
+  bool skipped = false;
+  std::string note;
+  std::size_t validation_violations = 0;
+  sbmp::FaultCampaign campaign;
+};
+
+/// Fault-campaign mode: perturbation trials over every schedulable
+/// DOACROSS loop, then mutation-detection on the paper example.
+int run_fault_mode(int requested_trials, int jobs) {
+  using namespace sbmp;
+  using namespace sbmp::bench;
+
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(4, 2);
+  options.iterations = 100;
+
+  std::vector<FaultTarget> targets;
+  targets.push_back({"paper-example", parse_single_loop_or_throw(kPaperExample)});
+  targets.push_back({"stencil", parse_single_loop_or_throw(kStencil)});
+  for (const auto& bench : perfect_suite()) {
+    for (const auto& loop : bench.program().loops) {
+      if (analyze_dependences(loop).is_doall()) continue;
+      targets.push_back({bench.name + "/" + loop.name, loop});
+    }
+  }
+
+  // Spread the requested total over the targets, rounding up so the
+  // campaign never runs fewer trials than asked for.
+  const int per_loop =
+      std::max(1, (requested_trials + static_cast<int>(targets.size()) - 1) /
+                      static_cast<int>(targets.size()));
+
+  std::vector<CampaignRow> rows(targets.size());
+  parallel_for(jobs, 0, static_cast<std::int64_t>(targets.size()),
+               [&](std::int64_t i) {
+                 const FaultTarget& target =
+                     targets[static_cast<std::size_t>(i)];
+                 CampaignRow& row = rows[static_cast<std::size_t>(i)];
+                 row.label = target.label;
+                 LoopReport report;
+                 try {
+                   report = run_pipeline(target.loop, options);
+                 } catch (const StatusError& e) {
+                   // Irregular carried dependences: the paper's scheme
+                   // cannot compile the loop, so there is no schedule
+                   // to perturb.
+                   row.skipped = true;
+                   row.note = e.status().message;
+                   return;
+                 }
+                 if (report.doall || !report.dfg.has_value()) {
+                   row.skipped = true;
+                   row.note = "doall";
+                   return;
+                 }
+                 row.validation_violations =
+                     report.validation_violations.size();
+                 SimOptions sim_options;
+                 sim_options.iterations =
+                     options.resolved_iterations(report.loop);
+                 sim_options.processors = options.processors;
+                 std::vector<Dependence> carried;
+                 for (const auto& dep : report.deps.deps)
+                   if (dep.loop_carried()) carried.push_back(dep);
+                 row.campaign = run_fault_campaign(
+                     report.tac, *report.dfg, report.schedule,
+                     options.machine, sim_options, carried,
+                     FaultPlan::adversarial(
+                         1 + static_cast<std::uint64_t>(i)),
+                     per_loop);
+               });
+
+  bool failed = false;
+  int total_trials = 0;
+  std::int64_t total_fault_events = 0;
+  TextTable table;
+  table.set_header({"loop", "trials", "fault events", "base T", "worst T",
+                    "dirty", "verdict"});
+  for (const auto& row : rows) {
+    if (row.skipped) {
+      table.add_row({row.label, "-", "-", "-", "-", "-",
+                     "skipped (" + row.note + ")"});
+      continue;
+    }
+    // +1: run_fault_campaign always adds the unperturbed baseline run.
+    total_trials += row.campaign.trials + 1;
+    total_fault_events += row.campaign.fault_events;
+    const bool row_ok =
+        row.validation_violations == 0 && row.campaign.clean();
+    if (!row_ok) failed = true;
+    std::string verdict = row_ok ? "clean" : "STALE";
+    if (row.validation_violations > 0) verdict = "INVALID SCHEDULE";
+    table.add_row({row.label, std::to_string(row.campaign.trials + 1),
+                   std::to_string(row.campaign.fault_events),
+                   std::to_string(row.campaign.base_parallel_time),
+                   std::to_string(row.campaign.max_parallel_time),
+                   std::to_string(row.campaign.dirty_trials), verdict});
+    for (const auto& msg : row.campaign.sample)
+      std::printf("  %s: %s\n", row.label.c_str(), msg.c_str());
+  }
+  std::printf(
+      "Fault campaign: %d adversarial trials over %zu DOACROSS loops\n"
+      "(requested >= %d; every fault only delays events, so a correctly\n"
+      "synchronized schedule must survive with zero staleness)\n\n%s\n"
+      "total: %d trials, %lld injected fault events\n\n",
+      total_trials, rows.size(), requested_trials, table.render().c_str(),
+      total_trials, static_cast<long long>(total_fault_events));
+
+  // --- Mutation detection: break the paper example three ways --------
+  const LoopReport base =
+      run_pipeline(parse_single_loop_or_throw(kPaperExample), options);
+  SimOptions sim_options;
+  sim_options.iterations = options.resolved_iterations(base.loop);
+  sim_options.processors = options.processors;
+  TextTable mtable;
+  mtable.set_header(
+      {"mutation", "validator violations", "dirty trials", "verdict"});
+  const ScheduleMutation mutations[] = {ScheduleMutation::kHoistSend,
+                                        ScheduleMutation::kSinkWait,
+                                        ScheduleMutation::kDropArc};
+  for (std::size_t m = 0; m < 3; ++m) {
+    LoopReport mutated = base;
+    if (!apply_schedule_mutation(mutations[m], mutated.tac, mutated.dfg,
+                                 mutated.schedule, options.machine)) {
+      mtable.add_row({mutation_name(mutations[m]), "-", "-",
+                      "NOT APPLIED"});
+      failed = true;
+      continue;
+    }
+    mutated.sim = simulate(mutated.tac, *mutated.dfg, mutated.schedule,
+                           options.machine, sim_options);
+    const std::vector<std::string> validator =
+        validate_pipeline(mutated, options);
+    std::vector<Dependence> carried;
+    for (const auto& dep : mutated.deps.deps)
+      if (dep.loop_carried()) carried.push_back(dep);
+    const FaultCampaign campaign = run_fault_campaign(
+        mutated.tac, *mutated.dfg, mutated.schedule, options.machine,
+        sim_options, carried, FaultPlan::adversarial(101 + m), 30);
+    const bool detected = !validator.empty() || campaign.detected();
+    if (!detected) failed = true;
+    mtable.add_row({mutation_name(mutations[m]),
+                    std::to_string(validator.size()),
+                    std::to_string(campaign.dirty_trials) + "/" +
+                        std::to_string(campaign.trials + 1),
+                    detected ? "detected" : "MISSED"});
+  }
+  std::printf(
+      "Mutation detection on the paper example (each mutation breaks one\n"
+      "of the paper's two synchronization conditions; the validator or\n"
+      "the fault campaign must flag every one)\n\n%s\n",
+      mtable.render().c_str());
+
+  std::printf("fault mode: %s\n", failed ? "FAIL" : "PASS");
+  return failed ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -36,6 +237,8 @@ int main(int argc, char** argv) {
   using namespace sbmp::bench;
 
   const int jobs = parse_jobs(argc, argv);
+  if (const int fault_trials = parse_faults(argc, argv); fault_trials > 0)
+    return run_fault_mode(fault_trials, jobs);
   ResultCache cache;
 
   // --- Sweep 1: processors ------------------------------------------

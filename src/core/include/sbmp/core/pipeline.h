@@ -13,8 +13,10 @@
 #include "sbmp/machine/machine.h"
 #include "sbmp/restructure/restructure.h"
 #include "sbmp/sched/schedulers.h"
+#include "sbmp/sched/validate.h"
 #include "sbmp/sim/analytic.h"
 #include "sbmp/sim/simulator.h"
+#include "sbmp/support/status.h"
 #include "sbmp/sync/sync.h"
 
 namespace sbmp {
@@ -45,6 +47,16 @@ struct PipelineOptions {
   /// list scheduling (possible when everything sits on the critical
   /// path and packing noise dominates), fall back to the list schedule.
   bool never_degrade = true;
+  /// Run the cross-layer validator (validate_pipeline) on every loop:
+  /// Sig/Wat pairing integrity, the paper's two synchronization
+  /// conditions re-resolved from the sync layer (independent of DFG
+  /// arcs), LBD/LFD classification consistency with the analytic model,
+  /// and the analytic-vs-simulated cycle cross-check. On by default —
+  /// a pipeline that silently mis-synchronizes is worse than a slow one.
+  bool validate = true;
+  /// Slack (in cycles) granted to the analytic-vs-simulated
+  /// cross-checks; 0 demands the exact relations.
+  std::int64_t validate_tolerance = 0;
 
   /// The one place the "`iterations` 0 uses the loop's own trip count"
   /// rule lives. Every consumer of an iteration count (scheduler
@@ -77,12 +89,19 @@ struct LoopReport {
   bool used_list_fallback = false;
   std::vector<std::string> schedule_violations;
   std::vector<std::string> ordering_violations;
+  /// Cross-layer validator findings (see validate_pipeline).
+  std::vector<std::string> validation_violations;
+  /// Structured outcome of this loop's pipeline run. ok() for a loop
+  /// that compiled and simulated; kValidation when any violation list is
+  /// non-empty.
+  Status status = Status::okay();
 
   [[nodiscard]] std::int64_t parallel_time() const {
     return sim.parallel_time;
   }
   [[nodiscard]] bool valid() const {
-    return schedule_violations.empty() && ordering_violations.empty();
+    return schedule_violations.empty() && ordering_violations.empty() &&
+           validation_violations.empty();
   }
 };
 
@@ -95,11 +114,43 @@ struct ProgramReport {
   std::int64_t total_parallel_time = 0;
   int doacross_loops = 0;
   int doall_loops = 0;
+  /// Per-loop pipeline failures (loop index into the source program and
+  /// the diagnostic), aggregated across ALL loops: one failing loop does
+  /// not abort the program run, and every successful loop's report is
+  /// still present in `loops`. A failed loop contributes a stub report
+  /// whose `status` carries the error.
+  std::vector<IndexedFailure> failures;
+
+  [[nodiscard]] bool all_ok() const { return failures.empty(); }
+  /// The worst status code across all loops (kOk when all succeeded).
+  [[nodiscard]] StatusCode worst_status() const;
 };
 
-/// Runs the full pipeline on one loop.
+/// Runs the full pipeline on one loop. Throws StatusError (code kInput)
+/// when the loop carries an irregular dependence that the paper's
+/// Wait(S, i-d) scheme cannot synchronize — compiling it anyway would
+/// silently produce a racy binary.
 [[nodiscard]] LoopReport run_pipeline(const Loop& loop,
                                       const PipelineOptions& options);
+
+/// Cross-layer schedule validation (the grown form of verify_schedule):
+///  * Sig/Wat pairing integrity against the sync layer (every wait has
+///    exactly one partner send with a consistent distance, every sync
+///    instruction traces to a sync-layer operation and vice versa);
+///  * the paper's two synchronization conditions checked directly
+///    against source/sink access instructions re-resolved from the
+///    SyncedLoop — not via DFG arcs or guarded_instrs, so a dropped arc
+///    is itself caught;
+///  * LBD/LFD classification consistency between the schedule's sync
+///    spans and the analytic (n/d)(i-j+net) + l model;
+///  * analytic-vs-simulated cycle cross-checks: the simulated parallel
+///    time never beats the analytic lower bound, and an all-LFD
+///    schedule on >= n processors simulates in exactly the isolated
+///    iteration time (within options.validate_tolerance).
+/// Requires report.dfg and report.sim to be populated (i.e. a report
+/// produced by run_pipeline). Returns human-readable violations.
+[[nodiscard]] std::vector<std::string> validate_pipeline(
+    const LoopReport& report, const PipelineOptions& options);
 
 /// Restructures a pre-form loop (scalar expansion, reduction
 /// replacement, induction-variable substitution — the paper's Fig 5

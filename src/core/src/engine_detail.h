@@ -1,0 +1,27 @@
+#pragma once
+
+// Internal helpers shared by the serial (pipeline.cpp) and parallel
+// (parallel.cpp) program engines so their per-loop failure handling and
+// aggregation cannot drift apart. Not installed.
+
+#include <cstddef>
+
+#include "sbmp/core/pipeline.h"
+
+namespace sbmp {
+namespace core_detail {
+
+/// run_pipeline with every per-loop failure converted into a stub
+/// LoopReport carrying the structured status (never throws pipeline
+/// errors).
+[[nodiscard]] LoopReport run_pipeline_caught(const Loop& loop,
+                                             const PipelineOptions& options);
+
+/// Folds one loop's report into the program aggregate: records the
+/// failure (if any), updates the doall/doacross totals for loops that
+/// simulated, and appends the report.
+void fold_loop_report(ProgramReport& out, std::size_t index,
+                      LoopReport report);
+
+}  // namespace core_detail
+}  // namespace sbmp

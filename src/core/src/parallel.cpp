@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine_detail.h"
 #include "sbmp/support/overflow.h"
 #include "sbmp/support/thread_pool.h"
 
@@ -42,6 +43,8 @@ std::string ResultCache::key(const Loop& loop,
   append_int(out, options.check_ordering ? 1 : 0);
   append_int(out, options.eliminate_redundant_waits ? 1 : 0);
   append_int(out, options.never_degrade ? 1 : 0);
+  append_int(out, options.validate ? 1 : 0);
+  append_int(out, options.validate_tolerance);
   return out;
 }
 
@@ -103,24 +106,33 @@ ProgramReport run_pipeline_parallel(const Program& program,
   parallel_for(parallel.jobs, 0,
                static_cast<std::int64_t>(program.loops.size()),
                [&](std::int64_t i) {
-                 reports[static_cast<std::size_t>(i)] = run_pipeline_cached(
-                     program.loops[static_cast<std::size_t>(i)], options,
-                     effective);
+                 const Loop& loop =
+                     program.loops[static_cast<std::size_t>(i)];
+                 // Per-loop failures become stub reports, exactly like
+                 // the serial engine: one bad loop must not abort (or
+                 // perturb) the rest of the batch.
+                 try {
+                   reports[static_cast<std::size_t>(i)] =
+                       run_pipeline_cached(loop, options, effective);
+                 } catch (const StatusError& e) {
+                   LoopReport& stub = reports[static_cast<std::size_t>(i)];
+                   stub.name = loop.name;
+                   stub.loop = loop;
+                   stub.status = e.status();
+                 } catch (const SbmpError& e) {
+                   LoopReport& stub = reports[static_cast<std::size_t>(i)];
+                   stub.name = loop.name;
+                   stub.loop = loop;
+                   stub.status = Status::error(StatusCode::kInternal,
+                                               "pipeline", e.what());
+                 }
                });
 
   // Order-stable aggregation: identical to the serial engine's loop.
   ProgramReport out;
   out.loops.reserve(reports.size());
-  for (auto& report : reports) {
-    if (report.doall) {
-      ++out.doall_loops;
-    } else {
-      ++out.doacross_loops;
-      out.total_parallel_time =
-          sat_add(out.total_parallel_time, report.parallel_time());
-    }
-    out.loops.push_back(std::move(report));
-  }
+  for (std::size_t i = 0; i < reports.size(); ++i)
+    core_detail::fold_loop_report(out, i, std::move(reports[i]));
   return out;
 }
 

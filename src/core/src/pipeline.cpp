@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "sbmp/dfg/redundancy.h"
+#include "sbmp/sched/stats.h"
 #include "sbmp/support/overflow.h"
 
 namespace sbmp {
@@ -15,6 +16,24 @@ LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
   report.loop = loop;
   report.deps = analyze_dependences(loop);
   report.doall = report.deps.is_doall();
+  if (!report.deps.is_synchronizable()) {
+    // An irregular (non-constant-distance) carried dependence cannot be
+    // expressed as Wait(S, i-d); compiling the loop anyway would emit
+    // code with a silent cross-iteration race. Refuse, structurally.
+    std::string which;
+    for (const auto& dep : report.deps.deps) {
+      if (dep.loop_carried() && !dep.constant_distance) {
+        if (!which.empty()) which += "; ";
+        which += dep.to_string();
+      }
+    }
+    throw StatusError(Status::error(
+        StatusCode::kInput, "sync",
+        "loop '" + loop.name +
+            "' has irregular loop-carried dependences that uniform "
+            "Wait(S, i-d) synchronization cannot express: " +
+            which));
+  }
   report.synced = insert_synchronization(loop, report.deps, options.sync);
   report.tac = generate_tac(report.synced);
   if (options.eliminate_redundant_waits) {
@@ -63,7 +82,124 @@ LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
         report.tac, *report.dfg, report.schedule, options.machine,
         sim_options, carried);
   }
+  if (options.validate)
+    report.validation_violations = validate_pipeline(report, options);
+  if (!report.valid()) {
+    const auto count = report.schedule_violations.size() +
+                       report.ordering_violations.size() +
+                       report.validation_violations.size();
+    const std::string& first = !report.validation_violations.empty()
+                                   ? report.validation_violations.front()
+                               : !report.schedule_violations.empty()
+                                   ? report.schedule_violations.front()
+                                   : report.ordering_violations.front();
+    report.status = Status::error(
+        StatusCode::kValidation, "validate",
+        "loop '" + report.name + "': " + std::to_string(count) +
+            " validation violation(s); first: " + first);
+  }
   return report;
+}
+
+std::vector<std::string> validate_pipeline(const LoopReport& report,
+                                           const PipelineOptions& options) {
+  std::vector<std::string> violations;
+  const auto complain = [&](std::string msg) {
+    violations.push_back(std::move(msg));
+  };
+  if (!report.dfg.has_value()) {
+    complain("validate_pipeline: report carries no DFG (not produced by "
+             "run_pipeline)");
+    return violations;
+  }
+  const Dfg& dfg = *report.dfg;
+  const int net = options.machine.signal_latency;
+  const std::int64_t n = options.resolved_iterations(report.loop);
+  const std::int64_t iter_time = report.sim.iteration_time;
+
+  // Layer crossing 1: code against the sync layer's operations.
+  for (auto& msg : verify_sync_pairing(
+           report.tac, report.synced,
+           options.eliminate_redundant_waits || report.waits_eliminated > 0))
+    complain(std::move(msg));
+
+  // Layer crossing 2: schedule against the paper's two synchronization
+  // conditions, re-resolved from the sync layer (not DFG arcs).
+  for (auto& msg :
+       verify_sync_conditions(report.tac, report.synced, report.schedule))
+    complain(std::move(msg));
+
+  // Layer crossing 3: LBD/LFD classification consistency between the
+  // schedule's slot geometry, the analytic model, and the schedule
+  // statistics.
+  bool all_lfd = true;
+  for (const auto& pair : dfg.pairs()) {
+    const int send_slot = report.schedule.slot(pair.send_instr);
+    const int wait_slot = report.schedule.slot(pair.wait_instr);
+    const std::int64_t shift =
+        static_cast<std::int64_t>(send_slot) + net - wait_slot;
+    const bool lfd = shift <= 0;
+    const std::int64_t analytic = lbd_parallel_time(
+        n, pair.distance, send_slot, wait_slot, iter_time, net);
+    if (n > 0 && lfd && analytic != iter_time)
+      complain("pair S" + std::to_string(pair.signal_stmt) +
+               " classifies LFD (slots " + std::to_string(send_slot) +
+               " -> " + std::to_string(wait_slot) +
+               ") but the analytic model predicts " +
+               std::to_string(analytic) + " != iteration time " +
+               std::to_string(iter_time));
+    if (!lfd) {
+      all_lfd = false;
+      if (n - 1 >= pair.distance &&
+          analytic < sat_add(iter_time, shift))
+        complain("pair S" + std::to_string(pair.signal_stmt) +
+                 " classifies LBD with span shift " + std::to_string(shift) +
+                 " but the analytic model predicts only " +
+                 std::to_string(analytic) + " cycles");
+    }
+  }
+  const ScheduleStats stats = compute_schedule_stats(
+      report.tac, dfg, report.schedule, options.machine);
+  if (net == 1 && (stats.worst_sync_span <= 0) != all_lfd)
+    complain("schedule stats report worst sync span " +
+             std::to_string(stats.worst_sync_span) +
+             " but the analytic classification says " +
+             (all_lfd ? "all pairs LFD" : "an LBD pair exists"));
+
+  // Layer crossing 4: analytic model against the simulated cycle count.
+  if (n > 0) {
+    // The LBD chain bound is derived for send-at-or-after-wait slots;
+    // with net > 1 a pair can have positive shift with the send slotted
+    // before the wait, where the chaining argument (and so the bound)
+    // does not apply — restrict to pairs it covers.
+    std::int64_t bound = iter_time;
+    for (const auto& pair : dfg.pairs()) {
+      const int send_slot = report.schedule.slot(pair.send_instr);
+      const int wait_slot = report.schedule.slot(pair.wait_instr);
+      if (net != 1 && send_slot < wait_slot) continue;
+      bound = std::max(bound,
+                       lbd_parallel_time(n, pair.distance, send_slot,
+                                         wait_slot, iter_time, net));
+    }
+    if (sat_add(report.sim.parallel_time, options.validate_tolerance) < bound)
+      complain("simulated parallel time " +
+               std::to_string(report.sim.parallel_time) +
+               " beats the analytic lower bound " + std::to_string(bound) +
+               " (tolerance " + std::to_string(options.validate_tolerance) +
+               "): the simulation and the model disagree");
+    const int procs = options.processors;
+    if (all_lfd && (procs <= 0 || procs >= n) &&
+        report.sim.parallel_time >
+            sat_add(iter_time, options.validate_tolerance))
+      complain("all synchronization pairs are LFD on " +
+               std::string(procs <= 0 ? "one processor per iteration"
+                                      : "enough processors") +
+               ", so the loop must run in the isolated iteration time " +
+               std::to_string(iter_time) + ", yet it simulated at " +
+               std::to_string(report.sim.parallel_time) + " (tolerance " +
+               std::to_string(options.validate_tolerance) + ")");
+  }
+  return violations;
 }
 
 LoopReport run_pipeline(const PreLoop& pre, const PipelineOptions& options) {
@@ -75,11 +211,45 @@ LoopReport run_pipeline(const PreLoop& pre, const PipelineOptions& options) {
   return report;
 }
 
-ProgramReport run_pipeline(const Program& program,
-                           const PipelineOptions& options) {
-  ProgramReport out;
-  for (const auto& loop : program.loops) {
-    LoopReport report = run_pipeline(loop, options);
+StatusCode ProgramReport::worst_status() const {
+  StatusCode worst = StatusCode::kOk;
+  for (const auto& loop : loops) worst = worst_code(worst, loop.status.code);
+  return worst;
+}
+
+namespace core_detail {
+
+LoopReport run_pipeline_caught(const Loop& loop,
+                               const PipelineOptions& options) {
+  try {
+    return run_pipeline(loop, options);
+  } catch (const StatusError& e) {
+    LoopReport stub;
+    stub.name = loop.name;
+    stub.loop = loop;
+    stub.status = e.status();
+    return stub;
+  } catch (const SbmpError& e) {
+    // A stage threw a bare string error: the input does not explain it,
+    // so classify as internal rather than guessing.
+    LoopReport stub;
+    stub.name = loop.name;
+    stub.loop = loop;
+    stub.status = Status::error(StatusCode::kInternal, "pipeline", e.what());
+    return stub;
+  }
+}
+
+void fold_loop_report(ProgramReport& out, std::size_t index,
+                      LoopReport report) {
+  if (!report.status.ok()) {
+    out.failures.push_back({static_cast<std::int64_t>(index),
+                            report.status.to_string()});
+  }
+  // A loop that simulated contributes to the totals even when it failed
+  // validation (the numbers exist and are being reported alongside the
+  // failure); a stub from a thrown stage has no DFG and no numbers.
+  if (report.dfg.has_value()) {
     if (report.doall) {
       ++out.doall_loops;
     } else {
@@ -87,7 +257,19 @@ ProgramReport run_pipeline(const Program& program,
       out.total_parallel_time =
           sat_add(out.total_parallel_time, report.parallel_time());
     }
-    out.loops.push_back(std::move(report));
+  }
+  out.loops.push_back(std::move(report));
+}
+
+}  // namespace core_detail
+
+ProgramReport run_pipeline(const Program& program,
+                           const PipelineOptions& options) {
+  ProgramReport out;
+  for (std::size_t i = 0; i < program.loops.size(); ++i) {
+    core_detail::fold_loop_report(
+        out, i,
+        core_detail::run_pipeline_caught(program.loops[i], options));
   }
   return out;
 }

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sbmp/codegen/tac.h"
+#include "sbmp/machine/machine.h"
+#include "sbmp/sched/schedule.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+
+/// Sig/Wat pairing integrity, checked against the synchronization
+/// layer's SyncedLoop rather than the TAC's own cross-references: every
+/// Wait_Signal must consume exactly one Send_Signal on its stream with a
+/// consistent distance, every wait/send must trace back to a sync-layer
+/// operation, and every sync-layer operation must be realized in the
+/// code (waits may legally disappear only when `waits_eliminated` — the
+/// pipeline ran redundant-wait elimination). A wait whose send is
+/// missing would simply never block in hardware, silently losing the
+/// dependence, so it is an error here rather than a runtime hazard.
+[[nodiscard]] std::vector<std::string> verify_sync_pairing(
+    const TacFunction& tac, const SyncedLoop& synced,
+    bool waits_eliminated = false);
+
+/// The paper's two synchronization conditions, checked directly against
+/// the source/sink access instructions re-resolved from the SyncedLoop
+/// (statement id, array, subscript, access kind) — deliberately NOT via
+/// the DFG's kSync arcs or the TAC's guarded_instrs, so a dropped or
+/// corrupted arc is itself detected:
+///  1. a Send_Signal never issues before (or with) its source access:
+///     slot(send) >= slot(src) + 1;
+///  2. a Wait_Signal never issues after (or with) its sink access:
+///     slot(snk) >= slot(wait) + 1.
+/// Waits absent from the TAC are skipped (redundant-wait elimination);
+/// pairing integrity is verify_sync_pairing's concern.
+[[nodiscard]] std::vector<std::string> verify_sync_conditions(
+    const TacFunction& tac, const SyncedLoop& synced,
+    const Schedule& schedule);
+
+}  // namespace sbmp

@@ -28,12 +28,14 @@ namespace sbmp {
 
 /// Lower bound on the parallel time of `schedule` with `n` iterations:
 /// the worst single-pair LBD term over all synchronization pairs plus
-/// the isolated iteration time. Exact for single-pair unit-latency
-/// loops; a valid lower bound otherwise.
+/// the isolated iteration time, evaluated at the machine's
+/// `signal_latency` (the paper's model: 1). Exact for single-pair
+/// unit-latency loops; a valid lower bound otherwise.
 [[nodiscard]] std::int64_t analytic_lower_bound(const Dfg& dfg,
                                                 const Schedule& schedule,
                                                 std::int64_t n,
-                                                std::int64_t iteration_time);
+                                                std::int64_t iteration_time,
+                                                int signal_latency = 1);
 
 /// The longest synchronization span of a schedule: max over pairs of
 /// (send slot - wait slot + 1), or 0 when every pair is LFD. This is the

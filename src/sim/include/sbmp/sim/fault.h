@@ -1,0 +1,134 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sbmp/sim/simulator.h"
+
+namespace sbmp {
+
+/// A deterministic, seeded perturbation of *legal* multiprocessor
+/// timing. Every fault only delays events — a signal still arrives no
+/// earlier than send + signal_latency, a result is never ready before
+/// its static latency — so any schedule whose synchronization is
+/// correct must survive every plan with zero staleness violations,
+/// while a schedule with a broken sync arc will be exposed once the
+/// timing it silently relied on is perturbed. All draws are pure
+/// functions of (seed, iteration, instruction), so a plan replays
+/// identically across runs and platforms. See docs/robustness.md for
+/// the fault model.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  /// Per-instruction-instance result latency jitter: with probability
+  /// `latency_jitter_percent`/100 an instance's result is delayed by
+  /// 1..latency_jitter_max extra cycles (consumers and the result drain
+  /// see the same delay).
+  int latency_jitter_percent = 0;
+  int latency_jitter_max = 0;
+  /// Per-send-instance delivery delay beyond signal_latency, modeling a
+  /// congested synchronization network (signals may thereby overtake
+  /// one another across streams — reordered delivery).
+  int signal_delay_percent = 0;
+  int signal_delay_max = 0;
+  /// Transient per-group issue stalls (cache miss, arbitration loss).
+  int stall_percent = 0;
+  int stall_max = 0;
+  /// Bounded signal buffer per signal stream: the wait of iteration k
+  /// cannot complete before the wait of iteration k - capacity on the
+  /// same stream has issued (FIFO buffer of `capacity` undelivered
+  /// signals; 0 = unbounded).
+  int signal_buffer_capacity = 0;
+
+  [[nodiscard]] bool active() const {
+    return latency_jitter_percent > 0 || signal_delay_percent > 0 ||
+           stall_percent > 0 || signal_buffer_capacity > 0;
+  }
+
+  /// An aggressive default plan exercising every fault class at once.
+  [[nodiscard]] static FaultPlan adversarial(std::uint64_t seed);
+};
+
+/// Result of one faulted run.
+struct FaultSimResult {
+  SimResult sim;
+  /// Number of fault events the plan actually injected (lets callers
+  /// assert that a campaign exercised the machine, not a no-op plan).
+  std::int64_t fault_events = 0;
+  /// Staleness-oracle violations; empty means every cross-iteration
+  /// read observed its dependence-mandated value under this timing.
+  std::vector<std::string> staleness;
+};
+
+/// Simulates `schedule` under `plan` and runs the staleness oracle: the
+/// oracle replays all memory accesses in perturbed issue-cycle order,
+/// tracks the latest writer iteration of every (array, element), and
+/// flags any read that a carried flow dependence obliges to observe the
+/// value of iteration k-d but that issues before that write (a stale
+/// read), plus anti/output instances whose source does not strictly
+/// precede their sink (live data overwritten / write order inverted).
+/// `carried` is the loop-carried slice of the dependence analysis. The
+/// oracle examines min(iterations, 65536) iterations.
+[[nodiscard]] FaultSimResult simulate_with_faults(
+    const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
+    const MachineConfig& config, const SimOptions& options,
+    const std::vector<Dependence>& carried, const FaultPlan& plan);
+
+/// Aggregate of a multi-trial perturbation campaign.
+struct FaultCampaign {
+  int trials = 0;
+  int dirty_trials = 0;  ///< trials with at least one staleness violation
+  std::int64_t total_violations = 0;
+  std::int64_t fault_events = 0;
+  std::int64_t base_parallel_time = 0;  ///< unperturbed parallel time
+  std::int64_t max_parallel_time = 0;   ///< worst over all trials
+  std::vector<std::string> sample;      ///< first few violation messages
+
+  /// True when no trial saw a violation (what a valid schedule must
+  /// achieve) — the complement of detected().
+  [[nodiscard]] bool clean() const { return dirty_trials == 0; }
+  [[nodiscard]] bool detected() const { return dirty_trials > 0; }
+};
+
+/// Runs `trials` seeded variations of `shape` (same knobs, per-trial
+/// seeds derived from shape.seed) plus one unperturbed baseline run,
+/// aggregating oracle results.
+[[nodiscard]] FaultCampaign run_fault_campaign(
+    const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
+    const MachineConfig& config, const SimOptions& options,
+    const std::vector<Dependence>& carried, const FaultPlan& shape,
+    int trials);
+
+/// Deliberate synchronization breakage for detection tests and demos:
+/// each mutation violates exactly one of the paper's two sync
+/// conditions (or removes the arc that enforces them) while keeping the
+/// schedule structurally well-formed.
+enum class ScheduleMutation {
+  kHoistSend,  ///< move a Send_Signal to a new first group, before its Src
+  kSinkWait,   ///< move a Wait_Signal to a new last group, after its Snk
+  kDropArc,    ///< clear a wait's guard set and list-schedule the arcless DFG
+};
+
+[[nodiscard]] const char* mutation_name(ScheduleMutation m);
+[[nodiscard]] std::optional<ScheduleMutation> parse_mutation(
+    std::string_view name);
+
+/// Applies `m`. kHoistSend/kSinkWait rewrite `schedule` in place;
+/// kDropArc clears the guarded-instruction set of one wait in `tac`,
+/// rebuilds `dfg` from the mutilated function and replaces `schedule`
+/// with a list schedule of it (the dropped-arc scenario: a compiler bug
+/// loses a synchronization-condition arc and the scheduler reorders
+/// across it) — and when the scheduler's priorities accidentally keep
+/// the order anyway, the first freed sink access is hoisted to a new
+/// front group so the lost constraint is actually exploited. Returns
+/// false when the function has no synchronization to break (nothing was
+/// changed).
+[[nodiscard]] bool apply_schedule_mutation(ScheduleMutation m,
+                                           TacFunction& tac,
+                                           std::optional<Dfg>& dfg,
+                                           Schedule& schedule,
+                                           const MachineConfig& config);
+
+}  // namespace sbmp

@@ -23,15 +23,15 @@ std::int64_t lbd_parallel_time(std::int64_t n, std::int64_t d, int send_slot,
 }
 
 std::int64_t analytic_lower_bound(const Dfg& dfg, const Schedule& schedule,
-                                  std::int64_t n,
-                                  std::int64_t iteration_time) {
+                                  std::int64_t n, std::int64_t iteration_time,
+                                  int signal_latency) {
   std::int64_t worst = iteration_time;
   for (const auto& pair : dfg.pairs()) {
     worst = std::max(
         worst, lbd_parallel_time(n, pair.distance,
                                  schedule.slot(pair.send_instr),
                                  schedule.slot(pair.wait_instr),
-                                 iteration_time));
+                                 iteration_time, signal_latency));
   }
   return worst;
 }

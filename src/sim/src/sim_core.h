@@ -1,0 +1,254 @@
+#pragma once
+
+// Internal shared core of the cycle-accurate simulator. Included by
+// simulator.cpp (unfaulted entry points) and fault.cpp (fault-injection
+// mode); not installed. With `faults == nullptr` the core is exactly
+// the pre-fault simulator — every fault hook is a no-op — so the two
+// modes cannot drift apart.
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "sbmp/sim/fault.h"
+#include "sbmp/sim/simulator.h"
+#include "sbmp/support/overflow.h"
+#include "sbmp/support/rng.h"
+
+namespace sbmp {
+namespace sim_detail {
+
+/// Issue times of one iteration.
+struct IterTimes {
+  std::vector<std::int64_t> group_issue;
+  std::int64_t finish = 0;      ///< cycle the last result is available
+  std::int64_t last_issue = 0;  ///< issue cycle of the final group
+  std::int64_t start = 0;
+};
+
+struct SimCore {
+  const TacFunction& tac;
+  const Dfg& dfg;
+  const Schedule& schedule;
+  const MachineConfig& config;
+  const SimOptions& options;
+  /// Optional timing perturbation; nullptr = exact base semantics.
+  const FaultPlan* faults = nullptr;
+  /// Injected-fault counter (meaningful only with faults set).
+  std::int64_t fault_events = 0;
+
+  std::int64_t n = 0;
+  int window = 1;                      ///< ring size over iterations
+  std::vector<IterTimes> ring;
+  std::map<int, int> send_slot;        ///< signal stmt -> group index
+  /// Send issue cycles per iteration (ring-indexed) per signal stmt.
+  std::vector<std::map<int, std::int64_t>> send_times;
+  /// Wait issue cycles per iteration (ring-indexed) per signal stmt;
+  /// maintained only under faults (bounded signal-buffer model).
+  std::vector<std::map<int, std::int64_t>> wait_times;
+  std::int64_t max_wait_distance = 0;
+
+  SimCore(const TacFunction& t, const Dfg& d, const Schedule& s,
+          const MachineConfig& c, const SimOptions& o,
+          const FaultPlan* f = nullptr)
+      : tac(t), dfg(d), schedule(s), config(c), options(o), faults(f) {
+    // Degenerate inputs are pinned here: negative iteration/processor
+    // counts clamp to the zero-trip / one-per-iteration cases, and the
+    // ring never exceeds the n + 1 rows a run can actually touch (so
+    // `processors > iterations` cannot size it past the trip count).
+    n = std::max<std::int64_t>(options.iterations, 0);
+    for (const auto& instr : tac.instrs) {
+      if (instr.op == Opcode::kSend)
+        send_slot[instr.signal_stmt] = schedule.slot(instr.id);
+      if (instr.op == Opcode::kWait)
+        max_wait_distance = std::max(max_wait_distance, instr.sync_distance);
+    }
+    const std::int64_t procs = std::max(options.processors, 0);
+    std::int64_t rows = std::max<std::int64_t>(
+        {sat_add(max_wait_distance, 1), procs + 1, 2});
+    if (faults != nullptr && faults->signal_buffer_capacity > 0) {
+      // The bounded-buffer constraint reaches back `capacity` waits.
+      rows = std::max<std::int64_t>(
+          rows, static_cast<std::int64_t>(faults->signal_buffer_capacity) + 1);
+    }
+    rows = std::min(rows, sat_add(n, 1));
+    window = static_cast<int>(std::max<std::int64_t>(rows, 1));
+    ring.assign(static_cast<std::size_t>(window), {});
+    send_times.assign(static_cast<std::size_t>(window), {});
+    if (faults != nullptr)
+      wait_times.assign(static_cast<std::size_t>(window), {});
+  }
+
+  [[nodiscard]] IterTimes& row(std::int64_t k) {
+    return ring[static_cast<std::size_t>(k % window)];
+  }
+
+  /// Deterministic draw for fault decisions: a pure function of (plan
+  /// seed, iteration, instruction id, salt), so a plan replays exactly.
+  [[nodiscard]] std::uint64_t draw(std::int64_t k, int id,
+                                   std::uint64_t salt) const {
+    SplitMix64 rng(faults->seed ^
+                   (static_cast<std::uint64_t>(k) * 0x9e3779b97f4a7c15ull) ^
+                   (static_cast<std::uint64_t>(id) * 0xbf58476d1ce4e5b9ull) ^
+                   salt);
+    return rng.next();
+  }
+
+  /// Extra result latency of instance (k, id); consumers and the result
+  /// drain see the same value, keeping the perturbation self-consistent.
+  [[nodiscard]] std::int64_t result_jitter(std::int64_t k, int id) {
+    if (faults == nullptr || faults->latency_jitter_percent <= 0 ||
+        faults->latency_jitter_max <= 0)
+      return 0;
+    const std::uint64_t h = draw(k, id, 0x6a09e667f3bcc909ull);
+    if (static_cast<int>(h % 100) >= faults->latency_jitter_percent) return 0;
+    return 1 + static_cast<std::int64_t>(
+                   (h >> 32) %
+                   static_cast<std::uint64_t>(faults->latency_jitter_max));
+  }
+
+  /// Extra delivery delay of the signal sent for `signal_stmt` by
+  /// iteration `src_iter`.
+  [[nodiscard]] std::int64_t signal_delay(std::int64_t src_iter,
+                                          int signal_stmt) {
+    if (faults == nullptr || faults->signal_delay_percent <= 0 ||
+        faults->signal_delay_max <= 0)
+      return 0;
+    const std::uint64_t h = draw(src_iter, signal_stmt, 0xbb67ae8584caa73bull);
+    if (static_cast<int>(h % 100) >= faults->signal_delay_percent) return 0;
+    return 1 + static_cast<std::int64_t>(
+                   (h >> 32) %
+                   static_cast<std::uint64_t>(faults->signal_delay_max));
+  }
+
+  /// Transient issue stall of group g in iteration k.
+  [[nodiscard]] std::int64_t issue_stall(std::int64_t k, int g) {
+    if (faults == nullptr || faults->stall_percent <= 0 ||
+        faults->stall_max <= 0)
+      return 0;
+    const std::uint64_t h = draw(k, g, 0x3c6ef372fe94f82bull);
+    if (static_cast<int>(h % 100) >= faults->stall_percent) return 0;
+    return 1 + static_cast<std::int64_t>(
+                   (h >> 32) % static_cast<std::uint64_t>(faults->stall_max));
+  }
+
+  /// Runs all iterations; `hook(k)` fires after iteration k's times are
+  /// final (rows of iterations in (k-window, k] are still available).
+  SimResult run(const std::function<void(std::int64_t)>& hook) {
+    SimResult result;
+    result.schedule_length = schedule.length();
+    const int procs = options.processors;
+    const int buffer_capacity =
+        faults != nullptr ? faults->signal_buffer_capacity : 0;
+
+    for (std::int64_t k = 0; k < n; ++k) {
+      IterTimes& times = row(k);
+      times.group_issue.assign(
+          static_cast<std::size_t>(schedule.length()), 0);
+      std::int64_t start = 0;
+      // A processor's issue stage frees the cycle after it issues the
+      // previous iteration's last group (results drain in the pipelined
+      // function units while the next iteration starts).
+      if (procs > 0 && k >= procs)
+        start = sat_add(row(k - procs).last_issue, 1);
+      times.start = start;
+
+      std::int64_t prev = start - 1;
+      std::int64_t finish = start;
+      std::int64_t stalls = 0;
+      auto& sends = send_times[static_cast<std::size_t>(k % window)];
+      sends.clear();
+      std::map<int, std::int64_t>* waits = nullptr;
+      if (faults != nullptr) {
+        waits = &wait_times[static_cast<std::size_t>(k % window)];
+        waits->clear();
+      }
+      for (int g = 0; g < schedule.length(); ++g) {
+        std::int64_t t = prev + 1;
+        for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
+          // Operand readiness (same-iteration DFG predecessors).
+          for (const auto& e : dfg.preds(id)) {
+            std::int64_t ready =
+                times.group_issue[static_cast<std::size_t>(
+                    schedule.slot(e.from))] +
+                e.latency;
+            if (faults != nullptr) {
+              const std::int64_t jitter = result_jitter(k, e.from);
+              if (jitter > 0) {
+                ready = sat_add(ready, jitter);
+                ++fault_events;
+              }
+            }
+            if (ready > t) t = ready;
+          }
+          // Signal readiness for waits.
+          const auto& instr = tac.by_id(id);
+          if (instr.op == Opcode::kWait) {
+            const std::int64_t src_iter = k - instr.sync_distance;
+            if (src_iter >= 0 && send_slot.count(instr.signal_stmt)) {
+              const auto& src_sends =
+                  send_times[static_cast<std::size_t>(src_iter % window)];
+              const auto it = src_sends.find(instr.signal_stmt);
+              if (it != src_sends.end()) {
+                std::int64_t arrival = it->second + config.signal_latency;
+                if (faults != nullptr) {
+                  const std::int64_t delay =
+                      signal_delay(src_iter, instr.signal_stmt);
+                  if (delay > 0) {
+                    arrival = sat_add(arrival, delay);
+                    ++fault_events;
+                  }
+                }
+                if (arrival > t) t = arrival;
+              }
+            }
+            // Bounded signal buffer: the FIFO slot for this stream only
+            // frees once the wait `capacity` iterations back has issued.
+            if (buffer_capacity > 0 && k >= buffer_capacity) {
+              const auto& old_waits = wait_times[static_cast<std::size_t>(
+                  (k - buffer_capacity) % window)];
+              const auto it = old_waits.find(instr.signal_stmt);
+              if (it != old_waits.end() && it->second + 1 > t) {
+                t = it->second + 1;
+                ++fault_events;
+              }
+            }
+          }
+        }
+        if (faults != nullptr) {
+          const std::int64_t stall = issue_stall(k, g);
+          if (stall > 0) {
+            t = sat_add(t, stall);
+            ++fault_events;
+          }
+        }
+        times.group_issue[static_cast<std::size_t>(g)] = t;
+        stalls += t - (prev + 1);
+        prev = t;
+        // Track result drain and record sends/waits.
+        for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
+          const auto& instr = tac.by_id(id);
+          std::int64_t done = sat_add(t, config.latency(instr.op));
+          if (faults != nullptr)
+            done = sat_add(done, result_jitter(k, id));
+          if (done > finish) finish = done;
+          if (instr.op == Opcode::kSend) sends[instr.signal_stmt] = t;
+          if (waits != nullptr && instr.op == Opcode::kWait)
+            (*waits)[instr.signal_stmt] = t;
+        }
+      }
+      times.finish = finish;
+      times.last_issue = prev;
+      result.stall_cycles = sat_add(result.stall_cycles, stalls);
+      if (finish > result.parallel_time) result.parallel_time = finish;
+      if (k == 0) result.iteration_time = finish - start;
+      if (hook) hook(k);
+    }
+    return result;
+  }
+};
+
+}  // namespace sim_detail
+}  // namespace sbmp

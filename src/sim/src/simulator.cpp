@@ -2,136 +2,12 @@
 
 #include <algorithm>
 #include <functional>
-#include <map>
 
-#include "sbmp/support/overflow.h"
+#include "sim_core.h"
 
 namespace sbmp {
 
-namespace {
-
-/// Issue times of one iteration.
-struct IterTimes {
-  std::vector<std::int64_t> group_issue;
-  std::int64_t finish = 0;      ///< cycle the last result is available
-  std::int64_t last_issue = 0;  ///< issue cycle of the final group
-  std::int64_t start = 0;
-};
-
-struct SimCore {
-  const TacFunction& tac;
-  const Dfg& dfg;
-  const Schedule& schedule;
-  const MachineConfig& config;
-  const SimOptions& options;
-
-  std::int64_t n = 0;
-  int window = 1;                      ///< ring size over iterations
-  std::vector<IterTimes> ring;
-  std::map<int, int> send_slot;        ///< signal stmt -> group index
-  /// Send issue cycles per iteration (ring-indexed) per signal stmt.
-  std::vector<std::map<int, std::int64_t>> send_times;
-  std::int64_t max_wait_distance = 0;
-
-  explicit SimCore(const TacFunction& t, const Dfg& d, const Schedule& s,
-                   const MachineConfig& c, const SimOptions& o)
-      : tac(t), dfg(d), schedule(s), config(c), options(o) {
-    // Degenerate inputs are pinned here: negative iteration/processor
-    // counts clamp to the zero-trip / one-per-iteration cases, and the
-    // ring never exceeds the n + 1 rows a run can actually touch (so
-    // `processors > iterations` cannot size it past the trip count).
-    n = std::max<std::int64_t>(options.iterations, 0);
-    for (const auto& instr : tac.instrs) {
-      if (instr.op == Opcode::kSend)
-        send_slot[instr.signal_stmt] = schedule.slot(instr.id);
-      if (instr.op == Opcode::kWait)
-        max_wait_distance = std::max(max_wait_distance, instr.sync_distance);
-    }
-    const std::int64_t procs = std::max(options.processors, 0);
-    std::int64_t rows = std::max<std::int64_t>(
-        {sat_add(max_wait_distance, 1), procs + 1, 2});
-    rows = std::min(rows, sat_add(n, 1));
-    window = static_cast<int>(std::max<std::int64_t>(rows, 1));
-    ring.assign(static_cast<std::size_t>(window), {});
-    send_times.assign(static_cast<std::size_t>(window), {});
-  }
-
-  [[nodiscard]] IterTimes& row(std::int64_t k) {
-    return ring[static_cast<std::size_t>(k % window)];
-  }
-
-  /// Runs all iterations; `hook(k)` fires after iteration k's times are
-  /// final (rows of iterations in (k-window, k] are still available).
-  SimResult run(const std::function<void(std::int64_t)>& hook) {
-    SimResult result;
-    result.schedule_length = schedule.length();
-    const int procs = options.processors;
-
-    for (std::int64_t k = 0; k < n; ++k) {
-      IterTimes& times = row(k);
-      times.group_issue.assign(
-          static_cast<std::size_t>(schedule.length()), 0);
-      std::int64_t start = 0;
-      // A processor's issue stage frees the cycle after it issues the
-      // previous iteration's last group (results drain in the pipelined
-      // function units while the next iteration starts).
-      if (procs > 0 && k >= procs)
-        start = sat_add(row(k - procs).last_issue, 1);
-      times.start = start;
-
-      std::int64_t prev = start - 1;
-      std::int64_t finish = start;
-      std::int64_t stalls = 0;
-      auto& sends = send_times[static_cast<std::size_t>(k % window)];
-      sends.clear();
-      for (int g = 0; g < schedule.length(); ++g) {
-        std::int64_t t = prev + 1;
-        for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
-          // Operand readiness (same-iteration DFG predecessors).
-          for (const auto& e : dfg.preds(id)) {
-            const std::int64_t ready =
-                times.group_issue[static_cast<std::size_t>(
-                    schedule.slot(e.from))] +
-                e.latency;
-            if (ready > t) t = ready;
-          }
-          // Signal readiness for waits.
-          const auto& instr = tac.by_id(id);
-          if (instr.op == Opcode::kWait) {
-            const std::int64_t src_iter = k - instr.sync_distance;
-            if (src_iter >= 0 && send_slot.count(instr.signal_stmt)) {
-              const auto& src_sends =
-                  send_times[static_cast<std::size_t>(src_iter % window)];
-              const auto it = src_sends.find(instr.signal_stmt);
-              if (it != src_sends.end() &&
-                  it->second + config.signal_latency > t)
-                t = it->second + config.signal_latency;
-            }
-          }
-        }
-        times.group_issue[static_cast<std::size_t>(g)] = t;
-        stalls += t - (prev + 1);
-        prev = t;
-        // Track result drain and record sends.
-        for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
-          const auto& instr = tac.by_id(id);
-          const std::int64_t done = sat_add(t, config.latency(instr.op));
-          if (done > finish) finish = done;
-          if (instr.op == Opcode::kSend) sends[instr.signal_stmt] = t;
-        }
-      }
-      times.finish = finish;
-      times.last_issue = prev;
-      result.stall_cycles = sat_add(result.stall_cycles, stalls);
-      if (finish > result.parallel_time) result.parallel_time = finish;
-      if (k == 0) result.iteration_time = finish - start;
-      if (hook) hook(k);
-    }
-    return result;
-  }
-};
-
-}  // namespace
+using sim_detail::SimCore;
 
 SimResult simulate(const TacFunction& tac, const Dfg& dfg,
                    const Schedule& schedule, const MachineConfig& config,

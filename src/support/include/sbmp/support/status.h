@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sbmp/support/diagnostics.h"
+
+namespace sbmp {
+
+/// Failure classes of the pipeline, ordered by severity. The numeric
+/// value IS the process exit code of `sbmpc` (see docs/robustness.md):
+/// 0 = success, 1 = input diagnostics (parse/restructure/unsupported
+/// input), 2 = usage error, 3 = validation failure (a produced schedule
+/// failed the cross-layer validator), 4 = internal error (a stage threw
+/// something the input does not explain).
+enum class StatusCode : int {
+  kOk = 0,
+  kInput = 1,
+  kUsage = 2,
+  kValidation = 3,
+  kInternal = 4,
+};
+
+[[nodiscard]] const char* status_code_name(StatusCode code);
+
+/// Process exit code for a status code (the identity mapping, kept as a
+/// named function so call sites document intent and the contract has a
+/// single definition to test against).
+[[nodiscard]] constexpr int exit_code(StatusCode code) {
+  return static_cast<int>(code);
+}
+
+/// The worse (higher-numbered) of two codes; used to fold many per-loop
+/// failures into one process exit code.
+[[nodiscard]] constexpr StatusCode worst_code(StatusCode a, StatusCode b) {
+  return static_cast<int>(a) >= static_cast<int>(b) ? a : b;
+}
+
+/// One structured pipeline outcome: a code, the stage that produced it,
+/// and a human-readable message. Carried through the pipeline engines in
+/// place of bare SbmpError strings so callers can aggregate failures,
+/// keep partial results, and map outcomes to exit codes without string
+/// matching.
+struct Status {
+  StatusCode code = StatusCode::kOk;
+  std::string stage;  ///< e.g. "restructure", "validate"; empty when ok.
+  std::string message;
+
+  [[nodiscard]] bool ok() const { return code == StatusCode::kOk; }
+  /// "validation error in sched: ..." rendering; empty string when ok.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] static Status okay() { return {}; }
+  [[nodiscard]] static Status error(StatusCode code, std::string stage,
+                                    std::string message) {
+    return {code, std::move(stage), std::move(message)};
+  }
+};
+
+/// Exception form of a Status for boundaries that must still throw (the
+/// single-loop `run_pipeline` entry points keep their throwing
+/// contract). Catch sites recover the structured code instead of
+/// pattern-matching what().
+class StatusError : public SbmpError {
+ public:
+  explicit StatusError(Status status)
+      : SbmpError(status.to_string()), status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// One failed index of a parallel_for batch.
+struct IndexedFailure {
+  std::int64_t index = 0;
+  std::string message;
+};
+
+/// Aggregate thrown by parallel_for when more than one body failed:
+/// every failure is surfaced, sorted by index, so one bad item in a
+/// batch can no longer hide the others. A single failure rethrows the
+/// original exception instead (type-preserving).
+class ParallelForError : public SbmpError {
+ public:
+  explicit ParallelForError(std::vector<IndexedFailure> failures);
+
+  [[nodiscard]] const std::vector<IndexedFailure>& failures() const {
+    return failures_;
+  }
+
+ private:
+  std::vector<IndexedFailure> failures_;
+};
+
+}  // namespace sbmp

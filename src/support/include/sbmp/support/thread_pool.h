@@ -66,17 +66,22 @@ class ThreadPool {
 };
 
 /// Runs `body(i)` for every i in [begin, end) on `pool`, blocking until
-/// all complete. Bodies run concurrently in unspecified order; the first
-/// exception a body throws is rethrown here after the loop drains (the
-/// remaining bodies still run). Safe to call from multiple threads
-/// sharing one pool: completion is tracked per call, not pool-wide.
+/// all complete. Bodies run concurrently in unspecified order and every
+/// body runs even after another throws. Failures are aggregated after
+/// the loop drains: exactly one failed index rethrows the original
+/// exception (type-preserving); several throw one ParallelForError
+/// (sbmp/support/status.h) listing every failed index and message in
+/// index order, so one bad item can never hide the rest of a batch.
+/// Safe to call from multiple threads sharing one pool: completion is
+/// tracked per call, not pool-wide.
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& body);
 
 /// Convenience form owning a transient pool. `jobs` <= 1 runs the loop
-/// inline on the calling thread in index order — the exact serial
-/// execution, bit-identical to a plain for loop — so callers can expose
-/// a `--jobs 1` escape hatch that bypasses threading entirely. `jobs` 0
+/// inline on the calling thread in index order — no threads are spawned,
+/// and results are bit-identical to the pool path (including the
+/// aggregate failure semantics above) — so callers can expose a
+/// `--jobs 1` escape hatch that bypasses threading entirely. `jobs` 0
 /// uses ThreadPool::default_thread_count().
 void parallel_for(int jobs, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& body);

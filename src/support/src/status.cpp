@@ -1,0 +1,49 @@
+#include "sbmp/support/status.h"
+
+namespace sbmp {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInput:
+      return "input error";
+    case StatusCode::kUsage:
+      return "usage error";
+    case StatusCode::kValidation:
+      return "validation error";
+    case StatusCode::kInternal:
+      return "internal error";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "";
+  std::string out = status_code_name(code);
+  if (!stage.empty()) {
+    out += " in ";
+    out += stage;
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+namespace {
+
+std::string render_failures(const std::vector<IndexedFailure>& failures) {
+  std::string out = "parallel_for: " + std::to_string(failures.size()) +
+                    " tasks failed:";
+  for (const auto& f : failures) {
+    out += "\n  [" + std::to_string(f.index) + "] " + f.message;
+  }
+  return out;
+}
+
+}  // namespace
+
+ParallelForError::ParallelForError(std::vector<IndexedFailure> failures)
+    : SbmpError(render_failures(failures)), failures_(std::move(failures)) {}
+
+}  // namespace sbmp

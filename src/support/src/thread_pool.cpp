@@ -5,7 +5,55 @@
 #include <system_error>
 #include <utility>
 
+#include "sbmp/support/status.h"
+
 namespace sbmp {
+
+namespace {
+
+std::string describe_current_exception() {
+  try {
+    throw;
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// Per-call failure collector shared by the pool and inline paths, so
+/// both surface every failed index identically: one failure rethrows the
+/// original exception (type-preserving, the historical contract), more
+/// than one throws a ParallelForError listing all of them by index.
+struct FailureSet {
+  std::mutex mu;
+  std::exception_ptr first;
+  std::int64_t first_index = 0;
+  std::vector<IndexedFailure> failures;
+
+  void record(std::int64_t index) {
+    const std::string message = describe_current_exception();
+    std::lock_guard<std::mutex> lock(mu);
+    if (!first || index < first_index) {
+      first = std::current_exception();
+      first_index = index;
+    }
+    failures.push_back({index, message});
+  }
+
+  [[noreturn]] void rethrow() {
+    if (failures.size() == 1) std::rethrow_exception(first);
+    std::sort(failures.begin(), failures.end(),
+              [](const IndexedFailure& a, const IndexedFailure& b) {
+                return a.index < b.index;
+              });
+    throw ParallelForError(std::move(failures));
+  }
+
+  [[nodiscard]] bool any() const { return !failures.empty(); }
+};
+
+}  // namespace
 
 int ThreadPool::default_thread_count() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -118,7 +166,7 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
     std::atomic<std::int64_t> remaining;
     std::mutex mu;
     std::condition_variable done_cv;
-    std::exception_ptr error;
+    FailureSet failures;
   };
   LoopState state;
   state.remaining.store(end - begin, std::memory_order_relaxed);
@@ -127,8 +175,7 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
       try {
         body(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state.mu);
-        if (!state.error) state.error = std::current_exception();
+        state.failures.record(i);
       }
       if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         std::lock_guard<std::mutex> lock(state.mu);
@@ -140,14 +187,24 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
   state.done_cv.wait(lock, [&state] {
     return state.remaining.load(std::memory_order_acquire) == 0;
   });
-  if (state.error) std::rethrow_exception(state.error);
+  if (state.failures.any()) state.failures.rethrow();
 }
 
 void parallel_for(int jobs, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& body) {
   const int resolved = jobs > 0 ? jobs : ThreadPool::default_thread_count();
   if (resolved <= 1 || end - begin <= 1) {
-    for (std::int64_t i = begin; i < end; ++i) body(i);
+    // The inline path must match the pool path's failure semantics: run
+    // every index even after one throws, then surface all failures.
+    FailureSet failures;
+    for (std::int64_t i = begin; i < end; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        failures.record(i);
+      }
+    }
+    if (failures.any()) failures.rethrow();
     return;
   }
   // More workers than indices would just be idle threads (and an absurd

@@ -1,16 +1,36 @@
 // Robustness sweeps: the front end must never crash, hang or corrupt
-// state on malformed input — it reports diagnostics and moves on.
+// state on malformed input — it reports diagnostics and moves on — and
+// the whole pipeline (with the cross-layer validator on) must hold its
+// invariants on arbitrary generated DOACROSS loops.
+//
+// Seed counts scale with the SBMP_FUZZ_SEEDS environment variable
+// (default 25): `SBMP_FUZZ_SEEDS=500 ctest -L fuzz` runs a deep sweep.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "sbmp/core/pipeline.h"
 #include "sbmp/frontend/lexer.h"
 #include "sbmp/frontend/parser.h"
+#include "sbmp/perfect/generator.h"
+#include "sbmp/sim/fault.h"
 #include "sbmp/support/rng.h"
 
 namespace sbmp {
 namespace {
+
+/// Seed count for every fuzz suite, overridable via SBMP_FUZZ_SEEDS
+/// (clamped to [1, 100000]).
+int fuzz_seed_count() {
+  const char* env = std::getenv("SBMP_FUZZ_SEEDS");
+  if (env == nullptr) return 25;
+  const int n = std::atoi(env);
+  if (n < 1) return 25;
+  return n > 100000 ? 100000 : n;
+}
 
 class FuzzSeed : public ::testing::TestWithParam<int> {};
 
@@ -76,7 +96,71 @@ end
   EXPECT_NO_THROW({ (void)parse_pre_program(input, diags); });
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(1, 26));
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed,
+                         ::testing::Range(1, 1 + fuzz_seed_count()));
+
+class PipelineFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzz, GeneratedLoopsValidateAndSurviveFaults) {
+  // Pipeline-level fuzzing: every generated DOACROSS loop must compile,
+  // pass the cross-layer validator, and survive an adversarial fault
+  // campaign with zero staleness — the end-to-end robustness invariant.
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
+  const Loop loop = generate_random_loop(rng, LoopGenConfig{});
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(
+      rng.range(0, 1) == 0 ? 2 : 4, static_cast<int>(rng.range(1, 2)));
+  options.iterations = 50;
+  LoopReport report;
+  try {
+    report = run_pipeline(loop, options);
+  } catch (const StatusError& e) {
+    // Irregular carried dependences are a legal refusal, not a crash.
+    EXPECT_EQ(e.status().code, StatusCode::kInput) << loop.to_string();
+    return;
+  }
+  EXPECT_TRUE(report.validation_violations.empty())
+      << loop.to_string() << "\n"
+      << (report.validation_violations.empty()
+              ? ""
+              : report.validation_violations.front());
+  if (report.doall || !report.dfg.has_value()) return;
+  SimOptions sim_options;
+  sim_options.iterations = options.resolved_iterations(report.loop);
+  std::vector<Dependence> carried;
+  for (const auto& dep : report.deps.deps)
+    if (dep.loop_carried()) carried.push_back(dep);
+  const FaultCampaign campaign = run_fault_campaign(
+      report.tac, *report.dfg, report.schedule, options.machine,
+      sim_options, carried,
+      FaultPlan::adversarial(static_cast<std::uint64_t>(GetParam())), 3);
+  EXPECT_TRUE(campaign.clean())
+      << loop.to_string() << "\n"
+      << (campaign.sample.empty() ? "" : campaign.sample.front());
+}
+
+TEST_P(PipelineFuzz, ValidationPassIsDeterministic) {
+  // The validator must be a pure function of the report: two runs over
+  // the same generated loop agree violation-for-violation.
+  SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 40503u);
+  const Loop loop = generate_random_loop(rng, LoopGenConfig{});
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(4, 1);
+  options.iterations = 50;
+  LoopReport a;
+  try {
+    a = run_pipeline(loop, options);
+  } catch (const StatusError&) {
+    return;
+  }
+  const LoopReport b = run_pipeline(loop, options);
+  EXPECT_EQ(a.validation_violations, b.validation_violations);
+  EXPECT_EQ(validate_pipeline(a, options), validate_pipeline(b, options));
+  EXPECT_EQ(a.parallel_time(), b.parallel_time());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzz,
+                         ::testing::Range(1, 1 + fuzz_seed_count()));
 
 TEST(FuzzRegression, DeepNesting) {
   std::string expr(200, '(');

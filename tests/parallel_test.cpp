@@ -7,6 +7,7 @@
 #include <string>
 
 #include "sbmp/core/parallel.h"
+#include "sbmp/frontend/parser.h"
 #include "sbmp/perfect/suite.h"
 
 namespace sbmp {
@@ -160,6 +161,66 @@ TEST(ParallelEngine, JobsOneBypassesThreading) {
   const ProgramReport report =
       run_pipeline_parallel(program, options, parallel);
   EXPECT_EQ(render(serial), render(report));
+}
+
+// A three-loop program whose middle loop carries an irregular (non-
+// constant-distance) dependence: the pipeline refuses it with a kInput
+// status while both neighbors compile normally.
+constexpr const char* kMixedBatch = R"(
+loop good_a
+doacross I = 1, 50
+  A[I] = A[I-1] + B[I]
+end
+loop broken
+doacross I = 1, 30
+  C[2*I] = C[5*I+1] + 1
+end
+loop good_b
+doacross I = 1, 50
+  D[I] = D[I-2] * c1
+end
+)";
+
+std::string render_failures(const ProgramReport& report) {
+  std::string out;
+  for (const auto& f : report.failures)
+    out += std::to_string(f.index) + ":" + f.message + "\n";
+  for (const auto& loop : report.loops)
+    out += loop.name + "=" + loop.status.to_string() + "\n";
+  return out;
+}
+
+TEST(ParallelEngine, FailingBatchIsByteIdenticalAcrossJobCounts) {
+  const Program program = parse_program_or_throw(kMixedBatch);
+  PipelineOptions options;
+  options.iterations = 50;
+  const ProgramReport serial = run_pipeline(program, options);
+  ASSERT_EQ(serial.failures.size(), 1u);
+  EXPECT_EQ(serial.failures[0].index, 1);
+  EXPECT_EQ(serial.loops[1].status.code, StatusCode::kInput);
+  EXPECT_EQ(serial.worst_status(), StatusCode::kInput);
+  ASSERT_EQ(serial.loops.size(), 3u);  // the stub is present, in order
+  EXPECT_EQ(serial.loops[1].name, "broken");
+  for (const int jobs : {1, 2, 8}) {
+    ParallelOptions parallel;
+    parallel.jobs = jobs;
+    const ProgramReport report =
+        run_pipeline_parallel(program, options, parallel);
+    EXPECT_EQ(render(serial), render(report)) << "jobs=" << jobs;
+    EXPECT_EQ(render_failures(serial), render_failures(report))
+        << "jobs=" << jobs;
+  }
+}
+
+TEST(ParallelEngine, CacheKeyCoversValidateOptions) {
+  const Loop loop = perfect_suite().front().program().loops.front();
+  PipelineOptions a;
+  PipelineOptions b = a;
+  b.validate = false;
+  PipelineOptions c = a;
+  c.validate_tolerance = 7;
+  EXPECT_NE(ResultCache::key(loop, a), ResultCache::key(loop, b));
+  EXPECT_NE(ResultCache::key(loop, a), ResultCache::key(loop, c));
 }
 
 }  // namespace

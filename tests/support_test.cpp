@@ -10,6 +10,7 @@
 #include "sbmp/support/diagnostics.h"
 #include "sbmp/support/overflow.h"
 #include "sbmp/support/rng.h"
+#include "sbmp/support/status.h"
 #include "sbmp/support/strings.h"
 #include "sbmp/support/table.h"
 #include "sbmp/support/thread_pool.h"
@@ -195,6 +196,53 @@ TEST(ThreadPool, ParallelForRethrowsBodyException) {
                      if (i == 37) throw std::runtime_error("boom");
                    }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForSingleFailurePreservesExceptionType) {
+  // Exactly one failing index rethrows the ORIGINAL exception, so
+  // callers keep catching their own types (first-exception-wins, not
+  // wrapped).
+  try {
+    parallel_for(4, 0, 100, [](std::int64_t i) {
+      if (i == 37) throw std::out_of_range("index 37 exploded");
+    });
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "index 37 exploded");
+  }
+}
+
+TEST(ThreadPool, ParallelForAggregatesEveryFailure) {
+  // Two failing indices surface BOTH, sorted by index — one bad item in
+  // a batch can no longer hide the others.
+  try {
+    parallel_for(4, 0, 100, [](std::int64_t i) {
+      if (i == 12) throw std::runtime_error("twelve");
+      if (i == 77) throw std::runtime_error("seventy-seven");
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].index, 12);
+    EXPECT_EQ(e.failures()[0].message, "twelve");
+    EXPECT_EQ(e.failures()[1].index, 77);
+    EXPECT_EQ(e.failures()[1].message, "seventy-seven");
+  }
+}
+
+TEST(ThreadPool, ParallelForAggregatesInlinePathToo) {
+  // jobs = 1 takes the inline (no-thread) path; its failure contract
+  // must match the pooled path exactly.
+  try {
+    parallel_for(1, 0, 10, [](std::int64_t i) {
+      if (i % 4 == 3) throw std::runtime_error("f" + std::to_string(i));
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), 2u);
+    EXPECT_EQ(e.failures()[0].index, 3);
+    EXPECT_EQ(e.failures()[1].index, 7);
+  }
 }
 
 TEST(ThreadPool, SharedPoolSupportsConcurrentParallelFors) {

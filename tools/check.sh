@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Full robustness gate: plain build + tests, fault campaign, fuzz sweep,
+# and (optionally) sanitized rebuilds. Run from anywhere; builds live
+# next to the source tree's ./build* directories.
+#
+#   tools/check.sh                # build, ctest, 500-trial fault campaign
+#   SBMP_SANITIZE=1 tools/check.sh   # + ASan/UBSan suite + TSan parallel
+#   SBMP_FUZZ_SEEDS=200 tools/check.sh  # deepen the fuzz sweep
+#
+# Exits non-zero on the first failing stage.
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "== build (default toolchain) =="
+cmake -B "$root/build" -S "$root" >/dev/null
+cmake --build "$root/build" -j "$jobs"
+
+echo "== tier-1 tests =="
+ctest --test-dir "$root/build" --output-on-failure -j "$jobs"
+
+echo "== fault campaign (>=500 adversarial trials + mutation detection) =="
+"$root/build/bench/bench_sweep" --faults 500
+
+echo "== fuzz sweep (SBMP_FUZZ_SEEDS=${SBMP_FUZZ_SEEDS:-25}) =="
+ctest --test-dir "$root/build" -L fuzz --output-on-failure -j "$jobs"
+
+if [[ -n "${SBMP_SANITIZE:-}" ]]; then
+  echo "== ASan+UBSan suite =="
+  cmake -B "$root/build-asan" -S "$root" -DSBMP_SANITIZE=address >/dev/null
+  cmake --build "$root/build-asan" -j "$jobs"
+  ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
+
+  echo "== TSan parallel-engine tests =="
+  cmake -B "$root/build-tsan" -S "$root" -DSBMP_SANITIZE=thread >/dev/null
+  cmake --build "$root/build-tsan" -j "$jobs"
+  ctest --test-dir "$root/build-tsan" -L parallel --output-on-failure -j "$jobs"
+fi
+
+echo "== all checks passed =="

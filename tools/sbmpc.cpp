@@ -17,11 +17,28 @@
 //   --compare          report list vs sync-aware side by side
 //   --check            run the cross-iteration staleness check
 //   --eliminate        access-level redundant-wait elimination
+//   --validate         run the cross-layer schedule validator (default)
+//   --no-validate      skip the validator
+//   --tolerance N      cycle slack for the validator's analytic checks
+//   --mutate M         deliberately break the schedule's synchronization
+//                      (hoist-send | sink-wait | drop-arc) and report
+//                      whether the validator and fault campaign detect
+//                      it; detection exits with code 3
 //   --jobs N           process loops on N workers (0 = hardware
 //                      threads, 1 = serial; output order is identical)
 //   --dump WHAT        sync | tac | dfg | dot | schedule | stats |
 //                      trace | all
 //                      (repeatable; dot prints a Graphviz digraph)
+//
+// Exit codes (the StatusCode contract, see docs/robustness.md):
+//   0  success
+//   1  input diagnostics (parse/open/restructure failures)
+//   2  usage error
+//   3  validation failure (a schedule failed the validator or the
+//      fault-injection oracle; includes every --mutate detection)
+//   4  internal error
+// All diagnostics are rendered before exit: one bad loop or file never
+// suppresses the reports of the others.
 #include <cstdarg>
 #include <cstdio>
 #include <cstring>
@@ -38,7 +55,9 @@
 #include "sbmp/perfect/suite.h"
 #include "sbmp/restructure/classify.h"
 #include "sbmp/sched/stats.h"
+#include "sbmp/sim/fault.h"
 #include "sbmp/sim/trace.h"
+#include "sbmp/support/status.h"
 #include "sbmp/support/strings.h"
 #include "sbmp/support/thread_pool.h"
 
@@ -53,6 +72,7 @@ struct CliOptions {
   std::vector<std::string> files;
   bool run_suite = false;
   int jobs = 0;  ///< 0 = hardware threads, 1 = serial
+  std::optional<ScheduleMutation> mutate;
 
   [[nodiscard]] bool dump(const char* what) const {
     return dumps.count(what) != 0 || dumps.count("all") != 0;
@@ -84,9 +104,11 @@ __attribute__((format(printf, 2, 3))) void appendf(std::string& out,
   std::fprintf(stderr,
                "usage: sbmpc [--width N] [--fus N] [--scheduler S]\n"
                "             [--iterations N] [--processors P] [--compare]\n"
-               "             [--check] [--eliminate] [--dump WHAT]\n"
-               "             [--jobs N] file.loop... | --list-benchmarks\n");
-  std::exit(2);
+               "             [--check] [--eliminate] [--validate]\n"
+               "             [--no-validate] [--tolerance N] [--mutate M]\n"
+               "             [--dump WHAT] [--jobs N]\n"
+               "             file.loop... | --list-benchmarks\n");
+  std::exit(exit_code(StatusCode::kUsage));
 }
 
 const char* next_arg(int argc, char** argv, int& i) {
@@ -127,6 +149,16 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.pipeline.check_ordering = true;
     } else if (std::strcmp(arg, "--eliminate") == 0) {
       cli.pipeline.eliminate_redundant_waits = true;
+    } else if (std::strcmp(arg, "--validate") == 0) {
+      cli.pipeline.validate = true;
+    } else if (std::strcmp(arg, "--no-validate") == 0) {
+      cli.pipeline.validate = false;
+    } else if (std::strcmp(arg, "--tolerance") == 0) {
+      cli.pipeline.validate_tolerance = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--mutate") == 0) {
+      cli.mutate = parse_mutation(next_arg(argc, argv, i));
+      if (!cli.mutate.has_value())
+        usage("unknown mutation (hoist-send | sink-wait | drop-arc)");
     } else if (std::strcmp(arg, "--jobs") == 0) {
       cli.jobs = std::atoi(next_arg(argc, argv, i));
     } else if (std::strcmp(arg, "--dump") == 0) {
@@ -147,10 +179,60 @@ CliOptions parse_cli(int argc, char** argv) {
   return cli;
 }
 
+/// Renders a deliberately broken schedule's detection report: applies
+/// the mutation, re-simulates, and runs both the static validator and a
+/// seeded fault campaign against it.
+void render_mutation(std::string& out, const LoopReport& report,
+                     const CliOptions& cli, Status& status) {
+  LoopReport mutated = report;
+  if (!apply_schedule_mutation(*cli.mutate, mutated.tac, mutated.dfg,
+                               mutated.schedule, cli.pipeline.machine)) {
+    appendf(out, "  mutation %s: loop has no synchronization to break\n",
+            mutation_name(*cli.mutate));
+    return;
+  }
+  SimOptions sim_options;
+  sim_options.iterations = cli.pipeline.resolved_iterations(report.loop);
+  sim_options.processors = cli.pipeline.processors;
+  mutated.sim = simulate(mutated.tac, *mutated.dfg, mutated.schedule,
+                         cli.pipeline.machine, sim_options);
+  const std::vector<std::string> validator =
+      validate_pipeline(mutated, cli.pipeline);
+  std::vector<Dependence> carried;
+  for (const auto& dep : mutated.deps.deps)
+    if (dep.loop_carried()) carried.push_back(dep);
+  const FaultCampaign campaign = run_fault_campaign(
+      mutated.tac, *mutated.dfg, mutated.schedule, cli.pipeline.machine,
+      sim_options, carried, FaultPlan::adversarial(1), 20);
+  appendf(out,
+          "  mutation %s: validator found %zu violation(s), fault campaign "
+          "%d/%d dirty trials\n",
+          mutation_name(*cli.mutate), validator.size(),
+          campaign.dirty_trials, campaign.trials + 1);
+  for (std::size_t i = 0; i < validator.size() && i < 3; ++i)
+    appendf(out, "    validator: %s\n", validator[i].c_str());
+  for (const auto& msg : campaign.sample)
+    appendf(out, "    oracle: %s\n", msg.c_str());
+  if (!validator.empty() || campaign.detected()) {
+    status = Status::error(StatusCode::kValidation, "mutate",
+                           "mutation " +
+                               std::string(mutation_name(*cli.mutate)) +
+                               " detected");
+  } else {
+    appendf(out, "    NOT DETECTED\n");
+  }
+}
+
 std::string render_loop(const PreLoop& pre, const CliOptions& cli,
-                        ResultCache* cache) {
+                        ResultCache* cache, Status& status) {
   std::string out;
-  const RestructureResult restructured = restructure_or_throw(pre);
+  RestructureResult restructured;
+  try {
+    restructured = restructure_or_throw(pre);
+  } catch (const SbmpError& e) {
+    throw StatusError(
+        Status::error(StatusCode::kInput, "restructure", e.what()));
+  }
   const Loop& loop = restructured.loop;
   const DepAnalysis deps = analyze_dependences(loop);
 
@@ -172,6 +254,7 @@ std::string render_loop(const PreLoop& pre, const CliOptions& cli,
   }
 
   const LoopReport report = run_pipeline_cached(loop, cli.pipeline, cache);
+  status = report.status;
   if (cli.dump("sync"))
     appendf(out, "%s", report.synced.to_string().c_str());
   if (cli.dump("tac"))
@@ -235,13 +318,16 @@ std::string render_loop(const PreLoop& pre, const CliOptions& cli,
       appendf(out, "    schedule: %s\n", v.c_str());
     for (const auto& v : report.ordering_violations)
       appendf(out, "    ordering: %s\n", v.c_str());
+    for (const auto& v : report.validation_violations)
+      appendf(out, "    validate: %s\n", v.c_str());
   }
+  if (cli.mutate.has_value()) render_mutation(out, report, cli, status);
   appendf(out, "\n");
   return out;
 }
 
 int run(const CliOptions& cli) {
-  int failures = 0;
+  StatusCode worst = StatusCode::kOk;
 
   // Phase 1 (serial): parse every source and flatten the work list.
   // `banner` text precedes the loop's own output (suite headers).
@@ -249,7 +335,7 @@ int run(const CliOptions& cli) {
     std::string banner;
     std::optional<PreLoop> loop;
     std::string rendered;
-    std::string error;
+    Status status;
   };
   std::vector<Item> items;
   const auto gather_source = [&](const std::string& label,
@@ -259,7 +345,7 @@ int run(const CliOptions& cli) {
     const PreProgram program = parse_pre_program(source, diags);
     if (!diags.ok()) {
       std::fprintf(stderr, "%s:\n%s", label.c_str(), diags.render().c_str());
-      ++failures;
+      worst = worst_code(worst, StatusCode::kInput);
       return;
     }
     for (const auto& pre : program.loops) {
@@ -275,7 +361,7 @@ int run(const CliOptions& cli) {
     std::ifstream in(file);
     if (!in) {
       std::fprintf(stderr, "sbmpc: cannot open %s\n", file.c_str());
-      ++failures;
+      worst = worst_code(worst, StatusCode::kInput);
       continue;
     }
     std::ostringstream buffer;
@@ -298,21 +384,30 @@ int run(const CliOptions& cli) {
                [&](std::int64_t i) {
                  Item& item = items[static_cast<std::size_t>(i)];
                  try {
-                   item.rendered = render_loop(*item.loop, cli, &cache);
+                   item.rendered =
+                       render_loop(*item.loop, cli, &cache, item.status);
+                 } catch (const StatusError& e) {
+                   item.status = e.status();
                  } catch (const SbmpError& e) {
-                   item.error = e.what();
+                   item.status = Status::error(StatusCode::kInternal,
+                                               "pipeline", e.what());
                  }
                });
 
-  // Phase 3 (serial): print in input order; the first pipeline error
-  // aborts exactly like the serial engine did (after the loops before
-  // it have been reported).
+  // Phase 3 (serial): print every report in input order, rendering each
+  // loop's diagnostic where its report would have been — no failure
+  // aborts the listing or suppresses a later loop's output; the process
+  // exit code is the worst status seen across all inputs.
   for (const auto& item : items) {
     if (!item.banner.empty()) std::printf("%s", item.banner.c_str());
-    if (!item.error.empty()) throw SbmpError(item.error);
     std::printf("%s", item.rendered.c_str());
+    if (!item.status.ok()) {
+      if (item.rendered.empty())
+        std::fprintf(stderr, "sbmpc: %s\n", item.status.to_string().c_str());
+      worst = worst_code(worst, item.status.code);
+    }
   }
-  return failures == 0 ? 0 : 1;
+  return exit_code(worst);
 }
 
 }  // namespace
@@ -320,8 +415,14 @@ int run(const CliOptions& cli) {
 int main(int argc, char** argv) {
   try {
     return run(parse_cli(argc, argv));
+  } catch (const StatusError& e) {
+    std::fprintf(stderr, "sbmpc: %s\n", e.status().to_string().c_str());
+    return exit_code(e.status().code);
   } catch (const SbmpError& e) {
     std::fprintf(stderr, "sbmpc: %s\n", e.what());
-    return 1;
+    return exit_code(StatusCode::kInternal);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sbmpc: internal error: %s\n", e.what());
+    return exit_code(StatusCode::kInternal);
   }
 }
