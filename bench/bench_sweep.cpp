@@ -20,6 +20,15 @@
 // validator or the fault campaign to detect every one. Exits 1 on any
 // missed requirement, so the mode doubles as a CI robustness gate (see
 // docs/robustness.md).
+//
+// `--cache-dir DIR` switches into schedule-cache benchmark mode: every
+// DOACROSS loop of the corpus is compiled twice against the persistent
+// cache at DIR — a cold pass that fills it and a warm pass in a fresh
+// process-equivalent (new in-memory cache, same directory) that must be
+// served from disk. The report shows per-loop cold/warm latency and the
+// warm pass's disk hit rate, and the mode exits 1 if any warm result
+// disagrees with its cold counterpart (see docs/serving.md).
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,6 +36,7 @@
 
 #include "bench_common.h"
 #include "sbmp/restructure/unroll.h"
+#include "sbmp/serve/server.h"
 #include "sbmp/sim/fault.h"
 #include "sbmp/support/status.h"
 #include "sbmp/support/strings.h"
@@ -71,6 +81,127 @@ struct FaultTarget {
   sbmp::Loop loop;
 };
 
+/// Parses `--cache-dir DIR`: empty when the flag is absent.
+std::string parse_cache_dir(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--cache-dir") == 0) return argv[i + 1];
+  return "";
+}
+
+/// The corpus both special modes share: the paper example, the stencil,
+/// and every DOACROSS loop of the Perfect suite.
+std::vector<FaultTarget> doacross_corpus() {
+  using namespace sbmp;
+  std::vector<FaultTarget> targets;
+  targets.push_back(
+      {"paper-example", parse_single_loop_or_throw(kPaperExample)});
+  targets.push_back({"stencil", parse_single_loop_or_throw(kStencil)});
+  for (const auto& bench : perfect_suite()) {
+    for (const auto& loop : bench.program().loops) {
+      if (analyze_dependences(loop).is_doall()) continue;
+      targets.push_back({bench.name + "/" + loop.name, loop});
+    }
+  }
+  return targets;
+}
+
+/// Schedule-cache benchmark mode: cold pass fills DIR, warm pass (fresh
+/// in-memory cache, same directory) must be served from disk with the
+/// exact same results.
+int run_cache_mode(const std::string& dir, int jobs) {
+  using namespace sbmp;
+  using namespace sbmp::bench;
+  using clock = std::chrono::steady_clock;
+
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(4, 2);
+  options.iterations = 100;
+
+  const std::vector<FaultTarget> targets = doacross_corpus();
+  const std::size_t n = targets.size();
+
+  // One pass over the corpus: per-loop wall latency in microseconds and
+  // the parallel time the compile reported (-1 = pipeline refused).
+  struct PassResult {
+    std::vector<std::int64_t> micros;
+    std::vector<std::int64_t> parallel_time;
+    DiskCache::Stats disk;
+  };
+  const auto run_pass = [&](PassResult& result) {
+    result.micros.assign(n, 0);
+    result.parallel_time.assign(n, -1);
+    DiskCache disk(dir, 256ll << 20);
+    ResultCache memory;
+    CachingCompiler compiler(&memory, &disk);
+    parallel_for(jobs, 0, static_cast<std::int64_t>(n), [&](std::int64_t i) {
+      const auto idx = static_cast<std::size_t>(i);
+      const auto start = clock::now();
+      try {
+        const LoopReport report = compiler.compile(targets[idx].loop, options);
+        result.parallel_time[idx] = report.parallel_time();
+      } catch (const StatusError&) {
+        // Irregular carried dependences: nothing to cache.
+      }
+      result.micros[idx] = std::chrono::duration_cast<std::chrono::microseconds>(
+                               clock::now() - start)
+                               .count();
+    });
+    result.disk = disk.stats();
+  };
+
+  PassResult cold;
+  run_pass(cold);
+  PassResult warm;
+  run_pass(warm);
+
+  bool failed = false;
+  TextTable table;
+  table.set_header({"loop", "cold us", "warm us", "speedup", "verdict"});
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cold.parallel_time[i] < 0) {
+      table.add_row({targets[i].label, "-", "-", "-", "skipped"});
+      continue;
+    }
+    const bool match = cold.parallel_time[i] == warm.parallel_time[i];
+    if (!match) failed = true;
+    const double speedup =
+        warm.micros[i] > 0 ? static_cast<double>(cold.micros[i]) /
+                                 static_cast<double>(warm.micros[i])
+                           : 0.0;
+    table.add_row({targets[i].label, std::to_string(cold.micros[i]),
+                   std::to_string(warm.micros[i]), format_fixed(speedup, 1),
+                   match ? "match" : "MISMATCH"});
+  }
+  const std::int64_t warm_lookups = warm.disk.hits + warm.disk.misses;
+  const double hit_rate =
+      warm_lookups > 0 ? 100.0 * static_cast<double>(warm.disk.hits) /
+                             static_cast<double>(warm_lookups)
+                       : 0.0;
+  std::printf(
+      "Schedule-cache benchmark: %zu DOACROSS loops against %s\n"
+      "(cold fills the cache; warm uses a fresh in-memory cache over the\n"
+      "same directory, so every hit is served and re-validated from disk)\n"
+      "\n%s\n"
+      "cold: %lld disk hits, %lld misses, %lld stores\n"
+      "warm: %lld disk hits, %lld misses (hit rate %s%%), %lld re-stores\n",
+      n, dir.c_str(), table.render().c_str(),
+      static_cast<long long>(cold.disk.hits),
+      static_cast<long long>(cold.disk.misses),
+      static_cast<long long>(cold.disk.stores),
+      static_cast<long long>(warm.disk.hits),
+      static_cast<long long>(warm.disk.misses),
+      format_fixed(hit_rate, 1).c_str(),
+      static_cast<long long>(warm.disk.stores));
+  if (warm.disk.hits == 0) {
+    // A warm pass that never hit means the persistence layer is broken
+    // even if the recompiled results happen to match.
+    std::printf("warm pass served zero entries from disk\n");
+    failed = true;
+  }
+  std::printf("cache mode: %s\n", failed ? "FAIL" : "PASS");
+  return failed ? 1 : 0;
+}
+
 struct CampaignRow {
   std::string label;
   bool skipped = false;
@@ -89,15 +220,7 @@ int run_fault_mode(int requested_trials, int jobs) {
   options.machine = MachineConfig::paper(4, 2);
   options.iterations = 100;
 
-  std::vector<FaultTarget> targets;
-  targets.push_back({"paper-example", parse_single_loop_or_throw(kPaperExample)});
-  targets.push_back({"stencil", parse_single_loop_or_throw(kStencil)});
-  for (const auto& bench : perfect_suite()) {
-    for (const auto& loop : bench.program().loops) {
-      if (analyze_dependences(loop).is_doall()) continue;
-      targets.push_back({bench.name + "/" + loop.name, loop});
-    }
-  }
+  const std::vector<FaultTarget> targets = doacross_corpus();
 
   // Spread the requested total over the targets, rounding up so the
   // campaign never runs fewer trials than asked for.
@@ -239,6 +362,8 @@ int main(int argc, char** argv) {
   const int jobs = parse_jobs(argc, argv);
   if (const int fault_trials = parse_faults(argc, argv); fault_trials > 0)
     return run_fault_mode(fault_trials, jobs);
+  if (const std::string dir = parse_cache_dir(argc, argv); !dir.empty())
+    return run_cache_mode(dir, jobs);
   ResultCache cache;
 
   // --- Sweep 1: processors ------------------------------------------

@@ -57,6 +57,16 @@ struct PipelineOptions {
   /// Slack (in cycles) granted to the analytic-vs-simulated
   /// cross-checks; 0 demands the exact relations.
   std::int64_t validate_tolerance = 0;
+  /// Directory of the persistent content-addressed schedule cache
+  /// (sbmp/serve/disk_cache.h); empty disables it. NOT part of any
+  /// cache key: where a report is stored cannot change its bytes, so
+  /// ResultCache::key and the serve-layer fingerprint both skip it —
+  /// adding it would make every directory a disjoint key space for
+  /// identical artifacts.
+  std::string cache_dir;
+  /// Size cap (bytes) for the on-disk cache; oldest entries are evicted
+  /// first. Like cache_dir, never part of a cache key.
+  std::int64_t cache_max_bytes = 256ll << 20;
 
   /// The one place the "`iterations` 0 uses the loop's own trip count"
   /// rule lives. Every consumer of an iteration count (scheduler

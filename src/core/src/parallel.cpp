@@ -45,6 +45,8 @@ std::string ResultCache::key(const Loop& loop,
   append_int(out, options.never_degrade ? 1 : 0);
   append_int(out, options.validate ? 1 : 0);
   append_int(out, options.validate_tolerance);
+  // cache_dir / cache_max_bytes are deliberately absent: they choose
+  // where artifacts live, never what the pipeline computes.
   return out;
 }
 

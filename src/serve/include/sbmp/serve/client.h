@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "sbmp/serve/server.h"
+
+namespace sbmp {
+
+/// LoopCompiler that routes every compile through a running sbmpd
+/// daemon (`sbmpc --remote <socket>`).
+///
+/// The client does not blindly trust the daemon: the response payload is
+/// decoded through the same codec as a disk-cache entry, which
+/// recomputes the pipeline front half locally and re-verifies /
+/// re-validates the returned schedule against it. A daemon that returns
+/// a stale, corrupt or mismatched artifact produces a structured error,
+/// never a silently wrong report — and a healthy daemon produces a
+/// report byte-identical to a local run by the same construction.
+class RemoteCompiler final : public LoopCompiler {
+ public:
+  /// Connects eagerly; throws StatusError (kInput) when no daemon
+  /// listens at `socket_path`.
+  explicit RemoteCompiler(std::string socket_path);
+  ~RemoteCompiler() override;
+
+  RemoteCompiler(const RemoteCompiler&) = delete;
+  RemoteCompiler& operator=(const RemoteCompiler&) = delete;
+
+  [[nodiscard]] LoopReport compile(const Loop& loop,
+                                   const PipelineOptions& options) override;
+
+  /// Round-trips a ping frame; throws StatusError when the daemon does
+  /// not answer correctly.
+  void ping();
+
+ private:
+  std::string socket_path_;
+  int fd_ = -1;
+};
+
+}  // namespace sbmp

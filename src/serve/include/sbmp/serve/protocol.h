@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sbmp/support/status.h"
+
+namespace sbmp {
+
+/// Length-prefixed framing for the sbmpd Unix-domain-socket protocol.
+///
+/// Every message is one frame:
+///
+///   offset  size  field
+///   0       4     magic "SBMP" (0x53 0x42 0x4d 0x50 on the wire)
+///   4       4     frame type (little-endian u32, FrameType below)
+///   8       8     payload length (little-endian u64)
+///   16      n     payload bytes
+///
+/// Payloads are RecordWriter records (sbmp/support/serialize.h), so the
+/// wire format shares the cache codec: a compile request carries the
+/// encoded PipelineOptions plus the canonical loop source, a compile
+/// response carries a Status plus the encoded LoopReport — the same
+/// artifact the disk cache stores, which is what makes `--remote`
+/// byte-identical to local runs (the client decodes through the same
+/// re-validating codec). See docs/serving.md for the full contract.
+
+enum class FrameType : std::uint32_t {
+  kCompileRequest = 1,
+  kCompileResponse = 2,
+  kPing = 3,
+  kPong = 4,
+};
+
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::string payload;
+};
+
+/// Frames larger than this are refused as malformed — a daemon must not
+/// be made to allocate unbounded memory by one bad client.
+inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
+
+/// Writes one frame to `fd`, handling partial writes and EINTR.
+[[nodiscard]] Status write_frame(int fd, FrameType type,
+                                 std::string_view payload);
+
+/// Reads one frame from `fd`. A clean EOF before any byte returns
+/// kInput with stage "eof" (the peer hung up between frames, which the
+/// daemon treats as end-of-session, not an error); anything torn
+/// mid-frame is a protocol error.
+[[nodiscard]] Status read_frame(int fd, Frame* out);
+
+/// Creates, binds and listens on a Unix-domain socket at `path`
+/// (unlinking any stale socket file first). Returns the listening fd
+/// through `out_fd`.
+[[nodiscard]] Status listen_unix(const std::string& path, int* out_fd);
+
+/// Connects to the daemon's socket; returns the connected fd.
+[[nodiscard]] Status connect_unix(const std::string& path, int* out_fd);
+
+/// Builds a compile-request payload (options record + loop source) and
+/// parses it back. The loop travels as canonical LoopLang source — the
+/// same rendering the cache fingerprints — so client and server agree
+/// on the loop identity byte for byte.
+[[nodiscard]] std::string encode_compile_request(
+    const std::string& options_payload, std::string_view loop_source);
+[[nodiscard]] Status decode_compile_request(const std::string& payload,
+                                            std::string* options_payload,
+                                            std::string* loop_source);
+
+/// Builds a compile-response payload (status + encoded report; the
+/// report payload is empty when the status is non-ok) and parses it
+/// back.
+[[nodiscard]] std::string encode_compile_response(
+    const Status& status, std::string_view report_payload);
+[[nodiscard]] Status decode_compile_response(const std::string& payload,
+                                             Status* status,
+                                             std::string* report_payload);
+
+}  // namespace sbmp

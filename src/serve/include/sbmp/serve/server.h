@@ -1,0 +1,145 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sbmp/core/parallel.h"
+#include "sbmp/core/pipeline.h"
+#include "sbmp/serve/disk_cache.h"
+
+namespace sbmp {
+
+/// The one seam between "wants a loop compiled" and "how it gets
+/// compiled". sbmpc renders reports against this interface, so local
+/// runs, cached runs and --remote runs through sbmpd produce
+/// byte-identical output by construction — only the compile transport
+/// differs.
+class LoopCompiler {
+ public:
+  virtual ~LoopCompiler() = default;
+  /// Same contract as run_pipeline(Loop, PipelineOptions): returns the
+  /// full report, throws StatusError for loops the pipeline refuses.
+  [[nodiscard]] virtual LoopReport compile(const Loop& loop,
+                                           const PipelineOptions& options) = 0;
+};
+
+/// Uncached pass-through to run_pipeline.
+class DirectCompiler final : public LoopCompiler {
+ public:
+  [[nodiscard]] LoopReport compile(const Loop& loop,
+                                   const PipelineOptions& options) override;
+};
+
+/// Two-level caching compiler: in-memory ResultCache in front of the
+/// persistent DiskCache (either may be null). Lookup order is memory,
+/// disk, compile; a compile back-fills both levels, a disk hit
+/// back-fills memory. Disk entries are decoded through the codec's
+/// integrity and re-validation gates, so a corrupt or stale entry is
+/// invalidated and recompiled — the warm path can only ever return the
+/// bytes the cold path would have produced.
+class CachingCompiler final : public LoopCompiler {
+ public:
+  CachingCompiler(ResultCache* memory, DiskCache* disk)
+      : memory_(memory), disk_(disk) {}
+
+  [[nodiscard]] LoopReport compile(const Loop& loop,
+                                   const PipelineOptions& options) override;
+
+  /// Disk entries rejected by the codec since construction.
+  [[nodiscard]] std::int64_t corrupt_entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return corrupt_entries_;
+  }
+  /// Actual run_pipeline executions (misses at both cache levels).
+  [[nodiscard]] std::int64_t compiles() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return compiles_;
+  }
+  /// Most recent decode rejection; ok() when none occurred.
+  [[nodiscard]] Status last_decode_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return last_decode_error_;
+  }
+
+ private:
+  ResultCache* memory_;
+  DiskCache* disk_;
+  mutable std::mutex mu_;
+  std::int64_t corrupt_entries_ = 0;
+  std::int64_t compiles_ = 0;
+  Status last_decode_error_;
+};
+
+struct ServerOptions {
+  /// Worker threads for compile_batch; 0 = one per hardware thread.
+  int jobs = 0;
+  /// Directory of the persistent schedule cache; empty = memory only.
+  std::string cache_dir;
+  std::int64_t cache_max_bytes = 256ll << 20;
+};
+
+/// One loop-compilation request as the server consumes it.
+struct CompileRequest {
+  Loop loop;
+  PipelineOptions options;
+};
+
+/// Aggregate statistics of one ScheduleServer.
+struct ServerStats {
+  std::int64_t requests = 0;
+  std::int64_t compiles = 0;           ///< actual run_pipeline executions
+  std::int64_t singleflight_joins = 0; ///< requests that rode another's run
+  std::int64_t memory_hits = 0;
+  std::int64_t disk_hits = 0;
+  std::int64_t corrupt_entries = 0;
+};
+
+/// Long-lived serving core: accepts single requests or batches,
+/// deduplicates identical in-flight requests (single-flight: concurrent
+/// callers of the same (loop, options) share one pipeline run instead of
+/// burning a worker each), consults the two-level cache before
+/// compiling, and fans batches out over the work-stealing ThreadPool.
+/// The daemon wraps this over a socket; in-process callers (benches,
+/// tests) use it directly.
+class ScheduleServer {
+ public:
+  explicit ScheduleServer(ServerOptions options);
+
+  /// Single-flight cached compile. Throws StatusError exactly like
+  /// run_pipeline for loops the pipeline refuses.
+  [[nodiscard]] LoopReport compile(const Loop& loop,
+                                   const PipelineOptions& options);
+
+  /// Compiles every request on the pool. Order-stable: result i belongs
+  /// to request i, and a failed request yields a stub report carrying
+  /// the error status (batches never abort on one bad loop).
+  [[nodiscard]] std::vector<LoopReport> compile_batch(
+      const std::vector<CompileRequest>& requests);
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] DiskCache* disk_cache() { return disk_.get(); }
+
+ private:
+  struct Inflight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const LoopReport> report;  ///< set on success
+    Status failure;                            ///< set when the run threw
+  };
+
+  ServerOptions options_;
+  std::unique_ptr<DiskCache> disk_;
+  ResultCache memory_;
+  CachingCompiler compiler_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
+  ServerStats stats_;
+};
+
+}  // namespace sbmp

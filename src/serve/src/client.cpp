@@ -1,0 +1,88 @@
+#include "sbmp/serve/client.h"
+
+#include <unistd.h>
+
+#include <mutex>
+#include <utility>
+
+#include "sbmp/serve/codec.h"
+#include "sbmp/serve/protocol.h"
+
+namespace sbmp {
+
+namespace {
+
+// One connection carries one frame conversation at a time; concurrent
+// render workers sharing a RemoteCompiler serialize their round-trips
+// here (the daemon's parallelism lives across connections and inside
+// its own batch engine, not inside a single client pipe).
+std::mutex g_roundtrip_mu;
+
+[[noreturn]] void throw_status(Status status) {
+  throw StatusError(std::move(status));
+}
+
+}  // namespace
+
+RemoteCompiler::RemoteCompiler(std::string socket_path)
+    : socket_path_(std::move(socket_path)) {
+  if (Status s = connect_unix(socket_path_, &fd_); !s.ok()) throw_status(s);
+}
+
+RemoteCompiler::~RemoteCompiler() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void RemoteCompiler::ping() {
+  std::lock_guard<std::mutex> lock(g_roundtrip_mu);
+  if (Status s = write_frame(fd_, FrameType::kPing, ""); !s.ok())
+    throw_status(s);
+  Frame frame;
+  if (Status s = read_frame(fd_, &frame); !s.ok()) throw_status(s);
+  if (frame.type != FrameType::kPong)
+    throw_status(Status::error(StatusCode::kInternal, "protocol",
+                               "daemon answered ping with frame type " +
+                                   std::to_string(static_cast<int>(frame.type))));
+}
+
+LoopReport RemoteCompiler::compile(const Loop& loop,
+                                   const PipelineOptions& options) {
+  const std::string request = encode_compile_request(
+      encode_pipeline_options(options), loop.to_string());
+  Frame frame;
+  {
+    std::lock_guard<std::mutex> lock(g_roundtrip_mu);
+    if (Status s = write_frame(fd_, FrameType::kCompileRequest, request);
+        !s.ok())
+      throw_status(s);
+    if (Status s = read_frame(fd_, &frame); !s.ok()) throw_status(s);
+  }
+  if (frame.type != FrameType::kCompileResponse)
+    throw_status(Status::error(StatusCode::kInternal, "protocol",
+                               "daemon answered compile with frame type " +
+                                   std::to_string(static_cast<int>(frame.type))));
+  Status remote_status;
+  std::string report_payload;
+  if (Status s =
+          decode_compile_response(frame.payload, &remote_status, &report_payload);
+      !s.ok())
+    throw_status(s);
+  // The daemon reports loops the pipeline refuses through the response
+  // status; surface them as the same StatusError a local run_pipeline
+  // would have thrown.
+  if (!remote_status.ok()) throw_status(remote_status);
+
+  // Trust-but-verify: decode re-runs the pipeline front half and the
+  // verification gates locally against the options we asked for.
+  LoopReport report;
+  const Fingerprint fp = schedule_fingerprint(loop, options);
+  if (Status s = decode_loop_report(report_payload, options, fp, &report);
+      !s.ok())
+    throw_status(Status::error(
+        StatusCode::kInternal, "remote",
+        "daemon returned an artifact the local re-validation rejects: " +
+            s.message));
+  return report;
+}
+
+}  // namespace sbmp

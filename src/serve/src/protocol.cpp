@@ -1,0 +1,207 @@
+#include "sbmp/serve/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "sbmp/support/serialize.h"
+
+namespace sbmp {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'B', 'M', 'P'};
+constexpr std::size_t kHeaderSize = 16;
+
+Status proto_error(std::string message) {
+  return Status::error(StatusCode::kInput, "protocol", std::move(message));
+}
+
+Status sys_error(const std::string& what) {
+  return Status::error(StatusCode::kInternal, "protocol",
+                       what + ": " + std::strerror(errno));
+}
+
+void put_u32(char* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+std::uint32_t get_u32(const char* in) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(in[i]);
+  return v;
+}
+
+std::uint64_t get_u64(const char* in) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i)
+    v = (v << 8) | static_cast<unsigned char>(in[i]);
+  return v;
+}
+
+Status write_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::write(fd, data + sent, size - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return sys_error("socket write failed");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::okay();
+}
+
+/// Reads exactly `size` bytes. `*eof_ok` in: whether a clean EOF before
+/// the first byte is acceptable; out: whether that clean EOF happened.
+Status read_all(int fd, char* data, std::size_t size, bool* eof_ok) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return sys_error("socket read failed");
+    }
+    if (n == 0) {
+      if (got == 0 && eof_ok != nullptr && *eof_ok) return Status::okay();
+      return proto_error("peer closed the connection mid-frame");
+    }
+    if (eof_ok != nullptr) *eof_ok = false;
+    got += static_cast<std::size_t>(n);
+  }
+  if (eof_ok != nullptr) *eof_ok = false;
+  return Status::okay();
+}
+
+}  // namespace
+
+Status write_frame(int fd, FrameType type, std::string_view payload) {
+  char header[kHeaderSize];
+  std::memcpy(header, kMagic, 4);
+  put_u32(header + 4, static_cast<std::uint32_t>(type));
+  put_u64(header + 8, payload.size());
+  if (Status s = write_all(fd, header, kHeaderSize); !s.ok()) return s;
+  return write_all(fd, payload.data(), payload.size());
+}
+
+Status read_frame(int fd, Frame* out) {
+  char header[kHeaderSize];
+  bool clean_eof = true;
+  if (Status s = read_all(fd, header, kHeaderSize, &clean_eof); !s.ok())
+    return s;
+  if (clean_eof) return Status::error(StatusCode::kInput, "eof", "peer hung up");
+  if (std::memcmp(header, kMagic, 4) != 0)
+    return proto_error("bad frame magic (not an sbmpd peer?)");
+  const std::uint32_t type = get_u32(header + 4);
+  if (type < static_cast<std::uint32_t>(FrameType::kCompileRequest) ||
+      type > static_cast<std::uint32_t>(FrameType::kPong))
+    return proto_error("unknown frame type " + std::to_string(type));
+  const std::uint64_t length = get_u64(header + 8);
+  if (length > kMaxFramePayload)
+    return proto_error("frame payload of " + std::to_string(length) +
+                       " bytes exceeds the " +
+                       std::to_string(kMaxFramePayload) + "-byte cap");
+  out->type = static_cast<FrameType>(type);
+  out->payload.resize(static_cast<std::size_t>(length));
+  if (length == 0) return Status::okay();
+  return read_all(fd, out->payload.data(), out->payload.size(), nullptr);
+}
+
+Status listen_unix(const std::string& path, int* out_fd) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    return proto_error("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return sys_error("cannot create socket");
+  ::unlink(path.c_str());  // stale socket from a previous daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const Status s = sys_error("cannot bind '" + path + "'");
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 64) != 0) {
+    const Status s = sys_error("cannot listen on '" + path + "'");
+    ::close(fd);
+    return s;
+  }
+  *out_fd = fd;
+  return Status::okay();
+}
+
+Status connect_unix(const std::string& path, int* out_fd) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path)
+    return proto_error("socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return sys_error("cannot create socket");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const Status s = Status::error(
+        StatusCode::kInput, "protocol",
+        "cannot connect to sbmpd at '" + path + "': " + std::strerror(errno));
+    ::close(fd);
+    return s;
+  }
+  *out_fd = fd;
+  return Status::okay();
+}
+
+std::string encode_compile_request(const std::string& options_payload,
+                                   std::string_view loop_source) {
+  RecordWriter w;
+  w.add_string("options", options_payload);
+  w.add_string("loop", loop_source);
+  return w.finish();
+}
+
+Status decode_compile_request(const std::string& payload,
+                              std::string* options_payload,
+                              std::string* loop_source) {
+  RecordReader r;
+  if (Status s = RecordReader::open(payload, &r); !s.ok()) return s;
+  if (Status s = r.read_string("options", options_payload); !s.ok()) return s;
+  if (Status s = r.read_string("loop", loop_source); !s.ok()) return s;
+  if (!r.at_end()) return proto_error("trailing fields in compile request");
+  return Status::okay();
+}
+
+std::string encode_compile_response(const Status& status,
+                                    std::string_view report_payload) {
+  RecordWriter w;
+  w.add_int("code", static_cast<std::int64_t>(status.code));
+  w.add_string("stage", status.stage);
+  w.add_string("message", status.message);
+  w.add_string("report", report_payload);
+  return w.finish();
+}
+
+Status decode_compile_response(const std::string& payload, Status* status,
+                               std::string* report_payload) {
+  RecordReader r;
+  if (Status s = RecordReader::open(payload, &r); !s.ok()) return s;
+  std::int64_t code = 0;
+  if (Status s = r.read_int("code", &code); !s.ok()) return s;
+  if (code < 0 || code > static_cast<std::int64_t>(StatusCode::kInternal))
+    return proto_error("response carries unknown status code " +
+                       std::to_string(code));
+  status->code = static_cast<StatusCode>(code);
+  if (Status s = r.read_string("stage", &status->stage); !s.ok()) return s;
+  if (Status s = r.read_string("message", &status->message); !s.ok()) return s;
+  if (Status s = r.read_string("report", report_payload); !s.ok()) return s;
+  if (!r.at_end()) return proto_error("trailing fields in compile response");
+  return Status::okay();
+}
+
+}  // namespace sbmp

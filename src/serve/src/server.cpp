@@ -1,0 +1,147 @@
+#include "sbmp/serve/server.h"
+
+#include <utility>
+
+#include "sbmp/serve/codec.h"
+#include "sbmp/support/thread_pool.h"
+
+namespace sbmp {
+
+LoopReport DirectCompiler::compile(const Loop& loop,
+                                   const PipelineOptions& options) {
+  return run_pipeline(loop, options);
+}
+
+LoopReport CachingCompiler::compile(const Loop& loop,
+                                    const PipelineOptions& options) {
+  const std::string key =
+      memory_ != nullptr ? ResultCache::key(loop, options) : std::string();
+  if (memory_ != nullptr) {
+    if (const auto hit = memory_->lookup(key)) return *hit;
+  }
+  Fingerprint fp;
+  if (disk_ != nullptr) {
+    fp = schedule_fingerprint(loop, options);
+    if (const auto payload = disk_->load(fp)) {
+      LoopReport report;
+      if (Status s = decode_loop_report(*payload, options, fp, &report);
+          s.ok()) {
+        if (memory_ != nullptr) return *memory_->insert(key, std::move(report));
+        return report;
+      } else {
+        // Stale, corrupt or tampered entry: drop it and recompile. The
+        // rejection is a diagnostic, never a failure of the compile.
+        disk_->invalidate(fp);
+        std::lock_guard<std::mutex> lock(mu_);
+        ++corrupt_entries_;
+        last_decode_error_ = std::move(s);
+      }
+    }
+  }
+  LoopReport report = [&] {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++compiles_;
+    }
+    return run_pipeline(loop, options);
+  }();
+  if (disk_ != nullptr) disk_->store(fp, encode_loop_report(report, fp));
+  if (memory_ != nullptr) return *memory_->insert(key, std::move(report));
+  return report;
+}
+
+ScheduleServer::ScheduleServer(ServerOptions options)
+    : options_(std::move(options)),
+      disk_(options_.cache_dir.empty()
+                ? nullptr
+                : std::make_unique<DiskCache>(options_.cache_dir,
+                                              options_.cache_max_bytes)),
+      compiler_(&memory_, disk_.get()) {}
+
+LoopReport ScheduleServer::compile(const Loop& loop,
+                                   const PipelineOptions& options) {
+  const std::string key = ResultCache::key(loop, options);
+  std::shared_ptr<Inflight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.requests;
+    const auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      flight = it->second;
+      ++stats_.singleflight_joins;
+    } else {
+      flight = std::make_shared<Inflight>();
+      inflight_.emplace(key, flight);
+      leader = true;
+    }
+  }
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (!flight->failure.ok()) throw StatusError(flight->failure);
+    return *flight->report;
+  }
+  // Leader: run the (cached) compile, publish the outcome, and retire
+  // the flight so later identical requests take the cache path.
+  const auto publish = [&](std::shared_ptr<const LoopReport> report,
+                           Status failure) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_.erase(key);
+    }
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->report = std::move(report);
+    flight->failure = std::move(failure);
+    flight->done = true;
+    flight->cv.notify_all();
+  };
+  try {
+    auto report =
+        std::make_shared<const LoopReport>(compiler_.compile(loop, options));
+    publish(report, Status::okay());
+    return *report;
+  } catch (const StatusError& e) {
+    publish(nullptr, e.status());
+    throw;
+  } catch (const SbmpError& e) {
+    const Status failure =
+        Status::error(StatusCode::kInternal, "pipeline", e.what());
+    publish(nullptr, failure);
+    throw StatusError(failure);
+  }
+}
+
+std::vector<LoopReport> ScheduleServer::compile_batch(
+    const std::vector<CompileRequest>& requests) {
+  std::vector<LoopReport> reports(requests.size());
+  parallel_for(options_.jobs, 0, static_cast<std::int64_t>(requests.size()),
+               [&](std::int64_t i) {
+                 const CompileRequest& request =
+                     requests[static_cast<std::size_t>(i)];
+                 LoopReport& slot = reports[static_cast<std::size_t>(i)];
+                 try {
+                   slot = compile(request.loop, request.options);
+                 } catch (const StatusError& e) {
+                   slot.name = request.loop.name;
+                   slot.loop = request.loop;
+                   slot.status = e.status();
+                 }
+               });
+  return reports;
+}
+
+ServerStats ScheduleServer::stats() const {
+  ServerStats out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = stats_;
+  }
+  out.memory_hits = memory_.hits();
+  out.compiles = compiler_.compiles();
+  out.corrupt_entries = compiler_.corrupt_entries();
+  if (disk_ != nullptr) out.disk_hits = disk_->stats().hits;
+  return out;
+}
+
+}  // namespace sbmp

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sbmp {
+
+/// Stable content hashing for the persistent schedule cache.
+///
+/// The cache key must be identical across runs, platforms and compiler
+/// versions — std::hash guarantees none of that — so the fingerprint is
+/// pinned to a fixed algorithm: incremental FNV-1a over the canonical
+/// byte encoding of the inputs, finished with the murmur3 64-bit
+/// avalanche so that short inputs still spread over the whole domain.
+/// Two independently seeded lanes give a 128-bit fingerprint; a
+/// collision would silently serve one loop's schedule for another, so
+/// 64 bits alone is too small a margin for a cache that may hold
+/// millions of entries.
+
+class Hasher64 {
+ public:
+  static constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t kFnvPrime = 0x00000100000001b3ull;
+
+  explicit constexpr Hasher64(std::uint64_t seed = kFnvBasis)
+      : state_(seed) {}
+
+  constexpr void update(std::string_view bytes) {
+    for (const char c : bytes)
+      state_ = (state_ ^ static_cast<unsigned char>(c)) * kFnvPrime;
+  }
+
+  constexpr void update_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      state_ = (state_ ^ (v & 0xffu)) * kFnvPrime;
+      v >>= 8;
+    }
+  }
+
+  constexpr void update_i64(std::int64_t v) {
+    update_u64(static_cast<std::uint64_t>(v));
+  }
+
+  /// murmur3 fmix64 over the accumulated state.
+  [[nodiscard]] constexpr std::uint64_t digest() const {
+    std::uint64_t h = state_;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return h;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// 128-bit content fingerprint; the value IS the cache address (the
+/// on-disk entry is named by `to_hex()`), so it must never depend on
+/// anything but the hashed bytes.
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  [[nodiscard]] constexpr bool operator==(const Fingerprint& o) const {
+    return hi == o.hi && lo == o.lo;
+  }
+  [[nodiscard]] constexpr bool operator!=(const Fingerprint& o) const {
+    return !(*this == o);
+  }
+
+  /// 32 lowercase hex characters, hi lane first.
+  [[nodiscard]] std::string to_hex() const;
+
+  /// Parses exactly 32 hex characters; returns false on anything else.
+  [[nodiscard]] static bool from_hex(std::string_view hex, Fingerprint* out);
+};
+
+/// Fingerprints a byte string with two independently seeded lanes.
+[[nodiscard]] Fingerprint fingerprint_bytes(std::string_view bytes);
+
+/// One-lane convenience hash (checksums, hash tables); NOT a cache key.
+[[nodiscard]] constexpr std::uint64_t hash_bytes(std::string_view bytes) {
+  Hasher64 h;
+  h.update(bytes);
+  return h.digest();
+}
+
+}  // namespace sbmp

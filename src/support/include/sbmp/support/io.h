@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sbmp/support/status.h"
+
+namespace sbmp {
+
+/// Filesystem primitives for the persistent cache. Every operation
+/// returns a structured Status (stage "io") instead of throwing: disk
+/// trouble under a cache must degrade to a miss, not take the process
+/// down, and the caller decides how loud to be about it.
+
+/// Reads the whole file into `out`.
+[[nodiscard]] Status read_file(const std::string& path, std::string* out);
+
+/// Crash-safe write: the bytes land in a uniquely named temporary in the
+/// same directory, are flushed, and are atomically renamed over `path`.
+/// A reader therefore sees either the old content or the new content,
+/// never a torn write — the invariant the schedule cache's corruption
+/// handling is built on.
+[[nodiscard]] Status write_file_atomic(const std::string& path,
+                                       std::string_view data);
+
+/// mkdir -p: creates `path` and any missing parents.
+[[nodiscard]] Status ensure_directory(const std::string& path);
+
+struct DirEntry {
+  std::string name;  ///< basename, not the full path
+  std::int64_t size = 0;
+  /// Modification time in nanoseconds since the epoch (second precision
+  /// where the filesystem offers no better); the cache's LRU clock.
+  std::int64_t mtime_ns = 0;
+};
+
+/// Lists the regular files of `path`, sorted by name (deterministic
+/// regardless of directory hash order).
+[[nodiscard]] Status list_directory(const std::string& path,
+                                    std::vector<DirEntry>* out);
+
+/// Deletes `path`; missing files are not an error (a concurrent evictor
+/// may have won the race).
+[[nodiscard]] Status remove_file(const std::string& path);
+
+/// Bumps `path`'s modification time to now (the LRU touch on cache hit).
+[[nodiscard]] Status touch_file(const std::string& path);
+
+[[nodiscard]] bool file_exists(const std::string& path);
+
+}  // namespace sbmp

@@ -41,4 +41,15 @@ namespace sbmp {
   return __builtin_mul_overflow(a, b, &out);
 }
 
+/// Width of the inclusive integer range [lo, hi] as uint64, computed in
+/// modular arithmetic so mixed-sign extremes (where `hi - lo` overflows
+/// int64) stay defined. Returns 0 when the range covers the full int64
+/// domain (the true width, 2^64, is unrepresentable); callers must treat
+/// 0 as "every value" — in particular it is NOT a valid modulus.
+/// Requires lo <= hi.
+[[nodiscard]] constexpr std::uint64_t range_span(std::int64_t lo,
+                                                 std::int64_t hi) {
+  return static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+}
+
 }  // namespace sbmp

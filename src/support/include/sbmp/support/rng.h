@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "sbmp/support/overflow.h"
+
 namespace sbmp {
 
 /// Deterministic 64-bit PRNG (SplitMix64). Used by the random DOACROSS
@@ -19,10 +21,17 @@ class SplitMix64 {
     return z ^ (z >> 31);
   }
 
-  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi. The span
+  /// and the final sum run in uint64 modular arithmetic (range_span in
+  /// overflow.h): `hi - lo` itself overflows int64 for mixed-sign
+  /// extremes, and a span of 0 means the full int64 domain, where a
+  /// modulus would be `% 0` (UB) — there every 64-bit draw is already
+  /// uniform. Draws over spans that fit the old arithmetic are
+  /// bit-identical to it, so seeded test sweeps keep their sequences.
   constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
-    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(next() % span);
+    const std::uint64_t span = range_span(lo, hi);
+    const std::uint64_t draw = span == 0 ? next() : next() % span;
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
   }
 
   /// Bernoulli draw with probability `percent`/100.

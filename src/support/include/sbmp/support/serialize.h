@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sbmp/support/status.h"
+
+namespace sbmp {
+
+/// Tagged, length-delimited record serialization for on-disk cache
+/// artifacts and wire messages.
+///
+/// The format is line-structured text with raw byte payloads, chosen so
+/// a cache entry can be inspected with a pager while still carrying
+/// arbitrary bytes (loop sources and diagnostics contain newlines):
+///
+///   sbmp-record v1\n
+///   i <name> <decimal int64>\n
+///   s <name> <byte count>\n<raw bytes>\n
+///   ...
+///   end <16 hex chars>\n
+///
+/// The trailing `end` line carries the FNV/murmur checksum (hash_bytes)
+/// of everything before it, so truncation — the typical artifact of a
+/// crash mid-write — and bit rot are both detected at open time rather
+/// than surfacing as a half-parsed report. Readers consume fields in
+/// writer order by name; any mismatch is a structured kInput Status,
+/// never an exception, because a corrupt cache entry must degrade to a
+/// miss.
+class RecordWriter {
+ public:
+  RecordWriter();
+
+  void add_int(std::string_view name, std::int64_t value);
+  void add_string(std::string_view name, std::string_view value);
+
+  /// Appends the checksum trailer and returns the finished payload.
+  /// The writer must not be reused afterwards.
+  [[nodiscard]] std::string finish();
+
+ private:
+  std::string out_;
+};
+
+class RecordReader {
+ public:
+  /// Verifies the header and checksum trailer of `payload`. The reader
+  /// keeps a view into `payload`, which must outlive it.
+  [[nodiscard]] static Status open(std::string_view payload,
+                                   RecordReader* out);
+
+  /// Reads the next field, which must be an int named `name`.
+  [[nodiscard]] Status read_int(std::string_view name, std::int64_t* out);
+  /// Reads the next field, which must be a string named `name`.
+  [[nodiscard]] Status read_string(std::string_view name, std::string* out);
+  /// True when every field has been consumed.
+  [[nodiscard]] bool at_end() const { return cursor_ >= body_.size(); }
+
+ private:
+  [[nodiscard]] Status next_line(std::string_view* out);
+
+  std::string_view body_;  ///< fields only: header and trailer stripped
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace sbmp

@@ -22,4 +22,11 @@ namespace sbmp {
 /// Formats `value` as a percentage string like "83.37%".
 [[nodiscard]] std::string format_percent(double fraction, int decimals = 2);
 
+/// printf-appends to `out`. Report renderers build their output in
+/// strings (loops render off-thread and print in order, so output is
+/// identical for any job count); this is their one formatting primitive,
+/// shared by the CLI driver and the serving layer.
+__attribute__((format(printf, 2, 3))) void appendf(std::string& out,
+                                                   const char* fmt, ...);
+
 }  // namespace sbmp

@@ -1,0 +1,57 @@
+#include "sbmp/support/hash.h"
+
+namespace sbmp {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void append_hex_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out += kHexDigits[(v >> shift) & 0xf];
+}
+
+bool parse_hex_u64(std::string_view hex, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return false;
+    }
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string Fingerprint::to_hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex_u64(out, hi);
+  append_hex_u64(out, lo);
+  return out;
+}
+
+bool Fingerprint::from_hex(std::string_view hex, Fingerprint* out) {
+  if (hex.size() != 32) return false;
+  return parse_hex_u64(hex.substr(0, 16), &out->hi) &&
+         parse_hex_u64(hex.substr(16, 16), &out->lo);
+}
+
+Fingerprint fingerprint_bytes(std::string_view bytes) {
+  // The second lane's seed is the first FNV prime multiple of the basis
+  // xored with a fixed pattern — any constant distinct from kFnvBasis
+  // decorrelates the lanes; what matters is that it never changes.
+  Hasher64 a;
+  Hasher64 b(Hasher64::kFnvBasis ^ 0x9e3779b97f4a7c15ull);
+  a.update(bytes);
+  b.update(bytes);
+  return {a.digest(), b.digest()};
+}
+
+}  // namespace sbmp

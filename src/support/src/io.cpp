@@ -1,0 +1,155 @@
+#include "sbmp/support/io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace sbmp {
+
+namespace {
+
+Status io_error(const std::string& what, const std::string& path) {
+  return Status::error(StatusCode::kInput, "io",
+                       what + " '" + path + "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+Status read_file(const std::string& path, std::string* out) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return io_error("cannot open", path);
+  out->clear();
+  char buffer[1 << 16];
+  while (true) {
+    const ssize_t n = ::read(fd, buffer, sizeof buffer);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = io_error("cannot read", path);
+      ::close(fd);
+      return s;
+    }
+    if (n == 0) break;
+    out->append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return Status::okay();
+}
+
+Status write_file_atomic(const std::string& path, std::string_view data) {
+  // Unique per process and per call, so concurrent writers of the same
+  // entry never collide on the temporary; last rename wins, and both
+  // wrote identical bytes anyway in the cache's use.
+  static std::atomic<std::uint64_t> counter{0};
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(counter.fetch_add(1));
+  const int fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0) return io_error("cannot create temporary", tmp);
+  std::size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status s = io_error("cannot write", tmp);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return s;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const Status s = io_error("cannot fsync", tmp);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::close(fd) != 0) {
+    const Status s = io_error("cannot close", tmp);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status s = io_error("cannot rename into", path);
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  return Status::okay();
+}
+
+Status ensure_directory(const std::string& path) {
+  if (path.empty())
+    return Status::error(StatusCode::kInput, "io", "empty directory path");
+  std::string prefix;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '/') continue;
+    prefix = path.substr(0, i == 0 ? 1 : i);  // keep a leading "/"
+    if (prefix.empty() || prefix == "/") continue;
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST)
+      return io_error("cannot create directory", prefix);
+  }
+  struct stat st{};
+  if (::stat(path.c_str(), &st) != 0 || !S_ISDIR(st.st_mode))
+    return Status::error(StatusCode::kInput, "io",
+                         "'" + path + "' exists but is not a directory");
+  return Status::okay();
+}
+
+Status list_directory(const std::string& path, std::vector<DirEntry>* out) {
+  out->clear();
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return io_error("cannot open directory", path);
+  while (true) {
+    errno = 0;
+    const dirent* entry = ::readdir(dir);
+    if (entry == nullptr) {
+      if (errno != 0) {
+        const Status s = io_error("cannot list directory", path);
+        ::closedir(dir);
+        return s;
+      }
+      break;
+    }
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    struct stat st{};
+    if (::stat((path + "/" + name).c_str(), &st) != 0) continue;
+    if (!S_ISREG(st.st_mode)) continue;
+    DirEntry e;
+    e.name = name;
+    e.size = static_cast<std::int64_t>(st.st_size);
+    e.mtime_ns = static_cast<std::int64_t>(st.st_mtim.tv_sec) * 1000000000 +
+                 st.st_mtim.tv_nsec;
+    out->push_back(std::move(e));
+  }
+  ::closedir(dir);
+  std::sort(out->begin(), out->end(),
+            [](const DirEntry& a, const DirEntry& b) { return a.name < b.name; });
+  return Status::okay();
+}
+
+Status remove_file(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT)
+    return io_error("cannot remove", path);
+  return Status::okay();
+}
+
+Status touch_file(const std::string& path) {
+  if (::utimensat(AT_FDCWD, path.c_str(), nullptr, 0) != 0)
+    return io_error("cannot touch", path);
+  return Status::okay();
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace sbmp

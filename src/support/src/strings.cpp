@@ -1,6 +1,7 @@
 #include "sbmp/support/strings.h"
 
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 
 namespace sbmp {
@@ -40,6 +41,23 @@ std::string format_fixed(double value, int decimals) {
 
 std::string format_percent(double fraction, int decimals) {
   return format_fixed(fraction * 100.0, decimals) + "%";
+}
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buffer[1024];
+  va_list args;
+  va_start(args, fmt);
+  const int needed = std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  if (needed < static_cast<int>(sizeof buffer)) {
+    out.append(buffer, static_cast<std::size_t>(needed > 0 ? needed : 0));
+    return;
+  }
+  std::vector<char> big(static_cast<std::size_t>(needed) + 1);
+  va_start(args, fmt);
+  std::vsnprintf(big.data(), big.size(), fmt, args);
+  va_end(args);
+  out.append(big.data(), static_cast<std::size_t>(needed));
 }
 
 }  // namespace sbmp

@@ -1,9 +1,13 @@
 // Pipeline-facade behaviour: option plumbing, the never-degrade
-// guarantee, program aggregation and error paths.
+// guarantee, program aggregation and error paths, and the ResultCache
+// key/memoization contract the serve layer's persistent cache builds on.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <thread>
+#include <vector>
 
+#include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
 
 namespace sbmp {
@@ -157,6 +161,94 @@ end
   // iterations=0 used the 20-iteration trip count: time is far below a
   // 100-iteration run.
   EXPECT_LT(report.parallel_time(), 200);
+}
+
+TEST(ResultCacheTest, HitAndMissCountersTrackLookups) {
+  const Loop loop = parse_single_loop_or_throw(kChainLoop);
+  const PipelineOptions options;
+  ResultCache cache;
+  const LoopReport first = run_pipeline_cached(loop, options, &cache);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 0);
+  EXPECT_EQ(cache.misses(), 1);
+  const LoopReport second = run_pipeline_cached(loop, options, &cache);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(first.parallel_time(), second.parallel_time());
+  EXPECT_EQ(first.schedule.groups, second.schedule.groups);
+}
+
+TEST(ResultCacheTest, KeyCoversEveryOutputAffectingOption) {
+  // Any two option sets that can produce different reports must key
+  // differently; a collision here silently serves the wrong schedule.
+  const Loop loop = parse_single_loop_or_throw(kChainLoop);
+  const PipelineOptions base;
+  const std::string base_key = ResultCache::key(loop, base);
+  EXPECT_EQ(ResultCache::key(loop, base), base_key);  // deterministic
+
+  const auto changes_key = [&](auto mutate) {
+    PipelineOptions changed = base;
+    mutate(changed);
+    return ResultCache::key(loop, changed) != base_key;
+  };
+  EXPECT_TRUE(changes_key(
+      [](PipelineOptions& o) { o.machine = MachineConfig::paper(2, 1); }));
+  EXPECT_TRUE(changes_key(
+      [](PipelineOptions& o) { o.machine = MachineConfig::paper(4, 2); }));
+  EXPECT_TRUE(changes_key(
+      [](PipelineOptions& o) { o.machine.sync_consumes_slot = false; }));
+  EXPECT_TRUE(changes_key(
+      [](PipelineOptions& o) { o.machine.signal_latency = 9; }));
+  EXPECT_TRUE(changes_key(
+      [](PipelineOptions& o) { o.scheduler = SchedulerKind::kList; }));
+  EXPECT_TRUE(changes_key(
+      [](PipelineOptions& o) { o.sync_aware.contiguous_paths = false; }));
+  EXPECT_TRUE(changes_key(
+      [](PipelineOptions& o) { o.sync_aware.convert_lfd = false; }));
+  EXPECT_TRUE(changes_key(
+      [](PipelineOptions& o) { o.sync.eliminate_redundant = true; }));
+  EXPECT_TRUE(changes_key([](PipelineOptions& o) { o.iterations = 7; }));
+  EXPECT_TRUE(changes_key([](PipelineOptions& o) { o.processors = 3; }));
+  EXPECT_TRUE(changes_key([](PipelineOptions& o) { o.check_ordering = true; }));
+  EXPECT_TRUE(changes_key(
+      [](PipelineOptions& o) { o.eliminate_redundant_waits = true; }));
+  EXPECT_TRUE(changes_key([](PipelineOptions& o) { o.never_degrade = false; }));
+  EXPECT_TRUE(changes_key([](PipelineOptions& o) { o.validate = false; }));
+  EXPECT_TRUE(
+      changes_key([](PipelineOptions& o) { o.validate_tolerance = 5; }));
+
+  // The storage knobs cannot change the report, so they must NOT key:
+  // otherwise identical artifacts fragment into per-directory key
+  // spaces (memory and disk caches would disagree about identity).
+  EXPECT_FALSE(changes_key([](PipelineOptions& o) { o.cache_dir = "/d"; }));
+  EXPECT_FALSE(changes_key([](PipelineOptions& o) { o.cache_max_bytes = 1; }));
+
+  // The loop text is part of the key too.
+  const Loop other = parse_single_loop_or_throw(
+      "doacross I = 1, 100\n  A[I] = A[I-1] + 1\nend\n");
+  EXPECT_NE(ResultCache::key(other, base), base_key);
+}
+
+TEST(ResultCacheTest, InsertRaceKeepsTheFirstEntry) {
+  // Two threads computing the same key race insert; both are the same
+  // pure computation, so the loser adopts the winner's report and the
+  // table never holds two entries for one key.
+  const Loop loop = parse_single_loop_or_throw(kChainLoop);
+  const PipelineOptions options;
+  ResultCache cache;
+  std::vector<std::thread> threads;
+  std::vector<std::int64_t> times(4, -1);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      times[static_cast<std::size_t>(t)] =
+          run_pipeline_cached(loop, options, &cache).parallel_time();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(cache.size(), 1u);
+  for (int t = 1; t < 4; ++t) EXPECT_EQ(times[0], times[t]);
+  EXPECT_EQ(cache.hits() + cache.misses(), 4);
 }
 
 }  // namespace

@@ -1,0 +1,597 @@
+// Tests for the scheduling-as-a-service subsystem (src/serve) and the
+// support primitives it is built on: stable hashing, checksummed record
+// serialization, crash-safe io, the persistent content-addressed
+// DiskCache, the re-validating artifact codec, the two-level
+// CachingCompiler, the single-flight ScheduleServer, and the framed
+// socket protocol. The central contract — a warm cache or a daemon
+// response can only ever reproduce what a cold local run would have
+// produced — is locked here at the library level and again end-to-end
+// in tooling_test.cpp.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sbmp/core/parallel.h"
+#include "sbmp/core/pipeline.h"
+#include "sbmp/frontend/parser.h"
+#include "sbmp/serve/codec.h"
+#include "sbmp/serve/disk_cache.h"
+#include "sbmp/serve/protocol.h"
+#include "sbmp/serve/server.h"
+#include "sbmp/support/hash.h"
+#include "sbmp/support/io.h"
+#include "sbmp/support/serialize.h"
+
+namespace sbmp {
+namespace {
+
+constexpr const char* kPaperExample =
+    "doacross I = 1, 100\n"
+    "  B[I] = A[I-2] + E[I+1]\n"
+    "  G[I-3] = A[I-1] * E[I+2]\n"
+    "  A[I] = B[I] + C[I+3]\n"
+    "end\n";
+
+constexpr const char* kStencil =
+    "doacross I = 1, 100\n"
+    "  U[I] = (U[I-1] + V[I]) * w1 + V[I+1] * w2\n"
+    "  R[I] = V[I-2] * w3 + V[I+2]\n"
+    "end\n";
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+// --- hashing ---------------------------------------------------------
+
+TEST(Hash, PinnedValuesAreStableAcrossPlatforms) {
+  // The fingerprint IS the on-disk address: if these values ever move,
+  // every existing cache is silently orphaned, so the algorithm is
+  // pinned by value, not just by roundtrip.
+  EXPECT_EQ(hash_bytes(""), 0xefd01f60ba992926ull);
+  EXPECT_EQ(hash_bytes("abc"), 0x33ebaf9927cbc5bdull);
+  EXPECT_EQ(fingerprint_bytes("abc").to_hex(),
+            "33ebaf9927cbc5bd0fd17d9111492250");
+}
+
+TEST(Hash, FingerprintHexRoundTrips) {
+  const Fingerprint fp = fingerprint_bytes("schedule cache");
+  Fingerprint back;
+  ASSERT_TRUE(Fingerprint::from_hex(fp.to_hex(), &back));
+  EXPECT_EQ(fp, back);
+}
+
+TEST(Hash, FromHexRejectsMalformedInput) {
+  Fingerprint fp;
+  EXPECT_FALSE(Fingerprint::from_hex("", &fp));
+  EXPECT_FALSE(Fingerprint::from_hex("0123", &fp));                 // short
+  EXPECT_FALSE(Fingerprint::from_hex(std::string(33, 'a'), &fp));   // long
+  EXPECT_FALSE(
+      Fingerprint::from_hex("zz" + std::string(30, '0'), &fp));     // non-hex
+}
+
+TEST(Hash, LanesAreIndependent) {
+  const Fingerprint fp = fingerprint_bytes("x");
+  EXPECT_NE(fp.hi, fp.lo);
+  EXPECT_NE(fingerprint_bytes("x"), fingerprint_bytes("y"));
+}
+
+// --- record serialization --------------------------------------------
+
+TEST(Serialize, RoundTripsIntsAndBinaryStrings) {
+  RecordWriter w;
+  w.add_int("count", -42);
+  w.add_string("bytes", std::string("new\nline\0byte", 13));
+  w.add_string("empty", "");
+  const std::string payload = w.finish();
+
+  RecordReader r;
+  ASSERT_TRUE(RecordReader::open(payload, &r).ok());
+  std::int64_t count = 0;
+  ASSERT_TRUE(r.read_int("count", &count).ok());
+  EXPECT_EQ(count, -42);
+  std::string bytes;
+  ASSERT_TRUE(r.read_string("bytes", &bytes).ok());
+  EXPECT_EQ(bytes, std::string("new\nline\0byte", 13));
+  ASSERT_TRUE(r.read_string("empty", &bytes).ok());
+  EXPECT_EQ(bytes, "");
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serialize, NestedRecordsSurviveAsStringFields) {
+  RecordWriter inner;
+  inner.add_int("x", 7);
+  const std::string inner_payload = inner.finish();
+  RecordWriter outer;
+  outer.add_string("inner", inner_payload);
+  const std::string payload = outer.finish();
+
+  RecordReader r;
+  ASSERT_TRUE(RecordReader::open(payload, &r).ok());
+  std::string extracted;
+  ASSERT_TRUE(r.read_string("inner", &extracted).ok());
+  EXPECT_EQ(extracted, inner_payload);
+  RecordReader inner_r;
+  ASSERT_TRUE(RecordReader::open(extracted, &inner_r).ok());
+}
+
+TEST(Serialize, DetectsTruncationAndBitRot) {
+  RecordWriter w;
+  w.add_string("data", "payload");
+  const std::string payload = w.finish();
+
+  // Truncation at every length must be a structured error, never a
+  // crash or a half-parsed record (crash-mid-write leaves prefixes).
+  for (std::size_t len = 0; len < payload.size(); ++len) {
+    RecordReader r;
+    EXPECT_FALSE(RecordReader::open(payload.substr(0, len), &r).ok())
+        << "prefix of " << len << " bytes was accepted";
+  }
+  // A single flipped bit anywhere must fail the checksum.
+  for (const std::size_t at : {std::size_t{0}, payload.size() / 2}) {
+    std::string bad = payload;
+    bad[at] = static_cast<char>(bad[at] ^ 0x20);
+    RecordReader r;
+    const Status s = RecordReader::open(bad, &r);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code, StatusCode::kInput);
+  }
+}
+
+TEST(Serialize, FieldNameAndTypeMismatchesAreErrors) {
+  RecordWriter w;
+  w.add_int("a", 1);
+  const std::string payload = w.finish();
+  RecordReader r;
+  ASSERT_TRUE(RecordReader::open(payload, &r).ok());
+  std::string s;
+  EXPECT_FALSE(r.read_string("a", &s).ok());  // wrong type
+  RecordReader r2;
+  ASSERT_TRUE(RecordReader::open(payload, &r2).ok());
+  std::int64_t v = 0;
+  EXPECT_FALSE(r2.read_int("b", &v).ok());  // wrong name
+}
+
+// --- io primitives ---------------------------------------------------
+
+TEST(Io, AtomicWriteThenReadRoundTrips) {
+  const std::string dir = fresh_dir("sbmp_io");
+  ASSERT_TRUE(ensure_directory(dir).ok());
+  const std::string path = dir + "/file.bin";
+  const std::string data("binary\0data\n", 12);
+  ASSERT_TRUE(write_file_atomic(path, data).ok());
+  // Overwrite must replace, not append, and leave no temp files behind.
+  ASSERT_TRUE(write_file_atomic(path, data).ok());
+  std::string back;
+  ASSERT_TRUE(read_file(path, &back).ok());
+  EXPECT_EQ(back, data);
+  std::vector<DirEntry> entries;
+  ASSERT_TRUE(list_directory(dir, &entries).ok());
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "file.bin");
+  EXPECT_EQ(entries[0].size, 12);
+}
+
+TEST(Io, ListDirectoryIsSortedByName) {
+  const std::string dir = fresh_dir("sbmp_io_sorted");
+  ASSERT_TRUE(ensure_directory(dir).ok());
+  for (const char* name : {"c", "a", "b"})
+    ASSERT_TRUE(write_file_atomic(dir + "/" + name, "x").ok());
+  std::vector<DirEntry> entries;
+  ASSERT_TRUE(list_directory(dir, &entries).ok());
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "a");
+  EXPECT_EQ(entries[1].name, "b");
+  EXPECT_EQ(entries[2].name, "c");
+}
+
+TEST(Io, MissingFilesAreStructuredErrorsNotCrashes) {
+  std::string out;
+  const Status s = read_file("/nonexistent/nope", &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.stage, "io");
+  EXPECT_TRUE(remove_file("/tmp/sbmp_never_existed_12345").ok());
+  EXPECT_FALSE(file_exists("/tmp/sbmp_never_existed_12345"));
+}
+
+// --- disk cache ------------------------------------------------------
+
+TEST(DiskCacheTest, StoreLoadInvalidateRoundTrip) {
+  const std::string dir = fresh_dir("sbmp_disk_cache");
+  DiskCache cache(dir, 1 << 20);
+  ASSERT_TRUE(cache.init_status().ok());
+  const Fingerprint key = fingerprint_bytes("entry");
+  EXPECT_FALSE(cache.load(key).has_value());  // miss on empty
+  cache.store(key, "artifact-bytes");
+  const auto hit = cache.load(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "artifact-bytes");
+  cache.invalidate(key);
+  EXPECT_FALSE(cache.load(key).has_value());
+  const DiskCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_EQ(stats.stores, 1);
+}
+
+TEST(DiskCacheTest, PersistsAcrossInstances) {
+  const std::string dir = fresh_dir("sbmp_disk_cache_persist");
+  const Fingerprint key = fingerprint_bytes("persisted");
+  {
+    DiskCache cache(dir, 1 << 20);
+    cache.store(key, "survives");
+  }
+  DiskCache cache(dir, 1 << 20);
+  const auto hit = cache.load(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "survives");
+}
+
+TEST(DiskCacheTest, EvictionIsDeterministicOldestFirstThenName) {
+  const std::string dir = fresh_dir("sbmp_disk_cache_evict");
+  DiskCache cache(dir, 64);  // two 30-byte entries fit, three do not
+  const std::string payload(30, 'x');
+  const Fingerprint a = fingerprint_bytes("a");
+  const Fingerprint b = fingerprint_bytes("b");
+  const Fingerprint c = fingerprint_bytes("c");
+  cache.store(a, payload);
+  cache.store(b, payload);
+  // Touch `a` (a load refreshes mtime), making `b` the LRU entry.
+  ASSERT_TRUE(cache.load(a).has_value());
+  // Force distinct mtimes even on coarse-grained filesystems.
+  ASSERT_TRUE(touch_file(dir + "/" + a.to_hex() + DiskCache::kEntrySuffix)
+                  .ok());
+  cache.store(c, payload);
+  EXPECT_GE(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.load(c).has_value());  // newest entry always survives
+}
+
+TEST(DiskCacheTest, UnwritableDirectoryDegradesToNoop) {
+  DiskCache cache("/proc/definitely/not/writable", 1 << 20);
+  EXPECT_FALSE(cache.init_status().ok());
+  const Fingerprint key = fingerprint_bytes("k");
+  cache.store(key, "data");                    // must not crash
+  EXPECT_FALSE(cache.load(key).has_value());   // and never hit
+}
+
+// --- artifact codec --------------------------------------------------
+
+PipelineOptions codec_options() {
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(4, 2);
+  options.iterations = 100;
+  return options;
+}
+
+TEST(Codec, EncodedReportDecodesToTheSameArtifacts) {
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const PipelineOptions options = codec_options();
+  const LoopReport cold = run_pipeline(loop, options);
+  const Fingerprint fp = schedule_fingerprint(loop, options);
+
+  LoopReport warm;
+  ASSERT_TRUE(
+      decode_loop_report(encode_loop_report(cold, fp), options, fp, &warm)
+          .ok());
+  EXPECT_EQ(warm.name, cold.name);
+  EXPECT_EQ(warm.schedule.groups, cold.schedule.groups);
+  EXPECT_EQ(warm.schedule.slot_of, cold.schedule.slot_of);
+  EXPECT_EQ(warm.sim.parallel_time, cold.sim.parallel_time);
+  EXPECT_EQ(warm.sim.iteration_time, cold.sim.iteration_time);
+  EXPECT_EQ(warm.sim.stall_cycles, cold.sim.stall_cycles);
+  EXPECT_EQ(warm.tac.to_string(), cold.tac.to_string());
+  EXPECT_EQ(warm.schedule_violations, cold.schedule_violations);
+  EXPECT_EQ(warm.validation_violations, cold.validation_violations);
+  EXPECT_EQ(warm.status.code, cold.status.code);
+  ASSERT_TRUE(warm.dfg.has_value());  // front half fully reconstructed
+}
+
+TEST(Codec, FingerprintCoversLoopAndEverySemanticOption) {
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const Loop other = parse_single_loop_or_throw(kStencil);
+  const PipelineOptions base = codec_options();
+  const Fingerprint fp = schedule_fingerprint(loop, base);
+  EXPECT_EQ(fp, schedule_fingerprint(loop, base));  // deterministic
+  EXPECT_NE(fp, schedule_fingerprint(other, base));
+
+  const auto differs = [&](auto mutate) {
+    PipelineOptions changed = base;
+    mutate(changed);
+    return schedule_fingerprint(loop, changed) != fp;
+  };
+  EXPECT_TRUE(differs([](PipelineOptions& o) {
+    o.machine = MachineConfig::paper(2, 1);
+  }));
+  EXPECT_TRUE(differs([](PipelineOptions& o) {
+    o.scheduler = SchedulerKind::kList;
+  }));
+  EXPECT_TRUE(differs([](PipelineOptions& o) { o.iterations = 50; }));
+  EXPECT_TRUE(differs([](PipelineOptions& o) { o.processors = 4; }));
+  EXPECT_TRUE(differs([](PipelineOptions& o) { o.check_ordering = true; }));
+  EXPECT_TRUE(
+      differs([](PipelineOptions& o) { o.eliminate_redundant_waits = true; }));
+  EXPECT_TRUE(differs([](PipelineOptions& o) { o.never_degrade = false; }));
+  EXPECT_TRUE(differs([](PipelineOptions& o) { o.validate = false; }));
+  EXPECT_TRUE(differs([](PipelineOptions& o) { o.validate_tolerance = 3; }));
+
+  // Where the artifact is stored must never change what it is.
+  EXPECT_FALSE(differs([](PipelineOptions& o) { o.cache_dir = "/elsewhere"; }));
+  EXPECT_FALSE(differs([](PipelineOptions& o) { o.cache_max_bytes = 1; }));
+}
+
+TEST(Codec, RejectsFingerprintMismatch) {
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const PipelineOptions options = codec_options();
+  const LoopReport report = run_pipeline(loop, options);
+  const Fingerprint fp = schedule_fingerprint(loop, options);
+  const std::string payload = encode_loop_report(report, fp);
+
+  // Same bytes requested under a different key: the entry must refuse
+  // to masquerade (this is what makes the cache content-addressed).
+  PipelineOptions other = options;
+  other.iterations = 7;
+  LoopReport out;
+  const Status s = decode_loop_report(payload, options,
+                                      schedule_fingerprint(loop, other), &out);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kInput);
+}
+
+TEST(Codec, RejectsTamperedSchedule) {
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const PipelineOptions options = codec_options();
+  LoopReport report = run_pipeline(loop, options);
+  const Fingerprint fp = schedule_fingerprint(loop, options);
+
+  // Forge a wrong-but-well-formed artifact: swap the first two issue
+  // groups. The stored clean verdict can no longer be reproduced by
+  // re-verification, so the decode must reject rather than serve a
+  // schedule whose verdict it cannot reproduce.
+  ASSERT_GE(report.schedule.groups.size(), 2u);
+  std::swap(report.schedule.groups[0], report.schedule.groups[1]);
+  LoopReport out;
+  EXPECT_FALSE(
+      decode_loop_report(encode_loop_report(report, fp), options, fp, &out)
+          .ok());
+}
+
+TEST(Codec, RejectsOutOfRangeInstructionIds) {
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const PipelineOptions options = codec_options();
+  LoopReport report = run_pipeline(loop, options);
+  const Fingerprint fp = schedule_fingerprint(loop, options);
+  ASSERT_FALSE(report.schedule.groups.empty());
+  report.schedule.groups[0].push_back(9999);
+  LoopReport out;
+  EXPECT_FALSE(
+      decode_loop_report(encode_loop_report(report, fp), options, fp, &out)
+          .ok());
+}
+
+TEST(Codec, PipelineOptionsRoundTrip) {
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(2, 2);
+  options.machine.signal_latency = 5;
+  options.scheduler = SchedulerKind::kList;
+  options.iterations = 37;
+  options.processors = 9;
+  options.check_ordering = true;
+  options.eliminate_redundant_waits = true;
+  options.never_degrade = false;
+  options.validate = false;
+  options.validate_tolerance = 11;
+  PipelineOptions back;
+  ASSERT_TRUE(
+      decode_pipeline_options(encode_pipeline_options(options), &back).ok());
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  // Key-equality is the codec's contract: the daemon compiles exactly
+  // the run the client fingerprinted.
+  EXPECT_EQ(ResultCache::key(loop, back), ResultCache::key(loop, options));
+}
+
+// --- caching compiler ------------------------------------------------
+
+TEST(CachingCompilerTest, WarmRunIsServedFromDiskAndIdentical) {
+  const std::string dir = fresh_dir("sbmp_warm");
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const PipelineOptions options = codec_options();
+
+  LoopReport cold;
+  {
+    DiskCache disk(dir, 1 << 20);
+    ResultCache memory;
+    CachingCompiler compiler(&memory, &disk);
+    cold = compiler.compile(loop, options);
+    EXPECT_EQ(compiler.compiles(), 1);
+    EXPECT_EQ(disk.stats().stores, 1);
+  }
+  // Fresh process-equivalent: new in-memory cache over the same dir.
+  DiskCache disk(dir, 1 << 20);
+  ResultCache memory;
+  CachingCompiler compiler(&memory, &disk);
+  const LoopReport warm = compiler.compile(loop, options);
+  EXPECT_EQ(compiler.compiles(), 0);  // never re-ran the pipeline
+  EXPECT_EQ(disk.stats().hits, 1);
+  EXPECT_EQ(warm.schedule.groups, cold.schedule.groups);
+  EXPECT_EQ(warm.sim.parallel_time, cold.sim.parallel_time);
+  // Second call in the same process must come from memory, not disk.
+  (void)compiler.compile(loop, options);
+  EXPECT_EQ(disk.stats().hits, 1);
+  EXPECT_EQ(memory.hits(), 1);
+}
+
+TEST(CachingCompilerTest, CorruptEntryIsAMissNeverACrash) {
+  const std::string dir = fresh_dir("sbmp_corrupt");
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const PipelineOptions options = codec_options();
+  LoopReport cold;
+  {
+    DiskCache disk(dir, 1 << 20);
+    ResultCache memory;
+    CachingCompiler compiler(&memory, &disk);
+    cold = compiler.compile(loop, options);
+  }
+  // Truncate the entry on disk — the classic crash-mid-write artifact
+  // shape (though write_file_atomic itself never leaves one).
+  const std::string path = dir + "/" +
+                           schedule_fingerprint(loop, options).to_hex() +
+                           DiskCache::kEntrySuffix;
+  ASSERT_TRUE(file_exists(path));
+  std::string bytes;
+  ASSERT_TRUE(read_file(path, &bytes).ok());
+  ASSERT_TRUE(write_file_atomic(path, bytes.substr(0, bytes.size() / 2)).ok());
+
+  DiskCache disk(dir, 1 << 20);
+  ResultCache memory;
+  CachingCompiler compiler(&memory, &disk);
+  const LoopReport again = compiler.compile(loop, options);
+  EXPECT_EQ(compiler.compiles(), 1);         // recompiled
+  EXPECT_EQ(compiler.corrupt_entries(), 1);  // and counted the rejection
+  EXPECT_FALSE(compiler.last_decode_error().ok());
+  EXPECT_EQ(again.schedule.groups, cold.schedule.groups);
+  EXPECT_EQ(again.sim.parallel_time, cold.sim.parallel_time);
+  // The recompile re-stored a good entry: a third compiler hits disk.
+  DiskCache disk2(dir, 1 << 20);
+  ResultCache memory2;
+  CachingCompiler compiler2(&memory2, &disk2);
+  (void)compiler2.compile(loop, options);
+  EXPECT_EQ(compiler2.compiles(), 0);
+}
+
+// --- schedule server -------------------------------------------------
+
+TEST(ScheduleServerTest, ConcurrentIdenticalRequestsCompileOnce) {
+  ScheduleServer server(ServerOptions{});
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const PipelineOptions options = codec_options();
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::vector<std::int64_t> times(kThreads, -1);
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      try {
+        times[static_cast<std::size_t>(t)] =
+            server.compile(loop, options).parallel_time();
+      } catch (const StatusError&) {
+        failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(times[0], times[t]);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, kThreads);
+  // Single-flight + memory cache: exactly one pipeline run, every other
+  // request either joined the flight or hit the cache.
+  EXPECT_EQ(stats.compiles, 1);
+  EXPECT_EQ(stats.singleflight_joins + stats.memory_hits, kThreads - 1);
+}
+
+TEST(ScheduleServerTest, BatchIsOrderStableAndFailureIsolated) {
+  ScheduleServer server(ServerOptions{});
+  const PipelineOptions options = codec_options();
+  std::vector<CompileRequest> requests;
+  requests.push_back({parse_single_loop_or_throw(kPaperExample), options});
+  // An irregular carried dependence (5 not a multiple of 2) the
+  // pipeline refuses: no uniform Wait(S, i-d) covers it.
+  requests.push_back(
+      {parse_single_loop_or_throw("doacross I = 1, 30\n"
+                                  "  A[2*I] = A[5*I+1] + 1\n"
+                                  "end\n"),
+       options});
+  requests.push_back({parse_single_loop_or_throw(kStencil), options});
+
+  const std::vector<LoopReport> reports = server.compile_batch(requests);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_TRUE(reports[0].status.ok());
+  EXPECT_GT(reports[0].parallel_time(), 0);
+  EXPECT_FALSE(reports[1].status.ok());  // stub carrying the refusal
+  EXPECT_TRUE(reports[2].status.ok());
+  // Order stability: result i must describe request i.
+  EXPECT_EQ(reports[0].loop.to_string(), requests[0].loop.to_string());
+  EXPECT_EQ(reports[2].loop.to_string(), requests[2].loop.to_string());
+}
+
+// --- framed protocol -------------------------------------------------
+
+TEST(Protocol, FrameRoundTripsOverASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::string payload("frame\0bytes", 11);
+  ASSERT_TRUE(write_frame(fds[0], FrameType::kCompileRequest, payload).ok());
+  Frame frame;
+  ASSERT_TRUE(read_frame(fds[1], &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kCompileRequest);
+  EXPECT_EQ(frame.payload, payload);
+  // Clean EOF between frames is the end-of-session signal, stage "eof".
+  ::close(fds[0]);
+  const Status s = read_frame(fds[1], &frame);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.stage, "eof");
+  ::close(fds[1]);
+}
+
+TEST(Protocol, RejectsBadMagicAndOversizedFrames) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // 16 junk bytes: not an SBMP header.
+  const char junk[16] = {'n', 'o', 't', 'S', 'B', 'M', 'P', 0,
+                         0,   0,   0,   0,   0,   0,   0,   0};
+  ASSERT_EQ(::write(fds[0], junk, sizeof junk), 16);
+  Frame frame;
+  EXPECT_FALSE(read_frame(fds[1], &frame).ok());
+  ::close(fds[0]);
+  ::close(fds[1]);
+
+  // A header declaring a payload beyond the cap must be refused before
+  // any allocation.
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  char header[16] = {'S', 'B', 'M', 'P', 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
+  const std::uint64_t huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 8; ++i)
+    header[8 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  ASSERT_EQ(::write(fds[0], header, sizeof header), 16);
+  EXPECT_FALSE(read_frame(fds[1], &frame).ok());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Protocol, CompileRequestAndResponseRoundTrip) {
+  const std::string options_payload = encode_pipeline_options(codec_options());
+  const std::string request = encode_compile_request(options_payload,
+                                                     kPaperExample);
+  std::string options_back;
+  std::string loop_back;
+  ASSERT_TRUE(
+      decode_compile_request(request, &options_back, &loop_back).ok());
+  EXPECT_EQ(options_back, options_payload);
+  EXPECT_EQ(loop_back, kPaperExample);
+
+  const Status failure =
+      Status::error(StatusCode::kInput, "parse", "bad loop");
+  const std::string response = encode_compile_response(failure, "");
+  Status status_back;
+  std::string report_back;
+  ASSERT_TRUE(
+      decode_compile_response(response, &status_back, &report_back).ok());
+  EXPECT_EQ(status_back.code, StatusCode::kInput);
+  EXPECT_EQ(status_back.stage, "parse");
+  EXPECT_EQ(status_back.message, "bad loop");
+  EXPECT_TRUE(report_back.empty());
+}
+
+}  // namespace
+}  // namespace sbmp

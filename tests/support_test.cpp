@@ -112,6 +112,86 @@ TEST(Rng, ChanceBounds) {
   }
 }
 
+TEST(Rng, RangeSpanUsesModularArithmetic) {
+  // `hi - lo` in int64 overflows for mixed-sign extremes; range_span
+  // must wrap in uint64 instead of invoking UB.
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  static_assert(range_span(0, 0) == 1);
+  static_assert(range_span(-2, 2) == 5);
+  static_assert(range_span(kMin, -1) == 0x8000000000000000ull);
+  static_assert(range_span(0, kMax) == 0x8000000000000000ull);
+  // Full domain: 2^64 values, which wraps to 0 (the sentinel).
+  static_assert(range_span(kMin, kMax) == 0);
+}
+
+TEST(Rng, RangeCoversTheFullInt64DomainWithoutUb) {
+  // Regression: span == 0 used to reach `next() % 0`, and the mixed-sign
+  // subtraction overflowed. Any draw is in-range by construction here;
+  // what is tested is that the calls are well-defined and deterministic.
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  SplitMix64 a(123);
+  SplitMix64 b(123);
+  bool saw_negative = false;
+  bool saw_positive = false;
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t v = a.range(kMin, kMax);
+    EXPECT_EQ(v, b.range(kMin, kMax));
+    saw_negative = saw_negative || v < 0;
+    saw_positive = saw_positive || v > 0;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(Rng, RangeMixedSignExtremesStayInBounds) {
+  constexpr auto kMin = std::numeric_limits<std::int64_t>::min();
+  constexpr auto kMax = std::numeric_limits<std::int64_t>::max();
+  SplitMix64 rng(77);
+  for (int i = 0; i < 200; ++i) {
+    const std::int64_t half = rng.range(kMin, 0);
+    EXPECT_LE(half, 0);
+    const std::int64_t other = rng.range(-1, kMax);
+    EXPECT_GE(other, -1);
+    const std::int64_t point = rng.range(kMax, kMax);
+    EXPECT_EQ(point, kMax);
+  }
+}
+
+TEST(Rng, RangeSequencesAreBitIdenticalToTheOldArithmetic) {
+  // Seeded sweeps (fuzz_test, the random loop generator) depend on the
+  // exact draw sequence; the overflow fix must not disturb spans the old
+  // `next() % (hi - lo + 1)` handled correctly.
+  SplitMix64 fixed(2024);
+  SplitMix64 reference(2024);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t draw = reference.next();
+    EXPECT_EQ(fixed.range(10, 20),
+              10 + static_cast<std::int64_t>(draw % 11ull));
+  }
+}
+
+TEST(Strings, AppendfFormatsIntoTheBuffer) {
+  std::string out = "prefix:";
+  appendf(out, " %d %s %.2f", 42, "mid", 2.5);
+  EXPECT_EQ(out, "prefix: 42 mid 2.50");
+  appendf(out, "%s", "");  // zero-length append is a no-op
+  EXPECT_EQ(out, "prefix: 42 mid 2.50");
+}
+
+TEST(Strings, AppendfHandlesResultsBeyondTheStackBuffer) {
+  // The fast path uses a 1 KiB stack buffer; anything larger must take
+  // the heap fallback and still produce the full formatted string.
+  const std::string big(5000, 'x');
+  std::string out;
+  appendf(out, "[%s]", big.c_str());
+  EXPECT_EQ(out.size(), big.size() + 2);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+  EXPECT_EQ(out.substr(1, big.size()), big);
+}
+
 TEST(Table, RendersAlignedColumns) {
   TextTable table;
   table.set_header({"name", "value"});

@@ -3,11 +3,17 @@
 #include <gtest/gtest.h>
 
 #ifdef SBMPC_PATH
+#include <signal.h>
+#include <sys/stat.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <vector>
 #endif
 
 #include "sbmp/codegen/codegen.h"
@@ -203,6 +209,195 @@ TEST(SbmpcExitCodes, OneBadFileInABatchStillRendersTheRest) {
   // asserted by the fold being 1 (not 2/4) with a good file first.
   EXPECT_EQ(run_sbmpc(fig1_path() + " /nonexistent/missing.loop"), 1);
 }
+
+// --- schedule-cache and daemon contracts (docs/serving.md) -----------
+
+/// Like run_sbmpc but captures stdout, so byte-identity across cache
+/// states and transports can be asserted, not just exit codes.
+int run_sbmpc_capture(const std::string& args, std::string* out) {
+  const std::string path = ::testing::TempDir() + "sbmpc_capture.txt";
+  const std::string cmd =
+      std::string(SBMPC_PATH) + " " + args + " > " + path + " 2>/dev/null";
+  const int raw = std::system(cmd.c_str());
+  std::ifstream in(path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+}
+
+std::string fresh_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + name;
+  std::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+/// The flag set the cache tests run with — the full rendering surface,
+/// so the byte-identity assertion covers every dump path a cached
+/// report feeds (schedule, stats, comparison, validation verdicts).
+std::string render_flags() {
+  return "--compare --dump schedule --dump stats --check ";
+}
+
+TEST(SbmpcScheduleCache, WarmRunsAreByteIdenticalToCold) {
+  const std::string dir = fresh_dir("sbmpc_cache");
+  const std::string args =
+      render_flags() + "--cache-dir " + dir + " " + fig1_path();
+  std::string cold;
+  ASSERT_EQ(run_sbmpc_capture(args, &cold), 0);
+  ASSERT_FALSE(cold.empty());
+  std::string warm;
+  ASSERT_EQ(run_sbmpc_capture(args, &warm), 0);
+  EXPECT_EQ(warm, cold);
+  // And equal to an uncached local run: the cache may never change the
+  // output, only the time it takes.
+  std::string uncached;
+  ASSERT_EQ(run_sbmpc_capture(render_flags() + fig1_path(), &uncached), 0);
+  EXPECT_EQ(uncached, cold);
+}
+
+TEST(SbmpcScheduleCache, SuiteWarmRunIsByteIdentical) {
+  const std::string dir = fresh_dir("sbmpc_cache_suite");
+  const std::string args = "--list-benchmarks --cache-dir " + dir;
+  std::string cold;
+  ASSERT_EQ(run_sbmpc_capture(args, &cold), 0);
+  std::string warm;
+  ASSERT_EQ(run_sbmpc_capture(args, &warm), 0);
+  EXPECT_EQ(warm, cold);
+}
+
+TEST(SbmpcScheduleCache, CorruptedEntriesAreRecompiledNotServed) {
+  const std::string dir = fresh_dir("sbmpc_cache_corrupt");
+  const std::string args =
+      render_flags() + "--cache-dir " + dir + " " + fig1_path();
+  std::string cold;
+  ASSERT_EQ(run_sbmpc_capture(args, &cold), 0);
+  // Deliberately corrupt every stored entry: truncate one, bit-flip
+  // another, garbage a third — each must be treated as a miss.
+  std::vector<std::string> entries;
+  {
+    const std::string cmd = "ls " + dir + " > " + dir + ".list";
+    ASSERT_EQ(std::system(cmd.c_str()), 0);
+    std::ifstream list(dir + ".list");
+    for (std::string name; std::getline(list, name);)
+      entries.push_back(dir + "/" + name);
+  }
+  ASSERT_FALSE(entries.empty());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    std::ifstream in(entries[i]);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    std::string bytes = buffer.str();
+    switch (i % 3) {
+      case 0: bytes = bytes.substr(0, bytes.size() / 2); break;
+      case 1: bytes[bytes.size() / 3] ^= 0x41; break;
+      default: bytes = "not a cache entry at all"; break;
+    }
+    std::ofstream(entries[i], std::ios::trunc) << bytes;
+  }
+  std::string recompiled;
+  ASSERT_EQ(run_sbmpc_capture(args, &recompiled), 0);  // never a crash
+  EXPECT_EQ(recompiled, cold);  // and never a wrong schedule
+}
+
+#ifdef SBMPD_PATH
+
+/// Starts sbmpd and waits until its socket accepts; kills the daemon in
+/// the destructor if the test did not shut it down itself.
+class DaemonGuard {
+ public:
+  explicit DaemonGuard(const std::string& extra_args) {
+    socket_ = ::testing::TempDir() + "sbmpd_test_" +
+              std::to_string(::getpid()) + ".sock";
+    ::unlink(socket_.c_str());
+    // Exec the daemon directly — a shell wrapper would make pid_ the
+    // shell's, and the SIGTERM below must reach sbmpd itself.
+    std::vector<std::string> argv_storage = {SBMPD_PATH, "--socket", socket_};
+    std::istringstream extra(extra_args);
+    for (std::string word; extra >> word;) argv_storage.push_back(word);
+    std::vector<char*> argv;
+    for (auto& arg : argv_storage) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      std::freopen("/dev/null", "w", stderr);
+      ::execv(SBMPD_PATH, argv.data());
+      std::_Exit(127);
+    }
+    for (int i = 0; i < 100 && !ready(); ++i) ::usleep(50 * 1000);
+  }
+
+  ~DaemonGuard() {
+    if (pid_ > 0) {
+      ::kill(pid_, SIGKILL);
+      int ignored;
+      ::waitpid(pid_, &ignored, 0);
+    }
+    ::unlink(socket_.c_str());
+  }
+
+  [[nodiscard]] bool ready() const {
+    struct stat st{};
+    return ::stat(socket_.c_str(), &st) == 0;
+  }
+
+  [[nodiscard]] const std::string& socket() const { return socket_; }
+
+  /// SIGTERM + wait; returns the daemon's exit code (-1 on signal
+  /// death). The graceful-drain contract says this must be 0.
+  int terminate() {
+    ::kill(pid_, SIGTERM);
+    int raw = 0;
+    ::waitpid(pid_, &raw, 0);
+    pid_ = -1;
+    return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  }
+
+ private:
+  std::string socket_;
+  pid_t pid_ = -1;
+};
+
+TEST(SbmpdDaemon, RemoteRunsAreByteIdenticalToLocalRuns) {
+  DaemonGuard daemon("--jobs 2");
+  ASSERT_TRUE(daemon.ready()) << "sbmpd did not come up";
+  std::string local;
+  ASSERT_EQ(run_sbmpc_capture(render_flags() + fig1_path(), &local), 0);
+  std::string remote;
+  ASSERT_EQ(run_sbmpc_capture(render_flags() + "--remote " + daemon.socket() +
+                                  " " + fig1_path(),
+                              &remote),
+            0);
+  EXPECT_EQ(remote, local);
+  // Second client: served from the daemon's caches, still identical.
+  std::string remote2;
+  ASSERT_EQ(run_sbmpc_capture(render_flags() + "--remote " + daemon.socket() +
+                                  " " + fig1_path(),
+                              &remote2),
+            0);
+  EXPECT_EQ(remote2, local);
+  EXPECT_EQ(daemon.terminate(), 0);  // graceful drain on SIGTERM
+}
+
+TEST(SbmpdDaemon, RemoteSuiteRunIsByteIdentical) {
+  const std::string dir = fresh_dir("sbmpd_cache");
+  DaemonGuard daemon("--cache-dir " + dir);
+  ASSERT_TRUE(daemon.ready()) << "sbmpd did not come up";
+  std::string local;
+  ASSERT_EQ(run_sbmpc_capture("--list-benchmarks", &local), 0);
+  std::string remote;
+  ASSERT_EQ(run_sbmpc_capture(
+                "--list-benchmarks --remote " + daemon.socket(), &remote),
+            0);
+  EXPECT_EQ(remote, local);
+  EXPECT_EQ(daemon.terminate(), 0);
+}
+
+TEST(SbmpdDaemon, MissingDaemonIsAnInputError) {
+  EXPECT_EQ(run_sbmpc("--remote /nonexistent/sbmpd.sock " + fig1_path()), 1);
+}
+
+#endif  // SBMPD_PATH
 
 #endif  // SBMPC_PATH
 

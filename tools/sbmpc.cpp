@@ -29,6 +29,14 @@
 //   --dump WHAT        sync | tac | dfg | dot | schedule | stats |
 //                      trace | all
 //                      (repeatable; dot prints a Graphviz digraph)
+//   --cache-dir DIR    persistent schedule cache (content-addressed;
+//                      warm runs are byte-identical to cold runs, see
+//                      docs/serving.md)
+//   --cache-bytes N    size cap of the persistent cache (default 256 MiB;
+//                      oldest entries are evicted first)
+//   --remote SOCK      compile through a running sbmpd daemon at the
+//                      given Unix socket instead of in-process; output
+//                      is byte-identical to a local run
 //
 // Exit codes (the StatusCode contract, see docs/robustness.md):
 //   0  success
@@ -39,10 +47,10 @@
 //   4  internal error
 // All diagnostics are rendered before exit: one bad loop or file never
 // suppresses the reports of the others.
-#include <cstdarg>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <set>
 #include <sstream>
@@ -52,6 +60,8 @@
 #include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
 #include "sbmp/dfg/export.h"
+#include "sbmp/serve/client.h"
+#include "sbmp/serve/server.h"
 #include "sbmp/perfect/suite.h"
 #include "sbmp/restructure/classify.h"
 #include "sbmp/sched/stats.h"
@@ -73,31 +83,12 @@ struct CliOptions {
   bool run_suite = false;
   int jobs = 0;  ///< 0 = hardware threads, 1 = serial
   std::optional<ScheduleMutation> mutate;
+  std::string remote_socket;  ///< non-empty = compile through sbmpd
 
   [[nodiscard]] bool dump(const char* what) const {
     return dumps.count(what) != 0 || dumps.count("all") != 0;
   }
 };
-
-/// printf-appends to `out` (loop reports are rendered off-thread into
-/// strings and printed in order, so output is identical for any --jobs).
-__attribute__((format(printf, 2, 3))) void appendf(std::string& out,
-                                                   const char* fmt, ...) {
-  char buffer[1024];
-  va_list args;
-  va_start(args, fmt);
-  const int needed = std::vsnprintf(buffer, sizeof buffer, fmt, args);
-  va_end(args);
-  if (needed < static_cast<int>(sizeof buffer)) {
-    out.append(buffer, static_cast<std::size_t>(needed > 0 ? needed : 0));
-    return;
-  }
-  std::vector<char> big(static_cast<std::size_t>(needed) + 1);
-  va_start(args, fmt);
-  std::vsnprintf(big.data(), big.size(), fmt, args);
-  va_end(args);
-  out.append(big.data(), static_cast<std::size_t>(needed));
-}
 
 [[noreturn]] void usage(const char* message) {
   if (message != nullptr) std::fprintf(stderr, "sbmpc: %s\n", message);
@@ -106,7 +97,8 @@ __attribute__((format(printf, 2, 3))) void appendf(std::string& out,
                "             [--iterations N] [--processors P] [--compare]\n"
                "             [--check] [--eliminate] [--validate]\n"
                "             [--no-validate] [--tolerance N] [--mutate M]\n"
-               "             [--dump WHAT] [--jobs N]\n"
+               "             [--dump WHAT] [--jobs N] [--cache-dir DIR]\n"
+               "             [--cache-bytes N] [--remote SOCK]\n"
                "             file.loop... | --list-benchmarks\n");
   std::exit(exit_code(StatusCode::kUsage));
 }
@@ -161,6 +153,14 @@ CliOptions parse_cli(int argc, char** argv) {
         usage("unknown mutation (hoist-send | sink-wait | drop-arc)");
     } else if (std::strcmp(arg, "--jobs") == 0) {
       cli.jobs = std::atoi(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      cli.pipeline.cache_dir = next_arg(argc, argv, i);
+    } else if (std::strcmp(arg, "--cache-bytes") == 0) {
+      cli.pipeline.cache_max_bytes = std::atoll(next_arg(argc, argv, i));
+      if (cli.pipeline.cache_max_bytes < 0)
+        usage("--cache-bytes must be non-negative");
+    } else if (std::strcmp(arg, "--remote") == 0) {
+      cli.remote_socket = next_arg(argc, argv, i);
     } else if (std::strcmp(arg, "--dump") == 0) {
       cli.dumps.insert(next_arg(argc, argv, i));
     } else if (std::strcmp(arg, "--list-benchmarks") == 0) {
@@ -223,8 +223,22 @@ void render_mutation(std::string& out, const LoopReport& report,
   }
 }
 
+/// compare_schedulers with both runs routed through `compiler`, so
+/// --compare hits the same caches / daemon as plain runs.
+SchedulerComparison compare_schedulers_via(LoopCompiler& compiler,
+                                           const Loop& loop,
+                                           const PipelineOptions& base) {
+  SchedulerComparison out;
+  PipelineOptions options = base;
+  options.scheduler = SchedulerKind::kList;
+  out.baseline = compiler.compile(loop, options);
+  options.scheduler = SchedulerKind::kSyncAware;
+  out.improved = compiler.compile(loop, options);
+  return out;
+}
+
 std::string render_loop(const PreLoop& pre, const CliOptions& cli,
-                        ResultCache* cache, Status& status) {
+                        LoopCompiler& compiler, Status& status) {
   std::string out;
   RestructureResult restructured;
   try {
@@ -253,7 +267,7 @@ std::string render_loop(const PreLoop& pre, const CliOptions& cli,
     return out;
   }
 
-  const LoopReport report = run_pipeline_cached(loop, cli.pipeline, cache);
+  const LoopReport report = compiler.compile(loop, cli.pipeline);
   status = report.status;
   if (cli.dump("sync"))
     appendf(out, "%s", report.synced.to_string().c_str());
@@ -294,7 +308,7 @@ std::string render_loop(const PreLoop& pre, const CliOptions& cli,
 
   if (cli.compare) {
     const SchedulerComparison cmp =
-        compare_schedulers_cached(loop, cli.pipeline, cache);
+        compare_schedulers_via(compiler, loop, cli.pipeline);
     const std::optional<double> imp = cmp.improvement_opt();
     appendf(out, "  list %lld cycles, sync-aware %lld cycles (%s)\n",
             static_cast<long long>(cmp.baseline.parallel_time()),
@@ -379,13 +393,33 @@ int run(const CliOptions& cli) {
   // Phase 2: render every loop report, fanned out over --jobs workers.
   // Each worker writes only its own item, so output assembly is
   // race-free and the printed order below never depends on job count.
-  ResultCache cache;
+  //
+  // Every compile goes through one LoopCompiler: the in-memory
+  // ResultCache as before, optionally backed by the persistent
+  // --cache-dir store, or replaced wholesale by a --remote daemon. The
+  // rendering code is shared, so all three transports print identical
+  // bytes for identical inputs (tooling_test locks this in).
+  ResultCache memory;
+  std::unique_ptr<DiskCache> disk;
+  std::unique_ptr<LoopCompiler> compiler;
+  if (!cli.remote_socket.empty()) {
+    compiler = std::make_unique<RemoteCompiler>(cli.remote_socket);
+  } else {
+    if (!cli.pipeline.cache_dir.empty()) {
+      disk = std::make_unique<DiskCache>(cli.pipeline.cache_dir,
+                                         cli.pipeline.cache_max_bytes);
+      if (!disk->init_status().ok())
+        std::fprintf(stderr, "sbmpc: warning: schedule cache disabled: %s\n",
+                     disk->init_status().to_string().c_str());
+    }
+    compiler = std::make_unique<CachingCompiler>(&memory, disk.get());
+  }
   parallel_for(cli.jobs, 0, static_cast<std::int64_t>(items.size()),
                [&](std::int64_t i) {
                  Item& item = items[static_cast<std::size_t>(i)];
                  try {
                    item.rendered =
-                       render_loop(*item.loop, cli, &cache, item.status);
+                       render_loop(*item.loop, cli, *compiler, item.status);
                  } catch (const StatusError& e) {
                    item.status = e.status();
                  } catch (const SbmpError& e) {

@@ -1,0 +1,236 @@
+// sbmpd — schedule-serving daemon.
+//
+// Listens on a Unix-domain socket and answers framed compile requests
+// (see src/serve/include/sbmp/serve/protocol.h and docs/serving.md) with
+// the same LoopReport artifacts the disk cache stores. `sbmpc --remote
+// <socket>` is the matching client and prints byte-identical reports to
+// a local run.
+//
+//   sbmpd --socket PATH [--jobs N] [--cache-dir DIR] [--cache-bytes N]
+//
+// Options:
+//   --socket PATH      Unix-domain socket to listen on (required; a
+//                      stale socket file from a dead daemon is replaced)
+//   --jobs N           worker threads for batch compiles inside the
+//                      serving core (0 = hardware threads)
+//   --cache-dir DIR    persistent schedule cache shared with sbmpc
+//   --cache-bytes N    size cap of the persistent cache (default 256 MiB)
+//
+// Shutdown: SIGTERM or SIGINT drains gracefully — the listener closes
+// immediately, every in-flight request runs to completion and its
+// response is still delivered, idle connections are hung up, and the
+// daemon exits 0 after printing its serving statistics.
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sbmp/core/pipeline.h"
+#include "sbmp/serve/codec.h"
+#include "sbmp/serve/protocol.h"
+#include "sbmp/serve/server.h"
+#include "sbmp/support/status.h"
+
+namespace {
+
+using namespace sbmp;
+
+volatile std::sig_atomic_t g_stop = 0;
+int g_listen_fd = -1;  ///< set before handlers are installed
+
+/// Only async-signal-safe work: raise the flag and close the listener so
+/// the accept loop wakes up. Everything else happens on the main thread.
+void on_signal(int) {
+  g_stop = 1;
+  if (g_listen_fd >= 0) ::close(g_listen_fd);
+}
+
+/// Open client connections. Threads close their fd under the same mutex
+/// the drain uses for shutdown(2), so a drained fd is always still a
+/// socket owned by this table.
+std::mutex g_conn_mu;
+std::set<int> g_conns;
+
+void register_conn(int fd) {
+  std::lock_guard<std::mutex> lock(g_conn_mu);
+  g_conns.insert(fd);
+}
+
+void close_conn(int fd) {
+  std::lock_guard<std::mutex> lock(g_conn_mu);
+  g_conns.erase(fd);
+  ::close(fd);
+}
+
+/// Hangs up the read side of every open connection: a client mid-request
+/// still receives its response, the next read sees EOF and the handler
+/// thread exits.
+void drain_conns() {
+  std::lock_guard<std::mutex> lock(g_conn_mu);
+  for (const int fd : g_conns) ::shutdown(fd, SHUT_RD);
+}
+
+[[noreturn]] void usage(const char* message) {
+  if (message != nullptr) std::fprintf(stderr, "sbmpd: %s\n", message);
+  std::fprintf(stderr,
+               "usage: sbmpd --socket PATH [--jobs N] [--cache-dir DIR]\n"
+               "             [--cache-bytes N]\n");
+  std::exit(exit_code(StatusCode::kUsage));
+}
+
+const char* next_arg(int argc, char** argv, int& i) {
+  if (i + 1 >= argc) usage("missing option value");
+  return argv[++i];
+}
+
+/// Answers one compile request; never throws. Any failure — malformed
+/// request, unparsable loop, pipeline refusal — travels back as the
+/// response status, exactly what a local run_pipeline would have thrown.
+std::string handle_compile(ScheduleServer& server, const std::string& payload) {
+  std::string options_payload;
+  std::string loop_source;
+  Status status = decode_compile_request(payload, &options_payload,
+                                         &loop_source);
+  PipelineOptions options;
+  if (status.ok()) status = decode_pipeline_options(options_payload, &options);
+  if (status.ok()) {
+    try {
+      const Loop loop = parse_single_loop_or_throw(loop_source);
+      const LoopReport report = server.compile(loop, options);
+      return encode_compile_response(
+          Status::okay(),
+          encode_loop_report(report, schedule_fingerprint(loop, options)));
+    } catch (const StatusError& e) {
+      status = e.status();
+    } catch (const SbmpError& e) {
+      status = Status::error(StatusCode::kInput, "parse", e.what());
+    } catch (const std::exception& e) {
+      status = Status::error(StatusCode::kInternal, "daemon", e.what());
+    }
+  }
+  return encode_compile_response(status, "");
+}
+
+/// One session: frames in, frames out, until the peer hangs up or
+/// misbehaves. A protocol error ends the session (the peer is broken;
+/// there is no way to resynchronize a length-prefixed stream).
+void serve_connection(ScheduleServer& server, int fd) {
+  register_conn(fd);
+  for (;;) {
+    Frame frame;
+    if (Status s = read_frame(fd, &frame); !s.ok()) break;
+    if (frame.type == FrameType::kPing) {
+      if (Status s = write_frame(fd, FrameType::kPong, ""); !s.ok()) break;
+      continue;
+    }
+    if (frame.type != FrameType::kCompileRequest) break;
+    const std::string response = handle_compile(server, frame.payload);
+    if (Status s = write_frame(fd, FrameType::kCompileResponse, response);
+        !s.ok())
+      break;
+  }
+  close_conn(fd);
+}
+
+int run(int argc, char** argv) {
+  std::string socket_path;
+  ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--socket") == 0) {
+      socket_path = next_arg(argc, argv, i);
+    } else if (std::strcmp(arg, "--jobs") == 0) {
+      options.jobs = std::atoi(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--cache-dir") == 0) {
+      options.cache_dir = next_arg(argc, argv, i);
+    } else if (std::strcmp(arg, "--cache-bytes") == 0) {
+      options.cache_max_bytes = std::atoll(next_arg(argc, argv, i));
+      if (options.cache_max_bytes < 0)
+        usage("--cache-bytes must be non-negative");
+    } else if (std::strcmp(arg, "--help") == 0) {
+      usage(nullptr);
+    } else {
+      usage((std::string("unknown option ") + arg).c_str());
+    }
+  }
+  if (socket_path.empty()) usage("--socket is required");
+
+  ScheduleServer server(options);
+  if (server.disk_cache() != nullptr &&
+      !server.disk_cache()->init_status().ok())
+    std::fprintf(stderr, "sbmpd: warning: schedule cache disabled: %s\n",
+                 server.disk_cache()->init_status().to_string().c_str());
+
+  if (Status s = listen_unix(socket_path, &g_listen_fd); !s.ok()) {
+    std::fprintf(stderr, "sbmpd: %s\n", s.to_string().c_str());
+    return exit_code(s.code);
+  }
+
+  // A client that disconnects mid-response must not kill the daemon.
+  std::signal(SIGPIPE, SIG_IGN);
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;  // no SA_RESTART: accept must see EINTR
+  sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::sigaction(SIGINT, &sa, nullptr);
+
+  std::fprintf(stderr, "sbmpd: listening on %s (jobs=%d, cache=%s)\n",
+               socket_path.c_str(), options.jobs,
+               options.cache_dir.empty() ? "<memory>"
+                                         : options.cache_dir.c_str());
+
+  std::vector<std::thread> handlers;
+  while (g_stop == 0) {
+    const int fd = ::accept(g_listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (g_stop != 0) break;
+      if (errno == EINTR) continue;
+      std::fprintf(stderr, "sbmpd: accept failed: %s\n",
+                   std::strerror(errno));
+      break;
+    }
+    handlers.emplace_back(
+        [&server, fd] { serve_connection(server, fd); });
+  }
+
+  // Graceful drain: stop reading, finish what is in flight, then leave.
+  drain_conns();
+  for (auto& handler : handlers) handler.join();
+  ::unlink(socket_path.c_str());
+
+  const ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "sbmpd: drained: %lld requests, %lld compiles, %lld memory "
+               "hits, %lld disk hits, %lld single-flight joins, %lld corrupt "
+               "entries\n",
+               static_cast<long long>(stats.requests),
+               static_cast<long long>(stats.compiles),
+               static_cast<long long>(stats.memory_hits),
+               static_cast<long long>(stats.disk_hits),
+               static_cast<long long>(stats.singleflight_joins),
+               static_cast<long long>(stats.corrupt_entries));
+  return exit_code(StatusCode::kOk);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const StatusError& e) {
+    std::fprintf(stderr, "sbmpd: %s\n", e.status().to_string().c_str());
+    return exit_code(e.status().code);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "sbmpd: internal error: %s\n", e.what());
+    return exit_code(StatusCode::kInternal);
+  }
+}
