@@ -1,18 +1,98 @@
 #pragma once
 
-// Shared helpers for the table-reproduction harnesses.
+// Shared helpers for the table-reproduction harnesses, plus the
+// compile-throughput perf harness behind BENCH_compile.json (see
+// docs/perf.md) and an optional operator-new interposer that makes
+// allocation counts visible in bench_micro.
 
+#include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
+#include <new>
 #include <string>
 #include <vector>
 
 #include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
+#include "sbmp/frontend/parser.h"
 #include "sbmp/perfect/suite.h"
+#include "sbmp/support/hash.h"
+#include "sbmp/support/status.h"
+#include "sbmp/support/strings.h"
 #include "sbmp/support/thread_pool.h"
+
+namespace sbmp::bench {
+
+// ---------------------------------------------------------------------
+// Allocation counting. A harness that defines SBMP_ALLOC_COUNTER before
+// including this header (one translation unit per binary) gets global
+// operator new/delete replacements that tick these counters, so a
+// "allocs per compile" number can sit next to the nanoseconds and make
+// arena/CSR wins (or regressions) visible in review.
+struct AllocCounters {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+inline AllocCounters& alloc_counters() {
+  static AllocCounters counters;
+  return counters;
+}
+
+/// True when the interposer is linked into this binary.
+#ifdef SBMP_ALLOC_COUNTER
+inline constexpr bool kAllocCountingEnabled = true;
+#else
+inline constexpr bool kAllocCountingEnabled = false;
+#endif
+
+}  // namespace sbmp::bench
+
+#ifdef SBMP_ALLOC_COUNTER
+// Global replacements (C++ allows exactly one definition per program;
+// every bench binary is a single translation unit over this header).
+// GCC flags free() inside a replacement operator delete as a mismatched
+// pair; the replacement new above uses malloc, so the pairing is exact.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void* operator new(std::size_t n) {
+  sbmp::bench::alloc_counters().count.fetch_add(1,
+                                                std::memory_order_relaxed);
+  sbmp::bench::alloc_counters().bytes.fetch_add(n,
+                                                std::memory_order_relaxed);
+  if (void* p = std::malloc(n == 0 ? 1 : n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  sbmp::bench::alloc_counters().count.fetch_add(1,
+                                                std::memory_order_relaxed);
+  sbmp::bench::alloc_counters().bytes.fetch_add(n,
+                                                std::memory_order_relaxed);
+  return std::malloc(n == 0 ? 1 : n);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+#pragma GCC diagnostic pop
+#endif  // SBMP_ALLOC_COUNTER
 
 namespace sbmp::bench {
 
@@ -121,6 +201,271 @@ inline std::vector<std::array<CasePair, 4>> run_all_cases(int jobs = 1) {
     out[cells[i].b][cells[i].c].tb += partial[i].tb;
   }
   return out;
+}
+
+// ---------------------------------------------------------------------
+// The compile-perf corpus: the paper example, the stencil, and every
+// DOACROSS loop of the Perfect suite. Shared by bench_sweep's fault and
+// cache modes and by the BENCH_compile.json harness below.
+
+inline constexpr const char* kCorpusStencil = R"(
+doacross I = 1, 100
+  U[I] = (U[I-1] + V[I]) * w1 + V[I+1] * w2
+  R[I] = V[I-2] * w3 + V[I+2]
+  Q[I] = R[I] + V[I] / w4
+end
+)";
+
+inline constexpr const char* kCorpusPaperExample = R"(
+doacross I = 1, 100
+  B[I] = A[I-2] + E[I+1]
+  G[I-3] = A[I-1] * E[I+2]
+  A[I] = B[I] + C[I+3]
+end
+)";
+
+struct CorpusLoop {
+  std::string label;
+  Loop loop;
+};
+
+inline std::vector<CorpusLoop> compile_corpus() {
+  std::vector<CorpusLoop> targets;
+  targets.push_back(
+      {"paper-example", parse_single_loop_or_throw(kCorpusPaperExample)});
+  targets.push_back({"stencil", parse_single_loop_or_throw(kCorpusStencil)});
+  for (const auto& bench : perfect_suite()) {
+    for (const auto& loop : bench.program().loops) {
+      if (analyze_dependences(loop).is_doall()) continue;
+      targets.push_back({bench.name + "/" + loop.name, loop});
+    }
+  }
+  return targets;
+}
+
+// ---------------------------------------------------------------------
+// BENCH_compile.json: the measured trajectory of the compile hot path.
+// p50/p99 single-thread latency per loop, corpus throughput at jobs 1
+// and 8, memoized-cache hit latency, allocations per compile (when the
+// interposer is present), and a fingerprint of every schedule produced
+// so a perf run doubles as a drift check. See docs/perf.md.
+
+struct CompilePerf {
+  int corpus_loops = 0;  ///< schedulable corpus loops measured
+  int reps = 0;          ///< timed compiles per loop
+  std::int64_t compile_p50_ns = 0;
+  std::int64_t compile_p99_ns = 0;
+  double loops_per_sec_jobs1 = 0.0;
+  double loops_per_sec_jobs8 = 0.0;
+  std::int64_t cache_hit_p50_ns = 0;
+  std::int64_t cache_hit_p99_ns = 0;
+  std::uint64_t allocs_per_compile = 0;  ///< 0 when no interposer
+  std::string schedule_fingerprint;      ///< 16 hex chars
+};
+
+inline std::int64_t percentile_ns(std::vector<std::int64_t>& samples,
+                                  double p) {
+  if (samples.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(samples.size() - 1) + 0.5);
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(idx),
+                   samples.end());
+  return samples[idx];
+}
+
+inline CompilePerf run_compile_perf(int reps = 7) {
+  using clock = std::chrono::steady_clock;
+  const auto ns_since = [](clock::time_point t0) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                                t0)
+        .count();
+  };
+
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(4, 2);
+  options.iterations = 100;
+
+  // Schedulable corpus + schedule fingerprint (warms caches, pins drift).
+  std::vector<CorpusLoop> corpus;
+  Hasher64 fp;
+  for (auto& target : compile_corpus()) {
+    try {
+      const LoopReport report = run_pipeline(target.loop, options);
+      fp.update(target.label);
+      fp.update_i64(static_cast<std::int64_t>(report.schedule.groups.size()));
+      for (const auto& group : report.schedule.groups) {
+        fp.update_i64(static_cast<std::int64_t>(group.size()));
+        for (const int id : group) fp.update_i64(id);
+      }
+      corpus.push_back(std::move(target));
+    } catch (const StatusError&) {
+      // Irregular carried dependences: the pipeline refuses; skip.
+    }
+  }
+
+  CompilePerf perf;
+  perf.corpus_loops = static_cast<int>(corpus.size());
+  perf.reps = reps;
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fp.digest()));
+  perf.schedule_fingerprint = hex;
+
+  // Single-thread per-loop latency distribution.
+  std::vector<std::int64_t> samples;
+  samples.reserve(corpus.size() * static_cast<std::size_t>(reps));
+  const std::uint64_t allocs_before =
+      alloc_counters().count.load(std::memory_order_relaxed);
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& target : corpus) {
+      const auto t0 = clock::now();
+      const LoopReport report = run_pipeline(target.loop, options);
+      samples.push_back(ns_since(t0));
+      // Keep the compiler honest about the report being used.
+      if (report.schedule.groups.empty() && report.tac.size() > 0)
+        std::abort();
+    }
+  }
+  const std::uint64_t allocs_after =
+      alloc_counters().count.load(std::memory_order_relaxed);
+  if (kAllocCountingEnabled && !samples.empty())
+    perf.allocs_per_compile = (allocs_after - allocs_before) / samples.size();
+  std::vector<std::int64_t> scratch = samples;
+  perf.compile_p50_ns = percentile_ns(scratch, 0.50);
+  scratch = samples;
+  perf.compile_p99_ns = percentile_ns(scratch, 0.99);
+
+  // Corpus throughput through the parallel engine at jobs 1 and 8,
+  // cache off so every loop pays the full compile.
+  Program program;
+  for (const auto& target : corpus) program.loops.push_back(target.loop);
+  for (const int jobs : {1, 8}) {
+    ParallelOptions parallel;
+    parallel.jobs = jobs;
+    parallel.use_cache = false;
+    const auto t0 = clock::now();
+    const ProgramReport report =
+        run_pipeline_parallel(program, options, parallel);
+    const double secs =
+        static_cast<double>(ns_since(t0)) / 1e9;
+    const double rate =
+        secs > 0.0 ? static_cast<double>(report.loops.size()) / secs : 0.0;
+    (jobs == 1 ? perf.loops_per_sec_jobs1 : perf.loops_per_sec_jobs8) = rate;
+  }
+
+  // Memoized-cache hit latency: fill once, then time pure hits.
+  ResultCache cache;
+  std::vector<std::string> keys;
+  for (const auto& target : corpus) {
+    const std::string key = ResultCache::key(target.loop, options);
+    (void)cache.insert(key, run_pipeline(target.loop, options));
+    keys.push_back(key);
+  }
+  std::vector<std::int64_t> hit_ns;
+  for (int r = 0; r < 50; ++r) {
+    for (const auto& key : keys) {
+      const auto t0 = clock::now();
+      const auto hit = cache.lookup(key);
+      hit_ns.push_back(ns_since(t0));
+      if (hit == nullptr) std::abort();  // a miss here is harness breakage
+    }
+  }
+  scratch = hit_ns;
+  perf.cache_hit_p50_ns = percentile_ns(scratch, 0.50);
+  scratch = hit_ns;
+  perf.cache_hit_p99_ns = percentile_ns(scratch, 0.99);
+  return perf;
+}
+
+inline std::string compile_perf_to_json(const CompilePerf& perf) {
+  std::string out;
+  appendf(out,
+          "{\n"
+          "  \"schema\": \"sbmp-bench-compile-v1\",\n"
+          "  \"corpus_loops\": %d,\n"
+          "  \"reps\": %d,\n"
+          "  \"compile_ns\": {\"p50\": %lld, \"p99\": %lld},\n"
+          "  \"loops_per_sec\": {\"jobs1\": %.1f, \"jobs8\": %.1f},\n"
+          "  \"cache_hit_ns\": {\"p50\": %lld, \"p99\": %lld},\n"
+          "  \"allocs_per_compile\": %llu,\n"
+          "  \"schedule_fingerprint\": \"%s\"\n"
+          "}\n",
+          perf.corpus_loops, perf.reps,
+          static_cast<long long>(perf.compile_p50_ns),
+          static_cast<long long>(perf.compile_p99_ns),
+          perf.loops_per_sec_jobs1, perf.loops_per_sec_jobs8,
+          static_cast<long long>(perf.cache_hit_p50_ns),
+          static_cast<long long>(perf.cache_hit_p99_ns),
+          static_cast<unsigned long long>(perf.allocs_per_compile),
+          perf.schedule_fingerprint.c_str());
+  return out;
+}
+
+/// Minimal extraction of one scalar field from the checked-in JSON (the
+/// format above is the only producer, so a string scan suffices and
+/// keeps the check binary dependency-free).
+inline bool json_field(const std::string& json, const std::string& key,
+                       std::string* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  std::size_t start = at + needle.size();
+  while (start < json.size() &&
+         (json[start] == ' ' || json[start] == '"'))
+    ++start;
+  std::size_t end = start;
+  while (end < json.size() && json[end] != ',' && json[end] != '}' &&
+         json[end] != '"' && json[end] != '\n')
+    ++end;
+  *out = json.substr(start, end - start);
+  return true;
+}
+
+/// Check mode for CI: no schedule drift against the checked-in
+/// BENCH_compile.json, and jobs=1 throughput above a generous floor
+/// (1/20 of the recorded rate, never below 25 loops/s) so a pathological
+/// slowdown fails loudly without flaking on machine variance.
+inline int check_compile_perf(const CompilePerf& now,
+                              const std::string& json_path) {
+  std::ifstream in(json_path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read %s\n", json_path.c_str());
+    return 2;
+  }
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::string stored_fp, stored_rate;
+  if (!json_field(json, "schedule_fingerprint", &stored_fp) ||
+      !json_field(json, "jobs1", &stored_rate)) {
+    std::fprintf(stderr, "%s is not a BENCH_compile.json\n",
+                 json_path.c_str());
+    return 2;
+  }
+  bool failed = false;
+  if (stored_fp != now.schedule_fingerprint) {
+    std::fprintf(stderr,
+                 "SCHEDULE DRIFT: fingerprint %s (recorded) vs %s "
+                 "(this build) — the optimizations changed a scheduling "
+                 "decision\n",
+                 stored_fp.c_str(), now.schedule_fingerprint.c_str());
+    failed = true;
+  }
+  const double floor =
+      std::max(25.0, std::atof(stored_rate.c_str()) / 20.0);
+  if (now.loops_per_sec_jobs1 < floor) {
+    std::fprintf(stderr,
+                 "PERF REGRESSION: %.1f loops/s at jobs=1, floor %.1f "
+                 "(recorded %.1f)\n",
+                 now.loops_per_sec_jobs1, floor,
+                 std::atof(stored_rate.c_str()));
+    failed = true;
+  }
+  std::printf("perf check: %d loops, %.1f loops/s (floor %.1f), "
+              "fingerprint %s — %s\n",
+              now.corpus_loops, now.loops_per_sec_jobs1, floor,
+              now.schedule_fingerprint.c_str(), failed ? "FAIL" : "PASS");
+  return failed ? 1 : 0;
 }
 
 }  // namespace sbmp::bench

@@ -30,6 +30,7 @@
 // disagrees with its cold counterpart (see docs/serving.md).
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -45,23 +46,11 @@
 
 namespace {
 
-constexpr const char* kStencil = R"(
-doacross I = 1, 100
-  U[I] = (U[I-1] + V[I]) * w1 + V[I+1] * w2
-  R[I] = V[I-2] * w3 + V[I+2]
-  Q[I] = R[I] + V[I] / w4
-end
-)";
-
-// The running example of the paper (Fig. 1): three statements with
-// carried flow dependences of distance 1 and 2.
-constexpr const char* kPaperExample = R"(
-doacross I = 1, 100
-  B[I] = A[I-2] + E[I+1]
-  G[I-3] = A[I-1] * E[I+2]
-  A[I] = B[I] + C[I+3]
-end
-)";
+// The stencil and the paper's running example (Fig. 1) live in
+// bench_common.h (kCorpusStencil / kCorpusPaperExample) so this harness,
+// bench_micro and the BENCH_compile.json perf report share one corpus.
+constexpr const char* kStencil = sbmp::bench::kCorpusStencil;
+constexpr const char* kPaperExample = sbmp::bench::kCorpusPaperExample;
 
 /// Parses `--faults [N]`: 0 when the flag is absent (sweep mode),
 /// otherwise the requested total trial count (500 when no explicit
@@ -76,10 +65,7 @@ int parse_faults(int argc, char** argv) {
   return 0;
 }
 
-struct FaultTarget {
-  std::string label;
-  sbmp::Loop loop;
-};
+using FaultTarget = sbmp::bench::CorpusLoop;
 
 /// Parses `--cache-dir DIR`: empty when the flag is absent.
 std::string parse_cache_dir(int argc, char** argv) {
@@ -89,20 +75,19 @@ std::string parse_cache_dir(int argc, char** argv) {
 }
 
 /// The corpus both special modes share: the paper example, the stencil,
-/// and every DOACROSS loop of the Perfect suite.
+/// and every DOACROSS loop of the Perfect suite (bench_common.h).
 std::vector<FaultTarget> doacross_corpus() {
-  using namespace sbmp;
-  std::vector<FaultTarget> targets;
-  targets.push_back(
-      {"paper-example", parse_single_loop_or_throw(kPaperExample)});
-  targets.push_back({"stencil", parse_single_loop_or_throw(kStencil)});
-  for (const auto& bench : perfect_suite()) {
-    for (const auto& loop : bench.program().loops) {
-      if (analyze_dependences(loop).is_doall()) continue;
-      targets.push_back({bench.name + "/" + loop.name, loop});
-    }
-  }
-  return targets;
+  return sbmp::bench::compile_corpus();
+}
+
+/// Parses `--json PATH`: empty when the flag is absent. With the flag,
+/// the harness runs the compile-perf measurement instead of the sweeps
+/// and writes the machine-readable BENCH_compile.json report to PATH
+/// (same format as `bench_micro --json`; see docs/perf.md).
+std::string parse_json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  return "";
 }
 
 /// Schedule-cache benchmark mode: cold pass fills DIR, warm pass (fresh
@@ -360,6 +345,18 @@ int main(int argc, char** argv) {
   using namespace sbmp::bench;
 
   const int jobs = parse_jobs(argc, argv);
+  if (const std::string json = parse_json_path(argc, argv); !json.empty()) {
+    const CompilePerf perf = run_compile_perf();
+    const std::string rendered = compile_perf_to_json(perf);
+    std::ofstream out(json);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot write %s\n", json.c_str());
+      return 2;
+    }
+    out << rendered;
+    std::printf("%s", rendered.c_str());
+    return 0;
+  }
   if (const int fault_trials = parse_faults(argc, argv); fault_trials > 0)
     return run_fault_mode(fault_trials, jobs);
   if (const std::string dir = parse_cache_dir(argc, argv); !dir.empty())

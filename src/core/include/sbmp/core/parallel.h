@@ -33,8 +33,19 @@ struct ParallelOptions {
 /// counts, and the verification/elimination flags. Two calls with equal
 /// keys are the same pure computation, so a hit returns a shared
 /// immutable report with no locking beyond the map probe.
+///
+/// The table is sharded N ways by a stable key fingerprint, so
+/// `run_pipeline_parallel --jobs N` and ScheduleServer batch fan-out
+/// contend on a lock only when two workers touch keys in the same
+/// shard, not on every probe. Which shard holds a key is an internal
+/// layout detail: lookup/insert semantics are identical at any shard
+/// count, including 1 (the old single-mutex table).
 class ResultCache {
  public:
+  static constexpr int kDefaultShards = 16;
+
+  explicit ResultCache(int shards = kDefaultShards);
+
   /// Builds the canonical cache key for (loop, options).
   [[nodiscard]] static std::string key(const Loop& loop,
                                        const PipelineOptions& options);
@@ -57,9 +68,21 @@ class ResultCache {
     return misses_.load(std::memory_order_relaxed);
   }
 
+  [[nodiscard]] int num_shards() const { return num_shards_; }
+  /// Shard a key routes to (stable across runs; exposed so tests can
+  /// check the distribution).
+  [[nodiscard]] int shard_of(const std::string& key) const;
+
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<const LoopReport>> map_;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<const LoopReport>> map;
+  };
+
+  // Shards hold mutexes, so they live in a fixed-size heap array rather
+  // than a vector (no moves, no false sharing with the counters).
+  std::unique_ptr<Shard[]> shards_;
+  int num_shards_;
   mutable std::atomic<std::int64_t> hits_{0};
   mutable std::atomic<std::int64_t> misses_{0};
 };

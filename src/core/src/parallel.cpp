@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "engine_detail.h"
+#include "sbmp/support/hash.h"
 #include "sbmp/support/overflow.h"
 #include "sbmp/support/thread_pool.h"
 
@@ -50,11 +51,34 @@ std::string ResultCache::key(const Loop& loop,
   return out;
 }
 
+ResultCache::ResultCache(int shards)
+    : shards_(std::make_unique<Shard[]>(
+          static_cast<std::size_t>(shards > 0 ? shards : 1))),
+      num_shards_(shards > 0 ? shards : 1) {}
+
+int ResultCache::shard_of(const std::string& key) const {
+  // hash_bytes is platform-stable (unlike std::hash), so a key's shard
+  // is reproducible across runs — useful for tests and debugging.
+  // Routing only needs a well-spread fingerprint (the shard's map still
+  // compares full keys), so hash a bounded head + tail instead of
+  // rescanning multi-KB keys on every probe. The head covers the loop
+  // rendering, the tail the option block, so both sides of the key
+  // keep contributing to the spread.
+  constexpr std::size_t kSpan = 64;
+  const std::string_view view(key);
+  std::uint64_t h = hash_bytes(view.substr(0, kSpan)) ^
+                    (key.size() * 0x9e3779b97f4a7c15ull);
+  if (view.size() > kSpan)
+    h ^= hash_bytes(view.substr(view.size() - kSpan));
+  return static_cast<int>(h % static_cast<std::uint64_t>(num_shards_));
+}
+
 std::shared_ptr<const LoopReport> ResultCache::lookup(
     const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = map_.find(key);
-  if (it == map_.end()) {
+  const Shard& shard = shards_[static_cast<std::size_t>(shard_of(key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
   }
@@ -65,14 +89,20 @@ std::shared_ptr<const LoopReport> ResultCache::lookup(
 std::shared_ptr<const LoopReport> ResultCache::insert(const std::string& key,
                                                       LoopReport report) {
   auto entry = std::make_shared<const LoopReport>(std::move(report));
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = map_.emplace(key, std::move(entry));
+  Shard& shard = shards_[static_cast<std::size_t>(shard_of(key))];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto [it, inserted] = shard.map.emplace(key, std::move(entry));
   return it->second;
 }
 
 std::size_t ResultCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  std::size_t total = 0;
+  for (int s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[static_cast<std::size_t>(s)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.map.size();
+  }
+  return total;
 }
 
 LoopReport run_pipeline_cached(const Loop& loop,

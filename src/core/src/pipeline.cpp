@@ -38,9 +38,11 @@ LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
   report.tac = generate_tac(report.synced);
   if (options.eliminate_redundant_waits) {
     report.tac = eliminate_redundant_waits(report.tac, options.machine,
-                                           &report.waits_eliminated);
+                                           &report.waits_eliminated,
+                                           &report.dfg);
   }
-  report.dfg.emplace(report.tac, options.machine);
+  if (!report.dfg.has_value())
+    report.dfg.emplace(report.tac, options.machine);
 
   const std::int64_t iterations = options.resolved_iterations(loop);
   report.schedule =

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -43,6 +44,14 @@ struct SyncPair {
 /// The data-flow graph of one lowered iteration, with the paper's extra
 /// synchronization-condition arcs, partitioned into weakly-connected
 /// components.
+///
+/// Storage is CSR (compressed sparse row): successor and predecessor
+/// adjacency live in two flat edge arrays indexed by per-node offsets,
+/// and node attributes (free flag, component id, critical-path height)
+/// are SoA vectors precomputed at construction. Adjacency *order* is
+/// part of the contract — it matches the historical per-node insertion
+/// order exactly (schedulers walk predecessor lists in that order), and
+/// the whole object remains a plain copyable value.
 class Dfg {
  public:
   /// Builds the DFG for `tac` with edge latencies from `config`:
@@ -55,11 +64,27 @@ class Dfg {
   Dfg(const TacFunction& tac, const MachineConfig& config);
 
   [[nodiscard]] int size() const { return n_; }
-  [[nodiscard]] const std::vector<DfgEdge>& succs(int id) const {
-    return succs_[static_cast<std::size_t>(id)];
+  [[nodiscard]] std::span<const DfgEdge> succs(int id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return {succ_edges_.data() + succ_off_[i],
+            static_cast<std::size_t>(succ_off_[i + 1] - succ_off_[i])};
   }
-  [[nodiscard]] const std::vector<DfgEdge>& preds(int id) const {
-    return preds_[static_cast<std::size_t>(id)];
+  [[nodiscard]] std::span<const DfgEdge> preds(int id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return {pred_edges_.data() + pred_off_[i],
+            static_cast<std::size_t>(pred_off_[i + 1] - pred_off_[i])};
+  }
+  /// Every edge once, grouped by source node in ascending id order with
+  /// the per-node adjacency order inside each group (i.e. exactly the
+  /// `for id { for succs(id) }` iteration, flattened).
+  [[nodiscard]] std::span<const DfgEdge> edges() const { return succ_edges_; }
+  [[nodiscard]] int indegree(int id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return pred_off_[i + 1] - pred_off_[i];
+  }
+  [[nodiscard]] int outdegree(int id) const {
+    const auto i = static_cast<std::size_t>(id);
+    return succ_off_[i + 1] - succ_off_[i];
   }
   [[nodiscard]] const std::vector<SyncPair>& pairs() const { return pairs_; }
 
@@ -70,7 +95,7 @@ class Dfg {
     return component_[static_cast<std::size_t>(id)];
   }
   [[nodiscard]] bool is_free(int id) const {
-    return free_[static_cast<std::size_t>(id)];
+    return free_[static_cast<std::size_t>(id)] != 0;
   }
   [[nodiscard]] int num_components() const {
     return static_cast<int>(component_kinds_.size());
@@ -79,8 +104,10 @@ class Dfg {
     return component_kinds_[static_cast<std::size_t>(comp)];
   }
   /// Instruction ids of one component, in program order.
-  [[nodiscard]] const std::vector<int>& component_members(int comp) const {
-    return component_members_[static_cast<std::size_t>(comp)];
+  [[nodiscard]] std::span<const int> component_members(int comp) const {
+    const auto c = static_cast<std::size_t>(comp);
+    return {member_ids_.data() + member_off_[c],
+            static_cast<std::size_t>(member_off_[c + 1] - member_off_[c])};
   }
 
   /// Shortest directed path (by node count) from `pair.wait_instr` to
@@ -91,23 +118,31 @@ class Dfg {
 
   /// Critical-path height of each instruction (max latency-weighted path
   /// length to any leaf), the classic list-scheduling priority.
-  [[nodiscard]] std::vector<int> heights() const;
+  /// Precomputed at construction; indexed by instruction id.
+  [[nodiscard]] const std::vector<int>& heights() const { return height_; }
 
   /// All transitive predecessors of `id` (excluding `id`).
   [[nodiscard]] std::vector<int> ancestors(int id) const;
 
  private:
-  void add_edge(int from, int to, int latency, EdgeKind kind);
   void partition_components(const TacFunction& tac);
 
   int n_ = 0;  ///< number of instructions; ids are 1..n_.
-  std::vector<bool> free_;
-  std::vector<std::vector<DfgEdge>> succs_;
-  std::vector<std::vector<DfgEdge>> preds_;
+  // CSR adjacency: offsets are n_+2 wide so succs(id)/preds(id) index
+  // safely for every id in [0, n_].
+  std::vector<std::int32_t> succ_off_;
+  std::vector<std::int32_t> pred_off_;
+  std::vector<DfgEdge> succ_edges_;
+  std::vector<DfgEdge> pred_edges_;
   std::vector<SyncPair> pairs_;
+  // SoA node attributes, indexed by instruction id.
+  std::vector<std::uint8_t> free_;
   std::vector<int> component_;
+  std::vector<int> height_;
   std::vector<ComponentKind> component_kinds_;
-  std::vector<std::vector<int>> component_members_;
+  // Component membership as one flat id array plus per-component offsets.
+  std::vector<std::int32_t> member_off_;
+  std::vector<int> member_ids_;
 };
 
 }  // namespace sbmp

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
 #include "sbmp/codegen/tac.h"
@@ -38,9 +39,12 @@ namespace sbmp {
                                        const std::vector<int>& wait_ids);
 
 /// Convenience: analyze + remove. `removed_count` (optional) reports how
-/// many waits were eliminated.
+/// many waits were eliminated. When nothing was eliminated the returned
+/// TAC is `tac` unchanged, and `dfg_out` (optional) receives the DFG the
+/// analysis built for it — callers that need a DFG of the result can
+/// reuse it instead of rebuilding.
 [[nodiscard]] TacFunction eliminate_redundant_waits(
     const TacFunction& tac, const MachineConfig& config,
-    int* removed_count = nullptr);
+    int* removed_count = nullptr, std::optional<Dfg>* dfg_out = nullptr);
 
 }  // namespace sbmp

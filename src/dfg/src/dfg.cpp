@@ -2,7 +2,8 @@
 
 #include <algorithm>
 #include <queue>
-#include <set>
+
+#include "sbmp/support/arena.h"
 
 namespace sbmp {
 
@@ -32,23 +33,47 @@ bool may_alias_same_iteration(const AffineIndex& a, const AffineIndex& b) {
 
 Dfg::Dfg(const TacFunction& tac, const MachineConfig& config) {
   n_ = tac.size();
-  succs_.resize(static_cast<std::size_t>(n_) + 1);
-  preds_.resize(static_cast<std::size_t>(n_) + 1);
+  Arena arena;
+
+  // The edge generators below emit a chronological stream of raw edge
+  // events into one arena array (bounded up front, so it never moves).
+  // Duplicate (from, to) events are then folded exactly the way the old
+  // incremental add_edge did: the first occurrence keeps its position
+  // and kind, later ones only raise the latency. Two stable counting
+  // sorts of the surviving events — by source and by destination — give
+  // the successor and predecessor CSR arrays with per-node adjacency in
+  // precisely the historical insertion order (schedulers depend on it).
+  std::size_t mem_count = 0;
+  std::size_t sync_count = 0;
+  for (const auto& instr : tac.instrs) {
+    if (instr.is_mem()) ++mem_count;
+    if (instr.op == Opcode::kWait || instr.op == Opcode::kSend)
+      sync_count += instr.guarded_instrs.size();
+  }
+  const std::size_t raw_cap =
+      2 * static_cast<std::size_t>(n_) +
+      mem_count * (mem_count > 0 ? mem_count - 1 : 0) / 2 + sync_count;
+  DfgEdge* raw = arena.allocate<DfgEdge>(raw_cap);
+  std::size_t raw_n = 0;
+  const auto emit = [&](int from, int to, int latency, EdgeKind kind) {
+    raw[raw_n++] = {from, to, latency, kind};
+  };
 
   // Register flow edges: virtual registers are single-assignment, so a
   // def site is unique; map reg -> defining instruction.
-  std::vector<int> def_site(tac.reg_names.size(), 0);
+  int* def_site = arena.allocate_zeroed<int>(tac.reg_names.size());
   for (const auto& instr : tac.instrs) {
     const auto use = [&](const Operand& op) {
       if (!op.is_reg()) return;
       const int def = def_site[static_cast<std::size_t>(op.reg)];
       if (def != 0)
-        add_edge(def, instr.id, config.latency(tac.by_id(def).op),
-                 EdgeKind::kData);
+        emit(def, instr.id, config.latency(tac.by_id(def).op),
+             EdgeKind::kData);
     };
     use(instr.a);
     use(instr.b);
-    if (instr.dst != 0) def_site[static_cast<std::size_t>(instr.dst)] = instr.id;
+    if (instr.dst != 0)
+      def_site[static_cast<std::size_t>(instr.dst)] = instr.id;
   }
 
   // Same-iteration memory ordering.
@@ -60,7 +85,7 @@ Dfg::Dfg(const TacFunction& tac, const MachineConfig& config) {
       if (!b.is_mem() || a.array != b.array) continue;
       if (a.op == Opcode::kLoad && b.op == Opcode::kLoad) continue;
       if (may_alias_same_iteration(a.mem_index, b.mem_index))
-        add_edge(i, j, 1, EdgeKind::kMem);
+        emit(i, j, 1, EdgeKind::kMem);
     }
   }
 
@@ -68,10 +93,10 @@ Dfg::Dfg(const TacFunction& tac, const MachineConfig& config) {
   for (const auto& instr : tac.instrs) {
     if (instr.op == Opcode::kWait) {
       for (const int guarded : instr.guarded_instrs)
-        add_edge(instr.id, guarded, 1, EdgeKind::kSync);
+        emit(instr.id, guarded, 1, EdgeKind::kSync);
     } else if (instr.op == Opcode::kSend) {
       for (const int guarded : instr.guarded_instrs)
-        add_edge(guarded, instr.id, 1, EdgeKind::kSync);
+        emit(guarded, instr.id, 1, EdgeKind::kSync);
     }
   }
 
@@ -86,23 +111,84 @@ Dfg::Dfg(const TacFunction& tac, const MachineConfig& config) {
     }
   }
 
-  partition_components(tac);
-}
+  // Stable counting sort of the event stream by source node; within one
+  // bucket the chronological order is preserved.
+  auto* cnt = arena.allocate_zeroed<std::int32_t>(
+      static_cast<std::size_t>(n_) + 2);
+  for (std::size_t i = 0; i < raw_n; ++i) ++cnt[raw[i].from + 1];
+  for (int f = 0; f <= n_; ++f) cnt[f + 1] += cnt[f];
+  auto* pos = arena.allocate<std::int32_t>(static_cast<std::size_t>(n_) + 1);
+  std::copy(cnt, cnt + n_ + 1, pos);
+  auto* sorted = arena.allocate<std::int32_t>(raw_n);
+  for (std::size_t i = 0; i < raw_n; ++i)
+    sorted[pos[raw[i].from]++] = static_cast<std::int32_t>(i);
 
-void Dfg::add_edge(int from, int to, int latency, EdgeKind kind) {
-  // Skip duplicate edges with identical endpoints; keep the max latency.
-  for (auto& e : succs_[static_cast<std::size_t>(from)]) {
-    if (e.to == to) {
-      if (latency > e.latency) {
-        e.latency = latency;
-        for (auto& p : preds_[static_cast<std::size_t>(to)])
-          if (p.from == from) p.latency = latency;
+  // Per-bucket dedup: first occurrence survives (keeping its kind),
+  // duplicates fold their latency into it via max.
+  auto* keep = arena.allocate_zeroed<std::uint8_t>(raw_n);
+  std::size_t kept_total = 0;
+  for (int f = 1; f <= n_; ++f) {
+    const std::int32_t lo = cnt[f];
+    const std::int32_t hi = cnt[f + 1];
+    for (std::int32_t i = lo; i < hi; ++i) {
+      DfgEdge& e = raw[sorted[i]];
+      bool dup = false;
+      for (std::int32_t j = lo; j < i; ++j) {
+        if (keep[sorted[j]] == 0) continue;
+        DfgEdge& first = raw[sorted[j]];
+        if (first.to == e.to) {
+          if (e.latency > first.latency) first.latency = e.latency;
+          dup = true;
+          break;
+        }
       }
-      return;
+      if (!dup) {
+        keep[sorted[i]] = 1;
+        ++kept_total;
+      }
     }
   }
-  succs_[static_cast<std::size_t>(from)].push_back({from, to, latency, kind});
-  preds_[static_cast<std::size_t>(to)].push_back({from, to, latency, kind});
+
+  // Successor CSR: the surviving events in (from, chronological) order.
+  succ_edges_.resize(kept_total);
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < raw_n; ++i) {
+    const std::int32_t r = sorted[i];
+    if (keep[r]) succ_edges_[w++] = raw[r];
+  }
+  succ_off_.assign(static_cast<std::size_t>(n_) + 2, 0);
+  for (const DfgEdge& e : succ_edges_) ++succ_off_[static_cast<std::size_t>(e.from) + 1];
+  for (int f = 0; f <= n_; ++f)
+    succ_off_[static_cast<std::size_t>(f) + 1] +=
+        succ_off_[static_cast<std::size_t>(f)];
+
+  // Predecessor CSR: surviving events in (to, chronological) order —
+  // chronological is the old per-node pred insertion order, which
+  // place_ancestors_asap walks.
+  pred_off_.assign(static_cast<std::size_t>(n_) + 2, 0);
+  for (std::size_t i = 0; i < raw_n; ++i)
+    if (keep[i]) ++pred_off_[static_cast<std::size_t>(raw[i].to) + 1];
+  for (int t = 0; t <= n_; ++t)
+    pred_off_[static_cast<std::size_t>(t) + 1] +=
+        pred_off_[static_cast<std::size_t>(t)];
+  pred_edges_.resize(kept_total);
+  auto* ppos = arena.allocate<std::int32_t>(static_cast<std::size_t>(n_) + 1);
+  std::copy(pred_off_.data(), pred_off_.data() + n_ + 1, ppos);
+  for (std::size_t i = 0; i < raw_n; ++i)
+    if (keep[i]) pred_edges_[static_cast<std::size_t>(ppos[raw[i].to]++)] = raw[i];
+
+  partition_components(tac);
+
+  // Critical-path heights: instructions are emitted in a topological
+  // order (defs precede uses, memory/sync arcs point forward), so one
+  // reverse sweep suffices.
+  height_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (int id = n_; id >= 1; --id) {
+    int h = 0;
+    for (const auto& e : succs(id))
+      h = std::max(h, e.latency + height_[static_cast<std::size_t>(e.to)]);
+    height_[static_cast<std::size_t>(id)] = h;
+  }
 }
 
 void Dfg::partition_components(const TacFunction& tac) {
@@ -113,7 +199,7 @@ void Dfg::partition_components(const TacFunction& tac) {
   // `t1 = 4*I`), so routing weak connectivity through them would merge
   // genuinely independent Sig/Wat/Sigwat graphs. They are excluded from
   // the partition (component -1) and placed on demand by the schedulers.
-  free_.assign(static_cast<std::size_t>(n_) + 1, false);
+  free_.assign(static_cast<std::size_t>(n_) + 1, 0);
   for (const auto& instr : tac.instrs) {
     if (instr.is_mem() || instr.is_sync()) continue;
     bool free = true;
@@ -121,57 +207,71 @@ void Dfg::partition_components(const TacFunction& tac) {
       if (!op.is_reg()) return;
       if (tac.is_live_in(op.reg)) return;
       // Non-live-in operand: free only if its producer is free.
-      for (const auto& e : preds_[static_cast<std::size_t>(instr.id)]) {
+      for (const auto& e : preds(instr.id)) {
         if (tac.by_id(e.from).dst == op.reg &&
-            !free_[static_cast<std::size_t>(e.from)])
+            free_[static_cast<std::size_t>(e.from)] == 0)
           free = false;
       }
     };
     check(instr.a);
     check(instr.b);
-    free_[static_cast<std::size_t>(instr.id)] = free;
+    free_[static_cast<std::size_t>(instr.id)] = free ? 1 : 0;
   }
 
   component_.assign(static_cast<std::size_t>(n_) + 1, -1);
+  std::vector<int> queue(static_cast<std::size_t>(n_) + 1);
   int next = 0;
   for (int start = 1; start <= n_; ++start) {
-    if (free_[static_cast<std::size_t>(start)]) continue;
+    if (free_[static_cast<std::size_t>(start)] != 0) continue;
     if (component_[static_cast<std::size_t>(start)] != -1) continue;
     const int comp = next++;
-    std::queue<int> queue;
-    queue.push(start);
+    std::size_t head = 0;
+    std::size_t tail = 0;
+    queue[tail++] = start;
     component_[static_cast<std::size_t>(start)] = comp;
-    while (!queue.empty()) {
-      const int id = queue.front();
-      queue.pop();
+    while (head < tail) {
+      const int id = queue[head++];
       const auto visit = [&](int other) {
-        if (free_[static_cast<std::size_t>(other)]) return;
+        if (free_[static_cast<std::size_t>(other)] != 0) return;
         if (component_[static_cast<std::size_t>(other)] == -1) {
           component_[static_cast<std::size_t>(other)] = comp;
-          queue.push(other);
+          queue[tail++] = other;
         }
       };
-      for (const auto& e : succs_[static_cast<std::size_t>(id)]) visit(e.to);
-      for (const auto& e : preds_[static_cast<std::size_t>(id)]) visit(e.from);
+      for (const auto& e : succs(id)) visit(e.to);
+      for (const auto& e : preds(id)) visit(e.from);
     }
   }
-  component_kinds_.assign(static_cast<std::size_t>(next), ComponentKind::kPlain);
-  component_members_.assign(static_cast<std::size_t>(next), {});
-  std::vector<bool> has_sig(static_cast<std::size_t>(next), false);
-  std::vector<bool> has_wat(static_cast<std::size_t>(next), false);
+  component_kinds_.assign(static_cast<std::size_t>(next),
+                          ComponentKind::kPlain);
+  std::vector<std::uint8_t> has_sig(static_cast<std::size_t>(next), 0);
+  std::vector<std::uint8_t> has_wat(static_cast<std::size_t>(next), 0);
+  member_off_.assign(static_cast<std::size_t>(next) + 1, 0);
   for (const auto& instr : tac.instrs) {
-    if (free_[static_cast<std::size_t>(instr.id)]) continue;
+    if (free_[static_cast<std::size_t>(instr.id)] != 0) continue;
     const auto comp = static_cast<std::size_t>(component_of(instr.id));
-    component_members_[comp].push_back(instr.id);
-    if (instr.op == Opcode::kSend) has_sig[comp] = true;
-    if (instr.op == Opcode::kWait) has_wat[comp] = true;
+    ++member_off_[comp + 1];
+    if (instr.op == Opcode::kSend) has_sig[comp] = 1;
+    if (instr.op == Opcode::kWait) has_wat[comp] = 1;
+  }
+  for (int c = 0; c < next; ++c)
+    member_off_[static_cast<std::size_t>(c) + 1] +=
+        member_off_[static_cast<std::size_t>(c)];
+  member_ids_.resize(
+      static_cast<std::size_t>(member_off_[static_cast<std::size_t>(next)]));
+  std::vector<std::int32_t> mpos(member_off_.begin(),
+                                 member_off_.end() - 1);
+  for (const auto& instr : tac.instrs) {
+    if (free_[static_cast<std::size_t>(instr.id)] != 0) continue;
+    const auto comp = static_cast<std::size_t>(component_of(instr.id));
+    member_ids_[static_cast<std::size_t>(mpos[comp]++)] = instr.id;
   }
   for (std::size_t c = 0; c < component_kinds_.size(); ++c) {
-    if (has_sig[c] && has_wat[c])
+    if (has_sig[c] != 0 && has_wat[c] != 0)
       component_kinds_[c] = ComponentKind::kSigwat;
-    else if (has_sig[c])
+    else if (has_sig[c] != 0)
       component_kinds_[c] = ComponentKind::kSig;
-    else if (has_wat[c])
+    else if (has_wat[c] != 0)
       component_kinds_[c] = ComponentKind::kWat;
   }
 }
@@ -193,7 +293,7 @@ std::vector<int> Dfg::sync_path(const SyncPair& pair) const {
       std::reverse(path.begin(), path.end());
       return path;
     }
-    for (const auto& e : succs_[static_cast<std::size_t>(id)]) {
+    for (const auto& e : succs(id)) {
       if (!visited[static_cast<std::size_t>(e.to)]) {
         visited[static_cast<std::size_t>(e.to)] = true;
         parent[static_cast<std::size_t>(e.to)] = id;
@@ -202,19 +302,6 @@ std::vector<int> Dfg::sync_path(const SyncPair& pair) const {
     }
   }
   return {};
-}
-
-std::vector<int> Dfg::heights() const {
-  std::vector<int> height(static_cast<std::size_t>(n_) + 1, 0);
-  // Instructions are emitted in a topological order (defs precede uses,
-  // memory/sync arcs point forward), so one reverse sweep suffices.
-  for (int id = n_; id >= 1; --id) {
-    int h = 0;
-    for (const auto& e : succs_[static_cast<std::size_t>(id)])
-      h = std::max(h, e.latency + height[static_cast<std::size_t>(e.to)]);
-    height[static_cast<std::size_t>(id)] = h;
-  }
-  return height;
 }
 
 std::vector<int> Dfg::ancestors(int id) const {
@@ -226,7 +313,7 @@ std::vector<int> Dfg::ancestors(int id) const {
   while (!queue.empty()) {
     const int at = queue.front();
     queue.pop();
-    for (const auto& e : preds_[static_cast<std::size_t>(at)]) {
+    for (const auto& e : preds(at)) {
       if (!seen[static_cast<std::size_t>(e.from)]) {
         seen[static_cast<std::size_t>(e.from)] = true;
         out.push_back(e.from);

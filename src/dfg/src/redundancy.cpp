@@ -1,63 +1,100 @@
 #include "sbmp/dfg/redundancy.h"
 
 #include <algorithm>
-#include <map>
+#include <cstdint>
 #include <numeric>
-#include <queue>
+#include <vector>
 
 namespace sbmp {
 
 namespace {
 
+/// Max signal statement index used by any sync instruction (for sizing
+/// the flat per-signal lookup tables), or -1 with no sync at all.
+int max_signal_stmt(const TacFunction& tac) {
+  int max_stmt = -1;
+  for (const auto& instr : tac.instrs) {
+    if (instr.is_sync() && instr.signal_stmt > max_stmt)
+      max_stmt = instr.signal_stmt;
+  }
+  return max_stmt;
+}
+
+/// Flat per-candidate cross-edge index: for each send instruction, the
+/// active waits (minus the candidate) consuming its signal, as a CSR
+/// over instruction ids. Replaces the per-call std::map / std::multimap
+/// the BFS used to rebuild for every (source, sink) probe.
+struct CrossEdges {
+  std::vector<std::int32_t> off;    ///< per send id; size n + 2
+  std::vector<int> waits;           ///< wait ids grouped by send id
+
+  CrossEdges(const TacFunction& tac, const std::vector<int>& send_of_signal,
+             const std::vector<int>& active_waits, int candidate) {
+    const int n = tac.size();
+    off.assign(static_cast<std::size_t>(n) + 2, 0);
+    const auto send_for = [&](int w) {
+      const int stmt = tac.by_id(w).signal_stmt;
+      return stmt >= 0 && stmt < static_cast<int>(send_of_signal.size())
+                 ? send_of_signal[static_cast<std::size_t>(stmt)]
+                 : -1;
+    };
+    for (const int w : active_waits) {
+      if (w == candidate) continue;
+      const int s = send_for(w);
+      if (s >= 0) ++off[static_cast<std::size_t>(s) + 1];
+    }
+    for (int i = 0; i <= n; ++i)
+      off[static_cast<std::size_t>(i) + 1] += off[static_cast<std::size_t>(i)];
+    waits.resize(static_cast<std::size_t>(off[static_cast<std::size_t>(n) + 1]));
+    std::vector<std::int32_t> at(off.begin(), off.end() - 1);
+    for (const int w : active_waits) {
+      if (w == candidate) continue;
+      const int s = send_for(w);
+      if (s >= 0)
+        waits[static_cast<std::size_t>(at[static_cast<std::size_t>(s)]++)] = w;
+    }
+  }
+};
+
 /// BFS over the unrolled graph: nodes (offset, instr) with offsets in
 /// [-depth, 0]. Same-offset edges are the DFG arcs (minus the candidate
 /// wait's); cross edges go from a send instruction at offset k-d' to an
 /// active wait on that signal at offset k. Checks whether `from` at
-/// offset -depth reaches `to` at offset 0.
-bool reaches(const TacFunction& tac, const Dfg& dfg,
-             const std::vector<int>& active_waits, int candidate,
-             std::int64_t depth, int from, int to) {
+/// offset -depth reaches `to` at offset 0. `visited` and `queue` are
+/// caller-owned scratch, reset here, so repeated probes reuse them.
+bool reaches(const TacFunction& tac, const Dfg& dfg, const CrossEdges& cross,
+             int candidate, std::int64_t depth, int from, int to,
+             std::vector<std::uint8_t>& visited,
+             std::vector<std::pair<std::int64_t, int>>& queue) {
   const int n = tac.size();
-  // send instr id per signal stmt (for cross edges).
-  std::map<int, int> send_of;
-  for (const auto& instr : tac.instrs) {
-    if (instr.op == Opcode::kSend) send_of[instr.signal_stmt] = instr.id;
-  }
-  // Waits keyed by the send they consume.
-  std::multimap<int, int> waits_by_send;
-  for (const int w : active_waits) {
-    if (w == candidate) continue;
-    const auto it = send_of.find(tac.by_id(w).signal_stmt);
-    if (it != send_of.end()) waits_by_send.emplace(it->second, w);
-  }
-
   const auto node = [&](std::int64_t off, int id) {
     return static_cast<std::size_t>((off + depth) * (n + 1) + id);
   };
-  std::vector<bool> visited(static_cast<std::size_t>(depth + 1) *
-                                (n + 1),
-                            false);
-  std::queue<std::pair<std::int64_t, int>> queue;
-  queue.push({-depth, from});
-  visited[node(-depth, from)] = true;
-  while (!queue.empty()) {
-    const auto [off, id] = queue.front();
-    queue.pop();
+  visited.assign(static_cast<std::size_t>(depth + 1) * (n + 1), 0);
+  queue.clear();
+  queue.push_back({-depth, from});
+  visited[node(-depth, from)] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const auto [off, id] = queue[head];
     if (off == 0 && id == to) return true;
     const auto visit = [&](std::int64_t o, int v) {
       if (o < -depth || o > 0) return;
-      if (!visited[node(o, v)]) {
-        visited[node(o, v)] = true;
-        queue.push({o, v});
+      if (visited[node(o, v)] == 0) {
+        visited[node(o, v)] = 1;
+        queue.push_back({o, v});
       }
     };
     if (id != candidate) {
       for (const auto& e : dfg.succs(id)) visit(off, e.to);
     }
     if (tac.by_id(id).op == Opcode::kSend) {
-      const auto range = waits_by_send.equal_range(id);
-      for (auto it = range.first; it != range.second; ++it) {
-        visit(off + tac.by_id(it->second).sync_distance, it->second);
+      const auto lo = static_cast<std::size_t>(
+          cross.off[static_cast<std::size_t>(id)]);
+      const auto hi = static_cast<std::size_t>(
+          cross.off[static_cast<std::size_t>(id) + 1]);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const int w = cross.waits[i];
+        visit(off + tac.by_id(w).sync_distance, w);
       }
     }
   }
@@ -65,21 +102,24 @@ bool reaches(const TacFunction& tac, const Dfg& dfg,
 }
 
 bool wait_is_covered(const TacFunction& tac, const Dfg& dfg,
+                     const std::vector<int>& send_of_signal,
                      const std::vector<int>& active_waits, int candidate) {
   const auto& wait = tac.by_id(candidate);
   // Source accesses: the guarded instructions of this signal's send.
-  const TacInstr* send = nullptr;
-  for (const auto& instr : tac.instrs) {
-    if (instr.op == Opcode::kSend &&
-        instr.signal_stmt == wait.signal_stmt) {
-      send = &instr;
-    }
-  }
-  if (send == nullptr || wait.guarded_instrs.empty()) return false;
-  for (const int src : send->guarded_instrs) {
+  const int send_id =
+      wait.signal_stmt >= 0 &&
+              wait.signal_stmt < static_cast<int>(send_of_signal.size())
+          ? send_of_signal[static_cast<std::size_t>(wait.signal_stmt)]
+          : -1;
+  if (send_id < 0 || wait.guarded_instrs.empty()) return false;
+  const auto& send = tac.by_id(send_id);
+  const CrossEdges cross(tac, send_of_signal, active_waits, candidate);
+  std::vector<std::uint8_t> visited;
+  std::vector<std::pair<std::int64_t, int>> queue;
+  for (const int src : send.guarded_instrs) {
     for (const int snk : wait.guarded_instrs) {
-      if (!reaches(tac, dfg, active_waits, candidate, wait.sync_distance,
-                   src, snk))
+      if (!reaches(tac, dfg, cross, candidate, wait.sync_distance, src, snk,
+                   visited, queue))
         return false;
     }
   }
@@ -90,6 +130,14 @@ bool wait_is_covered(const TacFunction& tac, const Dfg& dfg,
 
 std::vector<int> find_redundant_wait_instrs(const TacFunction& tac,
                                             const Dfg& dfg) {
+  // Send instruction per signal statement (flat, built once).
+  std::vector<int> send_of_signal(
+      static_cast<std::size_t>(max_signal_stmt(tac)) + 1, -1);
+  for (const auto& instr : tac.instrs) {
+    if (instr.op == Opcode::kSend)
+      send_of_signal[static_cast<std::size_t>(instr.signal_stmt)] = instr.id;
+  }
+
   std::vector<int> waits;
   for (const auto& instr : tac.instrs) {
     if (instr.op == Opcode::kWait) waits.push_back(instr.id);
@@ -104,7 +152,7 @@ std::vector<int> find_redundant_wait_instrs(const TacFunction& tac,
   std::vector<int> active = waits;
   std::vector<int> removed;
   for (const int w : order) {
-    if (wait_is_covered(tac, dfg, active, w)) {
+    if (wait_is_covered(tac, dfg, send_of_signal, active, w)) {
       active.erase(std::find(active.begin(), active.end(), w));
       removed.push_back(w);
     }
@@ -115,16 +163,18 @@ std::vector<int> find_redundant_wait_instrs(const TacFunction& tac,
 
 TacFunction remove_waits(const TacFunction& tac,
                          const std::vector<int>& wait_ids) {
-  // Signals still consumed after removal.
+  // Signals still consumed after removal, as a flat per-signal bitmap.
   std::vector<bool> drop(static_cast<std::size_t>(tac.size()) + 1, false);
   for (const int id : wait_ids) drop[static_cast<std::size_t>(id)] = true;
-  std::map<int, bool> live;
+  std::vector<std::uint8_t> live(
+      static_cast<std::size_t>(max_signal_stmt(tac)) + 1, 0);
   for (const auto& instr : tac.instrs) {
     if (instr.op == Opcode::kWait && !drop[static_cast<std::size_t>(instr.id)])
-      live[instr.signal_stmt] = true;
+      live[static_cast<std::size_t>(instr.signal_stmt)] = 1;
   }
   for (const auto& instr : tac.instrs) {
-    if (instr.op == Opcode::kSend && !live.count(instr.signal_stmt))
+    if (instr.op == Opcode::kSend &&
+        live[static_cast<std::size_t>(instr.signal_stmt)] == 0)
       drop[static_cast<std::size_t>(instr.id)] = true;
   }
 
@@ -151,12 +201,16 @@ TacFunction remove_waits(const TacFunction& tac,
 
 TacFunction eliminate_redundant_waits(const TacFunction& tac,
                                       const MachineConfig& config,
-                                      int* removed_count) {
-  const Dfg dfg(tac, config);
+                                      int* removed_count,
+                                      std::optional<Dfg>* dfg_out) {
+  Dfg dfg(tac, config);
   const auto redundant = find_redundant_wait_instrs(tac, dfg);
   if (removed_count != nullptr)
     *removed_count = static_cast<int>(redundant.size());
-  if (redundant.empty()) return tac;
+  if (redundant.empty()) {
+    if (dfg_out != nullptr) *dfg_out = std::move(dfg);
+    return tac;
+  }
   return remove_waits(tac, redundant);
 }
 

@@ -1,6 +1,8 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
+#include <vector>
 
 #include "sbmp/dfg/dfg.h"
 #include "sbmp/machine/machine.h"
@@ -10,6 +12,12 @@ namespace sbmp {
 
 /// Incrementally builds a Schedule while tracking per-group issue and
 /// function-unit capacity. Shared by all schedulers.
+///
+/// Capacity is indexed two ways: exact per-slot counters (issue_used_,
+/// fu_used_) answer "is this slot full for this instruction", and a
+/// parallel full-slot bitset (one lane for issue plus one per FU class,
+/// 64 slots per word) lets the free-slot searches skip saturated slots a
+/// word at a time instead of probing the counters one slot at a time.
 class SlotFiller {
  public:
   SlotFiller(const TacFunction& tac, const Dfg& dfg,
@@ -60,8 +68,17 @@ class SlotFiller {
   [[nodiscard]] Schedule take();
 
  private:
+  /// Lanes of the full-slot bitset: issue first, then one per FU class.
+  static constexpr int kFullStride = 1 + kNumFuClasses;
+
   void ensure_slot(int slot);
   [[nodiscard]] bool counts_for_issue(int id) const;
+  /// First slot >= start with capacity for `id` (possibly length()).
+  [[nodiscard]] int first_free_at_or_after(int id, int start) const;
+  void mark_full(int slot, int lane) {
+    full_[static_cast<std::size_t>(slot / 64) * kFullStride +
+          static_cast<std::size_t>(lane)] |= std::uint64_t{1} << (slot % 64);
+  }
 
   const TacFunction& tac_;
   const Dfg& dfg_;
@@ -69,6 +86,8 @@ class SlotFiller {
   Schedule sched_;
   std::vector<int> issue_used_;
   std::vector<std::array<int, kNumFuClasses>> fu_used_;
+  /// kFullStride words per 64 slots; bit set = that lane is saturated.
+  std::vector<std::uint64_t> full_;
   int num_placed_ = 0;
 };
 

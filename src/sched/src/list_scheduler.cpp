@@ -34,29 +34,94 @@ Schedule schedule_inorder(const TacFunction& tac, const Dfg& dfg,
 Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
                        const MachineConfig& config) {
   SlotFiller filler(tac, dfg, config);
-  const std::vector<int> height = dfg.heights();
+  const std::vector<int>& height = dfg.heights();
 
   // Cycle-driven list scheduling: at each cycle, issue the ready
   // instructions in descending critical-path priority until capacity
   // runs out.
-  std::vector<int> order(static_cast<std::size_t>(tac.size()));
-  for (int i = 0; i < tac.size(); ++i) order[static_cast<std::size_t>(i)] =
-      i + 1;
+  const int n = tac.size();
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i + 1;
   std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
     return height[static_cast<std::size_t>(a)] >
            height[static_cast<std::size_t>(b)];
   });
 
-  int cycle = 0;
-  while (filler.num_placed() < tac.size()) {
-    for (const int id : order) {
-      if (filler.placed(id)) continue;
-      const int ready = filler.ready_slot(id);
-      if (ready < 0 || ready > cycle) continue;
-      if (!filler.capacity_ok(cycle, id)) continue;
-      filler.place_at(id, cycle);
+  // A zero-latency edge can make a successor ready within the cycle
+  // being scanned, mid-scan — the event-driven ready list below cannot
+  // express that, so such machine configurations keep the original
+  // rescan loop.
+  if (config.latency_default < 1 || config.latency_mult < 1 ||
+      config.latency_div < 1) {
+    int cycle = 0;
+    while (filler.num_placed() < n) {
+      for (const int id : order) {
+        if (filler.placed(id)) continue;
+        const int ready = filler.ready_slot(id);
+        if (ready < 0 || ready > cycle) continue;
+        if (!filler.capacity_ok(cycle, id)) continue;
+        filler.place_at(id, cycle);
+      }
+      ++cycle;
     }
-    ++cycle;
+    return filler.take();
+  }
+
+  // Event-driven form of the same loop: with every edge latency >= 1,
+  // placing an instruction can only make successors ready in a later
+  // cycle, so instead of rescanning all unplaced instructions each
+  // cycle, each instruction enters the bucket of the cycle its last
+  // predecessor result arrives and then waits in a priority-ordered
+  // avail list until capacity admits it. The placement decisions are
+  // identical to the rescan loop's.
+  std::vector<int> rank(static_cast<std::size_t>(n) + 1, 0);
+  for (int i = 0; i < n; ++i)
+    rank[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+  std::vector<int> pending(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> ready_time(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::vector<int>> buckets(1);
+  for (int id = 1; id <= n; ++id) {
+    pending[static_cast<std::size_t>(id)] = dfg.indegree(id);
+    if (pending[static_cast<std::size_t>(id)] == 0)
+      buckets[0].push_back(id);
+  }
+  const auto by_rank = [&](int a, int b) {
+    return rank[static_cast<std::size_t>(a)] <
+           rank[static_cast<std::size_t>(b)];
+  };
+  std::vector<int> avail;  // ready but capacity-blocked, in rank order
+  int placed = 0;
+  for (int cycle = 0; placed < n; ++cycle) {
+    if (static_cast<std::size_t>(cycle) < buckets.size() &&
+        !buckets[static_cast<std::size_t>(cycle)].empty()) {
+      auto& fresh = buckets[static_cast<std::size_t>(cycle)];
+      std::sort(fresh.begin(), fresh.end(), by_rank);
+      const auto old = static_cast<std::ptrdiff_t>(avail.size());
+      avail.insert(avail.end(), fresh.begin(), fresh.end());
+      std::inplace_merge(avail.begin(), avail.begin() + old, avail.end(),
+                         by_rank);
+    }
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < avail.size(); ++i) {
+      const int id = avail[i];
+      if (!filler.capacity_ok(cycle, id)) {
+        avail[kept++] = id;
+        continue;
+      }
+      filler.place_at(id, cycle);
+      ++placed;
+      for (const auto& e : dfg.succs(id)) {
+        const auto to = static_cast<std::size_t>(e.to);
+        const int at = cycle + e.latency;
+        if (at > ready_time[to]) ready_time[to] = at;
+        if (--pending[to] == 0) {
+          if (buckets.size() <= static_cast<std::size_t>(ready_time[to]))
+            buckets.resize(static_cast<std::size_t>(ready_time[to]) + 1);
+          buckets[static_cast<std::size_t>(ready_time[to])].push_back(e.to);
+        }
+      }
+    }
+    avail.resize(kept);
   }
   return filler.take();
 }

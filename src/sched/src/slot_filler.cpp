@@ -1,5 +1,6 @@
 #include "sbmp/sched/slot_filler.h"
 
+#include <bit>
 #include <cassert>
 
 #include "sbmp/support/diagnostics.h"
@@ -32,10 +33,48 @@ int SlotFiller::ready_slot_ignoring(int id, int ignored_pred) const {
 }
 
 int SlotFiller::latest_free_slot_before(int id, int limit) const {
-  for (int s = limit - 1; s >= 0; --s) {
-    if (capacity_ok(s, id)) return s;
+  if (limit <= 0) return -1;
+  // Slots at or beyond the current length are always free.
+  if (limit > sched_.length()) return limit - 1;
+  const bool issue = counts_for_issue(id);
+  const FuClass fu = tac_.by_id(id).fu();
+  const int fu_lane =
+      fu == FuClass::kNone ? -1 : 1 + static_cast<int>(fu);
+  int w = (limit - 1) / 64;
+  std::uint64_t mask = ~std::uint64_t{0} >> (63 - (limit - 1) % 64);
+  for (; w >= 0; --w, mask = ~std::uint64_t{0}) {
+    const std::size_t base = static_cast<std::size_t>(w) * kFullStride;
+    std::uint64_t bad = 0;
+    if (issue) bad |= full_[base];
+    if (fu_lane >= 0) bad |= full_[base + static_cast<std::size_t>(fu_lane)];
+    const std::uint64_t free_bits = ~bad & mask;
+    if (free_bits != 0) return w * 64 + 63 - std::countl_zero(free_bits);
   }
   return -1;
+}
+
+int SlotFiller::first_free_at_or_after(int id, int start) const {
+  const int len = sched_.length();
+  if (start >= len) return start;
+  const bool issue = counts_for_issue(id);
+  const FuClass fu = tac_.by_id(id).fu();
+  const int fu_lane =
+      fu == FuClass::kNone ? -1 : 1 + static_cast<int>(fu);
+  int w = start / 64;
+  const int last_w = (len - 1) / 64;
+  std::uint64_t mask = ~std::uint64_t{0} << (start % 64);
+  for (; w <= last_w; ++w, mask = ~std::uint64_t{0}) {
+    const std::size_t base = static_cast<std::size_t>(w) * kFullStride;
+    std::uint64_t bad = 0;
+    if (issue) bad |= full_[base];
+    if (fu_lane >= 0) bad |= full_[base + static_cast<std::size_t>(fu_lane)];
+    // Bits past the current length are never marked, so the first free
+    // bit found here is at most `len` — exactly the append slot the
+    // linear scan would have reached.
+    const std::uint64_t free_bits = ~bad & mask;
+    if (free_bits != 0) return w * 64 + std::countr_zero(free_bits);
+  }
+  return len;
 }
 
 bool SlotFiller::capacity_ok(int slot, int id) const {
@@ -52,17 +91,27 @@ bool SlotFiller::capacity_ok(int slot, int id) const {
 
 void SlotFiller::ensure_slot(int slot) {
   while (sched_.length() <= slot) {
+    const int s = sched_.length();
     sched_.groups.emplace_back();
     issue_used_.push_back(0);
     fu_used_.push_back({});
+    const auto words_needed =
+        static_cast<std::size_t>(s / 64 + 1) * kFullStride;
+    if (full_.size() < words_needed) full_.resize(words_needed, 0);
+    // Zero-capacity lanes are saturated from birth.
+    if (config_.issue_width <= 0) mark_full(s, 0);
+    for (int f = 0; f < kNumFuClasses; ++f) {
+      if (config_.fu_count(static_cast<FuClass>(f)) <= 0)
+        mark_full(s, 1 + f);
+    }
   }
 }
 
 int SlotFiller::place_earliest(int id, int min_slot) {
   const int ready = ready_slot(id);
   assert(ready >= 0 && "predecessors must be placed first");
-  int s = ready > min_slot ? ready : min_slot;
-  while (!capacity_ok(s, id)) ++s;
+  const int s =
+      first_free_at_or_after(id, ready > min_slot ? ready : min_slot);
   place_at(id, s);
   return s;
 }
@@ -73,9 +122,14 @@ void SlotFiller::place_at(int id, int slot) {
   const auto s = static_cast<std::size_t>(slot);
   sched_.groups[s].push_back(id);
   sched_.slot_of[static_cast<std::size_t>(id)] = slot;
-  if (counts_for_issue(id)) ++issue_used_[s];
+  if (counts_for_issue(id)) {
+    if (++issue_used_[s] >= config_.issue_width) mark_full(slot, 0);
+  }
   const FuClass fu = tac_.by_id(id).fu();
-  if (fu != FuClass::kNone) ++fu_used_[s][static_cast<std::size_t>(fu)];
+  if (fu != FuClass::kNone) {
+    if (++fu_used_[s][static_cast<std::size_t>(fu)] >= config_.fu_count(fu))
+      mark_full(slot, 1 + static_cast<int>(fu));
+  }
   ++num_placed_;
 }
 

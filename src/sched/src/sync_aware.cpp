@@ -1,5 +1,5 @@
 #include <algorithm>
-#include <map>
+#include <cstdint>
 
 #include "sbmp/sched/schedulers.h"
 #include "sbmp/sched/slot_filler.h"
@@ -52,13 +52,18 @@ Schedule schedule_sync_aware(const TacFunction& tac, const Dfg& dfg,
                      return a.priority > b.priority;
                    });
 
-  // Order Sigwat components by their best internal path priority.
-  std::map<int, double> sigwat_priority;
+  // Order Sigwat components by their best internal path priority. A
+  // flat per-component vector replaces the old std::map: a component
+  // with no internal path keeps priority 0.0, which is what the map's
+  // "absent" case compared as (every real path priority is positive).
+  std::vector<double> sigwat_priority(
+      static_cast<std::size_t>(dfg.num_components()), 0.0);
   for (const auto& info : pairs) {
     if (info.path.empty()) continue;
-    const int comp = dfg.component_of(info.pair.wait_instr);
-    auto [it, inserted] = sigwat_priority.try_emplace(comp, info.priority);
-    if (!inserted && info.priority > it->second) it->second = info.priority;
+    const auto comp = static_cast<std::size_t>(
+        dfg.component_of(info.pair.wait_instr));
+    if (info.priority > sigwat_priority[comp])
+      sigwat_priority[comp] = info.priority;
   }
   std::vector<int> sigwat_order;
   for (int c = 0; c < dfg.num_components(); ++c) {
@@ -67,13 +72,8 @@ Schedule schedule_sync_aware(const TacFunction& tac, const Dfg& dfg,
   }
   std::stable_sort(sigwat_order.begin(), sigwat_order.end(),
                    [&](int a, int b) {
-                     const auto pa = sigwat_priority.count(a)
-                                         ? sigwat_priority.at(a)
-                                         : 0.0;
-                     const auto pb = sigwat_priority.count(b)
-                                         ? sigwat_priority.at(b)
-                                         : 0.0;
-                     return pa > pb;
+                     return sigwat_priority[static_cast<std::size_t>(a)] >
+                            sigwat_priority[static_cast<std::size_t>(b)];
                    });
 
   // Phase 1: Sigwat components. Inside each, walk every synchronization
@@ -133,14 +133,38 @@ Schedule schedule_sync_aware(const TacFunction& tac, const Dfg& dfg,
   }
 
   // Phase 3: Wat components; each wait is pinned after its paired send.
+  // Pairs are pre-grouped by wait instruction so each wait consults only
+  // its own pairs (the pin is a max over send slots, so group order
+  // inside one wait is immaterial).
+  std::vector<std::int32_t> wait_pair_off(
+      static_cast<std::size_t>(tac.size()) + 2, 0);
+  for (const auto& info : pairs)
+    ++wait_pair_off[static_cast<std::size_t>(info.pair.wait_instr) + 1];
+  for (int i = 0; i <= tac.size(); ++i)
+    wait_pair_off[static_cast<std::size_t>(i) + 1] +=
+        wait_pair_off[static_cast<std::size_t>(i)];
+  std::vector<std::int32_t> wait_pair_idx(pairs.size());
+  {
+    std::vector<std::int32_t> at(wait_pair_off.begin(),
+                                 wait_pair_off.end() - 1);
+    for (std::size_t i = 0; i < pairs.size(); ++i)
+      wait_pair_idx[static_cast<std::size_t>(
+          at[static_cast<std::size_t>(pairs[i].pair.wait_instr)]++)] =
+          static_cast<std::int32_t>(i);
+  }
   for (int c = 0; c < dfg.num_components(); ++c) {
     if (dfg.component_kind(c) != ComponentKind::kWat) continue;
     for (const int id : dfg.component_members(c)) {
       if (filler.placed(id)) continue;
       int min_slot = 0;
       if (options.convert_lfd && tac.by_id(id).op == Opcode::kWait) {
-        for (const auto& info : pairs) {
-          if (info.pair.wait_instr != id) continue;
+        const auto lo = static_cast<std::size_t>(
+            wait_pair_off[static_cast<std::size_t>(id)]);
+        const auto hi = static_cast<std::size_t>(
+            wait_pair_off[static_cast<std::size_t>(id) + 1]);
+        for (std::size_t p = lo; p < hi; ++p) {
+          const auto& info =
+              pairs[static_cast<std::size_t>(wait_pair_idx[p])];
           if (filler.placed(info.pair.send_instr)) {
             min_slot = std::max(min_slot,
                                 filler.slot(info.pair.send_instr) + 1);

@@ -153,9 +153,11 @@ Status decode_loop_report(const std::string& payload,
     report.tac = generate_tac(report.synced);
     if (options.eliminate_redundant_waits) {
       report.tac = eliminate_redundant_waits(report.tac, options.machine,
-                                             &report.waits_eliminated);
+                                             &report.waits_eliminated,
+                                             &report.dfg);
     }
-    report.dfg.emplace(report.tac, options.machine);
+    if (!report.dfg.has_value())
+      report.dfg.emplace(report.tac, options.machine);
   } catch (const SbmpError& e) {
     return reject(std::string("cached loop no longer compiles: ") + e.what());
   }

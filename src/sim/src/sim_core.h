@@ -9,7 +9,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <limits>
 #include <vector>
 
 #include "sbmp/sim/fault.h"
@@ -39,16 +39,55 @@ struct SimCore {
   /// Injected-fault counter (meaningful only with faults set).
   std::int64_t fault_events = 0;
 
+  /// "No send/wait recorded" sentinel in the flat per-signal tables.
+  static constexpr std::int64_t kNoTime =
+      std::numeric_limits<std::int64_t>::min();
+
   std::int64_t n = 0;
-  int window = 1;                      ///< ring size over iterations
+  /// Ring size over iterations. Always a power of two (resize_window
+  /// rounds up), so ring indexing is a mask instead of a 64-bit modulo
+  /// in the per-iteration hot path. Extra rows are harmless: they only
+  /// widen the visible history.
+  int window = 1;
+  std::int64_t ring_mask = 0;          ///< window - 1
   std::vector<IterTimes> ring;
-  std::map<int, int> send_slot;        ///< signal stmt -> group index
-  /// Send issue cycles per iteration (ring-indexed) per signal stmt.
-  std::vector<std::map<int, std::int64_t>> send_times;
-  /// Wait issue cycles per iteration (ring-indexed) per signal stmt;
-  /// maintained only under faults (bounded signal-buffer model).
-  std::vector<std::map<int, std::int64_t>> wait_times;
+  /// Signal statements are dense small integers, so every per-signal
+  /// lookup is a flat vector of width `signal_width` (max signal stmt
+  /// + 1) instead of a node-allocating map probed per iteration.
+  int signal_width = 0;
+  std::vector<int> send_slot;          ///< signal stmt -> group, -1 none
+  /// Send issue cycles, ring-indexed rows of `signal_width` entries.
+  std::vector<std::int64_t> send_times;
+  /// Wait issue cycles, same layout; maintained only under faults
+  /// (bounded signal-buffer model).
+  std::vector<std::int64_t> wait_times;
   std::int64_t max_wait_distance = 0;
+
+  /// Precompiled flat execution program: for every scheduled group, its
+  /// instructions with everything the per-iteration loop needs resolved
+  /// once — predecessor group indices and latencies, sync roles, result
+  /// drain latency. The iteration loop then runs over two contiguous
+  /// arrays with no TacFunction/Dfg/Schedule indirection, no opcode
+  /// switches and no per-pred slot lookups; the arithmetic is exactly
+  /// the original's, instance by instance.
+  struct PredRef {
+    std::int32_t slot;     ///< predecessor's group index
+    std::int32_t latency;
+    std::int32_t from;     ///< predecessor id (fault-jitter draw key)
+  };
+  struct InstrRef {
+    std::int32_t id;
+    std::int32_t pred_begin;
+    std::int32_t pred_end;
+    std::int32_t signal_stmt = -1;   ///< -1 when not a sync instruction
+    std::int64_t sync_distance = 0;  ///< waits only
+    std::int64_t drain_latency = 0;  ///< config.latency(op)
+    bool is_wait = false;
+    bool is_send = false;
+  };
+  std::vector<PredRef> pred_refs;
+  std::vector<InstrRef> instr_refs;       ///< grouped by schedule group
+  std::vector<std::int32_t> group_begin;  ///< per group, into instr_refs
 
   SimCore(const TacFunction& t, const Dfg& d, const Schedule& s,
           const MachineConfig& c, const SimOptions& o,
@@ -60,10 +99,16 @@ struct SimCore {
     // `processors > iterations` cannot size it past the trip count).
     n = std::max<std::int64_t>(options.iterations, 0);
     for (const auto& instr : tac.instrs) {
-      if (instr.op == Opcode::kSend)
-        send_slot[instr.signal_stmt] = schedule.slot(instr.id);
+      if (instr.is_sync() && instr.signal_stmt >= signal_width)
+        signal_width = instr.signal_stmt + 1;
       if (instr.op == Opcode::kWait)
         max_wait_distance = std::max(max_wait_distance, instr.sync_distance);
+    }
+    send_slot.assign(static_cast<std::size_t>(signal_width), -1);
+    for (const auto& instr : tac.instrs) {
+      if (instr.op == Opcode::kSend)
+        send_slot[static_cast<std::size_t>(instr.signal_stmt)] =
+            schedule.slot(instr.id);
     }
     const std::int64_t procs = std::max(options.processors, 0);
     std::int64_t rows = std::max<std::int64_t>(
@@ -74,15 +119,59 @@ struct SimCore {
           rows, static_cast<std::int64_t>(faults->signal_buffer_capacity) + 1);
     }
     rows = std::min(rows, sat_add(n, 1));
-    window = static_cast<int>(std::max<std::int64_t>(rows, 1));
+    resize_window(static_cast<int>(std::max<std::int64_t>(rows, 1)));
+
+    // Precompile the schedule into the flat program (see field docs).
+    const int len = schedule.length();
+    group_begin.assign(static_cast<std::size_t>(len) + 1, 0);
+    instr_refs.reserve(tac.instrs.size());
+    for (int g = 0; g < len; ++g) {
+      group_begin[static_cast<std::size_t>(g)] =
+          static_cast<std::int32_t>(instr_refs.size());
+      for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
+        const auto& instr = tac.by_id(id);
+        InstrRef ref;
+        ref.id = id;
+        ref.pred_begin = static_cast<std::int32_t>(pred_refs.size());
+        for (const auto& e : dfg.preds(id))
+          pred_refs.push_back({schedule.slot(e.from), e.latency, e.from});
+        ref.pred_end = static_cast<std::int32_t>(pred_refs.size());
+        if (instr.is_sync()) ref.signal_stmt = instr.signal_stmt;
+        ref.sync_distance = instr.sync_distance;
+        ref.drain_latency = config.latency(instr.op);
+        ref.is_wait = instr.op == Opcode::kWait;
+        ref.is_send = instr.op == Opcode::kSend;
+        instr_refs.push_back(ref);
+      }
+    }
+    group_begin[static_cast<std::size_t>(len)] =
+        static_cast<std::int32_t>(instr_refs.size());
+  }
+
+  /// (Re)sizes the iteration ring and the per-signal time tables.
+  /// `rows` is a minimum; the ring is rounded up to a power of two.
+  void resize_window(int rows) {
+    window = 1;
+    while (window < rows) window <<= 1;
+    ring_mask = window - 1;
     ring.assign(static_cast<std::size_t>(window), {});
-    send_times.assign(static_cast<std::size_t>(window), {});
+    send_times.assign(
+        static_cast<std::size_t>(window) * static_cast<std::size_t>(signal_width),
+        kNoTime);
     if (faults != nullptr)
-      wait_times.assign(static_cast<std::size_t>(window), {});
+      wait_times.assign(static_cast<std::size_t>(window) *
+                            static_cast<std::size_t>(signal_width),
+                        kNoTime);
+  }
+
+  /// Start of iteration k's row in a flat per-signal table.
+  [[nodiscard]] std::size_t signal_row(std::int64_t k) const {
+    return static_cast<std::size_t>(k & ring_mask) *
+           static_cast<std::size_t>(signal_width);
   }
 
   [[nodiscard]] IterTimes& row(std::int64_t k) {
-    return ring[static_cast<std::size_t>(k % window)];
+    return ring[static_cast<std::size_t>(k & ring_mask)];
   }
 
   /// Deterministic draw for fault decisions: a pure function of (plan
@@ -143,6 +232,142 @@ struct SimCore {
     const int buffer_capacity =
         faults != nullptr ? faults->signal_buffer_capacity : 0;
 
+    // Steady-state fast-forward (exact, not approximate). Every time an
+    // iteration computes is a max over terms that are linear in the
+    // iteration index once the per-group deltas settle: chain terms
+    // (prev + 1), same-iteration predecessors (issue[slot] + latency),
+    // and wait arrivals (a send time d iterations back + latency). Once
+    // the per-group delta vector has repeated for `window` consecutive
+    // iterations — which covers every ring row the next iteration can
+    // read, since procs + 1 <= window and max_wait_distance + 1 <=
+    // window — the remaining trajectory is a candidate straight line.
+    // `fast_forward` then proves the candidate: it re-evaluates one full
+    // iteration at the extrapolated endpoint and accepts only if every
+    // group lands exactly on its extrapolation. That check is
+    // sufficient, not just plausible: each group's issue time is a max
+    // of linear functions of the iteration index, i.e. convex, and a
+    // convex function that meets a straight chord at both endpoints
+    // cannot leave it in between — so endpoint equality forces every
+    // intermediate iteration onto the line, and the remaining stall and
+    // finish sums have closed forms. Only taken with no faults and no
+    // hook (both observe individual iterations), and only when all the
+    // closed forms stay inside int64, so the loop's sat_add could never
+    // have saturated either.
+    const bool can_skip = !hook && faults == nullptr;
+    std::int64_t streak = 0;
+    std::int64_t next_attempt = 0;
+    std::int64_t d_start = 0;
+    std::int64_t d_fin = 0;
+    std::int64_t d_last = 0;
+    std::vector<std::int64_t> d_group;
+    std::vector<std::int64_t> end_issue;
+
+    // Evaluates iteration k + m from iteration k's row (`times`, with
+    // `sends` its send row and `stalls` its stall count) under the
+    // candidate deltas, and on success folds the m skipped iterations
+    // into `result`. Any mismatch or potential int64 overflow rejects.
+    const auto fast_forward = [&](const IterTimes& times,
+                                  const std::int64_t* sends,
+                                  std::int64_t stalls, std::int64_t m,
+                                  SimResult& result) -> bool {
+      // Everything extrapolated stays under kLimit, so the mirrored
+      // arithmetic below (+1 chains, +latency) cannot overflow and
+      // matches the loop's sat_add exactly (which never saturates in
+      // this range either).
+      constexpr std::int64_t kLimit =
+          std::numeric_limits<std::int64_t>::max() / 4;
+      const auto ext = [&](std::int64_t v, std::int64_t d, std::int64_t f,
+                           std::int64_t* out) {
+        if (mul_overflows(d, f) || add_overflows(v, d * f)) return false;
+        *out = v + d * f;
+        return *out >= 0 && *out <= kLimit;
+      };
+      const int len = schedule.length();
+      const int procs = options.processors;
+      std::int64_t start_end = 0;
+      if (procs > 0) {
+        // The loop reads row (k + m - procs).last_issue; that row is on
+        // the candidate line (in the future by induction, in the past
+        // because the streak spans the whole ring window).
+        std::int64_t li = 0;
+        if (!ext(times.last_issue, d_last, m - procs, &li)) return false;
+        start_end = li + 1;
+      }
+      std::int64_t want = 0;
+      if (!ext(times.start, d_start, m, &want) || start_end != want)
+        return false;
+      end_issue.assign(static_cast<std::size_t>(len), 0);
+      std::int64_t prev_end = start_end - 1;
+      std::int64_t finish_end = start_end;
+      std::int64_t stalls_end = 0;
+      for (int g = 0; g < len; ++g) {
+        std::int64_t t = prev_end + 1;
+        const std::int32_t ib = group_begin[static_cast<std::size_t>(g)];
+        const std::int32_t ie = group_begin[static_cast<std::size_t>(g) + 1];
+        for (std::int32_t ii = ib; ii < ie; ++ii) {
+          const InstrRef& ref = instr_refs[static_cast<std::size_t>(ii)];
+          for (std::int32_t p = ref.pred_begin; p < ref.pred_end; ++p) {
+            const PredRef& pr = pred_refs[static_cast<std::size_t>(p)];
+            const std::int64_t ready =
+                end_issue[static_cast<std::size_t>(pr.slot)] + pr.latency;
+            if (ready > t) t = ready;
+          }
+          if (ref.is_wait) {
+            const auto stmt = static_cast<std::size_t>(ref.signal_stmt);
+            // src_iter = k + m - distance >= 0 always: k >= window >
+            // max_wait_distance. A signal unsent at iteration k is
+            // unsent at every iteration and vice versa.
+            if (send_slot[stmt] >= 0 && sends[stmt] != kNoTime) {
+              std::int64_t sent_end = 0;
+              if (!ext(sends[stmt],
+                       d_group[static_cast<std::size_t>(send_slot[stmt])],
+                       m - ref.sync_distance, &sent_end))
+                return false;
+              const std::int64_t arrival = sent_end + config.signal_latency;
+              if (arrival > t) t = arrival;
+            }
+          }
+        }
+        if (!ext(times.group_issue[static_cast<std::size_t>(g)],
+                 d_group[static_cast<std::size_t>(g)], m, &want) ||
+            t != want)
+          return false;
+        end_issue[static_cast<std::size_t>(g)] = t;
+        stalls_end += t - (prev_end + 1);
+        prev_end = t;
+        for (std::int32_t ii = ib; ii < ie; ++ii) {
+          const std::int64_t done =
+              t + instr_refs[static_cast<std::size_t>(ii)].drain_latency;
+          if (done > finish_end) finish_end = done;
+        }
+      }
+      if (!ext(times.finish, d_fin, m, &want) || finish_end != want)
+        return false;
+      if (!ext(times.last_issue, d_last, m, &want) || prev_end != want)
+        return false;
+      // Per-group stall contributions are linear and >= 0 at both
+      // endpoints, hence >= 0 and linear throughout: the skipped
+      // iterations contribute sum_{j=1..m} (stalls + j * rate).
+      const std::int64_t diff = stalls_end - stalls;
+      if (diff % m != 0) return false;
+      const std::int64_t rate = diff / m;
+      std::int64_t a = m;
+      std::int64_t b = m + 1;
+      if (a % 2 == 0) a /= 2; else b /= 2;
+      if (mul_overflows(a, b)) return false;
+      const std::int64_t tri = a * b;
+      if (mul_overflows(stalls, m) || mul_overflows(rate, tri) ||
+          add_overflows(stalls * m, rate * tri))
+        return false;
+      const std::int64_t extra = stalls * m + rate * tri;
+      if (add_overflows(result.stall_cycles, extra)) return false;
+      result.stall_cycles += extra;
+      // Deltas are all >= 0 (checked by the caller), so the endpoint
+      // finish dominates every skipped iteration's finish.
+      if (finish_end > result.parallel_time) result.parallel_time = finish_end;
+      return true;
+    };
+
     for (std::int64_t k = 0; k < n; ++k) {
       IterTimes& times = row(k);
       times.group_issue.assign(
@@ -158,24 +383,28 @@ struct SimCore {
       std::int64_t prev = start - 1;
       std::int64_t finish = start;
       std::int64_t stalls = 0;
-      auto& sends = send_times[static_cast<std::size_t>(k % window)];
-      sends.clear();
-      std::map<int, std::int64_t>* waits = nullptr;
+      std::int64_t* const sends = send_times.data() + signal_row(k);
+      std::fill_n(sends, static_cast<std::size_t>(signal_width), kNoTime);
+      std::int64_t* waits = nullptr;
       if (faults != nullptr) {
-        waits = &wait_times[static_cast<std::size_t>(k % window)];
-        waits->clear();
+        waits = wait_times.data() + signal_row(k);
+        std::fill_n(waits, static_cast<std::size_t>(signal_width), kNoTime);
       }
-      for (int g = 0; g < schedule.length(); ++g) {
+      const std::int64_t* const issue = times.group_issue.data();
+      const int len = schedule.length();
+      for (int g = 0; g < len; ++g) {
         std::int64_t t = prev + 1;
-        for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
+        const std::int32_t ib = group_begin[static_cast<std::size_t>(g)];
+        const std::int32_t ie = group_begin[static_cast<std::size_t>(g) + 1];
+        for (std::int32_t ii = ib; ii < ie; ++ii) {
+          const InstrRef& ref = instr_refs[static_cast<std::size_t>(ii)];
           // Operand readiness (same-iteration DFG predecessors).
-          for (const auto& e : dfg.preds(id)) {
+          for (std::int32_t p = ref.pred_begin; p < ref.pred_end; ++p) {
+            const PredRef& pr = pred_refs[static_cast<std::size_t>(p)];
             std::int64_t ready =
-                times.group_issue[static_cast<std::size_t>(
-                    schedule.slot(e.from))] +
-                e.latency;
+                issue[static_cast<std::size_t>(pr.slot)] + pr.latency;
             if (faults != nullptr) {
-              const std::int64_t jitter = result_jitter(k, e.from);
+              const std::int64_t jitter = result_jitter(k, pr.from);
               if (jitter > 0) {
                 ready = sat_add(ready, jitter);
                 ++fault_events;
@@ -184,18 +413,17 @@ struct SimCore {
             if (ready > t) t = ready;
           }
           // Signal readiness for waits.
-          const auto& instr = tac.by_id(id);
-          if (instr.op == Opcode::kWait) {
-            const std::int64_t src_iter = k - instr.sync_distance;
-            if (src_iter >= 0 && send_slot.count(instr.signal_stmt)) {
-              const auto& src_sends =
-                  send_times[static_cast<std::size_t>(src_iter % window)];
-              const auto it = src_sends.find(instr.signal_stmt);
-              if (it != src_sends.end()) {
-                std::int64_t arrival = it->second + config.signal_latency;
+          if (ref.is_wait) {
+            const auto stmt = static_cast<std::size_t>(ref.signal_stmt);
+            const std::int64_t src_iter = k - ref.sync_distance;
+            if (src_iter >= 0 && send_slot[stmt] >= 0) {
+              const std::int64_t sent =
+                  send_times[signal_row(src_iter) + stmt];
+              if (sent != kNoTime) {
+                std::int64_t arrival = sent + config.signal_latency;
                 if (faults != nullptr) {
                   const std::int64_t delay =
-                      signal_delay(src_iter, instr.signal_stmt);
+                      signal_delay(src_iter, ref.signal_stmt);
                   if (delay > 0) {
                     arrival = sat_add(arrival, delay);
                     ++fault_events;
@@ -207,11 +435,10 @@ struct SimCore {
             // Bounded signal buffer: the FIFO slot for this stream only
             // frees once the wait `capacity` iterations back has issued.
             if (buffer_capacity > 0 && k >= buffer_capacity) {
-              const auto& old_waits = wait_times[static_cast<std::size_t>(
-                  (k - buffer_capacity) % window)];
-              const auto it = old_waits.find(instr.signal_stmt);
-              if (it != old_waits.end() && it->second + 1 > t) {
-                t = it->second + 1;
+              const std::int64_t old_wait =
+                  wait_times[signal_row(k - buffer_capacity) + stmt];
+              if (old_wait != kNoTime && old_wait + 1 > t) {
+                t = old_wait + 1;
                 ++fault_events;
               }
             }
@@ -228,15 +455,16 @@ struct SimCore {
         stalls += t - (prev + 1);
         prev = t;
         // Track result drain and record sends/waits.
-        for (const int id : schedule.groups[static_cast<std::size_t>(g)]) {
-          const auto& instr = tac.by_id(id);
-          std::int64_t done = sat_add(t, config.latency(instr.op));
+        for (std::int32_t ii = ib; ii < ie; ++ii) {
+          const InstrRef& ref = instr_refs[static_cast<std::size_t>(ii)];
+          std::int64_t done = sat_add(t, ref.drain_latency);
           if (faults != nullptr)
-            done = sat_add(done, result_jitter(k, id));
+            done = sat_add(done, result_jitter(k, ref.id));
           if (done > finish) finish = done;
-          if (instr.op == Opcode::kSend) sends[instr.signal_stmt] = t;
-          if (waits != nullptr && instr.op == Opcode::kWait)
-            (*waits)[instr.signal_stmt] = t;
+          if (ref.is_send)
+            sends[static_cast<std::size_t>(ref.signal_stmt)] = t;
+          if (waits != nullptr && ref.is_wait)
+            waits[static_cast<std::size_t>(ref.signal_stmt)] = t;
         }
       }
       times.finish = finish;
@@ -245,6 +473,45 @@ struct SimCore {
       if (finish > result.parallel_time) result.parallel_time = finish;
       if (k == 0) result.iteration_time = finish - start;
       if (hook) hook(k);
+
+      if (can_skip && k > 0) {
+        const IterTimes& prior = row(k - 1);
+        const std::int64_t cs = times.start - prior.start;
+        const std::int64_t cf = times.finish - prior.finish;
+        const std::int64_t cl = times.last_issue - prior.last_issue;
+        bool same =
+            streak > 0 && cs == d_start && cf == d_fin && cl == d_last;
+        for (int g = 0; same && g < len; ++g) {
+          same = times.group_issue[static_cast<std::size_t>(g)] -
+                     prior.group_issue[static_cast<std::size_t>(g)] ==
+                 d_group[static_cast<std::size_t>(g)];
+        }
+        if (same) {
+          ++streak;
+        } else if (cs >= 0 && cf >= 0 && cl >= 0) {
+          d_start = cs;
+          d_fin = cf;
+          d_last = cl;
+          d_group.assign(static_cast<std::size_t>(len), 0);
+          streak = 1;
+          for (int g = 0; g < len; ++g) {
+            const std::int64_t cg =
+                times.group_issue[static_cast<std::size_t>(g)] -
+                prior.group_issue[static_cast<std::size_t>(g)];
+            d_group[static_cast<std::size_t>(g)] = cg;
+            if (cg < 0) streak = 0;
+          }
+        } else {
+          streak = 0;
+        }
+        if (streak >= window && k + 1 < n && k >= next_attempt) {
+          if (fast_forward(times, sends, stalls, n - 1 - k, result)) break;
+          // A lurking faster-growing term will flip some group's delta
+          // within finitely many iterations; retry once per window so
+          // verification stays O(1/window) of total work.
+          next_attempt = k + window;
+        }
+      }
     }
     return result;
   }

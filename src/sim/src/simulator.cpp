@@ -82,11 +82,10 @@ std::vector<std::string> check_cross_iteration_ordering(
   SimOptions widened = options;
   SimCore core(tac, dfg, schedule, config, widened);
   // Widen the ring so source iterations stay visible.
-  core.window = static_cast<int>(std::max<std::int64_t>(
+  int window = static_cast<int>(std::max<std::int64_t>(
       core.window, max_distance + 1));
-  if (core.window > core.n + 1) core.window = static_cast<int>(core.n) + 1;
-  core.ring.assign(static_cast<std::size_t>(core.window), {});
-  core.send_times.assign(static_cast<std::size_t>(core.window), {});
+  if (window > core.n + 1) window = static_cast<int>(core.n) + 1;
+  core.resize_window(window);
 
   const auto hook = [&](std::int64_t k) {
     for (const auto& di : resolved) {

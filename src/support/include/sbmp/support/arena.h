@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace sbmp {
+
+/// Bump allocator for short-lived build scratch.
+///
+/// The compile hot path (DFG construction, the schedulers) needs many
+/// small temporary arrays whose lifetimes all end together. Giving each
+/// its own std::vector costs one malloc/free pair apiece and scatters
+/// them across the heap; an Arena hands out pointers from a few large
+/// blocks instead, so the scratch stays contiguous and the whole set is
+/// released at once when the arena dies (or via reset()).
+///
+/// Only trivially-destructible element types are supported — nothing is
+/// ever destroyed individually, memory is simply reclaimed in bulk.
+class Arena {
+ public:
+  explicit Arena(std::size_t first_block_bytes = kDefaultBlockBytes) {
+    grow(first_block_bytes);
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw aligned allocation. Never returns nullptr; zero-byte requests
+  /// yield a valid (unusable) pointer.
+  [[nodiscard]] void* allocate_bytes(std::size_t bytes, std::size_t align) {
+    Block& block = blocks_.back();
+    std::size_t offset = (block.used + (align - 1)) & ~(align - 1);
+    if (offset + bytes > block.size) {
+      grow(bytes + align);
+      return allocate_bytes(bytes, align);
+    }
+    block.used = offset + bytes;
+    return block.data.get() + offset;
+  }
+
+  /// Uninitialized typed array of `count` elements.
+  template <typename T>
+  [[nodiscard]] T* allocate(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(allocate_bytes(count * sizeof(T), alignof(T)));
+  }
+
+  /// Zero-initialized typed array of `count` elements.
+  template <typename T>
+  [[nodiscard]] T* allocate_zeroed(std::size_t count) {
+    T* out = allocate<T>(count);
+    for (std::size_t i = 0; i < count; ++i) out[i] = T{};
+    return out;
+  }
+
+  /// Total bytes currently reserved across all blocks.
+  [[nodiscard]] std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Forgets every allocation but keeps the reserved blocks, so a reused
+  /// arena stops hitting malloc after its first build.
+  void reset() {
+    for (Block& b : blocks_) b.used = 0;
+  }
+
+ private:
+  static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void grow(std::size_t min_bytes) {
+    std::size_t size = blocks_.empty() ? min_bytes : blocks_.back().size * 2;
+    if (size < min_bytes) size = min_bytes;
+    blocks_.push_back({std::make_unique<std::byte[]>(size), size, 0});
+  }
+
+  std::vector<Block> blocks_;
+};
+
+}  // namespace sbmp

@@ -4,11 +4,15 @@
 // builds (-DSBMP_SANITIZE=thread) can target exactly these tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "sbmp/core/parallel.h"
 #include "sbmp/frontend/parser.h"
 #include "sbmp/perfect/suite.h"
+#include "sbmp/support/thread_pool.h"
 
 namespace sbmp {
 namespace {
@@ -209,6 +213,105 @@ TEST(ParallelEngine, FailingBatchIsByteIdenticalAcrossJobCounts) {
     EXPECT_EQ(render(serial), render(report)) << "jobs=" << jobs;
     EXPECT_EQ(render_failures(serial), render_failures(report))
         << "jobs=" << jobs;
+  }
+}
+
+TEST(ShardedCache, KeysSpreadAcrossShards) {
+  const ResultCache cache;
+  ASSERT_EQ(cache.num_shards(), ResultCache::kDefaultShards);
+  std::vector<int> population(static_cast<std::size_t>(cache.num_shards()), 0);
+  int keys = 0;
+  for (const auto& bench : perfect_suite()) {
+    for (const Loop& loop : bench.program().loops) {
+      for (const auto kind : {SchedulerKind::kList, SchedulerKind::kSyncAware}) {
+        PipelineOptions options;
+        options.scheduler = kind;
+        const int shard = cache.shard_of(ResultCache::key(loop, options));
+        ASSERT_GE(shard, 0);
+        ASSERT_LT(shard, cache.num_shards());
+        ++population[static_cast<std::size_t>(shard)];
+        ++keys;
+      }
+    }
+  }
+  // The exact spread is hash-dependent; what matters is that routing
+  // actually distributes (no single hot shard) and is deterministic.
+  int used = 0;
+  int max_load = 0;
+  for (const int load : population) {
+    if (load > 0) ++used;
+    max_load = std::max(max_load, load);
+  }
+  EXPECT_GE(used, 4) << keys << " keys collapsed onto " << used << " shards";
+  EXPECT_LT(max_load, keys) << "every key routed to one shard";
+  for (const auto& bench : perfect_suite()) {
+    for (const Loop& loop : bench.program().loops) {
+      const std::string key = ResultCache::key(loop, PipelineOptions{});
+      EXPECT_EQ(cache.shard_of(key), cache.shard_of(key));
+    }
+  }
+}
+
+TEST(ShardedCache, RacingInsertsOfOneKeyKeepFirstWinnerEverywhere) {
+  ResultCache cache;
+  const std::string key = "racing-key";
+  constexpr int kInserts = 64;
+  std::vector<std::shared_ptr<const LoopReport>> returned(kInserts);
+  parallel_for(8, 0, kInserts, [&](std::int64_t i) {
+    LoopReport report;
+    report.name = "insert-" + std::to_string(i);
+    returned[static_cast<std::size_t>(i)] = cache.insert(key, std::move(report));
+  });
+  ASSERT_EQ(cache.size(), 1u);
+  const auto winner = cache.lookup(key);
+  ASSERT_NE(winner, nullptr);
+  for (const auto& entry : returned) {
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry.get(), winner.get())
+        << "a racing insert saw a different entry than the cached winner";
+  }
+}
+
+TEST(ShardedCache, ConcurrentDistinctInsertsAllLand) {
+  ResultCache cache;
+  constexpr int kKeys = 256;
+  parallel_for(8, 0, kKeys, [&](std::int64_t i) {
+    LoopReport report;
+    report.name = "loop-" + std::to_string(i);
+    (void)cache.insert("key-" + std::to_string(i), std::move(report));
+    // Interleave lookups of earlier keys to stress cross-shard probes.
+    (void)cache.lookup("key-" + std::to_string(i / 2));
+  });
+  EXPECT_EQ(cache.size(), static_cast<std::size_t>(kKeys));
+  for (int i = 0; i < kKeys; ++i) {
+    const auto hit = cache.lookup("key-" + std::to_string(i));
+    ASSERT_NE(hit, nullptr) << "key-" << i;
+    EXPECT_EQ(hit->name, "loop-" + std::to_string(i));
+  }
+  EXPECT_GT(cache.hits(), 0);
+}
+
+TEST(ShardedCache, SingleShardCacheIsByteIdenticalAcrossJobCounts) {
+  // Shard count is an internal layout detail: a 1-shard cache (the old
+  // single-mutex table) and the default sharded cache must produce
+  // byte-identical program reports at every job count.
+  PipelineOptions options;
+  options.machine = MachineConfig::paper(4, 1);
+  options.iterations = 100;
+  for (const auto& bench : perfect_suite()) {
+    const Program program = bench.program();
+    for (const int jobs : {1, 2, 8}) {
+      ParallelOptions parallel;
+      parallel.jobs = jobs;
+      ResultCache one(1);
+      ResultCache sharded;
+      const std::string a =
+          render(run_pipeline_parallel(program, options, parallel, &one));
+      const std::string b =
+          render(run_pipeline_parallel(program, options, parallel, &sharded));
+      EXPECT_EQ(a, b) << bench.name << " diverged at --jobs " << jobs;
+      EXPECT_EQ(one.size(), sharded.size());
+    }
   }
 }
 

@@ -9,6 +9,9 @@
 #include "sbmp/sched/schedulers.h"
 #include "sbmp/sim/analytic.h"
 #include "sbmp/sim/simulator.h"
+// Internal core, included directly so the test can pin the steady-state
+// fast-forward against the forced per-iteration loop.
+#include "../src/sim/src/sim_core.h"
 #include "sbmp/sync/sync.h"
 
 namespace sbmp {
@@ -406,6 +409,40 @@ end
     EXPECT_EQ(r.parallel_time, base.parallel_time);
     EXPECT_EQ(r.iteration_time, base.iteration_time);
     EXPECT_EQ(r.stall_cycles, base.stall_cycles);
+  }
+}
+
+TEST(Simulator, SteadyStateFastForwardMatchesTheFullLoopExactly) {
+  // run(nullptr) may take the steady-state closed form; a hook (even a
+  // no-op) forces the per-iteration loop. The two must agree to the
+  // cycle on every field, for every processor count and trip count.
+  for (const char* src : {
+           "do I = 1, 100\n A[I] = B[I] * 2 + C[I]\nend\n",
+           "doacross I = 1, 100\n A[I] = A[I-1] + B[I]\nend\n",
+           "doacross I = 1, 100\n A[I] = A[I-3] * B[I]\n D[I] = A[I] / "
+           "c1\nend\n",
+           "doacross I = 1, 100\n A[I] = B[I-1] + B[I+3]\n B[I] = A[I-2] * "
+           "2\nend\n",
+       }) {
+    for (const auto kind : {SchedulerKind::kList, SchedulerKind::kSyncAware}) {
+      const Built b = build(src, kind);
+      for (const int procs : {0, 1, 2, 4, 32}) {
+        for (const std::int64_t n : {1, 2, 7, 100, 5000}) {
+          SimOptions options;
+          options.iterations = n;
+          options.processors = procs;
+          sim_detail::SimCore fast(b.tac, b.dfg, b.schedule, b.config,
+                                   options);
+          const SimResult f = fast.run(nullptr);
+          sim_detail::SimCore slow(b.tac, b.dfg, b.schedule, b.config,
+                                   options);
+          const SimResult s = slow.run([](std::int64_t) {});
+          EXPECT_EQ(f.parallel_time, s.parallel_time) << src << " n=" << n;
+          EXPECT_EQ(f.iteration_time, s.iteration_time) << src << " n=" << n;
+          EXPECT_EQ(f.stall_cycles, s.stall_cycles) << src << " n=" << n;
+        }
+      }
+    }
   }
 }
 
