@@ -22,6 +22,7 @@
 #include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
 #include "sbmp/frontend/parser.h"
+#include "sbmp/obs/trace.h"
 #include "sbmp/perfect/suite.h"
 #include "sbmp/support/hash.h"
 #include "sbmp/support/status.h"
@@ -250,6 +251,15 @@ inline std::vector<CorpusLoop> compile_corpus() {
 // interposer is present), and a fingerprint of every schedule produced
 // so a perf run doubles as a drift check. See docs/perf.md.
 
+/// p50/p99 of one pipeline phase's span durations, measured in a
+/// separate traced pass so the uninstrumented throughput numbers above
+/// it in CompilePerf stay untouched.
+struct PhasePerf {
+  std::string phase;  ///< span name: dep, sync, ..., pipeline
+  std::int64_t p50_ns = 0;
+  std::int64_t p99_ns = 0;
+};
+
 struct CompilePerf {
   int corpus_loops = 0;  ///< schedulable corpus loops measured
   int reps = 0;          ///< timed compiles per loop
@@ -261,6 +271,7 @@ struct CompilePerf {
   std::int64_t cache_hit_p99_ns = 0;
   std::uint64_t allocs_per_compile = 0;  ///< 0 when no interposer
   std::string schedule_fingerprint;      ///< 16 hex chars
+  std::vector<PhasePerf> phases;         ///< traced pass, pipeline order
 };
 
 inline std::int64_t percentile_ns(std::vector<std::int64_t>& samples,
@@ -287,21 +298,22 @@ inline CompilePerf run_compile_perf(int reps = 7) {
   options.iterations = 100;
 
   // Schedulable corpus + schedule fingerprint (warms caches, pins drift).
+  // A result without a DFG is the facade's stub for a refused loop
+  // (irregular carried dependences) — the same loops the old
+  // run_pipeline path skipped via its thrown StatusError.
   std::vector<CorpusLoop> corpus;
   Hasher64 fp;
   for (auto& target : compile_corpus()) {
-    try {
-      const LoopReport report = run_pipeline(target.loop, options);
-      fp.update(target.label);
-      fp.update_i64(static_cast<std::int64_t>(report.schedule.groups.size()));
-      for (const auto& group : report.schedule.groups) {
-        fp.update_i64(static_cast<std::int64_t>(group.size()));
-        for (const int id : group) fp.update_i64(id);
-      }
-      corpus.push_back(std::move(target));
-    } catch (const StatusError&) {
-      // Irregular carried dependences: the pipeline refuses; skip.
+    const CompileResult result = compile({target.loop, options});
+    if (!result.report.dfg.has_value()) continue;
+    fp.update(target.label);
+    fp.update_i64(
+        static_cast<std::int64_t>(result.report.schedule.groups.size()));
+    for (const auto& group : result.report.schedule.groups) {
+      fp.update_i64(static_cast<std::int64_t>(group.size()));
+      for (const int id : group) fp.update_i64(id);
     }
+    corpus.push_back(std::move(target));
   }
 
   CompilePerf perf;
@@ -312,18 +324,24 @@ inline CompilePerf run_compile_perf(int reps = 7) {
                 static_cast<unsigned long long>(fp.digest()));
   perf.schedule_fingerprint = hex;
 
-  // Single-thread per-loop latency distribution.
+  // Single-thread per-loop latency distribution. Requests are built
+  // outside the timed region: the facade copies the loop into the
+  // request, and that setup cost must not pollute the compile numbers.
+  std::vector<CompileRequest> timed;
+  timed.reserve(corpus.size());
+  for (const auto& target : corpus) timed.push_back({target.loop, options});
   std::vector<std::int64_t> samples;
-  samples.reserve(corpus.size() * static_cast<std::size_t>(reps));
+  samples.reserve(timed.size() * static_cast<std::size_t>(reps));
   const std::uint64_t allocs_before =
       alloc_counters().count.load(std::memory_order_relaxed);
   for (int r = 0; r < reps; ++r) {
-    for (const auto& target : corpus) {
+    for (const auto& request : timed) {
       const auto t0 = clock::now();
-      const LoopReport report = run_pipeline(target.loop, options);
+      const CompileResult result = compile(request);
       samples.push_back(ns_since(t0));
       // Keep the compiler honest about the report being used.
-      if (report.schedule.groups.empty() && report.tac.size() > 0)
+      if (result.report.schedule.groups.empty() &&
+          result.report.tac.size() > 0)
         std::abort();
     }
   }
@@ -336,17 +354,18 @@ inline CompilePerf run_compile_perf(int reps = 7) {
   scratch = samples;
   perf.compile_p99_ns = percentile_ns(scratch, 0.99);
 
-  // Corpus throughput through the parallel engine at jobs 1 and 8,
-  // cache off so every loop pays the full compile.
-  Program program;
-  for (const auto& target : corpus) program.loops.push_back(target.loop);
+  // Corpus throughput through the batch facade at jobs 1 and 8, cache
+  // off so every loop pays the full compile.
+  std::vector<CompileRequest> requests;
+  requests.reserve(corpus.size());
+  for (const auto& target : corpus)
+    requests.push_back({target.loop, options});
   for (const int jobs : {1, 8}) {
-    ParallelOptions parallel;
-    parallel.jobs = jobs;
-    parallel.use_cache = false;
+    CompileBatchOptions batch;
+    batch.jobs = jobs;
+    batch.use_cache = false;
     const auto t0 = clock::now();
-    const ProgramReport report =
-        run_pipeline_parallel(program, options, parallel);
+    const ProgramReport report = compile(requests, batch);
     const double secs =
         static_cast<double>(ns_since(t0)) / 1e9;
     const double rate =
@@ -358,9 +377,8 @@ inline CompilePerf run_compile_perf(int reps = 7) {
   ResultCache cache;
   std::vector<std::string> keys;
   for (const auto& target : corpus) {
-    const std::string key = ResultCache::key(target.loop, options);
-    (void)cache.insert(key, run_pipeline(target.loop, options));
-    keys.push_back(key);
+    (void)compile({target.loop, options}, &cache);
+    keys.push_back(ResultCache::key(target.loop, options));
   }
   std::vector<std::int64_t> hit_ns;
   for (int r = 0; r < 50; ++r) {
@@ -375,22 +393,55 @@ inline CompilePerf run_compile_perf(int reps = 7) {
   perf.cache_hit_p50_ns = percentile_ns(scratch, 0.50);
   scratch = hit_ns;
   perf.cache_hit_p99_ns = percentile_ns(scratch, 0.99);
+
+  // Per-phase latency breakdown from a separate *traced* pass, so the
+  // uninstrumented numbers above measure exactly what production runs
+  // pay. Span durations come straight from the tracer's event log;
+  // phases are reported in pipeline order (first-appearance order of
+  // their spans).
+  Tracer tracer;
+  PipelineOptions traced_options = options;
+  traced_options.tracer = &tracer;
+  for (int r = 0; r < reps; ++r)
+    for (const auto& target : corpus)
+      (void)compile({target.loop, traced_options});
+  std::vector<std::string> phase_order;
+  std::vector<std::vector<std::int64_t>> phase_samples;
+  for (const Tracer::Event& event : tracer.events()) {
+    std::size_t at = 0;
+    while (at < phase_order.size() && phase_order[at] != event.name) ++at;
+    if (at == phase_order.size()) {
+      phase_order.emplace_back(event.name);
+      phase_samples.emplace_back();
+    }
+    phase_samples[at].push_back(event.duration_ns);
+  }
+  for (std::size_t i = 0; i < phase_order.size(); ++i) {
+    PhasePerf phase;
+    phase.phase = phase_order[i];
+    phase.p50_ns = percentile_ns(phase_samples[i], 0.50);
+    phase.p99_ns = percentile_ns(phase_samples[i], 0.99);
+    perf.phases.push_back(std::move(phase));
+  }
   return perf;
 }
 
+/// v2 adds "phase_ns": per-phase p50/p99 from the traced pass. The
+/// check-mode reader scans scalar fields by key, so v1 files remain
+/// checkable against a v2 binary and vice versa.
 inline std::string compile_perf_to_json(const CompilePerf& perf) {
   std::string out;
   appendf(out,
           "{\n"
-          "  \"schema\": \"sbmp-bench-compile-v1\",\n"
+          "  \"schema\": \"sbmp-bench-compile-v2\",\n"
           "  \"corpus_loops\": %d,\n"
           "  \"reps\": %d,\n"
           "  \"compile_ns\": {\"p50\": %lld, \"p99\": %lld},\n"
           "  \"loops_per_sec\": {\"jobs1\": %.1f, \"jobs8\": %.1f},\n"
           "  \"cache_hit_ns\": {\"p50\": %lld, \"p99\": %lld},\n"
           "  \"allocs_per_compile\": %llu,\n"
-          "  \"schedule_fingerprint\": \"%s\"\n"
-          "}\n",
+          "  \"schedule_fingerprint\": \"%s\",\n"
+          "  \"phase_ns\": {",
           perf.corpus_loops, perf.reps,
           static_cast<long long>(perf.compile_p50_ns),
           static_cast<long long>(perf.compile_p99_ns),
@@ -399,6 +450,13 @@ inline std::string compile_perf_to_json(const CompilePerf& perf) {
           static_cast<long long>(perf.cache_hit_p99_ns),
           static_cast<unsigned long long>(perf.allocs_per_compile),
           perf.schedule_fingerprint.c_str());
+  for (std::size_t i = 0; i < perf.phases.size(); ++i) {
+    appendf(out, "%s\n    \"%s\": {\"p50\": %lld, \"p99\": %lld}",
+            i == 0 ? "" : ",", perf.phases[i].phase.c_str(),
+            static_cast<long long>(perf.phases[i].p50_ns),
+            static_cast<long long>(perf.phases[i].p99_ns));
+  }
+  appendf(out, "%s}\n}\n", perf.phases.empty() ? "" : "\n  ");
   return out;
 }
 

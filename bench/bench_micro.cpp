@@ -138,12 +138,13 @@ void BM_Simulator(benchmark::State& state) {
 BENCHMARK(BM_Simulator)->Arg(100)->Arg(1000)->Arg(10000);
 
 void BM_FullPipeline(benchmark::State& state) {
-  const Loop loop = test_loop(static_cast<int>(state.range(0)));
   PipelineOptions options;
   options.iterations = 100;
+  const CompileRequest request{test_loop(static_cast<int>(state.range(0))),
+                               options};
   AllocScope allocs(state);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(run_pipeline(loop, options));
+    benchmark::DoNotOptimize(compile(request));
   }
 }
 BENCHMARK(BM_FullPipeline)->Arg(2)->Arg(8);
@@ -154,7 +155,7 @@ void BM_ResultCacheHit(benchmark::State& state) {
   options.iterations = 100;
   ResultCache cache;
   const std::string key = ResultCache::key(loop, options);
-  (void)cache.insert(key, run_pipeline(loop, options));
+  (void)compile({loop, options}, &cache);
   AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(cache.lookup(key));

@@ -1,6 +1,5 @@
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -8,6 +7,7 @@
 #include <unordered_map>
 
 #include "sbmp/core/pipeline.h"
+#include "sbmp/obs/metrics.h"
 
 namespace sbmp {
 
@@ -44,7 +44,12 @@ class ResultCache {
  public:
   static constexpr int kDefaultShards = 16;
 
-  explicit ResultCache(int shards = kDefaultShards);
+  /// `metrics` (optional) publishes the hit/miss counters on a shared
+  /// registry (`sbmp_result_cache_{hits,misses}_total`); without one the
+  /// cache keeps private Counter instruments, and `hits()`/`misses()`
+  /// read whichever is active — callers never see the difference.
+  explicit ResultCache(int shards = kDefaultShards,
+                       MetricsRegistry* metrics = nullptr);
 
   /// Builds the canonical cache key for (loop, options).
   [[nodiscard]] static std::string key(const Loop& loop,
@@ -61,12 +66,10 @@ class ResultCache {
                                            LoopReport report);
 
   [[nodiscard]] std::size_t size() const;
-  [[nodiscard]] std::int64_t hits() const {
-    return hits_.load(std::memory_order_relaxed);
-  }
-  [[nodiscard]] std::int64_t misses() const {
-    return misses_.load(std::memory_order_relaxed);
-  }
+  /// Compatibility shims over the Counter instruments (the pre-registry
+  /// API; cheap enough to keep forever).
+  [[nodiscard]] std::int64_t hits() const { return hits_->value(); }
+  [[nodiscard]] std::int64_t misses() const { return misses_->value(); }
 
   [[nodiscard]] int num_shards() const { return num_shards_; }
   /// Shard a key routes to (stable across runs; exposed so tests can
@@ -83,8 +86,13 @@ class ResultCache {
   // than a vector (no moves, no false sharing with the counters).
   std::unique_ptr<Shard[]> shards_;
   int num_shards_;
-  mutable std::atomic<std::int64_t> hits_{0};
-  mutable std::atomic<std::int64_t> misses_{0};
+  // Hit/miss instruments: registry-owned when one was injected,
+  // otherwise the private pair below (same relaxed-atomic cost either
+  // way). The pointers are set once in the constructor and never change.
+  Counter own_hits_;
+  Counter own_misses_;
+  Counter* hits_;
+  Counter* misses_;
 };
 
 /// `run_pipeline(loop, options)` through `cache` (nullptr = uncached).

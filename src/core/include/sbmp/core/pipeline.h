@@ -21,6 +21,9 @@
 
 namespace sbmp {
 
+class Tracer;           // sbmp/obs/trace.h
+class MetricsRegistry;  // sbmp/obs/metrics.h
+
 /// Options for the full compile-schedule-simulate pipeline. This mirrors
 /// the paper's Fig 5 statistical model: source -> DOACROSS extraction ->
 /// synchronization insertion -> DLX code -> scheduler -> simulator.
@@ -67,6 +70,17 @@ struct PipelineOptions {
   /// Size cap (bytes) for the on-disk cache; oldest entries are evicted
   /// first. Like cache_dir, never part of a cache key.
   std::int64_t cache_max_bytes = 256ll << 20;
+  /// Observability hooks (sbmp/obs): when set, every pipeline phase
+  /// (dep → sync → codegen → dfg → schedule → sim → validate) opens a
+  /// span on `tracer` and observes its latency on `metrics`, and the
+  /// per-loop facts the paper's technique turns on (LBD/LFD pair counts,
+  /// worst i−j sync span, waits eliminated, never-degrade fallbacks)
+  /// travel as span arguments. Instrumentation observes a compile; it
+  /// can never change its bytes — so like cache_dir these are NOT part
+  /// of any cache key and are never serialized, and both nullptr (the
+  /// default) costs two pointer tests per phase.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 
   /// The one place the "`iterations` 0 uses the loop's own trip count"
   /// rule lives. Every consumer of an iteration count (scheduler
@@ -136,10 +150,64 @@ struct ProgramReport {
   [[nodiscard]] StatusCode worst_status() const;
 };
 
+class ResultCache;  // sbmp/core/parallel.h
+
+// ---------------------------------------------------------------------
+// Unified compile facade.
+//
+// This is the one front door for "compile this loop (or these loops)
+// under these options": sbmpc, sbmpd, the serving layer and the benches
+// all route through it, so caching, failure folding and instrumentation
+// behave identically everywhere. The older free functions below
+// (run_pipeline, run_pipeline_parallel in parallel.h) remain as thin
+// wrappers for source compatibility and should be treated as deprecated:
+// new call sites use compile().
+
+/// One unit of compile work. This is also the request type the serving
+/// layer's batch API and the sbmpd wire protocol are built from.
+struct CompileRequest {
+  Loop loop;
+  PipelineOptions options;
+};
+
+/// Outcome of one CompileRequest. Never throws out of the facade: a
+/// refused or failed compile yields a stub report whose `status` carries
+/// the structured error (exactly the stub a program-level engine folds).
+struct CompileResult {
+  LoopReport report;
+
+  [[nodiscard]] bool ok() const { return report.status.ok(); }
+};
+
+/// Compiles one request, consulting `cache` (may be nullptr) before
+/// running the pipeline. Never throws pipeline errors.
+[[nodiscard]] CompileResult compile(const CompileRequest& request,
+                                    ResultCache* cache = nullptr);
+
+/// Batch knobs for the facade (the program-level engines are wrappers
+/// over this).
+struct CompileBatchOptions {
+  /// Worker threads: 0 = one per hardware thread, 1 = inline on the
+  /// calling thread in request order (bit-identical to a serial loop).
+  int jobs = 1;
+  /// Memoize identical (loop, options) requests within the batch when no
+  /// external cache is supplied.
+  bool use_cache = true;
+};
+
+/// Compiles every request, fanned out over `batch.jobs` workers, and
+/// aggregates into a ProgramReport exactly like the program engines:
+/// order-stable (loops[i] answers requests[i]), failure-isolated, and
+/// byte-identical for any job count.
+[[nodiscard]] ProgramReport compile(const std::vector<CompileRequest>& requests,
+                                    const CompileBatchOptions& batch = {},
+                                    ResultCache* cache = nullptr);
+
 /// Runs the full pipeline on one loop. Throws StatusError (code kInput)
 /// when the loop carries an irregular dependence that the paper's
 /// Wait(S, i-d) scheme cannot synchronize — compiling it anyway would
-/// silently produce a racy binary.
+/// silently produce a racy binary. Prefer the non-throwing compile()
+/// facade in new code.
 [[nodiscard]] LoopReport run_pipeline(const Loop& loop,
                                       const PipelineOptions& options);
 

@@ -51,10 +51,16 @@ std::string ResultCache::key(const Loop& loop,
   return out;
 }
 
-ResultCache::ResultCache(int shards)
+ResultCache::ResultCache(int shards, MetricsRegistry* metrics)
     : shards_(std::make_unique<Shard[]>(
           static_cast<std::size_t>(shards > 0 ? shards : 1))),
-      num_shards_(shards > 0 ? shards : 1) {}
+      num_shards_(shards > 0 ? shards : 1),
+      hits_(metrics != nullptr
+                ? metrics->counter("sbmp_result_cache_hits_total")
+                : &own_hits_),
+      misses_(metrics != nullptr
+                  ? metrics->counter("sbmp_result_cache_misses_total")
+                  : &own_misses_) {}
 
 int ResultCache::shard_of(const std::string& key) const {
   // hash_bytes is platform-stable (unlike std::hash), so a key's shard
@@ -79,10 +85,10 @@ std::shared_ptr<const LoopReport> ResultCache::lookup(
   std::lock_guard<std::mutex> lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_->inc();
     return nullptr;
   }
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_->inc();
   return it->second;
 }
 
@@ -126,38 +132,48 @@ SchedulerComparison compare_schedulers_cached(
   return out;
 }
 
-ProgramReport run_pipeline_parallel(const Program& program,
-                                    const PipelineOptions& options,
-                                    const ParallelOptions& parallel,
-                                    ResultCache* cache) {
-  ResultCache local;
-  ResultCache* effective =
-      parallel.use_cache ? (cache != nullptr ? cache : &local) : nullptr;
+CompileResult compile(const CompileRequest& request, ResultCache* cache) {
+  CompileResult out;
+  if (cache == nullptr) {
+    out.report = core_detail::run_pipeline_caught(request.loop,
+                                                  request.options);
+    return out;
+  }
+  const std::string key = ResultCache::key(request.loop, request.options);
+  if (const auto hit = cache->lookup(key)) {
+    out.report = *hit;
+    return out;
+  }
+  LoopReport report =
+      core_detail::run_pipeline_caught(request.loop, request.options);
+  if (report.dfg.has_value()) {
+    // Completed compiles are cacheable even when validation failed (the
+    // report — numbers plus violations — is still the deterministic
+    // answer for this key). A stub from a thrown stage carries no DFG
+    // and is not cached, matching run_pipeline_cached, which also
+    // caches nothing when run_pipeline throws.
+    out.report = *cache->insert(key, std::move(report));
+  } else {
+    out.report = std::move(report);
+  }
+  return out;
+}
 
-  std::vector<LoopReport> reports(program.loops.size());
-  parallel_for(parallel.jobs, 0,
-               static_cast<std::int64_t>(program.loops.size()),
+ProgramReport compile(const std::vector<CompileRequest>& requests,
+                      const CompileBatchOptions& batch, ResultCache* cache) {
+  ResultCache local;
+  // use_cache == false disables memoization entirely, including any
+  // external cache — the knob means "recompute everything", exactly as
+  // ParallelOptions::use_cache always has.
+  ResultCache* effective =
+      batch.use_cache ? (cache != nullptr ? cache : &local) : nullptr;
+
+  std::vector<LoopReport> reports(requests.size());
+  parallel_for(batch.jobs, 0, static_cast<std::int64_t>(requests.size()),
                [&](std::int64_t i) {
-                 const Loop& loop =
-                     program.loops[static_cast<std::size_t>(i)];
-                 // Per-loop failures become stub reports, exactly like
-                 // the serial engine: one bad loop must not abort (or
-                 // perturb) the rest of the batch.
-                 try {
-                   reports[static_cast<std::size_t>(i)] =
-                       run_pipeline_cached(loop, options, effective);
-                 } catch (const StatusError& e) {
-                   LoopReport& stub = reports[static_cast<std::size_t>(i)];
-                   stub.name = loop.name;
-                   stub.loop = loop;
-                   stub.status = e.status();
-                 } catch (const SbmpError& e) {
-                   LoopReport& stub = reports[static_cast<std::size_t>(i)];
-                   stub.name = loop.name;
-                   stub.loop = loop;
-                   stub.status = Status::error(StatusCode::kInternal,
-                                               "pipeline", e.what());
-                 }
+                 reports[static_cast<std::size_t>(i)] =
+                     compile(requests[static_cast<std::size_t>(i)], effective)
+                         .report;
                });
 
   // Order-stable aggregation: identical to the serial engine's loop.
@@ -166,6 +182,19 @@ ProgramReport run_pipeline_parallel(const Program& program,
   for (std::size_t i = 0; i < reports.size(); ++i)
     core_detail::fold_loop_report(out, i, std::move(reports[i]));
   return out;
+}
+
+ProgramReport run_pipeline_parallel(const Program& program,
+                                    const PipelineOptions& options,
+                                    const ParallelOptions& parallel,
+                                    ResultCache* cache) {
+  std::vector<CompileRequest> requests;
+  requests.reserve(program.loops.size());
+  for (const Loop& loop : program.loops) requests.push_back({loop, options});
+  CompileBatchOptions batch;
+  batch.jobs = parallel.jobs;
+  batch.use_cache = parallel.use_cache;
+  return compile(requests, batch, cache);
 }
 
 }  // namespace sbmp

@@ -1,20 +1,116 @@
 #include "sbmp/core/pipeline.h"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "sbmp/dfg/redundancy.h"
+#include "sbmp/obs/metrics.h"
+#include "sbmp/obs/trace.h"
 #include "sbmp/sched/stats.h"
 #include "sbmp/support/overflow.h"
 
 namespace sbmp {
 
+namespace {
+
+/// Times one pipeline phase into both observability sinks: a tracer
+/// span (when tracing) and the canonical per-phase latency histogram
+/// (when a registry is attached). With both hooks null — the default —
+/// construction and destruction are two pointer tests and no clock
+/// reads, which is what keeps the disabled fast path free.
+class PhaseScope {
+ public:
+  PhaseScope(const PipelineOptions& options, const char* phase)
+      : span_(Tracer::begin(options.tracer, phase)),
+        metrics_(options.metrics),
+        phase_(phase) {
+    if (metrics_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  ~PhaseScope() {
+    if (metrics_ != nullptr) {
+      const std::int64_t ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0_)
+              .count();
+      compile_phase_histogram(*metrics_, phase_)->observe(ns);
+    }
+  }
+
+ private:
+  Tracer::Span span_;
+  MetricsRegistry* metrics_;
+  const char* phase_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+/// The per-loop synchronization geometry the paper's technique turns on,
+/// derived from the final schedule for span attributes and counters.
+struct SyncGeometry {
+  std::int64_t lbd_pairs = 0;
+  std::int64_t lfd_pairs = 0;
+  std::int64_t worst_sync_span = 0;  ///< worst send−wait+1 (i−j span)
+};
+
+SyncGeometry sync_geometry(const LoopReport& report,
+                           const PipelineOptions& options) {
+  SyncGeometry out;
+  const int net = options.machine.signal_latency;
+  for (const auto& pair : report.dfg->pairs()) {
+    const int send_slot = report.schedule.slot(pair.send_instr);
+    const int wait_slot = report.schedule.slot(pair.wait_instr);
+    const std::int64_t shift =
+        static_cast<std::int64_t>(send_slot) + net - wait_slot;
+    if (shift <= 0) {
+      ++out.lfd_pairs;
+    } else {
+      ++out.lbd_pairs;
+    }
+    out.worst_sync_span =
+        std::max<std::int64_t>(out.worst_sync_span, send_slot - wait_slot + 1);
+  }
+  return out;
+}
+
+/// Publishes the per-loop facts on the enclosing span and the registry.
+/// Only called when at least one hook is live.
+void record_loop_observations(Tracer::Span& span, const LoopReport& report,
+                              const PipelineOptions& options) {
+  const SyncGeometry geometry = sync_geometry(report, options);
+  if (span) {
+    span.arg("lbd_pairs", geometry.lbd_pairs);
+    span.arg("lfd_pairs", geometry.lfd_pairs);
+    span.arg("worst_sync_span", geometry.worst_sync_span);
+    span.arg("waits_eliminated", report.waits_eliminated);
+    span.arg("list_fallback", report.used_list_fallback ? 1 : 0);
+    span.arg("parallel_time", report.sim.parallel_time);
+  }
+  if (MetricsRegistry* metrics = options.metrics) {
+    metrics->counter("sbmp_compile_loops_total")->inc();
+    metrics->counter("sbmp_compile_lbd_pairs_total")->inc(geometry.lbd_pairs);
+    metrics->counter("sbmp_compile_lfd_pairs_total")->inc(geometry.lfd_pairs);
+    metrics->counter("sbmp_compile_waits_eliminated_total")
+        ->inc(report.waits_eliminated);
+    if (report.used_list_fallback)
+      metrics->counter("sbmp_compile_list_fallback_total")->inc();
+  }
+}
+
+}  // namespace
+
 LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
+  Tracer::Span loop_span = Tracer::begin(options.tracer, "pipeline");
+  if (loop_span) loop_span.arg("loop", loop.name);
   LoopReport report;
   report.name = loop.name;
   report.loop = loop;
-  report.deps = analyze_dependences(loop);
+  {
+    PhaseScope phase(options, "dep");
+    report.deps = analyze_dependences(loop);
+  }
   report.doall = report.deps.is_doall();
   if (!report.deps.is_synchronizable()) {
     // An irregular (non-constant-distance) carried dependence cannot be
@@ -34,37 +130,53 @@ LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
             "Wait(S, i-d) synchronization cannot express: " +
             which));
   }
-  report.synced = insert_synchronization(loop, report.deps, options.sync);
-  report.tac = generate_tac(report.synced);
-  if (options.eliminate_redundant_waits) {
-    report.tac = eliminate_redundant_waits(report.tac, options.machine,
-                                           &report.waits_eliminated,
-                                           &report.dfg);
+  {
+    PhaseScope phase(options, "sync");
+    report.synced = insert_synchronization(loop, report.deps, options.sync);
   }
-  if (!report.dfg.has_value())
-    report.dfg.emplace(report.tac, options.machine);
+  {
+    PhaseScope phase(options, "codegen");
+    report.tac = generate_tac(report.synced);
+  }
+  {
+    PhaseScope phase(options, "dfg");
+    if (options.eliminate_redundant_waits) {
+      report.tac = eliminate_redundant_waits(report.tac, options.machine,
+                                             &report.waits_eliminated,
+                                             &report.dfg);
+    }
+    if (!report.dfg.has_value())
+      report.dfg.emplace(report.tac, options.machine);
+  }
 
   const std::int64_t iterations = options.resolved_iterations(loop);
-  report.schedule =
-      options.scheduler == SchedulerKind::kSyncAware
-          ? schedule_sync_aware(report.tac, *report.dfg, options.machine,
-                                iterations, options.sync_aware)
-          : run_scheduler(options.scheduler, report.tac, *report.dfg,
-                          options.machine, iterations);
-  report.schedule_violations = verify_schedule(
-      report.tac, *report.dfg, options.machine, report.schedule);
+  {
+    PhaseScope phase(options, "schedule");
+    report.schedule =
+        options.scheduler == SchedulerKind::kSyncAware
+            ? schedule_sync_aware(report.tac, *report.dfg, options.machine,
+                                  iterations, options.sync_aware)
+            : run_scheduler(options.scheduler, report.tac, *report.dfg,
+                            options.machine, iterations);
+    report.schedule_violations = verify_schedule(
+        report.tac, *report.dfg, options.machine, report.schedule);
+  }
 
   SimOptions sim_options;
   sim_options.iterations = iterations;
   sim_options.processors = options.processors;
-  report.sim = simulate(report.tac, *report.dfg, report.schedule,
-                        options.machine, sim_options);
+  {
+    PhaseScope phase(options, "sim");
+    report.sim = simulate(report.tac, *report.dfg, report.schedule,
+                          options.machine, sim_options);
+  }
 
   if (options.scheduler == SchedulerKind::kSyncAware &&
       options.never_degrade) {
     // The paper's technique never degrades versus list scheduling; when
     // the phased placement loses to it (dense critical paths where
     // packing noise dominates), keep the list schedule instead.
+    PhaseScope phase(options, "fallback");
     Schedule list = schedule_list(report.tac, *report.dfg, options.machine);
     const SimResult list_sim = simulate(report.tac, *report.dfg, list,
                                         options.machine, sim_options);
@@ -76,16 +188,21 @@ LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
           report.tac, *report.dfg, options.machine, report.schedule);
     }
   }
-  if (options.check_ordering) {
-    std::vector<Dependence> carried;
-    for (const auto& dep : report.deps.deps)
-      if (dep.loop_carried()) carried.push_back(dep);
-    report.ordering_violations = check_cross_iteration_ordering(
-        report.tac, *report.dfg, report.schedule, options.machine,
-        sim_options, carried);
+  {
+    PhaseScope phase(options, "validate");
+    if (options.check_ordering) {
+      std::vector<Dependence> carried;
+      for (const auto& dep : report.deps.deps)
+        if (dep.loop_carried()) carried.push_back(dep);
+      report.ordering_violations = check_cross_iteration_ordering(
+          report.tac, *report.dfg, report.schedule, options.machine,
+          sim_options, carried);
+    }
+    if (options.validate)
+      report.validation_violations = validate_pipeline(report, options);
   }
-  if (options.validate)
-    report.validation_violations = validate_pipeline(report, options);
+  if (loop_span || options.metrics != nullptr)
+    record_loop_observations(loop_span, report, options);
   if (!report.valid()) {
     const auto count = report.schedule_violations.size() +
                        report.ordering_violations.size() +
@@ -267,13 +384,16 @@ void fold_loop_report(ProgramReport& out, std::size_t index,
 
 ProgramReport run_pipeline(const Program& program,
                            const PipelineOptions& options) {
-  ProgramReport out;
-  for (std::size_t i = 0; i < program.loops.size(); ++i) {
-    core_detail::fold_loop_report(
-        out, i,
-        core_detail::run_pipeline_caught(program.loops[i], options));
-  }
-  return out;
+  // Thin wrapper over the facade: jobs = 1 runs inline in program order
+  // and use_cache = false recompiles every loop, which is exactly the
+  // historical serial engine.
+  std::vector<CompileRequest> requests;
+  requests.reserve(program.loops.size());
+  for (const Loop& loop : program.loops) requests.push_back({loop, options});
+  CompileBatchOptions batch;
+  batch.jobs = 1;
+  batch.use_cache = false;
+  return compile(requests, batch);
 }
 
 ProgramReport run_pipeline_source(std::string_view source,

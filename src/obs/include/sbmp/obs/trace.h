@@ -1,0 +1,142 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sbmp/support/status.h"
+
+namespace sbmp {
+
+/// Span-based phase tracer emitting Chrome trace-event JSON (loadable in
+/// chrome://tracing, Perfetto, or speedscope).
+///
+/// Usage: hold a Tracer for the run, open RAII spans around phases, and
+/// write the JSON at the end. Spans are obtained through the static
+/// `Tracer::begin(tracer, name)` so call sites can pass a nullptr
+/// tracer: the returned span is detached and the whole path — including
+/// the clock reads — costs two pointer tests. The same applies to a
+/// constructed-but-disabled tracer (`Tracer(false)`), which is the
+/// "instrumentation linked in but not requested" configuration the
+/// golden/byte-identity suites run under.
+///
+/// Thread safety: spans may be opened and closed concurrently from any
+/// thread (the parallel engine's workers each trace their own loops);
+/// each span buffers locally and publishes once, at close, under the
+/// tracer's mutex. Events carry a small dense thread id assigned in
+/// first-publish order, so the trace viewer groups rows stably.
+class Tracer {
+ public:
+  struct Arg {
+    std::string key;
+    std::int64_t ivalue = 0;
+    std::string svalue;
+    bool is_string = false;
+  };
+
+  struct Event {
+    const char* name;  ///< static-duration phase name
+    std::int64_t start_ns;
+    std::int64_t duration_ns;
+    int tid;
+    std::vector<Arg> args;
+  };
+
+  explicit Tracer(bool enabled = true) : enabled_(enabled) {}
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// RAII span over one phase. Detached (moved-from, or begun on a null
+  /// or disabled tracer) spans ignore every call.
+  class Span {
+   public:
+    Span() = default;
+    Span(Span&& other) noexcept { *this = std::move(other); }
+    Span& operator=(Span&& other) noexcept {
+      if (this != &other) {
+        close();
+        tracer_ = other.tracer_;
+        name_ = other.name_;
+        start_ns_ = other.start_ns_;
+        args_ = std::move(other.args_);
+        other.tracer_ = nullptr;
+      }
+      return *this;
+    }
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span() { close(); }
+
+    /// Attaches an argument, rendered into the event's "args" object.
+    void arg(std::string_view key, std::int64_t value) {
+      if (tracer_ == nullptr) return;
+      args_.push_back({std::string(key), value, {}, false});
+    }
+    void arg(std::string_view key, std::string_view value) {
+      if (tracer_ == nullptr) return;
+      args_.push_back({std::string(key), 0, std::string(value), true});
+    }
+
+    [[nodiscard]] explicit operator bool() const { return tracer_ != nullptr; }
+
+    /// Publishes the event now (idempotent; the destructor otherwise
+    /// does it).
+    void close();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, const char* name);
+
+    Tracer* tracer_ = nullptr;
+    const char* name_ = nullptr;
+    std::int64_t start_ns_ = 0;
+    std::vector<Arg> args_;
+  };
+
+  /// The one way to open a span; `tracer` may be nullptr (detached span).
+  /// `name` must have static storage duration (phase names are string
+  /// literals) — the span stores the pointer, not a copy.
+  [[nodiscard]] static Span begin(Tracer* tracer, const char* name) {
+    if (tracer == nullptr || !tracer->enabled_) return Span();
+    return Span(tracer, name);
+  }
+
+  [[nodiscard]] std::size_t event_count() const;
+  /// Completed events in publish order (a copy; safe while tracing).
+  [[nodiscard]] std::vector<Event> events() const;
+
+  /// Renders `{"traceEvents":[...]}` — the Chrome trace-event JSON
+  /// object form. Timestamps are microseconds with sub-µs fraction.
+  [[nodiscard]] std::string to_chrome_json() const;
+  /// Writes to_chrome_json() to `path`; kInternal Status on IO failure.
+  [[nodiscard]] Status write_chrome_json(const std::string& path) const;
+
+ private:
+  [[nodiscard]] std::int64_t now_ns() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+  void publish(Event event);
+
+  const bool enabled_;
+  const std::chrono::steady_clock::time_point origin_ =
+      std::chrono::steady_clock::now();
+  mutable std::mutex mu_;
+  std::vector<Event> events_;
+  std::vector<std::uint64_t> thread_ids_;  ///< hashed id -> dense index
+};
+
+/// Structural check of a Chrome trace-event JSON document: the bytes
+/// must parse as JSON, carry a "traceEvents" array, and every event must
+/// be an object with "name", "ph" and "ts" (complete events also "dur").
+/// Shared by the tools/trace_check CLI and the unit tests, so the CI
+/// gate and the in-process assertions cannot drift apart.
+[[nodiscard]] Status validate_chrome_trace(std::string_view json);
+
+}  // namespace sbmp

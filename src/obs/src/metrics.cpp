@@ -1,0 +1,217 @@
+#include "sbmp/obs/metrics.h"
+
+#include <algorithm>
+
+#include "sbmp/support/strings.h"
+
+namespace sbmp {
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() +
+                                                             1)) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(std::int64_t value) {
+  // Branchless-enough: bounds are few (a dozen), a linear scan beats a
+  // binary search at this size and keeps the write path trivially
+  // thread-safe (one relaxed fetch_add per instrument).
+  std::size_t bucket = bounds_.size();  // +Inf overflow by default
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<std::int64_t> Histogram::bucket_counts() const {
+  std::vector<std::int64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+MetricsRegistry::Entry* MetricsRegistry::find_locked(std::string_view name,
+                                                     std::string_view labels,
+                                                     MetricSample::Kind kind) {
+  for (auto& entry : entries_) {
+    if (entry->name == name && entry->labels == labels) {
+      // Same (name, labels) with a different kind is a programming error;
+      // fold it to "first registration wins" so a race cannot crash a
+      // monitoring path (the caller gets nullptr and must re-register).
+      return entry->kind == kind ? entry.get() : nullptr;
+    }
+  }
+  return nullptr;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name,
+                                  std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* hit = find_locked(name, labels, MetricSample::Kind::kCounter))
+    return hit->counter.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->labels = std::string(labels);
+  entry->kind = MetricSample::Kind::kCounter;
+  entry->counter = std::make_unique<Counter>();
+  Counter* out = entry->counter.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name, std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* hit = find_locked(name, labels, MetricSample::Kind::kGauge))
+    return hit->gauge.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->labels = std::string(labels);
+  entry->kind = MetricSample::Kind::kGauge;
+  entry->gauge = std::make_unique<Gauge>();
+  Gauge* out = entry->gauge.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name,
+                                      std::string_view labels,
+                                      std::vector<std::int64_t> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (Entry* hit = find_locked(name, labels, MetricSample::Kind::kHistogram))
+    return hit->histogram.get();
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->labels = std::string(labels);
+  entry->kind = MetricSample::Kind::kHistogram;
+  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  Histogram* out = entry->histogram.get();
+  entries_.push_back(std::move(entry));
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.samples.reserve(entries_.size());
+    for (const auto& entry : entries_) {
+      MetricSample sample;
+      sample.name = entry->name;
+      sample.labels = entry->labels;
+      sample.kind = entry->kind;
+      switch (entry->kind) {
+        case MetricSample::Kind::kCounter:
+          sample.value = entry->counter->value();
+          break;
+        case MetricSample::Kind::kGauge:
+          sample.value = entry->gauge->value();
+          break;
+        case MetricSample::Kind::kHistogram:
+          sample.bounds = entry->histogram->bounds();
+          sample.counts = entry->histogram->bucket_counts();
+          sample.count = entry->histogram->count();
+          sample.sum = entry->histogram->sum();
+          break;
+      }
+      out.samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+            });
+  return out;
+}
+
+const MetricSample* MetricsSnapshot::find(std::string_view name,
+                                          std::string_view labels) const {
+  for (const auto& sample : samples)
+    if (sample.name == name && sample.labels == labels) return &sample;
+  return nullptr;
+}
+
+namespace {
+
+/// `name{labels}` or `name{labels,extra}` with empty pieces elided.
+void append_series(std::string& out, const std::string& name,
+                   const std::string& suffix, const std::string& labels,
+                   const std::string& extra) {
+  out += name;
+  out += suffix;
+  if (!labels.empty() || !extra.empty()) {
+    out += '{';
+    out += labels;
+    if (!labels.empty() && !extra.empty()) out += ',';
+    out += extra;
+    out += '}';
+  }
+  out += ' ';
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  std::string last_name;
+  for (const auto& sample : samples) {
+    if (sample.name != last_name) {
+      const char* type =
+          sample.kind == MetricSample::Kind::kCounter   ? "counter"
+          : sample.kind == MetricSample::Kind::kGauge   ? "gauge"
+                                                        : "histogram";
+      appendf(out, "# TYPE %s %s\n", sample.name.c_str(), type);
+      last_name = sample.name;
+    }
+    if (sample.kind == MetricSample::Kind::kHistogram) {
+      std::int64_t cumulative = 0;
+      for (std::size_t i = 0; i < sample.counts.size(); ++i) {
+        cumulative += sample.counts[i];
+        const std::string le =
+            i < sample.bounds.size()
+                ? "le=\"" + std::to_string(sample.bounds[i]) + "\""
+                : std::string("le=\"+Inf\"");
+        append_series(out, sample.name, "_bucket", sample.labels, le);
+        appendf(out, "%lld\n", static_cast<long long>(cumulative));
+      }
+      append_series(out, sample.name, "_sum", sample.labels, "");
+      appendf(out, "%lld\n", static_cast<long long>(sample.sum));
+      append_series(out, sample.name, "_count", sample.labels, "");
+      appendf(out, "%lld\n", static_cast<long long>(sample.count));
+    } else {
+      append_series(out, sample.name, "", sample.labels, "");
+      appendf(out, "%lld\n", static_cast<long long>(sample.value));
+    }
+  }
+  return out;
+}
+
+const std::vector<std::int64_t>& phase_latency_bounds_ns() {
+  // 1µs .. ~4.3s in powers of four: a compile phase on this machine runs
+  // single-digit µs to low ms, and the tails (cold caches, sanitizers,
+  // giant fuzz loops) still land in a real bucket instead of +Inf.
+  static const std::vector<std::int64_t> bounds = [] {
+    std::vector<std::int64_t> out;
+    for (std::int64_t b = 1000; b <= 4'294'967'296ll; b *= 4)
+      out.push_back(b);
+    return out;
+  }();
+  return bounds;
+}
+
+Histogram* compile_phase_histogram(MetricsRegistry& registry,
+                                   std::string_view phase) {
+  std::string labels = "phase=\"";
+  labels += phase;
+  labels += '"';
+  return registry.histogram("sbmp_compile_phase_ns", labels,
+                            phase_latency_bounds_ns());
+}
+
+}  // namespace sbmp

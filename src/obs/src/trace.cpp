@@ -1,0 +1,346 @@
+#include "sbmp/obs/trace.h"
+
+#include <cctype>
+#include <fstream>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "sbmp/support/strings.h"
+
+namespace sbmp {
+
+Tracer::Span::Span(Tracer* tracer, const char* name)
+    : tracer_(tracer), name_(name), start_ns_(tracer->now_ns()) {}
+
+void Tracer::Span::close() {
+  if (tracer_ == nullptr) return;
+  Event event;
+  event.name = name_;
+  event.start_ns = start_ns_;
+  event.duration_ns = tracer_->now_ns() - start_ns_;
+  event.tid = 0;  // assigned at publish
+  event.args = std::move(args_);
+  tracer_->publish(std::move(event));
+  tracer_ = nullptr;
+}
+
+void Tracer::publish(Event event) {
+  const std::uint64_t hashed =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::lock_guard<std::mutex> lock(mu_);
+  int tid = -1;
+  for (std::size_t i = 0; i < thread_ids_.size(); ++i) {
+    if (thread_ids_[i] == hashed) {
+      tid = static_cast<int>(i);
+      break;
+    }
+  }
+  if (tid < 0) {
+    tid = static_cast<int>(thread_ids_.size());
+    thread_ids_.push_back(hashed);
+  }
+  event.tid = tid;
+  events_.push_back(std::move(event));
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<Tracer::Event> Tracer::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+namespace {
+
+/// JSON string escaping: quotes, backslashes, and control characters
+/// (loop names are identifiers today, but a diagnostic or a fuzz-built
+/// name must not be able to corrupt the trace document).
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          appendf(out, "\\u%04x", static_cast<unsigned char>(c));
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string Tracer::to_chrome_json() const {
+  const std::vector<Event> events = this->events();
+  std::string out;
+  out.reserve(128 + events.size() * 96);
+  out += "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":";
+    append_json_string(out, event.name);
+    appendf(out, ",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f",
+            event.tid, static_cast<double>(event.start_ns) / 1000.0,
+            static_cast<double>(event.duration_ns) / 1000.0);
+    if (!event.args.empty()) {
+      out += ",\"args\":{";
+      for (std::size_t i = 0; i < event.args.size(); ++i) {
+        if (i > 0) out += ',';
+        const Arg& arg = event.args[i];
+        append_json_string(out, arg.key);
+        out += ':';
+        if (arg.is_string) {
+          append_json_string(out, arg.svalue);
+        } else {
+          appendf(out, "%lld", static_cast<long long>(arg.ivalue));
+        }
+      }
+      out += '}';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status Tracer::write_chrome_json(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good())
+    return Status::error(StatusCode::kInternal, "trace",
+                         "cannot open '" + path + "' for writing");
+  const std::string json = to_chrome_json();
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.flush();
+  if (!out.good())
+    return Status::error(StatusCode::kInternal, "trace",
+                         "short write to '" + path + "'");
+  return Status::okay();
+}
+
+// ---------------------------------------------------------------------
+// Minimal structural JSON validator for Chrome trace documents. A full
+// JSON library is out of scope (and out of the dependency budget); this
+// recursive-descent scanner validates syntax and the trace-event shape
+// without building a DOM.
+
+namespace {
+
+class JsonScanner {
+ public:
+  explicit JsonScanner(std::string_view s) : s_(s) {}
+
+  [[nodiscard]] Status validate_trace() {
+    skip_ws();
+    if (peek() != '{') return fail("document must be a JSON object");
+    bool saw_events = false;
+    if (Status s = parse_object([&](const std::string& key) -> Status {
+          if (key == "traceEvents") {
+            saw_events = true;
+            return parse_event_array();
+          }
+          return parse_value();
+        });
+        !s.ok())
+      return s;
+    skip_ws();
+    if (pos_ != s_.size()) return fail("trailing bytes after the document");
+    if (!saw_events) return fail("document carries no \"traceEvents\" array");
+    return Status::okay();
+  }
+
+ private:
+  [[nodiscard]] Status fail(const std::string& what) const {
+    return Status::error(StatusCode::kInput, "trace-json",
+                         what + " (at byte " + std::to_string(pos_) + ")");
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < s_.size() ? s_[pos_] : '\0';
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+  [[nodiscard]] bool consume(char c) {
+    skip_ws();
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  [[nodiscard]] Status parse_string(std::string* out) {
+    skip_ws();
+    if (!consume('"')) return fail("expected string");
+    std::string value;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') {
+        if (out != nullptr) *out = std::move(value);
+        return Status::okay();
+      }
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("raw control character inside string");
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return fail("truncated escape");
+        const char e = s_[pos_++];
+        switch (e) {
+          case '"': value += '"'; break;
+          case '\\': value += '\\'; break;
+          case '/': value += '/'; break;
+          case 'b': case 'f': case 'n': case 'r': case 't': break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_])))
+                return fail("bad \\u escape");
+              ++pos_;
+            }
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+      } else {
+        value += c;
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  [[nodiscard]] Status parse_number() {
+    skip_ws();
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start) return fail("expected number");
+    return Status::okay();
+  }
+
+  [[nodiscard]] Status parse_object(
+      const std::function<Status(const std::string&)>& on_key) {
+    if (!consume('{')) return fail("expected '{'");
+    if (consume('}')) return Status::okay();
+    for (;;) {
+      std::string key;
+      if (Status s = parse_string(&key); !s.ok()) return s;
+      if (!consume(':')) return fail("expected ':'");
+      if (Status s = on_key(key); !s.ok()) return s;
+      if (consume(',')) continue;
+      if (consume('}')) return Status::okay();
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  [[nodiscard]] Status parse_array(const std::function<Status()>& on_element) {
+    if (!consume('[')) return fail("expected '['");
+    if (consume(']')) return Status::okay();
+    for (;;) {
+      if (Status s = on_element(); !s.ok()) return s;
+      if (consume(',')) continue;
+      if (consume(']')) return Status::okay();
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  [[nodiscard]] Status parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return parse_object([&](const std::string&) { return parse_value(); });
+      case '[':
+        return parse_array([&] { return parse_value(); });
+      case '"':
+        return parse_string(nullptr);
+      case 't':
+        return consume_word("true");
+      case 'f':
+        return consume_word("false");
+      case 'n':
+        return consume_word("null");
+      default:
+        return parse_number();
+    }
+  }
+
+  [[nodiscard]] Status consume_word(std::string_view word) {
+    skip_ws();
+    if (s_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return Status::okay();
+  }
+
+  [[nodiscard]] Status parse_event_array() {
+    std::size_t index = 0;
+    return parse_array([&]() -> Status {
+      skip_ws();
+      if (peek() != '{')
+        return fail("traceEvents[" + std::to_string(index) +
+                    "] is not an object");
+      bool has_name = false, has_ph = false, has_ts = false, has_dur = false;
+      std::string ph;
+      if (Status s = parse_object([&](const std::string& key) -> Status {
+            if (key == "name") {
+              has_name = true;
+              return parse_string(nullptr);
+            }
+            if (key == "ph") {
+              has_ph = true;
+              return parse_string(&ph);
+            }
+            if (key == "ts") {
+              has_ts = true;
+              return parse_number();
+            }
+            if (key == "dur") {
+              has_dur = true;
+              return parse_number();
+            }
+            return parse_value();
+          });
+          !s.ok())
+        return s;
+      const std::string at = "traceEvents[" + std::to_string(index) + "]";
+      if (!has_name) return fail(at + " lacks \"name\"");
+      if (!has_ph) return fail(at + " lacks \"ph\"");
+      if (!has_ts) return fail(at + " lacks \"ts\"");
+      if (ph == "X" && !has_dur)
+        return fail(at + " is a complete event without \"dur\"");
+      ++index;
+      return Status::okay();
+    });
+  }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Status validate_chrome_trace(std::string_view json) {
+  return JsonScanner(json).validate_trace();
+}
+
+}  // namespace sbmp

@@ -26,12 +26,18 @@ class RemoteCompiler final : public LoopCompiler {
   RemoteCompiler(const RemoteCompiler&) = delete;
   RemoteCompiler& operator=(const RemoteCompiler&) = delete;
 
+  using LoopCompiler::compile;
   [[nodiscard]] LoopReport compile(const Loop& loop,
                                    const PipelineOptions& options) override;
 
   /// Round-trips a ping frame; throws StatusError when the daemon does
   /// not answer correctly.
   void ping();
+
+  /// Round-trips a STAT frame and returns the daemon's typed snapshot
+  /// (server tallies + full metrics). Throws StatusError on transport
+  /// failure or a stat-format version mismatch.
+  [[nodiscard]] StatSnapshot stat();
 
  private:
   std::string socket_path_;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "sbmp/obs/metrics.h"
 #include "sbmp/support/hash.h"
 #include "sbmp/support/status.h"
 
@@ -33,6 +34,8 @@ class DiskCache {
  public:
   static constexpr const char* kEntrySuffix = ".sbmpsched";
 
+  /// Point-in-time view assembled from the Counter instruments (the
+  /// pre-registry API, kept as a compatibility shim).
   struct Stats {
     std::int64_t hits = 0;
     std::int64_t misses = 0;
@@ -43,7 +46,11 @@ class DiskCache {
 
   /// Creates the directory eagerly; a failure is remembered (see
   /// `init_status`) and turns every operation into a counted no-op.
-  DiskCache(std::string dir, std::int64_t max_bytes);
+  /// `metrics` (optional) publishes the tallies as
+  /// `sbmp_disk_cache_*_total` counters on a shared registry; without
+  /// one the cache keeps private instruments.
+  DiskCache(std::string dir, std::int64_t max_bytes,
+            MetricsRegistry* metrics = nullptr);
 
   [[nodiscard]] const Status& init_status() const { return init_status_; }
 
@@ -70,7 +77,15 @@ class DiskCache {
   const std::int64_t max_bytes_;
   Status init_status_;
   mutable std::mutex mu_;
-  Stats stats_;
+  // Tally instruments: registry-owned when one was injected, otherwise
+  // the private set below. Set once in the constructor.
+  Counter own_hits_, own_misses_, own_stores_, own_evictions_,
+      own_io_errors_;
+  Counter* hits_;
+  Counter* misses_;
+  Counter* stores_;
+  Counter* evictions_;
+  Counter* io_errors_;
   Status last_error_;
 };
 

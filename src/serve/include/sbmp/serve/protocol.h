@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "sbmp/obs/metrics.h"
 #include "sbmp/support/status.h"
 
 namespace sbmp {
@@ -13,10 +14,17 @@ namespace sbmp {
 /// Every message is one frame:
 ///
 ///   offset  size  field
-///   0       4     magic "SBMP" (0x53 0x42 0x4d 0x50 on the wire)
+///   0       4     magic "SBM" + protocol revision (kProtocolRevision)
 ///   4       4     frame type (little-endian u32, FrameType below)
 ///   8       8     payload length (little-endian u64)
 ///   16      n     payload bytes
+///
+/// The magic's fourth byte IS the protocol revision: revision 'P' (the
+/// original "SBMP") spoke only compile/ping; revision '2' added the STAT
+/// introspection frames. A reader that sees "SBM" with a different
+/// fourth byte reports a clean version-mismatch Status instead of the
+/// generic bad-magic error, so mixed-version client/daemon pairs fail
+/// with an actionable message rather than a protocol mystery.
 ///
 /// Payloads are RecordWriter records (sbmp/support/serialize.h), so the
 /// wire format shares the cache codec: a compile request carries the
@@ -26,11 +34,17 @@ namespace sbmp {
 /// byte-identical to local runs (the client decodes through the same
 /// re-validating codec). See docs/serving.md for the full contract.
 
+/// Fourth magic byte. Bump whenever a frame type or payload schema
+/// changes incompatibly.
+inline constexpr char kProtocolRevision = '2';
+
 enum class FrameType : std::uint32_t {
   kCompileRequest = 1,
   kCompileResponse = 2,
   kPing = 3,
   kPong = 4,
+  kStatRequest = 5,   ///< empty payload
+  kStatResponse = 6,  ///< encode_stat_snapshot payload
 };
 
 struct Frame {
@@ -78,5 +92,42 @@ inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
 [[nodiscard]] Status decode_compile_response(const std::string& payload,
                                              Status* status,
                                              std::string* report_payload);
+
+// ---------------------------------------------------------------------
+// Daemon introspection (the STAT frames).
+
+/// Aggregate serving statistics. Lives here — not in server.h — because
+/// it is wire format: the daemon encodes it into a kStatResponse and the
+/// client decodes the same typed struct, so both sides share one
+/// definition by construction.
+struct ServerStats {
+  std::int64_t requests = 0;
+  std::int64_t compiles = 0;           ///< actual run_pipeline executions
+  std::int64_t singleflight_joins = 0; ///< requests that rode another's run
+  std::int64_t memory_hits = 0;
+  std::int64_t disk_hits = 0;
+  std::int64_t corrupt_entries = 0;
+};
+
+/// Version of the StatSnapshot payload schema, carried inside the
+/// payload itself (the frame revision covers framing; this covers the
+/// snapshot's field set). Bump when fields change meaning or layout.
+inline constexpr std::int64_t kStatFormatVersion = 1;
+
+/// Everything a kStatResponse carries: the classic server tallies plus
+/// the full metrics snapshot (every counter, gauge and latency histogram
+/// the process registered, including per-phase compile latencies).
+struct StatSnapshot {
+  std::int64_t version = kStatFormatVersion;
+  ServerStats server;
+  MetricsSnapshot metrics;
+};
+
+/// Encodes/decodes a StatSnapshot payload. decode rejects a payload
+/// whose embedded version differs from kStatFormatVersion with a clean
+/// kInput Status (stage "protocol") naming both versions.
+[[nodiscard]] std::string encode_stat_snapshot(const StatSnapshot& snapshot);
+[[nodiscard]] Status decode_stat_snapshot(const std::string& payload,
+                                          StatSnapshot* out);
 
 }  // namespace sbmp

@@ -11,6 +11,7 @@
 #include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
 #include "sbmp/serve/disk_cache.h"
+#include "sbmp/serve/protocol.h"
 
 namespace sbmp {
 
@@ -18,7 +19,9 @@ namespace sbmp {
 /// compiled". sbmpc renders reports against this interface, so local
 /// runs, cached runs and --remote runs through sbmpd produce
 /// byte-identical output by construction — only the compile transport
-/// differs.
+/// differs. Requests and results are the core facade types
+/// (CompileRequest/CompileResult in sbmp/core/pipeline.h): the serving
+/// layer adds transports and caches, never its own request shape.
 class LoopCompiler {
  public:
   virtual ~LoopCompiler() = default;
@@ -26,11 +29,18 @@ class LoopCompiler {
   /// full report, throws StatusError for loops the pipeline refuses.
   [[nodiscard]] virtual LoopReport compile(const Loop& loop,
                                            const PipelineOptions& options) = 0;
+
+  /// Facade form: never throws pipeline errors; a refused compile
+  /// yields a stub report carrying the structured Status, exactly like
+  /// the core compile() facade. Implemented on top of the virtual
+  /// overload, so every transport inherits it.
+  [[nodiscard]] CompileResult compile(const CompileRequest& request);
 };
 
 /// Uncached pass-through to run_pipeline.
 class DirectCompiler final : public LoopCompiler {
  public:
+  using LoopCompiler::compile;
   [[nodiscard]] LoopReport compile(const Loop& loop,
                                    const PipelineOptions& options) override;
 };
@@ -44,22 +54,31 @@ class DirectCompiler final : public LoopCompiler {
 /// bytes the cold path would have produced.
 class CachingCompiler final : public LoopCompiler {
  public:
-  CachingCompiler(ResultCache* memory, DiskCache* disk)
-      : memory_(memory), disk_(disk) {}
+  /// `metrics` (optional) publishes the compile/corrupt counters on a
+  /// shared registry; without one the compiler keeps private
+  /// instruments. The accessors below read whichever is active.
+  CachingCompiler(ResultCache* memory, DiskCache* disk,
+                  MetricsRegistry* metrics = nullptr)
+      : memory_(memory),
+        disk_(disk),
+        corrupt_entries_(
+            metrics != nullptr
+                ? metrics->counter("sbmp_codec_corrupt_entries_total")
+                : &own_corrupt_entries_),
+        compiles_(metrics != nullptr
+                      ? metrics->counter("sbmp_compiles_total")
+                      : &own_compiles_) {}
 
+  using LoopCompiler::compile;
   [[nodiscard]] LoopReport compile(const Loop& loop,
                                    const PipelineOptions& options) override;
 
   /// Disk entries rejected by the codec since construction.
   [[nodiscard]] std::int64_t corrupt_entries() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return corrupt_entries_;
+    return corrupt_entries_->value();
   }
   /// Actual run_pipeline executions (misses at both cache levels).
-  [[nodiscard]] std::int64_t compiles() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return compiles_;
-  }
+  [[nodiscard]] std::int64_t compiles() const { return compiles_->value(); }
   /// Most recent decode rejection; ok() when none occurred.
   [[nodiscard]] Status last_decode_error() const {
     std::lock_guard<std::mutex> lock(mu_);
@@ -70,8 +89,10 @@ class CachingCompiler final : public LoopCompiler {
   ResultCache* memory_;
   DiskCache* disk_;
   mutable std::mutex mu_;
-  std::int64_t corrupt_entries_ = 0;
-  std::int64_t compiles_ = 0;
+  Counter own_corrupt_entries_;
+  Counter own_compiles_;
+  Counter* corrupt_entries_;
+  Counter* compiles_;
   Status last_decode_error_;
 };
 
@@ -81,22 +102,12 @@ struct ServerOptions {
   /// Directory of the persistent schedule cache; empty = memory only.
   std::string cache_dir;
   std::int64_t cache_max_bytes = 256ll << 20;
-};
-
-/// One loop-compilation request as the server consumes it.
-struct CompileRequest {
-  Loop loop;
-  PipelineOptions options;
-};
-
-/// Aggregate statistics of one ScheduleServer.
-struct ServerStats {
-  std::int64_t requests = 0;
-  std::int64_t compiles = 0;           ///< actual run_pipeline executions
-  std::int64_t singleflight_joins = 0; ///< requests that rode another's run
-  std::int64_t memory_hits = 0;
-  std::int64_t disk_hits = 0;
-  std::int64_t corrupt_entries = 0;
+  /// Shared metrics registry; nullptr makes the server own one (see
+  /// ScheduleServer::metrics()). Either way every component — memory
+  /// cache, disk cache, codec, single-flight — publishes on the same
+  /// registry, which is what the STAT frame and the Prometheus dump
+  /// snapshot.
+  MetricsRegistry* metrics = nullptr;
 };
 
 /// Long-lived serving core: accepts single requests or batches,
@@ -115,13 +126,25 @@ class ScheduleServer {
   [[nodiscard]] LoopReport compile(const Loop& loop,
                                    const PipelineOptions& options);
 
+  /// Facade form of the single compile: never throws pipeline errors.
+  [[nodiscard]] CompileResult compile(const CompileRequest& request);
+
   /// Compiles every request on the pool. Order-stable: result i belongs
   /// to request i, and a failed request yields a stub report carrying
   /// the error status (batches never abort on one bad loop).
   [[nodiscard]] std::vector<LoopReport> compile_batch(
       const std::vector<CompileRequest>& requests);
 
+  /// Compatibility shim assembling the classic tallies from the metrics
+  /// registry (the pre-registry API; serve_test runs against it
+  /// unmodified).
   [[nodiscard]] ServerStats stats() const;
+  /// Typed introspection snapshot — the exact payload of a kStatResponse
+  /// frame and the source of the Prometheus dump.
+  [[nodiscard]] StatSnapshot stat_snapshot() const;
+  /// The registry every component of this server publishes on (the
+  /// injected one, or the server-owned registry when none was).
+  [[nodiscard]] MetricsRegistry& metrics() { return *metrics_; }
   [[nodiscard]] DiskCache* disk_cache() { return disk_.get(); }
 
  private:
@@ -134,12 +157,15 @@ class ScheduleServer {
   };
 
   ServerOptions options_;
+  MetricsRegistry own_metrics_;
+  MetricsRegistry* metrics_;  ///< injected registry or &own_metrics_
   std::unique_ptr<DiskCache> disk_;
   ResultCache memory_;
   CachingCompiler compiler_;
+  Counter* requests_;
+  Counter* singleflight_joins_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Inflight>> inflight_;
-  ServerStats stats_;
 };
 
 }  // namespace sbmp

@@ -45,6 +45,24 @@ void RemoteCompiler::ping() {
                                    std::to_string(static_cast<int>(frame.type))));
 }
 
+StatSnapshot RemoteCompiler::stat() {
+  Frame frame;
+  {
+    std::lock_guard<std::mutex> lock(g_roundtrip_mu);
+    if (Status s = write_frame(fd_, FrameType::kStatRequest, ""); !s.ok())
+      throw_status(s);
+    if (Status s = read_frame(fd_, &frame); !s.ok()) throw_status(s);
+  }
+  if (frame.type != FrameType::kStatResponse)
+    throw_status(Status::error(StatusCode::kInternal, "protocol",
+                               "daemon answered stat with frame type " +
+                                   std::to_string(static_cast<int>(frame.type))));
+  StatSnapshot snapshot;
+  if (Status s = decode_stat_snapshot(frame.payload, &snapshot); !s.ok())
+    throw_status(s);
+  return snapshot;
+}
+
 LoopReport RemoteCompiler::compile(const Loop& loop,
                                    const PipelineOptions& options) {
   const std::string request = encode_compile_request(

@@ -9,12 +9,29 @@
 
 namespace sbmp {
 
-DiskCache::DiskCache(std::string dir, std::int64_t max_bytes)
-    : dir_(std::move(dir)), max_bytes_(max_bytes) {
+DiskCache::DiskCache(std::string dir, std::int64_t max_bytes,
+                     MetricsRegistry* metrics)
+    : dir_(std::move(dir)),
+      max_bytes_(max_bytes),
+      hits_(metrics != nullptr
+                ? metrics->counter("sbmp_disk_cache_hits_total")
+                : &own_hits_),
+      misses_(metrics != nullptr
+                  ? metrics->counter("sbmp_disk_cache_misses_total")
+                  : &own_misses_),
+      stores_(metrics != nullptr
+                  ? metrics->counter("sbmp_disk_cache_stores_total")
+                  : &own_stores_),
+      evictions_(metrics != nullptr
+                     ? metrics->counter("sbmp_disk_cache_evictions_total")
+                     : &own_evictions_),
+      io_errors_(metrics != nullptr
+                     ? metrics->counter("sbmp_disk_cache_io_errors_total")
+                     : &own_io_errors_) {
   init_status_ = ensure_directory(dir_);
   if (!init_status_.ok()) {
+    io_errors_->inc();
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.io_errors;
     last_error_ = init_status_;
   }
 }
@@ -24,8 +41,8 @@ std::string DiskCache::entry_path(const Fingerprint& key) const {
 }
 
 void DiskCache::record_error(Status status) {
+  io_errors_->inc();
   std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.io_errors;
   last_error_ = std::move(status);
 }
 
@@ -34,21 +51,18 @@ std::optional<std::string> DiskCache::load(const Fingerprint& key) {
   const std::string path = entry_path(key);
   std::string payload;
   if (!file_exists(path)) {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.misses;
+    misses_->inc();
     return std::nullopt;
   }
   if (Status s = read_file(path, &payload); !s.ok()) {
     record_error(std::move(s));
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.misses;
+    misses_->inc();
     return std::nullopt;
   }
   // LRU touch: a hit makes the entry the newest candidate. A failed
   // touch only skews eviction order, so it is recorded but not fatal.
   if (Status s = touch_file(path); !s.ok()) record_error(std::move(s));
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.hits;
+  hits_->inc();
   return payload;
 }
 
@@ -58,10 +72,7 @@ void DiskCache::store(const Fingerprint& key, std::string_view payload) {
     record_error(std::move(s));
     return;
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.stores;
-  }
+  stores_->inc();
   evict_to_cap();
 }
 
@@ -102,14 +113,18 @@ void DiskCache::evict_to_cap() {
       continue;
     }
     total -= e.size;
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.evictions;
+    evictions_->inc();
   }
 }
 
 DiskCache::Stats DiskCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats out;
+  out.hits = hits_->value();
+  out.misses = misses_->value();
+  out.stores = stores_->value();
+  out.evictions = evictions_->value();
+  out.io_errors = io_errors_->value();
+  return out;
 }
 
 Status DiskCache::last_error() const {

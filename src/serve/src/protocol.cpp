@@ -5,15 +5,18 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
+#include <vector>
 
 #include "sbmp/support/serialize.h"
+#include "sbmp/support/strings.h"
 
 namespace sbmp {
 
 namespace {
 
-constexpr char kMagic[4] = {'S', 'B', 'M', 'P'};
+constexpr char kMagic[4] = {'S', 'B', 'M', kProtocolRevision};
 constexpr std::size_t kHeaderSize = 16;
 
 Status proto_error(std::string message) {
@@ -98,11 +101,20 @@ Status read_frame(int fd, Frame* out) {
   if (Status s = read_all(fd, header, kHeaderSize, &clean_eof); !s.ok())
     return s;
   if (clean_eof) return Status::error(StatusCode::kInput, "eof", "peer hung up");
-  if (std::memcmp(header, kMagic, 4) != 0)
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    // An sbmpd peer of a different protocol revision shares the "SBM"
+    // prefix; tell the operator which revisions disagree instead of
+    // pretending the peer is not sbmpd at all.
+    if (std::memcmp(header, kMagic, 3) == 0)
+      return proto_error(
+          std::string("protocol revision mismatch: peer speaks revision '") +
+          header[3] + "', this build speaks revision '" + kProtocolRevision +
+          "'");
     return proto_error("bad frame magic (not an sbmpd peer?)");
+  }
   const std::uint32_t type = get_u32(header + 4);
   if (type < static_cast<std::uint32_t>(FrameType::kCompileRequest) ||
-      type > static_cast<std::uint32_t>(FrameType::kPong))
+      type > static_cast<std::uint32_t>(FrameType::kStatResponse))
     return proto_error("unknown frame type " + std::to_string(type));
   const std::uint64_t length = get_u64(header + 8);
   if (length > kMaxFramePayload)
@@ -201,6 +213,122 @@ Status decode_compile_response(const std::string& payload, Status* status,
   if (Status s = r.read_string("message", &status->message); !s.ok()) return s;
   if (Status s = r.read_string("report", report_payload); !s.ok()) return s;
   if (!r.at_end()) return proto_error("trailing fields in compile response");
+  return Status::okay();
+}
+
+namespace {
+
+/// Int vectors travel as comma-joined decimal strings inside one record
+/// field (the record format has no repeated fields; a joined string
+/// keeps the payload pager-inspectable).
+std::string join_ints(const std::vector<std::int64_t>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+Status split_ints(const std::string& joined, std::vector<std::int64_t>* out) {
+  out->clear();
+  if (joined.empty()) return Status::okay();
+  for (const std::string_view part : split(joined, ',')) {
+    errno = 0;
+    char* end = nullptr;
+    const std::string text(part);
+    const long long v = std::strtoll(text.c_str(), &end, 10);
+    if (errno != 0 || end == text.c_str() || *end != '\0')
+      return proto_error("bad integer '" + text + "' in stat snapshot");
+    out->push_back(static_cast<std::int64_t>(v));
+  }
+  return Status::okay();
+}
+
+}  // namespace
+
+std::string encode_stat_snapshot(const StatSnapshot& snapshot) {
+  RecordWriter w;
+  w.add_int("version", snapshot.version);
+  w.add_int("requests", snapshot.server.requests);
+  w.add_int("compiles", snapshot.server.compiles);
+  w.add_int("singleflight_joins", snapshot.server.singleflight_joins);
+  w.add_int("memory_hits", snapshot.server.memory_hits);
+  w.add_int("disk_hits", snapshot.server.disk_hits);
+  w.add_int("corrupt_entries", snapshot.server.corrupt_entries);
+  w.add_int("samples", static_cast<std::int64_t>(snapshot.metrics.samples.size()));
+  for (const MetricSample& sample : snapshot.metrics.samples) {
+    w.add_string("name", sample.name);
+    w.add_string("labels", sample.labels);
+    w.add_int("kind", static_cast<std::int64_t>(sample.kind));
+    w.add_int("value", sample.value);
+    w.add_string("bounds", join_ints(sample.bounds));
+    w.add_string("counts", join_ints(sample.counts));
+    w.add_int("count", sample.count);
+    w.add_int("sum", sample.sum);
+  }
+  return w.finish();
+}
+
+Status decode_stat_snapshot(const std::string& payload, StatSnapshot* out) {
+  RecordReader r;
+  if (Status s = RecordReader::open(payload, &r); !s.ok()) return s;
+  StatSnapshot snapshot;
+  if (Status s = r.read_int("version", &snapshot.version); !s.ok()) return s;
+  if (snapshot.version != kStatFormatVersion)
+    return proto_error("stat snapshot version mismatch: peer encodes v" +
+                       std::to_string(snapshot.version) +
+                       ", this build decodes v" +
+                       std::to_string(kStatFormatVersion));
+  if (Status s = r.read_int("requests", &snapshot.server.requests); !s.ok())
+    return s;
+  if (Status s = r.read_int("compiles", &snapshot.server.compiles); !s.ok())
+    return s;
+  if (Status s = r.read_int("singleflight_joins",
+                            &snapshot.server.singleflight_joins);
+      !s.ok())
+    return s;
+  if (Status s = r.read_int("memory_hits", &snapshot.server.memory_hits);
+      !s.ok())
+    return s;
+  if (Status s = r.read_int("disk_hits", &snapshot.server.disk_hits); !s.ok())
+    return s;
+  if (Status s = r.read_int("corrupt_entries",
+                            &snapshot.server.corrupt_entries);
+      !s.ok())
+    return s;
+  std::int64_t count = 0;
+  if (Status s = r.read_int("samples", &count); !s.ok()) return s;
+  if (count < 0 || count > 65536)
+    return proto_error("implausible stat sample count " +
+                       std::to_string(count));
+  snapshot.metrics.samples.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    MetricSample sample;
+    if (Status s = r.read_string("name", &sample.name); !s.ok()) return s;
+    if (Status s = r.read_string("labels", &sample.labels); !s.ok()) return s;
+    std::int64_t kind = 0;
+    if (Status s = r.read_int("kind", &kind); !s.ok()) return s;
+    if (kind < 0 || kind > static_cast<std::int64_t>(
+                               MetricSample::Kind::kHistogram))
+      return proto_error("unknown metric kind " + std::to_string(kind));
+    sample.kind = static_cast<MetricSample::Kind>(kind);
+    if (Status s = r.read_int("value", &sample.value); !s.ok()) return s;
+    std::string joined;
+    if (Status s = r.read_string("bounds", &joined); !s.ok()) return s;
+    if (Status s = split_ints(joined, &sample.bounds); !s.ok()) return s;
+    if (Status s = r.read_string("counts", &joined); !s.ok()) return s;
+    if (Status s = split_ints(joined, &sample.counts); !s.ok()) return s;
+    if (sample.kind == MetricSample::Kind::kHistogram &&
+        sample.counts.size() != sample.bounds.size() + 1)
+      return proto_error("histogram sample '" + sample.name +
+                         "' bucket/bound arity mismatch");
+    if (Status s = r.read_int("count", &sample.count); !s.ok()) return s;
+    if (Status s = r.read_int("sum", &sample.sum); !s.ok()) return s;
+    snapshot.metrics.samples.push_back(std::move(sample));
+  }
+  if (!r.at_end()) return proto_error("trailing fields in stat snapshot");
+  *out = std::move(snapshot);
   return Status::okay();
 }
 

@@ -7,6 +7,23 @@
 
 namespace sbmp {
 
+CompileResult LoopCompiler::compile(const CompileRequest& request) {
+  CompileResult out;
+  try {
+    out.report = compile(request.loop, request.options);
+  } catch (const StatusError& e) {
+    out.report.name = request.loop.name;
+    out.report.loop = request.loop;
+    out.report.status = e.status();
+  } catch (const SbmpError& e) {
+    out.report.name = request.loop.name;
+    out.report.loop = request.loop;
+    out.report.status =
+        Status::error(StatusCode::kInternal, "pipeline", e.what());
+  }
+  return out;
+}
+
 LoopReport DirectCompiler::compile(const Loop& loop,
                                    const PipelineOptions& options) {
   return run_pipeline(loop, options);
@@ -32,19 +49,14 @@ LoopReport CachingCompiler::compile(const Loop& loop,
         // Stale, corrupt or tampered entry: drop it and recompile. The
         // rejection is a diagnostic, never a failure of the compile.
         disk_->invalidate(fp);
+        corrupt_entries_->inc();
         std::lock_guard<std::mutex> lock(mu_);
-        ++corrupt_entries_;
         last_decode_error_ = std::move(s);
       }
     }
   }
-  LoopReport report = [&] {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++compiles_;
-    }
-    return run_pipeline(loop, options);
-  }();
+  compiles_->inc();
+  LoopReport report = run_pipeline(loop, options);
   if (disk_ != nullptr) disk_->store(fp, encode_loop_report(report, fp));
   if (memory_ != nullptr) return *memory_->insert(key, std::move(report));
   return report;
@@ -52,24 +64,30 @@ LoopReport CachingCompiler::compile(const Loop& loop,
 
 ScheduleServer::ScheduleServer(ServerOptions options)
     : options_(std::move(options)),
+      metrics_(options_.metrics != nullptr ? options_.metrics : &own_metrics_),
       disk_(options_.cache_dir.empty()
                 ? nullptr
                 : std::make_unique<DiskCache>(options_.cache_dir,
-                                              options_.cache_max_bytes)),
-      compiler_(&memory_, disk_.get()) {}
+                                              options_.cache_max_bytes,
+                                              metrics_)),
+      memory_(ResultCache::kDefaultShards, metrics_),
+      compiler_(&memory_, disk_.get(), metrics_),
+      requests_(metrics_->counter("sbmp_server_requests_total")),
+      singleflight_joins_(
+          metrics_->counter("sbmp_server_singleflight_joins_total")) {}
 
 LoopReport ScheduleServer::compile(const Loop& loop,
                                    const PipelineOptions& options) {
   const std::string key = ResultCache::key(loop, options);
   std::shared_ptr<Inflight> flight;
   bool leader = false;
+  requests_->inc();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.requests;
     const auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       flight = it->second;
-      ++stats_.singleflight_joins;
+      singleflight_joins_->inc();
     } else {
       flight = std::make_shared<Inflight>();
       inflight_.emplace(key, flight);
@@ -131,16 +149,33 @@ std::vector<LoopReport> ScheduleServer::compile_batch(
   return reports;
 }
 
+CompileResult ScheduleServer::compile(const CompileRequest& request) {
+  CompileResult out;
+  try {
+    out.report = compile(request.loop, request.options);
+  } catch (const StatusError& e) {
+    out.report.name = request.loop.name;
+    out.report.loop = request.loop;
+    out.report.status = e.status();
+  }
+  return out;
+}
+
 ServerStats ScheduleServer::stats() const {
   ServerStats out;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    out = stats_;
-  }
+  out.requests = requests_->value();
+  out.singleflight_joins = singleflight_joins_->value();
   out.memory_hits = memory_.hits();
   out.compiles = compiler_.compiles();
   out.corrupt_entries = compiler_.corrupt_entries();
   if (disk_ != nullptr) out.disk_hits = disk_->stats().hits;
+  return out;
+}
+
+StatSnapshot ScheduleServer::stat_snapshot() const {
+  StatSnapshot out;
+  out.server = stats();
+  out.metrics = metrics_->snapshot();
   return out;
 }
 

@@ -593,5 +593,140 @@ TEST(Protocol, CompileRequestAndResponseRoundTrip) {
   EXPECT_TRUE(report_back.empty());
 }
 
+TEST(Protocol, RevisionMismatchIsACleanStatusNamingBothRevisions) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A valid frame from a hypothetical revision-'1' build: same "SBM"
+  // prefix, different revision byte. The reader must say which
+  // revisions disagree instead of calling the peer a non-sbmpd.
+  char header[16] = {'S', 'B', 'M', '1', 1, 0, 0, 0,
+                     0,   0,   0,   0,   0, 0, 0, 0};
+  ASSERT_EQ(::write(fds[0], header, sizeof header), 16);
+  Frame frame;
+  const Status s = read_frame(fds[1], &frame);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kInput);
+  EXPECT_NE(s.message.find("revision mismatch"), std::string::npos);
+  EXPECT_NE(s.message.find("'1'"), std::string::npos);
+  EXPECT_NE(s.message.find(std::string(1, kProtocolRevision)),
+            std::string::npos);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- STAT introspection ----------------------------------------------
+
+TEST(StatProtocol, SnapshotRoundTripsThroughTheWireFormat) {
+  MetricsRegistry registry;
+  registry.counter("sbmp_result_cache_hits_total")->inc(3);
+  registry.gauge("sbmp_inflight")->set(2);
+  Histogram* h = compile_phase_histogram(registry, "dep");
+  h->observe(1500);
+  h->observe(5000000);
+
+  StatSnapshot snapshot;
+  snapshot.server.requests = 7;
+  snapshot.server.compiles = 4;
+  snapshot.server.singleflight_joins = 1;
+  snapshot.server.memory_hits = 2;
+  snapshot.server.disk_hits = 1;
+  snapshot.metrics = registry.snapshot();
+
+  StatSnapshot back;
+  ASSERT_TRUE(
+      decode_stat_snapshot(encode_stat_snapshot(snapshot), &back).ok());
+  EXPECT_EQ(back.version, kStatFormatVersion);
+  EXPECT_EQ(back.server.requests, 7);
+  EXPECT_EQ(back.server.compiles, 4);
+  EXPECT_EQ(back.server.singleflight_joins, 1);
+  EXPECT_EQ(back.server.memory_hits, 2);
+  EXPECT_EQ(back.server.disk_hits, 1);
+  ASSERT_EQ(back.metrics.samples.size(), snapshot.metrics.samples.size());
+
+  const MetricSample* hits =
+      back.metrics.find("sbmp_result_cache_hits_total");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->kind, MetricSample::Kind::kCounter);
+  EXPECT_EQ(hits->value, 3);
+  const MetricSample* phase =
+      back.metrics.find("sbmp_compile_phase_ns", "phase=\"dep\"");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(phase->count, 2);
+  EXPECT_EQ(phase->sum, 5001500);
+  ASSERT_EQ(phase->counts.size(), phase->bounds.size() + 1);
+  // The decoded snapshot still renders as Prometheus text: a monitoring
+  // client can scrape through the STAT frame without talking HTTP.
+  const std::string prom = back.metrics.to_prometheus();
+  EXPECT_NE(prom.find("sbmp_compile_phase_ns_bucket"), std::string::npos);
+  EXPECT_NE(prom.find("sbmp_result_cache_hits_total 3"), std::string::npos);
+}
+
+TEST(StatProtocol, RejectsVersionMismatchWithACleanStatus) {
+  StatSnapshot snapshot;
+  snapshot.version = kStatFormatVersion + 1;
+  StatSnapshot back;
+  const Status s =
+      decode_stat_snapshot(encode_stat_snapshot(snapshot), &back);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kInput);
+  EXPECT_NE(s.message.find("version mismatch"), std::string::npos);
+}
+
+TEST(StatProtocol, RejectsCorruptHistogramArity) {
+  StatSnapshot snapshot;
+  MetricSample bad;
+  bad.name = "sbmp_broken_ns";
+  bad.kind = MetricSample::Kind::kHistogram;
+  bad.bounds = {10, 100};
+  bad.counts = {1, 2};  // must be bounds + 1 = 3
+  snapshot.metrics.samples.push_back(bad);
+  StatSnapshot back;
+  const Status s =
+      decode_stat_snapshot(encode_stat_snapshot(snapshot), &back);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message.find("arity mismatch"), std::string::npos);
+}
+
+TEST(ScheduleServerTest, StatSnapshotCountsRequestsAndCacheTraffic) {
+  ScheduleServer server(ServerOptions{});
+  const PipelineOptions options = codec_options();
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  (void)server.compile(loop, options);
+  (void)server.compile(loop, options);  // second run: memory-cache hit
+  const StatSnapshot snapshot = server.stat_snapshot();
+  EXPECT_EQ(snapshot.version, kStatFormatVersion);
+  EXPECT_EQ(snapshot.server.requests, 2);
+  EXPECT_EQ(snapshot.server.compiles, 1);
+  EXPECT_EQ(snapshot.server.memory_hits, 1);
+  // The classic accessor is a shim over the same registry — the two
+  // views can never disagree.
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.requests, snapshot.server.requests);
+  EXPECT_EQ(stats.memory_hits, snapshot.server.memory_hits);
+  const MetricSample* requests =
+      snapshot.metrics.find("sbmp_server_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->value, 2);
+  const MetricSample* hits =
+      snapshot.metrics.find("sbmp_result_cache_hits_total");
+  ASSERT_NE(hits, nullptr);
+  EXPECT_EQ(hits->value, 1);
+}
+
+TEST(ScheduleServerTest, InjectedRegistryIsTheOnePublishedOn) {
+  MetricsRegistry registry;
+  ServerOptions options;
+  options.metrics = &registry;
+  ScheduleServer server(options);
+  EXPECT_EQ(&server.metrics(), &registry);
+  (void)server.compile(parse_single_loop_or_throw(kPaperExample),
+                       codec_options());
+  const MetricSample* requests =
+      registry.snapshot().find("sbmp_server_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->value, 1);
+}
+
 }  // namespace
 }  // namespace sbmp

@@ -19,9 +19,15 @@
 #include "sbmp/codegen/codegen.h"
 #include "sbmp/dfg/export.h"
 #include "sbmp/frontend/parser.h"
+#include "sbmp/obs/trace.h"
 #include "sbmp/sched/schedulers.h"
 #include "sbmp/sched/stats.h"
 #include "sbmp/sync/sync.h"
+
+#ifdef SBMPD_PATH
+#include "sbmp/serve/client.h"
+#include "sbmp/serve/protocol.h"
+#endif
 
 namespace sbmp {
 namespace {
@@ -303,10 +309,13 @@ TEST(SbmpcScheduleCache, CorruptedEntriesAreRecompiledNotServed) {
 #ifdef SBMPD_PATH
 
 /// Starts sbmpd and waits until its socket accepts; kills the daemon in
-/// the destructor if the test did not shut it down itself.
+/// the destructor if the test did not shut it down itself. A non-empty
+/// `stdout_path` captures the daemon's stdout (the --metrics-dump
+/// channel) into that file.
 class DaemonGuard {
  public:
-  explicit DaemonGuard(const std::string& extra_args) {
+  explicit DaemonGuard(const std::string& extra_args,
+                       const std::string& stdout_path = "") {
     socket_ = ::testing::TempDir() + "sbmpd_test_" +
               std::to_string(::getpid()) + ".sock";
     ::unlink(socket_.c_str());
@@ -321,6 +330,8 @@ class DaemonGuard {
     pid_ = ::fork();
     if (pid_ == 0) {
       std::freopen("/dev/null", "w", stderr);
+      if (!stdout_path.empty())
+        std::freopen(stdout_path.c_str(), "w", stdout);
       ::execv(SBMPD_PATH, argv.data());
       std::_Exit(127);
     }
@@ -397,7 +408,99 @@ TEST(SbmpdDaemon, MissingDaemonIsAnInputError) {
   EXPECT_EQ(run_sbmpc("--remote /nonexistent/sbmpd.sock " + fig1_path()), 1);
 }
 
+TEST(SbmpdDaemon, StatFrameReturnsAVersionedSnapshot) {
+  DaemonGuard daemon("");
+  ASSERT_TRUE(daemon.ready()) << "sbmpd did not come up";
+  std::string out;
+  ASSERT_EQ(run_sbmpc_capture(
+                render_flags() + "--remote " + daemon.socket() + " " +
+                    fig1_path(),
+                &out),
+            0);
+  RemoteCompiler client(daemon.socket());
+  const StatSnapshot snapshot = client.stat();
+  EXPECT_EQ(snapshot.version, kStatFormatVersion);
+  EXPECT_GE(snapshot.server.requests, 1);
+  EXPECT_GE(snapshot.server.compiles, 1);
+  const MetricSample* requests =
+      snapshot.metrics.find("sbmp_server_requests_total");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_EQ(requests->value, snapshot.server.requests);
+  // Remote compiles feed the same per-phase histograms a local
+  // instrumented run would (the daemon attaches its registry).
+  const MetricSample* dep =
+      snapshot.metrics.find("sbmp_compile_phase_ns", "phase=\"dep\"");
+  ASSERT_NE(dep, nullptr);
+  EXPECT_GE(dep->count, 1);
+  EXPECT_EQ(daemon.terminate(), 0);
+}
+
+TEST(SbmpdDaemon, MetricsDumpEmitsPrometheusTextOnDrain) {
+  const std::string dump = ::testing::TempDir() + "sbmpd_metrics.txt";
+  ::unlink(dump.c_str());
+  {
+    DaemonGuard daemon("--metrics-dump", dump);
+    ASSERT_TRUE(daemon.ready()) << "sbmpd did not come up";
+    std::string out;
+    ASSERT_EQ(run_sbmpc_capture(
+                  render_flags() + "--remote " + daemon.socket() + " " +
+                      fig1_path(),
+                  &out),
+              0);
+    EXPECT_EQ(daemon.terminate(), 0);
+  }
+  std::ifstream in(dump);
+  ASSERT_TRUE(in.good()) << "no metrics dump at " << dump;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string prom = buffer.str();
+  // The dump must cover the whole registry: serving tallies, cache
+  // counters, the request histogram and the per-phase compile
+  // histograms, all in parseable exposition format.
+  for (const char* needle :
+       {"# TYPE sbmp_server_requests_total counter",
+        "sbmp_server_requests_total ", "sbmp_result_cache_misses_total",
+        "# TYPE sbmp_server_request_ns histogram",
+        "sbmp_server_request_ns_count ", "sbmp_compile_phase_ns_bucket",
+        "phase=\"dep\"", "le=\"+Inf\""}) {
+    EXPECT_NE(prom.find(needle), std::string::npos) << needle;
+  }
+  // Structural sanity: every non-comment line is "name[{labels}] value".
+  std::istringstream lines(prom);
+  for (std::string line; std::getline(lines, line);) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_NE(line.substr(0, space).find("sbmp_"), std::string::npos)
+        << line;
+  }
+}
+
 #endif  // SBMPD_PATH
+
+TEST(SbmpcTrace, TraceOutEmitsValidatedJsonAndChangesNoOutput) {
+  const std::string trace = ::testing::TempDir() + "sbmpc_trace.json";
+  ::unlink(trace.c_str());
+  std::string untraced;
+  ASSERT_EQ(run_sbmpc_capture(render_flags() + fig1_path(), &untraced), 0);
+  std::string traced;
+  ASSERT_EQ(run_sbmpc_capture(
+                render_flags() + "--trace-out " + trace + " " + fig1_path(),
+                &traced),
+            0);
+  // The tracer may never alter what the compiler prints.
+  EXPECT_EQ(traced, untraced);
+  std::ifstream in(trace);
+  ASSERT_TRUE(in.good()) << "no trace written to " << trace;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string json = buffer.str();
+  ASSERT_TRUE(validate_chrome_trace(json).ok()) << json;
+  for (const char* needle : {"\"traceEvents\"", "\"pipeline\"", "\"dep\"",
+                             "\"schedule\"", "\"frontend\"", "\"lbd_pairs\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+}
 
 #endif  // SBMPC_PATH
 

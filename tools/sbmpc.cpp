@@ -37,6 +37,11 @@
 //   --remote SOCK      compile through a running sbmpd daemon at the
 //                      given Unix socket instead of in-process; output
 //                      is byte-identical to a local run
+//   --trace-out FILE   write a Chrome trace-event JSON timeline of the
+//                      run (frontend, restructure, and every pipeline
+//                      phase per loop) to FILE; view in chrome://tracing
+//                      or Perfetto. Tracing observes the compile and
+//                      never changes its output bytes.
 //
 // Exit codes (the StatusCode contract, see docs/robustness.md):
 //   0  success
@@ -60,6 +65,7 @@
 #include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
 #include "sbmp/dfg/export.h"
+#include "sbmp/obs/trace.h"
 #include "sbmp/serve/client.h"
 #include "sbmp/serve/server.h"
 #include "sbmp/perfect/suite.h"
@@ -84,6 +90,7 @@ struct CliOptions {
   int jobs = 0;  ///< 0 = hardware threads, 1 = serial
   std::optional<ScheduleMutation> mutate;
   std::string remote_socket;  ///< non-empty = compile through sbmpd
+  std::string trace_out;      ///< non-empty = write Chrome trace JSON
 
   [[nodiscard]] bool dump(const char* what) const {
     return dumps.count(what) != 0 || dumps.count("all") != 0;
@@ -99,6 +106,7 @@ struct CliOptions {
                "             [--no-validate] [--tolerance N] [--mutate M]\n"
                "             [--dump WHAT] [--jobs N] [--cache-dir DIR]\n"
                "             [--cache-bytes N] [--remote SOCK]\n"
+               "             [--trace-out FILE]\n"
                "             file.loop... | --list-benchmarks\n");
   std::exit(exit_code(StatusCode::kUsage));
 }
@@ -161,6 +169,8 @@ CliOptions parse_cli(int argc, char** argv) {
         usage("--cache-bytes must be non-negative");
     } else if (std::strcmp(arg, "--remote") == 0) {
       cli.remote_socket = next_arg(argc, argv, i);
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      cli.trace_out = next_arg(argc, argv, i);
     } else if (std::strcmp(arg, "--dump") == 0) {
       cli.dumps.insert(next_arg(argc, argv, i));
     } else if (std::strcmp(arg, "--list-benchmarks") == 0) {
@@ -223,6 +233,19 @@ void render_mutation(std::string& out, const LoopReport& report,
   }
 }
 
+/// Routes one compile through the CompileRequest/CompileResult facade
+/// and restores the old throwing surface the renderer is written
+/// against: a compile that produced no report (no DFG) re-raises its
+/// structured status, while a report that merely failed validation is
+/// returned for rendering, exactly as the virtual compile() behaves.
+LoopReport compile_via(LoopCompiler& compiler, const Loop& loop,
+                       const PipelineOptions& options) {
+  CompileResult compiled = compiler.compile(CompileRequest{loop, options});
+  if (!compiled.report.dfg.has_value() && !compiled.ok())
+    throw StatusError(compiled.report.status);
+  return std::move(compiled.report);
+}
+
 /// compare_schedulers with both runs routed through `compiler`, so
 /// --compare hits the same caches / daemon as plain runs.
 SchedulerComparison compare_schedulers_via(LoopCompiler& compiler,
@@ -231,9 +254,9 @@ SchedulerComparison compare_schedulers_via(LoopCompiler& compiler,
   SchedulerComparison out;
   PipelineOptions options = base;
   options.scheduler = SchedulerKind::kList;
-  out.baseline = compiler.compile(loop, options);
+  out.baseline = compile_via(compiler, loop, options);
   options.scheduler = SchedulerKind::kSyncAware;
-  out.improved = compiler.compile(loop, options);
+  out.improved = compile_via(compiler, loop, options);
   return out;
 }
 
@@ -241,11 +264,15 @@ std::string render_loop(const PreLoop& pre, const CliOptions& cli,
                         LoopCompiler& compiler, Status& status) {
   std::string out;
   RestructureResult restructured;
-  try {
-    restructured = restructure_or_throw(pre);
-  } catch (const SbmpError& e) {
-    throw StatusError(
-        Status::error(StatusCode::kInput, "restructure", e.what()));
+  {
+    Tracer::Span span = Tracer::begin(cli.pipeline.tracer, "restructure");
+    if (span) span.arg("loop", pre.name);
+    try {
+      restructured = restructure_or_throw(pre);
+    } catch (const SbmpError& e) {
+      throw StatusError(
+          Status::error(StatusCode::kInput, "restructure", e.what()));
+    }
   }
   const Loop& loop = restructured.loop;
   const DepAnalysis deps = analyze_dependences(loop);
@@ -267,7 +294,7 @@ std::string render_loop(const PreLoop& pre, const CliOptions& cli,
     return out;
   }
 
-  const LoopReport report = compiler.compile(loop, cli.pipeline);
+  const LoopReport report = compile_via(compiler, loop, cli.pipeline);
   status = report.status;
   if (cli.dump("sync"))
     appendf(out, "%s", report.synced.to_string().c_str());
@@ -340,8 +367,13 @@ std::string render_loop(const PreLoop& pre, const CliOptions& cli,
   return out;
 }
 
-int run(const CliOptions& cli) {
+int run(CliOptions cli) {
   StatusCode worst = StatusCode::kOk;
+
+  // One process-wide tracer; null on PipelineOptions unless requested,
+  // so the untraced run pays nothing.
+  Tracer tracer;
+  if (!cli.trace_out.empty()) cli.pipeline.tracer = &tracer;
 
   // Phase 1 (serial): parse every source and flatten the work list.
   // `banner` text precedes the loop's own output (suite headers).
@@ -355,6 +387,8 @@ int run(const CliOptions& cli) {
   const auto gather_source = [&](const std::string& label,
                                  const std::string& source,
                                  std::string banner) {
+    Tracer::Span span = Tracer::begin(cli.pipeline.tracer, "frontend");
+    if (span) span.arg("source", label);
     DiagEngine diags;
     const PreProgram program = parse_pre_program(source, diags);
     if (!diags.ok()) {
@@ -439,6 +473,13 @@ int run(const CliOptions& cli) {
       if (item.rendered.empty())
         std::fprintf(stderr, "sbmpc: %s\n", item.status.to_string().c_str());
       worst = worst_code(worst, item.status.code);
+    }
+  }
+
+  if (!cli.trace_out.empty()) {
+    if (Status s = tracer.write_chrome_json(cli.trace_out); !s.ok()) {
+      std::fprintf(stderr, "sbmpc: %s\n", s.to_string().c_str());
+      worst = worst_code(worst, s.code);
     }
   }
   return exit_code(worst);

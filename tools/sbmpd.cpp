@@ -7,6 +7,7 @@
 // a local run.
 //
 //   sbmpd --socket PATH [--jobs N] [--cache-dir DIR] [--cache-bytes N]
+//         [--metrics-dump]
 //
 // Options:
 //   --socket PATH      Unix-domain socket to listen on (required; a
@@ -15,14 +16,24 @@
 //                      serving core (0 = hardware threads)
 //   --cache-dir DIR    persistent schedule cache shared with sbmpc
 //   --cache-bytes N    size cap of the persistent cache (default 256 MiB)
+//   --metrics-dump     on drain, print the full metrics registry to
+//                      stdout in Prometheus text exposition format
+//                      (cache hit/miss counters, request counts, and the
+//                      per-phase compile latency histograms)
+//
+// Introspection: a kStatRequest frame answers with a versioned
+// StatSnapshot (server tallies + the same metrics the Prometheus dump
+// renders); see protocol.h and docs/observability.md.
 //
 // Shutdown: SIGTERM or SIGINT drains gracefully — the listener closes
 // immediately, every in-flight request runs to completion and its
 // response is still delivered, idle connections are hung up, and the
-// daemon exits 0 after printing its serving statistics.
+// daemon exits 0 after printing its serving statistics (and, with
+// --metrics-dump, the Prometheus dump).
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -35,6 +46,7 @@
 #include <vector>
 
 #include "sbmp/core/pipeline.h"
+#include "sbmp/obs/metrics.h"
 #include "sbmp/serve/codec.h"
 #include "sbmp/serve/protocol.h"
 #include "sbmp/serve/server.h"
@@ -83,7 +95,7 @@ void drain_conns() {
   if (message != nullptr) std::fprintf(stderr, "sbmpd: %s\n", message);
   std::fprintf(stderr,
                "usage: sbmpd --socket PATH [--jobs N] [--cache-dir DIR]\n"
-               "             [--cache-bytes N]\n");
+               "             [--cache-bytes N] [--metrics-dump]\n");
   std::exit(exit_code(StatusCode::kUsage));
 }
 
@@ -96,19 +108,33 @@ const char* next_arg(int argc, char** argv, int& i) {
 /// request, unparsable loop, pipeline refusal — travels back as the
 /// response status, exactly what a local run_pipeline would have thrown.
 std::string handle_compile(ScheduleServer& server, const std::string& payload) {
+  Histogram* latency = server.metrics().histogram(
+      "sbmp_server_request_ns", "", phase_latency_bounds_ns());
+  const auto t0 = std::chrono::steady_clock::now();
   std::string options_payload;
   std::string loop_source;
   Status status = decode_compile_request(payload, &options_payload,
                                          &loop_source);
   PipelineOptions options;
   if (status.ok()) status = decode_pipeline_options(options_payload, &options);
+  // Observability hooks are process-local pointers, never wire fields:
+  // attach this daemon's registry so remote compiles feed the same
+  // per-phase latency histograms as everything else in the process.
+  options.metrics = &server.metrics();
+  const auto observe = [&] {
+    latency->observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count());
+  };
   if (status.ok()) {
     try {
       const Loop loop = parse_single_loop_or_throw(loop_source);
       const LoopReport report = server.compile(loop, options);
-      return encode_compile_response(
+      std::string response = encode_compile_response(
           Status::okay(),
           encode_loop_report(report, schedule_fingerprint(loop, options)));
+      observe();
+      return response;
     } catch (const StatusError& e) {
       status = e.status();
     } catch (const SbmpError& e) {
@@ -117,6 +143,7 @@ std::string handle_compile(ScheduleServer& server, const std::string& payload) {
       status = Status::error(StatusCode::kInternal, "daemon", e.what());
     }
   }
+  observe();
   return encode_compile_response(status, "");
 }
 
@@ -132,6 +159,14 @@ void serve_connection(ScheduleServer& server, int fd) {
       if (Status s = write_frame(fd, FrameType::kPong, ""); !s.ok()) break;
       continue;
     }
+    if (frame.type == FrameType::kStatRequest) {
+      const std::string snapshot =
+          encode_stat_snapshot(server.stat_snapshot());
+      if (Status s = write_frame(fd, FrameType::kStatResponse, snapshot);
+          !s.ok())
+        break;
+      continue;
+    }
     if (frame.type != FrameType::kCompileRequest) break;
     const std::string response = handle_compile(server, frame.payload);
     if (Status s = write_frame(fd, FrameType::kCompileResponse, response);
@@ -144,10 +179,13 @@ void serve_connection(ScheduleServer& server, int fd) {
 int run(int argc, char** argv) {
   std::string socket_path;
   ServerOptions options;
+  bool metrics_dump = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--socket") == 0) {
       socket_path = next_arg(argc, argv, i);
+    } else if (std::strcmp(arg, "--metrics-dump") == 0) {
+      metrics_dump = true;
     } else if (std::strcmp(arg, "--jobs") == 0) {
       options.jobs = std::atoi(next_arg(argc, argv, i));
     } else if (std::strcmp(arg, "--cache-dir") == 0) {
@@ -218,6 +256,8 @@ int run(int argc, char** argv) {
                static_cast<long long>(stats.disk_hits),
                static_cast<long long>(stats.singleflight_joins),
                static_cast<long long>(stats.corrupt_entries));
+  if (metrics_dump)
+    std::fputs(server.metrics().snapshot().to_prometheus().c_str(), stdout);
   return exit_code(StatusCode::kOk);
 }
 

@@ -1,0 +1,45 @@
+// trace_check — validates a Chrome trace-event JSON document.
+//
+//   trace_check FILE...
+//
+// For each file: parses the bytes with the same structural validator the
+// unit tests use (validate_chrome_trace), requiring a well-formed JSON
+// object with a "traceEvents" array whose events carry name/ph/ts (and
+// dur for complete events). Prints one line per file; exits 0 when every
+// file validates, 1 otherwise. CI runs this over the traces sbmpc
+// emits so a malformed trace fails the build, not the viewer.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sbmp/obs/trace.h"
+#include "sbmp/support/status.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_check FILE...\n");
+    return sbmp::exit_code(sbmp::StatusCode::kUsage);
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "trace_check: cannot open %s\n", argv[i]);
+      ok = false;
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    const std::string json = buffer.str();
+    if (const sbmp::Status s = sbmp::validate_chrome_trace(json); !s.ok()) {
+      std::fprintf(stderr, "trace_check: %s: %s\n", argv[i],
+                   s.to_string().c_str());
+      ok = false;
+      continue;
+    }
+    std::printf("trace_check: %s: ok (%zu bytes)\n", argv[i], json.size());
+  }
+  return sbmp::exit_code(ok ? sbmp::StatusCode::kOk
+                            : sbmp::StatusCode::kInput);
+}
