@@ -355,7 +355,12 @@ inline CompilePerf run_compile_perf(int reps = 7) {
   perf.compile_p99_ns = percentile_ns(scratch, 0.99);
 
   // Corpus throughput through the batch facade at jobs 1 and 8, cache
-  // off so every loop pays the full compile.
+  // off so every loop pays the full compile. The shared pool spawns its
+  // workers on the untimed warmup pass, so the timed passes measure
+  // steady-state throughput — what a daemon or sweep actually sustains —
+  // never thread-spawn latency (the old methodology charged 8 spawns to
+  // the jobs8 region and made parallelism look like a loss). Each jobs
+  // level takes the best of `reps` passes to shed scheduler noise.
   std::vector<CompileRequest> requests;
   requests.reserve(corpus.size());
   for (const auto& target : corpus)
@@ -364,13 +369,17 @@ inline CompilePerf run_compile_perf(int reps = 7) {
     CompileBatchOptions batch;
     batch.jobs = jobs;
     batch.use_cache = false;
-    const auto t0 = clock::now();
-    const ProgramReport report = compile(requests, batch);
-    const double secs =
-        static_cast<double>(ns_since(t0)) / 1e9;
-    const double rate =
-        secs > 0.0 ? static_cast<double>(report.loops.size()) / secs : 0.0;
-    (jobs == 1 ? perf.loops_per_sec_jobs1 : perf.loops_per_sec_jobs8) = rate;
+    (void)compile(requests, batch);  // warmup: pool spawn, caches hot
+    double best = 0.0;
+    for (int r = 0; r < reps; ++r) {
+      const auto t0 = clock::now();
+      const ProgramReport report = compile(requests, batch);
+      const double secs = static_cast<double>(ns_since(t0)) / 1e9;
+      const double rate =
+          secs > 0.0 ? static_cast<double>(report.loops.size()) / secs : 0.0;
+      best = std::max(best, rate);
+    }
+    (jobs == 1 ? perf.loops_per_sec_jobs1 : perf.loops_per_sec_jobs8) = best;
   }
 
   // Memoized-cache hit latency: fill once, then time pure hits.
@@ -480,12 +489,30 @@ inline bool json_field(const std::string& json, const std::string& key,
   return true;
 }
 
+/// The jobs8/jobs1 scaling floor `--check` enforces when no
+/// `--scaling-floor` override is given, derived from the machine
+/// actually running the check. On the 8-core CI runner this is the full
+/// 2.5x gate (negative scaling can never land again); narrower machines
+/// get a proportionally derated floor, down to a single core, where the
+/// only honest assertion is "the parallel path is not a material loss"
+/// (the pre-fix state was a 27% loss on one core — pure overhead).
+inline double default_scaling_floor() {
+  const int cores = ThreadPool::default_thread_count();
+  if (cores >= 8) return 2.5;
+  if (cores <= 1) return 0.8;
+  return 0.45 * cores;
+}
+
 /// Check mode for CI: no schedule drift against the checked-in
-/// BENCH_compile.json, and jobs=1 throughput above a generous floor
+/// BENCH_compile.json, jobs=1 throughput above a generous floor
 /// (1/20 of the recorded rate, never below 25 loops/s) so a pathological
-/// slowdown fails loudly without flaking on machine variance.
+/// slowdown fails loudly without flaking on machine variance, and the
+/// re-measured jobs8/jobs1 ratio at or above `scaling_floor` (< 0 picks
+/// default_scaling_floor() for this machine) so parallel scaling
+/// regressions fail the PR that introduces them.
 inline int check_compile_perf(const CompilePerf& now,
-                              const std::string& json_path) {
+                              const std::string& json_path,
+                              double scaling_floor = -1.0) {
   std::ifstream in(json_path);
   if (!in.good()) {
     std::fprintf(stderr, "cannot read %s\n", json_path.c_str());
@@ -519,10 +546,25 @@ inline int check_compile_perf(const CompilePerf& now,
                  std::atof(stored_rate.c_str()));
     failed = true;
   }
+  if (scaling_floor < 0.0) scaling_floor = default_scaling_floor();
+  const double scaling =
+      now.loops_per_sec_jobs1 > 0.0
+          ? now.loops_per_sec_jobs8 / now.loops_per_sec_jobs1
+          : 0.0;
+  if (scaling < scaling_floor) {
+    std::fprintf(stderr,
+                 "PARALLEL SCALING REGRESSION: jobs8/jobs1 = %.2fx "
+                 "(%.1f / %.1f loops/s), floor %.2fx on %d cores — the "
+                 "parallel compile path lost its speedup\n",
+                 scaling, now.loops_per_sec_jobs8, now.loops_per_sec_jobs1,
+                 scaling_floor, ThreadPool::default_thread_count());
+    failed = true;
+  }
   std::printf("perf check: %d loops, %.1f loops/s (floor %.1f), "
-              "fingerprint %s — %s\n",
-              now.corpus_loops, now.loops_per_sec_jobs1, floor,
-              now.schedule_fingerprint.c_str(), failed ? "FAIL" : "PASS");
+              "jobs8/jobs1 %.2fx (floor %.2fx), fingerprint %s — %s\n",
+              now.corpus_loops, now.loops_per_sec_jobs1, floor, scaling,
+              scaling_floor, now.schedule_fingerprint.c_str(),
+              failed ? "FAIL" : "PASS");
   return failed ? 1 : 0;
 }
 

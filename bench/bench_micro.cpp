@@ -12,8 +12,10 @@
 // trajectory harness behind BENCH_compile.json (docs/perf.md):
 //   bench_micro --json BENCH_compile.json   # measure + write the report
 //   bench_micro --check BENCH_compile.json  # CI mode: assert no schedule
-//                                           # drift and a generous
-//                                           # throughput floor
+//                                           # drift, a generous throughput
+//                                           # floor, and the jobs8/jobs1
+//                                           # scaling gate (tunable via
+//                                           # --scaling-floor R)
 #define SBMP_ALLOC_COUNTER 1
 
 #include <benchmark/benchmark.h>
@@ -166,6 +168,13 @@ BENCHMARK(BM_ResultCacheHit);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // < 0 = derive the jobs8/jobs1 gate from this machine's core count
+  // (2.5x on the 8-core CI runner; see bench::default_scaling_floor).
+  double scaling_floor = -1.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--scaling-floor") == 0)
+      scaling_floor = std::atof(argv[i + 1]);
+  }
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       const sbmp::bench::CompilePerf perf = sbmp::bench::run_compile_perf();
@@ -181,7 +190,7 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--check") == 0) {
       return sbmp::bench::check_compile_perf(
-          sbmp::bench::run_compile_perf(), argv[i + 1]);
+          sbmp::bench::run_compile_perf(), argv[i + 1], scaling_floor);
     }
   }
   benchmark::Initialize(&argc, argv);

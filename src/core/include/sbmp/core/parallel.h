@@ -75,9 +75,17 @@ class ResultCache {
   /// Shard a key routes to (stable across runs; exposed so tests can
   /// check the distribution).
   [[nodiscard]] int shard_of(const std::string& key) const;
+  /// Alignment of one shard slot (exposed so tests can pin the layout).
+  [[nodiscard]] static constexpr std::size_t shard_alignment() {
+    return alignof(Shard);
+  }
 
  private:
-  struct Shard {
+  // Cache-line alignment keeps adjacent shards' mutexes out of each
+  // other's lines: without it, two workers hammering *different* shards
+  // still bounce one line between cores (false sharing), which is
+  // contention the sharding exists to remove.
+  struct alignas(64) Shard {
     mutable std::mutex mu;
     std::unordered_map<std::string, std::shared_ptr<const LoopReport>> map;
   };

@@ -29,11 +29,23 @@ bool may_alias_same_iteration(const AffineIndex& a, const AffineIndex& b) {
   if (a.coef == b.coef) return a.offset == b.offset;
   return true;
 }
+
+/// Per-thread build scratch. Every DFG build on a thread reuses the same
+/// arena (reset, not freed), so concurrent compiles on a shared pool
+/// stop meeting in the allocator: after a worker's first build, its
+/// scratch comes from thread-local blocks with zero malloc traffic. The
+/// arena is reset at the top of each build and all pointers into it die
+/// with the constructor, which never re-enters itself on one thread.
+Arena& build_arena() {
+  thread_local Arena arena;
+  arena.reset();
+  return arena;
+}
 }  // namespace
 
 Dfg::Dfg(const TacFunction& tac, const MachineConfig& config) {
   n_ = tac.size();
-  Arena arena;
+  Arena& arena = build_arena();
 
   // The edge generators below emit a chronological stream of raw edge
   // events into one arena array (bounded up front, so it never moves).

@@ -20,6 +20,12 @@ namespace sbmp {
 /// workers instead of serializing behind their submitter. External
 /// `submit` calls distribute round-robin across the worker deques.
 ///
+/// Submission is engineered for the saturated case: a queued-task
+/// counter (no per-queue mutex scans) backs the idle predicate, and the
+/// wake mutex is touched only when a sleeper actually exists, so a busy
+/// pool pays one queue lock and two atomics per task — no
+/// condition-variable traffic at all.
+///
 /// The pool is a pure execution substrate: it imposes no ordering, and
 /// callers that need deterministic results must aggregate by task index
 /// (see `parallel_for`, which the parallel pipeline engine builds on).
@@ -53,7 +59,6 @@ class ThreadPool {
   void worker_loop(std::size_t self);
   bool try_pop(std::size_t self, std::function<void()>& out);
   bool try_steal(std::size_t self, std::function<void()>& out);
-  bool have_queued_work();
 
   std::vector<std::unique_ptr<WorkQueue>> queues_;
   std::vector<std::thread> workers_;
@@ -61,15 +66,29 @@ class ThreadPool {
   std::condition_variable work_cv_;
   std::condition_variable idle_cv_;
   std::atomic<std::int64_t> pending_{0};  ///< submitted, not yet finished
+  std::atomic<std::int64_t> queued_{0};   ///< sitting in a queue right now
+  std::atomic<int> sleepers_{0};          ///< workers blocked on work_cv_
   std::atomic<bool> stop_{false};
   std::atomic<std::size_t> next_queue_{0};  ///< round-robin submit target
 };
 
+/// The process-wide shared pool, created lazily on first use with
+/// default_thread_count() workers. Batch entry points (`compile`, the
+/// bench grids, the sbmpd fan-out) all run on this one pool, so a
+/// process pays thread-spawn cost once, ever — not once per batch. The
+/// instance is intentionally never destroyed: its idle workers park on a
+/// condition variable and die with the process, which sidesteps
+/// static-destruction-order hazards for late parallel work at exit.
+ThreadPool& shared_thread_pool();
+
 /// Runs `body(i)` for every i in [begin, end) on `pool`, blocking until
-/// all complete. Bodies run concurrently in unspecified order and every
-/// body runs even after another throws. Failures are aggregated after
-/// the loop drains: exactly one failed index rethrows the original
-/// exception (type-preserving); several throw one ParallelForError
+/// all complete. The range is split statically into ~4x contiguous
+/// chunks per worker; the calling thread claims and runs chunks
+/// alongside the pool workers, so a loop is never slower than running it
+/// inline. Bodies run concurrently in unspecified order and every body
+/// runs even after another throws. Failures are aggregated after the
+/// loop drains: exactly one failed index rethrows the original exception
+/// (type-preserving); several throw one ParallelForError
 /// (sbmp/support/status.h) listing every failed index and message in
 /// index order, so one bad item can never hide the rest of a batch.
 /// Safe to call from multiple threads sharing one pool: completion is
@@ -77,12 +96,14 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& body);
 
-/// Convenience form owning a transient pool. `jobs` <= 1 runs the loop
-/// inline on the calling thread in index order — no threads are spawned,
-/// and results are bit-identical to the pool path (including the
-/// aggregate failure semantics above) — so callers can expose a
-/// `--jobs 1` escape hatch that bypasses threading entirely. `jobs` 0
-/// uses ThreadPool::default_thread_count().
+/// Convenience form running on the shared process-wide pool with
+/// concurrency capped at `jobs` (the cap counts the calling thread,
+/// which participates). `jobs` <= 1 runs the loop inline on the calling
+/// thread in index order — no pool involvement, and results are
+/// bit-identical to the pool path (including the aggregate failure
+/// semantics above) — so callers can expose a `--jobs 1` escape hatch
+/// that bypasses threading entirely. `jobs` 0 uses
+/// ThreadPool::default_thread_count().
 void parallel_for(int jobs, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& body);
 

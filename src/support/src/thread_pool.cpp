@@ -50,8 +50,122 @@ struct FailureSet {
     throw ParallelForError(std::move(failures));
   }
 
+  /// Steal the collected state into `out`, leaving this set empty. Used
+  /// by the chunked path so the caller rethrows from a stack-local copy:
+  /// the shared per-call block may be destroyed later on a worker thread
+  /// (a stale runner stub dropping the last reference), and that
+  /// destruction must not release the exception_ptr the caller is still
+  /// holding live.
+  void drain_into(FailureSet& out) {
+    out.first = std::move(first);
+    first = nullptr;
+    out.first_index = first_index;
+    out.failures = std::move(failures);
+    failures.clear();
+  }
+
   [[nodiscard]] bool any() const { return !failures.empty(); }
 };
+
+/// State of one chunked parallel_for call. The range is pre-split into
+/// `chunks` contiguous pieces; runners (pool tasks plus the calling
+/// thread) claim pieces through `next_chunk` until none remain, so load
+/// balances dynamically while each claimed piece stays a cache-friendly
+/// contiguous index run. Heap-allocated and shared with every runner
+/// task: when the caller drains all chunks itself (a busy pool), its
+/// runner stubs may execute after the call already returned, and must
+/// still find this state alive — they claim no chunk and exit without
+/// ever touching `body`.
+struct ChunkedLoop {
+  std::int64_t begin = 0;
+  std::int64_t n = 0;
+  std::int64_t chunks = 0;
+  const std::function<void(std::int64_t)>* body = nullptr;
+  std::atomic<std::int64_t> next_chunk{0};
+  std::atomic<std::int64_t> chunks_done{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  FailureSet failures;
+
+  void run() {
+    const std::int64_t base = n / chunks;
+    const std::int64_t rem = n % chunks;
+    for (;;) {
+      const std::int64_t k =
+          next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (k >= chunks) return;
+      const std::int64_t lo = begin + k * base + std::min(k, rem);
+      const std::int64_t hi = lo + base + (k < rem ? 1 : 0);
+      for (std::int64_t i = lo; i < hi; ++i) {
+        try {
+          (*body)(i);
+        } catch (...) {
+          failures.record(i);
+        }
+      }
+      if (chunks_done.fetch_add(1, std::memory_order_acq_rel) == chunks - 1) {
+        std::lock_guard<std::mutex> lock(mu);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+/// The inline path shared by `jobs <= 1` and degenerate ranges: index
+/// order on the calling thread, with the exact pooled failure contract.
+void run_inline(std::int64_t begin, std::int64_t end,
+                const std::function<void(std::int64_t)>& body) {
+  FailureSet failures;
+  for (std::int64_t i = begin; i < end; ++i) {
+    try {
+      body(i);
+    } catch (...) {
+      failures.record(i);
+    }
+  }
+  if (failures.any()) failures.rethrow();
+}
+
+/// Chunked fan-out over `pool` with total concurrency (pool runners plus
+/// the participating caller) capped at `max_workers`.
+void parallel_for_capped(ThreadPool& pool, int max_workers,
+                         std::int64_t begin, std::int64_t end,
+                         const std::function<void(std::int64_t)>& body) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;
+  const int workers = static_cast<int>(std::min<std::int64_t>(
+      {static_cast<std::int64_t>(std::max(max_workers, 1)),
+       static_cast<std::int64_t>(pool.size()) + 1, n}));
+  if (workers <= 1) {
+    run_inline(begin, end, body);
+    return;
+  }
+  auto state = std::make_shared<ChunkedLoop>();
+  state->begin = begin;
+  state->n = n;
+  // ~4 chunks per worker: enough slack that one slow chunk (or a stolen
+  // worker) rebalances, without per-index task granularity.
+  state->chunks = std::min<std::int64_t>(n, std::int64_t{4} * workers);
+  state->body = &body;
+  for (int w = 0; w + 1 < workers; ++w)
+    pool.submit([state] { state->run(); });
+  state->run();  // the calling thread is worker 0
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&state] {
+      return state->chunks_done.load(std::memory_order_acquire) ==
+             state->chunks;
+    });
+  }
+  // All chunks are done (acq_rel fetch_add / acquire wait above), so the
+  // caller owns the failure state now. Drain it to a local before
+  // throwing — see FailureSet::drain_into.
+  if (state->failures.any()) {
+    FailureSet local;
+    state->failures.drain_into(local);
+    local.rethrow();
+  }
+}
 
 }  // namespace
 
@@ -96,13 +210,19 @@ void ThreadPool::submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
+    queued_.fetch_add(1, std::memory_order_seq_cst);
   }
-  {
-    // Pairing the notify with mu_ closes the race against a worker that
-    // found every queue empty and is about to sleep.
-    std::lock_guard<std::mutex> lock(mu_);
+  // Wake a worker only when one is actually asleep. The seq_cst pair
+  // (queued_ write above, sleepers_ read here) against the worker's
+  // (sleepers_ write under mu_, queued_ read in its wait predicate)
+  // closes the lost-wakeup race: if this read misses a worker about to
+  // sleep, that worker's predicate — checked after its sleepers_
+  // increment — is guaranteed to see the new queued_ count and skip the
+  // sleep. A saturated pool therefore never touches mu_ on submit.
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+    { std::lock_guard<std::mutex> lock(mu_); }
+    work_cv_.notify_one();
   }
-  work_cv_.notify_one();
 }
 
 void ThreadPool::wait_idle() {
@@ -117,6 +237,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& out) {
   if (q.tasks.empty()) return false;
   out = std::move(q.tasks.back());
   q.tasks.pop_back();
+  queued_.fetch_sub(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -128,15 +249,8 @@ bool ThreadPool::try_steal(std::size_t self, std::function<void()>& out) {
     if (q.tasks.empty()) continue;
     out = std::move(q.tasks.front());
     q.tasks.pop_front();
+    queued_.fetch_sub(1, std::memory_order_relaxed);
     return true;
-  }
-  return false;
-}
-
-bool ThreadPool::have_queued_work() {
-  for (auto& q : queues_) {
-    std::lock_guard<std::mutex> lock(q->mu);
-    if (!q->tasks.empty()) return true;
   }
   return false;
 }
@@ -154,64 +268,45 @@ void ThreadPool::worker_loop(std::size_t self) {
     }
     std::unique_lock<std::mutex> lock(mu_);
     if (stop_.load()) return;
-    work_cv_.wait(lock, [this] { return stop_.load() || have_queued_work(); });
-    if (stop_.load() && !have_queued_work()) return;
+    // Register as a sleeper before the predicate check (both under mu_),
+    // so a submitter that saw sleepers_ == 0 must have published its
+    // queued_ increment first — the predicate then sees it and skips
+    // the sleep. queued_ is a counter, not a lock scan: going idle no
+    // longer takes every per-queue mutex.
+    sleepers_.fetch_add(1, std::memory_order_seq_cst);
+    work_cv_.wait(lock, [this] {
+      return stop_.load() ||
+             queued_.load(std::memory_order_seq_cst) > 0;
+    });
+    sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    if (stop_.load() && queued_.load(std::memory_order_seq_cst) <= 0)
+      return;
   }
+}
+
+ThreadPool& shared_thread_pool() {
+  // Intentionally leaked (never destroyed): the workers idle on the
+  // condition variable until process exit, so no static-destruction
+  // ordering can race a late parallel_for against a dying pool. The
+  // pointer lives in static storage, so leak checkers see the block as
+  // reachable.
+  static ThreadPool* pool = new ThreadPool();
+  return *pool;
 }
 
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& body) {
-  if (end <= begin) return;
-  struct LoopState {
-    std::atomic<std::int64_t> remaining;
-    std::mutex mu;
-    std::condition_variable done_cv;
-    FailureSet failures;
-  };
-  LoopState state;
-  state.remaining.store(end - begin, std::memory_order_relaxed);
-  for (std::int64_t i = begin; i < end; ++i) {
-    pool.submit([&state, &body, i] {
-      try {
-        body(i);
-      } catch (...) {
-        state.failures.record(i);
-      }
-      if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-        std::lock_guard<std::mutex> lock(state.mu);
-        state.done_cv.notify_all();
-      }
-    });
-  }
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done_cv.wait(lock, [&state] {
-    return state.remaining.load(std::memory_order_acquire) == 0;
-  });
-  if (state.failures.any()) state.failures.rethrow();
+  parallel_for_capped(pool, pool.size() + 1, begin, end, body);
 }
 
 void parallel_for(int jobs, std::int64_t begin, std::int64_t end,
                   const std::function<void(std::int64_t)>& body) {
   const int resolved = jobs > 0 ? jobs : ThreadPool::default_thread_count();
   if (resolved <= 1 || end - begin <= 1) {
-    // The inline path must match the pool path's failure semantics: run
-    // every index even after one throws, then surface all failures.
-    FailureSet failures;
-    for (std::int64_t i = begin; i < end; ++i) {
-      try {
-        body(i);
-      } catch (...) {
-        failures.record(i);
-      }
-    }
-    if (failures.any()) failures.rethrow();
+    run_inline(begin, end, body);
     return;
   }
-  // More workers than indices would just be idle threads (and an absurd
-  // --jobs could exhaust thread resources); clamp to the range size.
-  ThreadPool pool(static_cast<int>(
-      std::min<std::int64_t>(resolved, end - begin)));
-  parallel_for(pool, begin, end, body);
+  parallel_for_capped(shared_thread_pool(), resolved, begin, end, body);
 }
 
 }  // namespace sbmp

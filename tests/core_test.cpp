@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
+#include "sbmp/support/thread_pool.h"
 
 namespace sbmp {
 namespace {
@@ -249,6 +253,36 @@ TEST(ResultCacheTest, InsertRaceKeepsTheFirstEntry) {
   EXPECT_EQ(cache.size(), 1u);
   for (int t = 1; t < 4; ++t) EXPECT_EQ(times[0], times[t]);
   EXPECT_EQ(cache.hits() + cache.misses(), 4);
+}
+
+TEST(ResultCacheLayout, ShardsAreCacheLineAligned) {
+  // Adjacent shards hold independently-locked mutexes; without
+  // cache-line alignment two workers probing *different* shards bounce
+  // one line between cores (false sharing).
+  EXPECT_GE(ResultCache::shard_alignment(), 64u);
+  EXPECT_EQ(ResultCache::shard_alignment() % 64u, 0u);
+}
+
+TEST(ResultCacheLayout, RacingInsertsUnderChunkingKeepFirstWinner) {
+  // 4096 racing inserts of one key through the chunked parallel_for
+  // (many chunks, shared pool): exactly one entry may land, and every
+  // racer — whichever chunk it ran in — must be handed that winner.
+  ResultCache cache;
+  constexpr int kInserts = 4096;
+  std::vector<std::shared_ptr<const LoopReport>> returned(kInserts);
+  parallel_for(8, 0, kInserts, [&](std::int64_t i) {
+    LoopReport report;
+    report.name = "insert-" + std::to_string(i);
+    returned[static_cast<std::size_t>(i)] =
+        cache.insert("hot-key", std::move(report));
+  });
+  ASSERT_EQ(cache.size(), 1u);
+  const auto winner = cache.lookup("hot-key");
+  ASSERT_NE(winner, nullptr);
+  for (const auto& entry : returned) {
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry.get(), winner.get());
+  }
 }
 
 }  // namespace

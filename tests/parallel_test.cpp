@@ -5,7 +5,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -312,6 +315,93 @@ TEST(ShardedCache, SingleShardCacheIsByteIdenticalAcrossJobCounts) {
       EXPECT_EQ(a, b) << bench.name << " diverged at --jobs " << jobs;
       EXPECT_EQ(one.size(), sharded.size());
     }
+  }
+}
+
+// --- Chunked parallel_for on the shared process-wide pool ------------
+// The fix for negative parallel scaling batches indices into contiguous
+// chunks and runs every batch on one lazily-spawned shared pool. These
+// stress cases pin the two contracts that chunking must not bend:
+// byte-identity with the serial loop, and whole-batch failure
+// aggregation in index order.
+
+std::uint64_t mix_index(std::uint64_t x) {
+  // SplitMix64 finalizer: cheap enough that per-task overhead, not the
+  // body, dominates — exactly the shape that exposed the old per-index
+  // task granularity.
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+TEST(ChunkedParallelFor, TenThousandTinyBodiesMatchSerialByteForByte) {
+  constexpr std::int64_t kN = 20000;
+  std::vector<std::uint64_t> serial(kN);
+  for (std::int64_t i = 0; i < kN; ++i)
+    serial[static_cast<std::size_t>(i)] =
+        mix_index(static_cast<std::uint64_t>(i));
+  for (const int jobs : {2, 8}) {
+    std::vector<std::uint64_t> par(kN, 0);
+    parallel_for(jobs, 0, kN, [&par](std::int64_t i) {
+      par[static_cast<std::size_t>(i)] =
+          mix_index(static_cast<std::uint64_t>(i));
+    });
+    EXPECT_EQ(serial, par) << "diverged at jobs=" << jobs;
+  }
+}
+
+TEST(ChunkedParallelFor, RepeatedBatchesReuseOneSharedPool) {
+  // Many small batches back to back: with a transient pool this was
+  // 8 thread spawns per call; the shared pool spawns once per process.
+  ThreadPool& pool = shared_thread_pool();
+  EXPECT_EQ(&pool, &shared_thread_pool());
+  EXPECT_GE(pool.size(), 1);
+  std::atomic<std::int64_t> total{0};
+  for (int batch = 0; batch < 200; ++batch) {
+    parallel_for(8, 0, 64,
+                 [&total](std::int64_t i) { total.fetch_add(i + 1); });
+  }
+  EXPECT_EQ(total.load(), 200 * (64 * 65) / 2);
+}
+
+TEST(ChunkedParallelFor, FailuresAcrossChunksAggregateInIndexOrder) {
+  // Throwing indices spread across the whole range land in different
+  // chunks (20000 indices >> 4x8 chunks); every body must still run and
+  // one ParallelForError must list every failed index, sorted.
+  const std::vector<std::int64_t> bad = {3, 4097, 9998, 15000, 19999};
+  std::atomic<std::int64_t> ran{0};
+  try {
+    parallel_for(8, 0, 20000, [&](std::int64_t i) {
+      ran.fetch_add(1);
+      if (std::find(bad.begin(), bad.end(), i) != bad.end())
+        throw std::runtime_error("bad index " + std::to_string(i));
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), bad.size());
+    for (std::size_t k = 0; k < bad.size(); ++k) {
+      EXPECT_EQ(e.failures()[k].index, bad[k]);
+      EXPECT_EQ(e.failures()[k].message,
+                "bad index " + std::to_string(bad[k]));
+    }
+  }
+  EXPECT_EQ(ran.load(), 20000) << "a failure suppressed later bodies";
+}
+
+TEST(ChunkedParallelFor, ExplicitPoolOverloadStillAggregatesFailures) {
+  // The explicit-pool form is the test seam the convenience form builds
+  // on; its chunked path must keep the same contract.
+  ThreadPool pool(4);
+  try {
+    parallel_for(pool, 0, 10000, [](std::int64_t i) {
+      if (i % 2500 == 1) throw std::runtime_error("f" + std::to_string(i));
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const ParallelForError& e) {
+    ASSERT_EQ(e.failures().size(), 4u);
+    EXPECT_EQ(e.failures()[0].index, 1);
+    EXPECT_EQ(e.failures()[3].index, 7501);
   }
 }
 

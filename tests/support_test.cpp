@@ -340,12 +340,25 @@ TEST(ThreadPool, SharedPoolSupportsConcurrentParallelFors) {
 }
 
 TEST(ThreadPool, AbsurdJobCountIsClampedToRangeSize) {
-  // --jobs 100000 on a short range must not try to spawn 100000
-  // threads (which exhausts thread resources and aborts).
+  // --jobs 100000 on a short range must not try to use 100000 workers:
+  // the shared-pool path caps concurrency at the pool size and the
+  // range length, so no thread resources are ever spawned per call.
   std::vector<std::atomic<int>> seen(8);
   parallel_for(100000, 0, 8,
                [&seen](std::int64_t i) { seen[i].fetch_add(1); });
   for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(ThreadPool, SharedPoolIsOneProcessWideInstance) {
+  ThreadPool& pool = shared_thread_pool();
+  EXPECT_EQ(&pool, &shared_thread_pool());
+  EXPECT_GE(pool.size(), 1);
+  // And it executes work like any explicit pool.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
 }
 
 TEST(ThreadPool, EmptyRangeIsANoOp) {
