@@ -151,6 +151,12 @@ class MetricsRegistry {
 /// can plausibly span.
 [[nodiscard]] const std::vector<std::int64_t>& phase_latency_bounds_ns();
 
+/// Canonical bucket bounds (milliseconds) for serving-path wait
+/// histograms — admission-queue waits, retry backoffs, frame-transfer
+/// times: 1ms to ~4s in powers of two, the range bounded by the serving
+/// deadlines (docs/serving.md).
+[[nodiscard]] const std::vector<std::int64_t>& serve_wait_bounds_ms();
+
 /// The per-phase compile latency histogram, under its canonical name
 /// `sbmp_compile_phase_ns{phase="<phase>"}`. Every layer that times a
 /// pipeline phase resolves through here so the daemon's Prometheus dump,

@@ -205,6 +205,19 @@ const std::vector<std::int64_t>& phase_latency_bounds_ns() {
   return bounds;
 }
 
+const std::vector<std::int64_t>& serve_wait_bounds_ms() {
+  // 1ms .. ~4s in powers of two: queue waits and backoffs are bounded
+  // by the serving deadlines (hundreds of ms), so the whole operating
+  // range lands in real buckets and anything above is already an SLO
+  // violation worth a +Inf tick.
+  static const std::vector<std::int64_t> bounds = [] {
+    std::vector<std::int64_t> out;
+    for (std::int64_t b = 1; b <= 4096; b *= 2) out.push_back(b);
+    return out;
+  }();
+  return bounds;
+}
+
 Histogram* compile_phase_histogram(MetricsRegistry& registry,
                                    std::string_view phase) {
   std::string labels = "phase=\"";

@@ -1,0 +1,70 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "sbmp/support/deadline.h"
+#include "sbmp/support/status.h"
+
+namespace sbmp {
+
+/// Admission limits for the daemon's request path. Zero means
+/// unlimited, matching the CLI convention everywhere else in the tree.
+struct AdmissionOptions {
+  std::int64_t max_inflight = 0;    ///< concurrent compiles (0 = unlimited)
+  std::int64_t max_queue = 0;       ///< waiters beyond inflight (0 = none
+                                    ///< queue; only meaningful with
+                                    ///< max_inflight set)
+  std::int64_t queue_timeout_ms = 250;  ///< longest a waiter may queue
+};
+
+/// Bounded-concurrency gate with load-shedding. `admit()` either grants
+/// a slot, queues within bounds, or returns kOverloaded immediately —
+/// it never blocks past min(queue_timeout, caller deadline), so a
+/// saturated daemon degrades into fast typed refusals instead of a
+/// convoy of stuck clients.
+///
+/// The queue is LIFO: when a slot frees, the NEWEST waiter runs first.
+/// Under sustained overload FIFO serves every request after it has aged
+/// toward its deadline (everything times out: goodput → 0); LIFO serves
+/// fresh requests while they still have budget and sheds the stale tail
+/// — the standard adaptive-overload discipline.
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  /// Grants a slot, waiting up to min(options.queue_timeout_ms,
+  /// `deadline`) in the bounded queue. Returns ok on admission,
+  /// kOverloaded when shed (queue full or wait exhausted), kTimeout
+  /// when the caller's own deadline expired while queued. Every ok MUST
+  /// be paired with exactly one release().
+  [[nodiscard]] Status admit(const Deadline& deadline);
+
+  /// Releases a slot; hands it directly to the newest waiter if any.
+  void release();
+
+  struct Counters {
+    std::int64_t admitted = 0;
+    std::int64_t queued = 0;         ///< admissions that had to wait
+    std::int64_t shed_queue_full = 0;
+    std::int64_t shed_timeout = 0;   ///< queue_timeout or caller deadline
+    std::int64_t inflight = 0;       ///< current, not cumulative
+    std::int64_t queue_depth = 0;    ///< current, not cumulative
+  };
+  [[nodiscard]] Counters counters() const;
+
+ private:
+  struct Waiter {
+    std::condition_variable cv;
+    bool granted = false;
+  };
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::vector<Waiter*> queue_;  ///< back = newest = next granted
+  Counters counters_;
+};
+
+}  // namespace sbmp

@@ -1,10 +1,54 @@
 #pragma once
 
+#include <cstdint>
+#include <mutex>
 #include <string>
 
 #include "sbmp/serve/server.h"
+#include "sbmp/support/deadline.h"
+#include "sbmp/support/rng.h"
 
 namespace sbmp {
+
+/// True for the failure classes a client may retry: kTimeout,
+/// kUnavailable and kOverloaded. These are transient AND idempotent-safe
+/// — the daemon's compile is a pure function of (loop, options) and no
+/// partial result was accepted. Everything else is NOT retried: input /
+/// usage / validation failures would fail identically again, and a
+/// response that decoded but failed local re-validation (kInternal) is a
+/// daemon-integrity problem that a retry would merely repeat.
+[[nodiscard]] bool retryable_failure(const Status& status);
+
+/// Bounded retry with jittered exponential backoff. Attempt n (1-based)
+/// sleeps uniform(0, min(initial_backoff_ms << (n-1), max_backoff_ms))
+/// before retrying — full jitter, the discipline that avoids retry
+/// convoys when many clients see the same daemon hiccup.
+struct RetryPolicy {
+  int max_attempts = 3;               ///< total tries, first included
+  std::int64_t initial_backoff_ms = 10;
+  std::int64_t max_backoff_ms = 250;
+
+  [[nodiscard]] static RetryPolicy none() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// The backoff delay before retry number `attempt` (1 = first retry).
+/// Deterministic in `rng`; exposed for tests.
+[[nodiscard]] std::int64_t backoff_delay_ms(const RetryPolicy& policy,
+                                            int attempt, SplitMix64& rng);
+
+struct RemoteOptions {
+  std::string socket_path;
+  std::int64_t io_timeout_ms = 0;  ///< per-frame transfer budget (0 = none)
+  std::int64_t deadline_ms = 0;    ///< per-request budget covering every
+                                   ///< attempt, backoff included; also
+                                   ///< propagated to the daemon (0 = none)
+  RetryPolicy retry;
+  std::uint64_t jitter_seed = 0;   ///< 0 = seed from this
+};
 
 /// LoopCompiler that routes every compile through a running sbmpd
 /// daemon (`sbmpc --remote <socket>`).
@@ -16,10 +60,16 @@ namespace sbmp {
 /// a stale, corrupt or mismatched artifact produces a structured error,
 /// never a silently wrong report — and a healthy daemon produces a
 /// report byte-identical to a local run by the same construction.
+///
+/// Resilience: connection is lazy (first use), every frame moves under
+/// the io/deadline budgets, and compile() retries retryable_failure
+/// outcomes per RetryPolicy, reconnecting between attempts. A
+/// kOverloaded response is honored as backpressure — it backs off like
+/// any retry, it never tight-loops.
 class RemoteCompiler final : public LoopCompiler {
  public:
-  /// Connects eagerly; throws StatusError (kInput) when no daemon
-  /// listens at `socket_path`.
+  explicit RemoteCompiler(RemoteOptions options);
+  /// Convenience: default budgets and retries against `socket_path`.
   explicit RemoteCompiler(std::string socket_path);
   ~RemoteCompiler() override;
 
@@ -31,7 +81,8 @@ class RemoteCompiler final : public LoopCompiler {
                                    const PipelineOptions& options) override;
 
   /// Round-trips a ping frame; throws StatusError when the daemon does
-  /// not answer correctly.
+  /// not answer correctly. Single attempt (health probes should see
+  /// failures, not paper over them).
   void ping();
 
   /// Round-trips a STAT frame and returns the daemon's typed snapshot
@@ -39,9 +90,62 @@ class RemoteCompiler final : public LoopCompiler {
   /// failure or a stat-format version mismatch.
   [[nodiscard]] StatSnapshot stat();
 
+  struct Tallies {
+    std::int64_t retries = 0;     ///< attempts beyond the first
+    std::int64_t reconnects = 0;  ///< sockets re-dialed after a failure
+  };
+  [[nodiscard]] Tallies tallies() const;
+
  private:
-  std::string socket_path_;
+  /// Dials the socket if not connected. Returns kUnavailable on failure.
+  [[nodiscard]] Status ensure_connected();
+  void disconnect();
+  /// One request/response exchange on the current connection.
+  [[nodiscard]] Status roundtrip(FrameType request_type,
+                                 const std::string& payload,
+                                 FrameType expected_type, Frame* out,
+                                 const Deadline& deadline);
+
+  RemoteOptions options_;
+  mutable std::mutex mu_;  ///< one frame conversation at a time; concurrent
+                           ///< render workers sharing this compiler
+                           ///< serialize their round-trips here
   int fd_ = -1;
+  SplitMix64 jitter_;
+  Tallies tallies_;
+};
+
+/// Graceful degradation (`sbmpc --remote S --fallback-local`): compile
+/// through `primary`, and when it fails with a retryable (transient)
+/// class — its own retry budget already exhausted — compile through
+/// `fallback` instead. Non-transient failures pass through: bad input
+/// fails identically everywhere, and falling back would just pay for the
+/// same diagnosis twice.
+///
+/// A circuit breaker stops paying the primary's timeout tax under total
+/// outage: after `kBreakerThreshold` consecutive transient failures all
+/// traffic goes straight to the fallback (the breaker never half-opens
+/// within one process run — sbmpc is a batch tool, not a server).
+class FallbackCompiler final : public LoopCompiler {
+ public:
+  FallbackCompiler(LoopCompiler& primary, LoopCompiler& fallback);
+
+  using LoopCompiler::compile;
+  [[nodiscard]] LoopReport compile(const Loop& loop,
+                                   const PipelineOptions& options) override;
+
+  static constexpr int kBreakerThreshold = 3;
+
+  /// Compiles answered by the fallback (degradations).
+  [[nodiscard]] std::int64_t fallbacks() const;
+  [[nodiscard]] bool breaker_open() const;
+
+ private:
+  LoopCompiler& primary_;
+  LoopCompiler& fallback_;
+  mutable std::mutex mu_;
+  std::int64_t fallbacks_ = 0;
+  int consecutive_failures_ = 0;
 };
 
 }  // namespace sbmp

@@ -5,6 +5,8 @@
 #include <string_view>
 
 #include "sbmp/obs/metrics.h"
+#include "sbmp/serve/transport.h"
+#include "sbmp/support/deadline.h"
 #include "sbmp/support/status.h"
 
 namespace sbmp {
@@ -21,10 +23,12 @@ namespace sbmp {
 ///
 /// The magic's fourth byte IS the protocol revision: revision 'P' (the
 /// original "SBMP") spoke only compile/ping; revision '2' added the STAT
-/// introspection frames. A reader that sees "SBM" with a different
-/// fourth byte reports a clean version-mismatch Status instead of the
-/// generic bad-magic error, so mixed-version client/daemon pairs fail
-/// with an actionable message rather than a protocol mystery.
+/// introspection frames; revision '3' added the deadline_ms field to
+/// compile requests so a client's remaining budget propagates to the
+/// daemon. A reader that sees "SBM" with a different fourth byte reports
+/// a clean version-mismatch Status instead of the generic bad-magic
+/// error, so mixed-version client/daemon pairs fail with an actionable
+/// message rather than a protocol mystery.
 ///
 /// Payloads are RecordWriter records (sbmp/support/serialize.h), so the
 /// wire format shares the cache codec: a compile request carries the
@@ -36,7 +40,7 @@ namespace sbmp {
 
 /// Fourth magic byte. Bump whenever a frame type or payload schema
 /// changes incompatibly.
-inline constexpr char kProtocolRevision = '2';
+inline constexpr char kProtocolRevision = '3';
 
 enum class FrameType : std::uint32_t {
   kCompileRequest = 1,
@@ -53,17 +57,37 @@ struct Frame {
 };
 
 /// Frames larger than this are refused as malformed — a daemon must not
-/// be made to allocate unbounded memory by one bad client.
+/// be made to allocate unbounded memory by one bad client. The refusal
+/// is typed: the reader returns StatusCode::kFrameTooLarge, and the
+/// daemon answers with a kFrameTooLarge compile-response Status before
+/// closing (a length-prefixed stream cannot be resynchronised past an
+/// untrusted length).
 inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
 
-/// Writes one frame to `fd`, handling partial writes and EINTR.
+/// Writes one frame, handling partial writes and EINTR. The deadline
+/// covers the whole frame: a peer that stops draining its socket yields
+/// kTimeout, not a wedged writer.
+[[nodiscard]] Status write_frame(Transport& transport, FrameType type,
+                                 std::string_view payload,
+                                 const Deadline& deadline);
+
+/// Reads one frame within the deadline. Failure classes:
+///  * clean EOF before any byte — kUnavailable with stage "eof" (the
+///    peer hung up between frames; the daemon treats this as
+///    end-of-session, not an error);
+///  * EOF mid-frame (truncated) or a transport error — kUnavailable,
+///    the retryable class: no partial result was accepted;
+///  * deadline expiry — kTimeout;
+///  * declared payload beyond kMaxFramePayload — kFrameTooLarge;
+///  * bad magic / unknown revision — kInput (malformed, never retried).
+[[nodiscard]] Status read_frame(Transport& transport, Frame* out,
+                                const Deadline& deadline);
+
+/// Untimed fd conveniences (wrap the fd in FdTransport with an infinite
+/// deadline). Test plumbing and trusted in-process pairs only; the
+/// serving path always passes a Deadline.
 [[nodiscard]] Status write_frame(int fd, FrameType type,
                                  std::string_view payload);
-
-/// Reads one frame from `fd`. A clean EOF before any byte returns
-/// kInput with stage "eof" (the peer hung up between frames, which the
-/// daemon treats as end-of-session, not an error); anything torn
-/// mid-frame is a protocol error.
 [[nodiscard]] Status read_frame(int fd, Frame* out);
 
 /// Creates, binds and listens on a Unix-domain socket at `path`
@@ -71,18 +95,26 @@ inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
 /// through `out_fd`.
 [[nodiscard]] Status listen_unix(const std::string& path, int* out_fd);
 
-/// Connects to the daemon's socket; returns the connected fd.
+/// Connects to the daemon's socket; returns the connected fd. Failure
+/// is kUnavailable — the daemon not running is a transient, retryable
+/// condition, not bad input.
 [[nodiscard]] Status connect_unix(const std::string& path, int* out_fd);
 
-/// Builds a compile-request payload (options record + loop source) and
-/// parses it back. The loop travels as canonical LoopLang source — the
-/// same rendering the cache fingerprints — so client and server agree
-/// on the loop identity byte for byte.
+/// Builds a compile-request payload (options record + loop source +
+/// deadline) and parses it back. The loop travels as canonical LoopLang
+/// source — the same rendering the cache fingerprints — so client and
+/// server agree on the loop identity byte for byte. `deadline_ms` is the
+/// client's remaining budget for this request (0 = none): the daemon
+/// starts its own Deadline from it on receipt, so a request that has
+/// already missed its budget is answered kTimeout instead of compiled
+/// into a response nobody is waiting for.
 [[nodiscard]] std::string encode_compile_request(
-    const std::string& options_payload, std::string_view loop_source);
+    const std::string& options_payload, std::string_view loop_source,
+    std::int64_t deadline_ms = 0);
 [[nodiscard]] Status decode_compile_request(const std::string& payload,
                                             std::string* options_payload,
-                                            std::string* loop_source);
+                                            std::string* loop_source,
+                                            std::int64_t* deadline_ms = nullptr);
 
 /// Builds a compile-response payload (status + encoded report; the
 /// report payload is empty when the status is non-ok) and parses it

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+
+#include "sbmp/serve/admission.h"
+#include "sbmp/serve/server.h"
+#include "sbmp/serve/transport.h"
+
+namespace sbmp {
+
+/// Per-connection budgets for serve_session. Zero disables a limit,
+/// matching the CLI convention.
+struct SessionLimits {
+  std::int64_t io_timeout_ms = 0;    ///< budget for moving one frame
+  std::int64_t idle_timeout_ms = 0;  ///< budget between frames (reaper)
+  std::int64_t max_requests = 0;     ///< compile requests per connection
+};
+
+/// Why a session ended — the daemon logs it, tests assert on it.
+enum class SessionEnd {
+  kPeerClosed,    ///< clean EOF between frames
+  kIdleTimeout,   ///< no frame arrived within idle_timeout_ms
+  kIoError,       ///< transport failure / torn frame / write timeout
+  kProtocolError, ///< malformed frame (bad magic, unknown type, ...)
+  kFrameTooLarge, ///< peer declared an oversized frame (typed refusal sent)
+  kRequestLimit,  ///< max_requests served; peer must reconnect
+};
+
+/// One serving session: frames in, frames out, until the peer hangs up,
+/// misbehaves, or exhausts a limit. This is the daemon's whole
+/// per-connection logic as a library function, so sbmpd, tests and the
+/// chaos harness exercise the identical code path.
+///
+/// Robustness contract:
+///  * every compile request is answered with a typed compile-response
+///    Status — shed (kOverloaded via `admission`), expired deadline
+///    (kTimeout), refused pipeline, malformed payload — the session
+///    only ends without a response when the transport itself fails;
+///  * an oversized frame draws a kFrameTooLarge response, then the
+///    session ends (a length-prefixed stream cannot resync past an
+///    untrusted length);
+///  * the request's deadline_ms field bounds the server-side work: a
+///    request that arrives already expired is answered kTimeout without
+///    compiling;
+///  * no call blocks past the limits — a stalled peer costs
+///    io_timeout_ms, a silent one idle_timeout_ms, never a thread.
+///
+/// `admission` may be nullptr (no admission control, e.g. trusted
+/// in-process callers).
+SessionEnd serve_session(ScheduleServer& server, AdmissionController* admission,
+                         Transport& transport, const SessionLimits& limits);
+
+/// Answers one compile request payload; never throws. Any failure —
+/// malformed request, unparsable loop, pipeline refusal, expired
+/// deadline, shed — travels back as the response payload's Status.
+/// Exposed for the daemon's metrics hook and for direct tests.
+[[nodiscard]] std::string handle_compile_request(
+    ScheduleServer& server, AdmissionController* admission,
+    const std::string& payload);
+
+}  // namespace sbmp

@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sbmp/support/deadline.h"
+#include "sbmp/support/rng.h"
+#include "sbmp/support/status.h"
+
+namespace sbmp {
+
+/// Byte-stream seam under the frame protocol. Production traffic flows
+/// through FdTransport (poll-based timed socket I/O); the chaos harness
+/// interposes FaultyTransport to inject the whole adversarial envelope
+/// — stalls, truncations, disconnects, corruption, short reads/writes —
+/// without touching kernel state, so `bench_serve --chaos` can assert
+/// the never-hang/never-wrong-bytes invariant deterministically.
+///
+/// Contract shared by every implementation:
+///  * read_some returns between 1 and `cap` bytes through `*got`;
+///    `*got == 0` with an ok Status is clean EOF (the peer hung up).
+///  * write_some accepts between 1 and `size` bytes through `*put`
+///    (short writes are normal; callers loop).
+///  * A deadline that expires mid-call yields StatusCode::kTimeout.
+///  * Transport-level failures (reset, refused, EPIPE) yield
+///    StatusCode::kUnavailable — the retryable class — never process
+///    death: implementations suppress SIGPIPE (MSG_NOSIGNAL) and retry
+///    EINTR internally.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  [[nodiscard]] virtual Status read_some(char* buf, std::size_t cap,
+                                         std::size_t* got,
+                                         const Deadline& deadline) = 0;
+  [[nodiscard]] virtual Status write_some(const char* buf, std::size_t size,
+                                          std::size_t* put,
+                                          const Deadline& deadline) = 0;
+};
+
+/// The production transport: a connected socket fd (not owned). Reads
+/// and writes poll() first so every byte moved is covered by the
+/// caller's Deadline; EINTR storms are absorbed by retrying both the
+/// poll and the transfer syscall.
+class FdTransport final : public Transport {
+ public:
+  explicit FdTransport(int fd) : fd_(fd) {}
+
+  [[nodiscard]] Status read_some(char* buf, std::size_t cap, std::size_t* got,
+                                 const Deadline& deadline) override;
+  [[nodiscard]] Status write_some(const char* buf, std::size_t size,
+                                  std::size_t* put,
+                                  const Deadline& deadline) override;
+
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Per-operation fault probabilities (percent, 0-100) for
+/// FaultyTransport. Stalls model a slow or wedged peer; truncation a
+/// peer that dies mid-frame (clean FIN); disconnects a reset connection;
+/// corruption a misbehaving peer or broken middlebox; shorts exercise
+/// every partial-read/partial-write loop.
+struct NetFaults {
+  int stall_pct = 0;       ///< sleep before the operation
+  int stall_ms = 20;       ///< maximum stall length (uniform 1..stall_ms)
+  int truncate_pct = 0;    ///< sticky: reads hit EOF from now on
+  int disconnect_pct = 0;  ///< sticky: both directions fail kUnavailable
+  int corrupt_pct = 0;     ///< flip one bit in a delivered read
+  int short_pct = 0;       ///< cap this transfer at a few bytes
+
+  /// The preset the chaos campaign runs: every fault class armed at
+  /// rates that keep most requests completing (so wrong-bytes bugs have
+  /// traffic to hide in) while every trial batch still sees faults.
+  [[nodiscard]] static NetFaults chaos() {
+    NetFaults f;
+    f.stall_pct = 10;
+    f.stall_ms = 5;
+    f.truncate_pct = 4;
+    f.disconnect_pct = 4;
+    f.corrupt_pct = 4;
+    f.short_pct = 25;
+    return f;
+  }
+};
+
+/// Seeded fault-injecting wrapper around another Transport. All
+/// randomness comes from one SplitMix64, so a (seed, traffic) pair
+/// replays bit-identically — a failing chaos trial is a reproducible
+/// test case, not an anecdote. Truncation and disconnection are sticky,
+/// like the real conditions they model: a dead socket stays dead.
+class FaultyTransport final : public Transport {
+ public:
+  FaultyTransport(Transport& inner, const NetFaults& faults,
+                  std::uint64_t seed)
+      : inner_(inner), faults_(faults), rng_(seed) {}
+
+  [[nodiscard]] Status read_some(char* buf, std::size_t cap, std::size_t* got,
+                                 const Deadline& deadline) override;
+  [[nodiscard]] Status write_some(const char* buf, std::size_t size,
+                                  std::size_t* put,
+                                  const Deadline& deadline) override;
+
+  struct Injected {
+    std::int64_t stalls = 0;
+    std::int64_t truncations = 0;
+    std::int64_t disconnects = 0;
+    std::int64_t corruptions = 0;
+    std::int64_t shorts = 0;
+    [[nodiscard]] std::int64_t total() const {
+      return stalls + truncations + disconnects + corruptions + shorts;
+    }
+  };
+  [[nodiscard]] const Injected& injected() const { return injected_; }
+
+ private:
+  void maybe_stall();
+
+  Transport& inner_;
+  NetFaults faults_;
+  SplitMix64 rng_;
+  Injected injected_;
+  bool dead_ = false;       ///< disconnect fired
+  bool truncated_ = false;  ///< truncation fired
+};
+
+}  // namespace sbmp

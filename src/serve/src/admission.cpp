@@ -1,0 +1,90 @@
+#include "sbmp/serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace sbmp {
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {}
+
+Status AdmissionController::admit(const Deadline& deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.max_inflight <= 0 ||
+      counters_.inflight < options_.max_inflight) {
+    ++counters_.inflight;
+    ++counters_.admitted;
+    return Status::okay();
+  }
+  if (options_.max_queue <= 0 ||
+      counters_.queue_depth >= options_.max_queue) {
+    ++counters_.shed_queue_full;
+    return Status::error(StatusCode::kOverloaded, "admission",
+                         "daemon at capacity (inflight " +
+                             std::to_string(counters_.inflight) + ", queue " +
+                             std::to_string(counters_.queue_depth) + ")");
+  }
+
+  Waiter self;
+  queue_.push_back(&self);
+  ++counters_.queue_depth;
+  ++counters_.queued;
+  // queue_timeout_ms <= 0 means the wait is bounded only by the
+  // caller's own deadline (after_ms_opt's 0-disables convention).
+  const Deadline wait_deadline =
+      deadline.earlier(Deadline::after_ms_opt(options_.queue_timeout_ms));
+  while (!self.granted) {
+    if (wait_deadline.is_infinite()) {
+      self.cv.wait(lock);
+      continue;
+    }
+    const auto budget = std::chrono::milliseconds(
+        std::max<std::int64_t>(wait_deadline.remaining_ms(), 0));
+    if (self.cv.wait_for(lock, budget) == std::cv_status::timeout &&
+        !self.granted && wait_deadline.expired()) {
+      // Not granted in time: pull ourselves out of the queue. release()
+      // can race us to the grant — it signals under the same mutex, so
+      // after reacquiring the lock `granted` is authoritative.
+      queue_.erase(std::remove(queue_.begin(), queue_.end(), &self),
+                   queue_.end());
+      --counters_.queue_depth;
+      const bool caller_expired = deadline.expired();
+      if (caller_expired) {
+        ++counters_.shed_timeout;
+        return Status::error(StatusCode::kTimeout, "admission",
+                             "request deadline expired while queued");
+      }
+      ++counters_.shed_timeout;
+      return Status::error(
+          StatusCode::kOverloaded, "admission",
+          "queued " + std::to_string(options_.queue_timeout_ms) +
+              " ms without a slot; shedding");
+    }
+  }
+  // Granted: release() already transferred the slot (inflight stays
+  // constant) and removed us from the queue.
+  ++counters_.admitted;
+  return Status::okay();
+}
+
+void AdmissionController::release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!queue_.empty()) {
+    // LIFO: hand the slot to the NEWEST waiter — it has the most
+    // remaining deadline budget. inflight is unchanged (slot transfer).
+    Waiter* next = queue_.back();
+    queue_.pop_back();
+    --counters_.queue_depth;
+    next->granted = true;
+    next->cv.notify_one();
+    return;
+  }
+  --counters_.inflight;
+}
+
+AdmissionController::Counters AdmissionController::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace sbmp

@@ -50,35 +50,39 @@ std::uint64_t get_u64(const char* in) {
   return v;
 }
 
-Status write_all(int fd, const char* data, std::size_t size) {
+Status write_all(Transport& transport, const char* data, std::size_t size,
+                 const Deadline& deadline) {
   std::size_t sent = 0;
   while (sent < size) {
-    const ssize_t n = ::write(fd, data + sent, size - sent);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return sys_error("socket write failed");
-    }
-    sent += static_cast<std::size_t>(n);
+    std::size_t put = 0;
+    if (Status s = transport.write_some(data + sent, size - sent, &put,
+                                        deadline);
+        !s.ok())
+      return s;
+    sent += put;
   }
   return Status::okay();
 }
 
 /// Reads exactly `size` bytes. `*eof_ok` in: whether a clean EOF before
 /// the first byte is acceptable; out: whether that clean EOF happened.
-Status read_all(int fd, char* data, std::size_t size, bool* eof_ok) {
+/// EOF mid-frame is a truncated stream: kUnavailable (retryable — no
+/// partial result was accepted), never a hang.
+Status read_all(Transport& transport, char* data, std::size_t size,
+                bool* eof_ok, const Deadline& deadline) {
   std::size_t got = 0;
   while (got < size) {
-    const ssize_t n = ::read(fd, data + got, size - got);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return sys_error("socket read failed");
-    }
+    std::size_t n = 0;
+    if (Status s = transport.read_some(data + got, size - got, &n, deadline);
+        !s.ok())
+      return s;
     if (n == 0) {
       if (got == 0 && eof_ok != nullptr && *eof_ok) return Status::okay();
-      return proto_error("peer closed the connection mid-frame");
+      return Status::error(StatusCode::kUnavailable, "protocol",
+                           "peer closed the connection mid-frame");
     }
     if (eof_ok != nullptr) *eof_ok = false;
-    got += static_cast<std::size_t>(n);
+    got += n;
   }
   if (eof_ok != nullptr) *eof_ok = false;
   return Status::okay();
@@ -86,21 +90,33 @@ Status read_all(int fd, char* data, std::size_t size, bool* eof_ok) {
 
 }  // namespace
 
-Status write_frame(int fd, FrameType type, std::string_view payload) {
-  char header[kHeaderSize];
-  std::memcpy(header, kMagic, 4);
-  put_u32(header + 4, static_cast<std::uint32_t>(type));
-  put_u64(header + 8, payload.size());
-  if (Status s = write_all(fd, header, kHeaderSize); !s.ok()) return s;
-  return write_all(fd, payload.data(), payload.size());
+Status write_frame(Transport& transport, FrameType type,
+                   std::string_view payload, const Deadline& deadline) {
+  // One contiguous buffer so the header and payload share write_some
+  // calls — fewer syscalls, and fault injection perturbs the whole
+  // frame uniformly.
+  std::string wire;
+  wire.resize(kHeaderSize + payload.size());
+  std::memcpy(wire.data(), kMagic, 4);
+  put_u32(wire.data() + 4, static_cast<std::uint32_t>(type));
+  put_u64(wire.data() + 8, payload.size());
+  std::memcpy(wire.data() + kHeaderSize, payload.data(), payload.size());
+  return write_all(transport, wire.data(), wire.size(), deadline);
 }
 
-Status read_frame(int fd, Frame* out) {
+Status write_frame(int fd, FrameType type, std::string_view payload) {
+  FdTransport transport(fd);
+  return write_frame(transport, type, payload, Deadline());
+}
+
+Status read_frame(Transport& transport, Frame* out, const Deadline& deadline) {
   char header[kHeaderSize];
   bool clean_eof = true;
-  if (Status s = read_all(fd, header, kHeaderSize, &clean_eof); !s.ok())
+  if (Status s = read_all(transport, header, kHeaderSize, &clean_eof, deadline);
+      !s.ok())
     return s;
-  if (clean_eof) return Status::error(StatusCode::kInput, "eof", "peer hung up");
+  if (clean_eof)
+    return Status::error(StatusCode::kUnavailable, "eof", "peer hung up");
   if (std::memcmp(header, kMagic, 4) != 0) {
     // An sbmpd peer of a different protocol revision shares the "SBM"
     // prefix; tell the operator which revisions disagree instead of
@@ -118,13 +134,20 @@ Status read_frame(int fd, Frame* out) {
     return proto_error("unknown frame type " + std::to_string(type));
   const std::uint64_t length = get_u64(header + 8);
   if (length > kMaxFramePayload)
-    return proto_error("frame payload of " + std::to_string(length) +
-                       " bytes exceeds the " +
-                       std::to_string(kMaxFramePayload) + "-byte cap");
+    return Status::error(StatusCode::kFrameTooLarge, "protocol",
+                         "frame payload of " + std::to_string(length) +
+                             " bytes exceeds the " +
+                             std::to_string(kMaxFramePayload) + "-byte cap");
   out->type = static_cast<FrameType>(type);
   out->payload.resize(static_cast<std::size_t>(length));
   if (length == 0) return Status::okay();
-  return read_all(fd, out->payload.data(), out->payload.size(), nullptr);
+  return read_all(transport, out->payload.data(), out->payload.size(), nullptr,
+                  deadline);
+}
+
+Status read_frame(int fd, Frame* out) {
+  FdTransport transport(fd);
+  return read_frame(transport, out, Deadline());
 }
 
 Status listen_unix(const std::string& path, int* out_fd) {
@@ -160,8 +183,10 @@ Status connect_unix(const std::string& path, int* out_fd) {
   if (fd < 0) return sys_error("cannot create socket");
   if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
+    // Daemon-not-running is a transient, retryable condition (the
+    // RetryPolicy and --fallback-local both key on kUnavailable).
     const Status s = Status::error(
-        StatusCode::kInput, "protocol",
+        StatusCode::kUnavailable, "protocol",
         "cannot connect to sbmpd at '" + path + "': " + std::strerror(errno));
     ::close(fd);
     return s;
@@ -171,20 +196,27 @@ Status connect_unix(const std::string& path, int* out_fd) {
 }
 
 std::string encode_compile_request(const std::string& options_payload,
-                                   std::string_view loop_source) {
+                                   std::string_view loop_source,
+                                   std::int64_t deadline_ms) {
   RecordWriter w;
   w.add_string("options", options_payload);
   w.add_string("loop", loop_source);
+  w.add_int("deadline_ms", deadline_ms);  // revision '3' field; 0 = none
   return w.finish();
 }
 
 Status decode_compile_request(const std::string& payload,
                               std::string* options_payload,
-                              std::string* loop_source) {
+                              std::string* loop_source,
+                              std::int64_t* deadline_ms) {
   RecordReader r;
   if (Status s = RecordReader::open(payload, &r); !s.ok()) return s;
   if (Status s = r.read_string("options", options_payload); !s.ok()) return s;
   if (Status s = r.read_string("loop", loop_source); !s.ok()) return s;
+  std::int64_t budget = 0;
+  if (Status s = r.read_int("deadline_ms", &budget); !s.ok()) return s;
+  if (budget < 0) return proto_error("negative deadline_ms in compile request");
+  if (deadline_ms != nullptr) *deadline_ms = budget;
   if (!r.at_end()) return proto_error("trailing fields in compile request");
   return Status::okay();
 }
@@ -205,7 +237,7 @@ Status decode_compile_response(const std::string& payload, Status* status,
   if (Status s = RecordReader::open(payload, &r); !s.ok()) return s;
   std::int64_t code = 0;
   if (Status s = r.read_int("code", &code); !s.ok()) return s;
-  if (code < 0 || code > static_cast<std::int64_t>(StatusCode::kInternal))
+  if (code < 0 || code > static_cast<std::int64_t>(kMaxStatusCode))
     return proto_error("response carries unknown status code " +
                        std::to_string(code));
   status->code = static_cast<StatusCode>(code);

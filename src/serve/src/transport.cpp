@@ -1,0 +1,170 @@
+#include "sbmp/serve/transport.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+namespace sbmp {
+
+namespace {
+
+Status timeout_error(const char* what) {
+  return Status::error(StatusCode::kTimeout, "deadline",
+                       std::string(what) + " timed out");
+}
+
+Status transport_error(const char* what) {
+  return Status::error(StatusCode::kUnavailable, "transport",
+                       std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Waits for `events` on `fd` within the deadline. EINTR recomputes the
+/// remaining budget and retries, so a signal storm costs time, never
+/// correctness.
+Status poll_ready(int fd, short events, const Deadline& deadline,
+                  const char* what) {
+  for (;;) {
+    if (deadline.expired()) return timeout_error(what);
+    pollfd p{};
+    p.fd = fd;
+    p.events = events;
+    const int n = ::poll(&p, 1, deadline.poll_timeout_ms());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return transport_error(what);
+    }
+    if (n == 0) return timeout_error(what);
+    // POLLERR/POLLHUP fall through to the transfer syscall, which
+    // reports the precise condition (EOF vs reset).
+    return Status::okay();
+  }
+}
+
+}  // namespace
+
+Status FdTransport::read_some(char* buf, std::size_t cap, std::size_t* got,
+                              const Deadline& deadline) {
+  *got = 0;
+  if (cap == 0) return Status::okay();
+  if (Status s = poll_ready(fd_, POLLIN, deadline, "socket read"); !s.ok())
+    return s;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n >= 0) {
+      *got = static_cast<std::size_t>(n);  // 0 = clean EOF
+      return Status::okay();
+    }
+    if (errno == EINTR) continue;
+    if (errno == ENOTSOCK) {
+      // Plain-fd fallback (tests may frame over pipes).
+      const ssize_t m = ::read(fd_, buf, cap);
+      if (m >= 0) {
+        *got = static_cast<std::size_t>(m);
+        return Status::okay();
+      }
+      if (errno == EINTR) continue;
+    }
+    return transport_error("socket read failed");
+  }
+}
+
+Status FdTransport::write_some(const char* buf, std::size_t size,
+                               std::size_t* put, const Deadline& deadline) {
+  *put = 0;
+  if (size == 0) return Status::okay();
+  if (Status s = poll_ready(fd_, POLLOUT, deadline, "socket write"); !s.ok())
+    return s;
+  for (;;) {
+    // MSG_NOSIGNAL: a vanished peer must surface as a Status
+    // (kUnavailable via EPIPE), never as SIGPIPE process death.
+    const ssize_t n = ::send(fd_, buf, size, MSG_NOSIGNAL);
+    if (n >= 0) {
+      *put = static_cast<std::size_t>(n);
+      return Status::okay();
+    }
+    if (errno == EINTR) continue;
+    if (errno == ENOTSOCK) {
+      const ssize_t m = ::write(fd_, buf, size);
+      if (m >= 0) {
+        *put = static_cast<std::size_t>(m);
+        return Status::okay();
+      }
+      if (errno == EINTR) continue;
+    }
+    return transport_error("socket write failed");
+  }
+}
+
+void FaultyTransport::maybe_stall() {
+  if (faults_.stall_pct > 0 && rng_.chance(faults_.stall_pct)) {
+    ++injected_.stalls;
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        rng_.range(1, faults_.stall_ms > 0 ? faults_.stall_ms : 1)));
+  }
+}
+
+Status FaultyTransport::read_some(char* buf, std::size_t cap,
+                                  std::size_t* got,
+                                  const Deadline& deadline) {
+  *got = 0;
+  maybe_stall();
+  if (dead_)
+    return Status::error(StatusCode::kUnavailable, "transport",
+                         "injected disconnect");
+  if (truncated_) return Status::okay();  // sticky EOF
+  if (faults_.disconnect_pct > 0 && rng_.chance(faults_.disconnect_pct)) {
+    ++injected_.disconnects;
+    dead_ = true;
+    return Status::error(StatusCode::kUnavailable, "transport",
+                         "injected disconnect");
+  }
+  if (faults_.truncate_pct > 0 && rng_.chance(faults_.truncate_pct)) {
+    ++injected_.truncations;
+    truncated_ = true;
+    return Status::okay();  // EOF now and forever
+  }
+  std::size_t effective = cap;
+  if (cap > 1 && faults_.short_pct > 0 && rng_.chance(faults_.short_pct)) {
+    ++injected_.shorts;
+    effective = static_cast<std::size_t>(
+        rng_.range(1, static_cast<std::int64_t>(cap > 8 ? 8 : cap)));
+  }
+  if (Status s = inner_.read_some(buf, effective, got, deadline); !s.ok())
+    return s;
+  if (*got > 0 && faults_.corrupt_pct > 0 && rng_.chance(faults_.corrupt_pct)) {
+    ++injected_.corruptions;
+    const std::size_t at = static_cast<std::size_t>(
+        rng_.range(0, static_cast<std::int64_t>(*got) - 1));
+    buf[at] = static_cast<char>(buf[at] ^ (1 << rng_.range(0, 7)));
+  }
+  return Status::okay();
+}
+
+Status FaultyTransport::write_some(const char* buf, std::size_t size,
+                                   std::size_t* put,
+                                   const Deadline& deadline) {
+  *put = 0;
+  maybe_stall();
+  if (dead_ || truncated_)
+    return Status::error(StatusCode::kUnavailable, "transport",
+                         "injected disconnect");
+  if (faults_.disconnect_pct > 0 && rng_.chance(faults_.disconnect_pct)) {
+    ++injected_.disconnects;
+    dead_ = true;
+    return Status::error(StatusCode::kUnavailable, "transport",
+                         "injected disconnect");
+  }
+  std::size_t effective = size;
+  if (size > 1 && faults_.short_pct > 0 && rng_.chance(faults_.short_pct)) {
+    ++injected_.shorts;
+    effective = static_cast<std::size_t>(
+        rng_.range(1, static_cast<std::int64_t>(size > 8 ? 8 : size)));
+  }
+  return inner_.write_some(buf, effective, put, deadline);
+}
+
+}  // namespace sbmp

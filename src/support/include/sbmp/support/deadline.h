@@ -1,0 +1,84 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace sbmp {
+
+/// A monotonic time budget for an operation. Deadlines — not timeouts —
+/// are the primitive that composes: a per-request budget set at the top
+/// of a compile propagates down through every frame read and write (and
+/// over the wire to the daemon), each layer asking "how long do *I* have
+/// left" instead of re-granting itself a fresh allowance. Built on
+/// steady_clock so wall-clock adjustments can never extend or collapse
+/// a budget.
+///
+/// The default-constructed Deadline is infinite (no limit), which keeps
+/// every pre-deadline call site's behavior when one is threaded through.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No limit.
+  constexpr Deadline() = default;
+
+  [[nodiscard]] static Deadline infinite() { return Deadline(); }
+
+  [[nodiscard]] static Deadline after_ms(std::int64_t ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  /// The CLI idiom: a positive budget arms a deadline, 0 (or negative)
+  /// means "no limit" — so `--io-timeout-ms 0` disables the budget.
+  [[nodiscard]] static Deadline after_ms_opt(std::int64_t ms) {
+    return ms > 0 ? after_ms(ms) : infinite();
+  }
+
+  [[nodiscard]] bool is_infinite() const { return infinite_; }
+
+  [[nodiscard]] bool expired() const {
+    return !infinite_ && Clock::now() >= at_;
+  }
+
+  /// Remaining budget, clamped to >= 0. Callers must check
+  /// is_infinite() first if "unbounded" and "out of time" differ.
+  [[nodiscard]] std::int64_t remaining_ms() const {
+    if (infinite_) return 0;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        at_ - Clock::now());
+    return left.count() > 0 ? left.count() : 0;
+  }
+
+  /// The timeout argument for poll(2): -1 blocks forever (infinite
+  /// deadline). A sub-millisecond remainder rounds up to 1ms so a
+  /// nearly-expired deadline polls once instead of busy-spinning, and
+  /// the value is clamped into int range.
+  [[nodiscard]] int poll_timeout_ms() const {
+    if (infinite_) return -1;
+    if (expired()) return 0;
+    const std::int64_t ms = remaining_ms();
+    if (ms <= 0) return 1;
+    if (ms > 0x7fffffff) return 0x7fffffff;
+    return static_cast<int>(ms);
+  }
+
+  /// The earlier (stricter) of two deadlines — how an io budget and a
+  /// request budget fold at a frame boundary.
+  [[nodiscard]] Deadline earlier(const Deadline& other) const {
+    if (infinite_) return other;
+    if (other.infinite_) return *this;
+    Deadline d;
+    d.infinite_ = false;
+    d.at_ = at_ < other.at_ ? at_ : other.at_;
+    return d;
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point at_{};
+};
+
+}  // namespace sbmp

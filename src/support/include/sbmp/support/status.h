@@ -15,13 +15,30 @@ namespace sbmp {
 /// input), 2 = usage error, 3 = validation failure (a produced schedule
 /// failed the cross-layer validator), 4 = internal error (a stage threw
 /// something the input does not explain).
+///
+/// Codes 5-8 are the serving-path failure classes (docs/serving.md,
+/// "Failure modes & degradation"): they only reach a process exit code
+/// through `sbmpc --remote` without `--fallback-local`, and they are the
+/// codes the client's RetryPolicy keys on — kTimeout, kUnavailable and
+/// kOverloaded are transient (retry-safe: the daemon's compile is
+/// idempotent and no partial result was accepted), everything at or
+/// below kInternal is not.
 enum class StatusCode : int {
   kOk = 0,
   kInput = 1,
   kUsage = 2,
   kValidation = 3,
   kInternal = 4,
+  kTimeout = 5,       ///< a Deadline expired before the operation finished
+  kUnavailable = 6,   ///< transport failure: connect refused, peer vanished,
+                      ///< frame truncated mid-stream
+  kOverloaded = 7,    ///< daemon shed the request (admission control);
+                      ///< retry with backoff, never immediately
+  kFrameTooLarge = 8, ///< peer sent a frame beyond kMaxFramePayload
 };
+
+/// Largest valid StatusCode value; wire decoders bound-check against it.
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kFrameTooLarge;
 
 [[nodiscard]] const char* status_code_name(StatusCode code);
 

@@ -14,6 +14,14 @@ const char* status_code_name(StatusCode code) {
       return "validation error";
     case StatusCode::kInternal:
       return "internal error";
+    case StatusCode::kTimeout:
+      return "deadline exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kOverloaded:
+      return "overloaded";
+    case StatusCode::kFrameTooLarge:
+      return "frame too large";
   }
   return "unknown";
 }

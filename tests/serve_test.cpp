@@ -12,7 +12,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <string>
@@ -22,12 +24,18 @@
 #include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
 #include "sbmp/frontend/parser.h"
+#include "sbmp/serve/admission.h"
+#include "sbmp/serve/client.h"
 #include "sbmp/serve/codec.h"
 #include "sbmp/serve/disk_cache.h"
 #include "sbmp/serve/protocol.h"
 #include "sbmp/serve/server.h"
+#include "sbmp/serve/session.h"
+#include "sbmp/serve/transport.h"
+#include "sbmp/support/deadline.h"
 #include "sbmp/support/hash.h"
 #include "sbmp/support/io.h"
+#include "sbmp/support/rng.h"
 #include "sbmp/support/serialize.h"
 
 namespace sbmp {
@@ -722,10 +730,663 @@ TEST(ScheduleServerTest, InjectedRegistryIsTheOnePublishedOn) {
   EXPECT_EQ(&server.metrics(), &registry);
   (void)server.compile(parse_single_loop_or_throw(kPaperExample),
                        codec_options());
-  const MetricSample* requests =
-      registry.snapshot().find("sbmp_server_requests_total");
+  const MetricsSnapshot snapshot = registry.snapshot();
+  const MetricSample* requests = snapshot.find("sbmp_server_requests_total");
   ASSERT_NE(requests, nullptr);
   EXPECT_EQ(requests->value, 1);
+}
+
+// --- deadlines -------------------------------------------------------
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.poll_timeout_ms(), -1);  // poll(2) blocks forever
+}
+
+TEST(DeadlineTest, ZeroOptMeansNoLimitPositiveArms) {
+  EXPECT_TRUE(Deadline::after_ms_opt(0).is_infinite());
+  EXPECT_TRUE(Deadline::after_ms_opt(-5).is_infinite());
+  const Deadline armed = Deadline::after_ms_opt(60000);
+  EXPECT_FALSE(armed.is_infinite());
+  EXPECT_FALSE(armed.expired());
+  EXPECT_GT(armed.remaining_ms(), 0);
+  EXPECT_LE(armed.remaining_ms(), 60000);
+}
+
+TEST(DeadlineTest, ExpiresAndClampsRemainingToZero) {
+  const Deadline d = Deadline::after_ms(0);
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_ms(), 0);
+  EXPECT_EQ(d.poll_timeout_ms(), 0);
+}
+
+TEST(DeadlineTest, EarlierPicksTheStricterBudget) {
+  const Deadline tight = Deadline::after_ms(1);
+  const Deadline loose = Deadline::after_ms(60000);
+  EXPECT_LE(tight.earlier(loose).remaining_ms(), tight.remaining_ms());
+  EXPECT_LE(loose.earlier(tight).remaining_ms(), 1);
+  // Infinite folds away: the finite side always wins.
+  EXPECT_FALSE(Deadline().earlier(tight).is_infinite());
+  EXPECT_FALSE(tight.earlier(Deadline()).is_infinite());
+  EXPECT_TRUE(Deadline().earlier(Deadline()).is_infinite());
+}
+
+// --- retry classification & backoff ----------------------------------
+
+TEST(RetryTest, OnlyTransientIdempotentSafeClassesAreRetryable) {
+  const auto of = [](StatusCode code) {
+    return Status::error(code, "s", "m");
+  };
+  EXPECT_TRUE(retryable_failure(of(StatusCode::kTimeout)));
+  EXPECT_TRUE(retryable_failure(of(StatusCode::kUnavailable)));
+  EXPECT_TRUE(retryable_failure(of(StatusCode::kOverloaded)));
+  // Deterministic failures retry into the identical failure; a
+  // frame-too-large refusal means WE sent the bad frame.
+  EXPECT_FALSE(retryable_failure(Status::okay()));
+  EXPECT_FALSE(retryable_failure(of(StatusCode::kInput)));
+  EXPECT_FALSE(retryable_failure(of(StatusCode::kUsage)));
+  EXPECT_FALSE(retryable_failure(of(StatusCode::kValidation)));
+  EXPECT_FALSE(retryable_failure(of(StatusCode::kInternal)));
+  EXPECT_FALSE(retryable_failure(of(StatusCode::kFrameTooLarge)));
+}
+
+TEST(RetryTest, BackoffIsFullJitterWithExponentialCap) {
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 10;
+  policy.max_backoff_ms = 40;
+  SplitMix64 rng(42);
+  for (int attempt = 1; attempt <= 8; ++attempt) {
+    const std::int64_t cap =
+        std::min<std::int64_t>(policy.initial_backoff_ms << (attempt - 1),
+                               policy.max_backoff_ms);
+    for (int i = 0; i < 32; ++i) {
+      const std::int64_t delay = backoff_delay_ms(policy, attempt, rng);
+      EXPECT_GE(delay, 0);
+      EXPECT_LE(delay, cap);
+    }
+  }
+  // Deterministic in the rng: same seed, same sequence.
+  SplitMix64 a(7), b(7);
+  for (int i = 1; i <= 5; ++i)
+    EXPECT_EQ(backoff_delay_ms(policy, i, a), backoff_delay_ms(policy, i, b));
+}
+
+TEST(RetryTest, StatusCodeNamesCoverTheServingClasses) {
+  EXPECT_STREQ(status_code_name(StatusCode::kTimeout), "deadline exceeded");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnavailable), "unavailable");
+  EXPECT_STREQ(status_code_name(StatusCode::kOverloaded), "overloaded");
+  EXPECT_STREQ(status_code_name(StatusCode::kFrameTooLarge),
+               "frame too large");
+  EXPECT_EQ(worst_code(StatusCode::kInput, StatusCode::kOverloaded),
+            StatusCode::kOverloaded);
+}
+
+// --- malformed wire corpus -------------------------------------------
+
+TEST(WireCorpus, TruncatedHeaderIsUnavailableNotAHang) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const char partial[8] = {'S', 'B', 'M', kProtocolRevision, 1, 0, 0, 0};
+  ASSERT_EQ(::write(fds[0], partial, sizeof partial), 8);
+  ::close(fds[0]);  // dies mid-header
+  Frame frame;
+  const Status s = read_frame(fds[1], &frame);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kUnavailable);
+  ::close(fds[1]);
+}
+
+TEST(WireCorpus, TruncatedBodyIsUnavailable) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  char header[16] = {'S', 'B', 'M', kProtocolRevision, 1, 0, 0, 0,
+                     100, 0,   0,   0,                 0, 0, 0, 0};
+  ASSERT_EQ(::write(fds[0], header, sizeof header), 16);
+  ASSERT_EQ(::write(fds[0], "ten bytes.", 10), 10);
+  ::close(fds[0]);  // dies mid-payload
+  Frame frame;
+  const Status s = read_frame(fds[1], &frame);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kUnavailable);
+  ::close(fds[1]);
+}
+
+TEST(WireCorpus, OversizedFrameIsTypedFrameTooLarge) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  char header[16] = {'S', 'B', 'M', kProtocolRevision, 1, 0, 0, 0,
+                     0,   0,   0,   0,                 0, 0, 0, 0};
+  const std::uint64_t huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 8; ++i)
+    header[8 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  ASSERT_EQ(::write(fds[0], header, sizeof header), 16);
+  Frame frame;
+  const Status s = read_frame(fds[1], &frame);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kFrameTooLarge);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireCorpus, ZeroLengthPayloadRoundTrips) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_TRUE(write_frame(fds[0], FrameType::kStatRequest, "").ok());
+  Frame frame;
+  ASSERT_TRUE(read_frame(fds[1], &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kStatRequest);
+  EXPECT_TRUE(frame.payload.empty());
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(WireCorpus, CorruptedResponsePayloadFailsDecodeNotValidation) {
+  const std::string response =
+      encode_compile_response(Status::okay(), "pretend-report");
+  std::string corrupt = response;
+  corrupt[corrupt.size() / 2] ^= 0x40;  // one flipped bit
+  Status status_back;
+  std::string report_back;
+  EXPECT_FALSE(
+      decode_compile_response(corrupt, &status_back, &report_back).ok());
+}
+
+TEST(WireCorpus, NegativeAndOutOfRangeStatusCodesAreRejected) {
+  // A response claiming a status code outside the enum must not be
+  // cast into one. Build the wire record by hand, matching the field
+  // order encode_compile_response writes.
+  for (const std::int64_t bad :
+       {static_cast<std::int64_t>(-1),
+        static_cast<std::int64_t>(kMaxStatusCode) + 1}) {
+    RecordWriter w;
+    w.add_int("code", bad);
+    w.add_string("stage", "s");
+    w.add_string("message", "m");
+    w.add_string("report", "");
+    Status status_back;
+    std::string report_back;
+    EXPECT_FALSE(
+        decode_compile_response(w.finish(), &status_back, &report_back).ok())
+        << "code " << bad << " must be rejected";
+  }
+}
+
+TEST(WireCorpus, RequestRejectsNegativeDeadline) {
+  const std::string options_payload = encode_pipeline_options(codec_options());
+  RecordWriter w;
+  w.add_string("options", options_payload);
+  w.add_string("loop", kPaperExample);
+  w.add_int("deadline_ms", -7);
+  std::string options_back, loop_back;
+  std::int64_t deadline_back = 0;
+  EXPECT_FALSE(decode_compile_request(w.finish(), &options_back, &loop_back,
+                                      &deadline_back)
+                   .ok());
+}
+
+TEST(WireCorpus, DeadlineFieldRoundTripsThroughTheRequest) {
+  const std::string options_payload = encode_pipeline_options(codec_options());
+  const std::string request =
+      encode_compile_request(options_payload, kPaperExample, 1234);
+  std::string options_back, loop_back;
+  std::int64_t deadline_back = 0;
+  ASSERT_TRUE(decode_compile_request(request, &options_back, &loop_back,
+                                     &deadline_back)
+                  .ok());
+  EXPECT_EQ(deadline_back, 1234);
+  // Callers that ignore the field still decode (default argument).
+  ASSERT_TRUE(decode_compile_request(request, &options_back, &loop_back).ok());
+}
+
+// --- transports ------------------------------------------------------
+
+TEST(TransportTest, ReadDeadlineExpiryIsTimeoutNotAHang) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdTransport t(fds[1]);
+  char buf[16];
+  std::size_t got = 0;
+  // Nothing will ever arrive: the deadline must bound the wait.
+  const Status s = t.read_some(buf, sizeof buf, &got, Deadline::after_ms(30));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kTimeout);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(TransportTest, WriteToAClosedPeerIsUnavailableNotSigpipe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  FdTransport t(fds[0]);
+  // The first write may land in the buffer; keep writing until the
+  // kernel reports the peer is gone. MSG_NOSIGNAL means we observe a
+  // typed Status instead of dying on SIGPIPE.
+  Status s = Status::okay();
+  const std::string chunk(4096, 'x');
+  for (int i = 0; i < 256 && s.ok(); ++i) {
+    std::size_t put = 0;
+    s = t.write_some(chunk.data(), chunk.size(), &put, Deadline::after_ms(500));
+  }
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kUnavailable);
+  ::close(fds[0]);
+}
+
+TEST(TransportTest, FaultyTransportIsDeterministicPerSeed) {
+  const auto run = [](std::uint64_t seed) {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    std::string sent(512, '\0');
+    for (std::size_t i = 0; i < sent.size(); ++i)
+      sent[i] = static_cast<char>(i * 31 + 7);
+    EXPECT_EQ(::write(fds[0], sent.data(), sent.size()),
+              static_cast<ssize_t>(sent.size()));
+    ::close(fds[0]);
+
+    FdTransport inner(fds[1]);
+    NetFaults faults;
+    faults.short_pct = 60;
+    faults.corrupt_pct = 30;
+    faults.truncate_pct = 2;
+    FaultyTransport faulty(inner, faults, seed);
+    std::string received;
+    Status last = Status::okay();
+    for (int i = 0; i < 10000; ++i) {
+      char buf[64];
+      std::size_t got = 0;
+      last = faulty.read_some(buf, sizeof buf, &got, Deadline::after_ms(2000));
+      if (!last.ok() || got == 0) break;
+      received.append(buf, got);
+    }
+    ::close(fds[1]);
+    struct Outcome {
+      std::string bytes;
+      std::int64_t injected;
+      bool ok;
+    };
+    return Outcome{received, faulty.injected().total(), last.ok()};
+  };
+  const auto a = run(99), b = run(99), c = run(100);
+  // Same seed: bit-identical replay (bytes, faults, outcome).
+  EXPECT_EQ(a.bytes, b.bytes);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_GT(a.injected, 0);  // the fault rates actually fire
+  // Different seed: a different schedule of faults.
+  EXPECT_TRUE(a.bytes != c.bytes || a.injected != c.injected);
+}
+
+TEST(TransportTest, DisconnectFaultIsStickyAndTyped) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  FdTransport inner(fds[0]);
+  NetFaults faults;
+  faults.disconnect_pct = 100;
+  FaultyTransport faulty(inner, faults, 1);
+  std::size_t put = 0;
+  const Status first =
+      faulty.write_some("x", 1, &put, Deadline::after_ms(100));
+  EXPECT_FALSE(first.ok());
+  EXPECT_EQ(first.code, StatusCode::kUnavailable);
+  char buf[4];
+  std::size_t got = 0;
+  const Status second =
+      faulty.read_some(buf, sizeof buf, &got, Deadline::after_ms(100));
+  EXPECT_FALSE(second.ok());  // a dead socket stays dead
+  EXPECT_EQ(second.code, StatusCode::kUnavailable);
+  EXPECT_EQ(faulty.injected().disconnects, 1);  // counted once, not per call
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- admission control -----------------------------------------------
+
+TEST(AdmissionTest, UnlimitedByDefault) {
+  AdmissionController gate{AdmissionOptions{}};
+  for (int i = 0; i < 32; ++i) ASSERT_TRUE(gate.admit(Deadline()).ok());
+  EXPECT_EQ(gate.counters().inflight, 32);
+  EXPECT_EQ(gate.counters().admitted, 32);
+  for (int i = 0; i < 32; ++i) gate.release();
+  EXPECT_EQ(gate.counters().inflight, 0);
+}
+
+TEST(AdmissionTest, FullQueueShedsImmediatelyAsOverloaded) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 0;  // nobody waits
+  AdmissionController gate(options);
+  ASSERT_TRUE(gate.admit(Deadline()).ok());
+  const Status shed = gate.admit(Deadline());
+  EXPECT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code, StatusCode::kOverloaded);
+  EXPECT_EQ(gate.counters().shed_queue_full, 1);
+  gate.release();
+  ASSERT_TRUE(gate.admit(Deadline()).ok());  // slot is reusable
+  gate.release();
+}
+
+TEST(AdmissionTest, QueueTimeoutShedsAsOverloaded) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 4;
+  options.queue_timeout_ms = 30;
+  AdmissionController gate(options);
+  ASSERT_TRUE(gate.admit(Deadline()).ok());  // hold the only slot
+  const Status shed = gate.admit(Deadline());
+  EXPECT_FALSE(shed.ok());
+  EXPECT_EQ(shed.code, StatusCode::kOverloaded);
+  EXPECT_EQ(gate.counters().shed_timeout, 1);
+  EXPECT_EQ(gate.counters().queue_depth, 0);  // waiter fully dequeued
+  gate.release();
+}
+
+TEST(AdmissionTest, CallerDeadlineWhileQueuedIsTimeoutNotOverloaded) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 4;
+  options.queue_timeout_ms = 10000;  // the queue would happily hold us
+  AdmissionController gate(options);
+  ASSERT_TRUE(gate.admit(Deadline()).ok());
+  const Status expired = gate.admit(Deadline::after_ms(30));
+  EXPECT_FALSE(expired.ok());
+  EXPECT_EQ(expired.code, StatusCode::kTimeout);
+  gate.release();
+}
+
+TEST(AdmissionTest, ReleaseHandsTheSlotToTheNewestWaiterFirst) {
+  AdmissionOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 2;
+  options.queue_timeout_ms = 10000;
+  AdmissionController gate(options);
+  ASSERT_TRUE(gate.admit(Deadline()).ok());  // hold the slot
+
+  std::mutex order_mu;
+  std::vector<int> grant_order;
+  std::atomic<int> queued{0};
+  const auto waiter = [&](int id) {
+    const Status s = gate.admit(Deadline::after_ms(10000));
+    EXPECT_TRUE(s.ok());
+    {
+      std::lock_guard<std::mutex> lock(order_mu);
+      grant_order.push_back(id);
+    }
+    gate.release();
+  };
+  // Strict arrival order: waiter 1 queues, then waiter 2.
+  std::thread t1([&] {
+    queued.fetch_add(1);
+    waiter(1);
+  });
+  while (gate.counters().queue_depth < 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::thread t2([&] {
+    queued.fetch_add(1);
+    waiter(2);
+  });
+  while (gate.counters().queue_depth < 2)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  gate.release();  // LIFO: waiter 2 (newest) must run first
+  t1.join();
+  t2.join();
+  ASSERT_EQ(grant_order.size(), 2u);
+  EXPECT_EQ(grant_order[0], 2);
+  EXPECT_EQ(grant_order[1], 1);
+  EXPECT_EQ(gate.counters().queued, 2);
+  EXPECT_EQ(gate.counters().inflight, 0);
+}
+
+// --- serve_session end-to-end ----------------------------------------
+
+namespace {
+struct SessionHarness {
+  int client_fd = -1;
+  std::thread server_thread;
+  SessionEnd end = SessionEnd::kPeerClosed;
+
+  SessionHarness(ScheduleServer& server, AdmissionController* admission,
+                 const SessionLimits& limits) {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    client_fd = fds[0];
+    const int server_fd = fds[1];
+    server_thread = std::thread([this, &server, admission, limits, server_fd] {
+      FdTransport transport(server_fd);
+      end = serve_session(server, admission, transport, limits);
+      ::close(server_fd);
+    });
+  }
+  ~SessionHarness() {
+    if (client_fd >= 0) ::close(client_fd);
+    if (server_thread.joinable()) server_thread.join();
+  }
+  void finish() {
+    ::close(client_fd);
+    client_fd = -1;
+    server_thread.join();
+  }
+};
+}  // namespace
+
+TEST(ServeSession, CompileResponseIsByteIdenticalToALocalRun) {
+  ScheduleServer server{ServerOptions{}};
+  SessionHarness h(server, nullptr, SessionLimits{});
+
+  // Ping first: the liveness probe rides the same session.
+  ASSERT_TRUE(write_frame(h.client_fd, FrameType::kPing, "").ok());
+  Frame frame;
+  ASSERT_TRUE(read_frame(h.client_fd, &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kPong);
+
+  const PipelineOptions options = codec_options();
+  const std::string request = encode_compile_request(
+      encode_pipeline_options(options), kPaperExample, /*deadline_ms=*/0);
+  ASSERT_TRUE(
+      write_frame(h.client_fd, FrameType::kCompileRequest, request).ok());
+  ASSERT_TRUE(read_frame(h.client_fd, &frame).ok());
+  ASSERT_EQ(frame.type, FrameType::kCompileResponse);
+  Status status;
+  std::string report_payload;
+  ASSERT_TRUE(
+      decode_compile_response(frame.payload, &status, &report_payload).ok());
+  ASSERT_TRUE(status.ok()) << status.to_string();
+
+  // The served artifact must be the byte-identical local artifact.
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const Fingerprint fp = schedule_fingerprint(loop, options);
+  const LoopReport local = run_pipeline(loop, options);
+  EXPECT_EQ(report_payload, encode_loop_report(local, fp));
+
+  h.finish();
+  EXPECT_EQ(h.end, SessionEnd::kPeerClosed);
+}
+
+TEST(ServeSession, ShedRequestGetsATypedOverloadedResponse) {
+  ScheduleServer server{ServerOptions{}};
+  AdmissionOptions admission_options;
+  admission_options.max_inflight = 1;
+  admission_options.max_queue = 0;
+  AdmissionController gate(admission_options);
+  ASSERT_TRUE(gate.admit(Deadline()).ok());  // saturate from the outside
+
+  const std::string request = encode_compile_request(
+      encode_pipeline_options(codec_options()), kPaperExample, 0);
+  const std::string response_payload =
+      handle_compile_request(server, &gate, request);
+  Status status;
+  std::string report_payload;
+  ASSERT_TRUE(
+      decode_compile_response(response_payload, &status, &report_payload)
+          .ok());
+  EXPECT_EQ(status.code, StatusCode::kOverloaded);
+  EXPECT_TRUE(report_payload.empty());
+  gate.release();
+}
+
+TEST(ServeSession, QueuedRequestHonorsItsPropagatedDeadline) {
+  ScheduleServer server{ServerOptions{}};
+  AdmissionOptions admission_options;
+  admission_options.max_inflight = 1;
+  admission_options.max_queue = 4;
+  admission_options.queue_timeout_ms = 10000;
+  AdmissionController gate(admission_options);
+  ASSERT_TRUE(gate.admit(Deadline()).ok());  // slot stays held throughout
+
+  // The request declares 30ms of remaining budget; queued behind the
+  // held slot it must come back kTimeout — the daemon honors the
+  // CLIENT'S deadline, not just its own queue timeout.
+  const std::string request = encode_compile_request(
+      encode_pipeline_options(codec_options()), kPaperExample,
+      /*deadline_ms=*/30);
+  Status status;
+  std::string report_payload;
+  ASSERT_TRUE(decode_compile_response(
+                  handle_compile_request(server, &gate, request), &status,
+                  &report_payload)
+                  .ok());
+  EXPECT_EQ(status.code, StatusCode::kTimeout);
+  gate.release();
+}
+
+TEST(ServeSession, MalformedRequestPayloadIsATypedInputError) {
+  ScheduleServer server{ServerOptions{}};
+  Status status;
+  std::string report_payload;
+  ASSERT_TRUE(decode_compile_response(
+                  handle_compile_request(server, nullptr, "not a record"),
+                  &status, &report_payload)
+                  .ok());
+  EXPECT_EQ(status.code, StatusCode::kInput);
+}
+
+TEST(ServeSession, OversizedFrameDrawsATypedRefusalThenTheSessionEnds) {
+  ScheduleServer server{ServerOptions{}};
+  SessionLimits limits;
+  limits.io_timeout_ms = 2000;
+  SessionHarness h(server, nullptr, limits);
+
+  char header[16] = {'S', 'B', 'M', kProtocolRevision, 1, 0, 0, 0,
+                     0,   0,   0,   0,                 0, 0, 0, 0};
+  const std::uint64_t huge = kMaxFramePayload + 1;
+  for (int i = 0; i < 8; ++i)
+    header[8 + i] = static_cast<char>((huge >> (8 * i)) & 0xff);
+  ASSERT_EQ(::write(h.client_fd, header, sizeof header), 16);
+
+  Frame frame;
+  ASSERT_TRUE(read_frame(h.client_fd, &frame).ok());
+  ASSERT_EQ(frame.type, FrameType::kCompileResponse);
+  Status status;
+  std::string report_payload;
+  ASSERT_TRUE(
+      decode_compile_response(frame.payload, &status, &report_payload).ok());
+  EXPECT_EQ(status.code, StatusCode::kFrameTooLarge);
+  // Then EOF: the stream cannot resync past an untrusted length.
+  EXPECT_FALSE(read_frame(h.client_fd, &frame).ok());
+
+  h.finish();
+  EXPECT_EQ(h.end, SessionEnd::kFrameTooLarge);
+}
+
+TEST(ServeSession, RequestLimitClosesTheSessionAfterNCompiles) {
+  ScheduleServer server{ServerOptions{}};
+  SessionLimits limits;
+  limits.max_requests = 1;
+  SessionHarness h(server, nullptr, limits);
+
+  const std::string request = encode_compile_request(
+      encode_pipeline_options(codec_options()), kPaperExample, 0);
+  ASSERT_TRUE(
+      write_frame(h.client_fd, FrameType::kCompileRequest, request).ok());
+  Frame frame;
+  ASSERT_TRUE(read_frame(h.client_fd, &frame).ok());
+  Status status;
+  std::string report_payload;
+  ASSERT_TRUE(
+      decode_compile_response(frame.payload, &status, &report_payload).ok());
+  EXPECT_TRUE(status.ok());
+  // The first request was served in full; the session then closed.
+  EXPECT_FALSE(read_frame(h.client_fd, &frame).ok());
+  h.finish();
+  EXPECT_EQ(h.end, SessionEnd::kRequestLimit);
+}
+
+TEST(ServeSession, IdleTimeoutReapsASilentConnection) {
+  ScheduleServer server{ServerOptions{}};
+  SessionLimits limits;
+  limits.idle_timeout_ms = 40;
+  SessionHarness h(server, nullptr, limits);
+  // Send nothing: the reaper must end the session, not leak it.
+  h.server_thread.join();
+  EXPECT_EQ(h.end, SessionEnd::kIdleTimeout);
+  ::close(h.client_fd);
+  h.client_fd = -1;
+}
+
+// --- remote client resilience ----------------------------------------
+
+TEST(RemoteClient, MissingDaemonIsUnavailableAfterBoundedRetries) {
+  RemoteOptions options;
+  options.socket_path = fresh_dir("sbmp_no_daemon") + "/missing.sock";
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.max_backoff_ms = 2;
+  options.jitter_seed = 1;
+  RemoteCompiler remote(std::move(options));
+  try {
+    (void)remote.compile(parse_single_loop_or_throw(kPaperExample),
+                         codec_options());
+    FAIL() << "compile against a missing daemon must throw";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code, StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(remote.tallies().retries, 1);  // 2 attempts = 1 retry
+}
+
+TEST(RemoteClient, FallbackCompilerDegradesToLocalAndOpensTheBreaker) {
+  RemoteOptions options;
+  options.socket_path = fresh_dir("sbmp_fallback") + "/missing.sock";
+  options.retry = RetryPolicy::none();
+  RemoteCompiler remote(std::move(options));
+  DirectCompiler local;
+  FallbackCompiler fallback(remote, local);
+
+  const Loop loop = parse_single_loop_or_throw(kPaperExample);
+  const PipelineOptions pipeline_options = codec_options();
+  const LoopReport direct = run_pipeline(loop, pipeline_options);
+  for (int i = 0; i < FallbackCompiler::kBreakerThreshold + 1; ++i) {
+    const LoopReport degraded = fallback.compile(loop, pipeline_options);
+    // Degradation must not change the answer.
+    EXPECT_EQ(degraded.schedule.groups, direct.schedule.groups);
+    EXPECT_EQ(degraded.sim.parallel_time, direct.sim.parallel_time);
+  }
+  EXPECT_EQ(fallback.fallbacks(), FallbackCompiler::kBreakerThreshold + 1);
+  EXPECT_TRUE(fallback.breaker_open());
+}
+
+TEST(RemoteClient, NonTransientFailuresDoNotFallBack) {
+  // A compiler whose failure is deterministic (kInput) must pass
+  // through: the fallback would fail identically, and retrying or
+  // degrading would only hide the diagnosis.
+  class AlwaysInput final : public LoopCompiler {
+   public:
+    using LoopCompiler::compile;
+    LoopReport compile(const Loop&, const PipelineOptions&) override {
+      throw StatusError(
+          Status::error(StatusCode::kInput, "parse", "bad loop"));
+    }
+  };
+  AlwaysInput primary;
+  DirectCompiler local;
+  FallbackCompiler fallback(primary, local);
+  EXPECT_THROW((void)fallback.compile(parse_single_loop_or_throw(kPaperExample),
+                                      codec_options()),
+               StatusError);
+  EXPECT_EQ(fallback.fallbacks(), 0);
+  EXPECT_FALSE(fallback.breaker_open());
 }
 
 }  // namespace

@@ -13,6 +13,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 #endif
 
@@ -364,6 +365,15 @@ class DaemonGuard {
     return WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
   }
 
+  /// SIGKILL without waiting — simulates the daemon crashing out from
+  /// under connected clients (the socket file stays behind, like a real
+  /// crash would leave it). The destructor still reaps the zombie.
+  void kill_now() {
+    if (pid_ > 0) ::kill(pid_, SIGKILL);
+  }
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+
  private:
   std::string socket_;
   pid_t pid_ = -1;
@@ -404,8 +414,87 @@ TEST(SbmpdDaemon, RemoteSuiteRunIsByteIdentical) {
   EXPECT_EQ(daemon.terminate(), 0);
 }
 
-TEST(SbmpdDaemon, MissingDaemonIsAnInputError) {
-  EXPECT_EQ(run_sbmpc("--remote /nonexistent/sbmpd.sock " + fig1_path()), 1);
+TEST(SbmpdDaemon, MissingDaemonIsUnavailableExitSix) {
+  // kUnavailable (6), not an input error: the loop was fine, the daemon
+  // was not — the transient class --fallback-local and retries key on.
+  EXPECT_EQ(run_sbmpc("--remote /nonexistent/sbmpd.sock --retries 1 " +
+                      fig1_path()),
+            6);
+}
+
+TEST(SbmpdDaemon, FallbackLocalDegradesToExitZeroWithNoDaemon) {
+  std::string local;
+  ASSERT_EQ(run_sbmpc_capture(render_flags() + fig1_path(), &local), 0);
+  std::string degraded;
+  // The daemon never existed; every compile falls back. Exit 0 and
+  // byte-identical output — degradation changes availability, never
+  // the answer.
+  ASSERT_EQ(run_sbmpc_capture(render_flags() +
+                                  "--remote /nonexistent/sbmpd.sock "
+                                  "--retries 1 --fallback-local " +
+                                  fig1_path(),
+                              &degraded),
+            0);
+  EXPECT_EQ(degraded, local);
+}
+
+TEST(SbmpdDaemon, FallbackLocalSurvivesTheDaemonDyingMidRun) {
+  std::string local;
+  ASSERT_EQ(run_sbmpc_capture("--list-benchmarks", &local), 0);
+  DaemonGuard daemon("--jobs 2");
+  ASSERT_TRUE(daemon.ready()) << "sbmpd did not come up";
+  // Kill the daemon while the suite run is in flight: whichever
+  // requests lose their connection must degrade to local compiles, and
+  // the run must still complete the whole corpus with exit 0.
+  std::thread assassin([&daemon] {
+    ::usleep(30 * 1000);
+    daemon.kill_now();
+  });
+  std::string degraded;
+  const int exit_code = run_sbmpc_capture(
+      "--list-benchmarks --remote " + daemon.socket() +
+          " --retries 2 --retry-backoff-ms 1 --io-timeout-ms 2000 "
+          "--fallback-local",
+      &degraded);
+  assassin.join();
+  EXPECT_EQ(exit_code, 0);
+  EXPECT_EQ(degraded, local);
+}
+
+TEST(SbmpdDaemon, PerConnectionRequestLimitForcesTransparentReconnects) {
+  const std::string second = ::testing::TempDir() + "sbmpc_stencil.loop";
+  std::ofstream(second) << "doacross I = 1, 100\n"
+                           "  U[I] = (U[I-1] + V[I]) * w1 + V[I+1] * w2\n"
+                           "  R[I] = V[I-2] * w3 + V[I+2]\n"
+                           "end\n";
+  std::string local;
+  ASSERT_EQ(run_sbmpc_capture(render_flags() + fig1_path() + " " + second,
+                              &local),
+            0);
+  // One request per connection: the daemon hangs up after every
+  // compile, so the second request only succeeds if the client
+  // reconnects and retries. Output must remain byte-identical.
+  DaemonGuard daemon("--max-requests-per-conn 1");
+  ASSERT_TRUE(daemon.ready()) << "sbmpd did not come up";
+  std::string remote;
+  ASSERT_EQ(run_sbmpc_capture(render_flags() + "--remote " + daemon.socket() +
+                                  " --retries 10 --retry-backoff-ms 1 " +
+                                  fig1_path() + " " + second,
+                              &remote),
+            0);
+  EXPECT_EQ(remote, local);
+  EXPECT_EQ(daemon.terminate(), 0);
+}
+
+TEST(SbmpdDaemon, SigtermDrainStaysCleanUnderAdmissionLimits) {
+  DaemonGuard daemon("--max-inflight 1 --max-queue 2 --io-timeout-ms 2000");
+  ASSERT_TRUE(daemon.ready()) << "sbmpd did not come up";
+  std::string out;
+  ASSERT_EQ(run_sbmpc_capture(render_flags() + "--remote " + daemon.socket() +
+                                  " " + fig1_path(),
+                              &out),
+            0);
+  EXPECT_EQ(daemon.terminate(), 0);  // drain exits 0 with limits armed
 }
 
 TEST(SbmpdDaemon, StatFrameReturnsAVersionedSnapshot) {

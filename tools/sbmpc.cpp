@@ -37,19 +37,43 @@
 //   --remote SOCK      compile through a running sbmpd daemon at the
 //                      given Unix socket instead of in-process; output
 //                      is byte-identical to a local run
+//   --io-timeout-ms N  (with --remote) budget for moving one frame
+//                      (default 10000; 0 disables)
+//   --deadline-ms N    (with --remote) end-to-end budget per compile
+//                      request, covering every retry and backoff; the
+//                      remaining budget travels in the request so the
+//                      daemon sheds work nobody is waiting for
+//                      (default 0 = none)
+//   --retries N        (with --remote) total attempts per request
+//                      (default 3); only transient failures — connect,
+//                      timeout, truncated frame, daemon shed — are
+//                      retried, with jittered exponential backoff
+//   --retry-backoff-ms N  (with --remote) initial backoff ceiling
+//                      (default 10, doubling per retry up to 250)
+//   --fallback-local   (with --remote) graceful degradation: when the
+//                      daemon stays unreachable after the retry budget,
+//                      compile locally instead of failing the run;
+//                      degradations are reported on stderr and the
+//                      output bytes stay identical either way
 //   --trace-out FILE   write a Chrome trace-event JSON timeline of the
 //                      run (frontend, restructure, and every pipeline
 //                      phase per loop) to FILE; view in chrome://tracing
 //                      or Perfetto. Tracing observes the compile and
 //                      never changes its output bytes.
 //
-// Exit codes (the StatusCode contract, see docs/robustness.md):
+// Exit codes (the StatusCode contract, see docs/robustness.md and
+// docs/serving.md):
 //   0  success
 //   1  input diagnostics (parse/open/restructure failures)
 //   2  usage error
 //   3  validation failure (a schedule failed the validator or the
 //      fault-injection oracle; includes every --mutate detection)
 //   4  internal error
+//   5  deadline exceeded (--remote: a request ran out of --deadline-ms)
+//   6  unavailable (--remote: no daemon / connection failed after
+//      retries; --fallback-local converts this to a local compile)
+//   7  overloaded (--remote: the daemon shed the request after retries)
+//   8  frame too large (--remote: a peer violated the frame size cap)
 // All diagnostics are rendered before exit: one bad loop or file never
 // suppresses the reports of the others.
 #include <cstdio>
@@ -90,6 +114,11 @@ struct CliOptions {
   int jobs = 0;  ///< 0 = hardware threads, 1 = serial
   std::optional<ScheduleMutation> mutate;
   std::string remote_socket;  ///< non-empty = compile through sbmpd
+  std::int64_t io_timeout_ms = 10000;  ///< --remote per-frame budget
+  std::int64_t deadline_ms = 0;        ///< --remote per-request budget
+  int retries = 3;                     ///< --remote attempts per request
+  std::int64_t retry_backoff_ms = 10;  ///< --remote initial backoff
+  bool fallback_local = false;         ///< --remote degradation switch
   std::string trace_out;      ///< non-empty = write Chrome trace JSON
 
   [[nodiscard]] bool dump(const char* what) const {
@@ -106,7 +135,9 @@ struct CliOptions {
                "             [--no-validate] [--tolerance N] [--mutate M]\n"
                "             [--dump WHAT] [--jobs N] [--cache-dir DIR]\n"
                "             [--cache-bytes N] [--remote SOCK]\n"
-               "             [--trace-out FILE]\n"
+               "             [--io-timeout-ms N] [--deadline-ms N]\n"
+               "             [--retries N] [--retry-backoff-ms N]\n"
+               "             [--fallback-local] [--trace-out FILE]\n"
                "             file.loop... | --list-benchmarks\n");
   std::exit(exit_code(StatusCode::kUsage));
 }
@@ -169,6 +200,17 @@ CliOptions parse_cli(int argc, char** argv) {
         usage("--cache-bytes must be non-negative");
     } else if (std::strcmp(arg, "--remote") == 0) {
       cli.remote_socket = next_arg(argc, argv, i);
+    } else if (std::strcmp(arg, "--io-timeout-ms") == 0) {
+      cli.io_timeout_ms = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--deadline-ms") == 0) {
+      cli.deadline_ms = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--retries") == 0) {
+      cli.retries = std::atoi(next_arg(argc, argv, i));
+      if (cli.retries < 1) usage("--retries must be at least 1");
+    } else if (std::strcmp(arg, "--retry-backoff-ms") == 0) {
+      cli.retry_backoff_ms = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--fallback-local") == 0) {
+      cli.fallback_local = true;
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       cli.trace_out = next_arg(argc, argv, i);
     } else if (std::strcmp(arg, "--dump") == 0) {
@@ -435,10 +477,11 @@ int run(CliOptions cli) {
   // bytes for identical inputs (tooling_test locks this in).
   ResultCache memory;
   std::unique_ptr<DiskCache> disk;
-  std::unique_ptr<LoopCompiler> compiler;
-  if (!cli.remote_socket.empty()) {
-    compiler = std::make_unique<RemoteCompiler>(cli.remote_socket);
-  } else {
+  std::unique_ptr<RemoteCompiler> remote;
+  std::unique_ptr<CachingCompiler> local;
+  std::unique_ptr<FallbackCompiler> degrading;
+  LoopCompiler* compiler = nullptr;
+  if (cli.remote_socket.empty() || cli.fallback_local) {
     if (!cli.pipeline.cache_dir.empty()) {
       disk = std::make_unique<DiskCache>(cli.pipeline.cache_dir,
                                          cli.pipeline.cache_max_bytes);
@@ -446,7 +489,25 @@ int run(CliOptions cli) {
         std::fprintf(stderr, "sbmpc: warning: schedule cache disabled: %s\n",
                      disk->init_status().to_string().c_str());
     }
-    compiler = std::make_unique<CachingCompiler>(&memory, disk.get());
+    local = std::make_unique<CachingCompiler>(&memory, disk.get());
+    compiler = local.get();
+  }
+  if (!cli.remote_socket.empty()) {
+    RemoteOptions remote_options;
+    remote_options.socket_path = cli.remote_socket;
+    remote_options.io_timeout_ms = cli.io_timeout_ms;
+    remote_options.deadline_ms = cli.deadline_ms;
+    remote_options.retry.max_attempts = cli.retries;
+    remote_options.retry.initial_backoff_ms = cli.retry_backoff_ms;
+    remote = std::make_unique<RemoteCompiler>(std::move(remote_options));
+    compiler = remote.get();
+    if (cli.fallback_local) {
+      // Graceful degradation: transient remote failures (after the
+      // retry budget) compile locally through the same caches; output
+      // bytes are identical by the byte-identity contract.
+      degrading = std::make_unique<FallbackCompiler>(*remote, *local);
+      compiler = degrading.get();
+    }
   }
   parallel_for(cli.jobs, 0, static_cast<std::int64_t>(items.size()),
                [&](std::int64_t i) {
@@ -474,6 +535,17 @@ int run(CliOptions cli) {
         std::fprintf(stderr, "sbmpc: %s\n", item.status.to_string().c_str());
       worst = worst_code(worst, item.status.code);
     }
+  }
+
+  if (degrading != nullptr && degrading->fallbacks() > 0) {
+    // Degradation is success with a footnote, never a silent condition:
+    // the operator learns the daemon misbehaved even though every
+    // report still rendered (and the exit code stays 0).
+    std::fprintf(stderr,
+                 "sbmpc: warning: %lld compile(s) fell back to local "
+                 "execution (daemon unavailable%s)\n",
+                 static_cast<long long>(degrading->fallbacks()),
+                 degrading->breaker_open() ? "; circuit breaker open" : "");
   }
 
   if (!cli.trace_out.empty()) {

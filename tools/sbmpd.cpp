@@ -7,7 +7,9 @@
 // a local run.
 //
 //   sbmpd --socket PATH [--jobs N] [--cache-dir DIR] [--cache-bytes N]
-//         [--metrics-dump]
+//         [--io-timeout-ms N] [--idle-timeout-ms N]
+//         [--max-inflight N] [--max-queue N] [--queue-timeout-ms N]
+//         [--max-conns N] [--max-requests-per-conn N] [--metrics-dump]
 //
 // Options:
 //   --socket PATH      Unix-domain socket to listen on (required; a
@@ -16,6 +18,25 @@
 //                      serving core (0 = hardware threads)
 //   --cache-dir DIR    persistent schedule cache shared with sbmpc
 //   --cache-bytes N    size cap of the persistent cache (default 256 MiB)
+//   --io-timeout-ms N  budget for moving one frame (default 10000; 0
+//                      disables) — a client that stalls mid-frame or
+//                      stops draining its responses is reaped, it never
+//                      wedges a handler thread
+//   --idle-timeout-ms N  reap connections silent between frames for this
+//                      long (default 0 = keep idle connections)
+//   --max-inflight N   concurrent compile requests (0 = unlimited);
+//                      excess requests queue up to --max-queue deep
+//   --max-queue N      waiters beyond inflight before shedding (default
+//                      0 = shed immediately at capacity). The queue is
+//                      LIFO with timeout: fresh requests ride the free
+//                      slot, stale ones shed as kOverloaded
+//   --queue-timeout-ms N  longest a request may queue (default 250)
+//   --max-conns N      open connections cap (0 = unlimited): beyond it
+//                      a connection is answered with one kOverloaded
+//                      response and closed
+//   --max-requests-per-conn N  close a session after N compile requests
+//                      (0 = unlimited); clients reconnect, which lets
+//                      --max-conns rebalance long-lived clients
 //   --metrics-dump     on drain, print the full metrics registry to
 //                      stdout in Prometheus text exposition format
 //                      (cache hit/miss counters, request counts, and the
@@ -25,6 +46,12 @@
 // StatSnapshot (server tallies + the same metrics the Prometheus dump
 // renders); see protocol.h and docs/observability.md.
 //
+// Overload behavior (docs/serving.md, "Failure modes & degradation"):
+// every shed is a typed kOverloaded compile-response — clients honor it
+// with backoff — and every refusal path is bounded, so a saturated
+// daemon degrades into fast refusals instead of a convoy of stuck
+// clients.
+//
 // Shutdown: SIGTERM or SIGINT drains gracefully — the listener closes
 // immediately, every in-flight request runs to completion and its
 // response is still delivered, idle connections are hung up, and the
@@ -33,23 +60,22 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
-#include <chrono>
+#include <condition_variable>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <thread>
-#include <vector>
 
-#include "sbmp/core/pipeline.h"
 #include "sbmp/obs/metrics.h"
-#include "sbmp/serve/codec.h"
+#include "sbmp/serve/admission.h"
 #include "sbmp/serve/protocol.h"
 #include "sbmp/serve/server.h"
+#include "sbmp/serve/session.h"
+#include "sbmp/serve/transport.h"
 #include "sbmp/support/status.h"
 
 namespace {
@@ -68,13 +94,20 @@ void on_signal(int) {
 
 /// Open client connections. Threads close their fd under the same mutex
 /// the drain uses for shutdown(2), so a drained fd is always still a
-/// socket owned by this table.
+/// socket owned by this table. The active count replaces joinable
+/// thread handles: handler threads are detached (a long-lived daemon
+/// must not accumulate a handle per connection ever served), and the
+/// drain waits on the count instead.
 std::mutex g_conn_mu;
+std::condition_variable g_conn_cv;
 std::set<int> g_conns;
+int g_active_handlers = 0;
 
-void register_conn(int fd) {
+int register_conn(int fd) {
   std::lock_guard<std::mutex> lock(g_conn_mu);
   g_conns.insert(fd);
+  ++g_active_handlers;
+  return static_cast<int>(g_conns.size());
 }
 
 void close_conn(int fd) {
@@ -83,19 +116,35 @@ void close_conn(int fd) {
   ::close(fd);
 }
 
+void handler_done() {
+  std::lock_guard<std::mutex> lock(g_conn_mu);
+  --g_active_handlers;
+  g_conn_cv.notify_all();
+}
+
+[[nodiscard]] int open_conns() {
+  std::lock_guard<std::mutex> lock(g_conn_mu);
+  return static_cast<int>(g_conns.size());
+}
+
 /// Hangs up the read side of every open connection: a client mid-request
 /// still receives its response, the next read sees EOF and the handler
-/// thread exits.
+/// thread exits. Then waits for every handler to finish.
 void drain_conns() {
-  std::lock_guard<std::mutex> lock(g_conn_mu);
+  std::unique_lock<std::mutex> lock(g_conn_mu);
   for (const int fd : g_conns) ::shutdown(fd, SHUT_RD);
+  g_conn_cv.wait(lock, [] { return g_active_handlers == 0; });
 }
 
 [[noreturn]] void usage(const char* message) {
   if (message != nullptr) std::fprintf(stderr, "sbmpd: %s\n", message);
   std::fprintf(stderr,
                "usage: sbmpd --socket PATH [--jobs N] [--cache-dir DIR]\n"
-               "             [--cache-bytes N] [--metrics-dump]\n");
+               "             [--cache-bytes N] [--io-timeout-ms N]\n"
+               "             [--idle-timeout-ms N] [--max-inflight N]\n"
+               "             [--max-queue N] [--queue-timeout-ms N]\n"
+               "             [--max-conns N] [--max-requests-per-conn N]\n"
+               "             [--metrics-dump]\n");
   std::exit(exit_code(StatusCode::kUsage));
 }
 
@@ -104,81 +153,39 @@ const char* next_arg(int argc, char** argv, int& i) {
   return argv[++i];
 }
 
-/// Answers one compile request; never throws. Any failure — malformed
-/// request, unparsable loop, pipeline refusal — travels back as the
-/// response status, exactly what a local run_pipeline would have thrown.
-std::string handle_compile(ScheduleServer& server, const std::string& payload) {
-  Histogram* latency = server.metrics().histogram(
-      "sbmp_server_request_ns", "", phase_latency_bounds_ns());
-  const auto t0 = std::chrono::steady_clock::now();
-  std::string options_payload;
-  std::string loop_source;
-  Status status = decode_compile_request(payload, &options_payload,
-                                         &loop_source);
-  PipelineOptions options;
-  if (status.ok()) status = decode_pipeline_options(options_payload, &options);
-  // Observability hooks are process-local pointers, never wire fields:
-  // attach this daemon's registry so remote compiles feed the same
-  // per-phase latency histograms as everything else in the process.
-  options.metrics = &server.metrics();
-  const auto observe = [&] {
-    latency->observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count());
-  };
-  if (status.ok()) {
-    try {
-      const Loop loop = parse_single_loop_or_throw(loop_source);
-      const LoopReport report = server.compile(loop, options);
-      std::string response = encode_compile_response(
-          Status::okay(),
-          encode_loop_report(report, schedule_fingerprint(loop, options)));
-      observe();
-      return response;
-    } catch (const StatusError& e) {
-      status = e.status();
-    } catch (const SbmpError& e) {
-      status = Status::error(StatusCode::kInput, "parse", e.what());
-    } catch (const std::exception& e) {
-      status = Status::error(StatusCode::kInternal, "daemon", e.what());
-    }
-  }
-  observe();
-  return encode_compile_response(status, "");
+/// One session over a freshly accepted socket; never throws.
+void serve_connection(ScheduleServer& server, AdmissionController& admission,
+                      const SessionLimits& limits, int fd) {
+  FdTransport transport(fd);
+  (void)serve_session(server, &admission, transport, limits);
+  close_conn(fd);
+  handler_done();
 }
 
-/// One session: frames in, frames out, until the peer hangs up or
-/// misbehaves. A protocol error ends the session (the peer is broken;
-/// there is no way to resynchronize a length-prefixed stream).
-void serve_connection(ScheduleServer& server, int fd) {
-  register_conn(fd);
-  for (;;) {
-    Frame frame;
-    if (Status s = read_frame(fd, &frame); !s.ok()) break;
-    if (frame.type == FrameType::kPing) {
-      if (Status s = write_frame(fd, FrameType::kPong, ""); !s.ok()) break;
-      continue;
-    }
-    if (frame.type == FrameType::kStatRequest) {
-      const std::string snapshot =
-          encode_stat_snapshot(server.stat_snapshot());
-      if (Status s = write_frame(fd, FrameType::kStatResponse, snapshot);
-          !s.ok())
-        break;
-      continue;
-    }
-    if (frame.type != FrameType::kCompileRequest) break;
-    const std::string response = handle_compile(server, frame.payload);
-    if (Status s = write_frame(fd, FrameType::kCompileResponse, response);
-        !s.ok())
-      break;
-  }
-  close_conn(fd);
+/// The --max-conns refusal: one typed kOverloaded response, then close.
+/// The client's next read finds the refusal already buffered, so it
+/// backs off instead of diagnosing a mystery hangup.
+void refuse_connection(ScheduleServer& server, int fd,
+                       std::int64_t io_timeout_ms) {
+  server.metrics()
+      .counter("sbmp_serve_outcomes_total", "outcome=\"conn_refused\"")
+      ->inc();
+  const Status s = Status::error(StatusCode::kOverloaded, "admission",
+                                 "daemon at its connection cap");
+  FdTransport transport(fd);
+  (void)write_frame(transport, FrameType::kCompileResponse,
+                    encode_compile_response(s, ""),
+                    Deadline::after_ms_opt(io_timeout_ms));
+  ::close(fd);
 }
 
 int run(int argc, char** argv) {
   std::string socket_path;
   ServerOptions options;
+  AdmissionOptions admission_options;
+  SessionLimits limits;
+  limits.io_timeout_ms = 10000;
+  std::int64_t max_conns = 0;
   bool metrics_dump = false;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
@@ -194,6 +201,20 @@ int run(int argc, char** argv) {
       options.cache_max_bytes = std::atoll(next_arg(argc, argv, i));
       if (options.cache_max_bytes < 0)
         usage("--cache-bytes must be non-negative");
+    } else if (std::strcmp(arg, "--io-timeout-ms") == 0) {
+      limits.io_timeout_ms = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--idle-timeout-ms") == 0) {
+      limits.idle_timeout_ms = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--max-inflight") == 0) {
+      admission_options.max_inflight = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--max-queue") == 0) {
+      admission_options.max_queue = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--queue-timeout-ms") == 0) {
+      admission_options.queue_timeout_ms = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--max-conns") == 0) {
+      max_conns = std::atoll(next_arg(argc, argv, i));
+    } else if (std::strcmp(arg, "--max-requests-per-conn") == 0) {
+      limits.max_requests = std::atoll(next_arg(argc, argv, i));
     } else if (std::strcmp(arg, "--help") == 0) {
       usage(nullptr);
     } else {
@@ -203,6 +224,7 @@ int run(int argc, char** argv) {
   if (socket_path.empty()) usage("--socket is required");
 
   ScheduleServer server(options);
+  AdmissionController admission(admission_options);
   if (server.disk_cache() != nullptr &&
       !server.disk_cache()->init_status().ok())
     std::fprintf(stderr, "sbmpd: warning: schedule cache disabled: %s\n",
@@ -213,7 +235,9 @@ int run(int argc, char** argv) {
     return exit_code(s.code);
   }
 
-  // A client that disconnects mid-response must not kill the daemon.
+  // Belt and braces: every frame write already uses MSG_NOSIGNAL, but a
+  // client that disconnects mid-response must not kill the daemon even
+  // through a code path that missed it.
   std::signal(SIGPIPE, SIG_IGN);
   struct sigaction sa{};
   sa.sa_handler = on_signal;  // no SA_RESTART: accept must see EINTR
@@ -226,7 +250,6 @@ int run(int argc, char** argv) {
                options.cache_dir.empty() ? "<memory>"
                                          : options.cache_dir.c_str());
 
-  std::vector<std::thread> handlers;
   while (g_stop == 0) {
     const int fd = ::accept(g_listen_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -236,26 +259,35 @@ int run(int argc, char** argv) {
                    std::strerror(errno));
       break;
     }
-    handlers.emplace_back(
-        [&server, fd] { serve_connection(server, fd); });
+    if (max_conns > 0 && open_conns() >= max_conns) {
+      refuse_connection(server, fd, limits.io_timeout_ms);
+      continue;
+    }
+    register_conn(fd);
+    std::thread([&server, &admission, limits, fd] {
+      serve_connection(server, admission, limits, fd);
+    }).detach();
   }
 
   // Graceful drain: stop reading, finish what is in flight, then leave.
   drain_conns();
-  for (auto& handler : handlers) handler.join();
   ::unlink(socket_path.c_str());
 
   const ServerStats stats = server.stats();
+  const AdmissionController::Counters admitted = admission.counters();
   std::fprintf(stderr,
                "sbmpd: drained: %lld requests, %lld compiles, %lld memory "
                "hits, %lld disk hits, %lld single-flight joins, %lld corrupt "
-               "entries\n",
+               "entries, %lld queued, %lld shed\n",
                static_cast<long long>(stats.requests),
                static_cast<long long>(stats.compiles),
                static_cast<long long>(stats.memory_hits),
                static_cast<long long>(stats.disk_hits),
                static_cast<long long>(stats.singleflight_joins),
-               static_cast<long long>(stats.corrupt_entries));
+               static_cast<long long>(stats.corrupt_entries),
+               static_cast<long long>(admitted.queued),
+               static_cast<long long>(admitted.shed_queue_full +
+                                      admitted.shed_timeout));
   if (metrics_dump)
     std::fputs(server.metrics().snapshot().to_prometheus().c_str(), stdout);
   return exit_code(StatusCode::kOk);
