@@ -83,6 +83,18 @@ inline constexpr std::uint64_t kMaxFramePayload = 64ull << 20;
 [[nodiscard]] Status read_frame(Transport& transport, Frame* out,
                                 const Deadline& deadline);
 
+/// The daemon's between-frames variant: the peer may sit silent under
+/// `idle_deadline` (infinite = keep idle connections) before the first
+/// header byte; once that byte lands the peer is mid-frame and the
+/// transfer runs under a fresh `io_timeout_ms` budget (0 = unlimited).
+/// A timeout while waiting for the first byte is the idle reaper firing
+/// and carries stage "idle"; a mid-frame timeout is an I/O stall and
+/// carries the usual stage "deadline" — callers classify the two
+/// session endings apart.
+[[nodiscard]] Status read_frame(Transport& transport, Frame* out,
+                                const Deadline& idle_deadline,
+                                std::int64_t io_timeout_ms);
+
 /// Untimed fd conveniences (wrap the fd in FdTransport with an infinite
 /// deadline). Test plumbing and trusted in-process pairs only; the
 /// serving path always passes a Deadline.

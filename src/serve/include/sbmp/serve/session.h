@@ -20,7 +20,7 @@ struct SessionLimits {
 enum class SessionEnd {
   kPeerClosed,    ///< clean EOF between frames
   kIdleTimeout,   ///< no frame arrived within idle_timeout_ms
-  kIoError,       ///< transport failure / torn frame / write timeout
+  kIoError,       ///< transport failure / torn frame / mid-frame stall
   kProtocolError, ///< malformed frame (bad magic, unknown type, ...)
   kFrameTooLarge, ///< peer declared an oversized frame (typed refusal sent)
   kRequestLimit,  ///< max_requests served; peer must reconnect

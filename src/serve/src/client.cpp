@@ -151,8 +151,22 @@ LoopReport RemoteCompiler::compile(const Loop& loop,
 
   Status failure;
   for (int attempt = 1;; ++attempt) {
+    if (request_deadline.expired()) {
+      // Out of budget before the attempt even starts (possible on the
+      // very first one): fail fast rather than ship a doomed request.
+      failure = Status::error(StatusCode::kTimeout, "client",
+                              "request deadline expired before the request "
+                              "could be sent");
+      break;
+    }
+    // On the wire, deadline_ms=0 means "no limit" — so a nearly-expired
+    // budget must clamp UP to 1ms, never down to 0, or the daemon would
+    // read "take all the time you like" from a client that is almost
+    // out of time.
     const std::int64_t budget_ms =
-        request_deadline.is_infinite() ? 0 : request_deadline.remaining_ms();
+        request_deadline.is_infinite()
+            ? 0
+            : std::max<std::int64_t>(1, request_deadline.remaining_ms());
     const std::string request =
         encode_compile_request(options_payload, loop_source, budget_ms);
     const Deadline io_deadline =

@@ -88,6 +88,37 @@ Status read_all(Transport& transport, char* data, std::size_t size,
   return Status::okay();
 }
 
+/// Validates a fully-read header and reads the payload it declares.
+Status finish_frame(Transport& transport, Frame* out,
+                    const char header[kHeaderSize], const Deadline& deadline) {
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    // An sbmpd peer of a different protocol revision shares the "SBM"
+    // prefix; tell the operator which revisions disagree instead of
+    // pretending the peer is not sbmpd at all.
+    if (std::memcmp(header, kMagic, 3) == 0)
+      return proto_error(
+          std::string("protocol revision mismatch: peer speaks revision '") +
+          header[3] + "', this build speaks revision '" + kProtocolRevision +
+          "'");
+    return proto_error("bad frame magic (not an sbmpd peer?)");
+  }
+  const std::uint32_t type = get_u32(header + 4);
+  if (type < static_cast<std::uint32_t>(FrameType::kCompileRequest) ||
+      type > static_cast<std::uint32_t>(FrameType::kStatResponse))
+    return proto_error("unknown frame type " + std::to_string(type));
+  const std::uint64_t length = get_u64(header + 8);
+  if (length > kMaxFramePayload)
+    return Status::error(StatusCode::kFrameTooLarge, "protocol",
+                         "frame payload of " + std::to_string(length) +
+                             " bytes exceeds the " +
+                             std::to_string(kMaxFramePayload) + "-byte cap");
+  out->type = static_cast<FrameType>(type);
+  out->payload.resize(static_cast<std::size_t>(length));
+  if (length == 0) return Status::okay();
+  return read_all(transport, out->payload.data(), out->payload.size(), nullptr,
+                  deadline);
+}
+
 }  // namespace
 
 Status write_frame(Transport& transport, FrameType type,
@@ -117,32 +148,35 @@ Status read_frame(Transport& transport, Frame* out, const Deadline& deadline) {
     return s;
   if (clean_eof)
     return Status::error(StatusCode::kUnavailable, "eof", "peer hung up");
-  if (std::memcmp(header, kMagic, 4) != 0) {
-    // An sbmpd peer of a different protocol revision shares the "SBM"
-    // prefix; tell the operator which revisions disagree instead of
-    // pretending the peer is not sbmpd at all.
-    if (std::memcmp(header, kMagic, 3) == 0)
-      return proto_error(
-          std::string("protocol revision mismatch: peer speaks revision '") +
-          header[3] + "', this build speaks revision '" + kProtocolRevision +
-          "'");
-    return proto_error("bad frame magic (not an sbmpd peer?)");
+  return finish_frame(transport, out, header, deadline);
+}
+
+Status read_frame(Transport& transport, Frame* out,
+                  const Deadline& idle_deadline, std::int64_t io_timeout_ms) {
+  // Phase one: wait for the first header byte on the idle clock. An
+  // infinite idle_deadline is the documented "keep idle connections"
+  // mode — the wait is unbounded, but a drain's shutdown(SHUT_RD) still
+  // wakes it with a clean EOF.
+  char header[kHeaderSize];
+  std::size_t got = 0;
+  if (Status s = transport.read_some(header, 1, &got, idle_deadline);
+      !s.ok()) {
+    if (s.code == StatusCode::kTimeout)
+      return Status::error(StatusCode::kTimeout, "idle",
+                           "no frame arrived within the idle budget");
+    return s;
   }
-  const std::uint32_t type = get_u32(header + 4);
-  if (type < static_cast<std::uint32_t>(FrameType::kCompileRequest) ||
-      type > static_cast<std::uint32_t>(FrameType::kStatResponse))
-    return proto_error("unknown frame type " + std::to_string(type));
-  const std::uint64_t length = get_u64(header + 8);
-  if (length > kMaxFramePayload)
-    return Status::error(StatusCode::kFrameTooLarge, "protocol",
-                         "frame payload of " + std::to_string(length) +
-                             " bytes exceeds the " +
-                             std::to_string(kMaxFramePayload) + "-byte cap");
-  out->type = static_cast<FrameType>(type);
-  out->payload.resize(static_cast<std::size_t>(length));
-  if (length == 0) return Status::okay();
-  return read_all(transport, out->payload.data(), out->payload.size(), nullptr,
-                  deadline);
+  if (got == 0)
+    return Status::error(StatusCode::kUnavailable, "eof", "peer hung up");
+  // Phase two: the peer is mid-frame; the (usually tighter) io budget
+  // starts now, from the first byte, so a mid-frame stall is charged to
+  // the transfer clock — never silently to the idle allowance.
+  const Deadline io_deadline = Deadline::after_ms_opt(io_timeout_ms);
+  if (Status s =
+          read_all(transport, header + 1, kHeaderSize - 1, nullptr, io_deadline);
+      !s.ok())
+    return s;
+  return finish_frame(transport, out, header, io_deadline);
 }
 
 Status read_frame(int fd, Frame* out) {

@@ -111,19 +111,21 @@ SessionEnd serve_session(ScheduleServer& server, AdmissionController* admission,
   std::int64_t served = 0;
   for (;;) {
     Frame frame;
-    // Between frames the idle reaper clock runs; once the first byte of
-    // a frame lands, the (usually tighter) io budget applies. Modeling
-    // both with one read deadline of min(idle, io-from-first-byte)
-    // would need peek plumbing for no behavioral difference at these
-    // magnitudes, so the frame read runs under the idle budget and
-    // writes under the io budget.
-    const Deadline read_deadline = Deadline::after_ms_opt(
-        limits.idle_timeout_ms > 0 ? limits.idle_timeout_ms
-                                   : limits.io_timeout_ms);
-    const Status rs = read_frame(transport, &frame, read_deadline);
+    // Between frames only the idle reaper clock runs — with
+    // --idle-timeout-ms 0 the wait is unbounded, honoring the
+    // documented "keep idle connections" default (the drain's
+    // shutdown(SHUT_RD) still wakes it). Once the first byte of a frame
+    // lands, the two-phase read_frame switches to a fresh io budget, so
+    // an idle-reaper firing and a mid-frame stall classify apart.
+    const Deadline idle_deadline =
+        Deadline::after_ms_opt(limits.idle_timeout_ms);
+    const Status rs =
+        read_frame(transport, &frame, idle_deadline, limits.io_timeout_ms);
     if (!rs.ok()) {
       if (rs.stage == "eof") return SessionEnd::kPeerClosed;
-      if (rs.code == StatusCode::kTimeout) return SessionEnd::kIdleTimeout;
+      if (rs.code == StatusCode::kTimeout)
+        return rs.stage == "idle" ? SessionEnd::kIdleTimeout
+                                  : SessionEnd::kIoError;
       if (rs.code == StatusCode::kFrameTooLarge) {
         // Typed refusal: tell the peer what it did before hanging up
         // (best effort — the stream is unrecoverable either way).

@@ -1,5 +1,6 @@
 #include "sbmp/serve/transport.h"
 
+#include <limits.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -50,23 +51,28 @@ Status FdTransport::read_some(char* buf, std::size_t cap, std::size_t* got,
                               const Deadline& deadline) {
   *got = 0;
   if (cap == 0) return Status::okay();
-  if (Status s = poll_ready(fd_, POLLIN, deadline, "socket read"); !s.ok())
-    return s;
   for (;;) {
-    const ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (Status s = poll_ready(fd_, POLLIN, deadline, "socket read"); !s.ok())
+      return s;
+    // MSG_DONTWAIT so a spurious poll wakeup re-enters the poll loop
+    // (and keeps burning the deadline) instead of parking the thread in
+    // a blocking recv the Deadline no longer covers.
+    const ssize_t n = ::recv(fd_, buf, cap, MSG_DONTWAIT);
     if (n >= 0) {
       *got = static_cast<std::size_t>(n);  // 0 = clean EOF
       return Status::okay();
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // re-poll
     if (errno == ENOTSOCK) {
-      // Plain-fd fallback (tests may frame over pipes).
+      // Plain-fd fallback (tests may frame over pipes). read(2) after
+      // POLLIN returns whatever is buffered without blocking.
       const ssize_t m = ::read(fd_, buf, cap);
       if (m >= 0) {
         *got = static_cast<std::size_t>(m);
         return Status::okay();
       }
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     }
     return transport_error("socket read failed");
   }
@@ -76,24 +82,39 @@ Status FdTransport::write_some(const char* buf, std::size_t size,
                                std::size_t* put, const Deadline& deadline) {
   *put = 0;
   if (size == 0) return Status::okay();
-  if (Status s = poll_ready(fd_, POLLOUT, deadline, "socket write"); !s.ok())
-    return s;
   for (;;) {
+    if (Status s = poll_ready(fd_, POLLOUT, deadline, "socket write"); !s.ok())
+      return s;
     // MSG_NOSIGNAL: a vanished peer must surface as a Status
     // (kUnavailable via EPIPE), never as SIGPIPE process death.
-    const ssize_t n = ::send(fd_, buf, size, MSG_NOSIGNAL);
+    // MSG_DONTWAIT: POLLOUT only promises *some* buffer space; a
+    // blocking send of a frame larger than the socket buffer would park
+    // this thread until the peer drains it — past any deadline, wedging
+    // a handler against a client that stopped reading. The non-blocking
+    // send takes the partial write instead (callers loop), and EAGAIN
+    // re-enters the poll loop still under the deadline.
+    const ssize_t n = ::send(fd_, buf, size, MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n >= 0) {
       *put = static_cast<std::size_t>(n);
       return Status::okay();
     }
     if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) continue;  // re-poll
     if (errno == ENOTSOCK) {
-      const ssize_t m = ::write(fd_, buf, size);
+      // Plain-fd fallback (tests may frame over pipes). A pipe write of
+      // at most PIPE_BUF bytes after POLLOUT fits the free slot poll
+      // just reported, so it cannot block; larger blocking pipe writes
+      // could stall until the reader drains everything.
+      const std::size_t chunk =
+          size < static_cast<std::size_t>(PIPE_BUF)
+              ? size
+              : static_cast<std::size_t>(PIPE_BUF);
+      const ssize_t m = ::write(fd_, buf, chunk);
       if (m >= 0) {
         *put = static_cast<std::size_t>(m);
         return Status::okay();
       }
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
     }
     return transport_error("socket write failed");
   }

@@ -975,6 +975,29 @@ TEST(TransportTest, WriteToAClosedPeerIsUnavailableNotSigpipe) {
   ::close(fds[0]);
 }
 
+TEST(TransportTest, WriteDeadlineBoundsAFrameLargerThanTheSocketBuffer) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // The peer never reads: the kernel buffer fills mid-frame. POLLOUT
+  // only promises *some* space, so a blocking send() would park here
+  // until the peer drained — the write must instead take partial
+  // writes and surface kTimeout at the deadline.
+  FdTransport t(fds[0]);
+  const std::string frame(8u << 20, 'x');  // far beyond any socket buffer
+  const auto t0 = std::chrono::steady_clock::now();
+  const Status s = write_frame(t, FrameType::kCompileRequest, frame,
+                               Deadline::after_ms(100));
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kTimeout);
+  EXPECT_LT(elapsed_ms, 5000);  // bounded by the deadline, not the peer
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 TEST(TransportTest, FaultyTransportIsDeterministicPerSeed) {
   const auto run = [](std::uint64_t seed) {
     int fds[2];
@@ -1322,6 +1345,39 @@ TEST(ServeSession, IdleTimeoutReapsASilentConnection) {
   // Send nothing: the reaper must end the session, not leak it.
   h.server_thread.join();
   EXPECT_EQ(h.end, SessionEnd::kIdleTimeout);
+  ::close(h.client_fd);
+  h.client_fd = -1;
+}
+
+TEST(ServeSession, IdleZeroKeepsConnectionsBeyondTheIoBudget) {
+  ScheduleServer server{ServerOptions{}};
+  SessionLimits limits;
+  limits.io_timeout_ms = 40;  // tight io budget; idle stays 0 = keep
+  SessionHarness h(server, nullptr, limits);
+  // Sit silent for several io budgets: the io clock only runs once a
+  // frame's first byte lands, so the documented --idle-timeout-ms 0
+  // default must keep the connection, not reap it after io_timeout_ms.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(write_frame(h.client_fd, FrameType::kPing, "").ok());
+  Frame frame;
+  ASSERT_TRUE(read_frame(h.client_fd, &frame).ok());
+  EXPECT_EQ(frame.type, FrameType::kPong);
+  h.finish();
+  EXPECT_EQ(h.end, SessionEnd::kPeerClosed);
+}
+
+TEST(ServeSession, MidFrameStallIsAnIoErrorNotAnIdleTimeout) {
+  ScheduleServer server{ServerOptions{}};
+  SessionLimits limits;
+  limits.io_timeout_ms = 40;
+  limits.idle_timeout_ms = 60000;  // the idle reaper must NOT be charged
+  SessionHarness h(server, nullptr, limits);
+  // One header byte arrives, then the peer stalls: the fresh io budget
+  // fires and the ending classifies as an I/O stall — not as the idle
+  // reaper, whose allowance the stall must not consume.
+  ASSERT_EQ(::send(h.client_fd, "S", 1, MSG_NOSIGNAL), 1);
+  h.server_thread.join();
+  EXPECT_EQ(h.end, SessionEnd::kIoError);
   ::close(h.client_fd);
   h.client_fd = -1;
 }

@@ -164,9 +164,12 @@ void serve_connection(ScheduleServer& server, AdmissionController& admission,
 
 /// The --max-conns refusal: one typed kOverloaded response, then close.
 /// The client's next read finds the refusal already buffered, so it
-/// backs off instead of diagnosing a mystery hangup.
-void refuse_connection(ScheduleServer& server, int fd,
-                       std::int64_t io_timeout_ms) {
+/// backs off instead of diagnosing a mystery hangup. The refusal runs
+/// on the accept thread, so its budget is a small constant — never the
+/// per-client io timeout: a connecting peer that refuses to drain even
+/// this tiny frame must not hold up accepting everyone else.
+void refuse_connection(ScheduleServer& server, int fd) {
+  constexpr std::int64_t kRefusalBudgetMs = 100;
   server.metrics()
       .counter("sbmp_serve_outcomes_total", "outcome=\"conn_refused\"")
       ->inc();
@@ -175,7 +178,7 @@ void refuse_connection(ScheduleServer& server, int fd,
   FdTransport transport(fd);
   (void)write_frame(transport, FrameType::kCompileResponse,
                     encode_compile_response(s, ""),
-                    Deadline::after_ms_opt(io_timeout_ms));
+                    Deadline::after_ms(kRefusalBudgetMs));
   ::close(fd);
 }
 
@@ -260,7 +263,7 @@ int run(int argc, char** argv) {
       break;
     }
     if (max_conns > 0 && open_conns() >= max_conns) {
-      refuse_connection(server, fd, limits.io_timeout_ms);
+      refuse_connection(server, fd);
       continue;
     }
     register_conn(fd);
