@@ -267,6 +267,10 @@ struct CompilePerf {
   std::int64_t compile_p99_ns = 0;
   double loops_per_sec_jobs1 = 0.0;
   double loops_per_sec_jobs8 = 0.0;
+  /// Measured multi-core scaling curve: (jobs, loops/sec) at every
+  /// level of the {1, 2, 4, 8, 16} sweep, in sweep order. jobs1/jobs8
+  /// above are the same numbers, kept as scalars for the check reader.
+  std::vector<std::pair<int, double>> scaling_curve;
   std::int64_t cache_hit_p50_ns = 0;
   std::int64_t cache_hit_p99_ns = 0;
   std::uint64_t allocs_per_compile = 0;  ///< 0 when no interposer
@@ -354,18 +358,21 @@ inline CompilePerf run_compile_perf(int reps = 7) {
   scratch = samples;
   perf.compile_p99_ns = percentile_ns(scratch, 0.99);
 
-  // Corpus throughput through the batch facade at jobs 1 and 8, cache
-  // off so every loop pays the full compile. The shared pool spawns its
-  // workers on the untimed warmup pass, so the timed passes measure
-  // steady-state throughput — what a daemon or sweep actually sustains —
-  // never thread-spawn latency (the old methodology charged 8 spawns to
-  // the jobs8 region and made parallelism look like a loss). Each jobs
-  // level takes the best of `reps` passes to shed scheduler noise.
+  // Corpus throughput through the batch facade across the full
+  // {1, 2, 4, 8, 16} jobs sweep, cache off so every loop pays the full
+  // compile. The shared pool spawns its workers on the untimed warmup
+  // pass, so the timed passes measure steady-state throughput — what a
+  // daemon or sweep actually sustains — never thread-spawn latency (the
+  // old methodology charged 8 spawns to the jobs8 region and made
+  // parallelism look like a loss). Each jobs level takes the best of
+  // `reps` passes to shed scheduler noise; the whole curve lands in the
+  // JSON so trajectory tooling sees the knee, while the jobs1/jobs8
+  // scalars keep feeding the scaling gate unchanged.
   std::vector<CompileRequest> requests;
   requests.reserve(corpus.size());
   for (const auto& target : corpus)
     requests.push_back({target.loop, options});
-  for (const int jobs : {1, 8}) {
+  for (const int jobs : {1, 2, 4, 8, 16}) {
     CompileBatchOptions batch;
     batch.jobs = jobs;
     batch.use_cache = false;
@@ -379,7 +386,9 @@ inline CompilePerf run_compile_perf(int reps = 7) {
           secs > 0.0 ? static_cast<double>(report.loops.size()) / secs : 0.0;
       best = std::max(best, rate);
     }
-    (jobs == 1 ? perf.loops_per_sec_jobs1 : perf.loops_per_sec_jobs8) = best;
+    perf.scaling_curve.emplace_back(jobs, best);
+    if (jobs == 1) perf.loops_per_sec_jobs1 = best;
+    if (jobs == 8) perf.loops_per_sec_jobs8 = best;
   }
 
   // Memoized-cache hit latency: fill once, then time pure hits.
@@ -435,26 +444,35 @@ inline CompilePerf run_compile_perf(int reps = 7) {
   return perf;
 }
 
-/// v2 adds "phase_ns": per-phase p50/p99 from the traced pass. The
-/// check-mode reader scans scalar fields by key, so v1 files remain
-/// checkable against a v2 binary and vice versa.
+/// v2 added "phase_ns" (per-phase p50/p99 from the traced pass); v3
+/// adds "scaling_curve": measured loops/sec at every jobs level of the
+/// {1, 2, 4, 8, 16} sweep. The check-mode reader scans scalar fields by
+/// key, so v1/v2 files remain checkable against a v3 binary and vice
+/// versa.
 inline std::string compile_perf_to_json(const CompilePerf& perf) {
   std::string out;
   appendf(out,
           "{\n"
-          "  \"schema\": \"sbmp-bench-compile-v2\",\n"
+          "  \"schema\": \"sbmp-bench-compile-v3\",\n"
           "  \"corpus_loops\": %d,\n"
           "  \"reps\": %d,\n"
           "  \"compile_ns\": {\"p50\": %lld, \"p99\": %lld},\n"
           "  \"loops_per_sec\": {\"jobs1\": %.1f, \"jobs8\": %.1f},\n"
+          "  \"scaling_curve\": {",
+          perf.corpus_loops, perf.reps,
+          static_cast<long long>(perf.compile_p50_ns),
+          static_cast<long long>(perf.compile_p99_ns),
+          perf.loops_per_sec_jobs1, perf.loops_per_sec_jobs8);
+  for (std::size_t i = 0; i < perf.scaling_curve.size(); ++i) {
+    appendf(out, "%s\"jobs%d\": %.1f", i == 0 ? "" : ", ",
+            perf.scaling_curve[i].first, perf.scaling_curve[i].second);
+  }
+  appendf(out,
+          "},\n"
           "  \"cache_hit_ns\": {\"p50\": %lld, \"p99\": %lld},\n"
           "  \"allocs_per_compile\": %llu,\n"
           "  \"schedule_fingerprint\": \"%s\",\n"
           "  \"phase_ns\": {",
-          perf.corpus_loops, perf.reps,
-          static_cast<long long>(perf.compile_p50_ns),
-          static_cast<long long>(perf.compile_p99_ns),
-          perf.loops_per_sec_jobs1, perf.loops_per_sec_jobs8,
           static_cast<long long>(perf.cache_hit_p50_ns),
           static_cast<long long>(perf.cache_hit_p99_ns),
           static_cast<unsigned long long>(perf.allocs_per_compile),

@@ -1,0 +1,334 @@
+#include "sbmp/exec/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <system_error>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "sbmp/exec/sync.h"
+#include "sbmp/obs/metrics.h"
+#include "sbmp/obs/trace.h"
+#include "sbmp/sim/simulator.h"
+#include "sbmp/support/overflow.h"
+
+namespace sbmp {
+
+namespace {
+
+constexpr const char* kStage = "exec";
+
+[[nodiscard]] std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Busy-waits for `ns` — models per-group compute cost (see
+/// ExecOptions::spin_ns_per_group). A sleep would be far too coarse at
+/// the tens-of-nanoseconds granularity a DLX issue group represents.
+void spin_for(std::int64_t ns) {
+  const auto end =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(ns);
+  while (std::chrono::steady_clock::now() < end) {
+  }
+}
+
+/// Per-worker tallies, merged after the join (no shared counters on the
+/// hot path).
+struct WorkerTally {
+  std::int64_t sends = 0;
+  std::int64_t waits = 0;
+  std::int64_t blocked_waits = 0;
+  std::int64_t gate_blocks = 0;
+};
+
+}  // namespace
+
+LoopExecutor::LoopExecutor(Loop loop, TacFunction tac, Schedule schedule)
+    : loop_(std::move(loop)),
+      tac_(std::move(tac)),
+      schedule_(std::move(schedule)) {
+  // The schedule must cover the TAC exactly once: the executor walks
+  // groups, so an unscheduled instruction would silently never run.
+  const int size = tac_.size();
+  std::vector<char> seen(static_cast<std::size_t>(size) + 1, 0);
+  int scheduled = 0;
+  for (const auto& group : schedule_.groups) {
+    for (const int id : group) {
+      if (id < 1 || id > size || seen[static_cast<std::size_t>(id)] != 0) {
+        setup_status_ = Status::error(
+            StatusCode::kInternal, kStage,
+            "schedule references instruction " + std::to_string(id) +
+                " out of range or twice");
+        return;
+      }
+      seen[static_cast<std::size_t>(id)] = 1;
+      ++scheduled;
+    }
+  }
+  if (scheduled != size)
+    setup_status_ = Status::error(
+        StatusCode::kInternal, kStage,
+        "schedule covers " + std::to_string(scheduled) + " of " +
+            std::to_string(size) + " instructions");
+}
+
+LoopExecutor::LoopExecutor(const LoopReport& report)
+    : LoopExecutor(report.loop, report.tac, report.schedule) {}
+
+ExecResult LoopExecutor::run(const ExecOptions& options) const {
+  ExecResult result;
+  if (!setup_status_.ok()) {
+    result.status = setup_status_;
+    return result;
+  }
+  if (options.threads > kMaxThreads) {
+    result.status = Status::error(
+        StatusCode::kResource, kStage,
+        "thread count " + std::to_string(options.threads) +
+            " exceeds the executor ceiling of " + std::to_string(kMaxThreads));
+    return result;
+  }
+
+  ExecProgram program;
+  result.status =
+      ExecProgram::build(tac_, loop_, options.iterations, options.memory_seed,
+                         options.max_memory_bytes, &program);
+  if (!result.status.ok()) return result;
+
+  const std::int64_t n = program.iterations();
+  const int threads = static_cast<int>(std::clamp<std::int64_t>(
+      options.threads, 1, std::max<std::int64_t>(n, 1)));
+  result.stats.iterations = n;
+  result.stats.threads = threads;
+
+  if (options.metrics != nullptr)
+    options.metrics->counter("sbmp_exec_runs_total")->inc();
+
+  result.memory = program.initial_memory();
+  if (n == 0) {
+    result.fingerprint = result.memory.fingerprint();
+    return result;
+  }
+
+  // Signal history sized exactly like the simulator's ring: deepest
+  // wait plus one, active workers plus one, clamped to the trip count.
+  const std::int64_t rows = std::min(
+      signal_window_rows(program.max_wait_distance(), threads),
+      sat_add(n, 1));
+  SignalBoard board(program.signal_width(), rows);
+  result.stats.window = board.rows();
+
+  // Flatten the schedule into group-ordered micro-ops once; workers
+  // then run over one contiguous array per iteration.
+  std::vector<XInstr> ordered;
+  ordered.reserve(program.instrs().size());
+  std::vector<std::size_t> group_begin;
+  group_begin.reserve(schedule_.groups.size() + 1);
+  for (const auto& group : schedule_.groups) {
+    group_begin.push_back(ordered.size());
+    for (const int id : group)
+      ordered.push_back(program.instrs()[static_cast<std::size_t>(id - 1)]);
+  }
+  group_begin.push_back(ordered.size());
+  const std::size_t group_count = schedule_.groups.size();
+
+  // Per-worker completion counts, read by the ring-reuse gate. All
+  // iterations <= T are complete iff every worker w has completed
+  // ceil((T - w + 1) / threads) of its cyclically assigned iterations.
+  std::unique_ptr<std::atomic<std::int64_t>[]> done(
+      new std::atomic<std::int64_t>[static_cast<std::size_t>(threads)]);
+  for (int w = 0; w < threads; ++w)
+    done[static_cast<std::size_t>(w)].store(0, std::memory_order_seq_cst);
+
+  std::atomic<bool> failed{false};
+  Status worker_error;  // written only by the failed-CAS winner
+  const auto fail = [&](Status status) {
+    bool expected = false;
+    if (failed.compare_exchange_strong(expected, true,
+                                       std::memory_order_seq_cst))
+      worker_error = std::move(status);
+    board.hub().halt();
+  };
+
+  std::vector<WorkerTally> tallies(static_cast<std::size_t>(threads));
+  const std::vector<std::uint64_t> frame = program.frame_template();
+  const int iter_reg = program.iter_reg();
+  const std::int64_t lower = program.lower();
+  const std::int64_t window = board.rows();
+  const std::int64_t spin_ns = options.spin_ns_per_group;
+  ExecMemory& memory = result.memory;
+  Tracer* const tracer = options.tracer;
+
+  const auto worker = [&](int w) {
+    WorkerTally& tally = tallies[static_cast<std::size_t>(w)];
+    std::vector<std::uint64_t> regs = frame;
+    std::atomic<std::int64_t>& my_done = done[static_cast<std::size_t>(w)];
+    // Wave spans: bound trace volume by grouping this worker's
+    // iterations into at most trace_waves_per_worker spans.
+    const std::int64_t mine =
+        n > w ? (n - 1 - w) / threads + 1 : 0;
+    const std::int64_t wave_len =
+        tracer != nullptr && options.trace_waves_per_worker > 0 && mine > 0
+            ? (mine - 1) / options.trace_waves_per_worker + 1
+            : 0;
+    Tracer::Span wave;
+    std::int64_t local = 0;
+    std::int64_t completed = 0;
+    for (std::int64_t k = w; k < n; k += threads, ++local) {
+      if (wave_len > 0 && local % wave_len == 0) {
+        wave = Tracer::begin(tracer, "exec_wave");
+        wave.arg("worker", w);
+        wave.arg("first_iteration", k);
+      }
+      // Ring-reuse gate: iteration k may only start once iteration
+      // k - window has fully completed, so the signal slot about to be
+      // re-posted has no live readers and slot sequences only grow.
+      if (k >= window) {
+        const std::int64_t target = k - window;
+        const auto outcome = board.hub().await([&] {
+          for (int w2 = 0; w2 < threads; ++w2) {
+            const std::int64_t need =
+                target >= w2 ? (target - w2) / threads + 1 : 0;
+            if (done[static_cast<std::size_t>(w2)].load(
+                    std::memory_order_seq_cst) < need)
+              return false;
+          }
+          return true;
+        });
+        if (outcome.blocked) ++tally.gate_blocks;
+        if (!outcome.satisfied) return;
+      }
+      regs[static_cast<std::size_t>(iter_reg)] =
+          static_cast<std::uint64_t>(lower) + static_cast<std::uint64_t>(k);
+      for (std::size_t g = 0; g < group_count; ++g) {
+        for (std::size_t s = group_begin[g]; s < group_begin[g + 1]; ++s) {
+          const XInstr& x = ordered[s];
+          if (x.op == XOp::kWait) {
+            const std::int64_t src = k - x.sync_distance;
+            // Matches the simulator: waits whose source iteration does
+            // not exist, or whose signal is never sent, impose nothing.
+            if (src < 0 || !program.send_exists(x.signal_stmt)) continue;
+            ++tally.waits;
+            const auto outcome = board.await_signal(x.signal_stmt, src);
+            if (outcome.blocked) ++tally.blocked_waits;
+            if (!outcome.satisfied) return;
+          } else if (x.op == XOp::kSend) {
+            ++tally.sends;
+            board.post(x.signal_stmt, k);
+          } else {
+            ExecFault fault;
+            if (!exec_step(x, regs.data(), memory, &fault)) {
+              fail(Status::error(
+                  StatusCode::kInternal, kStage,
+                  "runtime fault at instruction " +
+                      std::to_string(fault.instr_id) + ", iteration " +
+                      std::to_string(k) + ": " + fault.message));
+              return;
+            }
+          }
+        }
+        if (spin_ns > 0) spin_for(spin_ns);
+      }
+      my_done.store(++completed, std::memory_order_seq_cst);
+      board.hub().wake();
+    }
+  };
+
+  auto run_span = Tracer::begin(tracer, "exec_run");
+  run_span.arg("threads", threads);
+  run_span.arg("iterations", n);
+  run_span.arg("window", window);
+
+  const std::int64_t t0 = now_ns();
+  {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads) - 1);
+    try {
+      for (int w = 1; w < threads; ++w) pool.emplace_back(worker, w);
+    } catch (const std::system_error& e) {
+      fail(Status::error(StatusCode::kResource, kStage,
+                         std::string("worker thread start failed: ") +
+                             e.what()));
+      for (auto& t : pool) t.join();
+      result.status = worker_error;
+      return result;
+    }
+    worker(0);
+    for (auto& t : pool) t.join();
+  }
+  result.wall_ns = now_ns() - t0;
+  run_span.close();
+
+  if (failed.load(std::memory_order_seq_cst)) {
+    result.status = worker_error;
+    return result;
+  }
+
+  if (options.corrupt_result) {
+    for (auto& arr : result.memory.arrays) {
+      if (arr.cells.empty()) continue;
+      arr.cells.front() ^= 1;
+      break;
+    }
+  }
+
+  for (const WorkerTally& tally : tallies) {
+    result.stats.sends += tally.sends;
+    result.stats.waits += tally.waits;
+    result.stats.blocked_waits += tally.blocked_waits;
+    result.stats.gate_blocks += tally.gate_blocks;
+  }
+  result.fingerprint = result.memory.fingerprint();
+
+  if (options.metrics != nullptr) {
+    MetricsRegistry& m = *options.metrics;
+    m.counter("sbmp_exec_iterations_total")->inc(n);
+    m.counter("sbmp_exec_sends_total")->inc(result.stats.sends);
+    m.counter("sbmp_exec_waits_total")->inc(result.stats.waits);
+    m.counter("sbmp_exec_blocked_waits_total")
+        ->inc(result.stats.blocked_waits);
+    m.counter("sbmp_exec_gate_blocks_total")->inc(result.stats.gate_blocks);
+    m.histogram("sbmp_exec_run_ns", "", phase_latency_bounds_ns())
+        ->observe(result.wall_ns);
+  }
+  return result;
+}
+
+ExecResult LoopExecutor::run_reference(const ExecOptions& options) const {
+  ExecResult result;
+  if (!setup_status_.ok()) {
+    result.status = setup_status_;
+    return result;
+  }
+  ExecProgram program;
+  result.status =
+      ExecProgram::build(tac_, loop_, options.iterations, options.memory_seed,
+                         options.max_memory_bytes, &program);
+  if (!result.status.ok()) return result;
+  result.stats.iterations = program.iterations();
+  result.stats.threads = 1;
+  const std::int64_t t0 = now_ns();
+  result.status = run_reference_interp(program, &result.memory);
+  result.wall_ns = now_ns() - t0;
+  if (result.status.ok()) result.fingerprint = result.memory.fingerprint();
+  return result;
+}
+
+Status LoopExecutor::verify(const ExecResult& executed,
+                            const ExecResult& reference) {
+  if (!executed.status.ok()) return executed.status;
+  if (!reference.status.ok()) return reference.status;
+  if (executed.fingerprint == reference.fingerprint) return Status::okay();
+  std::string diff =
+      ExecMemory::first_difference(executed.memory, reference.memory);
+  if (diff.empty()) diff = "fingerprint mismatch with no cell difference";
+  return Status::error(StatusCode::kExecDivergence, kStage,
+                       "executed state diverges from serial interpretation: " +
+                           diff);
+}
+
+}  // namespace sbmp

@@ -1,0 +1,416 @@
+#include "sbmp/exec/interp.h"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+#include "sbmp/support/hash.h"
+#include "sbmp/support/overflow.h"
+#include "sbmp/support/rng.h"
+
+namespace sbmp {
+
+namespace {
+
+constexpr const char* kStage = "exec";
+
+/// Largest element-index magnitude the executor addresses. Byte
+/// addresses are element indexes shifted left by 2; staying under 2^60
+/// keeps the shift (and its inverse) exact in int64.
+constexpr std::int64_t kMaxElemMagnitude = std::int64_t{1} << 60;
+
+/// Deterministic initial value for one memory cell or live-in scalar:
+/// a pure function of (seed, name hash, element index). Values are
+/// small integers — divided by 8 for real elements, so they are exactly
+/// representable and early float arithmetic stays exact — which keeps
+/// differential mismatches readable.
+std::uint64_t seeded_bits(std::uint64_t seed, std::uint64_t name_hash,
+                          std::int64_t elem, bool is_float) {
+  SplitMix64 rng(seed ^ name_hash ^
+                 (static_cast<std::uint64_t>(elem) * 0x9e3779b97f4a7c15ull));
+  const std::int64_t v = rng.range(-1000, 1000);
+  if (is_float) return exec_bits_of(static_cast<double>(v) / 8.0);
+  return static_cast<std::uint64_t>(v);
+}
+
+std::int64_t fetch_int(const XOperand& o, const std::uint64_t* regs) {
+  switch (o.kind) {
+    case XOperand::Kind::kNone:
+      return 0;
+    case XOperand::Kind::kReg:
+      return static_cast<std::int64_t>(regs[o.reg]);
+    case XOperand::Kind::kRegToInt:
+      return exec_f2i(exec_double_of(regs[o.reg]));
+    case XOperand::Kind::kRegToFloat:
+      return 0;  // never built for an int context
+    case XOperand::Kind::kImm:
+      return static_cast<std::int64_t>(o.bits);
+  }
+  return 0;
+}
+
+double fetch_float(const XOperand& o, const std::uint64_t* regs) {
+  switch (o.kind) {
+    case XOperand::Kind::kNone:
+      return 0.0;
+    case XOperand::Kind::kReg:
+      return exec_double_of(regs[o.reg]);
+    case XOperand::Kind::kRegToFloat:
+      return static_cast<double>(static_cast<std::int64_t>(regs[o.reg]));
+    case XOperand::Kind::kRegToInt:
+      return 0.0;  // never built for a float context
+    case XOperand::Kind::kImm:
+      return exec_double_of(o.bits);
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Status ExecProgram::build(const TacFunction& tac, const Loop& loop,
+                          std::int64_t iterations, std::uint64_t memory_seed,
+                          std::int64_t max_memory_bytes, ExecProgram* out) {
+  ExecProgram p;
+  p.seed_ = memory_seed;
+  p.iterations_ = std::max<std::int64_t>(iterations, 0);
+  p.lower_ = loop.lower;
+  p.reg_count_ = static_cast<int>(tac.reg_names.size());
+  p.iter_reg_ = tac.iter_reg;
+  if (p.iter_reg_ <= 0 || p.iter_reg_ >= p.reg_count_)
+    return Status::error(StatusCode::kInternal, kStage,
+                         "iteration register out of range");
+
+  // Static register typing: registers are single-assignment, so each
+  // has exactly one type — live-ins from the loop's element-type table,
+  // temporaries from their defining instruction.
+  std::vector<char> reg_float(static_cast<std::size_t>(p.reg_count_), 0);
+  std::vector<std::pair<int, std::uint64_t>> live_ins;
+  for (const auto& [name, reg] : tac.scalar_regs) {
+    if (reg <= 0 || reg >= p.reg_count_)
+      return Status::error(StatusCode::kInternal, kStage,
+                           "scalar register out of range: " + name);
+    const bool is_float = loop.array_type(name) == ElemType::kReal;
+    reg_float[static_cast<std::size_t>(reg)] = is_float ? 1 : 0;
+    live_ins.emplace_back(
+        reg, seeded_bits(memory_seed, hash_bytes("scalar:" + name), 0,
+                         is_float));
+  }
+  p.live_ins_ = std::move(live_ins);
+
+  // Array planning: one dense store per array, sized from the affine
+  // subscript extremes over the executed iteration range. Affine
+  // subscripts are monotone in the iteration variable, so the extremes
+  // sit at the range endpoints.
+  std::map<std::string, std::size_t> array_index;
+  struct Extent {
+    bool any = false;
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+  };
+  std::vector<Extent> extents;
+  const std::int64_t n = p.iterations_;
+  const std::int64_t endpoints[2] = {
+      loop.lower, sat_add(loop.lower, n > 0 ? n - 1 : 0)};
+  for (const auto& instr : tac.instrs) {
+    if (!instr.is_mem()) continue;
+    const auto [it, inserted] =
+        array_index.emplace(instr.array, p.arrays_.size());
+    if (inserted) {
+      ArrayPlan plan;
+      plan.name = instr.array;
+      plan.is_float = loop.array_type(instr.array) == ElemType::kReal;
+      p.arrays_.push_back(std::move(plan));
+      extents.emplace_back();
+    }
+    if (n == 0) continue;
+    Extent& ext = extents[it->second];
+    for (const std::int64_t i : endpoints) {
+      if (mul_overflows(instr.mem_index.coef, i) ||
+          add_overflows(instr.mem_index.coef * i, instr.mem_index.offset))
+        return Status::error(StatusCode::kResource, kStage,
+                             "subscript overflows the addressable range: " +
+                                 instr.array + "[" +
+                                 instr.mem_index.to_string(tac.iter_var) + "]");
+      const std::int64_t idx = instr.mem_index.eval(i);
+      if (!ext.any) {
+        ext.any = true;
+        ext.lo = ext.hi = idx;
+      } else {
+        ext.lo = std::min(ext.lo, idx);
+        ext.hi = std::max(ext.hi, idx);
+      }
+    }
+  }
+  const std::uint64_t byte_cap =
+      max_memory_bytes > 0 ? static_cast<std::uint64_t>(max_memory_bytes)
+                           : std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t total_bytes = 0;
+  for (std::size_t ai = 0; ai < p.arrays_.size(); ++ai) {
+    if (!extents[ai].any) continue;
+    const std::int64_t lo = extents[ai].lo;
+    const std::int64_t hi = extents[ai].hi;
+    if (lo < -kMaxElemMagnitude || hi > kMaxElemMagnitude)
+      return Status::error(StatusCode::kResource, kStage,
+                           "array " + p.arrays_[ai].name +
+                               " subscript magnitude exceeds the executor's "
+                               "addressable range");
+    const std::uint64_t count = range_span(lo, hi);
+    // Unconditional sanity ceiling (2^58 cells = 2 EiB) keeps the byte
+    // math below overflow-free even with the cap disabled.
+    if (count > (std::uint64_t{1} << 58) || count > byte_cap / 8 ||
+        (total_bytes += count * 8) > byte_cap)
+      return Status::error(
+          StatusCode::kResource, kStage,
+          "loop memory footprint exceeds the executor cap (" +
+              std::to_string(max_memory_bytes) + " bytes)");
+    p.arrays_[ai].first = lo;
+    p.arrays_[ai].count = static_cast<std::int64_t>(count);
+  }
+
+  // Lower each instruction, resolving operand conversions against the
+  // static register types and pre-encoding immediates in the use-site
+  // type.
+  const auto operand = [&](const Operand& o, bool want_float,
+                           XOperand* x) -> bool {
+    switch (o.kind) {
+      case Operand::Kind::kNone:
+        x->kind = XOperand::Kind::kNone;
+        return true;
+      case Operand::Kind::kImm:
+        x->kind = XOperand::Kind::kImm;
+        x->bits = want_float ? exec_bits_of(static_cast<double>(o.imm))
+                             : static_cast<std::uint64_t>(o.imm);
+        return true;
+      case Operand::Kind::kReg: {
+        if (o.reg <= 0 || o.reg >= p.reg_count_) return false;
+        const bool have_float =
+            reg_float[static_cast<std::size_t>(o.reg)] != 0;
+        x->reg = o.reg;
+        x->kind = have_float == want_float ? XOperand::Kind::kReg
+                  : want_float             ? XOperand::Kind::kRegToFloat
+                                           : XOperand::Kind::kRegToInt;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  p.instrs_.reserve(tac.instrs.size());
+  for (const auto& instr : tac.instrs) {
+    XInstr x;
+    x.id = instr.id;
+    bool want_float_a = false;
+    bool want_float_b = false;
+    bool dst_float = false;
+    bool has_dst = true;
+    switch (instr.op) {
+      case Opcode::kAddI:
+        x.op = XOp::kIntAdd;
+        break;
+      case Opcode::kMulI:
+        x.op = XOp::kIntMul;
+        break;
+      case Opcode::kShl:
+        x.op = XOp::kShl;
+        break;
+      case Opcode::kAdd:
+        x.op = instr.is_float ? XOp::kFloatAdd : XOp::kIntAdd;
+        want_float_a = want_float_b = dst_float = instr.is_float;
+        break;
+      case Opcode::kSub:
+        x.op = instr.is_float ? XOp::kFloatSub : XOp::kIntSub;
+        want_float_a = want_float_b = dst_float = instr.is_float;
+        break;
+      case Opcode::kMul:
+        x.op = instr.is_float ? XOp::kFloatMul : XOp::kIntMul;
+        want_float_a = want_float_b = dst_float = instr.is_float;
+        break;
+      case Opcode::kDiv:
+        x.op = instr.is_float ? XOp::kFloatDiv : XOp::kIntDiv;
+        want_float_a = want_float_b = dst_float = instr.is_float;
+        break;
+      case Opcode::kLoad:
+        x.op = XOp::kLoad;
+        dst_float = p.arrays_[array_index.at(instr.array)].is_float;
+        break;
+      case Opcode::kStore:
+        x.op = XOp::kStore;
+        want_float_b = p.arrays_[array_index.at(instr.array)].is_float;
+        has_dst = false;
+        break;
+      case Opcode::kWait:
+        x.op = XOp::kWait;
+        has_dst = false;
+        break;
+      case Opcode::kSend:
+        x.op = XOp::kSend;
+        has_dst = false;
+        break;
+    }
+    if (instr.is_mem())
+      x.array = static_cast<std::int32_t>(array_index.at(instr.array));
+    if (instr.is_sync()) {
+      x.signal_stmt = instr.signal_stmt;
+      x.sync_distance = instr.sync_distance;
+      if (instr.signal_stmt >= p.signal_width_)
+        p.signal_width_ = instr.signal_stmt + 1;
+      if (instr.op == Opcode::kWait)
+        p.max_wait_distance_ =
+            std::max(p.max_wait_distance_, instr.sync_distance);
+    } else {
+      if (!operand(instr.a, want_float_a, &x.a) ||
+          !operand(instr.b, want_float_b, &x.b))
+        return Status::error(StatusCode::kInternal, kStage,
+                             "malformed operand in instruction " +
+                                 std::to_string(instr.id));
+      if (has_dst) {
+        if (instr.dst <= 0 || instr.dst >= p.reg_count_)
+          return Status::error(StatusCode::kInternal, kStage,
+                               "destination register out of range in "
+                               "instruction " +
+                                   std::to_string(instr.id));
+        x.dst = instr.dst;
+        reg_float[static_cast<std::size_t>(instr.dst)] = dst_float ? 1 : 0;
+      }
+    }
+    p.instrs_.push_back(x);
+  }
+  p.send_exists_.assign(static_cast<std::size_t>(p.signal_width_), 0);
+  for (const auto& instr : tac.instrs)
+    if (instr.op == Opcode::kSend)
+      p.send_exists_[static_cast<std::size_t>(instr.signal_stmt)] = 1;
+
+  *out = std::move(p);
+  return Status::okay();
+}
+
+ExecMemory ExecProgram::initial_memory() const {
+  ExecMemory memory;
+  memory.arrays.reserve(arrays_.size());
+  for (const auto& plan : arrays_) {
+    ExecArray arr;
+    arr.name = plan.name;
+    arr.is_float = plan.is_float;
+    arr.first = plan.first;
+    arr.cells.resize(static_cast<std::size_t>(plan.count));
+    const std::uint64_t name_hash = hash_bytes("array:" + plan.name);
+    for (std::int64_t c = 0; c < plan.count; ++c)
+      arr.cells[static_cast<std::size_t>(c)] =
+          seeded_bits(seed_, name_hash, plan.first + c, plan.is_float);
+    memory.arrays.push_back(std::move(arr));
+  }
+  return memory;
+}
+
+std::vector<std::uint64_t> ExecProgram::frame_template() const {
+  std::vector<std::uint64_t> regs(static_cast<std::size_t>(reg_count_), 0);
+  for (const auto& [reg, bits] : live_ins_)
+    regs[static_cast<std::size_t>(reg)] = bits;
+  return regs;
+}
+
+bool exec_step(const XInstr& x, std::uint64_t* regs, ExecMemory& memory,
+               ExecFault* fault) {
+  switch (x.op) {
+    case XOp::kIntAdd:
+      regs[x.dst] = static_cast<std::uint64_t>(
+          exec_iadd(fetch_int(x.a, regs), fetch_int(x.b, regs)));
+      return true;
+    case XOp::kIntSub:
+      regs[x.dst] = static_cast<std::uint64_t>(
+          exec_isub(fetch_int(x.a, regs), fetch_int(x.b, regs)));
+      return true;
+    case XOp::kIntMul:
+      regs[x.dst] = static_cast<std::uint64_t>(
+          exec_imul(fetch_int(x.a, regs), fetch_int(x.b, regs)));
+      return true;
+    case XOp::kIntDiv:
+      regs[x.dst] = static_cast<std::uint64_t>(
+          exec_idiv(fetch_int(x.a, regs), fetch_int(x.b, regs)));
+      return true;
+    case XOp::kShl:
+      regs[x.dst] = static_cast<std::uint64_t>(
+          exec_ishl(fetch_int(x.a, regs), fetch_int(x.b, regs)));
+      return true;
+    case XOp::kFloatAdd:
+      regs[x.dst] =
+          exec_bits_of(fetch_float(x.a, regs) + fetch_float(x.b, regs));
+      return true;
+    case XOp::kFloatSub:
+      regs[x.dst] =
+          exec_bits_of(fetch_float(x.a, regs) - fetch_float(x.b, regs));
+      return true;
+    case XOp::kFloatMul:
+      regs[x.dst] =
+          exec_bits_of(fetch_float(x.a, regs) * fetch_float(x.b, regs));
+      return true;
+    case XOp::kFloatDiv:
+      regs[x.dst] =
+          exec_bits_of(fetch_float(x.a, regs) / fetch_float(x.b, regs));
+      return true;
+    case XOp::kLoad:
+    case XOp::kStore: {
+      const std::int64_t addr = fetch_int(x.a, regs);
+      if ((addr & 3) != 0) {
+        fault->instr_id = x.id;
+        fault->message = "misaligned byte address " + std::to_string(addr);
+        return false;
+      }
+      const std::int64_t elem = addr >> 2;
+      ExecArray& arr = memory.arrays[static_cast<std::size_t>(x.array)];
+      const std::int64_t off = elem - arr.first;
+      if (off < 0 || off >= static_cast<std::int64_t>(arr.cells.size())) {
+        fault->instr_id = x.id;
+        fault->message = arr.name + "[" + std::to_string(elem) +
+                         "] outside planned extent [" +
+                         std::to_string(arr.first) + ", " +
+                         std::to_string(arr.first +
+                                        static_cast<std::int64_t>(
+                                            arr.cells.size()) -
+                                        1) +
+                         "]";
+        return false;
+      }
+      if (x.op == XOp::kLoad) {
+        regs[x.dst] = arr.cells[static_cast<std::size_t>(off)];
+      } else {
+        arr.cells[static_cast<std::size_t>(off)] =
+            arr.is_float
+                ? exec_bits_of(fetch_float(x.b, regs))
+                : static_cast<std::uint64_t>(fetch_int(x.b, regs));
+      }
+      return true;
+    }
+    case XOp::kWait:
+    case XOp::kSend:
+      return true;  // synchronization is the caller's concern
+  }
+  return true;
+}
+
+Status run_reference_interp(const ExecProgram& program, ExecMemory* memory) {
+  *memory = program.initial_memory();
+  std::vector<std::uint64_t> regs = program.frame_template();
+  const std::vector<XInstr>& instrs = program.instrs();
+  const int iter_reg = program.iter_reg();
+  const std::int64_t n = program.iterations();
+  for (std::int64_t k = 0; k < n; ++k) {
+    // Unsigned addition: wraps identically to the threaded executor on
+    // degenerate bounds instead of overflowing.
+    regs[static_cast<std::size_t>(iter_reg)] =
+        static_cast<std::uint64_t>(program.lower()) +
+        static_cast<std::uint64_t>(k);
+    for (const XInstr& x : instrs) {
+      if (x.op == XOp::kWait || x.op == XOp::kSend) continue;
+      ExecFault fault;
+      if (!exec_step(x, regs.data(), *memory, &fault))
+        return Status::error(StatusCode::kInternal, kStage,
+                             "reference interpretation fault at instruction " +
+                                 std::to_string(fault.instr_id) + ": " +
+                                 fault.message);
+    }
+  }
+  return Status::okay();
+}
+
+}  // namespace sbmp

@@ -1,0 +1,76 @@
+#include "sbmp/exec/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "sbmp/support/hash.h"
+
+namespace sbmp {
+
+namespace {
+
+/// Renders a cell for diff messages: value plus the raw bit pattern,
+/// because divergence is defined bit-wise — two doubles can round to
+/// the same decimal string while differing in the last mantissa bit.
+std::string render_cell(std::uint64_t bits, bool is_float) {
+  char buf[64];
+  if (is_float) {
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof v);
+    std::snprintf(buf, sizeof buf, "%.17g (bits %016llx)", v,
+                  static_cast<unsigned long long>(bits));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lld (bits %016llx)",
+                  static_cast<long long>(static_cast<std::int64_t>(bits)),
+                  static_cast<unsigned long long>(bits));
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::uint64_t ExecMemory::fingerprint() const {
+  Hasher64 h;
+  h.update_u64(arrays.size());
+  for (const auto& a : arrays) {
+    h.update(a.name);
+    h.update_u64(a.is_float ? 1 : 0);
+    h.update_i64(a.first);
+    h.update_u64(a.cells.size());
+    for (const std::uint64_t cell : a.cells) h.update_u64(cell);
+  }
+  return h.digest();
+}
+
+std::int64_t ExecMemory::total_cells() const {
+  std::int64_t total = 0;
+  for (const auto& a : arrays) total += static_cast<std::int64_t>(a.cells.size());
+  return total;
+}
+
+std::string ExecMemory::first_difference(const ExecMemory& a,
+                                         const ExecMemory& b) {
+  if (a.arrays.size() != b.arrays.size())
+    return "array count " + std::to_string(a.arrays.size()) + " vs " +
+           std::to_string(b.arrays.size());
+  for (std::size_t i = 0; i < a.arrays.size(); ++i) {
+    const ExecArray& x = a.arrays[i];
+    const ExecArray& y = b.arrays[i];
+    if (x.name != y.name) return "array name " + x.name + " vs " + y.name;
+    if (x.first != y.first || x.cells.size() != y.cells.size())
+      return "array " + x.name + " layout [" + std::to_string(x.first) + " +" +
+             std::to_string(x.cells.size()) + "] vs [" +
+             std::to_string(y.first) + " +" + std::to_string(y.cells.size()) +
+             "]";
+    for (std::size_t c = 0; c < x.cells.size(); ++c) {
+      if (x.cells[c] == y.cells[c]) continue;
+      const std::int64_t elem = x.first + static_cast<std::int64_t>(c);
+      return x.name + "[" + std::to_string(elem) +
+             "]: " + render_cell(x.cells[c], x.is_float) + " vs " +
+             render_cell(y.cells[c], y.is_float);
+    }
+  }
+  return "";
+}
+
+}  // namespace sbmp

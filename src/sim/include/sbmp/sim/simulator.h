@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -8,8 +9,27 @@
 #include "sbmp/dfg/dfg.h"
 #include "sbmp/machine/machine.h"
 #include "sbmp/sched/schedule.h"
+#include "sbmp/support/overflow.h"
 
 namespace sbmp {
+
+/// Rows of per-iteration signal history any engine replaying a
+/// schedule's cross-iteration signals must keep live at once: the
+/// deepest wait still reaches its send (`max_wait_distance + 1` rows)
+/// and every concurrently active iteration has its own row
+/// (`concurrency + 1`, so the producer of the oldest readable row
+/// cannot be overwritten while a consumer still needs it); the floor of
+/// 2 keeps the zero-sync case a real ring. Shared by the cycle-accurate
+/// simulator's iteration ring (where `concurrency` is the processor
+/// count) and the real-thread executor's SignalBoard (worker count), so
+/// the two bounded-buffer models cannot drift apart. Callers may clamp
+/// the result to the trip count and round up to a power of two; extra
+/// rows only widen the visible history.
+[[nodiscard]] inline std::int64_t signal_window_rows(
+    std::int64_t max_wait_distance, std::int64_t concurrency) {
+  return std::max<std::int64_t>(
+      {sat_add(max_wait_distance, 1), sat_add(concurrency, 1), 2});
+}
 
 /// Parameters of one multiprocessor run.
 struct SimOptions {

@@ -111,8 +111,7 @@ struct SimCore {
             schedule.slot(instr.id);
     }
     const std::int64_t procs = std::max(options.processors, 0);
-    std::int64_t rows = std::max<std::int64_t>(
-        {sat_add(max_wait_distance, 1), procs + 1, 2});
+    std::int64_t rows = signal_window_rows(max_wait_distance, procs);
     if (faults != nullptr && faults->signal_buffer_capacity > 0) {
       // The bounded-buffer constraint reaches back `capacity` waits.
       rows = std::max<std::int64_t>(

@@ -23,6 +23,14 @@ namespace sbmp {
 /// kOverloaded are transient (retry-safe: the daemon's compile is
 /// idempotent and no partial result was accepted), everything at or
 /// below kInternal is not.
+/// Codes 9-10 are the execution-backend failure classes (src/exec,
+/// docs/execution.md): kExecDivergence means the real-thread run of a
+/// schedule produced memory that differs from the serial interpretation
+/// of the same loop — the runtime analogue of kValidation, and never
+/// retryable (the schedule itself is wrong or raced). kResource means a
+/// runtime resource could not be acquired (worker thread start failed,
+/// the loop's memory footprint exceeds the executor cap); the compile
+/// artifacts are still valid, only the execution was refused.
 enum class StatusCode : int {
   kOk = 0,
   kInput = 1,
@@ -35,10 +43,14 @@ enum class StatusCode : int {
   kOverloaded = 7,    ///< daemon shed the request (admission control);
                       ///< retry with backoff, never immediately
   kFrameTooLarge = 8, ///< peer sent a frame beyond kMaxFramePayload
+  kExecDivergence = 9, ///< executed results diverged from the serial
+                       ///< interpretation (runtime validation failure)
+  kResource = 10,      ///< execution refused: thread start failed or the
+                       ///< loop exceeds the executor's memory cap
 };
 
 /// Largest valid StatusCode value; wire decoders bound-check against it.
-inline constexpr StatusCode kMaxStatusCode = StatusCode::kFrameTooLarge;
+inline constexpr StatusCode kMaxStatusCode = StatusCode::kResource;
 
 [[nodiscard]] const char* status_code_name(StatusCode code);
 

@@ -22,6 +22,10 @@ const char* status_code_name(StatusCode code) {
       return "overloaded";
     case StatusCode::kFrameTooLarge:
       return "frame too large";
+    case StatusCode::kExecDivergence:
+      return "execution divergence";
+    case StatusCode::kResource:
+      return "resource unavailable";
   }
   return "unknown";
 }

@@ -210,6 +210,27 @@ TEST(SbmpcExitCodes, DetectedMutationsExitValidation) {
   }
 }
 
+TEST(SbmpcExitCodes, ExecuteCleanRunExitsZero) {
+  // The real-thread execution path: run + serial-reference differential
+  // check must pass at one and several workers (docs/execution.md).
+  EXPECT_EQ(run_sbmpc("--execute " + fig1_path()), 0);
+  EXPECT_EQ(run_sbmpc("--execute-threads 4 " + fig1_path()), 0);
+}
+
+TEST(SbmpcExitCodes, ExecuteDivergenceIsTyped) {
+  // --execute-corrupt flips one result bit after the run; the
+  // differential check must catch it and exit with the dedicated code,
+  // proving the detector is live (analogue of --mutate exiting 3).
+  EXPECT_EQ(run_sbmpc("--execute-corrupt " + fig1_path()), 9);
+}
+
+TEST(SbmpcExitCodes, ExecuteResourceRefusalIsTyped) {
+  // A thread count above the executor's per-run ceiling is a typed
+  // refusal, not a clamp or a crash.
+  EXPECT_EQ(run_sbmpc("--execute-threads 0 " + fig1_path()), 2);
+  EXPECT_EQ(run_sbmpc("--execute-threads 513 " + fig1_path()), 10);
+}
+
 TEST(SbmpcExitCodes, OneBadFileInABatchStillRendersTheRest) {
   // Input error wins the fold, but processing must not stop early —
   // locked here only via the exit code; the rendering behavior is

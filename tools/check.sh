@@ -26,16 +26,19 @@ echo "== fault campaign (>=500 adversarial trials + mutation detection) =="
 echo "== fuzz sweep (SBMP_FUZZ_SEEDS=${SBMP_FUZZ_SEEDS:-25}) =="
 ctest --test-dir "$root/build" -L fuzz --output-on-failure -j "$jobs"
 
+echo "== real-execution smoke (threads vs serial reference) =="
+"$root/build/bench/bench_exec" --check
+
 if [[ -n "${SBMP_SANITIZE:-}" ]]; then
   echo "== ASan+UBSan suite =="
   cmake -B "$root/build-asan" -S "$root" -DSBMP_SANITIZE=address >/dev/null
   cmake --build "$root/build-asan" -j "$jobs"
   ctest --test-dir "$root/build-asan" --output-on-failure -j "$jobs"
 
-  echo "== TSan parallel-engine tests =="
+  echo "== TSan parallel-engine + serve + executor tests =="
   cmake -B "$root/build-tsan" -S "$root" -DSBMP_SANITIZE=thread >/dev/null
   cmake --build "$root/build-tsan" -j "$jobs"
-  ctest --test-dir "$root/build-tsan" -L parallel --output-on-failure -j "$jobs"
+  ctest --test-dir "$root/build-tsan" -L "parallel|serve|exec" --output-on-failure -j "$jobs"
 fi
 
 echo "== all checks passed =="

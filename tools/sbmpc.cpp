@@ -60,6 +60,15 @@
 //                      phase per loop) to FILE; view in chrome://tracing
 //                      or Perfetto. Tracing observes the compile and
 //                      never changes its output bytes.
+//   --execute          actually run each compiled DOACROSS schedule on
+//                      live threads (see docs/execution.md) and check
+//                      the final memory is byte-identical to a serial
+//                      interpretation; divergence exits with code 9
+//   --execute-threads N  (implies --execute) worker thread count
+//                      (default 1; above the per-run ceiling exits 10)
+//   --execute-corrupt  (implies --execute) flip one result bit after
+//                      the run — proves the divergence detector is
+//                      live, the executor's analogue of --mutate
 //
 // Exit codes (the StatusCode contract, see docs/robustness.md and
 // docs/serving.md):
@@ -74,6 +83,11 @@
 //      retries; --fallback-local converts this to a local compile)
 //   7  overloaded (--remote: the daemon shed the request after retries)
 //   8  frame too large (--remote: a peer violated the frame size cap)
+//   9  execution divergence (--execute: a threaded run produced memory
+//      that differs from the serial reference interpretation)
+//  10  resource unavailable (--execute: worker threads could not start,
+//      the thread count exceeds the per-run ceiling, or the loop's
+//      planned memory footprint exceeds the executor's cap)
 // All diagnostics are rendered before exit: one bad loop or file never
 // suppresses the reports of the others.
 #include <cstdio>
@@ -89,6 +103,7 @@
 #include "sbmp/core/parallel.h"
 #include "sbmp/core/pipeline.h"
 #include "sbmp/dfg/export.h"
+#include "sbmp/exec/executor.h"
 #include "sbmp/obs/trace.h"
 #include "sbmp/serve/client.h"
 #include "sbmp/serve/server.h"
@@ -120,6 +135,9 @@ struct CliOptions {
   std::int64_t retry_backoff_ms = 10;  ///< --remote initial backoff
   bool fallback_local = false;         ///< --remote degradation switch
   std::string trace_out;      ///< non-empty = write Chrome trace JSON
+  bool execute = false;       ///< run schedules on live threads
+  int execute_threads = 1;    ///< --execute worker count
+  bool execute_corrupt = false;  ///< divergence-detector probe
 
   [[nodiscard]] bool dump(const char* what) const {
     return dumps.count(what) != 0 || dumps.count("all") != 0;
@@ -138,6 +156,8 @@ struct CliOptions {
                "             [--io-timeout-ms N] [--deadline-ms N]\n"
                "             [--retries N] [--retry-backoff-ms N]\n"
                "             [--fallback-local] [--trace-out FILE]\n"
+               "             [--execute] [--execute-threads N]\n"
+               "             [--execute-corrupt]\n"
                "             file.loop... | --list-benchmarks\n");
   std::exit(exit_code(StatusCode::kUsage));
 }
@@ -213,6 +233,16 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.fallback_local = true;
     } else if (std::strcmp(arg, "--trace-out") == 0) {
       cli.trace_out = next_arg(argc, argv, i);
+    } else if (std::strcmp(arg, "--execute") == 0) {
+      cli.execute = true;
+    } else if (std::strcmp(arg, "--execute-threads") == 0) {
+      cli.execute = true;
+      cli.execute_threads = std::atoi(next_arg(argc, argv, i));
+      if (cli.execute_threads < 1)
+        usage("--execute-threads must be positive");
+    } else if (std::strcmp(arg, "--execute-corrupt") == 0) {
+      cli.execute = true;
+      cli.execute_corrupt = true;
     } else if (std::strcmp(arg, "--dump") == 0) {
       cli.dumps.insert(next_arg(argc, argv, i));
     } else if (std::strcmp(arg, "--list-benchmarks") == 0) {
@@ -403,6 +433,37 @@ std::string render_loop(const PreLoop& pre, const CliOptions& cli,
       appendf(out, "    ordering: %s\n", v.c_str());
     for (const auto& v : report.validation_violations)
       appendf(out, "    validate: %s\n", v.c_str());
+  }
+  if (cli.execute && report.dfg.has_value()) {
+    const LoopExecutor executor(report);
+    ExecOptions exec_options;
+    exec_options.threads = cli.execute_threads;
+    exec_options.iterations = cli.pipeline.resolved_iterations(loop);
+    exec_options.corrupt_result = cli.execute_corrupt;
+    const ExecResult executed = executor.run(exec_options);
+    if (!executed.ok()) {
+      appendf(out, "  execute: %s\n", executed.status.to_string().c_str());
+      status = executed.status;
+    } else {
+      const ExecResult reference = executor.run_reference(exec_options);
+      const Status verdict = LoopExecutor::verify(executed, reference);
+      // Blocked-wait and wall-time counts are timing-dependent; they live
+      // in the metrics registry and BENCH_exec.json, not here, so this
+      // line is byte-identical across repeated runs.
+      appendf(out,
+              "  executed %lld iterations on %d thread(s): %lld sends, "
+              "%lld waits, state %016llx — %s\n",
+              static_cast<long long>(executed.stats.iterations),
+              executed.stats.threads,
+              static_cast<long long>(executed.stats.sends),
+              static_cast<long long>(executed.stats.waits),
+              static_cast<unsigned long long>(executed.fingerprint),
+              verdict.ok() ? "matches the serial reference" : "DIVERGED");
+      if (!verdict.ok()) {
+        appendf(out, "    %s\n", verdict.to_string().c_str());
+        status = verdict;
+      }
+    }
   }
   if (cli.mutate.has_value()) render_mutation(out, report, cli, status);
   appendf(out, "\n");
