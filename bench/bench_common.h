@@ -184,17 +184,21 @@ inline std::vector<std::array<CasePair, 4>> run_all_cases(int jobs = 1) {
 
   ResultCache cache;
   std::vector<CasePair> partial(cells.size());
-  parallel_for(jobs, 0, static_cast<std::int64_t>(cells.size()),
-               [&](std::int64_t i) {
-                 const Cell& cell = cells[static_cast<std::size_t>(i)];
-                 const Loop& loop = programs[cell.b].loops[cell.l];
-                 if (analyze_dependences(loop).is_doall()) return;
-                 const SchedulerComparison cmp = compare_schedulers_cached(
-                     loop, case_options(kPaperCases[cell.c]), &cache);
-                 partial[static_cast<std::size_t>(i)] = {
-                     cmp.baseline.parallel_time(),
-                     cmp.improved.parallel_time()};
-               });
+  // Repeated grid runs (the bench loops, check mode's re-measure) tune
+  // this call site's chunk size from measured cell cost.
+  static ChunkTuner grid_tuner;
+  parallel_for(
+      jobs, 0, static_cast<std::int64_t>(cells.size()),
+      [&](std::int64_t i) {
+        const Cell& cell = cells[static_cast<std::size_t>(i)];
+        const Loop& loop = programs[cell.b].loops[cell.l];
+        if (analyze_dependences(loop).is_doall()) return;
+        const SchedulerComparison cmp = compare_schedulers_cached(
+            loop, case_options(kPaperCases[cell.c]), &cache);
+        partial[static_cast<std::size_t>(i)] = {cmp.baseline.parallel_time(),
+                                                cmp.improved.parallel_time()};
+      },
+      &grid_tuner);
 
   std::vector<std::array<CasePair, 4>> out(programs.size());
   for (std::size_t i = 0; i < cells.size(); ++i) {
@@ -273,6 +277,15 @@ struct CompilePerf {
   std::vector<std::pair<int, double>> scaling_curve;
   std::int64_t cache_hit_p50_ns = 0;
   std::int64_t cache_hit_p99_ns = 0;
+  /// Fraction of corpus compiles whose never-degrade fallback avoided
+  /// the simulation — skipped entirely by the schedule-free pre-filter
+  /// or sim-skipped by the list schedule's own bound
+  /// ((sbmp_compile_fallback_skipped + sbmp_compile_fallback_sim_skipped)
+  /// / sbmp_compile_loops over the traced pass).
+  double fallback_skip_rate = 0.0;
+  /// Fraction of cache hits served by the thread-local L1 front-cache
+  /// during the cache-hit pass (single thread → expected ~1.0).
+  double l1_hit_rate = 0.0;
   std::uint64_t allocs_per_compile = 0;  ///< 0 when no interposer
   std::string schedule_fingerprint;      ///< 16 hex chars
   std::vector<PhasePerf> phases;         ///< traced pass, pipeline order
@@ -411,18 +424,34 @@ inline CompilePerf run_compile_perf(int reps = 7) {
   perf.cache_hit_p50_ns = percentile_ns(scratch, 0.50);
   scratch = hit_ns;
   perf.cache_hit_p99_ns = percentile_ns(scratch, 0.99);
+  if (cache.hits() > 0)
+    perf.l1_hit_rate = static_cast<double>(cache.l1_hits()) /
+                       static_cast<double>(cache.hits());
 
   // Per-phase latency breakdown from a separate *traced* pass, so the
   // uninstrumented numbers above measure exactly what production runs
   // pay. Span durations come straight from the tracer's event log;
   // phases are reported in pipeline order (first-appearance order of
-  // their spans).
+  // their spans). The pass also carries a metrics registry, which yields
+  // the pre-filter skip rate for free.
   Tracer tracer;
+  MetricsRegistry traced_metrics;
   PipelineOptions traced_options = options;
   traced_options.tracer = &tracer;
+  traced_options.metrics = &traced_metrics;
   for (int r = 0; r < reps; ++r)
     for (const auto& target : corpus)
       (void)compile({target.loop, traced_options});
+  const std::int64_t traced_loops =
+      traced_metrics.counter("sbmp_compile_loops_total")->value();
+  if (traced_loops > 0)
+    perf.fallback_skip_rate =
+        static_cast<double>(
+            traced_metrics.counter("sbmp_compile_fallback_skipped_total")
+                ->value() +
+            traced_metrics.counter("sbmp_compile_fallback_sim_skipped_total")
+                ->value()) /
+        static_cast<double>(traced_loops);
   std::vector<std::string> phase_order;
   std::vector<std::vector<std::int64_t>> phase_samples;
   for (const Tracer::Event& event : tracer.events()) {
@@ -445,15 +474,17 @@ inline CompilePerf run_compile_perf(int reps = 7) {
 }
 
 /// v2 added "phase_ns" (per-phase p50/p99 from the traced pass); v3
-/// adds "scaling_curve": measured loops/sec at every jobs level of the
-/// {1, 2, 4, 8, 16} sweep. The check-mode reader scans scalar fields by
-/// key, so v1/v2 files remain checkable against a v3 binary and vice
-/// versa.
+/// added "scaling_curve": measured loops/sec at every jobs level of the
+/// {1, 2, 4, 8, 16} sweep; v4 adds "fallback_skip_rate" (fraction of
+/// compiles whose never-degrade fallback the analytic pre-filter
+/// skipped) and "l1_hit_rate" (cache hits served by the thread-local
+/// L1). The check-mode reader scans scalar fields by key, so older
+/// files remain checkable against a v4 binary and vice versa.
 inline std::string compile_perf_to_json(const CompilePerf& perf) {
   std::string out;
   appendf(out,
           "{\n"
-          "  \"schema\": \"sbmp-bench-compile-v3\",\n"
+          "  \"schema\": \"sbmp-bench-compile-v4\",\n"
           "  \"corpus_loops\": %d,\n"
           "  \"reps\": %d,\n"
           "  \"compile_ns\": {\"p50\": %lld, \"p99\": %lld},\n"
@@ -470,11 +501,14 @@ inline std::string compile_perf_to_json(const CompilePerf& perf) {
   appendf(out,
           "},\n"
           "  \"cache_hit_ns\": {\"p50\": %lld, \"p99\": %lld},\n"
+          "  \"fallback_skip_rate\": %.3f,\n"
+          "  \"l1_hit_rate\": %.3f,\n"
           "  \"allocs_per_compile\": %llu,\n"
           "  \"schedule_fingerprint\": \"%s\",\n"
           "  \"phase_ns\": {",
           static_cast<long long>(perf.cache_hit_p50_ns),
           static_cast<long long>(perf.cache_hit_p99_ns),
+          perf.fallback_skip_rate, perf.l1_hit_rate,
           static_cast<unsigned long long>(perf.allocs_per_compile),
           perf.schedule_fingerprint.c_str());
   for (std::size_t i = 0; i < perf.phases.size(); ++i) {
@@ -507,6 +541,24 @@ inline bool json_field(const std::string& json, const std::string& key,
   return true;
 }
 
+/// Extracts `key` from inside the object named `phase` in "phase_ns"
+/// (e.g. phase "fallback", key "p50"). json_field only scans flat
+/// scalars, and phase objects all share the p50/p99 key names, so this
+/// first narrows the scan to the one phase's {...} slice.
+inline bool json_phase_field(const std::string& json,
+                             const std::string& phase,
+                             const std::string& key, std::string* out) {
+  const std::string needle = "\"" + phase + "\":";
+  std::size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  at = json.find('{', at + needle.size());
+  if (at == std::string::npos) return false;
+  const std::size_t close = json.find('}', at);
+  if (close == std::string::npos) return false;
+  const std::string slice = json.substr(at, close - at + 1);
+  return json_field(slice, key, out);
+}
+
 /// The jobs8/jobs1 scaling floor `--check` enforces when no
 /// `--scaling-floor` override is given, derived from the machine
 /// actually running the check. On the 8-core CI runner this is the full
@@ -521,16 +573,32 @@ inline double default_scaling_floor() {
   return 0.45 * cores;
 }
 
+/// The fallback-phase latency budget `--check` enforces, in ns of p50
+/// span time, anchored to the last *pre-cutoff* measurement (13598ns on
+/// the reference machine, BENCH_compile.json as of the chunk-autotuning
+/// PR's parent): the cutoff + pre-filter rework promised >= 60% off that
+/// phase, so the gate holds the phase at <= 40% of the old cost forever
+/// — re-anchoring to the post-rework file would self-ratchet and demand
+/// another 60% every regeneration. Scaled by the machine's measured
+/// pipeline-p50 ratio against the stored file (never below 1.0, so a
+/// fast machine cannot weaken the gate).
+inline constexpr std::int64_t kPrePrFallbackP50Ns = 13598;
+inline constexpr double kFallbackBudgetFraction = 0.40;
+
 /// Check mode for CI: no schedule drift against the checked-in
 /// BENCH_compile.json, jobs=1 throughput above a generous floor
 /// (1/20 of the recorded rate, never below 25 loops/s) so a pathological
-/// slowdown fails loudly without flaking on machine variance, and the
+/// slowdown fails loudly without flaking on machine variance, the
 /// re-measured jobs8/jobs1 ratio at or above `scaling_floor` (< 0 picks
 /// default_scaling_floor() for this machine) so parallel scaling
-/// regressions fail the PR that introduces them.
+/// regressions fail the PR that introduces them, and the fallback
+/// phase's p50 within its machine-scaled budget (see
+/// kPrePrFallbackP50Ns; `fallback_budget_ns` >= 0 overrides the budget
+/// outright, and the gate is skipped when either side lacks phase data).
 inline int check_compile_perf(const CompilePerf& now,
                               const std::string& json_path,
-                              double scaling_floor = -1.0) {
+                              double scaling_floor = -1.0,
+                              std::int64_t fallback_budget_ns = -1) {
   std::ifstream in(json_path);
   if (!in.good()) {
     std::fprintf(stderr, "cannot read %s\n", json_path.c_str());
@@ -578,11 +646,49 @@ inline int check_compile_perf(const CompilePerf& now,
                  scaling_floor, ThreadPool::default_thread_count());
     failed = true;
   }
+  // Fallback-phase budget. Machine speed is normalized out through the
+  // pipeline-p50 ratio: on a machine 2x slower than the one that wrote
+  // the stored file, the budget doubles; on a faster one it stays at
+  // the reference value (ratio clamped to >= 1.0).
+  std::int64_t now_fallback_p50 = -1;
+  for (const PhasePerf& phase : now.phases)
+    if (phase.phase == "fallback") now_fallback_p50 = phase.p50_ns;
+  std::string stored_pipeline_p50;
+  if (now_fallback_p50 >= 0 &&
+      json_phase_field(json, "pipeline", "p50", &stored_pipeline_p50)) {
+    std::int64_t now_pipeline_p50 = -1;
+    for (const PhasePerf& phase : now.phases)
+      if (phase.phase == "pipeline") now_pipeline_p50 = phase.p50_ns;
+    const double stored = std::atof(stored_pipeline_p50.c_str());
+    const double scale =
+        (stored > 0.0 && now_pipeline_p50 > 0)
+            ? std::max(1.0, static_cast<double>(now_pipeline_p50) / stored)
+            : 1.0;
+    const std::int64_t budget =
+        fallback_budget_ns >= 0
+            ? fallback_budget_ns
+            : static_cast<std::int64_t>(
+                  kFallbackBudgetFraction *
+                  static_cast<double>(kPrePrFallbackP50Ns) * scale);
+    if (now_fallback_p50 > budget) {
+      std::fprintf(stderr,
+                   "FALLBACK BUDGET EXCEEDED: fallback phase p50 %lld ns "
+                   "> budget %lld ns (%.0f%% of the pre-cutoff %lld ns, "
+                   "machine scale %.2f) — the never-degrade pass lost its "
+                   "cutoff/pre-filter savings\n",
+                   static_cast<long long>(now_fallback_p50),
+                   static_cast<long long>(budget),
+                   kFallbackBudgetFraction * 100.0,
+                   static_cast<long long>(kPrePrFallbackP50Ns), scale);
+      failed = true;
+    }
+  }
   std::printf("perf check: %d loops, %.1f loops/s (floor %.1f), "
-              "jobs8/jobs1 %.2fx (floor %.2fx), fingerprint %s — %s\n",
+              "jobs8/jobs1 %.2fx (floor %.2fx), fallback p50 %lld ns, "
+              "fingerprint %s — %s\n",
               now.corpus_loops, now.loops_per_sec_jobs1, floor, scaling,
-              scaling_floor, now.schedule_fingerprint.c_str(),
-              failed ? "FAIL" : "PASS");
+              scaling_floor, static_cast<long long>(now_fallback_p50),
+              now.schedule_fingerprint.c_str(), failed ? "FAIL" : "PASS");
   return failed ? 1 : 0;
 }
 

@@ -13,9 +13,12 @@
 //   bench_micro --json BENCH_compile.json   # measure + write the report
 //   bench_micro --check BENCH_compile.json  # CI mode: assert no schedule
 //                                           # drift, a generous throughput
-//                                           # floor, and the jobs8/jobs1
+//                                           # floor, the jobs8/jobs1
 //                                           # scaling gate (tunable via
-//                                           # --scaling-floor R)
+//                                           # --scaling-floor R), and the
+//                                           # fallback-phase latency budget
+//                                           # (overridable via
+//                                           # --fallback-budget-ns N)
 #define SBMP_ALLOC_COUNTER 1
 
 #include <benchmark/benchmark.h>
@@ -169,11 +172,16 @@ BENCHMARK(BM_ResultCacheHit);
 
 int main(int argc, char** argv) {
   // < 0 = derive the jobs8/jobs1 gate from this machine's core count
-  // (2.5x on the 8-core CI runner; see bench::default_scaling_floor).
+  // (2.5x on the 8-core CI runner; see bench::default_scaling_floor),
+  // and the fallback budget from the pre-cutoff anchor (see
+  // bench::kPrePrFallbackP50Ns).
   double scaling_floor = -1.0;
+  std::int64_t fallback_budget_ns = -1;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--scaling-floor") == 0)
       scaling_floor = std::atof(argv[i + 1]);
+    if (std::strcmp(argv[i], "--fallback-budget-ns") == 0)
+      fallback_budget_ns = std::atoll(argv[i + 1]);
   }
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
@@ -190,7 +198,8 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--check") == 0) {
       return sbmp::bench::check_compile_perf(
-          sbmp::bench::run_compile_perf(), argv[i + 1], scaling_floor);
+          sbmp::bench::run_compile_perf(), argv[i + 1], scaling_floor,
+          fallback_budget_ns);
     }
   }
   benchmark::Initialize(&argc, argv);

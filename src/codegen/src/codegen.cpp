@@ -1,9 +1,7 @@
 #include "sbmp/codegen/codegen.h"
 
 #include <cassert>
-#include <map>
 #include <optional>
-#include <tuple>
 
 namespace sbmp {
 
@@ -26,16 +24,26 @@ class CodeGenerator {
   }
 
   TacFunction run() {
+    // Worst-case body size is known up front; reserving once keeps the
+    // emit loop free of geometric growth (each TacInstr move drags two
+    // strings and a guard list along).
+    std::size_t instr_guess =
+        synced_.waits.size() + synced_.sends.size();
+    for (const auto& stmt : synced_.loop.body)
+      instr_guess += 2 + 6 * expr_size(stmt.rhs);
+    fn_.instrs.reserve(instr_guess);
+    fn_.reg_names.reserve(instr_guess + 2);
     for (const auto& stmt : synced_.loop.body) {
-      std::vector<int> wait_ids;
-      for (const auto& wait : synced_.waits_before(stmt.id)) {
+      // Inlined waits_before(stmt.id): same order, no per-statement
+      // vector materialized.
+      for (const auto& wait : synced_.waits) {
+        if (wait.sink_stmt != stmt.id) continue;
         TacInstr instr;
         instr.op = Opcode::kWait;
         instr.stmt_id = stmt.id;
         instr.signal_stmt = wait.signal_stmt;
         instr.sync_distance = wait.distance;
-        wait_ids.push_back(emit(std::move(instr)));
-        pending_waits_.push_back({wait_ids.back(), wait});
+        pending_waits_.push_back({emit(std::move(instr)), wait});
       }
       lower_statement(stmt);
       for (const auto& send : synced_.sends) {
@@ -59,6 +67,12 @@ class CodeGenerator {
   }
 
  private:
+  static std::size_t expr_size(const Expr& e) {
+    if (const auto* bin = std::get_if<BinaryExpr>(&e))
+      return 1 + expr_size(*bin->lhs) + expr_size(*bin->rhs);
+    return 1;
+  }
+
   int alloc_named_reg(const std::string& name) {
     fn_.reg_names.push_back(name);
     return static_cast<int>(fn_.reg_names.size()) - 1;
@@ -87,9 +101,7 @@ class CodeGenerator {
   /// register itself for the plain `I` subscript).
   int index_reg(const AffineIndex& ix, int stmt_id) {
     if (ix.coef == 1 && ix.offset == 0) return fn_.iter_reg;
-    const auto key = std::pair(ix.coef, ix.offset);
-    const auto it = index_regs_.find(key);
-    if (it != index_regs_.end()) return it->second;
+    if (const int hit = lookup(index_regs_, ix); hit != 0) return hit;
 
     int base = fn_.iter_reg;
     if (ix.coef == 0) {
@@ -102,7 +114,7 @@ class CodeGenerator {
       instr.b = Operand::i(ix.offset);
       instr.stmt_id = stmt_id;
       emit(std::move(instr));
-      index_regs_.emplace(key, reg);
+      index_regs_.push_back({ix.coef, ix.offset, reg});
       return reg;
     }
     if (ix.coef != 1) {
@@ -134,16 +146,14 @@ class CodeGenerator {
       emit(std::move(instr));
       base = reg;
     }
-    index_regs_.emplace(key, base);
+    index_regs_.push_back({ix.coef, ix.offset, base});
     return base;
   }
 
   /// Register holding the scaled byte offset `4 * (c*I + k)`, shared
   /// across statements and arrays (the paper's `t1 = 4*I`).
   int addr_reg(const AffineIndex& ix, int stmt_id) {
-    const auto key = std::pair(ix.coef, ix.offset);
-    const auto it = addr_regs_.find(key);
-    if (it != addr_regs_.end()) return it->second;
+    if (const int hit = lookup(addr_regs_, ix); hit != 0) return hit;
     const int unscaled = index_reg(ix, stmt_id);
     const int reg = alloc_temp();
     TacInstr instr;
@@ -153,7 +163,7 @@ class CodeGenerator {
     instr.b = Operand::i(2);  // element size 4
     instr.stmt_id = stmt_id;
     emit(std::move(instr));
-    addr_regs_.emplace(key, reg);
+    addr_regs_.push_back({ix.coef, ix.offset, reg});
     return reg;
   }
 
@@ -281,11 +291,30 @@ class CodeGenerator {
     int instr;
   };
 
+  /// Flat (coef, offset) -> register memo. A loop body references a
+  /// handful of distinct subscripts, so a linear scan beats a node-based
+  /// map — and allocates nothing per entry. Register 0 is invalid,
+  /// which is what lookup() returns on a miss.
+  struct RegByIndex {
+    std::int64_t coef;
+    std::int64_t offset;
+    int reg;
+  };
+
+  static int lookup(const std::vector<RegByIndex>& memo,
+                    const AffineIndex& ix) {
+    for (const auto& entry : memo) {
+      if (entry.coef == ix.coef && entry.offset == ix.offset)
+        return entry.reg;
+    }
+    return 0;
+  }
+
   const SyncedLoop& synced_;
   TacFunction fn_;
   int temp_count_ = 0;
-  std::map<std::pair<std::int64_t, std::int64_t>, int> index_regs_;
-  std::map<std::pair<std::int64_t, std::int64_t>, int> addr_regs_;
+  std::vector<RegByIndex> index_regs_;
+  std::vector<RegByIndex> addr_regs_;
   std::vector<AccessRec> accesses_;
   std::vector<std::pair<int, WaitOp>> pending_waits_;
 };

@@ -40,9 +40,25 @@ struct ParallelOptions {
 /// shard, not on every probe. Which shard holds a key is an internal
 /// layout detail: lookup/insert semantics are identical at any shard
 /// count, including 1 (the old single-mutex table).
+///
+/// In front of the shards sits a small fixed-size `thread_local` L1 (64
+/// open-addressed entries, two probe slots per key), so repeat lookups
+/// from one worker touch no shard mutex at all: hits promote into the
+/// L1 and inserts write through it. The L1 is a pure accelerator over
+/// the shared source of truth — shards are insert-only and a racing
+/// insert keeps the first entry, so an L1-cached shared_ptr can never go
+/// stale within a cache's lifetime, and lookup/insert semantics
+/// (including hits()/misses() totals) are identical at any jobs count.
+/// Entries are generation-stamped with a process-unique per-instance id,
+/// so a thread's leftovers from a destroyed cache (or another live one)
+/// can never satisfy a lookup against this one, even when the allocator
+/// reuses the address.
 class ResultCache {
  public:
   static constexpr int kDefaultShards = 16;
+  /// L1 capacity per thread (power of two; ~64 covers a worker's hot
+  /// set in the bench grids and daemon fan-out).
+  static constexpr int kL1Entries = 64;
 
   /// `metrics` (optional) publishes the hit/miss counters on a shared
   /// registry (`sbmp_result_cache_{hits,misses}_total`); without one the
@@ -70,8 +86,14 @@ class ResultCache {
   /// API; cheap enough to keep forever).
   [[nodiscard]] std::int64_t hits() const { return hits_->value(); }
   [[nodiscard]] std::int64_t misses() const { return misses_->value(); }
+  /// Hits served from the calling thread's L1 front-cache (a subset of
+  /// hits(); registry name `sbmp_result_cache_l1_hits_total`).
+  [[nodiscard]] std::int64_t l1_hits() const { return l1_hits_->value(); }
 
   [[nodiscard]] int num_shards() const { return num_shards_; }
+  /// Process-unique instance stamp guarding the thread-local L1 entries
+  /// (exposed so tests can pin the invalidation behavior).
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
   /// Shard a key routes to (stable across runs; exposed so tests can
   /// check the distribution).
   [[nodiscard]] int shard_of(const std::string& key) const;
@@ -94,13 +116,19 @@ class ResultCache {
   // than a vector (no moves, no false sharing with the counters).
   std::unique_ptr<Shard[]> shards_;
   int num_shards_;
+  // Process-unique stamp drawn from a global atomic at construction; L1
+  // entries carry it, so entries of any other cache instance — including
+  // a dead one whose address this cache reuses — never match.
+  std::uint64_t generation_;
   // Hit/miss instruments: registry-owned when one was injected,
   // otherwise the private pair below (same relaxed-atomic cost either
   // way). The pointers are set once in the constructor and never change.
   Counter own_hits_;
   Counter own_misses_;
+  Counter own_l1_hits_;
   Counter* hits_;
   Counter* misses_;
+  Counter* l1_hits_;
 };
 
 /// `run_pipeline(loop, options)` through `cache` (nullptr = uncached).

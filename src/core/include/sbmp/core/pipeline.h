@@ -50,6 +50,19 @@ struct PipelineOptions {
   /// list scheduling (possible when everything sits on the critical
   /// path and packing noise dominates), fall back to the list schedule.
   bool never_degrade = true;
+  /// Cost control for the never-degrade guard, on by default: before the
+  /// list schedule is even built, the schedule-free analytic lower bound
+  /// (schedule_free_lower_bound) decides whether ANY schedule could beat
+  /// the sync-aware result — when it cannot, the fallback schedule and
+  /// simulation are skipped entirely; when it might, the fallback
+  /// simulation runs with a cutoff at the sync-aware parallel time and
+  /// aborts the moment "list loses" is proven. Both shortcuts are exact
+  /// (the monotonicity/bound arguments are in docs/perf.md), so the
+  /// compiled artifact is byte-identical either way and this flag is NOT
+  /// part of any cache key — it exists only as an A/B escape hatch
+  /// (sbmpc --no-never-degrade-prefilter) forcing the old full
+  /// schedule + full simulate path.
+  bool never_degrade_prefilter = true;
   /// Run the cross-layer validator (validate_pipeline) on every loop:
   /// Sig/Wat pairing integrity, the paper's two synchronization
   /// conditions re-resolved from the sync layer (independent of DFG
@@ -111,6 +124,16 @@ struct LoopReport {
   /// True when the never-degrade guard replaced the sync-aware schedule
   /// with the list schedule.
   bool used_list_fallback = false;
+  /// True when the analytic pre-filter proved no schedule could beat the
+  /// sync-aware result and the fallback schedule + simulation were
+  /// skipped. Purely observational (the artifact is byte-identical with
+  /// or without the skip): never serialized, never part of a cache key.
+  bool fallback_prefiltered = false;
+  /// True when the list schedule was built but its own analytic lower
+  /// bound (scheduled_lower_bound) already met the sync-aware time, so
+  /// the fallback simulation was skipped — "list strictly faster" was
+  /// impossible. Observational only, like fallback_prefiltered.
+  bool fallback_sim_skipped = false;
   std::vector<std::string> schedule_violations;
   std::vector<std::string> ordering_violations;
   /// Cross-layer validator findings (see validate_pipeline).

@@ -1,5 +1,8 @@
 #include "sbmp/core/parallel.h"
 
+#include <array>
+#include <atomic>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -15,6 +18,89 @@ namespace {
 void append_int(std::string& out, std::int64_t value) {
   out += std::to_string(value);
   out += '|';
+}
+
+/// Platform-stable fingerprint of a cache key, shared by shard routing
+/// and the L1 probe. Routing only needs a well-spread value (the shard
+/// map and the L1 both compare full keys), so hash a bounded head + tail
+/// instead of rescanning multi-KB keys: the head covers the loop
+/// rendering, the tail the option block.
+std::uint64_t key_fingerprint(const std::string& key) {
+  constexpr std::size_t kSpan = 64;
+  const std::string_view view(key);
+  std::uint64_t h = hash_bytes(view.substr(0, kSpan)) ^
+                    (key.size() * 0x9e3779b97f4a7c15ull);
+  if (view.size() > kSpan) h ^= hash_bytes(view.substr(view.size() - kSpan));
+  return h;
+}
+
+/// One slot of the thread-local L1 front-cache. `gen` 0 marks an empty
+/// slot; otherwise it names the ResultCache instance the entry belongs
+/// to (ResultCache::generation()), so lookups against any other instance
+/// skip it.
+struct L1Entry {
+  std::uint64_t gen = 0;
+  std::uint64_t hash = 0;
+  std::string key;
+  std::shared_ptr<const LoopReport> report;
+};
+
+struct L1Table {
+  std::array<L1Entry, ResultCache::kL1Entries> slots;
+};
+
+/// The calling thread's L1. One table serves every ResultCache instance
+/// (entries are generation-stamped apart), so memory stays bounded at
+/// kL1Entries strings + shared_ptrs per thread for the whole process.
+L1Table& l1_table() {
+  thread_local L1Table table;
+  return table;
+}
+
+constexpr std::uint64_t l1_mask =
+    static_cast<std::uint64_t>(ResultCache::kL1Entries - 1);
+static_assert((ResultCache::kL1Entries &
+               (ResultCache::kL1Entries - 1)) == 0,
+              "L1 probing masks, so the capacity must be a power of two");
+
+/// Stores `report` under (gen, hash, key) with the two-probe policy:
+/// prefer the home slot, spill to the neighbor when the home slot holds
+/// a live entry of a *different* key, evict the home slot when both are
+/// taken. Same-key slots are refreshed in place.
+void l1_store(std::uint64_t gen, std::uint64_t hash, const std::string& key,
+              std::shared_ptr<const LoopReport> report) {
+  L1Table& l1 = l1_table();
+  L1Entry& home = l1.slots[static_cast<std::size_t>(hash & l1_mask)];
+  L1Entry& next = l1.slots[static_cast<std::size_t>((hash + 1) & l1_mask)];
+  L1Entry* slot = &home;
+  if (home.gen != 0 && !(home.gen == gen && home.hash == hash &&
+                         home.key == key)) {
+    if (next.gen == 0 ||
+        (next.gen == gen && next.hash == hash && next.key == key))
+      slot = &next;
+  }
+  slot->gen = gen;
+  slot->hash = hash;
+  slot->key = key;
+  slot->report = std::move(report);
+}
+
+/// Returns the L1 entry for (gen, hash, key), or nullptr.
+const std::shared_ptr<const LoopReport>* l1_find(std::uint64_t gen,
+                                                 std::uint64_t hash,
+                                                 const std::string& key) {
+  L1Table& l1 = l1_table();
+  for (const std::uint64_t probe : {hash, hash + 1}) {
+    const L1Entry& e = l1.slots[static_cast<std::size_t>(probe & l1_mask)];
+    if (e.gen == gen && e.hash == hash && e.key == key) return &e.report;
+  }
+  return nullptr;
+}
+
+/// Process-global generation source; 0 is reserved for "empty slot".
+std::uint64_t next_generation() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -55,50 +141,71 @@ ResultCache::ResultCache(int shards, MetricsRegistry* metrics)
     : shards_(std::make_unique<Shard[]>(
           static_cast<std::size_t>(shards > 0 ? shards : 1))),
       num_shards_(shards > 0 ? shards : 1),
+      generation_(next_generation()),
       hits_(metrics != nullptr
                 ? metrics->counter("sbmp_result_cache_hits_total")
                 : &own_hits_),
       misses_(metrics != nullptr
                   ? metrics->counter("sbmp_result_cache_misses_total")
-                  : &own_misses_) {}
+                  : &own_misses_),
+      l1_hits_(metrics != nullptr
+                   ? metrics->counter("sbmp_result_cache_l1_hits_total")
+                   : &own_l1_hits_) {}
 
 int ResultCache::shard_of(const std::string& key) const {
-  // hash_bytes is platform-stable (unlike std::hash), so a key's shard
-  // is reproducible across runs — useful for tests and debugging.
-  // Routing only needs a well-spread fingerprint (the shard's map still
-  // compares full keys), so hash a bounded head + tail instead of
-  // rescanning multi-KB keys on every probe. The head covers the loop
-  // rendering, the tail the option block, so both sides of the key
-  // keep contributing to the spread.
-  constexpr std::size_t kSpan = 64;
-  const std::string_view view(key);
-  std::uint64_t h = hash_bytes(view.substr(0, kSpan)) ^
-                    (key.size() * 0x9e3779b97f4a7c15ull);
-  if (view.size() > kSpan)
-    h ^= hash_bytes(view.substr(view.size() - kSpan));
-  return static_cast<int>(h % static_cast<std::uint64_t>(num_shards_));
+  // key_fingerprint is platform-stable (unlike std::hash), so a key's
+  // shard is reproducible across runs — useful for tests and debugging.
+  return static_cast<int>(key_fingerprint(key) %
+                          static_cast<std::uint64_t>(num_shards_));
 }
 
 std::shared_ptr<const LoopReport> ResultCache::lookup(
     const std::string& key) const {
-  const Shard& shard = shards_[static_cast<std::size_t>(shard_of(key))];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  const auto it = shard.map.find(key);
-  if (it == shard.map.end()) {
-    misses_->inc();
-    return nullptr;
+  const std::uint64_t h = key_fingerprint(key);
+  // L1 first: a hit touches no shard mutex and no other thread's lines.
+  if (const auto* cached = l1_find(generation_, h, key)) {
+    hits_->inc();
+    l1_hits_->inc();
+    return *cached;
   }
-  hits_->inc();
-  return it->second;
+  const Shard& shard =
+      shards_[static_cast<std::size_t>(h % static_cast<std::uint64_t>(
+          num_shards_))];
+  std::shared_ptr<const LoopReport> found;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+      misses_->inc();
+      return nullptr;
+    }
+    hits_->inc();
+    found = it->second;
+  }
+  // Promote outside the shard lock; shards are insert-only, so the entry
+  // just read is the key's entry forever and the L1 copy cannot go
+  // stale.
+  l1_store(generation_, h, key, found);
+  return found;
 }
 
 std::shared_ptr<const LoopReport> ResultCache::insert(const std::string& key,
                                                       LoopReport report) {
+  const std::uint64_t h = key_fingerprint(key);
   auto entry = std::make_shared<const LoopReport>(std::move(report));
-  Shard& shard = shards_[static_cast<std::size_t>(shard_of(key))];
-  std::lock_guard<std::mutex> lock(shard.mu);
-  const auto [it, inserted] = shard.map.emplace(key, std::move(entry));
-  return it->second;
+  Shard& shard =
+      shards_[static_cast<std::size_t>(h % static_cast<std::uint64_t>(
+          num_shards_))];
+  std::shared_ptr<const LoopReport> winner;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [it, inserted] = shard.map.emplace(key, std::move(entry));
+    winner = it->second;
+  }
+  // Write through whichever entry won the race, so this thread's next
+  // lookup is an L1 hit on the canonical shared report.
+  l1_store(generation_, h, key, winner);
+  return winner;
 }
 
 std::size_t ResultCache::size() const {
@@ -168,13 +275,18 @@ ProgramReport compile(const std::vector<CompileRequest>& requests,
   ResultCache* effective =
       batch.use_cache ? (cache != nullptr ? cache : &local) : nullptr;
 
+  // One process-wide tuner for this call site: batches of loop compiles
+  // are cost-homogeneous enough that the measured ns/item of earlier
+  // batches sizes later batches' chunks (see ChunkTuner).
+  static ChunkTuner compile_tuner;
   std::vector<LoopReport> reports(requests.size());
-  parallel_for(batch.jobs, 0, static_cast<std::int64_t>(requests.size()),
-               [&](std::int64_t i) {
-                 reports[static_cast<std::size_t>(i)] =
-                     compile(requests[static_cast<std::size_t>(i)], effective)
-                         .report;
-               });
+  parallel_for(
+      batch.jobs, 0, static_cast<std::int64_t>(requests.size()),
+      [&](std::int64_t i) {
+        reports[static_cast<std::size_t>(i)] =
+            compile(requests[static_cast<std::size_t>(i)], effective).report;
+      },
+      &compile_tuner);
 
   // Order-stable aggregation: identical to the serial engine's loop.
   ProgramReport out;

@@ -15,6 +15,39 @@ namespace sbmp {
 
 namespace {
 
+/// Thread-local map from phase name to its histogram handle, valid for
+/// one registry instance (keyed by MetricsRegistry::id(), which is
+/// never reused — a stale pointer cannot alias a new registry at a
+/// recycled address). Every phase of every compiled loop lands here, so
+/// the string-keyed registry lookup (mutex + linear scan) runs once per
+/// (thread, registry, phase) instead of once per observation. Phases
+/// are identified by their string-literal pointer: every caller in this
+/// translation unit passes a literal.
+Histogram* cached_phase_histogram(MetricsRegistry& registry,
+                                  const char* phase) {
+  constexpr int kSlots = 12;
+  struct Cache {
+    std::uint64_t registry_id = 0;
+    int used = 0;
+    const char* phase[kSlots];
+    Histogram* hist[kSlots];
+  };
+  thread_local Cache cache;
+  if (cache.registry_id != registry.id()) {
+    cache.registry_id = registry.id();
+    cache.used = 0;
+  }
+  for (int i = 0; i < cache.used; ++i)
+    if (cache.phase[i] == phase) return cache.hist[i];
+  Histogram* hist = compile_phase_histogram(registry, phase);
+  if (cache.used < kSlots) {
+    cache.phase[cache.used] = phase;
+    cache.hist[cache.used] = hist;
+    ++cache.used;
+  }
+  return hist;
+}
+
 /// Times one pipeline phase into both observability sinks: a tracer
 /// span (when tracing) and the canonical per-phase latency histogram
 /// (when a registry is attached). With both hooks null — the default —
@@ -36,7 +69,7 @@ class PhaseScope {
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - t0_)
               .count();
-      compile_phase_histogram(*metrics_, phase_)->observe(ns);
+      cached_phase_histogram(*metrics_, phase_)->observe(ns);
     }
   }
 
@@ -86,16 +119,46 @@ void record_loop_observations(Tracer::Span& span, const LoopReport& report,
     span.arg("worst_sync_span", geometry.worst_sync_span);
     span.arg("waits_eliminated", report.waits_eliminated);
     span.arg("list_fallback", report.used_list_fallback ? 1 : 0);
+    span.arg("fallback_prefiltered", report.fallback_prefiltered ? 1 : 0);
+    span.arg("fallback_sim_skipped", report.fallback_sim_skipped ? 1 : 0);
     span.arg("parallel_time", report.sim.parallel_time);
   }
   if (MetricsRegistry* metrics = options.metrics) {
-    metrics->counter("sbmp_compile_loops_total")->inc();
-    metrics->counter("sbmp_compile_lbd_pairs_total")->inc(geometry.lbd_pairs);
-    metrics->counter("sbmp_compile_lfd_pairs_total")->inc(geometry.lfd_pairs);
-    metrics->counter("sbmp_compile_waits_eliminated_total")
-        ->inc(report.waits_eliminated);
-    if (report.used_list_fallback)
-      metrics->counter("sbmp_compile_list_fallback_total")->inc();
+    // Same caching idea as cached_phase_histogram: these seven counters
+    // tick for every compiled loop, so resolve them once per (thread,
+    // registry) and pay only pointer increments afterwards.
+    struct LoopCounters {
+      std::uint64_t registry_id = 0;
+      Counter* loops = nullptr;
+      Counter* lbd_pairs = nullptr;
+      Counter* lfd_pairs = nullptr;
+      Counter* waits_eliminated = nullptr;
+      Counter* list_fallback = nullptr;
+      Counter* fallback_skipped = nullptr;
+      Counter* fallback_sim_skipped = nullptr;
+    };
+    thread_local LoopCounters cached;
+    if (cached.registry_id != metrics->id()) {
+      cached.registry_id = metrics->id();
+      cached.loops = metrics->counter("sbmp_compile_loops_total");
+      cached.lbd_pairs = metrics->counter("sbmp_compile_lbd_pairs_total");
+      cached.lfd_pairs = metrics->counter("sbmp_compile_lfd_pairs_total");
+      cached.waits_eliminated =
+          metrics->counter("sbmp_compile_waits_eliminated_total");
+      cached.list_fallback =
+          metrics->counter("sbmp_compile_list_fallback_total");
+      cached.fallback_skipped =
+          metrics->counter("sbmp_compile_fallback_skipped_total");
+      cached.fallback_sim_skipped =
+          metrics->counter("sbmp_compile_fallback_sim_skipped_total");
+    }
+    cached.loops->inc();
+    cached.lbd_pairs->inc(geometry.lbd_pairs);
+    cached.lfd_pairs->inc(geometry.lfd_pairs);
+    cached.waits_eliminated->inc(report.waits_eliminated);
+    if (report.used_list_fallback) cached.list_fallback->inc();
+    if (report.fallback_prefiltered) cached.fallback_skipped->inc();
+    if (report.fallback_sim_skipped) cached.fallback_sim_skipped->inc();
   }
 }
 
@@ -141,12 +204,16 @@ LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
   {
     PhaseScope phase(options, "dfg");
     if (options.eliminate_redundant_waits) {
-      report.tac = eliminate_redundant_waits(report.tac, options.machine,
-                                             &report.waits_eliminated,
-                                             &report.dfg);
-    }
-    if (!report.dfg.has_value())
+      // The pass hands back the DFG of whatever TAC results (with or
+      // without removals), so this branch never rebuilds one; the
+      // in-place form leaves the TAC untouched — no copy — in the
+      // common nothing-to-remove case.
+      eliminate_redundant_waits_inplace(report.tac, options.machine,
+                                        &report.waits_eliminated,
+                                        &report.dfg);
+    } else {
       report.dfg.emplace(report.tac, options.machine);
+    }
   }
 
   const std::int64_t iterations = options.resolved_iterations(loop);
@@ -175,23 +242,81 @@ LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
       options.never_degrade) {
     // The paper's technique never degrades versus list scheduling; when
     // the phased placement loses to it (dense critical paths where
-    // packing noise dominates), keep the list schedule instead.
+    // packing noise dominates), keep the list schedule instead. The
+    // guard pays only for what it can win: the schedule-free analytic
+    // bound skips the whole comparison when no schedule could beat the
+    // sync-aware result, and the fallback simulation otherwise carries a
+    // cutoff at the sync-aware time so a losing list schedule stops the
+    // moment the loss is proven. Both shortcuts keep the
+    // used_list_fallback decision — and the winner's bytes — exactly
+    // identical to the unconditional full path (see docs/perf.md), so
+    // never_degrade_prefilter is an A/B switch, not a semantic one.
     PhaseScope phase(options, "fallback");
-    Schedule list = schedule_list(report.tac, *report.dfg, options.machine);
-    const SimResult list_sim = simulate(report.tac, *report.dfg, list,
-                                        options.machine, sim_options);
-    if (list_sim.parallel_time < report.sim.parallel_time) {
-      report.schedule = std::move(list);
-      report.sim = list_sim;
-      report.used_list_fallback = true;
-      report.schedule_violations = verify_schedule(
-          report.tac, *report.dfg, options.machine, report.schedule);
+    // First filter: run the list placement slots-only (identical
+    // decisions to schedule_list, no group lists materialized) and
+    // evaluate the analytic lower bound of that slot assignment. When
+    // the bound already meets the sync-aware time, list_time >= bound
+    // >= sync_time and "strictly faster" is impossible — neither the
+    // materialized schedule nor the simulation is ever needed, with the
+    // identical decision. This check dominates the schedule-free
+    // pre-filter below (arc latencies force slot(v) >= up(v), so every
+    // term of the schedule-free bound is <= the corresponding term
+    // here), which is why it runs first: on the corpus it resolves
+    // ~97% of loops and the weaker bound would be pure added cost.
+    bool sim_skipped = false;
+    if (options.never_degrade_prefilter) {
+      thread_local std::vector<int> list_slots;
+      const int list_len = schedule_list_slots(report.tac, *report.dfg,
+                                               options.machine, list_slots);
+      const std::int64_t list_bound =
+          scheduled_lower_bound(report.tac, *report.dfg, options.machine,
+                                list_slots, list_len, iterations);
+      sim_skipped = report.sim.parallel_time <= list_bound;
+    }
+    if (sim_skipped) {
+      report.fallback_sim_skipped = true;
+    } else if (options.never_degrade_prefilter &&
+               report.sim.parallel_time <=
+                   schedule_free_lower_bound(report.tac, *report.dfg,
+                                             options.machine, iterations)) {
+      // Schedule-free pre-filter: no schedule at all could beat the
+      // sync-aware time, so the same skip follows without naming the
+      // list schedule. Dominated by the slots bound above, so this is
+      // reachable only off the corpus; kept for the A/B flag's sake and
+      // because it certifies a strictly stronger fact.
+      report.fallback_prefiltered = true;
+    } else {
+      Schedule list = schedule_list(report.tac, *report.dfg, options.machine);
+      SimOptions fallback_sim_options = sim_options;
+      if (options.never_degrade_prefilter)
+        fallback_sim_options.cutoff_time = report.sim.parallel_time;
+      const SimResult list_sim = simulate(report.tac, *report.dfg, list,
+                                          options.machine,
+                                          fallback_sim_options);
+      // A cutoff hit certifies list_time >= sync_time; a completed run
+      // compares exact values. Either way the strict-< decision
+      // matches the unbounded simulation bit for bit.
+      if (!list_sim.cutoff_hit &&
+          list_sim.parallel_time < report.sim.parallel_time) {
+        report.schedule = std::move(list);
+        report.sim = list_sim;
+        report.used_list_fallback = true;
+      }
     }
   }
   {
     PhaseScope phase(options, "validate");
+    if (report.used_list_fallback) {
+      // Re-verify the winning list schedule here rather than in the
+      // fallback phase: this is validation work, and attributing it to
+      // `fallback` overstated that phase's cost whenever the list
+      // schedule won.
+      report.schedule_violations = verify_schedule(
+          report.tac, *report.dfg, options.machine, report.schedule);
+    }
     if (options.check_ordering) {
-      std::vector<Dependence> carried;
+      thread_local std::vector<Dependence> carried;
+      carried.clear();
       for (const auto& dep : report.deps.deps)
         if (dep.loop_carried()) carried.push_back(dep);
       report.ordering_violations = check_cross_iteration_ordering(

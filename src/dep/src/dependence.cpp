@@ -1,9 +1,7 @@
 #include "sbmp/dep/dependence.h"
 
 #include <algorithm>
-#include <map>
 #include <numeric>
-#include <set>
 #include <tuple>
 
 namespace sbmp {
@@ -86,16 +84,26 @@ bool executes_before(const Access& a, const Access& b) {
 
 std::vector<Access> collect_accesses(const Loop& loop) {
   std::vector<Access> out;
+  std::vector<ArrayRef> reads;
   for (const auto& stmt : loop.body) {
-    std::vector<ArrayRef> reads;
+    reads.clear();
     collect_array_refs(stmt.rhs, reads);
     // Dedup repeated reads of the same element within one statement: they
-    // produce identical dependences.
-    std::set<std::pair<std::string, std::pair<std::int64_t, std::int64_t>>>
-        seen;
+    // produce identical dependences. A statement reads a handful of
+    // refs, so scanning the ones already kept (first occurrence wins,
+    // like the old set insert) needs no allocating lookup structure.
+    const std::size_t stmt_begin = out.size();
     for (const auto& r : reads) {
-      if (seen.insert({r.array, {r.index.coef, r.index.offset}}).second)
-        out.push_back({stmt.id, false, 0, r});
+      bool dup = false;
+      for (std::size_t i = stmt_begin; i < out.size(); ++i) {
+        const ArrayRef& kept = out[i].ref;
+        if (kept.array == r.array && kept.index.coef == r.index.coef &&
+            kept.index.offset == r.index.offset) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) out.push_back({stmt.id, false, 0, r});
     }
     out.push_back({stmt.id, true, 1, stmt.lhs});
   }
@@ -115,13 +123,15 @@ DepKind kind_of(const Access& src, const Access& snk) {
 /// multiple of the minimum, which makes uniform Wait(S, i-d) sync sound).
 struct PairConflicts {
   bool has_zero = false;
-  std::set<std::int64_t> positive;
+  std::vector<std::int64_t> positive;  ///< sorted ascending, unique
 
   void add(std::int64_t d) {
-    if (d == 0)
+    if (d == 0) {
       has_zero = true;
-    else
-      positive.insert(d);
+      return;
+    }
+    const auto it = std::lower_bound(positive.begin(), positive.end(), d);
+    if (it == positive.end() || *it != d) positive.insert(it, d);
   }
 
   void emit(const Access& src, const Access& snk, bool capped,
@@ -132,7 +142,7 @@ struct PairConflicts {
                      0, true, forward});
     }
     if (!positive.empty()) {
-      const std::int64_t dmin = *positive.begin();
+      const std::int64_t dmin = positive.front();
       bool constant = !capped;
       for (const auto d : positive) {
         if (d % dmin != 0) {
@@ -236,11 +246,14 @@ void conflicts(const Access& a, const Access& b, std::int64_t lo,
 }
 
 void dedup_and_sort(std::vector<Dependence>& deps) {
+  // std::tie, not std::tuple: the by-value form copied src_ref.array
+  // (a std::string) on every comparator call, i.e. O(n log n) string
+  // copies per analysis. A tuple of references compares identically.
   const auto key = [](const Dependence& d) {
-    return std::tuple(d.src_stmt, d.snk_stmt, static_cast<int>(d.kind),
-                      d.src_ref.array, d.src_ref.index.coef,
-                      d.src_ref.index.offset, d.snk_ref.index.coef,
-                      d.snk_ref.index.offset, d.distance);
+    return std::tie(d.src_stmt, d.snk_stmt, d.kind, d.src_ref.array,
+                    d.src_ref.index.coef, d.src_ref.index.offset,
+                    d.snk_ref.index.coef, d.snk_ref.index.offset,
+                    d.distance);
   };
   std::sort(deps.begin(), deps.end(),
             [&](const Dependence& a, const Dependence& b) {

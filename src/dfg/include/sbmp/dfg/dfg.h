@@ -116,6 +116,13 @@ class Dfg {
   /// the paper's synchronization path SP(Wat, Sig).
   [[nodiscard]] std::vector<int> sync_path(const SyncPair& pair) const;
 
+  /// Same query writing into `out` (cleared first). The sync-aware
+  /// scheduler resolves every pair of every compiled loop through here;
+  /// the out-parameter form lets it reuse one buffer per pair slot, and
+  /// the BFS working set is per-thread scratch, so the query allocates
+  /// nothing once warm.
+  void sync_path(const SyncPair& pair, std::vector<int>& out) const;
+
   /// Critical-path height of each instruction (max latency-weighted path
   /// length to any leaf), the classic list-scheduling priority.
   /// Precomputed at construction; indexed by instruction id.

@@ -39,12 +39,23 @@ namespace sbmp {
                                        const std::vector<int>& wait_ids);
 
 /// Convenience: analyze + remove. `removed_count` (optional) reports how
-/// many waits were eliminated. When nothing was eliminated the returned
-/// TAC is `tac` unchanged, and `dfg_out` (optional) receives the DFG the
-/// analysis built for it — callers that need a DFG of the result can
-/// reuse it instead of rebuilding.
+/// many waits were eliminated. `dfg_out` (optional) always receives the
+/// DFG of the returned TAC: the analysis DFG when nothing was removed
+/// (the TAC is `tac` unchanged), or a freshly built post-removal DFG
+/// otherwise — callers never rebuild one themselves.
 [[nodiscard]] TacFunction eliminate_redundant_waits(
     const TacFunction& tac, const MachineConfig& config,
     int* removed_count = nullptr, std::optional<Dfg>* dfg_out = nullptr);
+
+/// Same pass mutating `tac` in place. In the common case — no wait is
+/// redundant — the function touches nothing and the caller pays zero
+/// TAC copies, where the value-returning form above deep-copies the
+/// whole function (instruction strings, guard lists, the scalar-register
+/// map) just to hand it back unchanged. The compile hot path uses this
+/// form; `dfg_out` follows the same always-matches contract.
+void eliminate_redundant_waits_inplace(TacFunction& tac,
+                                       const MachineConfig& config,
+                                       int* removed_count = nullptr,
+                                       std::optional<Dfg>* dfg_out = nullptr);
 
 }  // namespace sbmp

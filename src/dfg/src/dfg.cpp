@@ -289,31 +289,47 @@ void Dfg::partition_components(const TacFunction& tac) {
 }
 
 std::vector<int> Dfg::sync_path(const SyncPair& pair) const {
-  // BFS for the node-count-shortest directed path wait -> send.
-  std::vector<int> parent(static_cast<std::size_t>(n_) + 1, 0);
-  std::vector<bool> visited(static_cast<std::size_t>(n_) + 1, false);
-  std::queue<int> queue;
-  queue.push(pair.wait_instr);
-  visited[static_cast<std::size_t>(pair.wait_instr)] = true;
-  while (!queue.empty()) {
-    const int id = queue.front();
-    queue.pop();
+  std::vector<int> path;
+  sync_path(pair, path);
+  return path;
+}
+
+void Dfg::sync_path(const SyncPair& pair, std::vector<int>& out) const {
+  // BFS for the node-count-shortest directed path wait -> send. The
+  // working set is per-thread scratch (assign re-initializes, capacity
+  // survives); the queue is a plain vector scanned by index since BFS
+  // only ever appends and reads forward.
+  struct BfsScratch {
+    std::vector<int> parent;
+    std::vector<std::uint8_t> visited;
+    std::vector<int> queue;
+  };
+  thread_local BfsScratch scratch;
+  out.clear();
+  std::vector<int>& parent = scratch.parent;
+  std::vector<std::uint8_t>& visited = scratch.visited;
+  std::vector<int>& queue = scratch.queue;
+  parent.assign(static_cast<std::size_t>(n_) + 1, 0);
+  visited.assign(static_cast<std::size_t>(n_) + 1, 0);
+  queue.clear();
+  queue.push_back(pair.wait_instr);
+  visited[static_cast<std::size_t>(pair.wait_instr)] = 1;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    const int id = queue[head];
     if (id == pair.send_instr) {
-      std::vector<int> path;
       for (int at = id; at != 0; at = parent[static_cast<std::size_t>(at)])
-        path.push_back(at);
-      std::reverse(path.begin(), path.end());
-      return path;
+        out.push_back(at);
+      std::reverse(out.begin(), out.end());
+      return;
     }
     for (const auto& e : succs(id)) {
-      if (!visited[static_cast<std::size_t>(e.to)]) {
-        visited[static_cast<std::size_t>(e.to)] = true;
+      if (visited[static_cast<std::size_t>(e.to)] == 0) {
+        visited[static_cast<std::size_t>(e.to)] = 1;
         parent[static_cast<std::size_t>(e.to)] = id;
-        queue.push(e.to);
+        queue.push_back(e.to);
       }
     }
   }
-  return {};
 }
 
 std::vector<int> Dfg::ancestors(int id) const {

@@ -103,7 +103,9 @@ bool reaches(const TacFunction& tac, const Dfg& dfg, const CrossEdges& cross,
 
 bool wait_is_covered(const TacFunction& tac, const Dfg& dfg,
                      const std::vector<int>& send_of_signal,
-                     const std::vector<int>& active_waits, int candidate) {
+                     const std::vector<int>& active_waits, int candidate,
+                     std::vector<std::uint8_t>& visited,
+                     std::vector<std::pair<std::int64_t, int>>& queue) {
   const auto& wait = tac.by_id(candidate);
   // Source accesses: the guarded instructions of this signal's send.
   const int send_id =
@@ -114,8 +116,6 @@ bool wait_is_covered(const TacFunction& tac, const Dfg& dfg,
   if (send_id < 0 || wait.guarded_instrs.empty()) return false;
   const auto& send = tac.by_id(send_id);
   const CrossEdges cross(tac, send_of_signal, active_waits, candidate);
-  std::vector<std::uint8_t> visited;
-  std::vector<std::pair<std::int64_t, int>> queue;
   for (const int src : send.guarded_instrs) {
     for (const int snk : wait.guarded_instrs) {
       if (!reaches(tac, dfg, cross, candidate, wait.sync_distance, src, snk,
@@ -130,29 +130,52 @@ bool wait_is_covered(const TacFunction& tac, const Dfg& dfg,
 
 std::vector<int> find_redundant_wait_instrs(const TacFunction& tac,
                                             const Dfg& dfg) {
+  // Per-thread working set: this analysis runs for every compiled loop
+  // (the eliminate-redundant-waits default), so its buffers are retained
+  // across calls. Each is fully re-initialized below.
+  struct RedundancyScratch {
+    std::vector<int> send_of_signal;
+    std::vector<int> waits;
+    std::vector<int> order;
+    std::vector<int> active;
+    std::vector<std::uint8_t> visited;
+    std::vector<std::pair<std::int64_t, int>> queue;
+  };
+  thread_local RedundancyScratch scratch;
+
   // Send instruction per signal statement (flat, built once).
-  std::vector<int> send_of_signal(
-      static_cast<std::size_t>(max_signal_stmt(tac)) + 1, -1);
+  std::vector<int>& send_of_signal = scratch.send_of_signal;
+  send_of_signal.assign(static_cast<std::size_t>(max_signal_stmt(tac)) + 1,
+                        -1);
   for (const auto& instr : tac.instrs) {
     if (instr.op == Opcode::kSend)
       send_of_signal[static_cast<std::size_t>(instr.signal_stmt)] = instr.id;
   }
 
-  std::vector<int> waits;
+  std::vector<int>& waits = scratch.waits;
+  waits.clear();
   for (const auto& instr : tac.instrs) {
     if (instr.op == Opcode::kWait) waits.push_back(instr.id);
   }
   // Longest distance first: long waits are the likeliest to be covered
   // by chains of shorter ones, and mutual covers must not both drop.
-  std::vector<int> order = waits;
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return tac.by_id(a).sync_distance > tac.by_id(b).sync_distance;
+  // Ties keep ascending id (the pre-sort order), reproducing the
+  // historical stable_sort without its temporary buffer.
+  std::vector<int>& order = scratch.order;
+  order.assign(waits.begin(), waits.end());
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const std::int64_t da = tac.by_id(a).sync_distance;
+    const std::int64_t db = tac.by_id(b).sync_distance;
+    return da != db ? da > db : a < b;
   });
 
-  std::vector<int> active = waits;
+  std::vector<int>& active = scratch.active;
+  active.assign(waits.begin(), waits.end());
   std::vector<int> removed;
+  std::vector<std::uint8_t>& visited = scratch.visited;
+  std::vector<std::pair<std::int64_t, int>>& queue = scratch.queue;
   for (const int w : order) {
-    if (wait_is_covered(tac, dfg, send_of_signal, active, w)) {
+    if (wait_is_covered(tac, dfg, send_of_signal, active, w, visited, queue)) {
       active.erase(std::find(active.begin(), active.end(), w));
       removed.push_back(w);
     }
@@ -203,15 +226,28 @@ TacFunction eliminate_redundant_waits(const TacFunction& tac,
                                       const MachineConfig& config,
                                       int* removed_count,
                                       std::optional<Dfg>* dfg_out) {
+  TacFunction out = tac;
+  eliminate_redundant_waits_inplace(out, config, removed_count, dfg_out);
+  return out;
+}
+
+void eliminate_redundant_waits_inplace(TacFunction& tac,
+                                       const MachineConfig& config,
+                                       int* removed_count,
+                                       std::optional<Dfg>* dfg_out) {
   Dfg dfg(tac, config);
   const auto redundant = find_redundant_wait_instrs(tac, dfg);
   if (removed_count != nullptr)
     *removed_count = static_cast<int>(redundant.size());
   if (redundant.empty()) {
     if (dfg_out != nullptr) *dfg_out = std::move(dfg);
-    return tac;
+    return;
   }
-  return remove_waits(tac, redundant);
+  tac = remove_waits(tac, redundant);
+  // The contract is "dfg_out always matches the resulting TAC": building
+  // the post-removal DFG here (the one place that knows removal
+  // happened) lets every caller drop its own rebuild-if-absent logic.
+  if (dfg_out != nullptr) dfg_out->emplace(tac, config);
 }
 
 }  // namespace sbmp

@@ -114,7 +114,7 @@ struct MetricsSnapshot {
 /// histogram's bucket bounds are fixed by its first registration.
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -122,11 +122,20 @@ class MetricsRegistry {
                                  std::string_view labels = "");
   [[nodiscard]] Gauge* gauge(std::string_view name,
                              std::string_view labels = "");
+  /// `bounds` is copied only when this call registers the histogram; a
+  /// repeat lookup of an existing (name, labels) touches nothing.
   [[nodiscard]] Histogram* histogram(std::string_view name,
                                      std::string_view labels,
-                                     std::vector<std::int64_t> bounds);
+                                     const std::vector<std::int64_t>& bounds);
 
   [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Process-unique, never-reused id of this registry instance. Hot
+  /// paths that resolve the same instruments for every observation may
+  /// cache the returned pointers keyed by this id: a pointer cached
+  /// under the current id can never alias a destroyed registry whose
+  /// heap address was recycled (ids are not).
+  [[nodiscard]] std::uint64_t id() const { return id_; }
 
  private:
   struct Entry {
@@ -144,6 +153,7 @@ class MetricsRegistry {
 
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Entry>> entries_;
+  const std::uint64_t id_;
 };
 
 /// Canonical bucket bounds (nanoseconds) for compile-phase latency

@@ -6,6 +6,13 @@
 
 namespace sbmp {
 
+MetricsRegistry::MetricsRegistry() : id_([] {
+  // 1-based so 0 stays free as a "no registry seen yet" sentinel in
+  // caller-side caches.
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}()) {}
+
 Histogram::Histogram(std::vector<std::int64_t> bounds)
     : bounds_(std::move(bounds)),
       buckets_(std::make_unique<std::atomic<std::int64_t>[]>(bounds_.size() +
@@ -80,9 +87,9 @@ Gauge* MetricsRegistry::gauge(std::string_view name, std::string_view labels) {
   return out;
 }
 
-Histogram* MetricsRegistry::histogram(std::string_view name,
-                                      std::string_view labels,
-                                      std::vector<std::int64_t> bounds) {
+Histogram* MetricsRegistry::histogram(
+    std::string_view name, std::string_view labels,
+    const std::vector<std::int64_t>& bounds) {
   std::lock_guard<std::mutex> lock(mu_);
   if (Entry* hit = find_locked(name, labels, MetricSample::Kind::kHistogram))
     return hit->histogram.get();
@@ -90,7 +97,7 @@ Histogram* MetricsRegistry::histogram(std::string_view name,
   entry->name = std::string(name);
   entry->labels = std::string(labels);
   entry->kind = MetricSample::Kind::kHistogram;
-  entry->histogram = std::make_unique<Histogram>(std::move(bounds));
+  entry->histogram = std::make_unique<Histogram>(bounds);
   Histogram* out = entry->histogram.get();
   entries_.push_back(std::move(entry));
   return out;

@@ -41,17 +41,26 @@ void Tracer::publish(Event event) {
     thread_ids_.push_back(hashed);
   }
   event.tid = tid;
-  events_.push_back(std::move(event));
+  if (blocks_.empty() || blocks_.back().size() == kBlockEvents) {
+    blocks_.emplace_back();
+    blocks_.back().reserve(kBlockEvents);
+  }
+  blocks_.back().push_back(std::move(event));
+  ++count_;
 }
 
 std::size_t Tracer::event_count() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_.size();
+  return count_;
 }
 
 std::vector<Tracer::Event> Tracer::events() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return events_;
+  std::vector<Event> out;
+  out.reserve(count_);
+  for (const auto& block : blocks_)
+    out.insert(out.end(), block.begin(), block.end());
+  return out;
 }
 
 namespace {

@@ -43,6 +43,18 @@ enum class SchedulerKind {
 [[nodiscard]] Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
                                      const MachineConfig& config);
 
+/// The slot assignment schedule_list would produce, without
+/// materializing the per-group instruction lists (one heap allocation
+/// per nonempty slot). Fills `slot_of` (instruction id -> group index,
+/// index 0 unused, capacity reused across calls) and returns the
+/// schedule length. Placement decisions are bit-identical to
+/// schedule_list's — the never-degrade guard relies on that to evaluate
+/// the analytic bound of the would-be list schedule for free before
+/// deciding whether to build it.
+[[nodiscard]] int schedule_list_slots(const TacFunction& tac, const Dfg& dfg,
+                                      const MachineConfig& config,
+                                      std::vector<int>& slot_of);
+
 /// Synchronization-marker scheduling (reference [18]): list-schedules
 /// each span of instructions between consecutive sync operations, with
 /// every Wait/Send placed after everything before it and before

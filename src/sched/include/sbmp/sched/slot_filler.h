@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "sbmp/dfg/dfg.h"
@@ -20,8 +21,17 @@ namespace sbmp {
 /// word at a time instead of probing the counters one slot at a time.
 class SlotFiller {
  public:
+  /// `materialize` = false builds only the slot assignment (slot_of and
+  /// the length), never touching the per-group id lists — the skip path
+  /// of the never-degrade guard only needs slots for the analytic
+  /// bound, and the group lists are one heap allocation per nonempty
+  /// slot it would immediately discard. A slots-only filler supports
+  /// take_slots() but not take().
   SlotFiller(const TacFunction& tac, const Dfg& dfg,
-             const MachineConfig& config);
+             const MachineConfig& config, bool materialize = true);
+  SlotFiller(const SlotFiller&) = delete;
+  SlotFiller& operator=(const SlotFiller&) = delete;
+  ~SlotFiller();
 
   [[nodiscard]] bool placed(int id) const {
     return sched_.slot_of[static_cast<std::size_t>(id)] >= 0;
@@ -30,7 +40,9 @@ class SlotFiller {
     return sched_.slot_of[static_cast<std::size_t>(id)];
   }
   [[nodiscard]] int num_placed() const { return num_placed_; }
-  [[nodiscard]] int length() const { return sched_.length(); }
+  [[nodiscard]] int length() const {
+    return materialize_ ? sched_.length() : virtual_len_;
+  }
 
   /// Earliest cycle at which `id` may issue given its placed
   /// predecessors; -1 if some predecessor is still unplaced.
@@ -64,31 +76,57 @@ class SlotFiller {
   void place_ancestors_asap(int id);
 
   /// Finalizes: asserts every instruction is placed and returns the
-  /// schedule.
+  /// schedule. Only valid on a materializing filler.
   [[nodiscard]] Schedule take();
+
+  /// Slots-only finalization: asserts every instruction is placed,
+  /// copies the slot assignment (id -> group index, index 0 unused)
+  /// into `slot_of` reusing its capacity, and returns the schedule
+  /// length. Valid on any filler; the only choice on a slots-only one.
+  [[nodiscard]] int take_slots(std::vector<int>& slot_of);
 
  private:
   /// Lanes of the full-slot bitset: issue first, then one per FU class.
   static constexpr int kFullStride = 1 + kNumFuClasses;
+
+  /// The capacity-tracking state, separated from the Schedule being
+  /// built so it can be pooled: every compiled loop constructs one or
+  /// two SlotFillers, and re-acquiring these vectors' heap blocks from a
+  /// per-thread pool instead of reallocating them is a measurable win on
+  /// the compile hot path. The pool hands blocks out exclusively, so
+  /// nested live fillers (should any scheduler ever hold two) each get
+  /// their own.
+  struct Scratch {
+    std::vector<int> issue_used;
+    std::vector<std::array<int, kNumFuClasses>> fu_used;
+    /// kFullStride words per 64 slots; bit set = lane saturated.
+    std::vector<std::uint64_t> full;
+  };
+
+  /// This thread's parked Scratch blocks, handed out exclusively
+  /// (popped on acquire, pushed back on release) so simultaneously live
+  /// fillers never share one.
+  [[nodiscard]] static std::vector<std::unique_ptr<Scratch>>& pool();
 
   void ensure_slot(int slot);
   [[nodiscard]] bool counts_for_issue(int id) const;
   /// First slot >= start with capacity for `id` (possibly length()).
   [[nodiscard]] int first_free_at_or_after(int id, int start) const;
   void mark_full(int slot, int lane) {
-    full_[static_cast<std::size_t>(slot / 64) * kFullStride +
-          static_cast<std::size_t>(lane)] |= std::uint64_t{1} << (slot % 64);
+    scratch_->full[static_cast<std::size_t>(slot / 64) * kFullStride +
+                   static_cast<std::size_t>(lane)] |=
+        std::uint64_t{1} << (slot % 64);
   }
 
   const TacFunction& tac_;
   const Dfg& dfg_;
   const MachineConfig& config_;
   Schedule sched_;
-  std::vector<int> issue_used_;
-  std::vector<std::array<int, kNumFuClasses>> fu_used_;
-  /// kFullStride words per 64 slots; bit set = that lane is saturated.
-  std::vector<std::uint64_t> full_;
+  std::unique_ptr<Scratch> scratch_;
   int num_placed_ = 0;
+  /// Schedule length when !materialize_ (sched_.groups stays empty).
+  int virtual_len_ = 0;
+  const bool materialize_;
 };
 
 }  // namespace sbmp

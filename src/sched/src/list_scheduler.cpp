@@ -5,46 +5,49 @@
 
 namespace sbmp {
 
-const char* scheduler_name(SchedulerKind k) {
-  switch (k) {
-    case SchedulerKind::kInOrder:
-      return "in-order";
-    case SchedulerKind::kList:
-      return "list";
-    case SchedulerKind::kSyncBarrier:
-      return "sync-marker";
-    case SchedulerKind::kSyncAware:
-      return "sync-aware";
-  }
-  return "?";
+namespace {
+
+/// Per-thread working set of schedule_list, retained across calls: the
+/// fallback path of every compiled loop runs the list scheduler, and at
+/// corpus sizes the ~10 vector allocations per call (the bucket table's
+/// inner vectors above all) cost as much as the scheduling itself. Each
+/// call fully re-initializes what it reads; buckets are cleared (not
+/// deallocated) so their heap blocks survive.
+struct ListScratch {
+  std::vector<int> order;
+  std::vector<int> rank;
+  std::vector<int> pending;
+  std::vector<int> ready_time;
+  std::vector<std::vector<int>> buckets;
+  std::vector<int> avail;
+};
+
+ListScratch& list_scratch() {
+  thread_local ListScratch scratch;
+  return scratch;
 }
 
-Schedule schedule_inorder(const TacFunction& tac, const Dfg& dfg,
-                          const MachineConfig& config) {
-  SlotFiller filler(tac, dfg, config);
-  int min_slot = 0;
-  for (const auto& instr : tac.instrs) {
-    // A non-reordering superscalar never issues an instruction in a
-    // cycle before one that precedes it in program order.
-    min_slot = filler.place_earliest(instr.id, min_slot);
-  }
-  return filler.take();
-}
-
-Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
-                       const MachineConfig& config) {
-  SlotFiller filler(tac, dfg, config);
+/// The list-scheduling placement loop, shared verbatim by the
+/// materializing (schedule_list) and slots-only (schedule_list_slots)
+/// entry points so their decisions cannot diverge.
+void run_list_placement(SlotFiller& filler, const TacFunction& tac,
+                        const Dfg& dfg, const MachineConfig& config) {
   const std::vector<int>& height = dfg.heights();
 
   // Cycle-driven list scheduling: at each cycle, issue the ready
   // instructions in descending critical-path priority until capacity
   // runs out.
   const int n = tac.size();
-  std::vector<int> order(static_cast<std::size_t>(n));
+  ListScratch& scratch = list_scratch();
+  std::vector<int>& order = scratch.order;
+  order.resize(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i + 1;
-  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-    return height[static_cast<std::size_t>(a)] >
-           height[static_cast<std::size_t>(b)];
+  // Ties broken by ascending id reproduces stable_sort on the 1..n
+  // sequence exactly, without stable_sort's temporary buffer.
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const int ha = height[static_cast<std::size_t>(a)];
+    const int hb = height[static_cast<std::size_t>(b)];
+    return ha != hb ? ha > hb : a < b;
   });
 
   // A zero-latency edge can make a successor ready within the cycle
@@ -64,7 +67,7 @@ Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
       }
       ++cycle;
     }
-    return filler.take();
+    return;
   }
 
   // Event-driven form of the same loop: with every edge latency >= 1,
@@ -74,12 +77,17 @@ Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
   // predecessor result arrives and then waits in a priority-ordered
   // avail list until capacity admits it. The placement decisions are
   // identical to the rescan loop's.
-  std::vector<int> rank(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int>& rank = scratch.rank;
+  rank.assign(static_cast<std::size_t>(n) + 1, 0);
   for (int i = 0; i < n; ++i)
     rank[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
-  std::vector<int> pending(static_cast<std::size_t>(n) + 1, 0);
-  std::vector<int> ready_time(static_cast<std::size_t>(n) + 1, 0);
-  std::vector<std::vector<int>> buckets(1);
+  std::vector<int>& pending = scratch.pending;
+  pending.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int>& ready_time = scratch.ready_time;
+  ready_time.assign(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<std::vector<int>>& buckets = scratch.buckets;
+  for (auto& bucket : buckets) bucket.clear();
+  if (buckets.empty()) buckets.resize(1);
   for (int id = 1; id <= n; ++id) {
     pending[static_cast<std::size_t>(id)] = dfg.indegree(id);
     if (pending[static_cast<std::size_t>(id)] == 0)
@@ -89,7 +97,9 @@ Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
     return rank[static_cast<std::size_t>(a)] <
            rank[static_cast<std::size_t>(b)];
   };
-  std::vector<int> avail;  // ready but capacity-blocked, in rank order
+  // Ready but capacity-blocked, in rank order.
+  std::vector<int>& avail = scratch.avail;
+  avail.clear();
   int placed = 0;
   for (int cycle = 0; placed < n; ++cycle) {
     if (static_cast<std::size_t>(cycle) < buckets.size() &&
@@ -123,7 +133,49 @@ Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
     }
     avail.resize(kept);
   }
+}
+
+}  // namespace
+
+const char* scheduler_name(SchedulerKind k) {
+  switch (k) {
+    case SchedulerKind::kInOrder:
+      return "in-order";
+    case SchedulerKind::kList:
+      return "list";
+    case SchedulerKind::kSyncBarrier:
+      return "sync-marker";
+    case SchedulerKind::kSyncAware:
+      return "sync-aware";
+  }
+  return "?";
+}
+
+Schedule schedule_inorder(const TacFunction& tac, const Dfg& dfg,
+                          const MachineConfig& config) {
+  SlotFiller filler(tac, dfg, config);
+  int min_slot = 0;
+  for (const auto& instr : tac.instrs) {
+    // A non-reordering superscalar never issues an instruction in a
+    // cycle before one that precedes it in program order.
+    min_slot = filler.place_earliest(instr.id, min_slot);
+  }
   return filler.take();
+}
+
+Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
+                       const MachineConfig& config) {
+  SlotFiller filler(tac, dfg, config);
+  run_list_placement(filler, tac, dfg, config);
+  return filler.take();
+}
+
+int schedule_list_slots(const TacFunction& tac, const Dfg& dfg,
+                        const MachineConfig& config,
+                        std::vector<int>& slot_of) {
+  SlotFiller filler(tac, dfg, config, /*materialize=*/false);
+  run_list_placement(filler, tac, dfg, config);
+  return filler.take_slots(slot_of);
 }
 
 Schedule schedule_sync_barrier(const TacFunction& tac, const Dfg& dfg,

@@ -7,10 +7,30 @@
 
 namespace sbmp {
 
+std::vector<std::unique_ptr<SlotFiller::Scratch>>& SlotFiller::pool() {
+  thread_local std::vector<std::unique_ptr<Scratch>> parked;
+  return parked;
+}
+
 SlotFiller::SlotFiller(const TacFunction& tac, const Dfg& dfg,
-                       const MachineConfig& config)
-    : tac_(tac), dfg_(dfg), config_(config) {
+                       const MachineConfig& config, bool materialize)
+    : tac_(tac), dfg_(dfg), config_(config), materialize_(materialize) {
+  auto& parked = pool();
+  if (parked.empty()) {
+    scratch_ = std::make_unique<Scratch>();
+  } else {
+    scratch_ = std::move(parked.back());
+    parked.pop_back();
+    // clear() keeps the heap blocks — that retention is the point.
+    scratch_->issue_used.clear();
+    scratch_->fu_used.clear();
+    scratch_->full.clear();
+  }
   sched_.slot_of.assign(static_cast<std::size_t>(tac.size()) + 1, -1);
+}
+
+SlotFiller::~SlotFiller() {
+  if (scratch_ != nullptr) pool().push_back(std::move(scratch_));
 }
 
 bool SlotFiller::counts_for_issue(int id) const {
@@ -35,7 +55,7 @@ int SlotFiller::ready_slot_ignoring(int id, int ignored_pred) const {
 int SlotFiller::latest_free_slot_before(int id, int limit) const {
   if (limit <= 0) return -1;
   // Slots at or beyond the current length are always free.
-  if (limit > sched_.length()) return limit - 1;
+  if (limit > length()) return limit - 1;
   const bool issue = counts_for_issue(id);
   const FuClass fu = tac_.by_id(id).fu();
   const int fu_lane =
@@ -45,8 +65,8 @@ int SlotFiller::latest_free_slot_before(int id, int limit) const {
   for (; w >= 0; --w, mask = ~std::uint64_t{0}) {
     const std::size_t base = static_cast<std::size_t>(w) * kFullStride;
     std::uint64_t bad = 0;
-    if (issue) bad |= full_[base];
-    if (fu_lane >= 0) bad |= full_[base + static_cast<std::size_t>(fu_lane)];
+    if (issue) bad |= scratch_->full[base];
+    if (fu_lane >= 0) bad |= scratch_->full[base + static_cast<std::size_t>(fu_lane)];
     const std::uint64_t free_bits = ~bad & mask;
     if (free_bits != 0) return w * 64 + 63 - std::countl_zero(free_bits);
   }
@@ -54,7 +74,7 @@ int SlotFiller::latest_free_slot_before(int id, int limit) const {
 }
 
 int SlotFiller::first_free_at_or_after(int id, int start) const {
-  const int len = sched_.length();
+  const int len = length();
   if (start >= len) return start;
   const bool issue = counts_for_issue(id);
   const FuClass fu = tac_.by_id(id).fu();
@@ -66,8 +86,8 @@ int SlotFiller::first_free_at_or_after(int id, int start) const {
   for (; w <= last_w; ++w, mask = ~std::uint64_t{0}) {
     const std::size_t base = static_cast<std::size_t>(w) * kFullStride;
     std::uint64_t bad = 0;
-    if (issue) bad |= full_[base];
-    if (fu_lane >= 0) bad |= full_[base + static_cast<std::size_t>(fu_lane)];
+    if (issue) bad |= scratch_->full[base];
+    if (fu_lane >= 0) bad |= scratch_->full[base + static_cast<std::size_t>(fu_lane)];
     // Bits past the current length are never marked, so the first free
     // bit found here is at most `len` — exactly the append slot the
     // linear scan would have reached.
@@ -78,26 +98,30 @@ int SlotFiller::first_free_at_or_after(int id, int start) const {
 }
 
 bool SlotFiller::capacity_ok(int slot, int id) const {
-  if (slot >= sched_.length()) return true;
+  if (slot >= length()) return true;
   const auto s = static_cast<std::size_t>(slot);
-  if (counts_for_issue(id) && issue_used_[s] >= config_.issue_width)
+  if (counts_for_issue(id) && scratch_->issue_used[s] >= config_.issue_width)
     return false;
   const FuClass fu = tac_.by_id(id).fu();
   if (fu != FuClass::kNone &&
-      fu_used_[s][static_cast<std::size_t>(fu)] >= config_.fu_count(fu))
+      scratch_->fu_used[s][static_cast<std::size_t>(fu)] >= config_.fu_count(fu))
     return false;
   return true;
 }
 
 void SlotFiller::ensure_slot(int slot) {
-  while (sched_.length() <= slot) {
-    const int s = sched_.length();
-    sched_.groups.emplace_back();
-    issue_used_.push_back(0);
-    fu_used_.push_back({});
+  while (length() <= slot) {
+    const int s = length();
+    if (materialize_) {
+      sched_.groups.emplace_back();
+    } else {
+      ++virtual_len_;
+    }
+    scratch_->issue_used.push_back(0);
+    scratch_->fu_used.push_back({});
     const auto words_needed =
         static_cast<std::size_t>(s / 64 + 1) * kFullStride;
-    if (full_.size() < words_needed) full_.resize(words_needed, 0);
+    if (scratch_->full.size() < words_needed) scratch_->full.resize(words_needed, 0);
     // Zero-capacity lanes are saturated from birth.
     if (config_.issue_width <= 0) mark_full(s, 0);
     for (int f = 0; f < kNumFuClasses; ++f) {
@@ -120,14 +144,14 @@ void SlotFiller::place_at(int id, int slot) {
   assert(!placed(id));
   ensure_slot(slot);
   const auto s = static_cast<std::size_t>(slot);
-  sched_.groups[s].push_back(id);
+  if (materialize_) sched_.groups[s].push_back(id);
   sched_.slot_of[static_cast<std::size_t>(id)] = slot;
   if (counts_for_issue(id)) {
-    if (++issue_used_[s] >= config_.issue_width) mark_full(slot, 0);
+    if (++scratch_->issue_used[s] >= config_.issue_width) mark_full(slot, 0);
   }
   const FuClass fu = tac_.by_id(id).fu();
   if (fu != FuClass::kNone) {
-    if (++fu_used_[s][static_cast<std::size_t>(fu)] >= config_.fu_count(fu))
+    if (++scratch_->fu_used[s][static_cast<std::size_t>(fu)] >= config_.fu_count(fu))
       mark_full(slot, 1 + static_cast<int>(fu));
   }
   ++num_placed_;
@@ -147,7 +171,21 @@ Schedule SlotFiller::take() {
     throw SbmpError("scheduler left instructions unplaced: " +
                     std::to_string(num_placed_) + " of " +
                     std::to_string(tac_.size()));
+  if (!materialize_)
+    throw SbmpError("take() on a slots-only SlotFiller: the group lists "
+                    "were never built; use take_slots()");
   return std::move(sched_);
+}
+
+int SlotFiller::take_slots(std::vector<int>& slot_of) {
+  if (num_placed_ != tac_.size())
+    throw SbmpError("scheduler left instructions unplaced: " +
+                    std::to_string(num_placed_) + " of " +
+                    std::to_string(tac_.size()));
+  // assign (not swap) so the caller's retained capacity keeps absorbing
+  // these copies across calls.
+  slot_of.assign(sched_.slot_of.begin(), sched_.slot_of.end());
+  return length();
 }
 
 }  // namespace sbmp

@@ -12,7 +12,25 @@ struct PairInfo {
   SyncPair pair;
   std::vector<int> path;  ///< SP(Wat, Sig); empty when convertible.
   double priority = 0.0;  ///< (n/d) * |SP|
+  int idx = 0;            ///< dfg.pairs() position, the sort tiebreak
 };
+
+/// Per-thread working set of schedule_sync_aware, retained across calls
+/// (one run per compiled loop). `pairs` is resized, never cleared, so
+/// each PairInfo's path buffer keeps its capacity across loops.
+struct SyncAwareScratch {
+  std::vector<PairInfo> pairs;
+  std::vector<double> sigwat_priority;
+  std::vector<int> sigwat_order;
+  std::vector<std::int32_t> wait_pair_off;
+  std::vector<std::int32_t> wait_pair_idx;
+  std::vector<std::int32_t> at;
+};
+
+SyncAwareScratch& sync_aware_scratch() {
+  thread_local SyncAwareScratch scratch;
+  return scratch;
+}
 
 /// ASAP hole-filling placement of every still-unplaced member of a
 /// component, in instruction-id order (which is topological: codegen
@@ -35,29 +53,35 @@ Schedule schedule_sync_aware(const TacFunction& tac, const Dfg& dfg,
   SlotFiller filler(tac, dfg, config);
   if (n_iterations < 1) n_iterations = 1;
 
-  // Synchronization paths and their (n/d)*|SP| priorities.
-  std::vector<PairInfo> pairs;
-  for (const auto& pair : dfg.pairs()) {
-    PairInfo info;
+  // Synchronization paths and their (n/d)*|SP| priorities. Ties sort by
+  // the dfg.pairs() position, which reproduces the historical
+  // stable_sort order exactly without its temporary buffer.
+  SyncAwareScratch& scratch = sync_aware_scratch();
+  std::vector<PairInfo>& pairs = scratch.pairs;
+  pairs.resize(dfg.pairs().size());
+  for (std::size_t i = 0; i < dfg.pairs().size(); ++i) {
+    const SyncPair& pair = dfg.pairs()[i];
+    PairInfo& info = pairs[i];
     info.pair = pair;
-    info.path = dfg.sync_path(pair);
+    info.idx = static_cast<int>(i);
+    dfg.sync_path(pair, info.path);
     const double n_over_d =
         static_cast<double>(n_iterations) /
         static_cast<double>(pair.distance > 0 ? pair.distance : 1);
     info.priority = n_over_d * static_cast<double>(info.path.size());
-    pairs.push_back(std::move(info));
   }
-  std::stable_sort(pairs.begin(), pairs.end(),
-                   [](const PairInfo& a, const PairInfo& b) {
-                     return a.priority > b.priority;
-                   });
+  std::sort(pairs.begin(), pairs.end(),
+            [](const PairInfo& a, const PairInfo& b) {
+              return a.priority != b.priority ? a.priority > b.priority
+                                              : a.idx < b.idx;
+            });
 
   // Order Sigwat components by their best internal path priority. A
   // flat per-component vector replaces the old std::map: a component
   // with no internal path keeps priority 0.0, which is what the map's
   // "absent" case compared as (every real path priority is positive).
-  std::vector<double> sigwat_priority(
-      static_cast<std::size_t>(dfg.num_components()), 0.0);
+  std::vector<double>& sigwat_priority = scratch.sigwat_priority;
+  sigwat_priority.assign(static_cast<std::size_t>(dfg.num_components()), 0.0);
   for (const auto& info : pairs) {
     if (info.path.empty()) continue;
     const auto comp = static_cast<std::size_t>(
@@ -65,16 +89,19 @@ Schedule schedule_sync_aware(const TacFunction& tac, const Dfg& dfg,
     if (info.priority > sigwat_priority[comp])
       sigwat_priority[comp] = info.priority;
   }
-  std::vector<int> sigwat_order;
+  std::vector<int>& sigwat_order = scratch.sigwat_order;
+  sigwat_order.clear();
   for (int c = 0; c < dfg.num_components(); ++c) {
     if (dfg.component_kind(c) == ComponentKind::kSigwat)
       sigwat_order.push_back(c);
   }
-  std::stable_sort(sigwat_order.begin(), sigwat_order.end(),
-                   [&](int a, int b) {
-                     return sigwat_priority[static_cast<std::size_t>(a)] >
-                            sigwat_priority[static_cast<std::size_t>(b)];
-                   });
+  // Ascending component id on ties = the pre-sort order, so this equals
+  // the historical stable_sort.
+  std::sort(sigwat_order.begin(), sigwat_order.end(), [&](int a, int b) {
+    const double pa = sigwat_priority[static_cast<std::size_t>(a)];
+    const double pb = sigwat_priority[static_cast<std::size_t>(b)];
+    return pa != pb ? pa > pb : a < b;
+  });
 
   // Phase 1: Sigwat components. Inside each, walk every synchronization
   // path in priority order, placing its nodes in consecutive groups
@@ -136,17 +163,18 @@ Schedule schedule_sync_aware(const TacFunction& tac, const Dfg& dfg,
   // Pairs are pre-grouped by wait instruction so each wait consults only
   // its own pairs (the pin is a max over send slots, so group order
   // inside one wait is immaterial).
-  std::vector<std::int32_t> wait_pair_off(
-      static_cast<std::size_t>(tac.size()) + 2, 0);
+  std::vector<std::int32_t>& wait_pair_off = scratch.wait_pair_off;
+  wait_pair_off.assign(static_cast<std::size_t>(tac.size()) + 2, 0);
   for (const auto& info : pairs)
     ++wait_pair_off[static_cast<std::size_t>(info.pair.wait_instr) + 1];
   for (int i = 0; i <= tac.size(); ++i)
     wait_pair_off[static_cast<std::size_t>(i) + 1] +=
         wait_pair_off[static_cast<std::size_t>(i)];
-  std::vector<std::int32_t> wait_pair_idx(pairs.size());
+  std::vector<std::int32_t>& wait_pair_idx = scratch.wait_pair_idx;
+  wait_pair_idx.resize(pairs.size());
   {
-    std::vector<std::int32_t> at(wait_pair_off.begin(),
-                                 wait_pair_off.end() - 1);
+    std::vector<std::int32_t>& at = scratch.at;
+    at.assign(wait_pair_off.begin(), wait_pair_off.end() - 1);
     for (std::size_t i = 0; i < pairs.size(); ++i)
       wait_pair_idx[static_cast<std::size_t>(
           at[static_cast<std::size_t>(pairs[i].pair.wait_instr)]++)] =

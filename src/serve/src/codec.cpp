@@ -152,12 +152,13 @@ Status decode_loop_report(const std::string& payload,
         insert_synchronization(report.loop, report.deps, options.sync);
     report.tac = generate_tac(report.synced);
     if (options.eliminate_redundant_waits) {
+      // dfg_out always matches the returned TAC, so no rebuild here.
       report.tac = eliminate_redundant_waits(report.tac, options.machine,
                                              &report.waits_eliminated,
                                              &report.dfg);
-    }
-    if (!report.dfg.has_value())
+    } else {
       report.dfg.emplace(report.tac, options.machine);
+    }
   } catch (const SbmpError& e) {
     return reject(std::string("cached loop no longer compiles: ") + e.what());
   }

@@ -46,6 +46,17 @@ struct SimOptions {
   /// iteration k runs on processor k mod P after iteration k-P has
   /// drained there; P >= n behaves exactly like one per iteration.
   int processors = 0;
+  /// Early-exit threshold (cycles); <= 0 disables it. `parallel_time`
+  /// is a running max over iteration finish times, hence monotone
+  /// non-decreasing as iterations are simulated — so the moment it
+  /// reaches `cutoff_time` the final value is provably >= cutoff_time
+  /// and the run may stop. The caller's "is this schedule strictly
+  /// faster than cutoff_time" question is then answered exactly, not
+  /// heuristically: a run that completes without hitting the cutoff
+  /// (SimResult::cutoff_hit == false) is bit-identical to an unbounded
+  /// run. On a cutoff hit, parallel_time holds the (>= cutoff) running
+  /// max and iteration_time is final, but stall_cycles is partial.
+  std::int64_t cutoff_time = 0;
 };
 
 /// Result of simulating one DOACROSS loop.
@@ -58,6 +69,11 @@ struct SimResult {
   /// Total cycles any group spent stalled beyond in-order issue.
   std::int64_t stall_cycles = 0;
   int schedule_length = 0;
+  /// True when the run stopped early because parallel_time reached
+  /// SimOptions::cutoff_time. parallel_time is then a certified lower
+  /// bound (>= cutoff) rather than the exact final value, and
+  /// stall_cycles covers only the simulated prefix.
+  bool cutoff_hit = false;
 };
 
 /// Cycle-accurate execution of `schedule` across iterations.

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
+#include <memory>
 #include <vector>
 
 #include "sbmp/sim/fault.h"
@@ -50,17 +51,10 @@ struct SimCore {
   /// widen the visible history.
   int window = 1;
   std::int64_t ring_mask = 0;          ///< window - 1
-  std::vector<IterTimes> ring;
   /// Signal statements are dense small integers, so every per-signal
   /// lookup is a flat vector of width `signal_width` (max signal stmt
   /// + 1) instead of a node-allocating map probed per iteration.
   int signal_width = 0;
-  std::vector<int> send_slot;          ///< signal stmt -> group, -1 none
-  /// Send issue cycles, ring-indexed rows of `signal_width` entries.
-  std::vector<std::int64_t> send_times;
-  /// Wait issue cycles, same layout; maintained only under faults
-  /// (bounded signal-buffer model).
-  std::vector<std::int64_t> wait_times;
   std::int64_t max_wait_distance = 0;
 
   /// Precompiled flat execution program: for every scheduled group, its
@@ -85,9 +79,68 @@ struct SimCore {
     bool is_wait = false;
     bool is_send = false;
   };
-  std::vector<PredRef> pred_refs;
-  std::vector<InstrRef> instr_refs;       ///< grouped by schedule group
-  std::vector<std::int32_t> group_begin;  ///< per group, into instr_refs
+
+  /// The simulator's working vectors, separated so they can be pooled
+  /// per thread: the compile path simulates every loop two or three
+  /// times, and re-acquiring these heap blocks (including the ring
+  /// rows' group_issue vectors) instead of reallocating them removes
+  /// the core's ~15 allocations per run. Each run fully overwrites what
+  /// it reads — every ring row, send row and delta table is written for
+  /// iteration k before anything reads it — so stale contents from the
+  /// previous checkout are never observed.
+  struct Scratch {
+    std::vector<IterTimes> ring;
+    std::vector<int> send_slot;
+    std::vector<std::int64_t> send_times;
+    std::vector<std::int64_t> wait_times;
+    std::vector<PredRef> pred_refs;
+    std::vector<InstrRef> instr_refs;
+    std::vector<std::int32_t> group_begin;
+    std::vector<std::int64_t> d_group;
+    std::vector<std::int64_t> end_issue;
+  };
+
+  /// This thread's parked Scratch blocks, handed out exclusively so
+  /// simultaneously live cores (the zero-trip probe nests one inside
+  /// simulate()) never share one.
+  static std::vector<std::unique_ptr<Scratch>>& scratch_pool() {
+    thread_local std::vector<std::unique_ptr<Scratch>> parked;
+    return parked;
+  }
+
+  static std::unique_ptr<Scratch> acquire_scratch() {
+    auto& parked = scratch_pool();
+    if (parked.empty()) return std::make_unique<Scratch>();
+    std::unique_ptr<Scratch> out = std::move(parked.back());
+    parked.pop_back();
+    // clear() keeps the heap blocks — that retention is the point. The
+    // assign()-style tables (send_slot, group_begin, ...) are fully
+    // re-initialized by the constructor and run(); only the push_back
+    // targets need emptying.
+    out->pred_refs.clear();
+    out->instr_refs.clear();
+    return out;
+  }
+
+  std::unique_ptr<Scratch> scratch_ = acquire_scratch();
+  std::vector<IterTimes>& ring = scratch_->ring;
+  std::vector<int>& send_slot = scratch_->send_slot;  ///< stmt -> group, -1
+  /// Send issue cycles, ring-indexed rows of `signal_width` entries.
+  std::vector<std::int64_t>& send_times = scratch_->send_times;
+  /// Wait issue cycles, same layout; maintained only under faults
+  /// (bounded signal-buffer model).
+  std::vector<std::int64_t>& wait_times = scratch_->wait_times;
+  std::vector<PredRef>& pred_refs = scratch_->pred_refs;
+  /// Grouped by schedule group.
+  std::vector<InstrRef>& instr_refs = scratch_->instr_refs;
+  /// Per group, into instr_refs.
+  std::vector<std::int32_t>& group_begin = scratch_->group_begin;
+
+  ~SimCore() {
+    if (scratch_ != nullptr) scratch_pool().push_back(std::move(scratch_));
+  }
+  SimCore(const SimCore&) = delete;
+  SimCore& operator=(const SimCore&) = delete;
 
   SimCore(const TacFunction& t, const Dfg& d, const Schedule& s,
           const MachineConfig& c, const SimOptions& o,
@@ -153,7 +206,11 @@ struct SimCore {
     window = 1;
     while (window < rows) window <<= 1;
     ring_mask = window - 1;
-    ring.assign(static_cast<std::size_t>(window), {});
+    // resize, not assign: surviving rows keep their group_issue heap
+    // blocks (the pooled-scratch win). Stale times are never read —
+    // run() writes row k in full before anything looks at it.
+    if (static_cast<int>(ring.size()) != window)
+      ring.resize(static_cast<std::size_t>(window));
     send_times.assign(
         static_cast<std::size_t>(window) * static_cast<std::size_t>(signal_width),
         kNoTime);
@@ -258,8 +315,8 @@ struct SimCore {
     std::int64_t d_start = 0;
     std::int64_t d_fin = 0;
     std::int64_t d_last = 0;
-    std::vector<std::int64_t> d_group;
-    std::vector<std::int64_t> end_issue;
+    std::vector<std::int64_t>& d_group = scratch_->d_group;
+    std::vector<std::int64_t>& end_issue = scratch_->end_issue;
 
     // Evaluates iteration k + m from iteration k's row (`times`, with
     // `sends` its send row and `stalls` its stall count) under the
@@ -472,6 +529,17 @@ struct SimCore {
       if (finish > result.parallel_time) result.parallel_time = finish;
       if (k == 0) result.iteration_time = finish - start;
       if (hook) hook(k);
+
+      // Cutoff early-exit: parallel_time is a running max over iteration
+      // finishes, so once it reaches the cutoff the final value provably
+      // would too — the caller's threshold question is already decided
+      // (see SimOptions::cutoff_time). Checked before the fast-forward
+      // machinery below so a doomed run never pays for extrapolation.
+      if (options.cutoff_time > 0 &&
+          result.parallel_time >= options.cutoff_time) {
+        result.cutoff_hit = true;
+        break;
+      }
 
       if (can_skip && k > 0) {
         const IterTimes& prior = row(k - 1);

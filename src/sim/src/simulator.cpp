@@ -23,6 +23,7 @@ SimResult simulate(const TacFunction& tac, const Dfg& dfg,
     SimOptions probe_options = options;
     probe_options.iterations = 1;
     probe_options.processors = 0;
+    probe_options.cutoff_time = 0;  // the probe wants the exact time
     SimCore probe(tac, dfg, schedule, config, probe_options);
     result.iteration_time = probe.run(nullptr).iteration_time;
   }

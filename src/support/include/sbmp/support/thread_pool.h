@@ -81,20 +81,53 @@ class ThreadPool {
 /// static-destruction-order hazards for late parallel work at exit.
 ThreadPool& shared_thread_pool();
 
+/// Per-call-site adaptive chunk sizing for `parallel_for`.
+///
+/// A call site that owns one of these (typically a function-local
+/// static) gets chunks sized from the *measured* per-item cost of its
+/// previous batches instead of the fixed ~4-chunks-per-worker split:
+/// each runner reads the monotonic clock once per claimed chunk (never
+/// per item), the drained totals update an EWMA ns/item estimate, and
+/// the next call splits the range so one chunk costs roughly
+/// `kTargetChunkNs` — fewer claim/steal transitions for cheap items,
+/// finer rebalancing for expensive ones. The chunk count stays clamped
+/// to [workers, kMaxChunksPerWorker x workers] (and never exceeds the
+/// item count), so every worker still participates and the
+/// failure-aggregation and byte-identity contracts of parallel_for are
+/// untouched — chunking can change only scheduling, never which indices
+/// run or how results aggregate.
+///
+/// Thread-safe: the estimate is one relaxed atomic, and concurrent
+/// parallel_for calls sharing a tuner just race their (equally valid)
+/// updates.
+struct ChunkTuner {
+  /// Target wall-clock cost of one chunk. ~16x a claim's atomic +
+  /// steal overhead even for microsecond items, small enough that an
+  /// 8-worker pool rebalances a 30-item batch of 100µs compiles.
+  static constexpr std::int64_t kTargetChunkNs = 100'000;
+  static constexpr std::int64_t kMaxChunksPerWorker = 32;
+
+  /// EWMA estimate of one item's cost; 0 = no batch measured yet (the
+  /// caller falls back to the fixed heuristic).
+  std::atomic<std::int64_t> ns_per_item{0};
+};
+
 /// Runs `body(i)` for every i in [begin, end) on `pool`, blocking until
-/// all complete. The range is split statically into ~4x contiguous
-/// chunks per worker; the calling thread claims and runs chunks
-/// alongside the pool workers, so a loop is never slower than running it
-/// inline. Bodies run concurrently in unspecified order and every body
-/// runs even after another throws. Failures are aggregated after the
-/// loop drains: exactly one failed index rethrows the original exception
+/// all complete. The range is split into contiguous chunks — ~4x per
+/// worker, or adaptively sized when `tuner` is given (see ChunkTuner) —
+/// and the calling thread claims and runs chunks alongside the pool
+/// workers, so a loop is never slower than running it inline. Bodies run
+/// concurrently in unspecified order and every body runs even after
+/// another throws. Failures are aggregated after the loop drains:
+/// exactly one failed index rethrows the original exception
 /// (type-preserving); several throw one ParallelForError
 /// (sbmp/support/status.h) listing every failed index and message in
 /// index order, so one bad item can never hide the rest of a batch.
 /// Safe to call from multiple threads sharing one pool: completion is
 /// tracked per call, not pool-wide.
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t)>& body);
+                  const std::function<void(std::int64_t)>& body,
+                  ChunkTuner* tuner = nullptr);
 
 /// Convenience form running on the shared process-wide pool with
 /// concurrency capped at `jobs` (the cap counts the calling thread,
@@ -105,6 +138,7 @@ void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
 /// that bypasses threading entirely. `jobs` 0 uses
 /// ThreadPool::default_thread_count().
 void parallel_for(int jobs, std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t)>& body);
+                  const std::function<void(std::int64_t)>& body,
+                  ChunkTuner* tuner = nullptr);
 
 }  // namespace sbmp

@@ -1,6 +1,7 @@
 #include "sbmp/support/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <system_error>
 #include <utility>
@@ -81,8 +82,11 @@ struct ChunkedLoop {
   std::int64_t n = 0;
   std::int64_t chunks = 0;
   const std::function<void(std::int64_t)>* body = nullptr;
+  bool measure = false;  ///< feed a ChunkTuner from this call's chunks
   std::atomic<std::int64_t> next_chunk{0};
   std::atomic<std::int64_t> chunks_done{0};
+  std::atomic<std::int64_t> measured_ns{0};
+  std::atomic<std::int64_t> measured_items{0};
   std::mutex mu;
   std::condition_variable done_cv;
   FailureSet failures;
@@ -90,6 +94,11 @@ struct ChunkedLoop {
   void run() {
     const std::int64_t base = n / chunks;
     const std::int64_t rem = n % chunks;
+    // Measurement costs one clock read per *chunk* boundary (never per
+    // item): each runner carries the previous boundary's timestamp, so
+    // chunk k's cost is the delta to the read that closed chunk k-1.
+    auto mark = measure ? std::chrono::steady_clock::now()
+                        : std::chrono::steady_clock::time_point{};
     for (;;) {
       const std::int64_t k =
           next_chunk.fetch_add(1, std::memory_order_relaxed);
@@ -103,6 +112,18 @@ struct ChunkedLoop {
           failures.record(i);
         }
       }
+      if (measure) {
+        // Accumulate before the chunks_done increment: its acq_rel pair
+        // with the caller's acquire wait makes these adds visible to the
+        // tuner update that follows the drain.
+        const auto now = std::chrono::steady_clock::now();
+        measured_ns.fetch_add(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(now - mark)
+                .count(),
+            std::memory_order_relaxed);
+        measured_items.fetch_add(hi - lo, std::memory_order_relaxed);
+        mark = now;
+      }
       if (chunks_done.fetch_add(1, std::memory_order_acq_rel) == chunks - 1) {
         std::lock_guard<std::mutex> lock(mu);
         done_cv.notify_all();
@@ -110,6 +131,38 @@ struct ChunkedLoop {
     }
   }
 };
+
+/// Chunk count for a batch of `n` items on `workers` runners: the fixed
+/// ~4-per-worker split until `tuner` has a measured estimate, then
+/// enough chunks that one chunk costs ~ChunkTuner::kTargetChunkNs,
+/// clamped so every worker gets work but claim traffic stays bounded.
+std::int64_t pick_chunks(std::int64_t n, int workers,
+                         const ChunkTuner* tuner) {
+  const std::int64_t est =
+      tuner != nullptr ? tuner->ns_per_item.load(std::memory_order_relaxed)
+                       : 0;
+  if (est <= 0) return std::min<std::int64_t>(n, std::int64_t{4} * workers);
+  const std::int64_t per_chunk =
+      std::max<std::int64_t>(1, ChunkTuner::kTargetChunkNs / est);
+  const std::int64_t want = (n + per_chunk - 1) / per_chunk;
+  const std::int64_t clamped = std::clamp<std::int64_t>(
+      want, workers, ChunkTuner::kMaxChunksPerWorker * workers);
+  return std::min<std::int64_t>(n, clamped);
+}
+
+/// Folds one drained batch into `tuner`: EWMA with a 3/4 memory, so one
+/// anomalous batch (page faults, a stolen core) shifts the estimate by
+/// at most a quarter of the way.
+void update_tuner(ChunkTuner& tuner, std::int64_t batch_ns,
+                  std::int64_t batch_items) {
+  if (batch_items <= 0) return;
+  const std::int64_t fresh =
+      std::max<std::int64_t>(1, batch_ns / batch_items);
+  const std::int64_t prev =
+      tuner.ns_per_item.load(std::memory_order_relaxed);
+  const std::int64_t est = prev <= 0 ? fresh : (3 * prev + fresh) / 4;
+  tuner.ns_per_item.store(est, std::memory_order_relaxed);
+}
 
 /// The inline path shared by `jobs <= 1` and degenerate ranges: index
 /// order on the calling thread, with the exact pooled failure contract.
@@ -130,7 +183,8 @@ void run_inline(std::int64_t begin, std::int64_t end,
 /// the participating caller) capped at `max_workers`.
 void parallel_for_capped(ThreadPool& pool, int max_workers,
                          std::int64_t begin, std::int64_t end,
-                         const std::function<void(std::int64_t)>& body) {
+                         const std::function<void(std::int64_t)>& body,
+                         ChunkTuner* tuner) {
   const std::int64_t n = end - begin;
   if (n <= 0) return;
   const int workers = static_cast<int>(std::min<std::int64_t>(
@@ -143,10 +197,9 @@ void parallel_for_capped(ThreadPool& pool, int max_workers,
   auto state = std::make_shared<ChunkedLoop>();
   state->begin = begin;
   state->n = n;
-  // ~4 chunks per worker: enough slack that one slow chunk (or a stolen
-  // worker) rebalances, without per-index task granularity.
-  state->chunks = std::min<std::int64_t>(n, std::int64_t{4} * workers);
+  state->chunks = pick_chunks(n, workers, tuner);
   state->body = &body;
+  state->measure = tuner != nullptr;
   for (int w = 0; w + 1 < workers; ++w)
     pool.submit([state] { state->run(); });
   state->run();  // the calling thread is worker 0
@@ -157,6 +210,10 @@ void parallel_for_capped(ThreadPool& pool, int max_workers,
              state->chunks;
     });
   }
+  if (tuner != nullptr)
+    update_tuner(*tuner,
+                 state->measured_ns.load(std::memory_order_relaxed),
+                 state->measured_items.load(std::memory_order_relaxed));
   // All chunks are done (acq_rel fetch_add / acquire wait above), so the
   // caller owns the failure state now. Drain it to a local before
   // throwing — see FailureSet::drain_into.
@@ -295,18 +352,21 @@ ThreadPool& shared_thread_pool() {
 }
 
 void parallel_for(ThreadPool& pool, std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t)>& body) {
-  parallel_for_capped(pool, pool.size() + 1, begin, end, body);
+                  const std::function<void(std::int64_t)>& body,
+                  ChunkTuner* tuner) {
+  parallel_for_capped(pool, pool.size() + 1, begin, end, body, tuner);
 }
 
 void parallel_for(int jobs, std::int64_t begin, std::int64_t end,
-                  const std::function<void(std::int64_t)>& body) {
+                  const std::function<void(std::int64_t)>& body,
+                  ChunkTuner* tuner) {
   const int resolved = jobs > 0 ? jobs : ThreadPool::default_thread_count();
   if (resolved <= 1 || end - begin <= 1) {
     run_inline(begin, end, body);
     return;
   }
-  parallel_for_capped(shared_thread_pool(), resolved, begin, end, body);
+  parallel_for_capped(shared_thread_pool(), resolved, begin, end, body,
+                      tuner);
 }
 
 }  // namespace sbmp

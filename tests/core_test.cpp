@@ -285,5 +285,82 @@ TEST(ResultCacheLayout, RacingInsertsUnderChunkingKeepFirstWinner) {
   }
 }
 
+TEST(ResultCacheL1, RepeatLookupsServeFromTheThreadLocalFront) {
+  const Loop loop = parse_single_loop_or_throw(kChainLoop);
+  const PipelineOptions options;
+  ResultCache cache;
+  const std::string key = ResultCache::key(loop, options);
+  (void)run_pipeline_cached(loop, options, &cache);  // miss; write-through
+  const auto first = cache.lookup(key);
+  ASSERT_NE(first, nullptr);
+  const std::int64_t hits_before = cache.hits();
+  const std::int64_t l1_before = cache.l1_hits();
+  for (int i = 0; i < 10; ++i) {
+    const auto again = cache.lookup(key);
+    ASSERT_NE(again, nullptr);
+    EXPECT_EQ(again.get(), first.get());  // the L1 caches the pointer
+  }
+  // Same thread, same key, nothing else touching the L1 in between:
+  // every repeat must be an L1 hit — and L1 hits still count as hits,
+  // so the public hit/miss totals are identical to the shard-only path.
+  EXPECT_EQ(cache.l1_hits(), l1_before + 10);
+  EXPECT_EQ(cache.hits(), hits_before + 10);
+}
+
+TEST(ResultCacheL1, GenerationStampIsolatesLiveInstances) {
+  // A key hot in one cache's thread-local L1 must never satisfy a
+  // lookup against a different cache instance on the same thread.
+  const Loop loop = parse_single_loop_or_throw(kChainLoop);
+  const PipelineOptions options;
+  const std::string key = ResultCache::key(loop, options);
+  ResultCache a;
+  ResultCache b;
+  EXPECT_NE(a.generation(), b.generation());
+  (void)run_pipeline_cached(loop, options, &a);
+  ASSERT_NE(a.lookup(key), nullptr);  // now hot in this thread's L1
+  EXPECT_EQ(b.lookup(key), nullptr);
+  EXPECT_EQ(b.hits(), 0);
+  EXPECT_EQ(b.l1_hits(), 0);
+}
+
+TEST(ResultCacheL1, DeadInstanceEntriesNeverLeakIntoANewCache) {
+  // Fresh instances may reuse a destroyed cache's heap address; the
+  // process-unique generation stamp must still keep the old thread-local
+  // L1 entries from matching (a stale shared_ptr here would resurrect a
+  // freed report).
+  const Loop loop = parse_single_loop_or_throw(kChainLoop);
+  const PipelineOptions options;
+  const std::string key = ResultCache::key(loop, options);
+  for (int round = 0; round < 4; ++round) {
+    ResultCache cache;
+    EXPECT_EQ(cache.lookup(key), nullptr) << "round " << round;
+    EXPECT_EQ(cache.l1_hits(), 0) << "round " << round;
+    (void)run_pipeline_cached(loop, options, &cache);
+    ASSERT_NE(cache.lookup(key), nullptr) << "round " << round;
+  }
+}
+
+TEST(ResultCacheL1, RacingLookupsAcrossThreadsAgreeOnTheShardWinner) {
+  // 8 workers hammering one hot key: whatever mix of L1 and shard hits
+  // serves them, every thread must see the single shard-resident entry
+  // (the L1 is a pure accelerator, never an alternate source of truth).
+  const Loop loop = parse_single_loop_or_throw(kChainLoop);
+  const PipelineOptions options;
+  ResultCache cache;
+  const std::string key = ResultCache::key(loop, options);
+  (void)run_pipeline_cached(loop, options, &cache);
+  const auto winner = cache.lookup(key);
+  ASSERT_NE(winner, nullptr);
+  parallel_for(8, 0, 512, [&](std::int64_t) {
+    const auto got = cache.lookup(key);
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got.get(), winner.get());
+  });
+  EXPECT_EQ(cache.size(), 1u);
+  // Each participating thread misses its L1 once then hits it; with 512
+  // lookups over at most 8 threads the L1 serves the overwhelming bulk.
+  EXPECT_GT(cache.l1_hits(), 0);
+}
+
 }  // namespace
 }  // namespace sbmp

@@ -1,0 +1,202 @@
+// Differential suite for the never-degrade guard's cost shortcuts.
+//
+// The guard's fast path (the analytic pre-filters, the slots-only list
+// build, and the cutoff-bounded fallback simulation) is claimed to be
+// *exact*: the compiled artifact — winning schedule, simulated times,
+// and the used_list_fallback decision — must be byte-identical to the
+// old full-schedule + full-simulate path, which stays reachable through
+// PipelineOptions::never_degrade_prefilter = false (sbmpc
+// --no-never-degrade-prefilter). These tests force both paths over the
+// Perfect corpus and a seed-scaled random sweep and require equality,
+// plus pin the soundness properties the shortcuts rest on: both analytic
+// lower bounds never exceed the simulated time, and schedule_list_slots
+// reproduces schedule_list's placement without materializing it.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "sbmp/core/pipeline.h"
+#include "sbmp/perfect/generator.h"
+#include "sbmp/perfect/suite.h"
+#include "sbmp/sched/schedulers.h"
+#include "sbmp/sim/analytic.h"
+#include "sbmp/sim/simulator.h"
+#include "sbmp/support/rng.h"
+#include "sbmp/sync/sync.h"
+
+namespace sbmp {
+namespace {
+
+/// Seed count, overridable via SBMP_FUZZ_SEEDS like the fuzz suites
+/// (clamped to [1, 100000]).
+int fuzz_seed_count() {
+  const char* env = std::getenv("SBMP_FUZZ_SEEDS");
+  if (env == nullptr) return 25;
+  const int n = std::atoi(env);
+  if (n < 1) return 25;
+  return n > 100000 ? 100000 : n;
+}
+
+/// Asserts the artifact-level equality the prefilter contract promises.
+/// The observational skip flags (fallback_prefiltered,
+/// fallback_sim_skipped) are deliberately NOT compared — they describe
+/// which path ran, which is exactly what differs.
+void expect_identical(const LoopReport& a, const LoopReport& b,
+                      const std::string& what) {
+  EXPECT_EQ(a.used_list_fallback, b.used_list_fallback) << what;
+  EXPECT_EQ(a.sim.parallel_time, b.sim.parallel_time) << what;
+  EXPECT_EQ(a.sim.iteration_time, b.sim.iteration_time) << what;
+  EXPECT_EQ(a.sim.stall_cycles, b.sim.stall_cycles) << what;
+  EXPECT_EQ(a.sim.schedule_length, b.sim.schedule_length) << what;
+  EXPECT_EQ(a.schedule.groups, b.schedule.groups) << what;
+  EXPECT_EQ(a.schedule.slot_of, b.schedule.slot_of) << what;
+  EXPECT_EQ(a.waits_eliminated, b.waits_eliminated) << what;
+  EXPECT_EQ(a.status.ok(), b.status.ok()) << what;
+}
+
+TEST(NeverDegradeDifferential, PerfectCorpusIsIdenticalAtAnyJobsCount) {
+  for (const auto& bench : perfect_suite()) {
+    const Program program = bench.program();
+    std::vector<CompileRequest> fast;
+    std::vector<CompileRequest> slow;
+    for (const Loop& loop : program.loops) {
+      PipelineOptions options;  // defaults: guard + prefilter on
+      fast.push_back({loop, options});
+      options.never_degrade_prefilter = false;
+      slow.push_back({loop, options});
+    }
+    CompileBatchOptions serial;
+    serial.jobs = 1;
+    CompileBatchOptions fanned;
+    fanned.jobs = 8;
+    const ProgramReport f1 = compile(fast, serial);
+    const ProgramReport f8 = compile(fast, fanned);
+    const ProgramReport s1 = compile(slow, serial);
+    const ProgramReport s8 = compile(slow, fanned);
+    ASSERT_EQ(f1.loops.size(), program.loops.size()) << bench.name;
+    ASSERT_EQ(s1.loops.size(), program.loops.size()) << bench.name;
+    for (std::size_t i = 0; i < f1.loops.size(); ++i) {
+      const std::string what = bench.name + " loop " + std::to_string(i);
+      expect_identical(f1.loops[i], s1.loops[i], what + " fast-vs-slow");
+      expect_identical(f1.loops[i], f8.loops[i], what + " jobs1-vs-8");
+      expect_identical(f1.loops[i], s8.loops[i], what + " fast1-vs-slow8");
+    }
+    EXPECT_EQ(f1.total_parallel_time, s1.total_parallel_time) << bench.name;
+    EXPECT_EQ(f1.total_parallel_time, f8.total_parallel_time) << bench.name;
+  }
+}
+
+TEST(NeverDegradeDifferential, PrefilterFlagActuallyControlsTheShortcuts) {
+  // The A/B flag must force the old path for real: with it off, no loop
+  // may report a skip; with it on (defaults), the corpus is expected to
+  // take the shortcut on at least one DOACROSS loop (in practice almost
+  // all of them — that is the optimization's whole payoff).
+  int skipped = 0;
+  for (const auto& bench : perfect_suite()) {
+    for (const Loop& loop : bench.program().loops) {
+      PipelineOptions fast;
+      const LoopReport f = compile(CompileRequest{loop, fast}).report;
+      if (f.fallback_prefiltered || f.fallback_sim_skipped) ++skipped;
+
+      PipelineOptions slow;
+      slow.never_degrade_prefilter = false;
+      const LoopReport s = compile(CompileRequest{loop, slow}).report;
+      EXPECT_FALSE(s.fallback_prefiltered) << bench.name;
+      EXPECT_FALSE(s.fallback_sim_skipped) << bench.name;
+    }
+  }
+  EXPECT_GT(skipped, 0);
+}
+
+TEST(NeverDegradeDifferential, RandomLoopsMatchUnderBothPathsAndOptions) {
+  const int seeds = fuzz_seed_count();
+  LoopGenConfig config;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SplitMix64 rng(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ull +
+                   0x2545f4914f6cdd1dull);
+    const Loop loop = generate_random_loop(rng, config);
+    // Both the plain pipeline and the redundancy-elimination variant
+    // (which rewrites the TAC in place on the hot path) must stay exact.
+    for (const bool eliminate : {false, true}) {
+      PipelineOptions fast;
+      fast.eliminate_redundant_waits = eliminate;
+      PipelineOptions slow = fast;
+      slow.never_degrade_prefilter = false;
+      const CompileResult f = compile(CompileRequest{loop, fast});
+      const CompileResult s = compile(CompileRequest{loop, slow});
+      const std::string what = "seed " + std::to_string(seed) +
+                               (eliminate ? " +elim" : "");
+      EXPECT_EQ(f.ok(), s.ok()) << what;
+      expect_identical(f.report, s.report, what);
+    }
+  }
+}
+
+TEST(AnalyticBounds, LowerBoundsNeverExceedTheSimulatedTime) {
+  // Soundness of both shortcut predicates, on every scheduler: the
+  // schedule-free bound under-approximates ALL schedules, and the
+  // scheduled bound under-approximates the given schedule. An
+  // over-approximation here would let the guard skip a fallback that
+  // actually wins — silently degrading a compile.
+  const int seeds = fuzz_seed_count();
+  LoopGenConfig config;
+  const MachineConfig machine = MachineConfig::paper(4, 1);
+  const std::int64_t n = 100;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SplitMix64 rng(0xda942042e4dd58b5ull ^
+                   (static_cast<std::uint64_t>(seed) * 7919));
+    const Loop loop = generate_random_loop(rng, config);
+    const DepAnalysis deps = analyze_dependences(loop);
+    if (!deps.is_synchronizable()) continue;
+    const TacFunction tac = generate_tac(insert_synchronization(loop, deps));
+    const Dfg dfg(tac, machine);
+    const std::int64_t free_bound =
+        schedule_free_lower_bound(tac, dfg, machine, n);
+    for (const SchedulerKind kind :
+         {SchedulerKind::kSyncAware, SchedulerKind::kList,
+          SchedulerKind::kInOrder}) {
+      const Schedule schedule = run_scheduler(kind, tac, dfg, machine, n);
+      SimOptions options;
+      options.iterations = n;
+      const SimResult sim = simulate(tac, dfg, schedule, machine, options);
+      EXPECT_LE(free_bound, sim.parallel_time)
+          << "seed " << seed << " kind " << static_cast<int>(kind);
+      EXPECT_LE(scheduled_lower_bound(tac, dfg, machine, schedule, n),
+                sim.parallel_time)
+          << "seed " << seed << " kind " << static_cast<int>(kind);
+    }
+  }
+}
+
+TEST(ListScheduleSlots, SlotsOnlyBuildMatchesTheMaterializedSchedule) {
+  // The guard evaluates the list schedule's bound from the slots-only
+  // build; any placement divergence from schedule_list would make the
+  // bound answer a question about the wrong schedule.
+  const int seeds = fuzz_seed_count();
+  LoopGenConfig config;
+  const MachineConfig machine = MachineConfig::paper(4, 1);
+  std::vector<int> slot_of;
+  for (int seed = 0; seed < seeds; ++seed) {
+    SplitMix64 rng(0xbf58476d1ce4e5b9ull ^
+                   (static_cast<std::uint64_t>(seed) * 104729));
+    const Loop loop = generate_random_loop(rng, config);
+    const DepAnalysis deps = analyze_dependences(loop);
+    if (!deps.is_synchronizable()) continue;
+    const TacFunction tac = generate_tac(insert_synchronization(loop, deps));
+    const Dfg dfg(tac, machine);
+    const Schedule full = schedule_list(tac, dfg, machine);
+    const int length = schedule_list_slots(tac, dfg, machine, slot_of);
+    EXPECT_EQ(length, full.length()) << "seed " << seed;
+    EXPECT_EQ(slot_of, full.slot_of) << "seed " << seed;
+    // And the bound agrees between the two representations.
+    EXPECT_EQ(scheduled_lower_bound(tac, dfg, machine, slot_of, length, 100),
+              scheduled_lower_bound(tac, dfg, machine, full, 100))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace sbmp

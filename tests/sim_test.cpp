@@ -463,5 +463,93 @@ end
   }
 }
 
+TEST(SimulatorCutoff, DisabledCutoffMatchesUnboundedRunExactly) {
+  // cutoff_time <= 0 must be byte-identical to the pre-cutoff simulator.
+  const Built b = build(R"(
+doacross I = 1, 100
+  A[I] = A[I-2] + B[I] * c1
+  D[I] = B[I-1] + B[I+3]
+end
+)");
+  const SimResult unbounded = run(b, 100);
+  for (const std::int64_t off : {std::int64_t{0}, std::int64_t{-5}}) {
+    SimOptions options;
+    options.iterations = 100;
+    options.cutoff_time = off;
+    const SimResult r = simulate(b.tac, b.dfg, b.schedule, b.config, options);
+    EXPECT_FALSE(r.cutoff_hit);
+    EXPECT_EQ(r.parallel_time, unbounded.parallel_time);
+    EXPECT_EQ(r.iteration_time, unbounded.iteration_time);
+    EXPECT_EQ(r.stall_cycles, unbounded.stall_cycles);
+    EXPECT_EQ(r.schedule_length, unbounded.schedule_length);
+  }
+}
+
+TEST(SimulatorCutoff, UnreachedCutoffCompletesBitIdentical) {
+  // The never-degrade guard's contract: a run whose final time stays
+  // strictly below the cutoff must finish with cutoff_hit == false and
+  // every field equal to the unbounded run — the early exit may only
+  // change runs it actually truncates.
+  for (const char* src : {
+           "doacross I = 1, 100\n  A[I] = A[I-1] + B[I]\nend\n",
+           "doacross I = 1, 100\n  A[I] = A[I-3] * B[I] + C[I+2]\nend\n",
+       }) {
+    const Built b = build(src);
+    const SimResult unbounded = run(b, 100);
+    SimOptions options;
+    options.iterations = 100;
+    options.cutoff_time = unbounded.parallel_time + 1;
+    const SimResult r = simulate(b.tac, b.dfg, b.schedule, b.config, options);
+    EXPECT_FALSE(r.cutoff_hit) << src;
+    EXPECT_EQ(r.parallel_time, unbounded.parallel_time) << src;
+    EXPECT_EQ(r.iteration_time, unbounded.iteration_time) << src;
+    EXPECT_EQ(r.stall_cycles, unbounded.stall_cycles) << src;
+  }
+}
+
+TEST(SimulatorCutoff, TinyCutoffStopsEarlyWithCertifiedLowerBound) {
+  const Built b = build(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] + B[I]
+end
+)");
+  const SimResult unbounded = run(b, 100);
+  ASSERT_GT(unbounded.parallel_time, 2);  // a serial chain: plenty of room
+  SimOptions options;
+  options.iterations = 100;
+  options.cutoff_time = 2;
+  const SimResult r = simulate(b.tac, b.dfg, b.schedule, b.config, options);
+  EXPECT_TRUE(r.cutoff_hit);
+  // parallel_time is a running max, so on a hit it certifies >= cutoff
+  // while never exceeding the true final value.
+  EXPECT_GE(r.parallel_time, options.cutoff_time);
+  EXPECT_LE(r.parallel_time, unbounded.parallel_time);
+  // iteration_time is a property of the schedule, final either way.
+  EXPECT_EQ(r.iteration_time, unbounded.iteration_time);
+}
+
+TEST(SimulatorCutoff, CutoffAtFinalTimeStillAnswersStrictlyFaster) {
+  // The guard asks "strictly faster than cutoff". A run whose final
+  // time equals the cutoff may either stop early (cutoff_hit) or — when
+  // the steady-state fast-forward jumps past the per-iteration check —
+  // complete exactly; both answers must deny "strictly faster", and a
+  // completed run must be bit-identical to the unbounded one.
+  const Built b = build(R"(
+doacross I = 1, 100
+  A[I] = A[I-1] + B[I]
+end
+)");
+  const SimResult unbounded = run(b, 100);
+  SimOptions options;
+  options.iterations = 100;
+  options.cutoff_time = unbounded.parallel_time;
+  const SimResult r = simulate(b.tac, b.dfg, b.schedule, b.config, options);
+  EXPECT_GE(r.parallel_time, options.cutoff_time);  // never strictly faster
+  if (!r.cutoff_hit) {
+    EXPECT_EQ(r.parallel_time, unbounded.parallel_time);
+    EXPECT_EQ(r.stall_cycles, unbounded.stall_cycles);
+  }
+}
+
 }  // namespace
 }  // namespace sbmp

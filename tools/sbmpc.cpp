@@ -19,6 +19,12 @@
 //   --eliminate        access-level redundant-wait elimination
 //   --validate         run the cross-layer schedule validator (default)
 //   --no-validate      skip the validator
+//   --no-never-degrade-prefilter
+//                      force the full never-degrade fallback path (build
+//                      the list schedule and simulate it to completion,
+//                      no analytic skip and no simulation cutoff); an
+//                      A/B switch for the fallback fast path — output
+//                      bytes are identical either way
 //   --tolerance N      cycle slack for the validator's analytic checks
 //   --mutate M         deliberately break the schedule's synchronization
 //                      (hoist-send | sink-wait | drop-arc) and report
@@ -150,7 +156,8 @@ struct CliOptions {
                "usage: sbmpc [--width N] [--fus N] [--scheduler S]\n"
                "             [--iterations N] [--processors P] [--compare]\n"
                "             [--check] [--eliminate] [--validate]\n"
-               "             [--no-validate] [--tolerance N] [--mutate M]\n"
+               "             [--no-validate] [--no-never-degrade-prefilter]\n"
+               "             [--tolerance N] [--mutate M]\n"
                "             [--dump WHAT] [--jobs N] [--cache-dir DIR]\n"
                "             [--cache-bytes N] [--remote SOCK]\n"
                "             [--io-timeout-ms N] [--deadline-ms N]\n"
@@ -202,6 +209,11 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.pipeline.eliminate_redundant_waits = true;
     } else if (std::strcmp(arg, "--validate") == 0) {
       cli.pipeline.validate = true;
+    } else if (std::strcmp(arg, "--no-never-degrade-prefilter") == 0) {
+      // A/B escape hatch: force the full list-build + unbounded simulate
+      // fallback path (no analytic skip, no simulation cutoff). Output
+      // must be byte-identical either way — tools/check.sh diffs the two.
+      cli.pipeline.never_degrade_prefilter = false;
     } else if (std::strcmp(arg, "--no-validate") == 0) {
       cli.pipeline.validate = false;
     } else if (std::strcmp(arg, "--tolerance") == 0) {
