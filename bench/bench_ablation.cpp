@@ -48,7 +48,7 @@ int main() {
   std::int64_t list_total = 0;
   for (const auto& variant : variants) {
     PipelineOptions options;
-    options.machine = MachineConfig::paper(4, 1);
+    options.machine = machines::paper(4, 1);
     options.scheduler = SchedulerKind::kSyncAware;
     options.iterations = 100;
     variant.tweak(options);

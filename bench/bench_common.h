@@ -138,7 +138,7 @@ inline int parse_jobs(int argc, char** argv) {
 
 inline PipelineOptions case_options(const MachineCase& machine) {
   PipelineOptions options;
-  options.machine = MachineConfig::paper(machine.issue_width, machine.fus);
+  options.machine = machines::paper(machine.issue_width, machine.fus);
   options.iterations = 100;
   return options;
 }
@@ -248,6 +248,39 @@ inline std::vector<CorpusLoop> compile_corpus() {
   return targets;
 }
 
+/// Compiles every corpus loop under `options`, drops the refused ones
+/// (a result without a DFG is the facade's stub for a loop with
+/// irregular carried dependences), and returns the 16-hex-char
+/// fingerprint of every schedule produced: label, group count, group
+/// sizes, instruction ids, in corpus order. This is the drift pin
+/// shared by bench_micro, the golden fingerprint test, and
+/// bench_archsweep — one definition, so the three can never hash
+/// different bytes.
+inline std::string fingerprint_corpus(std::vector<CorpusLoop>* corpus,
+                                      const PipelineOptions& options,
+                                      ResultCache* cache = nullptr) {
+  Hasher64 fp;
+  std::vector<CorpusLoop> kept;
+  kept.reserve(corpus->size());
+  for (auto& target : *corpus) {
+    const CompileResult result = compile({target.loop, options}, cache);
+    if (!result.report.dfg.has_value()) continue;
+    fp.update(target.label);
+    fp.update_i64(
+        static_cast<std::int64_t>(result.report.schedule.groups.size()));
+    for (const auto& group : result.report.schedule.groups) {
+      fp.update_i64(static_cast<std::int64_t>(group.size()));
+      for (const int id : group) fp.update_i64(id);
+    }
+    kept.push_back(std::move(target));
+  }
+  *corpus = std::move(kept);
+  char hex[17];
+  std::snprintf(hex, sizeof hex, "%016llx",
+                static_cast<unsigned long long>(fp.digest()));
+  return hex;
+}
+
 // ---------------------------------------------------------------------
 // BENCH_compile.json: the measured trajectory of the compile hot path.
 // p50/p99 single-thread latency per loop, corpus throughput at jobs 1
@@ -311,35 +344,16 @@ inline CompilePerf run_compile_perf(int reps = 7) {
   };
 
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = 100;
 
-  // Schedulable corpus + schedule fingerprint (warms caches, pins drift).
-  // A result without a DFG is the facade's stub for a refused loop
-  // (irregular carried dependences) — the same loops the old
-  // run_pipeline path skipped via its thrown StatusError.
-  std::vector<CorpusLoop> corpus;
-  Hasher64 fp;
-  for (auto& target : compile_corpus()) {
-    const CompileResult result = compile({target.loop, options});
-    if (!result.report.dfg.has_value()) continue;
-    fp.update(target.label);
-    fp.update_i64(
-        static_cast<std::int64_t>(result.report.schedule.groups.size()));
-    for (const auto& group : result.report.schedule.groups) {
-      fp.update_i64(static_cast<std::int64_t>(group.size()));
-      for (const int id : group) fp.update_i64(id);
-    }
-    corpus.push_back(std::move(target));
-  }
-
+  // Schedulable corpus + schedule fingerprint (warms caches, pins
+  // drift); fingerprint_corpus drops the loops the facade refuses.
+  std::vector<CorpusLoop> corpus = compile_corpus();
   CompilePerf perf;
+  perf.schedule_fingerprint = fingerprint_corpus(&corpus, options);
   perf.corpus_loops = static_cast<int>(corpus.size());
   perf.reps = reps;
-  char hex[17];
-  std::snprintf(hex, sizeof hex, "%016llx",
-                static_cast<unsigned long long>(fp.digest()));
-  perf.schedule_fingerprint = hex;
 
   // Single-thread per-loop latency distribution. Requests are built
   // outside the timed region: the facade copies the loop into the

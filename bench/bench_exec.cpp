@@ -102,14 +102,14 @@ LoopRow run_loop(const std::string& label, const LoopReport& report,
   sim_options.iterations = cli.iterations;
   sim_options.processors = 1;
   const SimResult serial = simulate(report.tac, *report.dfg, report.schedule,
-                                    MachineConfig::paper(4, 2), sim_options);
+                                    machines::paper(4, 2), sim_options);
   row.serial_cycles = serial.parallel_time;
   row.analytic_cycles = analytic_lower_bound(
       *report.dfg, report.schedule, cli.iterations, serial.iteration_time);
   for (int t = 0; t < kNumThreadCounts; ++t) {
     sim_options.processors = kThreadCounts[t];
     const SimResult sim = simulate(report.tac, *report.dfg, report.schedule,
-                                   MachineConfig::paper(4, 2), sim_options);
+                                   machines::paper(4, 2), sim_options);
     row.predicted_cycles[t] = sim.parallel_time;
     row.predicted_speedup[t] =
         sim.parallel_time > 0 ? static_cast<double>(row.serial_cycles) /
@@ -255,7 +255,7 @@ int run(int argc, char** argv) {
   }
 
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = cli.iterations;
 
   std::vector<LoopRow> rows;

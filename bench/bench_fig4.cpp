@@ -20,7 +20,7 @@ end
   const Loop loop = parse_single_loop_or_throw(source);
 
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 1);
+  options.machine = machines::paper(4, 1);
   options.iterations = 100;
   const SchedulerComparison cmp = compare_schedulers(loop, options);
 

@@ -94,7 +94,7 @@ BENCHMARK(BM_Codegen)->Arg(2)->Arg(4)->Arg(8);
 void BM_DfgBuild(benchmark::State& state) {
   const Loop loop = test_loop(static_cast<int>(state.range(0)));
   const TacFunction tac = generate_tac(insert_synchronization(loop));
-  const MachineConfig config = MachineConfig::paper(4, 1);
+  const MachineDesc config = machines::paper(4, 1);
   AllocScope allocs(state);
   for (auto _ : state) {
     benchmark::DoNotOptimize(Dfg(tac, config));
@@ -105,7 +105,7 @@ BENCHMARK(BM_DfgBuild)->Arg(2)->Arg(4)->Arg(8);
 void BM_ListScheduler(benchmark::State& state) {
   const Loop loop = test_loop(static_cast<int>(state.range(0)));
   const TacFunction tac = generate_tac(insert_synchronization(loop));
-  const MachineConfig config = MachineConfig::paper(4, 1);
+  const MachineDesc config = machines::paper(4, 1);
   const Dfg dfg(tac, config);
   AllocScope allocs(state);
   for (auto _ : state) {
@@ -117,7 +117,7 @@ BENCHMARK(BM_ListScheduler)->Arg(2)->Arg(4)->Arg(8);
 void BM_SyncAwareScheduler(benchmark::State& state) {
   const Loop loop = test_loop(static_cast<int>(state.range(0)));
   const TacFunction tac = generate_tac(insert_synchronization(loop));
-  const MachineConfig config = MachineConfig::paper(4, 1);
+  const MachineDesc config = machines::paper(4, 1);
   const Dfg dfg(tac, config);
   AllocScope allocs(state);
   for (auto _ : state) {
@@ -129,7 +129,7 @@ BENCHMARK(BM_SyncAwareScheduler)->Arg(2)->Arg(4)->Arg(8);
 void BM_Simulator(benchmark::State& state) {
   const Loop loop = test_loop(4);
   const TacFunction tac = generate_tac(insert_synchronization(loop));
-  const MachineConfig config = MachineConfig::paper(4, 1);
+  const MachineDesc config = machines::paper(4, 1);
   const Dfg dfg(tac, config);
   const Schedule schedule = schedule_sync_aware(tac, dfg, config, 100);
   SimOptions options;

@@ -23,7 +23,7 @@ int main() {
                     "spill cost K=8", "spill cost K=16", "spill cost K=24"});
   for (const auto kind : kinds) {
     PipelineOptions options;
-    options.machine = MachineConfig::paper(4, 1);
+    options.machine = machines::paper(4, 1);
     options.scheduler = kind;
     options.never_degrade = false;  // measure the raw placement
     options.iterations = 100;

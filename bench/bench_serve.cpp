@@ -341,7 +341,7 @@ int run(int argc, char** argv) {
   }
 
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = 100;
   const std::string options_payload = encode_pipeline_options(options);
 

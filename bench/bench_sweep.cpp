@@ -99,7 +99,7 @@ int run_cache_mode(const std::string& dir, int jobs) {
   using clock = std::chrono::steady_clock;
 
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = 100;
 
   const std::vector<FaultTarget> targets = doacross_corpus();
@@ -202,7 +202,7 @@ int run_fault_mode(int requested_trials, int jobs) {
   using namespace sbmp::bench;
 
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = 100;
 
   const std::vector<FaultTarget> targets = doacross_corpus();
@@ -371,7 +371,7 @@ int main(int argc, char** argv) {
     parallel_for(jobs, 0, static_cast<std::int64_t>(procs.size()),
                  [&](std::int64_t i) {
                    PipelineOptions options;
-                   options.machine = MachineConfig::paper(4, 1);
+                   options.machine = machines::paper(4, 1);
                    options.iterations = 100;
                    options.processors = procs[static_cast<std::size_t>(i)];
                    cmps[static_cast<std::size_t>(i)] =
@@ -418,7 +418,7 @@ int main(int argc, char** argv) {
                    if (analyze_dependences(loop).is_doall()) return;
                    PipelineOptions options;
                    options.machine =
-                       MachineConfig::paper(widths[cell.w], 1);
+                       machines::paper(widths[cell.w], 1);
                    options.iterations = 100;
                    const SchedulerComparison cmp =
                        compare_schedulers_cached(loop, options, &cache);
@@ -459,7 +459,7 @@ int main(int argc, char** argv) {
                        "w2\nend\n";
                    const Loop loop = parse_single_loop_or_throw(src);
                    PipelineOptions options;
-                   options.machine = MachineConfig::paper(4, 1);
+                   options.machine = machines::paper(4, 1);
                    options.iterations = 100;
                    cmps[static_cast<std::size_t>(i)] =
                        compare_schedulers_cached(loop, options, &cache);
@@ -486,7 +486,7 @@ int main(int argc, char** argv) {
     parallel_for(jobs, 0, static_cast<std::int64_t>(nets.size()),
                  [&](std::int64_t i) {
                    PipelineOptions options;
-                   options.machine = MachineConfig::paper(4, 1);
+                   options.machine = machines::paper(4, 1);
                    options.machine.signal_latency =
                        nets[static_cast<std::size_t>(i)];
                    options.iterations = 100;
@@ -518,7 +518,7 @@ int main(int argc, char** argv) {
                    const auto idx = static_cast<std::size_t>(i);
                    unrolled[idx] = unroll_or_throw(loop, factors[idx]);
                    PipelineOptions options;
-                   options.machine = MachineConfig::paper(4, 1);
+                   options.machine = machines::paper(4, 1);
                    options.iterations = 0;  // the unrolled trip count
                    cmps[idx] = compare_schedulers_cached(unrolled[idx],
                                                          options, &cache);

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
                    return;
                  }
                  PipelineOptions options;
-                 options.machine = MachineConfig::paper(4, 1);
+                 options.machine = machines::paper(4, 1);
                  options.iterations = 100;
                  const SchedulerComparison cmp =
                      compare_schedulers_cached(r.loop, options, &cache);

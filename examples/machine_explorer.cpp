@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     for (const int fus : {1, 2, 4}) {
       if (fus > width) continue;
       PipelineOptions options;
-      options.machine = MachineConfig::paper(width, fus);
+      options.machine = machines::paper(width, fus);
       options.iterations = 100;
       std::int64_t ta = 0;
       std::int64_t tb = 0;

@@ -33,7 +33,7 @@ end
               tac.to_string().c_str());
 
   // --- Fig 3: DFG partition and synchronization paths -----------------
-  const MachineConfig machine = MachineConfig::paper(4, 1);
+  const MachineDesc machine = machines::paper(4, 1);
   const Dfg dfg(tac, machine);
   std::printf("=== Fig 3: DFG components ===\n");
   for (int c = 0; c < dfg.num_components(); ++c) {

@@ -20,7 +20,7 @@ end
   const Loop loop = parse_single_loop_or_throw(source);
 
   PipelineOptions options;
-  options.machine = MachineConfig::paper(/*issue_width=*/4,
+  options.machine = machines::paper(/*issue_width=*/4,
                                          /*fus_per_class=*/1);
   options.iterations = 100;
 

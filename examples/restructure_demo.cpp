@@ -62,7 +62,7 @@ int main() {
                     .c_str());
 
     PipelineOptions options;
-    options.machine = MachineConfig::paper(4, 1);
+    options.machine = machines::paper(4, 1);
     options.iterations = 100;
     if (deps.is_doall()) {
       std::printf("loop is Doall after restructuring; runs in one "

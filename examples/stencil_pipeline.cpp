@@ -29,7 +29,7 @@ end
   std::int64_t serial = 0;
   for (const int procs : {1, 2, 4, 8, 16, 32, 64, 100}) {
     PipelineOptions options;
-    options.machine = MachineConfig::paper(4, 1);
+    options.machine = machines::paper(4, 1);
     options.iterations = 100;
     options.processors = procs;
     const SchedulerComparison cmp = compare_schedulers(loop, options);
@@ -44,7 +44,7 @@ end
   // The plateau: with unlimited processors the recurrence chain bounds
   // the time at (n-1) * span + l (LBD theorem, d = 1).
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 1);
+  options.machine = machines::paper(4, 1);
   options.iterations = 100;
   const LoopReport report = run_pipeline(loop, options);
   std::printf("\nLBD theorem check: analytic lower bound %lld vs simulated"

@@ -28,7 +28,7 @@ class MetricsRegistry;  // sbmp/obs/metrics.h
 /// the paper's Fig 5 statistical model: source -> DOACROSS extraction ->
 /// synchronization insertion -> DLX code -> scheduler -> simulator.
 struct PipelineOptions {
-  MachineConfig machine = MachineConfig::paper(4, 1);
+  MachineDesc machine = machines::paper(4, 1);
   SchedulerKind scheduler = SchedulerKind::kSyncAware;
   SyncAwareOptions sync_aware;
   SyncOptions sync;

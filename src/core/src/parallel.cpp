@@ -113,14 +113,37 @@ std::string ResultCache::key(const Loop& loop,
   // parser, so it pins everything the pipeline reads from the loop.
   out += loop.to_string();
   out += '\x1f';
-  const MachineConfig& m = options.machine;
+  const MachineDesc& m = options.machine;
   append_int(out, m.issue_width);
   for (const int count : m.fu_counts) append_int(out, count);
-  append_int(out, m.latency_mult);
-  append_int(out, m.latency_div);
-  append_int(out, m.latency_default);
+  // The next three ints are the historical (mult, div, default) latency
+  // triple, kept byte-for-byte so every pre-MachineDesc cache key (and
+  // the fingerprints derived from them) survives unchanged whenever the
+  // machine is expressible in the old model. Machines the old model
+  // could not express get the canonical desc appended below — a block
+  // no legacy key can collide with, since this position in a legacy key
+  // always holds a digit.
+  append_int(out, m.latency(Opcode::kMul));
+  append_int(out, m.latency(Opcode::kDiv));
+  append_int(out, m.latency(Opcode::kAddI));
   append_int(out, m.sync_consumes_slot ? 1 : 0);
   append_int(out, m.signal_latency);
+  bool legacy_expressible =
+      m.signal_buffer_depth == 0 &&
+      m.latency(Opcode::kMulI) == m.latency(Opcode::kMul);
+  for (int op = 0; op < kNumOpcodes && legacy_expressible; ++op) {
+    const Opcode opcode = static_cast<Opcode>(op);
+    if (opcode == Opcode::kMul || opcode == Opcode::kMulI ||
+        opcode == Opcode::kDiv) {
+      continue;
+    }
+    legacy_expressible = m.latency(opcode) == m.latency(Opcode::kAddI);
+  }
+  if (!legacy_expressible) {
+    out += "m{";
+    out += m.to_string();
+    out += "}|";
+  }
   append_int(out, static_cast<int>(options.scheduler));
   append_int(out, options.sync_aware.contiguous_paths ? 1 : 0);
   append_int(out, options.sync_aware.convert_lfd ? 1 : 0);

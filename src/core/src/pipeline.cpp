@@ -165,6 +165,11 @@ void record_loop_observations(Tracer::Span& span, const LoopReport& report,
 }  // namespace
 
 LoopReport run_pipeline(const Loop& loop, const PipelineOptions& options) {
+  // Reject malformed machines before any stage reads them: a zero FU
+  // count or non-positive latency would otherwise surface as a hang or
+  // assert deep inside SlotFiller.
+  if (Status status = options.machine.validate(); !status.ok())
+    throw StatusError(std::move(status));
   Tracer::Span loop_span = Tracer::begin(options.tracer, "pipeline");
   if (loop_span) loop_span.arg("loop", loop.name);
   LoopReport report;
@@ -432,7 +437,11 @@ std::vector<std::string> validate_pipeline(const LoopReport& report,
                " (tolerance " + std::to_string(options.validate_tolerance) +
                "): the simulation and the model disagree");
     const int procs = options.processors;
-    if (all_lfd && (procs <= 0 || procs >= n) &&
+    // A bounded machine signal buffer legitimately stalls even LFD
+    // loops (delivery backpressure), so exact-iteration-time equality
+    // only holds with the paper's unbounded buffer.
+    if (all_lfd && options.machine.signal_buffer_depth == 0 &&
+        (procs <= 0 || procs >= n) &&
         report.sim.parallel_time >
             sat_add(iter_time, options.validate_tolerance))
       complain("all synchronization pairs are LFD on " +

@@ -61,7 +61,7 @@ class Dfg {
   ///    to the same element (exact test for equal coefficients);
   ///  * synchronization-condition arcs Wait -> sink access and source
   ///    access -> Send, so no schedule can read stale data.
-  Dfg(const TacFunction& tac, const MachineConfig& config);
+  Dfg(const TacFunction& tac, const MachineDesc& config);
 
   [[nodiscard]] int size() const { return n_; }
   [[nodiscard]] std::span<const DfgEdge> succs(int id) const {

@@ -44,7 +44,7 @@ namespace sbmp {
 /// (the TAC is `tac` unchanged), or a freshly built post-removal DFG
 /// otherwise — callers never rebuild one themselves.
 [[nodiscard]] TacFunction eliminate_redundant_waits(
-    const TacFunction& tac, const MachineConfig& config,
+    const TacFunction& tac, const MachineDesc& config,
     int* removed_count = nullptr, std::optional<Dfg>* dfg_out = nullptr);
 
 /// Same pass mutating `tac` in place. In the common case — no wait is
@@ -54,7 +54,7 @@ namespace sbmp {
 /// map) just to hand it back unchanged. The compile hot path uses this
 /// form; `dfg_out` follows the same always-matches contract.
 void eliminate_redundant_waits_inplace(TacFunction& tac,
-                                       const MachineConfig& config,
+                                       const MachineDesc& config,
                                        int* removed_count = nullptr,
                                        std::optional<Dfg>* dfg_out = nullptr);
 

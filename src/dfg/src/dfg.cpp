@@ -43,7 +43,7 @@ Arena& build_arena() {
 }
 }  // namespace
 
-Dfg::Dfg(const TacFunction& tac, const MachineConfig& config) {
+Dfg::Dfg(const TacFunction& tac, const MachineDesc& config) {
   n_ = tac.size();
   Arena& arena = build_arena();
 

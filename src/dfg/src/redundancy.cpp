@@ -223,7 +223,7 @@ TacFunction remove_waits(const TacFunction& tac,
 }
 
 TacFunction eliminate_redundant_waits(const TacFunction& tac,
-                                      const MachineConfig& config,
+                                      const MachineDesc& config,
                                       int* removed_count,
                                       std::optional<Dfg>* dfg_out) {
   TacFunction out = tac;
@@ -232,7 +232,7 @@ TacFunction eliminate_redundant_waits(const TacFunction& tac,
 }
 
 void eliminate_redundant_waits_inplace(TacFunction& tac,
-                                       const MachineConfig& config,
+                                       const MachineDesc& config,
                                        int* removed_count,
                                        std::optional<Dfg>* dfg_out) {
   Dfg dfg(tac, config);

@@ -36,12 +36,12 @@ enum class SchedulerKind {
 /// before its predecessor in program order.
 [[nodiscard]] Schedule schedule_inorder(const TacFunction& tac,
                                         const Dfg& dfg,
-                                        const MachineConfig& config);
+                                        const MachineDesc& config);
 
 /// Classic cycle-driven list scheduling, priority = latency-weighted
 /// critical-path height.
 [[nodiscard]] Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
-                                     const MachineConfig& config);
+                                     const MachineDesc& config);
 
 /// The slot assignment schedule_list would produce, without
 /// materializing the per-group instruction lists (one heap allocation
@@ -52,7 +52,7 @@ enum class SchedulerKind {
 /// the analytic bound of the would-be list schedule for free before
 /// deciding whether to build it.
 [[nodiscard]] int schedule_list_slots(const TacFunction& tac, const Dfg& dfg,
-                                      const MachineConfig& config,
+                                      const MachineDesc& config,
                                       std::vector<int>& slot_of);
 
 /// Synchronization-marker scheduling (reference [18]): list-schedules
@@ -61,7 +61,7 @@ enum class SchedulerKind {
 /// everything after it in program order.
 [[nodiscard]] Schedule schedule_sync_barrier(const TacFunction& tac,
                                              const Dfg& dfg,
-                                             const MachineConfig& config);
+                                             const MachineDesc& config);
 
 /// Ablation switches for the sync-aware scheduler (all on reproduces the
 /// paper's technique).
@@ -89,14 +89,14 @@ struct SyncAwareOptions {
 /// `n_iterations` enters the priority (n/d)*|SP| of step 1.
 [[nodiscard]] Schedule schedule_sync_aware(const TacFunction& tac,
                                            const Dfg& dfg,
-                                           const MachineConfig& config,
+                                           const MachineDesc& config,
                                            std::int64_t n_iterations,
                                            const SyncAwareOptions& options = {});
 
 /// Dispatch by kind (sync-aware uses default options).
 [[nodiscard]] Schedule run_scheduler(SchedulerKind kind,
                                      const TacFunction& tac, const Dfg& dfg,
-                                     const MachineConfig& config,
+                                     const MachineDesc& config,
                                      std::int64_t n_iterations);
 
 /// Validates a schedule: every instruction placed exactly once, issue
@@ -104,7 +104,7 @@ struct SyncAwareOptions {
 /// satisfied with its full latency (slot(to) >= slot(from) + latency).
 /// Returns human-readable violations; empty means valid.
 [[nodiscard]] std::vector<std::string> verify_schedule(
-    const TacFunction& tac, const Dfg& dfg, const MachineConfig& config,
+    const TacFunction& tac, const Dfg& dfg, const MachineDesc& config,
     const Schedule& schedule);
 
 }  // namespace sbmp

@@ -28,7 +28,7 @@ class SlotFiller {
   /// slot it would immediately discard. A slots-only filler supports
   /// take_slots() but not take().
   SlotFiller(const TacFunction& tac, const Dfg& dfg,
-             const MachineConfig& config, bool materialize = true);
+             const MachineDesc& config, bool materialize = true);
   SlotFiller(const SlotFiller&) = delete;
   SlotFiller& operator=(const SlotFiller&) = delete;
   ~SlotFiller();
@@ -120,7 +120,7 @@ class SlotFiller {
 
   const TacFunction& tac_;
   const Dfg& dfg_;
-  const MachineConfig& config_;
+  const MachineDesc& config_;
   Schedule sched_;
   std::unique_ptr<Scratch> scratch_;
   int num_placed_ = 0;

@@ -30,6 +30,6 @@ struct ScheduleStats {
 [[nodiscard]] ScheduleStats compute_schedule_stats(const TacFunction& tac,
                                                    const Dfg& dfg,
                                                    const Schedule& schedule,
-                                                   const MachineConfig& config);
+                                                   const MachineDesc& config);
 
 }  // namespace sbmp

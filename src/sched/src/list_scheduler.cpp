@@ -31,7 +31,7 @@ ListScratch& list_scratch() {
 /// materializing (schedule_list) and slots-only (schedule_list_slots)
 /// entry points so their decisions cannot diverge.
 void run_list_placement(SlotFiller& filler, const TacFunction& tac,
-                        const Dfg& dfg, const MachineConfig& config) {
+                        const Dfg& dfg, const MachineDesc& config) {
   const std::vector<int>& height = dfg.heights();
 
   // Cycle-driven list scheduling: at each cycle, issue the ready
@@ -54,8 +54,7 @@ void run_list_placement(SlotFiller& filler, const TacFunction& tac,
   // being scanned, mid-scan — the event-driven ready list below cannot
   // express that, so such machine configurations keep the original
   // rescan loop.
-  if (config.latency_default < 1 || config.latency_mult < 1 ||
-      config.latency_div < 1) {
+  if (config.min_latency() < 1) {
     int cycle = 0;
     while (filler.num_placed() < n) {
       for (const int id : order) {
@@ -152,7 +151,7 @@ const char* scheduler_name(SchedulerKind k) {
 }
 
 Schedule schedule_inorder(const TacFunction& tac, const Dfg& dfg,
-                          const MachineConfig& config) {
+                          const MachineDesc& config) {
   SlotFiller filler(tac, dfg, config);
   int min_slot = 0;
   for (const auto& instr : tac.instrs) {
@@ -164,14 +163,14 @@ Schedule schedule_inorder(const TacFunction& tac, const Dfg& dfg,
 }
 
 Schedule schedule_list(const TacFunction& tac, const Dfg& dfg,
-                       const MachineConfig& config) {
+                       const MachineDesc& config) {
   SlotFiller filler(tac, dfg, config);
   run_list_placement(filler, tac, dfg, config);
   return filler.take();
 }
 
 int schedule_list_slots(const TacFunction& tac, const Dfg& dfg,
-                        const MachineConfig& config,
+                        const MachineDesc& config,
                         std::vector<int>& slot_of) {
   SlotFiller filler(tac, dfg, config, /*materialize=*/false);
   run_list_placement(filler, tac, dfg, config);
@@ -179,7 +178,7 @@ int schedule_list_slots(const TacFunction& tac, const Dfg& dfg,
 }
 
 Schedule schedule_sync_barrier(const TacFunction& tac, const Dfg& dfg,
-                               const MachineConfig& config) {
+                               const MachineDesc& config) {
   SlotFiller filler(tac, dfg, config);
   // Instructions between consecutive sync markers reorder freely (ASAP
   // with hole filling above the current floor); each marker is placed
@@ -209,7 +208,7 @@ Schedule schedule_sync_barrier(const TacFunction& tac, const Dfg& dfg,
 }
 
 Schedule run_scheduler(SchedulerKind kind, const TacFunction& tac,
-                       const Dfg& dfg, const MachineConfig& config,
+                       const Dfg& dfg, const MachineDesc& config,
                        std::int64_t n_iterations) {
   switch (kind) {
     case SchedulerKind::kInOrder:

@@ -13,7 +13,7 @@ std::vector<std::unique_ptr<SlotFiller::Scratch>>& SlotFiller::pool() {
 }
 
 SlotFiller::SlotFiller(const TacFunction& tac, const Dfg& dfg,
-                       const MachineConfig& config, bool materialize)
+                       const MachineDesc& config, bool materialize)
     : tac_(tac), dfg_(dfg), config_(config), materialize_(materialize) {
   auto& parked = pool();
   if (parked.empty()) {

@@ -22,7 +22,7 @@ std::string ScheduleStats::to_string() const {
 
 ScheduleStats compute_schedule_stats(const TacFunction& tac, const Dfg& dfg,
                                      const Schedule& schedule,
-                                     const MachineConfig& config) {
+                                     const MachineDesc& config) {
   ScheduleStats stats;
   stats.groups = schedule.length();
   stats.instructions = tac.size();

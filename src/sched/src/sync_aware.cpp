@@ -47,7 +47,7 @@ void place_component_asap(SlotFiller& filler, const Dfg& dfg, int comp) {
 }  // namespace
 
 Schedule schedule_sync_aware(const TacFunction& tac, const Dfg& dfg,
-                             const MachineConfig& config,
+                             const MachineDesc& config,
                              std::int64_t n_iterations,
                              const SyncAwareOptions& options) {
   SlotFiller filler(tac, dfg, config);

@@ -4,7 +4,7 @@ namespace sbmp {
 
 std::vector<std::string> verify_schedule(const TacFunction& tac,
                                          const Dfg& dfg,
-                                         const MachineConfig& config,
+                                         const MachineDesc& config,
                                          const Schedule& schedule) {
   std::vector<std::string> violations;
   const auto complain = [&](std::string msg) {

@@ -25,7 +25,11 @@ namespace sbmp {
 /// original "SBMP") spoke only compile/ping; revision '2' added the STAT
 /// introspection frames; revision '3' added the deadline_ms field to
 /// compile requests so a client's remaining budget propagates to the
-/// daemon. A reader that sees "SBM" with a different fourth byte reports
+/// daemon; revision '4' replaced the per-field machine columns in the
+/// options payload with the canonical MachineDesc string (machine
+/// grammar in docs/machines.md), so a pre-MachineDesc peer and a
+/// current one refuse each other at the frame layer instead of
+/// mis-decoding options. A reader that sees "SBM" with a different fourth byte reports
 /// a clean version-mismatch Status instead of the generic bad-magic
 /// error, so mixed-version client/daemon pairs fail with an actionable
 /// message rather than a protocol mystery.
@@ -40,7 +44,7 @@ namespace sbmp {
 
 /// Fourth magic byte. Bump whenever a frame type or payload schema
 /// changes incompatibly.
-inline constexpr char kProtocolRevision = '3';
+inline constexpr char kProtocolRevision = '4';
 
 enum class FrameType : std::uint32_t {
   kCompileRequest = 1,

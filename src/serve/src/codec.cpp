@@ -289,15 +289,11 @@ Status decode_loop_report(const std::string& payload,
 std::string encode_pipeline_options(const PipelineOptions& options) {
   RecordWriter w;
   w.add_int("version", kScheduleCacheFormatVersion);
-  const MachineConfig& m = options.machine;
-  w.add_int("issue_width", m.issue_width);
-  std::vector<int> fus(m.fu_counts.begin(), m.fu_counts.end());
-  w.add_string("fu_counts", encode_ints(fus));
-  w.add_int("latency_mult", m.latency_mult);
-  w.add_int("latency_div", m.latency_div);
-  w.add_int("latency_default", m.latency_default);
-  w.add_int("sync_consumes_slot", m.sync_consumes_slot ? 1 : 0);
-  w.add_int("signal_latency", m.signal_latency);
+  // The whole machine travels as its canonical textual form: one field
+  // whose grammar is versioned by docs/machines.md instead of a column
+  // per struct member, so adding a machine parameter no longer reshapes
+  // the wire record (protocol revision '4').
+  w.add_string("machine", options.machine.to_string());
   w.add_int("scheduler", static_cast<int>(options.scheduler));
   w.add_int("contiguous_paths", options.sync_aware.contiguous_paths ? 1 : 0);
   w.add_int("convert_lfd", options.sync_aware.convert_lfd ? 1 : 0);
@@ -326,25 +322,10 @@ Status decode_pipeline_options(const std::string& payload,
     return r.read_int(name, dst);
   };
   std::int64_t i = 0;
-  if (Status s = read_i("issue_width", &i); !s.ok()) return s;
-  options.machine.issue_width = static_cast<int>(i);
-  std::string fus_text;
-  if (Status s = r.read_string("fu_counts", &fus_text); !s.ok()) return s;
-  std::vector<int> fus;
-  if (!decode_ints(fus_text, &fus) || fus.size() != options.machine.fu_counts.size())
-    return reject("malformed fu_counts");
-  for (std::size_t f = 0; f < fus.size(); ++f)
-    options.machine.fu_counts[f] = fus[f];
-  if (Status s = read_i("latency_mult", &i); !s.ok()) return s;
-  options.machine.latency_mult = static_cast<int>(i);
-  if (Status s = read_i("latency_div", &i); !s.ok()) return s;
-  options.machine.latency_div = static_cast<int>(i);
-  if (Status s = read_i("latency_default", &i); !s.ok()) return s;
-  options.machine.latency_default = static_cast<int>(i);
-  if (Status s = read_i("sync_consumes_slot", &i); !s.ok()) return s;
-  options.machine.sync_consumes_slot = i != 0;
-  if (Status s = read_i("signal_latency", &i); !s.ok()) return s;
-  options.machine.signal_latency = static_cast<int>(i);
+  std::string machine_text;
+  if (Status s = r.read_string("machine", &machine_text); !s.ok()) return s;
+  if (Status s = parse_machine_desc(machine_text, &options.machine); !s.ok())
+    return reject("malformed machine desc: " + s.message);
   if (Status s = read_i("scheduler", &i); !s.ok()) return s;
   if (i < 0 || i > static_cast<int>(SchedulerKind::kSyncAware))
     return reject("unknown scheduler kind " + std::to_string(i));

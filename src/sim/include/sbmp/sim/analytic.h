@@ -65,7 +65,7 @@ namespace sbmp {
 /// which makes it a sound pre-filter: a schedule already at or below the
 /// bound cannot be beaten by any alternative schedule.
 [[nodiscard]] std::int64_t schedule_free_lower_bound(
-    const TacFunction& tac, const Dfg& dfg, const MachineConfig& config,
+    const TacFunction& tac, const Dfg& dfg, const MachineDesc& config,
     std::int64_t n);
 
 /// Lower bound on the simulated parallel time of `schedule` ITSELF (not
@@ -92,7 +92,7 @@ namespace sbmp {
 /// fallback simulation can be skipped with the identical decision.
 [[nodiscard]] std::int64_t scheduled_lower_bound(const TacFunction& tac,
                                                  const Dfg& dfg,
-                                                 const MachineConfig& config,
+                                                 const MachineDesc& config,
                                                  const Schedule& schedule,
                                                  std::int64_t n);
 
@@ -101,7 +101,7 @@ namespace sbmp {
 /// schedule_list_slots: the bound reads only slots, so the guard can
 /// evaluate it without ever materializing the schedule's group lists.
 [[nodiscard]] std::int64_t scheduled_lower_bound(
-    const TacFunction& tac, const Dfg& dfg, const MachineConfig& config,
+    const TacFunction& tac, const Dfg& dfg, const MachineDesc& config,
     const std::vector<int>& slot_of, int length, std::int64_t n);
 
 }  // namespace sbmp

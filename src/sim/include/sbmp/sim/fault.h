@@ -73,7 +73,7 @@ struct FaultSimResult {
 /// oracle examines min(iterations, 65536) iterations.
 [[nodiscard]] FaultSimResult simulate_with_faults(
     const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
-    const MachineConfig& config, const SimOptions& options,
+    const MachineDesc& config, const SimOptions& options,
     const std::vector<Dependence>& carried, const FaultPlan& plan);
 
 /// Aggregate of a multi-trial perturbation campaign.
@@ -97,7 +97,7 @@ struct FaultCampaign {
 /// aggregating oracle results.
 [[nodiscard]] FaultCampaign run_fault_campaign(
     const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
-    const MachineConfig& config, const SimOptions& options,
+    const MachineDesc& config, const SimOptions& options,
     const std::vector<Dependence>& carried, const FaultPlan& shape,
     int trials);
 
@@ -129,6 +129,6 @@ enum class ScheduleMutation {
                                            TacFunction& tac,
                                            std::optional<Dfg>& dfg,
                                            Schedule& schedule,
-                                           const MachineConfig& config);
+                                           const MachineDesc& config);
 
 }  // namespace sbmp

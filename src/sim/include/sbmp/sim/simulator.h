@@ -31,6 +31,19 @@ namespace sbmp {
       {sat_add(max_wait_distance, 1), sat_add(concurrency, 1), 2});
 }
 
+/// Machine-aware form: a bounded signal buffer
+/// (MachineDesc::signal_buffer_depth > 0) needs `depth + 1` rows live so
+/// the wait time of iteration `k - depth` is still visible when send k
+/// checks for backpressure. With the default unbounded buffer this is
+/// exactly the two-argument form.
+[[nodiscard]] inline std::int64_t signal_window_rows(
+    const MachineDesc& machine, std::int64_t max_wait_distance,
+    std::int64_t concurrency) {
+  return std::max<std::int64_t>(
+      signal_window_rows(max_wait_distance, concurrency),
+      sat_add(machine.signal_buffer_depth, 1));
+}
+
 /// Parameters of one multiprocessor run.
 struct SimOptions {
   /// Loop iterations to execute (the paper uses 100 per loop). This is
@@ -85,7 +98,7 @@ struct SimResult {
 /// issued at c satisfies distance-d waits of iteration k+d at >= c+1.
 [[nodiscard]] SimResult simulate(const TacFunction& tac, const Dfg& dfg,
                                  const Schedule& schedule,
-                                 const MachineConfig& config,
+                                 const MachineDesc& config,
                                  const SimOptions& options);
 
 /// Group issue cycles of the first `count` iterations under the same
@@ -93,7 +106,7 @@ struct SimResult {
 /// group). Powers the trace renderer and timing tests.
 [[nodiscard]] std::vector<std::vector<std::int64_t>> simulate_issue_times(
     const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
-    const MachineConfig& config, const SimOptions& options, int count);
+    const MachineDesc& config, const SimOptions& options, int count);
 
 /// End-to-end staleness check: verifies that for every loop-carried
 /// dependence in `carried`, each source access instance is issued
@@ -103,7 +116,7 @@ struct SimResult {
 /// synchronization are correct.
 [[nodiscard]] std::vector<std::string> check_cross_iteration_ordering(
     const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
-    const MachineConfig& config, const SimOptions& options,
+    const MachineDesc& config, const SimOptions& options,
     const std::vector<Dependence>& carried);
 
 }  // namespace sbmp

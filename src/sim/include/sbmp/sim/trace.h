@@ -24,7 +24,7 @@ namespace sbmp {
 [[nodiscard]] std::string trace_to_string(const TacFunction& tac,
                                           const Dfg& dfg,
                                           const Schedule& schedule,
-                                          const MachineConfig& config,
+                                          const MachineDesc& config,
                                           const SimOptions& options,
                                           int iterations_shown = 8,
                                           int max_cycles = 100);

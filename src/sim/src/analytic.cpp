@@ -57,7 +57,7 @@ AnalyticScratch& analytic_scratch() {
 }  // namespace
 
 std::int64_t schedule_free_lower_bound(const TacFunction& tac, const Dfg& dfg,
-                                       const MachineConfig& config,
+                                       const MachineDesc& config,
                                        std::int64_t n) {
   if (n <= 0) return 0;
   const int size = dfg.size();
@@ -123,14 +123,14 @@ std::int64_t schedule_free_lower_bound(const TacFunction& tac, const Dfg& dfg,
 }
 
 std::int64_t scheduled_lower_bound(const TacFunction& tac, const Dfg& dfg,
-                                   const MachineConfig& config,
+                                   const MachineDesc& config,
                                    const Schedule& schedule, std::int64_t n) {
   return scheduled_lower_bound(tac, dfg, config, schedule.slot_of,
                                schedule.length(), n);
 }
 
 std::int64_t scheduled_lower_bound(const TacFunction& tac, const Dfg& dfg,
-                                   const MachineConfig& config,
+                                   const MachineDesc& config,
                                    const std::vector<int>& slot_of,
                                    int length, std::int64_t n) {
   if (n <= 0) return 0;

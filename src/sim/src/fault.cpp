@@ -104,7 +104,7 @@ FaultPlan FaultPlan::adversarial(std::uint64_t seed) {
 
 FaultSimResult simulate_with_faults(const TacFunction& tac, const Dfg& dfg,
                                     const Schedule& schedule,
-                                    const MachineConfig& config,
+                                    const MachineDesc& config,
                                     const SimOptions& options,
                                     const std::vector<Dependence>& carried,
                                     const FaultPlan& plan) {
@@ -245,7 +245,7 @@ FaultSimResult simulate_with_faults(const TacFunction& tac, const Dfg& dfg,
 
 FaultCampaign run_fault_campaign(const TacFunction& tac, const Dfg& dfg,
                                  const Schedule& schedule,
-                                 const MachineConfig& config,
+                                 const MachineDesc& config,
                                  const SimOptions& options,
                                  const std::vector<Dependence>& carried,
                                  const FaultPlan& shape, int trials) {
@@ -326,7 +326,7 @@ bool remove_from_groups(Schedule& schedule, int id) {
 
 bool apply_schedule_mutation(ScheduleMutation m, TacFunction& tac,
                              std::optional<Dfg>& dfg, Schedule& schedule,
-                             const MachineConfig& config) {
+                             const MachineDesc& config) {
   switch (m) {
     case ScheduleMutation::kHoistSend: {
       for (const auto& instr : tac.instrs) {

@@ -33,7 +33,7 @@ struct SimCore {
   const TacFunction& tac;
   const Dfg& dfg;
   const Schedule& schedule;
-  const MachineConfig& config;
+  const MachineDesc& config;
   const SimOptions& options;
   /// Optional timing perturbation; nullptr = exact base semantics.
   const FaultPlan* faults = nullptr;
@@ -127,8 +127,9 @@ struct SimCore {
   std::vector<int>& send_slot = scratch_->send_slot;  ///< stmt -> group, -1
   /// Send issue cycles, ring-indexed rows of `signal_width` entries.
   std::vector<std::int64_t>& send_times = scratch_->send_times;
-  /// Wait issue cycles, same layout; maintained only under faults
-  /// (bounded signal-buffer model).
+  /// Wait issue cycles, same layout; maintained only when a bounded
+  /// signal buffer is modeled (machine signal_buffer_depth > 0 or a
+  /// FaultPlan is active).
   std::vector<std::int64_t>& wait_times = scratch_->wait_times;
   std::vector<PredRef>& pred_refs = scratch_->pred_refs;
   /// Grouped by schedule group.
@@ -143,7 +144,7 @@ struct SimCore {
   SimCore& operator=(const SimCore&) = delete;
 
   SimCore(const TacFunction& t, const Dfg& d, const Schedule& s,
-          const MachineConfig& c, const SimOptions& o,
+          const MachineDesc& c, const SimOptions& o,
           const FaultPlan* f = nullptr)
       : tac(t), dfg(d), schedule(s), config(c), options(o), faults(f) {
     // Degenerate inputs are pinned here: negative iteration/processor
@@ -164,9 +165,12 @@ struct SimCore {
             schedule.slot(instr.id);
     }
     const std::int64_t procs = std::max(options.processors, 0);
-    std::int64_t rows = signal_window_rows(max_wait_distance, procs);
+    // Machine-aware form: a bounded machine buffer widens the ring so
+    // the wait `depth` iterations back is still visible.
+    std::int64_t rows = signal_window_rows(config, max_wait_distance, procs);
     if (faults != nullptr && faults->signal_buffer_capacity > 0) {
-      // The bounded-buffer constraint reaches back `capacity` waits.
+      // The fault-plan bounded-buffer constraint reaches back
+      // `capacity` waits.
       rows = std::max<std::int64_t>(
           rows, static_cast<std::int64_t>(faults->signal_buffer_capacity) + 1);
     }
@@ -214,7 +218,7 @@ struct SimCore {
     send_times.assign(
         static_cast<std::size_t>(window) * static_cast<std::size_t>(signal_width),
         kNoTime);
-    if (faults != nullptr)
+    if (faults != nullptr || config.signal_buffer_depth > 0)
       wait_times.assign(static_cast<std::size_t>(window) *
                             static_cast<std::size_t>(signal_width),
                         kNoTime);
@@ -285,6 +289,7 @@ struct SimCore {
     SimResult result;
     result.schedule_length = schedule.length();
     const int procs = options.processors;
+    const int machine_buffer = std::max(config.signal_buffer_depth, 0);
     const int buffer_capacity =
         faults != nullptr ? faults->signal_buffer_capacity : 0;
 
@@ -309,7 +314,9 @@ struct SimCore {
     // hook (both observe individual iterations), and only when all the
     // closed forms stay inside int64, so the loop's sat_add could never
     // have saturated either.
-    const bool can_skip = !hook && faults == nullptr;
+    // A bounded machine buffer also disables the skip: its constraint
+    // reads wait times, which the fast-forward does not extrapolate.
+    const bool can_skip = !hook && faults == nullptr && machine_buffer == 0;
     std::int64_t streak = 0;
     std::int64_t next_attempt = 0;
     std::int64_t d_start = 0;
@@ -442,7 +449,7 @@ struct SimCore {
       std::int64_t* const sends = send_times.data() + signal_row(k);
       std::fill_n(sends, static_cast<std::size_t>(signal_width), kNoTime);
       std::int64_t* waits = nullptr;
-      if (faults != nullptr) {
+      if (faults != nullptr || machine_buffer > 0) {
         waits = wait_times.data() + signal_row(k);
         std::fill_n(waits, static_cast<std::size_t>(signal_width), kNoTime);
       }
@@ -489,7 +496,16 @@ struct SimCore {
               }
             }
             // Bounded signal buffer: the FIFO slot for this stream only
-            // frees once the wait `capacity` iterations back has issued.
+            // frees once the wait `depth` iterations back has issued.
+            // The machine-level depth is part of the modeled hardware,
+            // so its stalls are ordinary timing, not fault events; the
+            // fault-plan capacity layered on top counts every extra
+            // stall it causes beyond the machine's own.
+            if (machine_buffer > 0 && k >= machine_buffer) {
+              const std::int64_t old_wait =
+                  wait_times[signal_row(k - machine_buffer) + stmt];
+              if (old_wait != kNoTime && old_wait + 1 > t) t = old_wait + 1;
+            }
             if (buffer_capacity > 0 && k >= buffer_capacity) {
               const std::int64_t old_wait =
                   wait_times[signal_row(k - buffer_capacity) + stmt];

@@ -10,7 +10,7 @@ namespace sbmp {
 using sim_detail::SimCore;
 
 SimResult simulate(const TacFunction& tac, const Dfg& dfg,
-                   const Schedule& schedule, const MachineConfig& config,
+                   const Schedule& schedule, const MachineDesc& config,
                    const SimOptions& options) {
   SimCore core(tac, dfg, schedule, config, options);
   SimResult result = core.run(nullptr);
@@ -32,7 +32,7 @@ SimResult simulate(const TacFunction& tac, const Dfg& dfg,
 
 std::vector<std::vector<std::int64_t>> simulate_issue_times(
     const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
-    const MachineConfig& config, const SimOptions& options, int count) {
+    const MachineDesc& config, const SimOptions& options, int count) {
   std::vector<std::vector<std::int64_t>> rows;
   SimCore core(tac, dfg, schedule, config, options);
   const auto hook = [&](std::int64_t k) {
@@ -44,7 +44,7 @@ std::vector<std::vector<std::int64_t>> simulate_issue_times(
 
 std::vector<std::string> check_cross_iteration_ordering(
     const TacFunction& tac, const Dfg& dfg, const Schedule& schedule,
-    const MachineConfig& config, const SimOptions& options,
+    const MachineDesc& config, const SimOptions& options,
     const std::vector<Dependence>& carried) {
   std::vector<std::string> violations;
 

@@ -6,7 +6,7 @@ namespace sbmp {
 
 std::string trace_to_string(const TacFunction& tac, const Dfg& dfg,
                             const Schedule& schedule,
-                            const MachineConfig& config,
+                            const MachineDesc& config,
                             const SimOptions& options, int iterations_shown,
                             int max_cycles) {
   const auto rows = simulate_issue_times(

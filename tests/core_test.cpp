@@ -31,7 +31,7 @@ TEST(Pipeline, NeverDegradeGuaranteeHolds) {
   // placement loses to list scheduling; the fallback must engage.
   const Loop loop = parse_single_loop_or_throw(kChainLoop);
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 1);
+  options.machine = machines::paper(4, 1);
 
   PipelineOptions no_guard = options;
   no_guard.never_degrade = false;
@@ -197,9 +197,9 @@ TEST(ResultCacheTest, KeyCoversEveryOutputAffectingOption) {
     return ResultCache::key(loop, changed) != base_key;
   };
   EXPECT_TRUE(changes_key(
-      [](PipelineOptions& o) { o.machine = MachineConfig::paper(2, 1); }));
+      [](PipelineOptions& o) { o.machine = machines::paper(2, 1); }));
   EXPECT_TRUE(changes_key(
-      [](PipelineOptions& o) { o.machine = MachineConfig::paper(4, 2); }));
+      [](PipelineOptions& o) { o.machine = machines::paper(4, 2); }));
   EXPECT_TRUE(changes_key(
       [](PipelineOptions& o) { o.machine.sync_consumes_slot = false; }));
   EXPECT_TRUE(changes_key(
@@ -232,6 +232,41 @@ TEST(ResultCacheTest, KeyCoversEveryOutputAffectingOption) {
   const Loop other = parse_single_loop_or_throw(
       "doacross I = 1, 100\n  A[I] = A[I-1] + 1\nend\n");
   EXPECT_NE(ResultCache::key(other, base), base_key);
+}
+
+TEST(ResultCacheTest, KeyCoversEveryMachineDescField) {
+  // The declarative MachineDesc added fields the legacy key never
+  // encoded (per-opcode latencies, buffer depth); every one of them can
+  // change the schedule, so every one must perturb the key.
+  const Loop loop = parse_single_loop_or_throw(kChainLoop);
+  const PipelineOptions base;
+  const std::string base_key = ResultCache::key(loop, base);
+  const auto changes_key = [&](auto mutate) {
+    PipelineOptions changed = base;
+    mutate(changed.machine);
+    return ResultCache::key(loop, changed) != base_key;
+  };
+  EXPECT_TRUE(changes_key([](MachineDesc& m) { m.issue_width = 7; }));
+  for (int f = 0; f < kNumFuClasses; ++f) {
+    EXPECT_TRUE(changes_key([f](MachineDesc& m) { m.fu_counts[f] = 5; }))
+        << "fu class " << f;
+  }
+  for (int op = 0; op < kNumOpcodes; ++op) {
+    EXPECT_TRUE(changes_key([op](MachineDesc& m) { m.latencies[op] = 9; }))
+        << "opcode " << opcode_name(static_cast<Opcode>(op));
+  }
+  EXPECT_TRUE(
+      changes_key([](MachineDesc& m) { m.sync_consumes_slot = false; }));
+  EXPECT_TRUE(changes_key([](MachineDesc& m) { m.signal_latency = 4; }));
+  EXPECT_TRUE(changes_key([](MachineDesc& m) { m.signal_buffer_depth = 2; }));
+
+  // Byte-compat: legacy-expressible machines (the default among them)
+  // key exactly as before the redesign — no canonical-desc extension —
+  // so warm caches survive the upgrade.
+  EXPECT_EQ(base_key.find("m{"), std::string::npos);
+  PipelineOptions buffered = base;
+  buffered.machine.signal_buffer_depth = 2;
+  EXPECT_NE(ResultCache::key(loop, buffered).find("m{"), std::string::npos);
 }
 
 TEST(ResultCacheTest, InsertRaceKeepsTheFirstEntry) {

@@ -23,7 +23,7 @@ struct Built {
   Dfg dfg;
 };
 
-Built build(const char* src, MachineConfig config = MachineConfig::paper(4, 1)) {
+Built build(const char* src, MachineDesc config = machines::paper(4, 1)) {
   TacFunction tac = generate_tac(
       insert_synchronization(parse_single_loop_or_throw(src)));
   Dfg dfg(tac, config);
@@ -133,9 +133,9 @@ TEST(Dfg, Fig3SynchronizationPath) {
   EXPECT_TRUE(b.dfg.sync_path(*p1).empty());
 }
 
-TEST(Dfg, LatenciesFollowMachineConfig) {
-  MachineConfig config = MachineConfig::paper(4, 1);
-  config.latency_mult = 3;
+TEST(Dfg, LatenciesFollowMachineDesc) {
+  MachineDesc config = machines::paper(4, 1);
+  config.set_latency(Opcode::kMul, 3);
   const auto b = build(R"(
 doacross I = 1, 100
   A[I] = A[I-1] * B[I]

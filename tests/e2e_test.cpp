@@ -18,7 +18,7 @@ end
 
 PipelineOptions paper_options(SchedulerKind kind) {
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 1);
+  options.machine = machines::paper(4, 1);
   options.scheduler = kind;
   options.iterations = 100;
   options.check_ordering = true;
@@ -84,7 +84,7 @@ TEST(EndToEnd, ImprovementAcrossAllFourPaperCases) {
   for (const int width : {2, 4}) {
     for (const int fus : {1, 2}) {
       PipelineOptions options = paper_options(SchedulerKind::kList);
-      options.machine = MachineConfig::paper(width, fus);
+      options.machine = machines::paper(width, fus);
       const SchedulerComparison cmp = compare_schedulers(loop, options);
       EXPECT_GT(cmp.improvement(), 0.0) << options.machine.label();
       EXPECT_TRUE(cmp.baseline.valid()) << options.machine.label();
@@ -102,12 +102,12 @@ TEST(EndToEnd, SyncAwareTimeInsensitiveToIssueWidth) {
   std::int64_t t41 = 0;
   {
     PipelineOptions options = paper_options(SchedulerKind::kSyncAware);
-    options.machine = MachineConfig::paper(2, 2);
+    options.machine = machines::paper(2, 2);
     t24 = run_pipeline(loop, options).parallel_time();
   }
   {
     PipelineOptions options = paper_options(SchedulerKind::kSyncAware);
-    options.machine = MachineConfig::paper(4, 1);
+    options.machine = machines::paper(4, 1);
     t41 = run_pipeline(loop, options).parallel_time();
   }
   const double ratio = static_cast<double>(t24) / static_cast<double>(t41);

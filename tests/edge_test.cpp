@@ -124,11 +124,11 @@ doacross I = 1, 100
 end
 )");
   PipelineOptions wide;
-  wide.machine = MachineConfig::paper(8, 4);
+  wide.machine = machines::paper(8, 4);
   wide.check_ordering = true;
   const LoopReport w = run_pipeline(loop, wide);
   PipelineOptions narrow;
-  narrow.machine = MachineConfig::paper(2, 1);
+  narrow.machine = machines::paper(2, 1);
   const LoopReport n = run_pipeline(loop, narrow);
   EXPECT_TRUE(w.valid());
   EXPECT_LE(w.parallel_time(), n.parallel_time());

@@ -42,7 +42,7 @@ end
 
 LoopReport compile_one(const char* source) {
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 1);
+  options.machine = machines::paper(4, 1);
   options.iterations = 100;
   ProgramReport report = run_pipeline_source(source, options);
   EXPECT_TRUE(report.all_ok());
@@ -358,7 +358,7 @@ TEST_P(ExecFuzz, GeneratedLoopsExecuteByteIdenticalToReference) {
   SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 48271u);
   const Loop loop = generate_random_loop(rng, LoopGenConfig{});
   PipelineOptions options;
-  options.machine = MachineConfig::paper(
+  options.machine = machines::paper(
       rng.range(0, 1) == 0 ? 2 : 4, static_cast<int>(rng.range(1, 2)));
   options.iterations = 50;
   LoopReport report;

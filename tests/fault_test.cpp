@@ -31,7 +31,7 @@ struct Compiled {
 
 Compiled compile(const char* src, int issue = 4, int fus = 2) {
   Compiled out;
-  out.options.machine = MachineConfig::paper(issue, fus);
+  out.options.machine = machines::paper(issue, fus);
   out.options.iterations = 100;
   out.report = run_pipeline(parse_single_loop_or_throw(src), out.options);
   out.sim_options.iterations =
@@ -116,7 +116,7 @@ TEST(FaultCampaignTest, CleanOnEveryPerfectDoacrossLoop) {
     for (const auto& loop : bench.program().loops) {
       if (analyze_dependences(loop).is_doall()) continue;
       PipelineOptions options;
-      options.machine = MachineConfig::paper(4, 2);
+      options.machine = machines::paper(4, 2);
       options.iterations = 100;
       LoopReport report;
       try {
@@ -203,7 +203,7 @@ TEST(MutationApi, ParseRoundTripsAndRejectsJunk) {
 TEST(MutationApi, NoSyncMeansNothingToBreak) {
   // A Doall-shaped loop compiled directly has no Send/Wait to mutate.
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = 10;
   LoopReport report = run_pipeline(
       parse_single_loop_or_throw("doacross I = 1, 10\n  A[I] = B[I] + 1\nend"),

@@ -108,7 +108,7 @@ TEST_P(PipelineFuzz, GeneratedLoopsValidateAndSurviveFaults) {
   SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 2654435761u);
   const Loop loop = generate_random_loop(rng, LoopGenConfig{});
   PipelineOptions options;
-  options.machine = MachineConfig::paper(
+  options.machine = machines::paper(
       rng.range(0, 1) == 0 ? 2 : 4, static_cast<int>(rng.range(1, 2)));
   options.iterations = 50;
   LoopReport report;
@@ -145,7 +145,7 @@ TEST_P(PipelineFuzz, ValidationPassIsDeterministic) {
   SplitMix64 rng(static_cast<std::uint64_t>(GetParam()) * 40503u);
   const Loop loop = generate_random_loop(rng, LoopGenConfig{});
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 1);
+  options.machine = machines::paper(4, 1);
   options.iterations = 50;
   LoopReport a;
   try {

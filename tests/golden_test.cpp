@@ -99,7 +99,7 @@ void hash_dfg(Hasher64& h, const Dfg& dfg) {
 /// Fingerprint of everything the compile hot path derives from `loop`
 /// under one machine case: DFG structure, all four schedulers, two
 /// sync-aware ablations, and the redundant-wait analysis.
-std::uint64_t loop_fingerprint(const Loop& loop, const MachineConfig& config) {
+std::uint64_t loop_fingerprint(const Loop& loop, const MachineDesc& config) {
   const DepAnalysis deps = analyze_dependences(loop);
   if (!deps.is_synchronizable()) return 0;  // pipeline refuses these
   const SyncedLoop synced = insert_synchronization(loop, deps);
@@ -134,8 +134,8 @@ struct GoldenEntry {
 
 std::vector<GoldenEntry> compute_all() {
   std::vector<GoldenEntry> out;
-  const MachineConfig wide = MachineConfig::paper(4, 1);
-  const MachineConfig narrow = MachineConfig::paper(2, 2);
+  const MachineDesc wide = machines::paper(4, 1);
+  const MachineDesc narrow = machines::paper(2, 2);
   const auto add = [&](const std::string& label, const Loop& loop) {
     out.push_back({label + "/4x1", loop_fingerprint(loop, wide)});
     out.push_back({label + "/2x2", loop_fingerprint(loop, narrow)});
@@ -149,7 +149,7 @@ std::vector<GoldenEntry> compute_all() {
   for (int seed = 1; seed <= 500; ++seed) {
     SplitMix64 rng(static_cast<std::uint64_t>(seed) * 0x9e3779b97f4a7c15ull);
     const Loop loop = generate_random_loop(rng, LoopGenConfig{});
-    const MachineConfig& config = (seed % 2 == 0) ? narrow : wide;
+    const MachineDesc& config = (seed % 2 == 0) ? narrow : wide;
     std::ostringstream label;
     label << "fuzz-" << seed << (seed % 2 == 0 ? "/2x2" : "/4x1");
     out.push_back({label.str(), loop_fingerprint(loop, config)});

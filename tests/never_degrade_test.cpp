@@ -143,7 +143,7 @@ TEST(AnalyticBounds, LowerBoundsNeverExceedTheSimulatedTime) {
   // actually wins — silently degrading a compile.
   const int seeds = fuzz_seed_count();
   LoopGenConfig config;
-  const MachineConfig machine = MachineConfig::paper(4, 1);
+  const MachineDesc machine = machines::paper(4, 1);
   const std::int64_t n = 100;
   for (int seed = 0; seed < seeds; ++seed) {
     SplitMix64 rng(0xda942042e4dd58b5ull ^
@@ -177,7 +177,7 @@ TEST(ListScheduleSlots, SlotsOnlyBuildMatchesTheMaterializedSchedule) {
   // bound answer a question about the wrong schedule.
   const int seeds = fuzz_seed_count();
   LoopGenConfig config;
-  const MachineConfig machine = MachineConfig::paper(4, 1);
+  const MachineDesc machine = machines::paper(4, 1);
   std::vector<int> slot_of;
   for (int seed = 0; seed < seeds; ++seed) {
     SplitMix64 rng(0xbf58476d1ce4e5b9ull ^

@@ -270,7 +270,7 @@ TEST(PipelineObservability, MetricsAccumulateAcrossJobs8Batch) {
   // updates), and the schedules must match the serial run.
   const std::vector<bench::CorpusLoop> corpus = bench::compile_corpus();
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = 100;
 
   std::vector<CompileRequest> serial_requests;
@@ -312,6 +312,20 @@ TEST(PipelineObservability, MetricsAccumulateAcrossJobs8Batch) {
   EXPECT_EQ(dep->count, completed);
 }
 
+/// The golden pin: the corpus fingerprint on the machine bench_micro
+/// measures (4-issue, #FU=2, 100 iterations, pipeline defaults
+/// otherwise) is a hard-coded constant. BENCH_compile.json records the
+/// same value, but regenerating that file cannot move this goalpost —
+/// any machine-model or scheduler change that shifts it must be an
+/// explicit, reviewed edit here.
+TEST(PipelineObservability, BenchMachineCorpusFingerprintIsPinned) {
+  std::vector<bench::CorpusLoop> corpus = bench::compile_corpus();
+  PipelineOptions options;
+  options.machine = machines::paper(4, 2);
+  options.iterations = 100;
+  EXPECT_EQ(bench::fingerprint_corpus(&corpus, options), "3c390871903d0914");
+}
+
 #ifdef SBMP_BENCH_JSON_PATH
 
 /// The drift gate: the schedule fingerprint of the full bench corpus,
@@ -330,7 +344,7 @@ TEST(PipelineObservability, TracedCorpusFingerprintMatchesBenchRecord) {
   Tracer tracer;
   MetricsRegistry registry;
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = 100;
   options.tracer = &tracer;
   options.metrics = &registry;

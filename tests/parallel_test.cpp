@@ -52,7 +52,7 @@ std::string render(const ProgramReport& report) {
 
 TEST(ParallelEngine, MatchesSerialEngineByteForByte) {
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 1);
+  options.machine = machines::paper(4, 1);
   options.iterations = 100;
   for (const auto& bench : perfect_suite()) {
     const Program program = bench.program();
@@ -73,7 +73,7 @@ TEST(ParallelEngine, MatchesSerialUnderListSchedulerAndChecks) {
   // so violation lists (usually empty) and a different scheduler path
   // go through the comparison too.
   PipelineOptions options;
-  options.machine = MachineConfig::paper(2, 1);
+  options.machine = machines::paper(2, 1);
   options.scheduler = SchedulerKind::kList;
   options.check_ordering = true;
   options.iterations = 50;
@@ -118,7 +118,7 @@ end
   other.scheduler = SchedulerKind::kList;
   EXPECT_NE(base, ResultCache::key(loop, other));
   other = options;
-  other.machine = MachineConfig::paper(2, 2);
+  other.machine = machines::paper(2, 2);
   EXPECT_NE(base, ResultCache::key(loop, other));
   other = options;
   other.iterations = 7;
@@ -299,7 +299,7 @@ TEST(ShardedCache, SingleShardCacheIsByteIdenticalAcrossJobCounts) {
   // single-mutex table) and the default sharded cache must produce
   // byte-identical program reports at every job count.
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 1);
+  options.machine = machines::paper(4, 1);
   options.iterations = 100;
   for (const auto& bench : perfect_suite()) {
     const Program program = bench.program();

@@ -128,7 +128,7 @@ TEST(Suite, PipelineValidOnEveryLoopAllConfigs) {
           for (const auto kind :
                {SchedulerKind::kList, SchedulerKind::kSyncAware}) {
             PipelineOptions options;
-            options.machine = MachineConfig::paper(width, fus);
+            options.machine = machines::paper(width, fus);
             options.scheduler = kind;
             options.iterations = 100;
             options.check_ordering = true;
@@ -148,7 +148,7 @@ TEST(Suite, SyncAwareImprovesEveryBenchmark) {
   // paper's 4-issue single-FU configuration.
   for (const auto& bench : perfect_suite()) {
     PipelineOptions options;
-    options.machine = MachineConfig::paper(4, 1);
+    options.machine = machines::paper(4, 1);
     options.iterations = 100;
     std::int64_t list_total = 0;
     std::int64_t ours_total = 0;

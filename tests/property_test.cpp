@@ -71,7 +71,7 @@ TEST_P(SeededTest, AllSchedulersProduceValidSchedulesAndOrdering) {
                           SchedulerKind::kSyncAware}) {
     for (const int width : {2, 4}) {
       PipelineOptions options;
-      options.machine = MachineConfig::paper(width, 1 + (GetParam() % 2));
+      options.machine = machines::paper(width, 1 + (GetParam() % 2));
       options.scheduler = kind;
       options.iterations = 60;
       options.check_ordering = true;
@@ -91,7 +91,7 @@ TEST_P(SeededTest, AllSchedulersProduceValidSchedulesAndOrdering) {
 TEST_P(SeededTest, SyncAwareNeverSlowerThanList) {
   const Loop loop = make_loop(static_cast<std::uint64_t>(GetParam()));
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 1);
+  options.machine = machines::paper(4, 1);
   options.iterations = 100;
   const SchedulerComparison cmp = compare_schedulers(loop, options);
   EXPECT_LE(cmp.improved.parallel_time(), cmp.baseline.parallel_time())

@@ -31,7 +31,7 @@ doacross I = 1, 100
   A[I] = A[I-1] + A[I-2]
 end
 )");
-  const Dfg dfg(tac, MachineConfig::paper(4, 1));
+  const Dfg dfg(tac, machines::paper(4, 1));
   EXPECT_TRUE(find_redundant_wait_instrs(tac, dfg).empty());
 }
 
@@ -48,7 +48,7 @@ doacross I = 1, 100
   Y[I] = X[I-3] + C[I]
 end
 )");
-  const Dfg dfg(tac, MachineConfig::paper(4, 1));
+  const Dfg dfg(tac, machines::paper(4, 1));
   const auto redundant = find_redundant_wait_instrs(tac, dfg);
   ASSERT_EQ(redundant.size(), 1u);
   const auto& dropped = tac.by_id(redundant[0]);
@@ -66,7 +66,7 @@ end
 )");
   int removed = 0;
   const TacFunction reduced =
-      eliminate_redundant_waits(tac, MachineConfig::paper(4, 1), &removed);
+      eliminate_redundant_waits(tac, machines::paper(4, 1), &removed);
   EXPECT_EQ(removed, 1);
   EXPECT_EQ(reduced.size(), tac.size() - 1);
   EXPECT_EQ(count_waits(reduced), count_waits(tac) - 1);
@@ -102,7 +102,7 @@ doacross I = 1, 100
   A[I] = B[I] + C[I+3]
 end
 )");
-  const Dfg dfg(tac, MachineConfig::paper(4, 1));
+  const Dfg dfg(tac, machines::paper(4, 1));
   EXPECT_TRUE(find_redundant_wait_instrs(tac, dfg).empty());
 }
 

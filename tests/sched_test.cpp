@@ -21,10 +21,10 @@ end
 struct Built {
   TacFunction tac;
   Dfg dfg;
-  MachineConfig config;
+  MachineDesc config;
 };
 
-Built build(const char* src, MachineConfig config) {
+Built build(const char* src, MachineDesc config) {
   TacFunction tac = generate_tac(
       insert_synchronization(parse_single_loop_or_throw(src)));
   Dfg dfg(tac, config);
@@ -36,7 +36,7 @@ class AllSchedulersTest
 
 TEST_P(AllSchedulersTest, Fig1SchedulesAreValid) {
   const auto [kind, width, fus] = GetParam();
-  const Built b = build(kFig1, MachineConfig::paper(width, fus));
+  const Built b = build(kFig1, machines::paper(width, fus));
   const Schedule s = run_scheduler(kind, b.tac, b.dfg, b.config, 100);
   const auto violations = verify_schedule(b.tac, b.dfg, b.config, s);
   EXPECT_TRUE(violations.empty())
@@ -62,7 +62,7 @@ TEST(ListScheduler, WaitsFloatEarly) {
   // The paper's observation: list scheduling pulls Wait_Signals to the
   // front (they have no predecessors and head long chains), stretching
   // the synchronization span.
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   const Schedule s = schedule_list(b.tac, b.dfg, b.config);
   EXPECT_EQ(s.slot(1), 0);   // Wait(S3, I-2)
   EXPECT_EQ(s.slot(11), 0);  // Wait(S3, I-1)
@@ -71,7 +71,7 @@ TEST(ListScheduler, WaitsFloatEarly) {
 }
 
 TEST(SyncAware, ConvertsWatGraphPairToLFD) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   const Schedule s = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
   // Wait2 (11, distance 1) pairs with the send (28) across components:
   // the technique schedules it after the send, making the pair LFD.
@@ -79,14 +79,14 @@ TEST(SyncAware, ConvertsWatGraphPairToLFD) {
 }
 
 TEST(SyncAware, ShrinksWorstSpanVersusList) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   const Schedule list = schedule_list(b.tac, b.dfg, b.config);
   const Schedule ours = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
   EXPECT_LT(worst_sync_span(b.dfg, ours), worst_sync_span(b.dfg, list));
 }
 
 TEST(SyncAware, PathNodesNearlyContiguous) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   const Schedule s = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
   // The distance-2 path 1->5->9->10->22->26->27->28 must be packed into
   // a span close to its own length (ancestor latencies allow small
@@ -98,7 +98,7 @@ TEST(SyncAware, PathNodesNearlyContiguous) {
 TEST(SyncAware, NeverWorseThanListOnFig1) {
   for (const int width : {2, 4}) {
     for (const int fus : {1, 2}) {
-      const Built b = build(kFig1, MachineConfig::paper(width, fus));
+      const Built b = build(kFig1, machines::paper(width, fus));
       const Schedule list = schedule_list(b.tac, b.dfg, b.config);
       const Schedule ours = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
       const std::int64_t l_list = list.length();
@@ -110,7 +110,7 @@ TEST(SyncAware, NeverWorseThanListOnFig1) {
 }
 
 TEST(SyncAware, AblationContiguityOff) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   SyncAwareOptions options;
   options.contiguous_paths = false;
   const Schedule s =
@@ -119,7 +119,7 @@ TEST(SyncAware, AblationContiguityOff) {
 }
 
 TEST(SyncAware, AblationConversionOff) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   SyncAwareOptions options;
   options.convert_lfd = false;
   const Schedule s =
@@ -129,7 +129,7 @@ TEST(SyncAware, AblationConversionOff) {
 
 TEST(SyncBarrier, MarkersPinProgramOrder) {
   // Every instruction stays on its side of the surrounding sync markers.
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   const Schedule s = schedule_sync_barrier(b.tac, b.dfg, b.config);
   EXPECT_TRUE(verify_schedule(b.tac, b.dfg, b.config, s).empty());
   for (const auto& marker : b.tac.instrs) {
@@ -148,7 +148,7 @@ TEST(SyncBarrier, MarkersPinProgramOrder) {
 }
 
 TEST(SyncBarrier, BetweenListAndSyncAwareOnFig1) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   const Schedule list = schedule_list(b.tac, b.dfg, b.config);
   const Schedule barrier = schedule_sync_barrier(b.tac, b.dfg, b.config);
   const Schedule ours = schedule_sync_aware(b.tac, b.dfg, b.config, 100);
@@ -163,7 +163,7 @@ TEST(SyncBarrier, BetweenListAndSyncAwareOnFig1) {
 }
 
 TEST(InOrder, PreservesProgramOrderAcrossGroups) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   const Schedule s = schedule_inorder(b.tac, b.dfg, b.config);
   for (int id = 2; id <= b.tac.size(); ++id) {
     EXPECT_LE(s.slot(id - 1), s.slot(id));
@@ -171,21 +171,21 @@ TEST(InOrder, PreservesProgramOrderAcrossGroups) {
 }
 
 TEST(InOrder, NeverShorterThanList) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   const Schedule inorder = schedule_inorder(b.tac, b.dfg, b.config);
   const Schedule list = schedule_list(b.tac, b.dfg, b.config);
   EXPECT_GE(inorder.length(), list.length());
 }
 
 TEST(Verify, DetectsDoublePlacement) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   Schedule s = schedule_list(b.tac, b.dfg, b.config);
   s.groups[1].push_back(s.groups[0][0]);
   EXPECT_FALSE(verify_schedule(b.tac, b.dfg, b.config, s).empty());
 }
 
 TEST(Verify, DetectsCapacityOverflow) {
-  const Built b = build(kFig1, MachineConfig::paper(2, 1));
+  const Built b = build(kFig1, machines::paper(2, 1));
   Schedule s = schedule_list(b.tac, b.dfg, b.config);
   // Move everything into group 0.
   Schedule broken;
@@ -197,7 +197,7 @@ TEST(Verify, DetectsCapacityOverflow) {
 }
 
 TEST(Verify, DetectsLatencyViolation) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   Schedule s = schedule_list(b.tac, b.dfg, b.config);
   // Swap the slots of a producer/consumer pair (3 -> 4).
   const int s3 = s.slot(3);
@@ -222,7 +222,7 @@ void move_to_group(Schedule& s, int id, int to) {
 }
 
 TEST(Verify, LatencyViolationMessageNamesEdgeSlotsAndLatency) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   Schedule s = schedule_list(b.tac, b.dfg, b.config);
   // Pick any positive-latency edge and co-schedule its endpoints.
   int from = 0, to = 0, latency = 0;
@@ -258,7 +258,7 @@ TEST(Verify, FuOversubscriptionIsNotAnIssueWidthViolation) {
       "  B[I] = A[I-1] * c1\n"
       "  D[I] = E[I] * c2\n"
       "end",
-      MachineConfig::paper(4, 1));
+      machines::paper(4, 1));
   std::vector<int> muls;
   for (const auto& instr : b.tac.instrs)
     if (instr.fu() == FuClass::kMult) muls.push_back(instr.id);
@@ -280,7 +280,7 @@ TEST(Verify, SyncConsumesSlotAccounting) {
   // On a 1-wide machine a group holding {op, wait} is legal only while
   // synchronization instructions ride for free; the sync_consumes_slot
   // machine must reject the very same schedule.
-  MachineConfig config = MachineConfig::paper(1, 1);
+  MachineDesc config = machines::paper(1, 1);
   config.sync_consumes_slot = false;
   const Built b = build(kFig1, config);
   int wait_id = 0;
@@ -308,20 +308,20 @@ TEST(Verify, SyncConsumesSlotAccounting) {
   move_to_group(s, wait_id, target);
   // verify_schedule may flag sync-arc edges the move disturbed; the
   // issue-width accounting is what must differ between the two modes.
-  const auto count_width = [&](const MachineConfig& c) {
+  const auto count_width = [&](const MachineDesc& c) {
     int n = 0;
     for (const auto& msg : verify_schedule(b.tac, b.dfg, c, s))
       if (msg.find("> width") != std::string::npos) ++n;
     return n;
   };
   EXPECT_EQ(count_width(config), 0);
-  MachineConfig strict = config;
+  MachineDesc strict = config;
   strict.sync_consumes_slot = true;
   EXPECT_GT(count_width(strict), 0);
 }
 
 TEST(Schedule, ToStringMatchesFig4Style) {
-  const Built b = build(kFig1, MachineConfig::paper(4, 1));
+  const Built b = build(kFig1, machines::paper(4, 1));
   const Schedule s = schedule_list(b.tac, b.dfg, b.config);
   const std::string text = s.to_string(b.tac, 4);
   EXPECT_NE(text.find("Wait_Signal(S3, I-2)"), std::string::npos);
@@ -331,7 +331,7 @@ TEST(Schedule, ToStringMatchesFig4Style) {
 }
 
 TEST(Schedule, MultiCycleLatenciesSpaceGroups) {
-  MachineConfig config = MachineConfig::paper(4, 1);
+  MachineDesc config = machines::paper(4, 1);
   const Built b = build(R"(
 doacross I = 1, 10
   A[I] = A[I-1] / B[I]

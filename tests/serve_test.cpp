@@ -276,7 +276,7 @@ TEST(DiskCacheTest, UnwritableDirectoryDegradesToNoop) {
 
 PipelineOptions codec_options() {
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = 100;
   return options;
 }
@@ -318,7 +318,7 @@ TEST(Codec, FingerprintCoversLoopAndEverySemanticOption) {
     return schedule_fingerprint(loop, changed) != fp;
   };
   EXPECT_TRUE(differs([](PipelineOptions& o) {
-    o.machine = MachineConfig::paper(2, 1);
+    o.machine = machines::paper(2, 1);
   }));
   EXPECT_TRUE(differs([](PipelineOptions& o) {
     o.scheduler = SchedulerKind::kList;
@@ -388,7 +388,7 @@ TEST(Codec, RejectsOutOfRangeInstructionIds) {
 
 TEST(Codec, PipelineOptionsRoundTrip) {
   PipelineOptions options;
-  options.machine = MachineConfig::paper(2, 2);
+  options.machine = machines::paper(2, 2);
   options.machine.signal_latency = 5;
   options.scheduler = SchedulerKind::kList;
   options.iterations = 37;
@@ -405,6 +405,40 @@ TEST(Codec, PipelineOptionsRoundTrip) {
   // Key-equality is the codec's contract: the daemon compiles exactly
   // the run the client fingerprinted.
   EXPECT_EQ(ResultCache::key(loop, back), ResultCache::key(loop, options));
+}
+
+TEST(Codec, NonDefaultMachineTravelsTheWireIntact) {
+  // Since protocol revision '4' the machine rides as its canonical
+  // MachineDesc string, so fields the old per-column encoding never
+  // carried (buffer depth, per-opcode latencies, asymmetric FU mixes)
+  // must survive the round trip bit for bit.
+  PipelineOptions options = codec_options();
+  options.machine.issue_width = 8;
+  options.machine.fu_counts = {3, 1, 2, 1, 1, 4};
+  options.machine.set_latency(Opcode::kLoad, 4);
+  options.machine.set_latency(Opcode::kDiv, 12);
+  options.machine.sync_consumes_slot = false;
+  options.machine.signal_latency = 3;
+  options.machine.signal_buffer_depth = 5;
+  ASSERT_TRUE(options.machine.validate().ok());
+  PipelineOptions back;
+  ASSERT_TRUE(
+      decode_pipeline_options(encode_pipeline_options(options), &back).ok());
+  EXPECT_EQ(back.machine, options.machine);
+}
+
+TEST(Codec, MalformedMachineDescInOptionsIsATypedError) {
+  // A well-formed record (header and checksum intact) whose machine
+  // field is garbage: the decode must fail on the machine grammar, not
+  // on framing, and say so in the message.
+  RecordWriter w;
+  w.add_int("version", kScheduleCacheFormatVersion);
+  w.add_string("machine", "zzzzz=4");
+  PipelineOptions back;
+  const Status s = decode_pipeline_options(w.finish(), &back);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code, StatusCode::kInput);
+  EXPECT_NE(s.message.find("machine"), std::string::npos) << s.message;
 }
 
 // --- caching compiler ------------------------------------------------

@@ -21,12 +21,12 @@ struct Built {
   TacFunction tac;
   Dfg dfg;
   Schedule schedule;
-  MachineConfig config;
+  MachineDesc config;
   std::vector<Dependence> carried;
 };
 
 Built build(const char* src, SchedulerKind kind = SchedulerKind::kSyncAware,
-            MachineConfig config = MachineConfig::paper(4, 1),
+            MachineDesc config = machines::paper(4, 1),
             std::int64_t n = 100) {
   const Loop loop = parse_single_loop_or_throw(src);
   const DepAnalysis deps = analyze_dependences(loop);
@@ -269,7 +269,7 @@ end
   SyncedLoop bare;
   bare.loop = loop;
   const TacFunction tac = generate_tac(bare);
-  const MachineConfig config = MachineConfig::paper(4, 1);
+  const MachineDesc config = machines::paper(4, 1);
   const Dfg dfg(tac, config);
   const Schedule schedule = schedule_list(tac, dfg, config);
   std::vector<Dependence> carried;
@@ -287,7 +287,7 @@ TEST(Simulator, SignalLatencyExact) {
   // With a slower synchronization network every chain link pays the
   // extra delay; the closed form must still match the simulator exactly.
   for (const int net : {1, 2, 4, 8}) {
-    MachineConfig config = MachineConfig::paper(4, 1);
+    MachineDesc config = machines::paper(4, 1);
     config.signal_latency = net;
     const Loop loop = parse_single_loop_or_throw(
         "doacross I = 1, 100\n A[I] = A[I-2] + B[I]\nend\n");
@@ -322,13 +322,13 @@ end
 )";
   const Loop loop = parse_single_loop_or_throw(src);
   const TacFunction tac = generate_tac(insert_synchronization(loop));
-  MachineConfig fast = MachineConfig::paper(4, 1);
+  MachineDesc fast = machines::paper(4, 1);
   const Dfg dfg(tac, fast);
   const Schedule schedule = schedule_sync_aware(tac, dfg, fast, 100);
   SimOptions options;
   options.iterations = 100;
   const auto t_fast = simulate(tac, dfg, schedule, fast, options);
-  MachineConfig slow = fast;
+  MachineDesc slow = fast;
   slow.signal_latency = 12;
   const auto t_slow = simulate(tac, dfg, schedule, slow, options);
   EXPECT_EQ(t_fast.stall_cycles, 0);

@@ -22,10 +22,10 @@ end
 struct Built {
   TacFunction tac;
   Dfg dfg;
-  MachineConfig config;
+  MachineDesc config;
 };
 
-Built build(const char* src, MachineConfig config) {
+Built build(const char* src, MachineDesc config) {
   TacFunction tac = generate_tac(
       insert_synchronization(parse_single_loop_or_throw(src)));
   Dfg dfg(tac, config);
@@ -33,7 +33,7 @@ Built build(const char* src, MachineConfig config) {
 }
 
 TEST(SlotFiller, ReadySlotTracksLatencies) {
-  const Built b = build(kSmall, MachineConfig::paper(4, 1));
+  const Built b = build(kSmall, machines::paper(4, 1));
   SlotFiller filler(b.tac, b.dfg, b.config);
   // An instruction with unplaced predecessors is not ready.
   int load_id = 0;
@@ -48,7 +48,7 @@ TEST(SlotFiller, ReadySlotTracksLatencies) {
 }
 
 TEST(SlotFiller, CapacityIssueWidth) {
-  MachineConfig config = MachineConfig::paper(2, 2);
+  MachineDesc config = machines::paper(2, 2);
   const Built b = build(kSmall, config);
   SlotFiller filler(b.tac, b.dfg, b.config);
   // Two independent integer-ish ops fill a 2-wide group; the third must
@@ -72,7 +72,7 @@ TEST(SlotFiller, FuConflictSeparatesSameClassOps) {
 do I = 1, 4
   A[I] = B[I-1] + B[I+1]
 end
-)", MachineConfig::paper(4, 1));
+)", machines::paper(4, 1));
   SlotFiller filler(b.tac, b.dfg, b.config);
   std::vector<int> shifts;
   for (const auto& instr : b.tac.instrs) {
@@ -88,7 +88,7 @@ end
 }
 
 TEST(SlotFiller, SyncOpsNeedNoFuButConsumeSlots) {
-  MachineConfig config = MachineConfig::paper(1, 1);  // width 1
+  MachineDesc config = machines::paper(1, 1);  // width 1
   const Built b = build(kSmall, config);
   SlotFiller filler(b.tac, b.dfg, b.config);
   int wait_id = 0;
@@ -106,7 +106,7 @@ TEST(SlotFiller, SyncOpsNeedNoFuButConsumeSlots) {
 }
 
 TEST(SlotFiller, SyncSharesGroupWhenSlotFree) {
-  MachineConfig config = MachineConfig::paper(4, 1);
+  MachineDesc config = machines::paper(4, 1);
   config.sync_consumes_slot = false;
   const Built b = build(kSmall, config);
   SlotFiller filler(b.tac, b.dfg, b.config);
@@ -126,7 +126,7 @@ TEST(SlotFiller, SyncSharesGroupWhenSlotFree) {
 }
 
 TEST(SlotFiller, LatestFreeSlotBefore) {
-  const Built b = build(kSmall, MachineConfig::paper(4, 1));
+  const Built b = build(kSmall, machines::paper(4, 1));
   SlotFiller filler(b.tac, b.dfg, b.config);
   int wait_id = 0;
   for (const auto& instr : b.tac.instrs) {
@@ -138,13 +138,13 @@ TEST(SlotFiller, LatestFreeSlotBefore) {
 }
 
 TEST(SlotFiller, TakeRejectsIncompleteSchedules) {
-  const Built b = build(kSmall, MachineConfig::paper(4, 1));
+  const Built b = build(kSmall, machines::paper(4, 1));
   SlotFiller filler(b.tac, b.dfg, b.config);
   EXPECT_THROW((void)filler.take(), SbmpError);
 }
 
 TEST(SlotFiller, PlacementIsIdempotentPerInstruction) {
-  const Built b = build(kSmall, MachineConfig::paper(4, 1));
+  const Built b = build(kSmall, machines::paper(4, 1));
   SlotFiller filler(b.tac, b.dfg, b.config);
   std::vector<int> free_nodes;
   for (const auto& instr : b.tac.instrs) {

@@ -44,10 +44,10 @@ end
 struct Built {
   TacFunction tac;
   Dfg dfg;
-  MachineConfig config;
+  MachineDesc config;
 };
 
-Built build(const char* src, MachineConfig config = MachineConfig::paper(4, 1)) {
+Built build(const char* src, MachineDesc config = machines::paper(4, 1)) {
   TacFunction tac = generate_tac(
       insert_synchronization(parse_single_loop_or_throw(src)));
   Dfg dfg(tac, config);

@@ -13,12 +13,12 @@ namespace {
 struct Built {
   TacFunction tac;
   Dfg dfg;
-  MachineConfig config;
+  MachineDesc config;
   Schedule schedule;
 };
 
 Built build(const char* src, SchedulerKind kind) {
-  const MachineConfig config = MachineConfig::paper(4, 1);
+  const MachineDesc config = machines::paper(4, 1);
   TacFunction tac = generate_tac(
       insert_synchronization(parse_single_loop_or_throw(src)));
   Dfg dfg(tac, config);

@@ -26,7 +26,7 @@ end
 
 PipelineOptions paper_options() {
   PipelineOptions options;
-  options.machine = MachineConfig::paper(4, 2);
+  options.machine = machines::paper(4, 2);
   options.iterations = 100;
   return options;
 }

@@ -41,6 +41,30 @@ for extra in "" "--eliminate"; do
   fi
 done
 
+echo "== non-default machine end-to-end (compile + execute + daemon) =="
+# One machine the legacy --width/--fus flags cannot express (bounded
+# signal buffer, asymmetric FU mix, a 2-cycle load) must travel the
+# whole stack: local compile, real-thread execution, and the canonical
+# desc over the daemon wire with byte-identical output.
+mdesc='issue=8 fu=ls:2,mul:2 lat=load:2,muli:3,mul:3,div:6,*:1 buf=3'
+"$root/build/tools/sbmpc" --machine "$mdesc" --execute "$root/samples/fig1.loop"
+sock="$(mktemp -u "${TMPDIR:-/tmp}/sbmpd-check-XXXXXX.sock")"
+"$root/build/tools/sbmpd" --socket "$sock" &
+sbmpd_pid=$!
+trap 'kill "$sbmpd_pid" 2>/dev/null || true' EXIT
+for _ in $(seq 100); do [[ -S "$sock" ]] && break; sleep 0.1; done
+if ! diff <("$root/build/tools/sbmpc" --machine "$mdesc" "$root/samples/fig1.loop") \
+          <("$root/build/tools/sbmpc" --machine "$mdesc" --remote "$sock" "$root/samples/fig1.loop"); then
+  echo "daemon round-trip diverged from local compile (machine: $mdesc)" >&2
+  exit 1
+fi
+kill "$sbmpd_pid" 2>/dev/null || true
+wait "$sbmpd_pid" 2>/dev/null || true
+trap - EXIT
+
+echo "== architecture sweep smoke (paper 4-point grid, fingerprint gate) =="
+"$root/build/bench/bench_archsweep" --check "$root/BENCH_compile.json"
+
 if [[ -n "${SBMP_SANITIZE:-}" ]]; then
   echo "== ASan+UBSan suite =="
   cmake -B "$root/build-asan" -S "$root" -DSBMP_SANITIZE=address >/dev/null

@@ -153,7 +153,8 @@ struct CliOptions {
 [[noreturn]] void usage(const char* message) {
   if (message != nullptr) std::fprintf(stderr, "sbmpc: %s\n", message);
   std::fprintf(stderr,
-               "usage: sbmpc [--width N] [--fus N] [--scheduler S]\n"
+               "usage: sbmpc [--width N] [--fus N] [--machine DESC|@file]\n"
+               "             [--scheduler S]\n"
                "             [--iterations N] [--processors P] [--compare]\n"
                "             [--check] [--eliminate] [--validate]\n"
                "             [--no-validate] [--no-never-degrade-prefilter]\n"
@@ -178,12 +179,19 @@ CliOptions parse_cli(int argc, char** argv) {
   CliOptions cli;
   int width = 4;
   int fus = 1;
+  bool width_or_fus_given = false;
+  std::string machine_text;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--width") == 0) {
       width = std::atoi(next_arg(argc, argv, i));
+      width_or_fus_given = true;
     } else if (std::strcmp(arg, "--fus") == 0) {
       fus = std::atoi(next_arg(argc, argv, i));
+      width_or_fus_given = true;
+    } else if (std::strcmp(arg, "--machine") == 0) {
+      machine_text = next_arg(argc, argv, i);
+      if (machine_text.empty()) usage("--machine wants a desc or @file");
     } else if (std::strcmp(arg, "--scheduler") == 0) {
       const std::string s = next_arg(argc, argv, i);
       if (s == "inorder") {
@@ -267,8 +275,28 @@ CliOptions parse_cli(int argc, char** argv) {
       cli.files.emplace_back(arg);
     }
   }
-  if (width < 1 || fus < 1) usage("width and fus must be positive");
-  cli.pipeline.machine = MachineConfig::paper(width, fus);
+  if (!machine_text.empty()) {
+    // The declarative form describes the whole machine; mixing it with
+    // the legacy shorthand flags would leave the precedence ambiguous.
+    if (width_or_fus_given)
+      usage("--machine replaces --width/--fus; give one or the other");
+    if (machine_text[0] == '@') {
+      std::ifstream in(machine_text.substr(1));
+      if (!in)
+        usage(("cannot read machine file " + machine_text.substr(1)).c_str());
+      std::ostringstream text;
+      text << in.rdbuf();
+      machine_text = text.str();
+    }
+    if (Status status =
+            parse_machine_desc(machine_text, &cli.pipeline.machine);
+        !status.ok()) {
+      usage(status.message.c_str());
+    }
+  } else {
+    if (width < 1 || fus < 1) usage("width and fus must be positive");
+    cli.pipeline.machine = machines::paper(width, fus);
+  }
   if (cli.files.empty() && !cli.run_suite) usage("no input files");
   return cli;
 }
